@@ -1,0 +1,65 @@
+//! Per-sample assignment cost of the three particle mapping algorithms.
+//!
+//! Bin-based mapping rebuilds its recursive planar-cut partition every
+//! sample (CMT-nek rebuilds per iteration), so its per-sample cost is the
+//! interesting one; element lookup is O(1) per particle; Hilbert pays a
+//! sort.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pic_grid::{ElementMesh, MeshDims};
+use pic_mapping::{BinMapper, ElementMapper, HilbertMapper, ParticleMapper};
+use pic_types::rng::SplitMix64;
+use pic_types::{Aabb, Vec3};
+
+fn positions(n: usize, seed: u64) -> Vec<Vec3> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64()))
+        .collect()
+}
+
+fn mapping_assign(c: &mut Criterion) {
+    let mesh = ElementMesh::new(Aabb::unit(), MeshDims::cube(8), 5).unwrap();
+    let ranks = 256;
+    let mut group = c.benchmark_group("mapping_assign");
+    group.sample_size(10);
+    for &n in &[10_000usize, 100_000] {
+        let pos = positions(n, 11);
+        group.throughput(Throughput::Elements(n as u64));
+
+        let element = ElementMapper::new(&mesh, ranks).unwrap();
+        group.bench_with_input(BenchmarkId::new("element", n), &pos, |b, pos| {
+            b.iter(|| element.assign(pos));
+        });
+
+        let bin = BinMapper::new(ranks, 1e-4).unwrap();
+        group.bench_with_input(BenchmarkId::new("bin", n), &pos, |b, pos| {
+            b.iter(|| bin.assign(pos));
+        });
+
+        let hilbert = HilbertMapper::new(&mesh, ranks).unwrap();
+        group.bench_with_input(BenchmarkId::new("hilbert", n), &pos, |b, pos| {
+            b.iter(|| hilbert.assign(pos));
+        });
+    }
+    group.finish();
+}
+
+fn bin_partition_depth(c: &mut Criterion) {
+    // Cost of the unbounded partition (Fig 6 analysis) vs the bounded one.
+    let pos = positions(50_000, 13);
+    let mut group = c.benchmark_group("bin_partition");
+    group.sample_size(10);
+    for &threshold in &[0.2, 0.05, 0.01] {
+        let mapper = BinMapper::new(usize::MAX - 1, threshold).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("unbounded", format!("t{threshold}")),
+            &pos,
+            |b, pos| b.iter(|| mapper.unbounded_bin_count(pos)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, mapping_assign, bin_partition_depth);
+criterion_main!(benches);

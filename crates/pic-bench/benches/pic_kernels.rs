@@ -1,0 +1,169 @@
+//! Mini-app PIC kernel costs — the real-timing counterpart of the cost
+//! oracle. These measurements are exactly what the instrumented mini-app
+//! records as model-training data, so the bench doubles as a check that
+//! the kernels' asymptotic shapes (Np·N³, filter-volume growth, …) hold
+//! on the host machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pic_grid::gll::GllRule;
+use pic_grid::{ElementMesh, MeshDims};
+use pic_mapping::{ElementMapper, ParticleMapper, RegionIndex};
+use pic_sim::field::{FluidField, UniformFlow};
+use pic_sim::kernels::{self, KernelContext};
+use pic_sim::particles::CellList;
+use pic_types::rng::SplitMix64;
+use pic_types::{Aabb, Vec3};
+
+fn positions(n: usize, seed: u64) -> Vec<Vec3> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64()))
+        .collect()
+}
+
+fn ctx<'a>(
+    mesh: &'a ElementMesh,
+    gll: &'a GllRule,
+    field: &'a dyn FluidField,
+    filter: f64,
+) -> KernelContext<'a> {
+    KernelContext {
+        mesh,
+        gll,
+        field,
+        filter,
+        dt: 0.01,
+        gravity: Vec3::new(0.0, 0.0, -0.2),
+        drag_tau: 0.05,
+        collision_radius: 0.0,
+        collision_stiffness: 0.0,
+    }
+}
+
+fn interpolation_kernel(c: &mut Criterion) {
+    let field = UniformFlow { velocity: Vec3::new(1.0, 0.0, 0.0) };
+    let mut group = c.benchmark_group("kernel_interpolation");
+    group.sample_size(10);
+    // cost ∝ Np · N³: sweep both
+    for &order in &[3usize, 5, 7] {
+        let mesh = ElementMesh::new(Aabb::unit(), MeshDims::cube(6), order).unwrap();
+        let gll = GllRule::new(order);
+        let pos = positions(5000, 1);
+        let subset: Vec<u32> = (0..pos.len() as u32).collect();
+        group.throughput(Throughput::Elements(pos.len() as u64));
+        group.bench_with_input(BenchmarkId::new("np5000", format!("N{order}")), &pos, |b, pos| {
+            let kctx = ctx(&mesh, &gll, &field, 0.03);
+            let mut out = Vec::new();
+            b.iter(|| kernels::interpolate(&kctx, pos, &subset, 0.1, &mut out));
+        });
+    }
+    group.finish();
+}
+
+fn projection_kernel(c: &mut Criterion) {
+    let field = UniformFlow { velocity: Vec3::ZERO };
+    let mesh = ElementMesh::new(Aabb::unit(), MeshDims::cube(6), 5).unwrap();
+    let gll = GllRule::new(5);
+    let pos = positions(2000, 2);
+    let subset: Vec<u32> = (0..pos.len() as u32).collect();
+    let mut group = c.benchmark_group("kernel_projection");
+    group.sample_size(10);
+    // cost grows with the filter volume — the Fig 10b mechanism, measured
+    for &filter in &[0.02, 0.05, 0.1] {
+        group.throughput(Throughput::Elements(pos.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("np2000", format!("f{filter}")),
+            &pos,
+            |b, pos| {
+                let kctx = ctx(&mesh, &gll, &field, filter);
+                b.iter(|| kernels::projection(&kctx, pos, &subset));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn ghost_kernel(c: &mut Criterion) {
+    let field = UniformFlow { velocity: Vec3::ZERO };
+    let mesh = ElementMesh::new(Aabb::unit(), MeshDims::cube(6), 5).unwrap();
+    let gll = GllRule::new(5);
+    let pos = positions(20_000, 3);
+    let mapper = ElementMapper::new(&mesh, 64).unwrap();
+    let outcome = mapper.assign(&pos);
+    let index = RegionIndex::build(&outcome.rank_regions);
+    let mut group = c.benchmark_group("kernel_create_ghosts");
+    group.sample_size(10);
+    for &filter in &[0.02, 0.08] {
+        group.throughput(Throughput::Elements(pos.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("np20000_r64", format!("f{filter}")),
+            &pos,
+            |b, pos| {
+                let kctx = ctx(&mesh, &gll, &field, filter);
+                b.iter(|| kernels::create_ghost_particles(&kctx, pos, &outcome.ranks, &index));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn equation_solver_kernel(c: &mut Criterion) {
+    let field = UniformFlow { velocity: Vec3::new(0.5, 0.0, 0.0) };
+    let mesh = ElementMesh::new(Aabb::unit(), MeshDims::cube(6), 5).unwrap();
+    let gll = GllRule::new(5);
+    let pos = positions(20_000, 4);
+    let vel = vec![Vec3::ZERO; pos.len()];
+    let subset: Vec<u32> = (0..pos.len() as u32).collect();
+    let fluid = vec![Vec3::new(0.5, 0.0, 0.0); pos.len()];
+    let mut group = c.benchmark_group("kernel_equation_solver");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(pos.len() as u64));
+    for &rc in &[0.0, 0.02] {
+        group.bench_with_input(
+            BenchmarkId::new("np20000", format!("collide{rc}")),
+            &pos,
+            |b, pos| {
+                let mut kctx = ctx(&mesh, &gll, &field, 0.03);
+                kctx.collision_radius = rc;
+                kctx.collision_stiffness = 50.0;
+                let cell = CellList::build(pos, if rc > 0.0 { rc } else { 0.05 });
+                let mut acc = Vec::new();
+                b.iter(|| {
+                    kernels::equation_solver(&kctx, pos, &vel, &subset, &fluid, &cell, &mut acc)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn fluid_solver_kernel(c: &mut Criterion) {
+    let field = UniformFlow { velocity: Vec3::new(1.0, 2.0, 0.0) };
+    let mut group = c.benchmark_group("kernel_fluid_solver");
+    group.sample_size(10);
+    for &order in &[3usize, 5] {
+        let mesh = ElementMesh::new(Aabb::unit(), MeshDims::cube(6), order).unwrap();
+        let gll = GllRule::new(order);
+        let elements: Vec<_> = mesh.element_ids().collect();
+        group.throughput(Throughput::Elements(elements.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("nel216", format!("N{order}")),
+            &elements,
+            |b, elements| {
+                let kctx = ctx(&mesh, &gll, &field, 0.03);
+                b.iter(|| kernels::fluid_solver(&kctx, elements, 0.2));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    interpolation_kernel,
+    projection_kernel,
+    ghost_kernel,
+    equation_solver_kernel,
+    fluid_solver_kernel
+);
+criterion_main!(benches);

@@ -1,0 +1,402 @@
+//! Regenerate every figure of the paper's evaluation (§IV) as printed
+//! series and CSV files.
+//!
+//! ```sh
+//! cargo run --release -p pic-bench --bin figures            # all, mini scale
+//! cargo run --release -p pic-bench --bin figures -- fig5    # one figure
+//! cargo run --release -p pic-bench --bin figures -- all --full-scale
+//! ```
+//!
+//! * mini scale (default): the mini-app is actually executed to produce
+//!   the trace and training data; every figure completes in seconds to a
+//!   few minutes.
+//! * `--full-scale`: the paper's Hele-Shaw dimensions (599,257 particles,
+//!   216,000 elements, 1044–8352 ranks). The trace is synthesized with the
+//!   same dispersal shape instead of running the mini-app for 1500 steps
+//!   (DESIGN.md documents this substitution); the Dynamic Workload
+//!   Generator, mapping algorithms, and simulation platform — the systems
+//!   under evaluation — run for real at full scale.
+//!
+//! CSVs land in `figures_out/` (override with `--out DIR`).
+
+use pic_bench::{fmt_series, oracle_models, synthetic_expanding_trace, write_csv, Scale};
+use pic_des::MachineSpec;
+use pic_grid::ElementMesh;
+use pic_mapping::MappingAlgorithm;
+use pic_predict::studies;
+use pic_predict::{run_case_study, FitStrategy};
+use pic_sim::{MiniPic, SimConfig};
+use pic_trace::ParticleTrace;
+use pic_workload::generator::{self, WorkloadConfig};
+use pic_workload::metrics;
+
+struct Ctx {
+    scale: Scale,
+    out_dir: String,
+    cfg: SimConfig,
+    trace: ParticleTrace,
+    mesh: ElementMesh,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full_scale = args.iter().any(|a| a == "--full-scale");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "figures_out".to_string());
+    let figs: Vec<String> = args
+        .iter()
+        .filter(|a| a.starts_with("fig"))
+        .cloned()
+        .collect();
+    let all = figs.is_empty() || args.iter().any(|a| a == "all");
+    let want = |f: &str| all || figs.iter().any(|g| g == f);
+
+    let scale = if full_scale { Scale::Paper } else { Scale::Mini };
+    let cfg = scale.hele_shaw_config();
+    let mesh = ElementMesh::new(cfg.domain, cfg.mesh_dims, cfg.order).expect("valid mesh");
+
+    eprintln!(
+        "# scale: {scale:?} — {} particles, {} elements, rank sweep {:?}",
+        cfg.particles,
+        cfg.element_count(),
+        scale.rank_sweep()
+    );
+    let trace = match scale {
+        Scale::Mini => {
+            eprintln!("# running the mini PIC application to collect the trace...");
+            let t0 = std::time::Instant::now();
+            let out = MiniPic::new(cfg.clone()).expect("valid config").run().expect("app runs");
+            eprintln!("#   done in {:.1} s", t0.elapsed().as_secs_f64());
+            out.trace
+        }
+        Scale::Paper => {
+            eprintln!("# synthesizing a paper-scale dispersal trace (see DESIGN.md)...");
+            synthetic_expanding_trace(cfg.particles, 15, cfg.seed)
+        }
+    };
+
+    let ctx = Ctx { scale, out_dir, cfg, trace, mesh };
+    if want("fig1a") {
+        fig1a(&ctx);
+    }
+    if want("fig1b") {
+        fig1b(&ctx);
+    }
+    if want("fig5") {
+        fig5(&ctx);
+    }
+    if want("fig6") {
+        fig6(&ctx);
+    }
+    if want("fig7") {
+        fig7(&ctx);
+    }
+    if want("fig8") {
+        fig8(&ctx);
+    }
+    if want("fig9") {
+        fig9(&ctx);
+    }
+    if want("fig10a") {
+        fig10(&ctx, true);
+    }
+    if want("fig10b") {
+        fig10(&ctx, false);
+    }
+    eprintln!("# CSVs written to {}/", ctx.out_dir);
+}
+
+/// Fig 5/6's bin-size threshold: large enough that the early (packed) bed
+/// supports fewer bins than the smallest rank count, so the flat region is
+/// visible, while the dispersed bed supports more than intermediate counts.
+fn fig5_threshold(scale: Scale) -> f64 {
+    match scale {
+        Scale::Mini => 0.35,
+        // calibrated so the dispersed bed supports ~1100 bins — the paper's
+        // regime, where the cap sits just above the smallest rank count
+        Scale::Paper => 0.065,
+    }
+}
+
+fn heatmap_rank_count(scale: Scale) -> usize {
+    match scale {
+        Scale::Mini => 64,
+        Scale::Paper => 4096, // the paper's Fig 1a was 4096 ranks on Vulcan
+    }
+}
+
+fn fig1a(ctx: &Ctx) {
+    println!("\n== Fig 1a: particle-distribution heat map (element-based mapping) ==");
+    let ranks = heatmap_rank_count(ctx.scale);
+    let mut wcfg = WorkloadConfig::new(ranks, MappingAlgorithm::ElementBased, ctx.cfg.projection_filter);
+    wcfg.compute_ghosts = false;
+    let w = generator::generate_with_mesh(&ctx.trace, &wcfg, Some(&ctx.mesh)).expect("workload");
+    let csv = w.real.to_csv();
+    let path = write_csv(&ctx.out_dir, "fig1a_heatmap.csv", &csv).expect("write csv");
+    let pgm = std::path::Path::new(&ctx.out_dir).join("fig1a_heatmap.ppm");
+    pic_workload::heatmap::save(&w.real, &pgm, pic_workload::heatmap::ColorMap::Heat, 4)
+        .expect("write heatmap image");
+    let white = (0..w.ranks)
+        .filter(|&r| (0..w.samples()).all(|t| w.real.get(pic_types::Rank::from_index(r), t) == 0))
+        .count();
+    println!("  {} ranks x {} samples; CSV rows are ranks: {}", w.ranks, w.samples(), path.display());
+    println!("  rendered image: {}", pgm.display());
+    println!(
+        "  'white patches' (ranks with zero particles THROUGHOUT): {} / {} ({:.1}%)",
+        white,
+        w.ranks,
+        100.0 * white as f64 / w.ranks as f64
+    );
+}
+
+fn fig1b(ctx: &Ctx) {
+    println!("\n== Fig 1b: ranks with non-zero particles, per rank count ==");
+    let mut csv = String::from("ranks,mean_active,mean_active_pct,mean_idle_pct\n");
+    let mut idle_pcts = Vec::new();
+    for ranks in ctx.scale.rank_sweep() {
+        let mut wcfg =
+            WorkloadConfig::new(ranks, MappingAlgorithm::ElementBased, ctx.cfg.projection_filter);
+        wcfg.compute_ghosts = false;
+        let w = generator::generate_with_mesh(&ctx.trace, &wcfg, Some(&ctx.mesh)).expect("workload");
+        let series = metrics::active_fraction_series(&w.real);
+        let mean_active = pic_types::stats::mean(&series);
+        let idle_pct = 100.0 * (1.0 - mean_active);
+        idle_pcts.push(idle_pct);
+        println!(
+            "  R={ranks:>6}: avg active ranks {:>8.1} ({:>5.1}%), idle {:>5.1}%",
+            mean_active * ranks as f64,
+            100.0 * mean_active,
+            idle_pct
+        );
+        csv.push_str(&format!(
+            "{ranks},{:.3},{:.2},{:.2}\n",
+            mean_active * ranks as f64,
+            100.0 * mean_active,
+            idle_pct
+        ));
+    }
+    write_csv(&ctx.out_dir, "fig1b_active_ranks.csv", &csv).expect("write csv");
+    println!(
+        "  => average idle fraction across configurations: {:.1}% (paper: 81%)",
+        pic_types::stats::mean(&idle_pcts)
+    );
+}
+
+fn fig5(ctx: &Ctx) {
+    println!("\n== Fig 5: max particles per rank over iterations (bin-based) ==");
+    let threshold = fig5_threshold(ctx.scale);
+    let sweep = ctx.scale.rank_sweep();
+    let pts = studies::scalability_study(&ctx.trace, None, MappingAlgorithm::BinBased, threshold, &sweep)
+        .expect("study");
+    let iters = ctx.trace.iterations();
+    let mut csv = String::from("iteration");
+    for p in &pts {
+        csv.push_str(&format!(",R{}", p.ranks));
+    }
+    csv.push('\n');
+    print!("  iteration ");
+    for p in &pts {
+        print!("{:>10}", format!("R={}", p.ranks));
+    }
+    println!();
+    for (t, &iter) in iters.iter().enumerate() {
+        print!("  {iter:>9} ");
+        csv.push_str(&iter.to_string());
+        for p in &pts {
+            print!("{:>10}", p.peak_series[t]);
+            csv.push_str(&format!(",{}", p.peak_series[t]));
+        }
+        println!();
+        csv.push('\n');
+    }
+    write_csv(&ctx.out_dir, "fig5_peak_workload.csv", &csv).expect("write csv");
+    println!("  (threshold = {threshold}; flat rows ⇒ the bin cap, not R, limits distribution)");
+}
+
+fn fig6(ctx: &Ctx) {
+    println!("\n== Fig 6: particle bins generated over the run (unbounded) ==");
+    let threshold = fig5_threshold(ctx.scale);
+    let study = studies::optimal_rank_study(&ctx.trace, threshold).expect("study");
+    let mut csv = String::from("iteration,bins\n");
+    for (iter, bins) in study.iterations.iter().zip(&study.bin_series) {
+        println!("  iteration {iter:>7}: {bins} bins");
+        csv.push_str(&format!("{iter},{bins}\n"));
+    }
+    write_csv(&ctx.out_dir, "fig6_bin_counts.csv", &csv).expect("write csv");
+    println!(
+        "  => optimal processor count: {} (paper found 1104)",
+        study.optimal_rank_count()
+    );
+}
+
+fn fig7(ctx: &Ctx) {
+    println!("\n== Fig 7: per-kernel model MAPE across rank counts ==");
+    // Model accuracy needs instrumented app runs; these stay app-scale even
+    // under --full-scale (the paper likewise trained on instrumented runs
+    // far smaller than the predicted system).
+    let rank_counts: &[usize] = match ctx.scale {
+        Scale::Mini => &[8, 16, 32],
+        Scale::Paper => &[16, 32, 64],
+    };
+    let mut csv = String::from("kernel");
+    for r in rank_counts {
+        csv.push_str(&format!(",R{r}"));
+    }
+    csv.push('\n');
+    let mut per_rank_results = Vec::new();
+    for &ranks in rank_counts {
+        let cfg = SimConfig {
+            ranks,
+            mesh_dims: pic_grid::MeshDims::cube(6),
+            order: 3,
+            particles: 4000,
+            steps: 80,
+            sample_interval: 10,
+            ..SimConfig::default()
+        };
+        let out =
+            run_case_study(&cfg, &MachineSpec::quartz_like(), &FitStrategy::default()).expect("pipeline");
+        per_rank_results.push(out);
+    }
+    let kernels = per_rank_results[0].kernel_mape.iter().map(|&(k, _)| k).collect::<Vec<_>>();
+    print!("  {:<24}", "kernel");
+    for r in rank_counts {
+        print!("{:>9}", format!("R={r}"));
+    }
+    println!();
+    let mut all = Vec::new();
+    for (i, k) in kernels.iter().enumerate() {
+        print!("  {:<24}", k.to_string());
+        csv.push_str(&k.to_string());
+        for out in &per_rank_results {
+            let m = out.kernel_mape[i].1;
+            print!("{m:>8.2}%");
+            csv.push_str(&format!(",{m:.3}"));
+            all.push(m);
+        }
+        println!();
+        csv.push('\n');
+    }
+    write_csv(&ctx.out_dir, "fig7_kernel_mape.csv", &csv).expect("write csv");
+    println!(
+        "  => average MAPE {:.2}% (paper: 8.42%), peak {:.2}% (paper: 17.7%)",
+        pic_types::stats::mean(&all),
+        pic_types::stats::max(&all)
+    );
+}
+
+fn fig8(ctx: &Ctx) {
+    println!("\n== Fig 8: peak particle workload, bin- vs element-based ==");
+    let sweep = ctx.scale.rank_sweep();
+    let evals = studies::mapping_comparison(
+        &ctx.trace,
+        Some(&ctx.mesh),
+        ctx.cfg.projection_filter,
+        &sweep,
+        &[MappingAlgorithm::ElementBased, MappingAlgorithm::BinBased],
+    )
+    .expect("comparison");
+    let mut csv = String::from("ranks,element_peak,bin_peak,ratio\n");
+    println!("  {:>8} {:>14} {:>10} {:>8}", "ranks", "element peak", "bin peak", "ratio");
+    for &r in &sweep {
+        let el = evals
+            .iter()
+            .find(|e| e.mapping == MappingAlgorithm::ElementBased && e.ranks == r)
+            .unwrap()
+            .peak_workload;
+        let bin = evals
+            .iter()
+            .find(|e| e.mapping == MappingAlgorithm::BinBased && e.ranks == r)
+            .unwrap()
+            .peak_workload;
+        let ratio = el as f64 / bin.max(1) as f64;
+        println!("  {r:>8} {el:>14} {bin:>10} {ratio:>7.1}x");
+        csv.push_str(&format!("{r},{el},{bin},{ratio:.2}\n"));
+    }
+    write_csv(&ctx.out_dir, "fig8_peak_comparison.csv", &csv).expect("write csv");
+    println!("  (paper: roughly two orders of magnitude at full scale)");
+}
+
+fn fig9(ctx: &Ctx) {
+    println!("\n== Fig 9: processor utilization, bin- vs element-based ==");
+    let sweep = ctx.scale.rank_sweep();
+    let evals = studies::mapping_comparison(
+        &ctx.trace,
+        Some(&ctx.mesh),
+        ctx.cfg.projection_filter,
+        &sweep,
+        &[MappingAlgorithm::ElementBased, MappingAlgorithm::BinBased],
+    )
+    .expect("comparison");
+    let mut csv = String::from("ranks,element_active,element_pct,bin_active,bin_pct\n");
+    println!(
+        "  {:>8} {:>22} {:>22}",
+        "ranks", "element active (pct)", "bin active (pct)"
+    );
+    for &r in &sweep {
+        let el = evals
+            .iter()
+            .find(|e| e.mapping == MappingAlgorithm::ElementBased && e.ranks == r)
+            .unwrap();
+        let bin = evals
+            .iter()
+            .find(|e| e.mapping == MappingAlgorithm::BinBased && e.ranks == r)
+            .unwrap();
+        println!(
+            "  {r:>8} {:>14} ({:>5.2}%) {:>14} ({:>5.2}%)",
+            el.active_ranks,
+            100.0 * el.resource_utilization,
+            bin.active_ranks,
+            100.0 * bin.resource_utilization
+        );
+        csv.push_str(&format!(
+            "{r},{},{:.3},{},{:.3}\n",
+            el.active_ranks,
+            100.0 * el.resource_utilization,
+            bin.active_ranks,
+            100.0 * bin.resource_utilization
+        ));
+    }
+    write_csv(&ctx.out_dir, "fig9_utilization.csv", &csv).expect("write csv");
+    println!("  (paper at R=1044: element 4 ranks = 0.68%, bin 584 ranks = 56.13%)");
+}
+
+fn fig10(ctx: &Ctx, part_a: bool) {
+    let part = if part_a { "10a" } else { "10b" };
+    println!("\n== Fig {part}: projection-filter parameter study ==");
+    let filters = ctx.scale.filter_sweep();
+    let ranks = ctx.scale.rank_sweep()[0];
+    let models = oracle_models(ctx.cfg.seed);
+    // uniform element share per rank for the prediction features
+    let nel = (ctx.cfg.element_count() / ranks).max(1) as u32;
+    let elements = vec![nel; ranks];
+    let pts = studies::filter_study(&ctx.trace, ranks, &filters, &models, &elements, ctx.cfg.order)
+        .expect("filter study");
+    if part_a {
+        let mut csv = String::from("filter,max_bins\n");
+        for p in &pts {
+            println!("  filter {:>7.3}: max bins {}", p.filter, p.max_bins);
+            csv.push_str(&format!("{},{}\n", p.filter, p.max_bins));
+        }
+        write_csv(&ctx.out_dir, "fig10a_bins_vs_filter.csv", &csv).expect("write csv");
+        println!("  (smaller filter ⇒ lower threshold ⇒ more bins; paper shape identical)");
+    } else {
+        let mut csv = String::from("filter,total_ghosts,create_ghost_seconds\n");
+        for p in &pts {
+            println!(
+                "  filter {:>7.3}: ghosts {:>10}, create_ghost_particles {:.4e} s",
+                p.filter, p.total_ghosts, p.ghost_kernel_seconds
+            );
+            csv.push_str(&format!(
+                "{},{},{:.6e}\n",
+                p.filter, p.total_ghosts, p.ghost_kernel_seconds
+            ));
+        }
+        write_csv(&ctx.out_dir, "fig10b_ghost_kernel.csv", &csv).expect("write csv");
+        println!("  series: {}", fmt_series(&pts.iter().map(|p| p.ghost_kernel_seconds).collect::<Vec<_>>()));
+    }
+}

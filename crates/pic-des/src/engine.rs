@@ -1,0 +1,511 @@
+//! The discrete-event engine and the PIC bulk-synchronous schedule.
+//!
+//! A classic event-queue simulator: events are totally ordered by
+//! `(time, sequence)` so simulation is deterministic regardless of queue
+//! internals. Components are ranks; the schedule is a list of *steps*
+//! (one per trace-sample interval), each carrying per-rank compute times
+//! and the point-to-point messages implied by the communication matrix.
+
+use crate::machine::MachineSpec;
+use pic_types::{PicError, Result};
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One super-step of the PIC schedule: per-rank modelled compute seconds
+/// plus the messages sent at the end of the step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StepWorkload {
+    /// Modelled compute seconds for each rank during this step.
+    pub compute_seconds: Vec<f64>,
+    /// Messages `(from, to, bytes)` sent after the step's compute.
+    pub messages: Vec<(u32, u32, u64)>,
+}
+
+/// Synchronization semantics between steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum SyncMode {
+    /// Global barrier: no rank starts step `s+1` before every rank has
+    /// finished step `s` (including message delivery).
+    BulkSynchronous,
+    /// A rank starts step `s+1` once its own compute is done and all its
+    /// inbound step-`s` messages have arrived. Senders may run ahead of
+    /// slow receivers.
+    NeighborSync,
+}
+
+/// Simulation output: the predicted execution timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimTimeline {
+    /// Predicted total application seconds.
+    pub total_seconds: f64,
+    /// Time each rank finished its final step.
+    pub rank_finish: Vec<f64>,
+    /// Per-rank idle seconds (waiting at barriers / for messages).
+    pub rank_idle: Vec<f64>,
+    /// Per-step completion time (when the last rank finished the step and
+    /// its messages were delivered).
+    pub step_finish: Vec<f64>,
+    /// Number of discrete events processed.
+    pub events_processed: u64,
+}
+
+impl SimTimeline {
+    /// Mean idle fraction across ranks (a load-imbalance signature).
+    pub fn mean_idle_fraction(&self) -> f64 {
+        if self.rank_idle.is_empty() || self.total_seconds == 0.0 {
+            return 0.0;
+        }
+        let mean_idle: f64 = self.rank_idle.iter().sum::<f64>() / self.rank_idle.len() as f64;
+        mean_idle / self.total_seconds
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum EventKind {
+    ComputeDone { rank: u32, step: u32 },
+    MsgArrive { rank: u32, step: u32 },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap via reversed comparison; ties broken by sequence number
+        // for full determinism.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are finite")
+            .then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// All mutable simulation state, so helper functions stay tractable.
+struct SimState<'a> {
+    steps: &'a [StepWorkload],
+    machine: &'a MachineSpec,
+    mode: SyncMode,
+    queue: BinaryHeap<Event>,
+    seq: u64,
+    /// Current step of each rank.
+    rank_step: Vec<u32>,
+    /// Compute-finish time of each rank's current step (NaN = not yet).
+    compute_done: Vec<f64>,
+    /// Accumulated idle seconds per rank.
+    idle: Vec<f64>,
+    /// Messages arrived so far, per `[step][rank]`.
+    arrived: Vec<Vec<u32>>,
+    /// Latest arrival time per `[step][rank]`.
+    last_arrival: Vec<Vec<f64>>,
+    /// Expected inbound message count per `[step][rank]`.
+    expected: Vec<Vec<u32>>,
+    /// Barrier bookkeeping (bulk-synchronous only).
+    barrier_remaining: Vec<u32>,
+    barrier_time: Vec<f64>,
+    step_finish: Vec<f64>,
+    rank_finish: Vec<f64>,
+}
+
+impl SimState<'_> {
+    fn push(&mut self, time: f64, kind: EventKind) {
+        self.queue.push(Event { time, seq: self.seq, kind });
+        self.seq += 1;
+    }
+
+    /// Start rank `r`'s compute for step `s` at time `start`.
+    fn start_step(&mut self, r: usize, s: usize, start: f64) {
+        self.rank_step[r] = s as u32;
+        self.compute_done[r] = f64::NAN;
+        let t = start + self.machine.compute_scale * self.steps[s].compute_seconds[r];
+        self.push(t, EventKind::ComputeDone { rank: r as u32, step: s as u32 });
+    }
+
+    /// If rank `r` has completed step `s` (compute + inbound messages),
+    /// mark it ready and advance directly or via the barrier.
+    fn try_ready(&mut self, r: usize, s: usize) {
+        if self.rank_step[r] as usize != s {
+            return;
+        }
+        let cdone = self.compute_done[r];
+        if cdone.is_nan() {
+            return;
+        }
+        if self.arrived[s][r] < self.expected[s][r] {
+            return;
+        }
+        let ready_at = cdone.max(self.last_arrival[s][r]);
+        self.step_finish[s] = self.step_finish[s].max(ready_at);
+        match self.mode {
+            SyncMode::NeighborSync => {
+                self.idle[r] += (ready_at - cdone).max(0.0);
+                self.advance(r, s, ready_at);
+            }
+            SyncMode::BulkSynchronous => {
+                self.barrier_time[s] = self.barrier_time[s].max(ready_at);
+                self.barrier_remaining[s] -= 1;
+                if self.barrier_remaining[s] == 0 {
+                    let release = self.barrier_time[s]
+                        + self.machine.barrier_time(self.rank_step.len());
+                    for rr in 0..self.rank_step.len() {
+                        // idle covers both message wait and barrier wait
+                        let cd = self.compute_done[rr];
+                        debug_assert!(!cd.is_nan());
+                        self.idle[rr] += (release - cd).max(0.0);
+                        self.advance(rr, s, release);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Move rank `r` past step `s`: start the next step or record finish.
+    fn advance(&mut self, r: usize, s: usize, start: f64) {
+        let next = s + 1;
+        if next >= self.steps.len() {
+            self.rank_finish[r] = start;
+            // park the rank beyond the last step
+            self.rank_step[r] = u32::MAX;
+            return;
+        }
+        self.start_step(r, next, start);
+        // Messages for the next step may already have arrived while the
+        // rank was still on step `s`; completion is re-checked when its
+        // compute-done event fires.
+    }
+}
+
+/// Simulate the PIC schedule on a target machine.
+///
+/// `steps[s].compute_seconds` must have one entry per rank (consistent
+/// across steps). Compute times are scaled by the machine's
+/// `compute_scale`; message times come from its latency/bandwidth model.
+pub fn simulate(
+    steps: &[StepWorkload],
+    machine: &MachineSpec,
+    mode: SyncMode,
+) -> Result<SimTimeline> {
+    if steps.is_empty() {
+        return Ok(SimTimeline {
+            total_seconds: 0.0,
+            rank_finish: vec![],
+            rank_idle: vec![],
+            step_finish: vec![],
+            events_processed: 0,
+        });
+    }
+    let ranks = steps[0].compute_seconds.len();
+    if ranks == 0 {
+        return Err(PicError::sim("schedule has zero ranks"));
+    }
+    for (s, st) in steps.iter().enumerate() {
+        if st.compute_seconds.len() != ranks {
+            return Err(PicError::sim(format!(
+                "step {s} has {} ranks, expected {ranks}",
+                st.compute_seconds.len()
+            )));
+        }
+        for &(from, to, _) in &st.messages {
+            if from as usize >= ranks || to as usize >= ranks {
+                return Err(PicError::sim(format!("step {s} message endpoint out of range")));
+            }
+        }
+    }
+
+    let mut expected: Vec<Vec<u32>> = vec![vec![0; ranks]; steps.len()];
+    // Per-(step, sender) outboxes so ComputeDone handling is O(own
+    // messages) instead of scanning the whole step's message list — the
+    // difference between O(M) and O(R·M) per step at thousands of ranks.
+    let mut outbox: Vec<Vec<Vec<(u32, u64)>>> = vec![vec![Vec::new(); ranks]; steps.len()];
+    for (s, st) in steps.iter().enumerate() {
+        for &(from, to, bytes) in &st.messages {
+            expected[s][to as usize] += 1;
+            outbox[s][from as usize].push((to, bytes));
+        }
+    }
+
+    let mut state = SimState {
+        steps,
+        machine,
+        mode,
+        queue: BinaryHeap::new(),
+        seq: 0,
+        rank_step: vec![0; ranks],
+        compute_done: vec![f64::NAN; ranks],
+        idle: vec![0.0; ranks],
+        arrived: vec![vec![0; ranks]; steps.len()],
+        last_arrival: vec![vec![0.0; ranks]; steps.len()],
+        expected,
+        barrier_remaining: (0..steps.len()).map(|_| ranks as u32).collect(),
+        barrier_time: vec![0.0; steps.len()],
+        step_finish: vec![0.0; steps.len()],
+        rank_finish: vec![0.0; ranks],
+    };
+
+    for r in 0..ranks {
+        state.start_step(r, 0, 0.0);
+    }
+
+    let mut events_processed = 0u64;
+    while let Some(ev) = state.queue.pop() {
+        events_processed += 1;
+        match ev.kind {
+            EventKind::ComputeDone { rank, step } => {
+                let r = rank as usize;
+                let s = step as usize;
+                debug_assert_eq!(state.rank_step[r], step);
+                state.compute_done[r] = ev.time;
+                // Send this step's outbound messages.
+                for &(to, bytes) in &outbox[s][r] {
+                    let arrive = ev.time + machine.message_time_between(rank, to, bytes);
+                    state.push(arrive, EventKind::MsgArrive { rank: to, step });
+                }
+                state.try_ready(r, s);
+            }
+            EventKind::MsgArrive { rank, step } => {
+                let r = rank as usize;
+                let s = step as usize;
+                state.arrived[s][r] += 1;
+                state.last_arrival[s][r] = state.last_arrival[s][r].max(ev.time);
+                debug_assert!(state.arrived[s][r] <= state.expected[s][r]);
+                // Only relevant immediately if the receiver is on this step.
+                state.try_ready(r, s);
+            }
+        }
+    }
+
+    let total = state.rank_finish.iter().copied().fold(0.0f64, f64::max);
+    Ok(SimTimeline {
+        total_seconds: total,
+        rank_finish: state.rank_finish,
+        rank_idle: state.idle,
+        step_finish: state.step_finish,
+        events_processed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> MachineSpec {
+        MachineSpec {
+            name: "test".into(),
+            nodes: 1,
+            cores_per_node: 4,
+            compute_scale: 1.0,
+            link_latency: 0.5,
+            link_bandwidth: 10.0,
+            topology: Default::default(),
+            collective_latency: 0.0,
+        }
+    }
+
+    fn steps_uniform(ranks: usize, steps: usize, secs: f64) -> Vec<StepWorkload> {
+        (0..steps)
+            .map(|_| StepWorkload { compute_seconds: vec![secs; ranks], messages: vec![] })
+            .collect()
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let t = simulate(&[], &machine(), SyncMode::BulkSynchronous).unwrap();
+        assert_eq!(t.total_seconds, 0.0);
+        assert_eq!(t.events_processed, 0);
+    }
+
+    #[test]
+    fn uniform_compute_no_messages() {
+        let steps = steps_uniform(4, 3, 2.0);
+        for mode in [SyncMode::BulkSynchronous, SyncMode::NeighborSync] {
+            let t = simulate(&steps, &machine(), mode).unwrap();
+            assert!((t.total_seconds - 6.0).abs() < 1e-12, "{mode:?}");
+            assert!(t.rank_idle.iter().all(|&i| i.abs() < 1e-12));
+            assert_eq!(t.step_finish, vec![2.0, 4.0, 6.0]);
+        }
+    }
+
+    #[test]
+    fn barrier_takes_per_step_max() {
+        // rank loads alternate: step0 = [3,1], step1 = [1,3].
+        let steps = vec![
+            StepWorkload { compute_seconds: vec![3.0, 1.0], messages: vec![] },
+            StepWorkload { compute_seconds: vec![1.0, 3.0], messages: vec![] },
+        ];
+        let t = simulate(&steps, &machine(), SyncMode::BulkSynchronous).unwrap();
+        // barrier: step0 ends at 3, step1 ends at 3+3=6
+        assert!((t.total_seconds - 6.0).abs() < 1e-12);
+        // rank1 idled 2s at the first barrier; rank0 none before its finish
+        assert!((t.rank_idle[1] - 2.0).abs() < 1e-12);
+        // neighbor sync: rank1 runs 1+3 = 4, rank0 runs 3+1 = 4
+        let t = simulate(&steps, &machine(), SyncMode::NeighborSync).unwrap();
+        assert!((t.total_seconds - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn message_delays_receiver() {
+        // rank0 computes 2s then sends 10 bytes to rank1 (msg time = 0.5 + 1.0).
+        // rank1 computes 0.5s, then must wait for the message.
+        let steps = vec![
+            StepWorkload {
+                compute_seconds: vec![2.0, 0.5],
+                messages: vec![(0, 1, 10)],
+            },
+            StepWorkload { compute_seconds: vec![0.1, 0.1], messages: vec![] },
+        ];
+        let t = simulate(&steps, &machine(), SyncMode::NeighborSync).unwrap();
+        // message arrives at 2 + 1.5 = 3.5; rank1 starts step1 at 3.5,
+        // finishes at 3.6. rank0 finishes at 2.1.
+        assert!((t.rank_finish[1] - 3.6).abs() < 1e-12);
+        assert!((t.rank_finish[0] - 2.1).abs() < 1e-12);
+        // rank1 idled 3.0 seconds waiting
+        assert!((t.rank_idle[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sender_runs_ahead_of_slow_receiver() {
+        // rank0 is fast and sends to rank1 every step; rank1 is slow. In
+        // neighbor-sync mode rank0 must be able to finish all steps while
+        // rank1 is still on step 0 — messages for future steps arrive early
+        // and are buffered.
+        let steps = vec![
+            StepWorkload { compute_seconds: vec![0.1, 10.0], messages: vec![(0, 1, 1)] };
+            4
+        ];
+        let t = simulate(&steps, &machine(), SyncMode::NeighborSync).unwrap();
+        // rank0: 4 × 0.1 = 0.4 total, unaffected by rank1
+        assert!((t.rank_finish[0] - 0.4).abs() < 1e-12, "{}", t.rank_finish[0]);
+        // rank1: messages always arrive before its compute ends → 40s
+        assert!((t.rank_finish[1] - 40.0).abs() < 1e-12, "{}", t.rank_finish[1]);
+        assert!(t.rank_idle[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn barrier_never_faster_than_neighbor() {
+        let steps = vec![
+            StepWorkload { compute_seconds: vec![1.0, 4.0, 2.0], messages: vec![(1, 0, 100)] },
+            StepWorkload { compute_seconds: vec![3.0, 1.0, 1.0], messages: vec![(0, 2, 10)] },
+            StepWorkload { compute_seconds: vec![2.0, 2.0, 5.0], messages: vec![] },
+        ];
+        let b = simulate(&steps, &machine(), SyncMode::BulkSynchronous).unwrap();
+        let n = simulate(&steps, &machine(), SyncMode::NeighborSync).unwrap();
+        assert!(b.total_seconds >= n.total_seconds - 1e-12);
+    }
+
+    #[test]
+    fn compute_scale_multiplies_time() {
+        let steps = steps_uniform(2, 2, 1.0);
+        let mut m = machine();
+        m.compute_scale = 3.0;
+        let t = simulate(&steps, &m, SyncMode::BulkSynchronous).unwrap();
+        assert!((t.total_seconds - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let steps = vec![
+            StepWorkload {
+                compute_seconds: vec![1.0, 1.0, 1.0, 1.0],
+                messages: vec![(0, 1, 5), (2, 3, 7), (1, 0, 3), (3, 2, 9)],
+            };
+            5
+        ];
+        let a = simulate(&steps, &machine(), SyncMode::NeighborSync).unwrap();
+        let b = simulate(&steps, &machine(), SyncMode::NeighborSync).unwrap();
+        assert_eq!(a, b);
+        assert!(a.events_processed > 0);
+    }
+
+    #[test]
+    fn invalid_schedules_are_rejected() {
+        // inconsistent rank counts
+        let steps = vec![
+            StepWorkload { compute_seconds: vec![1.0, 1.0], messages: vec![] },
+            StepWorkload { compute_seconds: vec![1.0], messages: vec![] },
+        ];
+        assert!(simulate(&steps, &machine(), SyncMode::NeighborSync).is_err());
+        // message endpoint out of range
+        let steps = vec![StepWorkload { compute_seconds: vec![1.0], messages: vec![(0, 5, 1)] }];
+        assert!(simulate(&steps, &machine(), SyncMode::NeighborSync).is_err());
+        // zero ranks
+        let steps = vec![StepWorkload { compute_seconds: vec![], messages: vec![] }];
+        assert!(simulate(&steps, &machine(), SyncMode::NeighborSync).is_err());
+    }
+
+    #[test]
+    fn idle_fraction_reflects_imbalance() {
+        // one hot rank, three idle ranks, barrier mode
+        let steps = vec![
+            StepWorkload { compute_seconds: vec![10.0, 1.0, 1.0, 1.0], messages: vec![] };
+            3
+        ];
+        let t = simulate(&steps, &machine(), SyncMode::BulkSynchronous).unwrap();
+        assert!((t.total_seconds - 30.0).abs() < 1e-9);
+        assert!(t.mean_idle_fraction() > 0.6, "{}", t.mean_idle_fraction());
+    }
+
+    #[test]
+    fn collective_latency_charges_each_barrier() {
+        let steps = steps_uniform(4, 3, 1.0);
+        let mut m = machine();
+        m.collective_latency = 0.5;
+        // 4 ranks → ceil(log2 4) = 2 stages → 1.0 s per barrier, 3 barriers
+        let with = simulate(&steps, &m, SyncMode::BulkSynchronous).unwrap();
+        let without = simulate(&steps, &machine(), SyncMode::BulkSynchronous).unwrap();
+        assert!((with.total_seconds - (without.total_seconds + 3.0)).abs() < 1e-12);
+        // neighbor sync pays no barriers
+        let n = simulate(&steps, &m, SyncMode::NeighborSync).unwrap();
+        assert!((n.total_seconds - without.total_seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn torus_topology_slows_distant_messages() {
+        use crate::topology::Topology;
+        // one message between torus-opposite ranks vs adjacent ranks
+        let mk = |to: u32| vec![
+            StepWorkload { compute_seconds: vec![1.0; 8], messages: vec![(0, to, 0)] },
+            StepWorkload { compute_seconds: vec![0.0; 8], messages: vec![] },
+        ];
+        let mut m = machine();
+        m.topology = Topology::Torus3D { x: 2, y: 2, z: 2 };
+        // rank 7 = (1,1,1): 3 hops from rank 0; rank 1: 1 hop
+        let near = simulate(&mk(1), &m, SyncMode::BulkSynchronous).unwrap();
+        let far = simulate(&mk(7), &m, SyncMode::BulkSynchronous).unwrap();
+        assert!(
+            (far.total_seconds - near.total_seconds - 2.0 * m.link_latency).abs() < 1e-12,
+            "far {} near {}",
+            far.total_seconds,
+            near.total_seconds
+        );
+    }
+
+    #[test]
+    fn self_messages_are_delivered() {
+        // a rank "sending to itself" (possible if a comm matrix kept a
+        // diagonal entry) must not deadlock
+        let steps = vec![
+            StepWorkload { compute_seconds: vec![1.0], messages: vec![(0, 0, 10)] },
+            StepWorkload { compute_seconds: vec![1.0], messages: vec![] },
+        ];
+        let t = simulate(&steps, &machine(), SyncMode::NeighborSync).unwrap();
+        // step0 ready at max(1.0, 1.0 + 1.5) = 2.5; finish = 2.5 + 1.0
+        assert!((t.total_seconds - 3.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests: discrete-event simulation invariants over random
+//! PIC-shaped schedules.
+
+use pic_des::{simulate, MachineSpec, StepWorkload, SyncMode};
+use proptest::prelude::*;
+
+fn machine() -> MachineSpec {
+    MachineSpec {
+        name: "prop".into(),
+        nodes: 1,
+        cores_per_node: 8,
+        compute_scale: 1.0,
+        link_latency: 1e-3,
+        link_bandwidth: 1e6,
+        topology: Default::default(),
+        collective_latency: 0.0,
+    }
+}
+
+fn schedule_strategy() -> impl Strategy<Value = Vec<StepWorkload>> {
+    (1usize..6, 1usize..8).prop_flat_map(|(ranks, steps)| {
+        proptest::collection::vec(
+            (
+                proptest::collection::vec(0.0..2.0f64, ranks..=ranks),
+                proptest::collection::vec(
+                    (0..ranks as u32, 0..ranks as u32, 0u64..10_000),
+                    0..6,
+                ),
+            )
+                .prop_map(|(compute_seconds, messages)| StepWorkload {
+                    compute_seconds,
+                    messages,
+                }),
+            steps..=steps,
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn total_time_at_least_critical_path(sched in schedule_strategy()) {
+        // lower bound: sum over steps of the per-step max compute
+        let lb: f64 = sched
+            .iter()
+            .map(|s| s.compute_seconds.iter().cloned().fold(0.0f64, f64::max))
+            .sum();
+        for mode in [SyncMode::BulkSynchronous, SyncMode::NeighborSync] {
+            let t = simulate(&sched, &machine(), mode).unwrap();
+            // neighbor-sync's true lower bound is the max single-rank chain,
+            // but bulk-sync must meet the per-step-max bound exactly or above
+            if mode == SyncMode::BulkSynchronous {
+                prop_assert!(t.total_seconds >= lb - 1e-9, "{mode:?}: {} < {lb}", t.total_seconds);
+            }
+            // and never below the busiest single rank's own compute
+            let rank_lb = (0..sched[0].compute_seconds.len())
+                .map(|r| sched.iter().map(|s| s.compute_seconds[r]).sum::<f64>())
+                .fold(0.0f64, f64::max);
+            prop_assert!(t.total_seconds >= rank_lb - 1e-9);
+        }
+    }
+
+    #[test]
+    fn barrier_dominates_neighbor(sched in schedule_strategy()) {
+        let b = simulate(&sched, &machine(), SyncMode::BulkSynchronous).unwrap();
+        let n = simulate(&sched, &machine(), SyncMode::NeighborSync).unwrap();
+        prop_assert!(b.total_seconds >= n.total_seconds - 1e-9);
+    }
+
+    #[test]
+    fn simulation_is_deterministic(sched in schedule_strategy()) {
+        let a = simulate(&sched, &machine(), SyncMode::NeighborSync).unwrap();
+        let b = simulate(&sched, &machine(), SyncMode::NeighborSync).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn step_finish_is_monotone(sched in schedule_strategy()) {
+        let t = simulate(&sched, &machine(), SyncMode::BulkSynchronous).unwrap();
+        for w in t.step_finish.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-12);
+        }
+        prop_assert!(t.total_seconds >= *t.step_finish.last().unwrap() - 1e-9);
+    }
+
+    #[test]
+    fn slower_network_never_speeds_things_up(sched in schedule_strategy()) {
+        let fast = machine();
+        let mut slow = machine();
+        slow.link_latency *= 100.0;
+        slow.link_bandwidth /= 100.0;
+        for mode in [SyncMode::BulkSynchronous, SyncMode::NeighborSync] {
+            let tf = simulate(&sched, &fast, mode).unwrap();
+            let ts = simulate(&sched, &slow, mode).unwrap();
+            prop_assert!(ts.total_seconds >= tf.total_seconds - 1e-9, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn compute_scale_scales_compute_only_runs(sched in schedule_strategy(), scale in 1.0..5.0f64) {
+        // strip messages: then total time scales exactly with compute_scale
+        let stripped: Vec<StepWorkload> = sched
+            .iter()
+            .map(|s| StepWorkload { compute_seconds: s.compute_seconds.clone(), messages: vec![] })
+            .collect();
+        let base = simulate(&stripped, &machine(), SyncMode::BulkSynchronous).unwrap();
+        let mut m = machine();
+        m.compute_scale = scale;
+        let scaled = simulate(&stripped, &m, SyncMode::BulkSynchronous).unwrap();
+        prop_assert!(
+            (scaled.total_seconds - scale * base.total_seconds).abs()
+                <= 1e-9 * scaled.total_seconds.max(1.0)
+        );
+    }
+
+    #[test]
+    fn idle_times_are_bounded(sched in schedule_strategy()) {
+        for mode in [SyncMode::BulkSynchronous, SyncMode::NeighborSync] {
+            let t = simulate(&sched, &machine(), mode).unwrap();
+            for &idle in &t.rank_idle {
+                prop_assert!(idle >= -1e-12);
+                prop_assert!(idle <= t.total_seconds + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn events_count_matches_schedule(sched in schedule_strategy()) {
+        let t = simulate(&sched, &machine(), SyncMode::NeighborSync).unwrap();
+        let ranks = sched[0].compute_seconds.len() as u64;
+        let msgs: u64 = sched.iter().map(|s| s.messages.len() as u64).sum();
+        prop_assert_eq!(t.events_processed, ranks * sched.len() as u64 + msgs);
+    }
+}

@@ -1,0 +1,20 @@
+//! # pic-grid
+//!
+//! The Eulerian substrate of the framework: a structured spectral-element
+//! mesh ([`ElementMesh`]), Gauss–Lobatto–Legendre intra-element grid points
+//! ([`gll`]), and the recursive-coordinate-bisection decomposition of
+//! elements onto processors ([`RcbDecomposition`]) that CMT-nek inherits
+//! from Nek5000 (paper §III-A, ref \[20\]).
+//!
+//! The mesh is the *static* half of a PIC computation: elements never move,
+//! so the decomposition is computed once; all irregularity comes from
+//! particles moving across the (fixed) processor domains.
+
+#![warn(missing_docs)]
+
+pub mod decomp;
+pub mod gll;
+pub mod mesh;
+
+pub use decomp::RcbDecomposition;
+pub use mesh::{ElementMesh, MeshDims};

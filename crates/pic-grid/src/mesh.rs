@@ -1,0 +1,324 @@
+//! Structured spectral-element mesh.
+//!
+//! CMT-nek decomposes its computational domain into hexahedral *spectral
+//! elements*, each carrying an `N × N × N` grid of Gauss–Lobatto–Legendre
+//! points. For the workload generator only the element geometry matters:
+//! which element a particle position falls in, what the element's bounding
+//! box is, and which rank stores it. [`ElementMesh`] provides those queries
+//! in O(1) for a structured brick of elements.
+
+use pic_types::{Aabb, ElementId, PicError, Result, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Number of elements along each axis of the structured mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MeshDims {
+    /// Elements along x.
+    pub nx: usize,
+    /// Elements along y.
+    pub ny: usize,
+    /// Elements along z.
+    pub nz: usize,
+}
+
+impl MeshDims {
+    /// Construct dims; all axes must be non-zero.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> MeshDims {
+        MeshDims { nx, ny, nz }
+    }
+
+    /// A cube of `n` elements per side.
+    pub fn cube(n: usize) -> MeshDims {
+        MeshDims::new(n, n, n)
+    }
+
+    /// Total element count `nx * ny * nz`.
+    pub fn count(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Dims as an array `[nx, ny, nz]`.
+    pub fn to_array(&self) -> [usize; 3] {
+        [self.nx, self.ny, self.nz]
+    }
+}
+
+/// A structured mesh of hexahedral spectral elements filling a box domain.
+///
+/// Elements are indexed in x-fastest (lexicographic) order:
+/// `id = ix + nx * (iy + ny * iz)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ElementMesh {
+    domain: Aabb,
+    dims: MeshDims,
+    /// Edge length of one element on each axis.
+    h: Vec3,
+    /// Grid resolution within an element (GLL points per direction), the
+    /// paper's parameter `N`.
+    order: usize,
+}
+
+impl ElementMesh {
+    /// Build a mesh of `dims` elements tiling `domain`, each element carrying
+    /// `order`³ grid points (`order ≥ 2`).
+    pub fn new(domain: Aabb, dims: MeshDims, order: usize) -> Result<ElementMesh> {
+        if domain.is_empty() || domain.volume() <= 0.0 {
+            return Err(PicError::geometry("mesh domain must have positive volume"));
+        }
+        if dims.nx == 0 || dims.ny == 0 || dims.nz == 0 {
+            return Err(PicError::config("mesh dims must be non-zero on every axis"));
+        }
+        if order < 2 {
+            return Err(PicError::config("element order (N) must be at least 2"));
+        }
+        let e = domain.extent();
+        let h = Vec3::new(e.x / dims.nx as f64, e.y / dims.ny as f64, e.z / dims.nz as f64);
+        Ok(ElementMesh { domain, dims, h, order })
+    }
+
+    /// The full mesh domain.
+    pub fn domain(&self) -> Aabb {
+        self.domain
+    }
+
+    /// Element counts per axis.
+    pub fn dims(&self) -> MeshDims {
+        self.dims
+    }
+
+    /// Total number of spectral elements (the paper's `N_el` at full scale).
+    pub fn element_count(&self) -> usize {
+        self.dims.count()
+    }
+
+    /// Grid resolution within an element (the paper's `N`).
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Total grid points in the mesh: `N_el * N³`.
+    pub fn grid_point_count(&self) -> usize {
+        self.element_count() * self.order.pow(3)
+    }
+
+    /// Element edge lengths.
+    pub fn element_size(&self) -> Vec3 {
+        self.h
+    }
+
+    /// Lexicographic element id from per-axis indices.
+    ///
+    /// Panics in debug builds if an index is out of range.
+    #[inline]
+    pub fn element_id(&self, ix: usize, iy: usize, iz: usize) -> ElementId {
+        debug_assert!(ix < self.dims.nx && iy < self.dims.ny && iz < self.dims.nz);
+        ElementId::from_index(ix + self.dims.nx * (iy + self.dims.ny * iz))
+    }
+
+    /// Per-axis indices of an element id.
+    #[inline]
+    pub fn element_indices(&self, id: ElementId) -> (usize, usize, usize) {
+        let i = id.index();
+        let ix = i % self.dims.nx;
+        let iy = (i / self.dims.nx) % self.dims.ny;
+        let iz = i / (self.dims.nx * self.dims.ny);
+        (ix, iy, iz)
+    }
+
+    /// The element containing point `p`, or `None` if `p` lies outside the
+    /// domain. Points exactly on the domain's max face are clamped into the
+    /// last element so that closed-domain particles always map somewhere.
+    #[inline]
+    pub fn element_of_point(&self, p: Vec3) -> Option<ElementId> {
+        if !self.domain.contains_closed(p) {
+            return None;
+        }
+        let rel = p - self.domain.min;
+        let clamp_idx = |v: f64, h: f64, n: usize| -> usize {
+            let i = (v / h).floor() as isize;
+            i.clamp(0, n as isize - 1) as usize
+        };
+        let ix = clamp_idx(rel.x, self.h.x, self.dims.nx);
+        let iy = clamp_idx(rel.y, self.h.y, self.dims.ny);
+        let iz = clamp_idx(rel.z, self.h.z, self.dims.nz);
+        Some(self.element_id(ix, iy, iz))
+    }
+
+    /// Bounding box of element `id`.
+    pub fn element_aabb(&self, id: ElementId) -> Aabb {
+        let (ix, iy, iz) = self.element_indices(id);
+        let min = self.domain.min
+            + Vec3::new(ix as f64 * self.h.x, iy as f64 * self.h.y, iz as f64 * self.h.z);
+        Aabb::new(min, min + self.h)
+    }
+
+    /// Centroid of element `id`.
+    pub fn element_centroid(&self, id: ElementId) -> Vec3 {
+        self.element_aabb(id).center()
+    }
+
+    /// Face-adjacent neighbour elements of `id` (up to 6).
+    pub fn neighbors(&self, id: ElementId) -> Vec<ElementId> {
+        let (ix, iy, iz) = self.element_indices(id);
+        let mut out = Vec::with_capacity(6);
+        let dims = [self.dims.nx, self.dims.ny, self.dims.nz];
+        let idx = [ix, iy, iz];
+        for axis in 0..3 {
+            for delta in [-1isize, 1] {
+                let v = idx[axis] as isize + delta;
+                if v >= 0 && (v as usize) < dims[axis] {
+                    let mut n = idx;
+                    n[axis] = v as usize;
+                    out.push(self.element_id(n[0], n[1], n[2]));
+                }
+            }
+        }
+        out
+    }
+
+    /// All element ids whose boxes intersect `query` (closed comparison).
+    ///
+    /// Runs in O(k) where k is the number of overlapped elements, by
+    /// intersecting index ranges rather than scanning all elements. Used to
+    /// find the processor domains a particle's projection-filter sphere
+    /// touches.
+    pub fn elements_in_aabb(&self, query: &Aabb) -> Vec<ElementId> {
+        let mut out = Vec::new();
+        if !self.domain.intersects(query) {
+            return out;
+        }
+        let lo = (query.min - self.domain.min).max(Vec3::ZERO);
+        let hi = (query.max - self.domain.min).min(self.domain.extent());
+        let range = |v_lo: f64, v_hi: f64, h: f64, n: usize| -> (usize, usize) {
+            let a = ((v_lo / h).floor() as isize).clamp(0, n as isize - 1) as usize;
+            let b = ((v_hi / h).floor() as isize).clamp(0, n as isize - 1) as usize;
+            (a, b)
+        };
+        let (x0, x1) = range(lo.x, hi.x, self.h.x, self.dims.nx);
+        let (y0, y1) = range(lo.y, hi.y, self.h.y, self.dims.ny);
+        let (z0, z1) = range(lo.z, hi.z, self.h.z, self.dims.nz);
+        for iz in z0..=z1 {
+            for iy in y0..=y1 {
+                for ix in x0..=x1 {
+                    out.push(self.element_id(ix, iy, iz));
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterate over all element ids in lexicographic order.
+    pub fn element_ids(&self) -> impl Iterator<Item = ElementId> + '_ {
+        (0..self.element_count()).map(ElementId::from_index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh4() -> ElementMesh {
+        ElementMesh::new(Aabb::unit(), MeshDims::cube(4), 5).unwrap()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(ElementMesh::new(Aabb::unit(), MeshDims::new(0, 1, 1), 5).is_err());
+        assert!(ElementMesh::new(Aabb::unit(), MeshDims::cube(2), 1).is_err());
+        assert!(ElementMesh::new(Aabb::empty(), MeshDims::cube(2), 5).is_err());
+        let m = mesh4();
+        assert_eq!(m.element_count(), 64);
+        assert_eq!(m.grid_point_count(), 64 * 125);
+        assert_eq!(m.order(), 5);
+    }
+
+    #[test]
+    fn id_index_roundtrip() {
+        let m = mesh4();
+        for id in m.element_ids() {
+            let (ix, iy, iz) = m.element_indices(id);
+            assert_eq!(m.element_id(ix, iy, iz), id);
+        }
+    }
+
+    #[test]
+    fn point_lookup_matches_aabb() {
+        let m = mesh4();
+        for id in m.element_ids() {
+            let c = m.element_centroid(id);
+            assert_eq!(m.element_of_point(c), Some(id));
+            assert!(m.element_aabb(id).contains(c));
+        }
+    }
+
+    #[test]
+    fn outside_points_return_none() {
+        let m = mesh4();
+        assert_eq!(m.element_of_point(Vec3::new(1.5, 0.5, 0.5)), None);
+        assert_eq!(m.element_of_point(Vec3::new(-0.1, 0.5, 0.5)), None);
+    }
+
+    #[test]
+    fn max_face_points_are_owned() {
+        let m = mesh4();
+        // Point exactly on the domain max corner maps into the last element.
+        let last = m.element_id(3, 3, 3);
+        assert_eq!(m.element_of_point(Vec3::ONE), Some(last));
+    }
+
+    #[test]
+    fn element_boxes_tile_domain() {
+        let m = mesh4();
+        let total: f64 = m.element_ids().map(|id| m.element_aabb(id).volume()).sum();
+        assert!((total - m.domain().volume()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn neighbors_counts() {
+        let m = mesh4();
+        // corner element: 3 neighbours
+        assert_eq!(m.neighbors(m.element_id(0, 0, 0)).len(), 3);
+        // face-center element: 5 neighbours
+        assert_eq!(m.neighbors(m.element_id(1, 1, 0)).len(), 5);
+        // interior element: 6 neighbours
+        assert_eq!(m.neighbors(m.element_id(1, 1, 1)).len(), 6);
+    }
+
+    #[test]
+    fn neighbors_are_symmetric() {
+        let m = mesh4();
+        for id in m.element_ids() {
+            for n in m.neighbors(id) {
+                assert!(m.neighbors(n).contains(&id), "{id} <-> {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn elements_in_aabb_exact() {
+        let m = mesh4();
+        // a box covering exactly the first octant (2x2x2 elements)
+        let q = Aabb::new(Vec3::ZERO, Vec3::splat(0.49));
+        let hits = m.elements_in_aabb(&q);
+        assert_eq!(hits.len(), 8);
+        // sphere-sized query around a single centroid
+        let c = m.element_centroid(m.element_id(2, 2, 2));
+        let q = Aabb::new(c - Vec3::splat(0.01), c + Vec3::splat(0.01));
+        assert_eq!(m.elements_in_aabb(&q), vec![m.element_id(2, 2, 2)]);
+        // disjoint query
+        let q = Aabb::new(Vec3::splat(2.0), Vec3::splat(3.0));
+        assert!(m.elements_in_aabb(&q).is_empty());
+    }
+
+    #[test]
+    fn elements_in_aabb_is_consistent_with_intersects() {
+        let m = mesh4();
+        let q = Aabb::new(Vec3::new(0.2, 0.3, 0.4), Vec3::new(0.8, 0.6, 0.9));
+        let brute: Vec<_> = m
+            .element_ids()
+            .filter(|&id| m.element_aabb(id).intersects(&q))
+            .collect();
+        let fast = m.elements_in_aabb(&q);
+        assert_eq!(brute, fast);
+    }
+}

@@ -1,0 +1,407 @@
+//! Bin-based particle mapping (paper §III-C, ref \[12\]).
+//!
+//! The *particle domain* — the tight bounding box of all particles — is
+//! recursively cut by axis-aligned planes (each cut at the median particle
+//! coordinate along the bin's longest axis) into **bins**. Recursion stops
+//! for a bin when either
+//!
+//! * its size drops to the **bin-size threshold** (CMT-nek reuses the
+//!   projection filter size here — paper §IV-D), or
+//! * the total number of bins reaches the processor count.
+//!
+//! Bin `i` is assigned to processor `i`, so when the threshold caps the bin
+//! count below the processor count, the surplus processors receive no
+//! particle workload at all — the effect behind the flat region of the
+//! paper's Fig 5 and the "optimal processor count" analysis of Fig 6.
+//!
+//! Because particles move every iteration, CMT-nek rebuilds the partition
+//! each iteration; accordingly [`BinMapper::assign`] rebuilds it per trace
+//! sample.
+
+use crate::mapper::{MappingOutcome, ParticleMapper};
+use pic_types::{Aabb, PicError, Rank, Result, Vec3};
+
+/// Bin-based mapper configuration: processor count and bin-size threshold.
+#[derive(Debug, Clone)]
+pub struct BinMapper {
+    ranks: usize,
+    threshold: f64,
+}
+
+/// The result of one recursive planar-cut partition.
+#[derive(Debug, Clone)]
+pub struct BinPartition {
+    /// Tight bounding box of each bin's particles.
+    pub boxes: Vec<Aabb>,
+    /// Number of particles in each bin.
+    pub counts: Vec<u32>,
+    /// Bin index of each input particle.
+    pub assignment: Vec<u32>,
+}
+
+impl BinPartition {
+    /// Number of bins generated.
+    pub fn bin_count(&self) -> usize {
+        self.boxes.len()
+    }
+}
+
+/// Working node during partitioning.
+struct Node {
+    indices: Vec<u32>,
+    bbox: Aabb,
+    /// Set once every cut attempt on this node failed (degenerate particle
+    /// distribution), so we never retry it.
+    unsplittable: bool,
+}
+
+impl Node {
+    fn new(indices: Vec<u32>, positions: &[Vec3]) -> Node {
+        let bbox = Aabb::from_points(indices.iter().map(|&i| positions[i as usize]));
+        Node { indices, bbox, unsplittable: false }
+    }
+}
+
+impl BinMapper {
+    /// Create a bin mapper for `ranks` processors with the given bin-size
+    /// threshold (must be positive and finite).
+    pub fn new(ranks: usize, threshold: f64) -> Result<BinMapper> {
+        if ranks == 0 {
+            return Err(PicError::config("bin mapper needs at least one rank"));
+        }
+        if !(threshold.is_finite() && threshold > 0.0) {
+            return Err(PicError::config(format!(
+                "bin-size threshold must be positive and finite, got {threshold}"
+            )));
+        }
+        Ok(BinMapper { ranks, threshold })
+    }
+
+    /// The bin-size threshold (projection filter size).
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Run the recursive planar-cut partition on one sample, producing at
+    /// most `max_bins` bins.
+    ///
+    /// The splitting order is largest-particle-count-first (a max-heap of
+    /// candidates, `O(N_p log bins)` overall), which both matches the
+    /// load-balancing intent and makes the result deterministic: ties
+    /// break toward the earlier-created bin.
+    pub fn partition(&self, positions: &[Vec3], max_bins: usize) -> BinPartition {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        if positions.is_empty() {
+            return BinPartition { boxes: vec![], counts: vec![], assignment: vec![] };
+        }
+        let all: Vec<u32> = (0..positions.len() as u32).collect();
+        // Slots: split nodes are tombstoned (None); children get new slots,
+        // so every heap entry's slot index is unique — no stale entries.
+        let mut slots: Vec<Option<Node>> = vec![Some(Node::new(all, positions))];
+        let mut heap: BinaryHeap<(usize, Reverse<usize>)> = BinaryHeap::new();
+        if self.splittable(slots[0].as_ref().expect("root just created")) {
+            heap.push((positions.len(), Reverse(0)));
+        }
+        let mut bins = 1usize;
+        let mut scratch: Vec<f64> = Vec::new();
+
+        while bins < max_bins {
+            let Some((_, Reverse(i))) = heap.pop() else { break };
+            let node = slots[i].take().expect("heap entries reference live slots once");
+            match self.split(&node, positions, &mut scratch) {
+                Some((left, right)) => {
+                    bins += 1;
+                    for child in [left, right] {
+                        let idx = slots.len();
+                        let count = child.indices.len();
+                        let push = self.splittable(&child);
+                        slots.push(Some(child));
+                        if push {
+                            heap.push((count, Reverse(idx)));
+                        }
+                    }
+                }
+                None => {
+                    // No axis separates this node's particles: keep it as a
+                    // final bin and never retry.
+                    let mut node = node;
+                    node.unsplittable = true;
+                    slots[i] = Some(node);
+                }
+            }
+        }
+
+        let mut assignment = vec![0u32; positions.len()];
+        let mut boxes = Vec::with_capacity(bins);
+        let mut counts = Vec::with_capacity(bins);
+        for node in slots.into_iter().flatten() {
+            let b = boxes.len() as u32;
+            for &idx in &node.indices {
+                assignment[idx as usize] = b;
+            }
+            boxes.push(node.bbox);
+            counts.push(node.indices.len() as u32);
+        }
+        BinPartition { boxes, counts, assignment }
+    }
+
+    /// Maximum number of bins the threshold permits, ignoring the processor
+    /// count — the paper's Fig 6 analysis ("we have relaxed the processor
+    /// count limitation"). The result upper-bounds the processor count that
+    /// can receive particle workload, i.e. the *optimal* processor count.
+    pub fn unbounded_bin_count(&self, positions: &[Vec3]) -> usize {
+        self.partition(positions, usize::MAX).bin_count()
+    }
+
+    fn splittable(&self, node: &Node) -> bool {
+        !node.unsplittable
+            && node.indices.len() >= 2
+            && node.bbox.longest_extent() > self.threshold
+    }
+
+    /// Try to cut `node` at the median coordinate of its longest axis;
+    /// fall back to shorter axes when all particles share a coordinate.
+    /// Returns `None` when no axis separates the particles.
+    fn split(&self, node: &Node, positions: &[Vec3], scratch: &mut Vec<f64>) -> Option<(Node, Node)> {
+        let e = node.bbox.extent();
+        let mut axes = [0usize, 1, 2];
+        axes.sort_by(|&a, &b| {
+            e.to_array()[b].partial_cmp(&e.to_array()[a]).expect("finite extents")
+        });
+        for axis in axes {
+            scratch.clear();
+            scratch.extend(node.indices.iter().map(|&i| positions[i as usize][axis]));
+            let mid = scratch.len() / 2;
+            scratch.select_nth_unstable_by(mid, |a, b| a.partial_cmp(b).expect("finite coords"));
+            let pivot = scratch[mid];
+            let (mut left, mut right) = (Vec::new(), Vec::new());
+            for &i in &node.indices {
+                if positions[i as usize][axis] < pivot {
+                    left.push(i);
+                } else {
+                    right.push(i);
+                }
+            }
+            if !left.is_empty() && !right.is_empty() {
+                return Some((Node::new(left, positions), Node::new(right, positions)));
+            }
+        }
+        None
+    }
+}
+
+impl ParticleMapper for BinMapper {
+    fn name(&self) -> &'static str {
+        "bin-based"
+    }
+
+    fn ranks(&self) -> usize {
+        self.ranks
+    }
+
+    fn assign(&self, positions: &[Vec3]) -> MappingOutcome {
+        let part = self.partition(positions, self.ranks);
+        let mut rank_regions = vec![Aabb::empty(); self.ranks];
+        for (b, bx) in part.boxes.iter().enumerate() {
+            rank_regions[b] = *bx;
+        }
+        let ranks = part.assignment.iter().map(|&b| Rank::new(b)).collect();
+        MappingOutcome { ranks, rank_regions, bin_count: Some(part.bin_count()) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pic_types::rng::SplitMix64;
+
+    fn uniform_cloud(n: usize, half: f64, seed: u64) -> Vec<Vec3> {
+        let mut rng = SplitMix64::new(seed);
+        (0..n)
+            .map(|_| {
+                Vec3::new(
+                    rng.next_range(-half, half),
+                    rng.next_range(-half, half),
+                    rng.next_range(-half, half),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(BinMapper::new(0, 0.1).is_err());
+        assert!(BinMapper::new(4, 0.0).is_err());
+        assert!(BinMapper::new(4, -1.0).is_err());
+        assert!(BinMapper::new(4, f64::NAN).is_err());
+        assert!(BinMapper::new(4, 0.1).is_ok());
+    }
+
+    #[test]
+    fn bins_equal_ranks_for_small_threshold() {
+        let m = BinMapper::new(8, 1e-6).unwrap();
+        let pos = uniform_cloud(1000, 1.0, 1);
+        let out = m.assign(&pos);
+        assert_eq!(out.bin_count, Some(8));
+        let counts = out.counts(8);
+        assert_eq!(counts.iter().sum::<u32>(), 1000);
+        // largest-first median splitting keeps bins within 2x of each other
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(min > 0 && max <= 2 * min, "{counts:?}");
+    }
+
+    #[test]
+    fn huge_threshold_yields_single_bin() {
+        let m = BinMapper::new(8, 100.0).unwrap();
+        let pos = uniform_cloud(100, 1.0, 2);
+        let out = m.assign(&pos);
+        assert_eq!(out.bin_count, Some(1));
+        assert!(out.ranks.iter().all(|r| r.index() == 0));
+        // surplus ranks have empty regions
+        for r in 1..8 {
+            assert!(out.rank_regions[r].is_empty());
+        }
+    }
+
+    #[test]
+    fn threshold_caps_bin_count_below_ranks() {
+        // Cloud of extent 2, threshold 0.9: at most a handful of cuts are
+        // possible before every bin is below threshold, regardless of R.
+        let m = BinMapper::new(1024, 0.9).unwrap();
+        let pos = uniform_cloud(2000, 1.0, 3);
+        let out = m.assign(&pos);
+        let bins = out.bin_count.unwrap();
+        assert!(bins < 1024, "bins={bins}");
+        assert_eq!(bins, m.unbounded_bin_count(&pos));
+    }
+
+    #[test]
+    fn particles_lie_in_their_bin_box() {
+        let m = BinMapper::new(16, 1e-6).unwrap();
+        let pos = uniform_cloud(500, 1.0, 4);
+        let part = m.partition(&pos, 16);
+        for (i, &b) in part.assignment.iter().enumerate() {
+            assert!(part.boxes[b as usize].contains_closed(pos[i]));
+        }
+        let total: u32 = part.counts.iter().sum();
+        assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn bin_interiors_are_disjoint() {
+        let m = BinMapper::new(8, 1e-6).unwrap();
+        let pos = uniform_cloud(400, 1.0, 5);
+        let part = m.partition(&pos, 8);
+        // every particle is inside exactly one bin's box interior-or-boundary
+        // and bins separate along cut planes: check pairwise volume overlap
+        for a in 0..part.boxes.len() {
+            for b in (a + 1)..part.boxes.len() {
+                let ba = part.boxes[a];
+                let bb = part.boxes[b];
+                let lo = ba.min.max(bb.min);
+                let hi = ba.max.min(bb.max);
+                let overlap = (hi.x - lo.x).max(0.0) * (hi.y - lo.y).max(0.0) * (hi.z - lo.z).max(0.0);
+                assert!(overlap < 1e-12, "bins {a},{b} overlap by {overlap}");
+            }
+        }
+    }
+
+    #[test]
+    fn expanding_cloud_generates_more_bins() {
+        // The Fig 6 mechanism: same threshold, growing particle boundary →
+        // monotonically more bins available.
+        let m = BinMapper::new(usize::MAX - 1, 0.25).unwrap();
+        let mut prev = 0;
+        for &half in &[0.1, 0.3, 0.6, 1.2] {
+            let pos = uniform_cloud(2000, half, 6);
+            let bins = m.unbounded_bin_count(&pos);
+            assert!(bins >= prev, "half={half} bins={bins} prev={prev}");
+            prev = bins;
+        }
+        assert!(prev > 8);
+    }
+
+    #[test]
+    fn smaller_threshold_generates_more_bins() {
+        // The Fig 10a mechanism.
+        let pos = uniform_cloud(3000, 1.0, 7);
+        let mut prev = 0usize;
+        for &t in &[1.0, 0.5, 0.25, 0.125] {
+            let m = BinMapper::new(8, t).unwrap();
+            let bins = m.unbounded_bin_count(&pos);
+            assert!(bins >= prev, "t={t} bins={bins} prev={prev}");
+            prev = bins;
+        }
+        let coarse = BinMapper::new(8, 1.0).unwrap().unbounded_bin_count(&pos);
+        let fine = BinMapper::new(8, 0.125).unwrap().unbounded_bin_count(&pos);
+        assert!(fine > coarse);
+    }
+
+    #[test]
+    fn unbounded_bins_respect_threshold() {
+        let m = BinMapper::new(8, 0.3).unwrap();
+        let pos = uniform_cloud(1000, 1.0, 8);
+        let part = m.partition(&pos, usize::MAX);
+        for (b, bx) in part.boxes.iter().enumerate() {
+            assert!(
+                bx.longest_extent() <= 0.3 || part.counts[b] == 1,
+                "bin {b} extent {} count {}",
+                bx.longest_extent(),
+                part.counts[b]
+            );
+        }
+    }
+
+    #[test]
+    fn identical_particles_never_loop() {
+        // All particles at one point: no plane separates them; must
+        // terminate with a single bin.
+        let m = BinMapper::new(8, 1e-9).unwrap();
+        let pos = vec![Vec3::splat(0.25); 64];
+        let out = m.assign(&pos);
+        assert_eq!(out.bin_count, Some(1));
+    }
+
+    #[test]
+    fn collinear_particles_split_along_their_axis() {
+        // Particles on a line along z: x/y cuts impossible, z cuts fine.
+        let m = BinMapper::new(4, 1e-6).unwrap();
+        let pos: Vec<Vec3> = (0..64).map(|i| Vec3::new(0.5, 0.5, i as f64 / 64.0)).collect();
+        let out = m.assign(&pos);
+        assert_eq!(out.bin_count, Some(4));
+        let counts = out.counts(4);
+        assert!(counts.iter().all(|&c| c == 16), "{counts:?}");
+    }
+
+    #[test]
+    fn empty_positions_produce_no_bins() {
+        let m = BinMapper::new(4, 0.1).unwrap();
+        let out = m.assign(&[]);
+        assert_eq!(out.bin_count, Some(0));
+        assert!(out.ranks.is_empty());
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let m = BinMapper::new(16, 0.05).unwrap();
+        let pos = uniform_cloud(1000, 1.0, 9);
+        let a = m.partition(&pos, 16);
+        let b = m.partition(&pos, 16);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.boxes, b.boxes);
+    }
+
+    #[test]
+    fn concentrated_cloud_still_balances() {
+        // The headline contrast with element mapping: a tightly packed bed
+        // still spreads across all ranks.
+        let m = BinMapper::new(8, 1e-9).unwrap();
+        let pos = uniform_cloud(800, 0.01, 10); // tiny region
+        let out = m.assign(&pos);
+        let counts = out.counts(8);
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+    }
+}

@@ -1,0 +1,172 @@
+//! Element-based particle mapping (paper §III-B).
+//!
+//! A particle is stored on the rank that owns the spectral element it
+//! currently resides in, so all fluid–particle interpolation/projection is
+//! rank-local. The price is load imbalance: workload follows particle
+//! density, and in explosive-dispersal problems most particles start packed
+//! into a handful of elements.
+
+use crate::mapper::{MappingOutcome, ParticleMapper};
+use pic_grid::{ElementMesh, RcbDecomposition};
+use pic_types::{Aabb, Rank, Result, Vec3};
+
+/// Element-based mapper: `R_p = owner(element_of(particle position))`.
+#[derive(Debug, Clone)]
+pub struct ElementMapper {
+    mesh: ElementMesh,
+    decomp: RcbDecomposition,
+    regions: Vec<Aabb>,
+}
+
+impl ElementMapper {
+    /// Build a mapper for `ranks` processors over `mesh`, decomposing the
+    /// elements with recursive coordinate bisection.
+    pub fn new(mesh: &ElementMesh, ranks: usize) -> Result<ElementMapper> {
+        let decomp = RcbDecomposition::decompose(mesh, ranks)?;
+        Self::with_decomposition(mesh, decomp)
+    }
+
+    /// Build a mapper from an existing element decomposition.
+    pub fn with_decomposition(
+        mesh: &ElementMesh,
+        decomp: RcbDecomposition,
+    ) -> Result<ElementMapper> {
+        let regions = Rank::all(decomp.ranks()).map(|r| decomp.rank_region(r)).collect();
+        Ok(ElementMapper { mesh: mesh.clone(), decomp, regions })
+    }
+
+    /// The underlying element decomposition.
+    pub fn decomposition(&self) -> &RcbDecomposition {
+        &self.decomp
+    }
+
+    /// The mesh this mapper operates on.
+    pub fn mesh(&self) -> &ElementMesh {
+        &self.mesh
+    }
+
+    /// Residing rank of a single position. Positions outside the domain are
+    /// clamped onto it first (a particle that drifted out numerically is
+    /// kept by its nearest boundary element, matching production PIC codes
+    /// that reflect or absorb at walls rather than dropping particles).
+    #[inline]
+    pub fn rank_of(&self, p: Vec3) -> Rank {
+        let domain = self.mesh.domain();
+        let q = p.clamp(domain.min, domain.max);
+        self.decomp
+            .rank_of_point(&self.mesh, q)
+            .expect("clamped point must be inside the domain")
+    }
+}
+
+impl ParticleMapper for ElementMapper {
+    fn name(&self) -> &'static str {
+        "element-based"
+    }
+
+    fn ranks(&self) -> usize {
+        self.decomp.ranks()
+    }
+
+    fn assign(&self, positions: &[Vec3]) -> MappingOutcome {
+        let mut ranks = Vec::with_capacity(positions.len());
+        for &p in positions {
+            ranks.push(self.rank_of(p));
+        }
+        MappingOutcome { ranks, rank_regions: self.regions.clone(), bin_count: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pic_grid::MeshDims;
+
+    fn mapper(ranks: usize) -> ElementMapper {
+        let mesh = ElementMesh::new(Aabb::unit(), MeshDims::cube(4), 5).unwrap();
+        ElementMapper::new(&mesh, ranks).unwrap()
+    }
+
+    #[test]
+    fn particles_map_to_element_owner() {
+        let m = mapper(8);
+        let mesh = m.mesh().clone();
+        for id in mesh.element_ids() {
+            let c = mesh.element_centroid(id);
+            assert_eq!(m.rank_of(c), m.decomposition().rank_of_element(id));
+        }
+    }
+
+    #[test]
+    fn out_of_domain_particles_are_clamped() {
+        let m = mapper(8);
+        let inside = m.rank_of(Vec3::new(0.99, 0.99, 0.99));
+        let outside = m.rank_of(Vec3::new(5.0, 5.0, 5.0));
+        assert_eq!(inside, outside);
+    }
+
+    #[test]
+    fn concentrated_particles_land_on_one_rank() {
+        // The element-mapping pathology the paper builds on: all particles
+        // in one corner element → a single rank holds everything.
+        let m = mapper(8);
+        let positions: Vec<Vec3> = (0..100)
+            .map(|i| Vec3::splat(0.01 + (i as f64) * 0.0005))
+            .collect();
+        let out = m.assign(&positions);
+        let counts = out.counts(8);
+        assert_eq!(counts.iter().filter(|&&c| c > 0).count(), 1);
+        assert_eq!(counts.iter().sum::<u32>(), 100);
+    }
+
+    #[test]
+    fn uniform_particles_spread_over_all_ranks() {
+        let m = mapper(8);
+        let mut positions = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                for k in 0..10 {
+                    positions.push(Vec3::new(
+                        0.05 + i as f64 * 0.1,
+                        0.05 + j as f64 * 0.1,
+                        0.05 + k as f64 * 0.1,
+                    ));
+                }
+            }
+        }
+        let out = m.assign(&positions);
+        let counts = out.counts(8);
+        assert!(counts.iter().all(|&c| c == 125), "{counts:?}");
+    }
+
+    #[test]
+    fn regions_match_decomposition() {
+        let m = mapper(4);
+        let out = m.assign(&[Vec3::splat(0.5)]);
+        assert_eq!(out.rank_regions.len(), 4);
+        for r in Rank::all(4) {
+            assert_eq!(out.rank_regions[r.index()], m.decomposition().rank_region(r));
+        }
+        assert_eq!(out.bin_count, None);
+        assert_eq!(m.name(), "element-based");
+        assert_eq!(m.ranks(), 4);
+    }
+
+    #[test]
+    fn assignment_is_region_consistent() {
+        // every particle must lie inside its assigned rank's region
+        let m = mapper(8);
+        let mut positions = Vec::new();
+        for i in 0..50 {
+            positions.push(Vec3::new(
+                (i as f64 * 0.137) % 1.0,
+                (i as f64 * 0.311) % 1.0,
+                (i as f64 * 0.523) % 1.0,
+            ));
+        }
+        let out = m.assign(&positions);
+        for (p, r) in positions.iter().zip(&out.ranks) {
+            assert!(out.rank_regions[r.index()].contains_closed(*p));
+        }
+    }
+}

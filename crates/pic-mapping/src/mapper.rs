@@ -1,0 +1,102 @@
+//! The [`ParticleMapper`] abstraction and its per-sample output.
+
+use pic_types::{Aabb, Rank, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Which particle mapping algorithm a configuration selects.
+///
+/// This is the `mapping algorithm` field of the framework's configuration
+/// file (paper Fig 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum MappingAlgorithm {
+    /// Particle lives with its containing spectral element (§III-B).
+    ElementBased,
+    /// Recursive planar-cut particle bins (§III-C).
+    BinBased,
+    /// Hilbert-ordered even split (related work, ref \[10\]).
+    HilbertOrdered,
+    /// Weighted element partitioning (related work, ref \[11\]).
+    LoadBalanced,
+}
+
+impl std::fmt::Display for MappingAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            MappingAlgorithm::ElementBased => "element-based",
+            MappingAlgorithm::BinBased => "bin-based",
+            MappingAlgorithm::HilbertOrdered => "hilbert-ordered",
+            MappingAlgorithm::LoadBalanced => "load-balanced",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result of mapping one trace sample's particle positions onto processors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingOutcome {
+    /// Residing rank `R_p` of each particle, parallel to the input
+    /// positions slice.
+    pub ranks: Vec<Rank>,
+    /// Spatial region each rank's particle workload occupies at this sample.
+    /// Element-based: the rank's (static) element brick. Bin-based: the
+    /// rank's bin box (empty for ranks beyond the bin count). The ghost
+    /// generator intersects projection-filter spheres against these.
+    pub rank_regions: Vec<Aabb>,
+    /// Number of particle bins generated at this sample (bin-based mapping
+    /// only; `None` for mappings without a bin concept).
+    pub bin_count: Option<usize>,
+}
+
+impl MappingOutcome {
+    /// Per-rank particle counts implied by the assignment.
+    pub fn counts(&self, ranks: usize) -> Vec<u32> {
+        let mut counts = vec![0u32; ranks];
+        for r in &self.ranks {
+            counts[r.index()] += 1;
+        }
+        counts
+    }
+}
+
+/// A particle mapping algorithm: assigns every particle of a sample to its
+/// residing processor.
+///
+/// Implementations are stateless across samples (`&self`) so that the
+/// workload generator can process trace samples in parallel; any per-sample
+/// state (e.g. the bin partition, which CMT-nek recomputes every iteration)
+/// is built inside `assign`.
+pub trait ParticleMapper: Send + Sync {
+    /// Short algorithm name for reports and configs.
+    fn name(&self) -> &'static str;
+
+    /// Processor count the mapper targets.
+    fn ranks(&self) -> usize;
+
+    /// Map one sample's positions to residing ranks.
+    fn assign(&self, positions: &[Vec3]) -> MappingOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_serde_kebab_case() {
+        let s = serde_json::to_string(&MappingAlgorithm::BinBased).unwrap();
+        assert_eq!(s, "\"bin-based\"");
+        let a: MappingAlgorithm = serde_json::from_str("\"element-based\"").unwrap();
+        assert_eq!(a, MappingAlgorithm::ElementBased);
+        assert_eq!(MappingAlgorithm::HilbertOrdered.to_string(), "hilbert-ordered");
+    }
+
+    #[test]
+    fn outcome_counts() {
+        let o = MappingOutcome {
+            ranks: vec![Rank::new(0), Rank::new(2), Rank::new(2)],
+            rank_regions: vec![Aabb::empty(); 3],
+            bin_count: None,
+        };
+        assert_eq!(o.counts(3), vec![1, 0, 2]);
+    }
+}

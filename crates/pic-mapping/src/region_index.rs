@@ -1,0 +1,245 @@
+//! Uniform-grid spatial index over per-rank regions.
+//!
+//! Ghost-particle generation must answer, for every particle, "which rank
+//! regions does this projection-filter sphere touch?". A linear scan over
+//! `R` regions per particle is `O(N_p · R)` — hopeless at the paper's scale
+//! (600 k particles × 8352 ranks). [`RegionIndex`] hashes the regions into a
+//! uniform cell grid once per sample (`O(R)`), making each sphere query
+//! `O(cells touched × occupancy)`.
+//!
+//! The index is mapper-agnostic: it only sees the `rank_regions` field of a
+//! [`MappingOutcome`](crate::MappingOutcome), so element bricks, bin boxes,
+//! and Hilbert chunk hulls are all handled identically.
+
+use pic_types::{Aabb, Rank, Vec3};
+
+/// Spatial index over `(region, rank)` pairs.
+#[derive(Debug, Clone)]
+pub struct RegionIndex {
+    bounds: Aabb,
+    dims: [usize; 3],
+    inv_cell: Vec3,
+    /// Flat cell buckets of region indices.
+    buckets: Vec<Vec<u32>>,
+    regions: Vec<Aabb>,
+}
+
+impl RegionIndex {
+    /// Build an index over `regions`; `regions[i]` belongs to rank `i`.
+    /// Empty regions (ranks with no workload) are skipped.
+    pub fn build(regions: &[Aabb]) -> RegionIndex {
+        let mut bounds = Aabb::empty();
+        let mut live = 0usize;
+        for r in regions {
+            if !r.is_empty() {
+                bounds = bounds.union(r);
+                live += 1;
+            }
+        }
+        if bounds.is_empty() {
+            return RegionIndex {
+                bounds,
+                dims: [1, 1, 1],
+                inv_cell: Vec3::ZERO,
+                buckets: vec![Vec::new()],
+                regions: regions.to_vec(),
+            };
+        }
+        // ~2 regions per cell on average; cube-root split per axis.
+        let per_axis = ((live as f64 / 2.0).cbrt().ceil() as usize).clamp(1, 64);
+        let dims = [per_axis, per_axis, per_axis];
+        let ext = bounds.extent();
+        let safe = |e: f64| if e > 0.0 { e } else { 1.0 };
+        let inv_cell = Vec3::new(
+            dims[0] as f64 / safe(ext.x),
+            dims[1] as f64 / safe(ext.y),
+            dims[2] as f64 / safe(ext.z),
+        );
+        let mut index = RegionIndex {
+            bounds,
+            dims,
+            inv_cell,
+            buckets: vec![Vec::new(); dims[0] * dims[1] * dims[2]],
+            regions: regions.to_vec(),
+        };
+        for (i, r) in regions.iter().enumerate() {
+            if r.is_empty() {
+                continue;
+            }
+            let (lo, hi) = index.cell_range(r);
+            for cz in lo[2]..=hi[2] {
+                for cy in lo[1]..=hi[1] {
+                    for cx in lo[0]..=hi[0] {
+                        let c = index.cell_id(cx, cy, cz);
+                        index.buckets[c].push(i as u32);
+                    }
+                }
+            }
+        }
+        index
+    }
+
+    #[inline]
+    fn cell_id(&self, cx: usize, cy: usize, cz: usize) -> usize {
+        cx + self.dims[0] * (cy + self.dims[1] * cz)
+    }
+
+    /// Cell index ranges covered by a box (clamped to the index bounds).
+    fn cell_range(&self, b: &Aabb) -> ([usize; 3], [usize; 3]) {
+        let rel_lo = b.min - self.bounds.min;
+        let rel_hi = b.max - self.bounds.min;
+        let mut lo = [0usize; 3];
+        let mut hi = [0usize; 3];
+        let inv = self.inv_cell.to_array();
+        for a in 0..3 {
+            let max_i = self.dims[a] as isize - 1;
+            lo[a] = ((rel_lo.to_array()[a] * inv[a]).floor() as isize).clamp(0, max_i) as usize;
+            hi[a] = ((rel_hi.to_array()[a] * inv[a]).floor() as isize).clamp(0, max_i) as usize;
+        }
+        (lo, hi)
+    }
+
+    /// Collect (sorted, deduplicated) ranks whose region touches the sphere
+    /// at `center` with radius `radius`, into `out` (cleared first).
+    pub fn ranks_touching_sphere(&self, center: Vec3, radius: f64, out: &mut Vec<Rank>) {
+        out.clear();
+        if self.bounds.is_empty() {
+            return;
+        }
+        let query = Aabb::new(center, center).inflate(radius);
+        if !self.bounds.intersects(&query) {
+            return;
+        }
+        let (lo, hi) = self.cell_range(&query);
+        for cz in lo[2]..=hi[2] {
+            for cy in lo[1]..=hi[1] {
+                for cx in lo[0]..=hi[0] {
+                    for &ri in &self.buckets[self.cell_id(cx, cy, cz)] {
+                        let region = &self.regions[ri as usize];
+                        if region.intersects_sphere(center, radius) {
+                            out.push(Rank::new(ri));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// Number of ranks the index covers (including empty-region ranks).
+    pub fn rank_count(&self) -> usize {
+        self.regions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pic_types::rng::SplitMix64;
+
+    /// Brute-force reference: scan every region.
+    fn brute(regions: &[Aabb], c: Vec3, r: f64) -> Vec<Rank> {
+        let mut out: Vec<Rank> = regions
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.intersects_sphere(c, r))
+            .map(|(i, _)| Rank::from_index(i))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn octant_regions() -> Vec<Aabb> {
+        // 8 octants of the unit cube.
+        let mut v = Vec::new();
+        for iz in 0..2 {
+            for iy in 0..2 {
+                for ix in 0..2 {
+                    let min = Vec3::new(ix as f64 * 0.5, iy as f64 * 0.5, iz as f64 * 0.5);
+                    v.push(Aabb::new(min, min + Vec3::splat(0.5)));
+                }
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn octants_center_query_touches_all() {
+        let idx = RegionIndex::build(&octant_regions());
+        let mut out = Vec::new();
+        idx.ranks_touching_sphere(Vec3::splat(0.5), 0.1, &mut out);
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn small_sphere_touches_only_home() {
+        let idx = RegionIndex::build(&octant_regions());
+        let mut out = Vec::new();
+        idx.ranks_touching_sphere(Vec3::splat(0.25), 0.05, &mut out);
+        assert_eq!(out, vec![Rank::new(0)]);
+    }
+
+    #[test]
+    fn far_away_query_is_empty() {
+        let idx = RegionIndex::build(&octant_regions());
+        let mut out = vec![Rank::new(9)];
+        idx.ranks_touching_sphere(Vec3::splat(10.0), 0.5, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn empty_regions_are_skipped() {
+        let mut regions = octant_regions();
+        regions.push(Aabb::empty());
+        regions.push(Aabb::empty());
+        let idx = RegionIndex::build(&regions);
+        assert_eq!(idx.rank_count(), 10);
+        let mut out = Vec::new();
+        idx.ranks_touching_sphere(Vec3::splat(0.5), 1.0, &mut out);
+        assert_eq!(out.len(), 8); // the empty ones never match
+    }
+
+    #[test]
+    fn all_empty_regions() {
+        let idx = RegionIndex::build(&[Aabb::empty(), Aabb::empty()]);
+        let mut out = Vec::new();
+        idx.ranks_touching_sphere(Vec3::ZERO, 1.0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_boxes() {
+        let mut rng = SplitMix64::new(42);
+        let mut regions = Vec::new();
+        for _ in 0..60 {
+            let min = Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64()) * 4.0;
+            let ext = Vec3::new(
+                rng.next_range(0.05, 0.8),
+                rng.next_range(0.05, 0.8),
+                rng.next_range(0.05, 0.8),
+            );
+            regions.push(Aabb::new(min, min + ext));
+        }
+        let idx = RegionIndex::build(&regions);
+        let mut out = Vec::new();
+        for _ in 0..500 {
+            let c = Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64()) * 5.0;
+            let r = rng.next_range(0.01, 0.5);
+            idx.ranks_touching_sphere(c, r, &mut out);
+            assert_eq!(out, brute(&regions, c, r), "c={c} r={r}");
+        }
+    }
+
+    #[test]
+    fn degenerate_flat_regions_work() {
+        // zero-thickness region (plane) — must still be findable
+        let plane = Aabb::new(Vec3::new(0.0, 0.0, 0.5), Vec3::new(1.0, 1.0, 0.5));
+        let idx = RegionIndex::build(&[plane]);
+        let mut out = Vec::new();
+        idx.ranks_touching_sphere(Vec3::new(0.5, 0.5, 0.45), 0.1, &mut out);
+        assert_eq!(out, vec![Rank::new(0)]);
+        idx.ranks_touching_sphere(Vec3::new(0.5, 0.5, 0.3), 0.1, &mut out);
+        assert!(out.is_empty());
+    }
+}

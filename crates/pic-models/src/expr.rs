@@ -1,0 +1,284 @@
+//! Expression trees for symbolic regression.
+//!
+//! The genetic-programming search (paper refs \[13\], \[14\]) evolves these
+//! trees. The function set is `{+, −, ×, ÷(protected)}` over feature
+//! variables and ephemeral constants — sufficient to express the rational
+//! polynomial shapes PIC kernel costs take.
+
+use serde::{Deserialize, Serialize};
+
+/// A symbolic expression over feature variables.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A constant.
+    Const(f64),
+    /// Feature variable by column index.
+    Var(usize),
+    /// Sum.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Protected division: denominators near zero evaluate to 1.
+    Div(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Evaluate over a feature row. Out-of-range variables evaluate to 0
+    /// (defensive; the GP never generates them).
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        match self {
+            Expr::Const(c) => *c,
+            Expr::Var(i) => x.get(*i).copied().unwrap_or(0.0),
+            Expr::Add(a, b) => a.eval(x) + b.eval(x),
+            Expr::Sub(a, b) => a.eval(x) - b.eval(x),
+            Expr::Mul(a, b) => a.eval(x) * b.eval(x),
+            Expr::Div(a, b) => {
+                let d = b.eval(x);
+                if d.abs() < 1e-9 {
+                    a.eval(x)
+                } else {
+                    a.eval(x) / d
+                }
+            }
+        }
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => 1,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                1 + a.node_count() + b.node_count()
+            }
+        }
+    }
+
+    /// Tree depth (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => 1,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                1 + a.depth().max(b.depth())
+            }
+        }
+    }
+
+    /// The `idx`-th node in preorder (0 = the root).
+    pub fn subtree(&self, idx: usize) -> Option<&Expr> {
+        fn walk<'a>(e: &'a Expr, idx: &mut usize) -> Option<&'a Expr> {
+            if *idx == 0 {
+                return Some(e);
+            }
+            *idx -= 1;
+            match e {
+                Expr::Const(_) | Expr::Var(_) => None,
+                Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                    walk(a, idx).or_else(|| walk(b, idx))
+                }
+            }
+        }
+        let mut i = idx;
+        walk(self, &mut i)
+    }
+
+    /// Replace the `idx`-th preorder node with `new`, returning the
+    /// modified tree. Out-of-range indices leave the tree unchanged.
+    pub fn replace_subtree(self, idx: usize, new: Expr) -> Expr {
+        fn walk(e: Expr, idx: &mut isize, new: &mut Option<Expr>) -> Expr {
+            if *idx == 0 {
+                *idx -= 1;
+                return new.take().expect("replacement consumed once");
+            }
+            *idx -= 1;
+            match e {
+                Expr::Const(_) | Expr::Var(_) => e,
+                Expr::Add(a, b) => {
+                    let a = walk(*a, idx, new);
+                    let b = walk(*b, idx, new);
+                    Expr::Add(Box::new(a), Box::new(b))
+                }
+                Expr::Sub(a, b) => {
+                    let a = walk(*a, idx, new);
+                    let b = walk(*b, idx, new);
+                    Expr::Sub(Box::new(a), Box::new(b))
+                }
+                Expr::Mul(a, b) => {
+                    let a = walk(*a, idx, new);
+                    let b = walk(*b, idx, new);
+                    Expr::Mul(Box::new(a), Box::new(b))
+                }
+                Expr::Div(a, b) => {
+                    let a = walk(*a, idx, new);
+                    let b = walk(*b, idx, new);
+                    Expr::Div(Box::new(a), Box::new(b))
+                }
+            }
+        }
+        let mut i = idx as isize;
+        let mut slot = Some(new);
+        walk(self, &mut i, &mut slot)
+    }
+
+    /// Constant folding and identity elimination. Applied after evolution to
+    /// make reported formulas readable; never changes evaluation results
+    /// (up to floating-point rounding of folded constants).
+    pub fn simplify(self) -> Expr {
+        match self {
+            Expr::Const(_) | Expr::Var(_) => self,
+            Expr::Add(a, b) => {
+                let (a, b) = (a.simplify(), b.simplify());
+                match (&a, &b) {
+                    (Expr::Const(x), Expr::Const(y)) => Expr::Const(x + y),
+                    (Expr::Const(z), _) if *z == 0.0 => b,
+                    (_, Expr::Const(z)) if *z == 0.0 => a,
+                    _ => Expr::Add(Box::new(a), Box::new(b)),
+                }
+            }
+            Expr::Sub(a, b) => {
+                let (a, b) = (a.simplify(), b.simplify());
+                match (&a, &b) {
+                    (Expr::Const(x), Expr::Const(y)) => Expr::Const(x - y),
+                    (_, Expr::Const(z)) if *z == 0.0 => a,
+                    _ if a == b => Expr::Const(0.0),
+                    _ => Expr::Sub(Box::new(a), Box::new(b)),
+                }
+            }
+            Expr::Mul(a, b) => {
+                let (a, b) = (a.simplify(), b.simplify());
+                match (&a, &b) {
+                    (Expr::Const(x), Expr::Const(y)) => Expr::Const(x * y),
+                    (Expr::Const(z), _) | (_, Expr::Const(z)) if *z == 0.0 => Expr::Const(0.0),
+                    (Expr::Const(o), _) if *o == 1.0 => b,
+                    (_, Expr::Const(o)) if *o == 1.0 => a,
+                    _ => Expr::Mul(Box::new(a), Box::new(b)),
+                }
+            }
+            Expr::Div(a, b) => {
+                let (a, b) = (a.simplify(), b.simplify());
+                match (&a, &b) {
+                    (Expr::Const(x), Expr::Const(y)) if y.abs() >= 1e-9 => Expr::Const(x / y),
+                    (_, Expr::Const(o)) if *o == 1.0 => a,
+                    _ => Expr::Div(Box::new(a), Box::new(b)),
+                }
+            }
+        }
+    }
+
+    /// Render with feature names (falls back to `x<i>` when names are
+    /// missing).
+    pub fn render(&self, names: &[String]) -> String {
+        match self {
+            Expr::Const(c) => format!("{c:.4e}"),
+            Expr::Var(i) => names
+                .get(*i)
+                .cloned()
+                .unwrap_or_else(|| format!("x{i}")),
+            Expr::Add(a, b) => format!("({} + {})", a.render(names), b.render(names)),
+            Expr::Sub(a, b) => format!("({} - {})", a.render(names), b.render(names)),
+            Expr::Mul(a, b) => format!("({} * {})", a.render(names), b.render(names)),
+            Expr::Div(a, b) => format!("({} / {})", a.render(names), b.render(names)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Expr {
+        // (x0 + 2) * x1
+        Expr::Mul(
+            Box::new(Expr::Add(Box::new(Expr::Var(0)), Box::new(Expr::Const(2.0)))),
+            Box::new(Expr::Var(1)),
+        )
+    }
+
+    #[test]
+    fn eval_basics() {
+        let e = sample();
+        assert_eq!(e.eval(&[3.0, 4.0]), 20.0);
+        assert_eq!(Expr::Var(5).eval(&[1.0]), 0.0); // out of range
+    }
+
+    #[test]
+    fn protected_division() {
+        let e = Expr::Div(Box::new(Expr::Const(6.0)), Box::new(Expr::Var(0)));
+        assert_eq!(e.eval(&[2.0]), 3.0);
+        assert_eq!(e.eval(&[0.0]), 6.0); // protected: numerator passes through
+    }
+
+    #[test]
+    fn counting() {
+        let e = sample();
+        assert_eq!(e.node_count(), 5);
+        assert_eq!(e.depth(), 3);
+        assert_eq!(Expr::Const(1.0).node_count(), 1);
+        assert_eq!(Expr::Const(1.0).depth(), 1);
+    }
+
+    #[test]
+    fn preorder_subtree_access() {
+        let e = sample();
+        // preorder: 0=Mul, 1=Add, 2=Var(0), 3=Const(2), 4=Var(1)
+        assert!(matches!(e.subtree(0), Some(Expr::Mul(_, _))));
+        assert!(matches!(e.subtree(1), Some(Expr::Add(_, _))));
+        assert_eq!(e.subtree(2), Some(&Expr::Var(0)));
+        assert_eq!(e.subtree(3), Some(&Expr::Const(2.0)));
+        assert_eq!(e.subtree(4), Some(&Expr::Var(1)));
+        assert_eq!(e.subtree(5), None);
+    }
+
+    #[test]
+    fn replace_subtree_preorder() {
+        let e = sample().replace_subtree(3, Expr::Const(10.0));
+        assert_eq!(e.eval(&[3.0, 4.0]), 52.0); // (3+10)*4
+        let e = sample().replace_subtree(0, Expr::Const(7.0));
+        assert_eq!(e, Expr::Const(7.0));
+        // out-of-range: unchanged
+        let e = sample().replace_subtree(99, Expr::Const(0.0));
+        assert_eq!(e, sample());
+    }
+
+    #[test]
+    fn simplify_folds_constants() {
+        let e = Expr::Add(Box::new(Expr::Const(2.0)), Box::new(Expr::Const(3.0)));
+        assert_eq!(e.simplify(), Expr::Const(5.0));
+        let e = Expr::Mul(Box::new(Expr::Var(0)), Box::new(Expr::Const(1.0)));
+        assert_eq!(e.simplify(), Expr::Var(0));
+        let e = Expr::Mul(Box::new(Expr::Var(0)), Box::new(Expr::Const(0.0)));
+        assert_eq!(e.simplify(), Expr::Const(0.0));
+        let e = Expr::Sub(Box::new(Expr::Var(1)), Box::new(Expr::Var(1)));
+        assert_eq!(e.simplify(), Expr::Const(0.0));
+        let e = Expr::Add(Box::new(Expr::Const(0.0)), Box::new(Expr::Var(2)));
+        assert_eq!(e.simplify(), Expr::Var(2));
+    }
+
+    #[test]
+    fn simplify_preserves_semantics() {
+        let e = Expr::Div(
+            Box::new(sample()),
+            Box::new(Expr::Add(Box::new(Expr::Const(1.0)), Box::new(Expr::Const(0.0)))),
+        );
+        let s = e.clone().simplify();
+        for x in [[1.0, 2.0], [0.5, -3.0], [10.0, 0.0]] {
+            assert!((e.eval(&x) - s.eval(&x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn render_uses_names() {
+        let names = vec!["np".to_string(), "ngp".to_string()];
+        assert_eq!(sample().render(&names), "((np + 2.0000e0) * ngp)");
+        assert_eq!(Expr::Var(9).render(&names), "x9");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let e = sample();
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Expr = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

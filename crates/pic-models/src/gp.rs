@@ -1,0 +1,380 @@
+//! Symbolic regression by genetic programming (paper refs \[13\], \[14\]).
+//!
+//! A Koza-style GP over the [`Expr`] function set with two modern
+//! refinements that make small populations reliable:
+//!
+//! * **linear scaling** (Keijzer 2003): each candidate is evaluated as
+//!   `a·expr(x) + b` with `(a, b)` chosen by 1-D least squares, so the GP
+//!   searches for *shape* while scale/offset come for free;
+//! * **parsimony pressure**: fitness carries a per-node penalty, keeping
+//!   the reported formulas compact.
+//!
+//! The search is fully deterministic in the configured seed.
+
+use crate::dataset::Dataset;
+use crate::expr::Expr;
+use crate::model::PerfModel;
+use pic_types::rng::SplitMix64;
+use pic_types::{PicError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Genetic-programming search parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpConfig {
+    /// Population size.
+    pub population: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// Tournament size for selection.
+    pub tournament: usize,
+    /// Maximum tree depth (children exceeding it are rejected).
+    pub max_depth: usize,
+    /// Probability of crossover (vs mutation) when breeding.
+    pub crossover_prob: f64,
+    /// Per-node fitness penalty.
+    pub parsimony: f64,
+    /// Number of elite individuals copied unchanged each generation.
+    pub elitism: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GpConfig {
+    fn default() -> GpConfig {
+        GpConfig {
+            population: 256,
+            generations: 60,
+            tournament: 5,
+            max_depth: 8,
+            crossover_prob: 0.85,
+            parsimony: 1e-4,
+            elitism: 4,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl GpConfig {
+    /// A small, fast configuration for tests and smoke runs.
+    pub fn fast(seed: u64) -> GpConfig {
+        GpConfig { population: 96, generations: 30, seed, ..GpConfig::default() }
+    }
+}
+
+/// A fitted symbolic model: `seconds = scale · expr(features) + offset`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SymbolicModel {
+    /// The evolved expression.
+    pub expr: Expr,
+    /// Linear-scaling slope.
+    pub scale: f64,
+    /// Linear-scaling intercept.
+    pub offset: f64,
+    /// Feature names for rendering.
+    pub feature_names: Vec<String>,
+}
+
+impl PerfModel for SymbolicModel {
+    fn predict(&self, features: &[f64]) -> f64 {
+        self.scale * self.expr.eval(features) + self.offset
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "{:.4e} * {} + {:.4e}",
+            self.scale,
+            self.expr.render(&self.feature_names),
+            self.offset
+        )
+    }
+}
+
+/// The GP search engine.
+#[derive(Debug, Clone)]
+pub struct SymbolicRegressor {
+    cfg: GpConfig,
+}
+
+/// Linear-scaling coefficients and the resulting error of a candidate.
+fn scaled_fitness(expr: &Expr, data: &Dataset, parsimony: f64) -> (f64, f64, f64) {
+    let n = data.len() as f64;
+    let mut evals = Vec::with_capacity(data.len());
+    for row in &data.rows {
+        let v = expr.eval(row);
+        if !v.is_finite() {
+            return (f64::INFINITY, 0.0, 0.0);
+        }
+        evals.push(v);
+    }
+    let mean_e = evals.iter().sum::<f64>() / n;
+    let mean_y = data.targets.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_e = 0.0;
+    for (e, y) in evals.iter().zip(&data.targets) {
+        cov += (e - mean_e) * (y - mean_y);
+        var_e += (e - mean_e) * (e - mean_e);
+    }
+    let (a, b) = if var_e < 1e-30 { (0.0, mean_y) } else { (cov / var_e, mean_y - cov / var_e * mean_e) };
+    // Relative error against a magnitude floor so near-zero targets don't
+    // dominate.
+    let floor = data.targets.iter().map(|y| y.abs()).sum::<f64>() / n;
+    let floor = (floor * 1e-3).max(1e-30);
+    let mut err = 0.0;
+    for (e, y) in evals.iter().zip(&data.targets) {
+        let p = a * e + b;
+        err += (p - y).abs() / (y.abs() + floor);
+    }
+    let fitness = err / n + parsimony * expr.node_count() as f64;
+    if fitness.is_finite() {
+        (fitness, a, b)
+    } else {
+        (f64::INFINITY, 0.0, 0.0)
+    }
+}
+
+impl SymbolicRegressor {
+    /// Create a regressor with the given configuration.
+    pub fn new(cfg: GpConfig) -> SymbolicRegressor {
+        SymbolicRegressor { cfg }
+    }
+
+    /// Run the evolutionary search against `data`.
+    pub fn fit(&self, data: &Dataset) -> Result<SymbolicModel> {
+        if data.is_empty() {
+            return Err(PicError::model("cannot run GP on an empty dataset"));
+        }
+        if data.arity() == 0 {
+            return Err(PicError::model("GP needs at least one feature"));
+        }
+        let cfg = &self.cfg;
+        let mut rng = SplitMix64::new(cfg.seed);
+        let arity = data.arity();
+
+        // Ramped half-and-half initialization.
+        let mut pop: Vec<Expr> = (0..cfg.population)
+            .map(|i| {
+                let depth = 2 + (i % 4);
+                let full = i % 2 == 0;
+                random_tree(&mut rng, arity, depth, full)
+            })
+            .collect();
+        let mut scored: Vec<(f64, f64, f64)> =
+            pop.iter().map(|e| scaled_fitness(e, data, cfg.parsimony)).collect();
+
+        let mut best_idx = argmin(&scored);
+        let mut best = (pop[best_idx].clone(), scored[best_idx]);
+
+        for _gen in 0..cfg.generations {
+            let mut next: Vec<Expr> = Vec::with_capacity(cfg.population);
+            // Elitism: carry the best individuals forward.
+            let mut order: Vec<usize> = (0..pop.len()).collect();
+            order.sort_by(|&a, &b| scored[a].0.partial_cmp(&scored[b].0).unwrap());
+            for &i in order.iter().take(cfg.elitism.min(pop.len())) {
+                next.push(pop[i].clone());
+            }
+            while next.len() < cfg.population {
+                let child = if rng.next_f64() < cfg.crossover_prob {
+                    let p1 = tournament(&mut rng, &scored, cfg.tournament);
+                    let p2 = tournament(&mut rng, &scored, cfg.tournament);
+                    crossover(&mut rng, &pop[p1], &pop[p2])
+                } else {
+                    let p = tournament(&mut rng, &scored, cfg.tournament);
+                    mutate(&mut rng, &pop[p], arity)
+                };
+                // Depth limit: oversize children are replaced by a fresh
+                // small tree (keeps diversity instead of cloning parents).
+                if child.depth() <= cfg.max_depth {
+                    next.push(child);
+                } else {
+                    next.push(random_tree(&mut rng, arity, 3, false));
+                }
+            }
+            pop = next;
+            scored = pop.iter().map(|e| scaled_fitness(e, data, cfg.parsimony)).collect();
+            best_idx = argmin(&scored);
+            if scored[best_idx].0 < best.1 .0 {
+                best = (pop[best_idx].clone(), scored[best_idx]);
+            }
+            if best.1 .0 < 1e-9 {
+                break;
+            }
+        }
+
+        let expr = best.0.simplify();
+        // Re-fit scaling on the simplified tree (identical semantics, but be
+        // safe against constant-folding rounding).
+        let (_, a, b) = scaled_fitness(&expr, data, 0.0);
+        Ok(SymbolicModel {
+            expr,
+            scale: a,
+            offset: b,
+            feature_names: data.feature_names.clone(),
+        })
+    }
+}
+
+fn argmin(scored: &[(f64, f64, f64)]) -> usize {
+    let mut best = 0;
+    for i in 1..scored.len() {
+        if scored[i].0 < scored[best].0 {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Tournament selection: best of `k` random individuals.
+fn tournament(rng: &mut SplitMix64, scored: &[(f64, f64, f64)], k: usize) -> usize {
+    let mut best = rng.next_below(scored.len() as u64) as usize;
+    for _ in 1..k {
+        let i = rng.next_below(scored.len() as u64) as usize;
+        if scored[i].0 < scored[best].0 {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Random tree generation ("full" or "grow" method).
+fn random_tree(rng: &mut SplitMix64, arity: usize, depth: usize, full: bool) -> Expr {
+    if depth <= 1 || (!full && rng.next_f64() < 0.3) {
+        // Terminal: variable (70 %) or ephemeral constant.
+        if rng.next_f64() < 0.7 {
+            Expr::Var(rng.next_below(arity as u64) as usize)
+        } else {
+            Expr::Const(random_constant(rng))
+        }
+    } else {
+        let a = Box::new(random_tree(rng, arity, depth - 1, full));
+        let b = Box::new(random_tree(rng, arity, depth - 1, full));
+        match rng.next_below(4) {
+            0 => Expr::Add(a, b),
+            1 => Expr::Sub(a, b),
+            2 => Expr::Mul(a, b),
+            _ => Expr::Div(a, b),
+        }
+    }
+}
+
+/// Ephemeral random constant: uniform in [-5, 5] with a bias toward small
+/// integers (1, 2, 3 show up in real cost formulas).
+fn random_constant(rng: &mut SplitMix64) -> f64 {
+    if rng.next_f64() < 0.4 {
+        (rng.next_below(4) + 1) as f64
+    } else {
+        rng.next_range(-5.0, 5.0)
+    }
+}
+
+/// Subtree crossover: replace a random subtree of `p1` with a random
+/// subtree of `p2`.
+fn crossover(rng: &mut SplitMix64, p1: &Expr, p2: &Expr) -> Expr {
+    let i = rng.next_below(p1.node_count() as u64) as usize;
+    let j = rng.next_below(p2.node_count() as u64) as usize;
+    let donor = p2.subtree(j).expect("preorder index in range").clone();
+    p1.clone().replace_subtree(i, donor)
+}
+
+/// Mutation: subtree replacement (60 %), point constant jitter (40 %).
+fn mutate(rng: &mut SplitMix64, p: &Expr, arity: usize) -> Expr {
+    let i = rng.next_below(p.node_count() as u64) as usize;
+    if rng.next_f64() < 0.6 {
+        let sub = random_tree(rng, arity, 3, false);
+        p.clone().replace_subtree(i, sub)
+    } else {
+        // Jitter: if the chosen node is a constant, scale it; otherwise
+        // swap in a terminal.
+        let replacement = match p.subtree(i) {
+            Some(Expr::Const(c)) => Expr::Const(c * rng.next_range(0.5, 1.5)),
+            _ => {
+                if rng.next_f64() < 0.7 {
+                    Expr::Var(rng.next_below(arity as u64) as usize)
+                } else {
+                    Expr::Const(random_constant(rng))
+                }
+            }
+        };
+        p.clone().replace_subtree(i, replacement)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset_from(f: impl Fn(&[f64]) -> f64, arity: usize, n: usize, seed: u64) -> Dataset {
+        let names = (0..arity).map(|i| format!("x{i}")).collect();
+        let mut d = Dataset::new(names);
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..n {
+            let row: Vec<f64> = (0..arity).map(|_| rng.next_range(0.5, 10.0)).collect();
+            let y = f(&row);
+            d.push(row, y);
+        }
+        d
+    }
+
+    #[test]
+    fn fits_linear_shape_exactly_via_scaling() {
+        // y = 7x + 3: expr = x with linear scaling nails it.
+        let d = dataset_from(|x| 7.0 * x[0] + 3.0, 1, 60, 1);
+        let m = SymbolicRegressor::new(GpConfig::fast(5)).fit(&d).unwrap();
+        assert!(m.mape(&d) < 0.5, "mape {}", m.mape(&d));
+    }
+
+    #[test]
+    fn fits_product_of_two_features() {
+        // y = x0 * x1 — requires discovering the product structure.
+        let d = dataset_from(|x| x[0] * x[1], 2, 120, 2);
+        let m = SymbolicRegressor::new(GpConfig::fast(7)).fit(&d).unwrap();
+        assert!(m.mape(&d) < 5.0, "mape {} expr {}", m.mape(&d), m.describe());
+    }
+
+    #[test]
+    fn fits_projection_like_shape() {
+        // y ∝ (x0 + x1) — the projection kernel at fixed N and filter.
+        let d = dataset_from(|x| 30e-9 * (x[0] + x[1]) * 125.0, 2, 100, 3);
+        let m = SymbolicRegressor::new(GpConfig::fast(11)).fit(&d).unwrap();
+        assert!(m.mape(&d) < 2.0, "mape {} expr {}", m.mape(&d), m.describe());
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let d = dataset_from(|x| x[0] * x[0] + x[1], 2, 80, 4);
+        let a = SymbolicRegressor::new(GpConfig::fast(9)).fit(&d).unwrap();
+        let b = SymbolicRegressor::new(GpConfig::fast(9)).fit(&d).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_may_differ_but_both_fit() {
+        let d = dataset_from(|x| 2.0 * x[0] + x[1], 2, 80, 5);
+        let a = SymbolicRegressor::new(GpConfig::fast(1)).fit(&d).unwrap();
+        let b = SymbolicRegressor::new(GpConfig::fast(2)).fit(&d).unwrap();
+        assert!(a.mape(&d) < 5.0);
+        assert!(b.mape(&d) < 5.0);
+    }
+
+    #[test]
+    fn empty_dataset_is_error() {
+        let d = Dataset::new(vec!["x".into()]);
+        assert!(SymbolicRegressor::new(GpConfig::fast(1)).fit(&d).is_err());
+    }
+
+    #[test]
+    fn describe_renders_features() {
+        let d = dataset_from(|x| x[0], 1, 40, 6);
+        let m = SymbolicRegressor::new(GpConfig::fast(3)).fit(&d).unwrap();
+        assert!(m.describe().contains('*'), "{}", m.describe());
+    }
+
+    #[test]
+    fn model_serde_roundtrip() {
+        let d = dataset_from(|x| x[0] + 1.0, 1, 40, 7);
+        let m = SymbolicRegressor::new(GpConfig::fast(4)).fit(&d).unwrap();
+        let json = serde_json::to_string(&m).unwrap();
+        let back: SymbolicModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.predict(&[2.0]), m.predict(&[2.0]));
+    }
+}

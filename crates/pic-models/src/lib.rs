@@ -1,0 +1,32 @@
+//! # pic-models
+//!
+//! The **Model Generator** of the prediction framework (paper §II-B):
+//! fits analytical performance models for the expensive PIC kernels from
+//! instrumented benchmark data.
+//!
+//! Two regression families, matching the paper:
+//!
+//! * **Linear / polynomial regression** ([`linear`]) — sufficient for
+//!   single-parameter models (e.g. kernel time vs particles-per-rank);
+//! * **Symbolic regression via genetic programming** ([`gp`], [`expr`]) —
+//!   the authors' HPCS'19 approach (paper refs \[13\], \[14\]) for
+//!   multi-parameter models whose functional form is not known a priori.
+//!
+//! Models implement [`PerfModel`], predicting seconds from a feature vector
+//! (the workload parameters `N_p`, `N_gp`, `N_el`, `N`, filter). Accuracy is
+//! reported as MAPE, the paper's headline metric.
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod expr;
+pub mod gp;
+pub mod linalg;
+pub mod linear;
+pub mod model;
+
+pub use dataset::Dataset;
+pub use expr::Expr;
+pub use gp::{GpConfig, SymbolicRegressor};
+pub use linear::{LinearModel, PolynomialModel};
+pub use model::{FittedModel, PerfModel};

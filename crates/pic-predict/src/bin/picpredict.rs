@@ -1,0 +1,496 @@
+//! `picpredict` — command-line front end for the prediction framework.
+//!
+//! ```text
+//! picpredict run       --config cfg.json --trace out.pictrace --records rec.json
+//! picpredict workload  --trace t.pictrace --ranks 128 --mapping bin-based
+//!                      [--filter 0.03] [--mesh 6x6x6 --order 3] [--out dir]
+//! picpredict fit       --records rec.json --out models.json [--strategy linear|auto]
+//! picpredict predict   --trace t.pictrace --models models.json --ranks 128
+//!                      [--mapping bin-based] [--machine quartz|vulcan|localhost]
+//!                      [--mesh 6x6x6 --order 3] [--filter 0.03] [--sync barrier|neighbor]
+//! picpredict extrapolate --trace t.pictrace --out big.pictrace --particles 100000
+//! ```
+//!
+//! `run` executes the mini PIC application and writes the trace + timing
+//! records; the other commands never touch the application again — they
+//! are the paper's "predict anything from one trace" workflow.
+
+use pic_des::{MachineSpec, SyncMode};
+use pic_grid::{ElementMesh, MeshDims};
+use pic_mapping::MappingAlgorithm;
+use pic_predict::{
+    build_schedule, kernel_models::FitStrategy, predict_application, predict_kernel_seconds,
+    KernelModels,
+};
+use pic_sim::{MiniPic, Recorder, SimConfig};
+use pic_trace::codec;
+use pic_types::{Aabb, PicError, Result};
+use pic_workload::generator::{self, WorkloadConfig};
+use pic_workload::metrics;
+use std::collections::HashMap;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match dispatch(&args) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            1
+        }
+    };
+    std::process::exit(code);
+}
+
+const USAGE: &str = "usage:
+  picpredict run --config cfg.json --trace out.pictrace [--records rec.json] [--precision f64|f32]
+  picpredict default-config                 # print a template configuration
+  picpredict info --trace t.pictrace        # trace metadata and statistics
+  picpredict workload --trace t.pictrace --ranks N --mapping M [--filter F] [--mesh AxBxC --order K] [--out DIR]
+  picpredict benchmark --out rec.json [--wallclock true] [--order K] [--filter F]
+  picpredict fit --records rec.json --out models.json [--strategy linear|auto]
+  picpredict predict --trace t.pictrace --models models.json --ranks N [--mapping M] [--machine NAME] [--sync barrier|neighbor] [--mesh AxBxC --order K] [--filter F]
+  picpredict extrapolate --trace t.pictrace --out big.pictrace --particles N [--seed S]
+  picpredict study scalability --trace T --ranks 16,32,64 --mapping M [--filter F] [--mesh AxBxC --order K]
+  picpredict study bins --trace T --filter F
+  picpredict study sampling --trace T --ranks N --mapping M --strides 1,2,4 [--filter F] [--mesh AxBxC]";
+
+/// Parse `--key value` flags into a map; bare words are positional.
+fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() {
+                flags.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                flags.insert(key.to_string(), String::new());
+                i += 1;
+            }
+        } else {
+            positional.push(args[i].clone());
+            i += 1;
+        }
+    }
+    (positional, flags)
+}
+
+fn required<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str> {
+    flags
+        .get(key)
+        .map(|s| s.as_str())
+        .ok_or_else(|| PicError::config(format!("missing required flag --{key}")))
+}
+
+fn parse_mapping(s: &str) -> Result<MappingAlgorithm> {
+    serde_json::from_str(&format!("\"{s}\""))
+        .map_err(|_| PicError::config(format!("unknown mapping '{s}'")))
+}
+
+fn parse_machine(s: &str) -> Result<MachineSpec> {
+    match s {
+        "quartz" | "quartz-like" => Ok(MachineSpec::quartz_like()),
+        "vulcan" | "vulcan-like" => Ok(MachineSpec::vulcan_like()),
+        "localhost" => Ok(MachineSpec::localhost(8)),
+        path => {
+            let text = std::fs::read_to_string(path).map_err(|e| {
+                PicError::config(format!("machine '{s}' is not a preset and not a readable file: {e}"))
+            })?;
+            serde_json::from_str(&text)
+                .map_err(|e| PicError::config(format!("bad machine JSON in {path}: {e}")))
+        }
+    }
+}
+
+fn parse_mesh(flags: &HashMap<String, String>, domain: Aabb) -> Result<Option<ElementMesh>> {
+    let Some(spec) = flags.get("mesh") else { return Ok(None) };
+    let dims: Vec<usize> = spec
+        .split('x')
+        .map(|p| p.parse().map_err(|_| PicError::config(format!("bad mesh spec '{spec}'"))))
+        .collect::<Result<_>>()?;
+    if dims.len() != 3 {
+        return Err(PicError::config("mesh spec must be AxBxC"));
+    }
+    let order: usize = flags.get("order").map(|s| s.parse().unwrap_or(3)).unwrap_or(3);
+    Ok(Some(ElementMesh::new(domain, MeshDims::new(dims[0], dims[1], dims[2]), order)?))
+}
+
+fn dispatch(args: &[String]) -> Result<()> {
+    let (positional, flags) = parse_flags(args);
+    let cmd = positional.first().map(|s| s.as_str()).unwrap_or("");
+    match cmd {
+        "run" => cmd_run(&flags),
+        "default-config" => {
+            println!("{}", SimConfig::default().to_json());
+            Ok(())
+        }
+        "info" => cmd_info(&flags),
+        "workload" => cmd_workload(&flags),
+        "benchmark" => cmd_benchmark(&flags),
+        "fit" => cmd_fit(&flags),
+        "predict" => cmd_predict(&flags),
+        "extrapolate" => cmd_extrapolate(&flags),
+        "study" => cmd_study(positional.get(1).map(String::as_str).unwrap_or(""), &flags),
+        "" => Err(PicError::config("no command given")),
+        other => Err(PicError::config(format!("unknown command '{other}'"))),
+    }
+}
+
+fn cmd_run(flags: &HashMap<String, String>) -> Result<()> {
+    let cfg_path = required(flags, "config")?;
+    let trace_path = required(flags, "trace")?;
+    let cfg = SimConfig::from_json(&std::fs::read_to_string(cfg_path)?)?;
+    eprintln!(
+        "running: {} particles / {} elements / {} ranks / {} mapping / {} steps",
+        cfg.particles,
+        cfg.element_count(),
+        cfg.ranks,
+        cfg.mapping,
+        cfg.steps
+    );
+    let t0 = std::time::Instant::now();
+    let out = MiniPic::new(cfg)?.run()?;
+    eprintln!("application finished in {:.2} s", t0.elapsed().as_secs_f64());
+    let precision = match flags.get("precision").map(|s| s.as_str()) {
+        Some("f32") => codec::Precision::F32,
+        _ => codec::Precision::F64,
+    };
+    codec::save_file(&out.trace, trace_path, precision)?;
+    eprintln!(
+        "trace: {} samples x {} particles -> {}",
+        out.trace.sample_count(),
+        out.trace.particle_count(),
+        trace_path
+    );
+    if let Some(records_path) = flags.get("records") {
+        std::fs::write(records_path, out.recorder.to_json())?;
+        eprintln!("records: {} kernel timings -> {}", out.recorder.len(), records_path);
+    }
+    Ok(())
+}
+
+fn cmd_info(flags: &HashMap<String, String>) -> Result<()> {
+    let trace = codec::load_file(required(flags, "trace")?)?;
+    let meta = trace.meta();
+    println!("description:     {}", meta.description);
+    println!("particles:       {}", meta.particle_count);
+    println!("samples:         {}", trace.sample_count());
+    println!("sample interval: {} iterations", meta.sample_interval);
+    println!("domain:          {}", meta.domain);
+    let vols = pic_trace::stats::boundary_volume_series(&trace);
+    if let (Some(first), Some(last)) = (vols.first(), vols.last()) {
+        println!("boundary volume: {first:.4e} -> {last:.4e}");
+    }
+    println!(
+        "max step move:   {:.4e}",
+        pic_trace::stats::max_step_displacement(&trace)
+    );
+    Ok(())
+}
+
+fn cmd_workload(flags: &HashMap<String, String>) -> Result<()> {
+    let trace = codec::load_file(required(flags, "trace")?)?;
+    let ranks: usize = required(flags, "ranks")?
+        .parse()
+        .map_err(|_| PicError::config("--ranks must be an integer"))?;
+    let mapping = parse_mapping(required(flags, "mapping")?)?;
+    let filter: f64 = flags.get("filter").map(|s| s.parse().unwrap_or(0.03)).unwrap_or(0.03);
+    let mesh = parse_mesh(flags, trace.meta().domain)?;
+    let cfg = WorkloadConfig::new(ranks, mapping, filter);
+    let t0 = std::time::Instant::now();
+    let w = generator::generate_with_mesh(&trace, &cfg, mesh.as_ref())?;
+    eprintln!("workload generated in {:.2} s", t0.elapsed().as_secs_f64());
+
+    let summary = metrics::summarize(&w);
+    println!("ranks:                {}", summary.ranks);
+    println!("samples:              {}", summary.samples);
+    println!("peak workload:        {}", summary.peak_workload);
+    println!("resource utilization: {:.2}%", 100.0 * summary.resource_utilization);
+    println!("mean idle fraction:   {:.2}%", 100.0 * summary.mean_idle_fraction);
+    println!("mean imbalance:       {:.2}", summary.mean_imbalance);
+    println!("total migrations:     {}", summary.total_migrations);
+    if let Some(bins) = summary.max_bins {
+        println!("max bins:             {bins}");
+    }
+    if let Some(dir) = flags.get("out") {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(format!("{dir}/comp_real.csv"), w.real.to_csv())?;
+        std::fs::write(format!("{dir}/comp_ghost_recv.csv"), w.ghost_recv.to_csv())?;
+        let mut comm = String::from("sample,from,to,count\n");
+        for (t, entries) in w.comm.entries.iter().enumerate() {
+            for &(f, to, c) in entries {
+                comm.push_str(&format!("{t},{f},{to},{c}\n"));
+            }
+        }
+        std::fs::write(format!("{dir}/comm.csv"), comm)?;
+        eprintln!("matrices written to {dir}/");
+    }
+    Ok(())
+}
+
+/// Kernel benchmarking sweep (paper §II-B): the preferred way to produce
+/// training data, since it varies every workload parameter independently —
+/// unlike a single application run, whose balanced mapping keeps `N_p`
+/// nearly constant across ranks.
+fn cmd_benchmark(flags: &HashMap<String, String>) -> Result<()> {
+    let mut sweep = pic_sim::SweepConfig::default();
+    if let Some(order) = flags.get("order") {
+        sweep.order = order.parse().map_err(|_| PicError::config("--order must be an integer"))?;
+    }
+    if let Some(filter) = flags.get("filter") {
+        sweep.projection_filter =
+            filter.parse().map_err(|_| PicError::config("--filter must be a number"))?;
+    }
+    if flags.get("wallclock").map(|v| v != "false").unwrap_or(false) {
+        sweep.timing = pic_sim::config::TimingMode::WallClock;
+    }
+    eprintln!(
+        "benchmarking {} kernel observations ({:?} mode)...",
+        sweep.record_count(),
+        if matches!(sweep.timing, pic_sim::config::TimingMode::WallClock) { "wall-clock" } else { "oracle" }
+    );
+    let t0 = std::time::Instant::now();
+    let rec = pic_sim::benchmark_kernels(&sweep)?;
+    eprintln!("sweep finished in {:.2} s", t0.elapsed().as_secs_f64());
+    let out = required(flags, "out")?;
+    std::fs::write(out, rec.to_json())?;
+    eprintln!("records: {} -> {out}", rec.len());
+    Ok(())
+}
+
+fn cmd_fit(flags: &HashMap<String, String>) -> Result<()> {
+    let recorder = Recorder::from_json(&std::fs::read_to_string(required(flags, "records")?)?)?;
+    let strategy = match flags.get("strategy").map(|s| s.as_str()) {
+        Some("linear") | None => FitStrategy::Linear,
+        Some("auto") => FitStrategy::default(),
+        Some(other) => return Err(PicError::config(format!("unknown strategy '{other}'"))),
+    };
+    let models = KernelModels::fit(&recorder, &strategy, 42)?;
+    print!("{}", models.describe());
+    println!("average validation MAPE: {:.2}%", models.mean_validation_mape());
+    let out = required(flags, "out")?;
+    std::fs::write(out, models.to_json())?;
+    eprintln!("models -> {out}");
+    Ok(())
+}
+
+fn cmd_predict(flags: &HashMap<String, String>) -> Result<()> {
+    let trace = codec::load_file(required(flags, "trace")?)?;
+    let models = KernelModels::from_json(&std::fs::read_to_string(required(flags, "models")?)?)?;
+    let ranks: usize = required(flags, "ranks")?
+        .parse()
+        .map_err(|_| PicError::config("--ranks must be an integer"))?;
+    let mapping = parse_mapping(flags.get("mapping").map(|s| s.as_str()).unwrap_or("bin-based"))?;
+    let filter: f64 = flags.get("filter").map(|s| s.parse().unwrap_or(0.03)).unwrap_or(0.03);
+    let machine = parse_machine(flags.get("machine").map(|s| s.as_str()).unwrap_or("quartz"))?;
+    let sync = match flags.get("sync").map(|s| s.as_str()) {
+        Some("neighbor") => SyncMode::NeighborSync,
+        _ => SyncMode::BulkSynchronous,
+    };
+    let mesh = parse_mesh(flags, trace.meta().domain)?;
+    let order = flags.get("order").map(|s| s.parse().unwrap_or(3)).unwrap_or(3);
+
+    let wcfg = WorkloadConfig::new(ranks, mapping, filter);
+    let w = generator::generate_with_mesh(&trace, &wcfg, mesh.as_ref())?;
+    // fluid share: uniform unless a mesh is given
+    let elements: Vec<u32> = match &mesh {
+        Some(m) => {
+            let d = pic_grid::RcbDecomposition::decompose(m, ranks)?;
+            d.element_counts().iter().map(|&c| c as u32).collect()
+        }
+        None => vec![0; ranks],
+    };
+    let predicted = predict_kernel_seconds(&w, &models, &elements, order, filter);
+    let schedule = build_schedule(
+        &w,
+        &predicted,
+        trace.meta().sample_interval,
+        pic_predict::pipeline::bytes_per_particle(),
+    );
+    let timeline = predict_application(&schedule, &machine, sync)?;
+    println!("machine:             {}", machine.name);
+    println!("sync mode:           {sync:?}");
+    println!("predicted time:      {:.6} s", timeline.total_seconds);
+    println!("mean idle fraction:  {:.2}%", 100.0 * timeline.mean_idle_fraction());
+    println!("events processed:    {}", timeline.events_processed);
+    Ok(())
+}
+
+fn parse_usize_list(s: &str, what: &str) -> Result<Vec<usize>> {
+    s.split(',')
+        .map(|p| {
+            p.trim()
+                .parse()
+                .map_err(|_| PicError::config(format!("bad {what} entry '{p}'")))
+        })
+        .collect()
+}
+
+/// The paper's three analysis drivers plus the sampling-frequency study,
+/// straight from the command line.
+fn cmd_study(kind: &str, flags: &HashMap<String, String>) -> Result<()> {
+    let trace = codec::load_file(required(flags, "trace")?)?;
+    let filter: f64 = flags.get("filter").map(|s| s.parse().unwrap_or(0.03)).unwrap_or(0.03);
+    match kind {
+        "scalability" => {
+            let ranks = parse_usize_list(required(flags, "ranks")?, "ranks")?;
+            let mapping =
+                parse_mapping(flags.get("mapping").map(|s| s.as_str()).unwrap_or("bin-based"))?;
+            let mesh = parse_mesh(flags, trace.meta().domain)?;
+            let pts = pic_predict::studies::scalability_study(
+                &trace,
+                mesh.as_ref(),
+                mapping,
+                filter,
+                &ranks,
+            )?;
+            println!("{:>8} {:>12} {:>14} {:>12}", "ranks", "peak", "utilization", "migrations");
+            for p in &pts {
+                println!(
+                    "{:>8} {:>12} {:>13.1}% {:>12}",
+                    p.ranks,
+                    p.summary.peak_workload,
+                    100.0 * p.summary.resource_utilization,
+                    p.summary.total_migrations
+                );
+            }
+        }
+        "bins" => {
+            let study = pic_predict::studies::optimal_rank_study(&trace, filter)?;
+            for (iter, bins) in study.iterations.iter().zip(&study.bin_series) {
+                println!("iteration {iter:>8}: {bins} bins");
+            }
+            println!("optimal processor count: {}", study.optimal_rank_count());
+        }
+        "sampling" => {
+            let ranks: usize = required(flags, "ranks")?
+                .parse()
+                .map_err(|_| PicError::config("--ranks must be an integer"))?;
+            let mapping =
+                parse_mapping(flags.get("mapping").map(|s| s.as_str()).unwrap_or("bin-based"))?;
+            let strides = parse_usize_list(
+                flags.get("strides").map(|s| s.as_str()).unwrap_or("1,2,4,8"),
+                "strides",
+            )?;
+            let mesh = parse_mesh(flags, trace.meta().domain)?;
+            let pts = pic_predict::studies::sampling_frequency_study(
+                &trace,
+                ranks,
+                mapping,
+                mesh.as_ref(),
+                filter,
+                &strides,
+            )?;
+            println!(
+                "{:>8} {:>14} {:>16} {:>22}",
+                "stride", "trace bytes", "peak MAPE [%]", "migration loss [%]"
+            );
+            for p in &pts {
+                println!(
+                    "{:>8} {:>14} {:>16.2} {:>22.2}",
+                    p.stride, p.trace_bytes, p.peak_workload_mape, p.migration_undercount_pct
+                );
+            }
+        }
+        other => {
+            return Err(PicError::config(format!(
+                "unknown study '{other}' (expected scalability | bins | sampling)"
+            )))
+        }
+    }
+    Ok(())
+}
+
+fn cmd_extrapolate(flags: &HashMap<String, String>) -> Result<()> {
+    let trace = codec::load_file(required(flags, "trace")?)?;
+    let out = required(flags, "out")?;
+    let particles: usize = required(flags, "particles")?
+        .parse()
+        .map_err(|_| PicError::config("--particles must be an integer"))?;
+    let seed: u64 = flags.get("seed").map(|s| s.parse().unwrap_or(1)).unwrap_or(1);
+    let big = pic_trace::extrapolate(&trace, particles, seed)?;
+    codec::save_file(&big, out, codec::Precision::F32)?;
+    println!(
+        "extrapolated {} -> {} particles ({} samples) -> {out}",
+        trace.particle_count(),
+        particles,
+        big.sample_count()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parse_flags_splits_positional_and_flags() {
+        let (pos, flags) = parse_flags(&argv("run --config c.json --trace t.bin"));
+        assert_eq!(pos, vec!["run"]);
+        assert_eq!(flags.get("config").map(String::as_str), Some("c.json"));
+        assert_eq!(flags.get("trace").map(String::as_str), Some("t.bin"));
+    }
+
+    #[test]
+    fn parse_flags_trailing_flag_without_value() {
+        let (_, flags) = parse_flags(&argv("run --verbose"));
+        assert_eq!(flags.get("verbose").map(String::as_str), Some(""));
+    }
+
+    #[test]
+    fn required_reports_missing_flag() {
+        let (_, flags) = parse_flags(&argv("run"));
+        let err = required(&flags, "config").unwrap_err();
+        assert!(err.to_string().contains("--config"));
+    }
+
+    #[test]
+    fn parse_mapping_accepts_all_algorithms() {
+        assert_eq!(parse_mapping("bin-based").unwrap(), MappingAlgorithm::BinBased);
+        assert_eq!(parse_mapping("element-based").unwrap(), MappingAlgorithm::ElementBased);
+        assert_eq!(parse_mapping("hilbert-ordered").unwrap(), MappingAlgorithm::HilbertOrdered);
+        assert_eq!(parse_mapping("load-balanced").unwrap(), MappingAlgorithm::LoadBalanced);
+        assert!(parse_mapping("nonsense").is_err());
+    }
+
+    #[test]
+    fn parse_machine_presets() {
+        assert_eq!(parse_machine("quartz").unwrap().name, "quartz-like");
+        assert_eq!(parse_machine("vulcan-like").unwrap().name, "vulcan-like");
+        assert_eq!(parse_machine("localhost").unwrap().nodes, 1);
+        assert!(parse_machine("/nonexistent/machine.json").is_err());
+    }
+
+    #[test]
+    fn parse_mesh_spec() {
+        let (_, flags) = parse_flags(&argv("x --mesh 4x6x8 --order 3"));
+        let mesh = parse_mesh(&flags, Aabb::unit()).unwrap().unwrap();
+        assert_eq!(mesh.dims().to_array(), [4, 6, 8]);
+        assert_eq!(mesh.order(), 3);
+        // absent → None
+        let (_, flags) = parse_flags(&argv("x"));
+        assert!(parse_mesh(&flags, Aabb::unit()).unwrap().is_none());
+        // malformed
+        let (_, flags) = parse_flags(&argv("x --mesh 4x6"));
+        assert!(parse_mesh(&flags, Aabb::unit()).is_err());
+    }
+
+    #[test]
+    fn dispatch_rejects_unknown_command() {
+        assert!(dispatch(&argv("frobnicate")).is_err());
+        assert!(dispatch(&[]).is_err());
+    }
+
+    #[test]
+    fn usize_list_parsing() {
+        assert_eq!(parse_usize_list("1,2, 4", "x").unwrap(), vec![1, 2, 4]);
+        assert!(parse_usize_list("1,a", "x").is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! # pic-predict
+//!
+//! The trace-driven performance prediction framework (paper Fig 2), tying
+//! the pieces together:
+//!
+//! ```text
+//!  particle trace ──► Dynamic Workload Generator ──► workload matrices
+//!        ▲                (pic-workload)                   │
+//!        │                                                 ▼
+//!  mini PIC app ──► kernel timing records ──► Model Generator ──► models
+//!   (pic-sim)            (pic-sim)             (pic-models)        │
+//!                                                                  ▼
+//!                              Simulation Platform (pic-des) ◄── schedule
+//!                                        │
+//!                                        ▼
+//!                         predicted kernel & application times
+//! ```
+//!
+//! Entry points:
+//! * [`KernelModels`] — fit per-kernel performance models from timing
+//!   records (linear or GP-symbolic, with automatic fallback);
+//! * [`pipeline`] — kernel-time prediction over a generated workload, the
+//!   DES schedule builder, and end-to-end application-time prediction;
+//! * [`validate`] — exact DWG-vs-ground-truth workload checks and the
+//!   Fig 7 kernel-MAPE computation;
+//! * [`studies`] — the paper's three use cases: scalability prediction,
+//!   mapping-algorithm evaluation, and the projection-filter parameter
+//!   study;
+//! * [`run_case_study`] — one call that runs the mini-app, generates the
+//!   workload, fits models, validates, and predicts application time.
+
+#![warn(missing_docs)]
+
+pub mod kernel_models;
+pub mod pipeline;
+pub mod studies;
+pub mod validate;
+
+pub use kernel_models::{FitStrategy, KernelModels};
+pub use pipeline::{build_schedule, predict_application, predict_kernel_seconds, CaseStudyOutput};
+pub use pipeline::run_case_study;
+pub use validate::{kernel_mape_vs_ground_truth, workload_matches_ground_truth};

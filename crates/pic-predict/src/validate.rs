@@ -1,0 +1,175 @@
+//! Validation of the Dynamic Workload Generator and of kernel predictions
+//! against mini-app ground truth.
+//!
+//! The paper validated its Fig 5 workload predictions "by comparing the
+//! output of our Dynamic Workload Generator with actual workload" and its
+//! models via per-kernel MAPE (Fig 7). Both checks live here.
+
+use pic_sim::app::GroundTruth;
+use pic_sim::KernelKind;
+use pic_types::{PicError, Result};
+use pic_workload::DynamicWorkload;
+
+/// Assert that a generated workload reproduces the mini-app's ground truth
+/// *exactly*: same real counts, same ghost counts, same migrations, same
+/// bin counts at every sample.
+///
+/// Exactness is the point: the DWG mimics the mapping algorithm on the same
+/// positions, so any mismatch is a bug, not noise.
+pub fn workload_matches_ground_truth(w: &DynamicWorkload, gt: &GroundTruth) -> Result<()> {
+    if w.ranks != gt.ranks {
+        return Err(PicError::sim(format!(
+            "rank mismatch: workload {} vs ground truth {}",
+            w.ranks, gt.ranks
+        )));
+    }
+    if w.samples() != gt.samples.len() {
+        return Err(PicError::sim(format!(
+            "sample mismatch: workload {} vs ground truth {}",
+            w.samples(),
+            gt.samples.len()
+        )));
+    }
+    for (t, s) in gt.samples.iter().enumerate() {
+        if w.real.sample_row(t) != &s.real_counts[..] {
+            return Err(PicError::sim(format!("real counts differ at sample {t}")));
+        }
+        if w.ghost_recv.sample_row(t) != &s.ghost_recv_counts[..] {
+            return Err(PicError::sim(format!("ghost recv counts differ at sample {t}")));
+        }
+        if w.ghost_sent.sample_row(t) != &s.ghost_sent_counts[..] {
+            return Err(PicError::sim(format!("ghost sent counts differ at sample {t}")));
+        }
+        if w.comm.entries[t] != s.migrations {
+            return Err(PicError::sim(format!("migrations differ at sample {t}")));
+        }
+        if w.bin_counts[t] != s.bin_count {
+            return Err(PicError::sim(format!("bin counts differ at sample {t}")));
+        }
+    }
+    Ok(())
+}
+
+/// Per-kernel MAPE of predicted kernel times against the ground truth's
+/// observed per-rank times — the paper's Fig 7.
+///
+/// `predicted[sample][rank][k]` must be indexed like
+/// [`GroundTruthSample::kernel_seconds`](pic_sim::app::GroundTruthSample),
+/// i.e. `k` in [`KernelKind::ALL`] order. Rank/sample pairs whose observed
+/// time is zero (idle ranks) are skipped, as in any percentage-error
+/// metric.
+pub fn kernel_mape_vs_ground_truth(
+    predicted: &[Vec<[f64; 6]>],
+    gt: &GroundTruth,
+) -> Result<Vec<(KernelKind, f64)>> {
+    if predicted.len() != gt.samples.len() {
+        return Err(PicError::sim("prediction/ground-truth sample mismatch"));
+    }
+    let mut out = Vec::with_capacity(6);
+    for (slot, &kernel) in KernelKind::ALL.iter().enumerate() {
+        let mut pred = Vec::new();
+        let mut actual = Vec::new();
+        for (p_sample, g_sample) in predicted.iter().zip(&gt.samples) {
+            if p_sample.len() != g_sample.kernel_seconds.len() {
+                return Err(PicError::sim("prediction/ground-truth rank mismatch"));
+            }
+            for (p_rank, g_rank) in p_sample.iter().zip(&g_sample.kernel_seconds) {
+                if g_rank[slot] > 0.0 {
+                    pred.push(p_rank[slot]);
+                    actual.push(g_rank[slot]);
+                }
+            }
+        }
+        out.push((kernel, pic_types::stats::mape(&pred, &actual)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pic_sim::app::GroundTruthSample;
+    use pic_workload::{CommMatrix, CompMatrix};
+
+    fn tiny_gt() -> GroundTruth {
+        GroundTruth {
+            ranks: 2,
+            elements_per_rank: vec![4, 4],
+            samples: vec![GroundTruthSample {
+                iteration: 0,
+                real_counts: vec![3, 1],
+                ghost_recv_counts: vec![0, 1],
+                ghost_sent_counts: vec![1, 0],
+                bin_count: Some(2),
+                migrations: vec![],
+                kernel_seconds: vec![[1.0; 6], [2.0; 6]],
+            }],
+        }
+    }
+
+    fn matching_workload() -> DynamicWorkload {
+        DynamicWorkload {
+            ranks: 2,
+            iterations: vec![0],
+            real: CompMatrix::from_rows(2, vec![vec![3, 1]]),
+            ghost_recv: CompMatrix::from_rows(2, vec![vec![0, 1]]),
+            ghost_sent: CompMatrix::from_rows(2, vec![vec![1, 0]]),
+            comm: CommMatrix::with_samples(1),
+            bin_counts: vec![Some(2)],
+        }
+    }
+
+    #[test]
+    fn exact_match_passes() {
+        workload_matches_ground_truth(&matching_workload(), &tiny_gt()).unwrap();
+    }
+
+    #[test]
+    fn count_mismatch_fails_with_sample_info() {
+        let mut w = matching_workload();
+        w.real = CompMatrix::from_rows(2, vec![vec![2, 2]]);
+        let err = workload_matches_ground_truth(&w, &tiny_gt()).unwrap_err();
+        assert!(err.to_string().contains("sample 0"), "{err}");
+    }
+
+    #[test]
+    fn rank_mismatch_fails() {
+        let mut w = matching_workload();
+        w.ranks = 3;
+        assert!(workload_matches_ground_truth(&w, &tiny_gt()).is_err());
+    }
+
+    #[test]
+    fn bin_count_mismatch_fails() {
+        let mut w = matching_workload();
+        w.bin_counts = vec![Some(1)];
+        assert!(workload_matches_ground_truth(&w, &tiny_gt()).is_err());
+    }
+
+    #[test]
+    fn mape_perfect_prediction_is_zero() {
+        let gt = tiny_gt();
+        let predicted = vec![vec![[1.0; 6], [2.0; 6]]];
+        let mapes = kernel_mape_vs_ground_truth(&predicted, &gt).unwrap();
+        assert_eq!(mapes.len(), 6);
+        for (_, m) in mapes {
+            assert_eq!(m, 0.0);
+        }
+    }
+
+    #[test]
+    fn mape_ten_percent_error() {
+        let gt = tiny_gt();
+        let predicted = vec![vec![[1.1; 6], [2.2; 6]]];
+        let mapes = kernel_mape_vs_ground_truth(&predicted, &gt).unwrap();
+        for (_, m) in mapes {
+            assert!((m - 10.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mape_sample_mismatch_is_error() {
+        let gt = tiny_gt();
+        assert!(kernel_mape_vs_ground_truth(&[], &gt).is_err());
+    }
+}

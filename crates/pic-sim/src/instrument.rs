@@ -1,0 +1,217 @@
+//! Kernel instrumentation: what the paper calls "instrumenting the source
+//! code and benchmarking key computation kernels" (§II-B).
+//!
+//! Every kernel invocation on every simulated rank yields a
+//! [`TrainingRecord`]: the workload parameters it ran with and the time it
+//! took. The Model Generator consumes these records as its training data.
+
+use serde::{Deserialize, Serialize};
+
+/// The instrumented kernels of the mini PIC application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum KernelKind {
+    /// Grid → particle interpolation of fluid properties.
+    Interpolation,
+    /// Drag / gravity / collision force solve (conservation of momentum).
+    EquationSolver,
+    /// Position advance.
+    ParticlePusher,
+    /// Particle → grid projection within the filter radius.
+    Projection,
+    /// Ghost-particle creation across rank boundaries.
+    CreateGhostParticles,
+    /// The (regular) per-element fluid solve — included to model total step
+    /// time; its workload is uniform so it never drives imbalance.
+    FluidSolver,
+}
+
+impl KernelKind {
+    /// All kernels, in solver-loop order.
+    pub const ALL: [KernelKind; 6] = [
+        KernelKind::FluidSolver,
+        KernelKind::CreateGhostParticles,
+        KernelKind::Interpolation,
+        KernelKind::EquationSolver,
+        KernelKind::ParticlePusher,
+        KernelKind::Projection,
+    ];
+
+    /// Stable display name (matches the paper's kernel naming style).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::Interpolation => "interpolation",
+            KernelKind::EquationSolver => "equation_solver",
+            KernelKind::ParticlePusher => "particle_pusher",
+            KernelKind::Projection => "projection",
+            KernelKind::CreateGhostParticles => "create_ghost_particles",
+            KernelKind::FluidSolver => "fluid_solver",
+        }
+    }
+}
+
+impl std::fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The workload parameters a kernel invocation sees on one rank — the
+/// independent variables of the performance models (paper §II-B: `N_p`,
+/// `N_el`, etc.).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadParams {
+    /// Real particles residing on the rank.
+    pub np: f64,
+    /// Ghost particles on the rank.
+    pub ngp: f64,
+    /// Spectral elements on the rank.
+    pub nel: f64,
+    /// Grid resolution within an element (GLL points per direction).
+    pub n_order: f64,
+    /// Projection filter radius.
+    pub filter: f64,
+}
+
+impl WorkloadParams {
+    /// Parameter values as a feature vector, in the canonical order
+    /// `[np, ngp, nel, n_order, filter]`.
+    pub fn features(&self) -> [f64; 5] {
+        [self.np, self.ngp, self.nel, self.n_order, self.filter]
+    }
+
+    /// Canonical feature names, parallel to [`WorkloadParams::features`].
+    pub const FEATURE_NAMES: [&'static str; 5] = ["np", "ngp", "nel", "n_order", "filter"];
+}
+
+/// One observed kernel execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingRecord {
+    /// Which kernel ran.
+    pub kernel: KernelKind,
+    /// The workload it ran with.
+    pub params: WorkloadParams,
+    /// Measured (or oracle-generated) execution time in seconds.
+    pub seconds: f64,
+}
+
+/// Accumulates training records during a simulation or benchmark sweep.
+#[derive(Debug, Default, Clone)]
+pub struct Recorder {
+    records: Vec<TrainingRecord>,
+}
+
+impl Recorder {
+    /// An empty recorder.
+    pub fn new() -> Recorder {
+        Recorder::default()
+    }
+
+    /// Record one kernel execution.
+    pub fn record(&mut self, kernel: KernelKind, params: WorkloadParams, seconds: f64) {
+        self.records.push(TrainingRecord { kernel, params, seconds });
+    }
+
+    /// All records so far.
+    pub fn records(&self) -> &[TrainingRecord] {
+        &self.records
+    }
+
+    /// Records for one kernel.
+    pub fn for_kernel(&self, kernel: KernelKind) -> Vec<TrainingRecord> {
+        self.records.iter().copied().filter(|r| r.kernel == kernel).collect()
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Merge another recorder's records into this one.
+    pub fn merge(&mut self, other: Recorder) {
+        self.records.extend(other.records);
+    }
+
+    /// Total recorded seconds for a kernel (its share of the critical path
+    /// when summed over the max rank per step).
+    pub fn total_seconds(&self, kernel: KernelKind) -> f64 {
+        self.records.iter().filter(|r| r.kernel == kernel).map(|r| r.seconds).sum()
+    }
+
+    /// Serialize all records to JSON (the on-disk training-data format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(&self.records).expect("records serialize")
+    }
+
+    /// Parse records from JSON.
+    pub fn from_json(s: &str) -> pic_types::Result<Recorder> {
+        let records: Vec<TrainingRecord> = serde_json::from_str(s)
+            .map_err(|e| pic_types::PicError::model(format!("bad records JSON: {e}")))?;
+        Ok(Recorder { records })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(np: f64) -> WorkloadParams {
+        WorkloadParams { np, ngp: 2.0, nel: 8.0, n_order: 5.0, filter: 0.1 }
+    }
+
+    #[test]
+    fn kernel_names_are_unique() {
+        let mut names: Vec<_> = KernelKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), KernelKind::ALL.len());
+    }
+
+    #[test]
+    fn features_match_names() {
+        let p = WorkloadParams { np: 1.0, ngp: 2.0, nel: 3.0, n_order: 4.0, filter: 5.0 };
+        assert_eq!(p.features(), [1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(WorkloadParams::FEATURE_NAMES.len(), p.features().len());
+    }
+
+    #[test]
+    fn recorder_filters_by_kernel() {
+        let mut r = Recorder::new();
+        assert!(r.is_empty());
+        r.record(KernelKind::Interpolation, params(10.0), 0.5);
+        r.record(KernelKind::Projection, params(20.0), 1.0);
+        r.record(KernelKind::Interpolation, params(30.0), 0.25);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.for_kernel(KernelKind::Interpolation).len(), 2);
+        assert_eq!(r.total_seconds(KernelKind::Interpolation), 0.75);
+        assert_eq!(r.total_seconds(KernelKind::FluidSolver), 0.0);
+    }
+
+    #[test]
+    fn recorder_merge() {
+        let mut a = Recorder::new();
+        a.record(KernelKind::ParticlePusher, params(1.0), 0.1);
+        let mut b = Recorder::new();
+        b.record(KernelKind::Projection, params(2.0), 0.2);
+        a.merge(b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let rec = TrainingRecord {
+            kernel: KernelKind::CreateGhostParticles,
+            params: params(7.0),
+            seconds: 0.125,
+        };
+        let json = serde_json::to_string(&rec).unwrap();
+        assert!(json.contains("create_ghost_particles"));
+        let back: TrainingRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rec);
+    }
+}

@@ -1,0 +1,192 @@
+//! Problem scenarios: initial particle distributions and their driving
+//! fluid fields.
+//!
+//! The paper's case study is the **Hele-Shaw** simulation (§IV-A, ref \[21\]):
+//! a dense particle bed packed at the bottom of a cylinder, dispersed by a
+//! shock wave when a pressurized-gas diaphragm bursts beneath it. Its two
+//! load-relevant properties — extreme initial concentration and a particle
+//! boundary that expands over time — are what the element- vs bin-mapping
+//! comparison and the bin-count analysis hinge on. Two further scenarios
+//! (uniform cloud, vortex-driven cluster) exercise the framework on
+//! qualitatively different workloads.
+
+use crate::field::{BlastField, FluidField, UniformFlow, VortexField};
+use crate::particles::ParticleSet;
+use pic_types::rng::SplitMix64;
+use pic_types::{Aabb, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// Available problem scenarios.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum ScenarioKind {
+    /// Dense particle bed at the bottom of a cylinder, blast-dispersed
+    /// (the paper's case study).
+    HeleShaw,
+    /// Particles uniform over the whole domain, drifting slowly.
+    UniformCloud,
+    /// A Gaussian particle cluster stirred by a vortex.
+    VortexCluster,
+}
+
+impl ScenarioKind {
+    /// Scenario name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScenarioKind::HeleShaw => "hele-shaw",
+            ScenarioKind::UniformCloud => "uniform-cloud",
+            ScenarioKind::VortexCluster => "vortex-cluster",
+        }
+    }
+
+    /// Build the initial particle population inside `domain`.
+    pub fn init_particles(self, domain: Aabb, count: usize, seed: u64) -> ParticleSet {
+        let mut rng = SplitMix64::new(seed);
+        let mut set = ParticleSet::with_capacity(count);
+        let ext = domain.extent();
+        match self {
+            ScenarioKind::HeleShaw => {
+                // Cylindrical bed: radius 30 % of the narrow axis, height the
+                // bottom 12 % of the domain, centred on the bottom face.
+                let center = Vec3::new(
+                    0.5 * (domain.min.x + domain.max.x),
+                    0.5 * (domain.min.y + domain.max.y),
+                    domain.min.z,
+                );
+                let radius = 0.3 * ext.x.min(ext.y) * 0.5 * 2.0; // 30% of min(x,y) extent
+                let height = 0.12 * ext.z;
+                for _ in 0..count {
+                    // Uniform over the disc: r = R√u.
+                    let r = radius * rng.next_f64().sqrt();
+                    let theta = rng.next_range(0.0, std::f64::consts::TAU);
+                    let z = center.z + rng.next_range(0.0, height);
+                    set.push_at_rest(Vec3::new(
+                        center.x + r * theta.cos(),
+                        center.y + r * theta.sin(),
+                        z,
+                    ));
+                }
+            }
+            ScenarioKind::UniformCloud => {
+                for _ in 0..count {
+                    set.push_at_rest(Vec3::new(
+                        rng.next_range(domain.min.x, domain.max.x),
+                        rng.next_range(domain.min.y, domain.max.y),
+                        rng.next_range(domain.min.z, domain.max.z),
+                    ));
+                }
+            }
+            ScenarioKind::VortexCluster => {
+                let center = domain.center() + Vec3::new(0.2 * ext.x, 0.0, 0.0);
+                let sigma = 0.08 * ext.x.max(ext.y).max(ext.z);
+
+                for _ in 0..count {
+                    let mut p = center
+                        + Vec3::new(
+                            sigma * rng.next_gaussian(),
+                            sigma * rng.next_gaussian(),
+                            sigma * rng.next_gaussian(),
+                        );
+                    p = p.clamp(domain.min, domain.max);
+                    set.push_at_rest(p);
+                }
+            }
+        }
+        set
+    }
+
+    /// The fluid field that drives this scenario inside `domain`.
+    pub fn field(self, domain: Aabb) -> Box<dyn FluidField> {
+        match self {
+            ScenarioKind::HeleShaw => {
+                let mut f = BlastField::hele_shaw_default();
+                f.origin = Vec3::new(
+                    0.5 * (domain.min.x + domain.max.x),
+                    0.5 * (domain.min.y + domain.max.y),
+                    domain.min.z,
+                );
+                Box::new(f)
+            }
+            ScenarioKind::UniformCloud => {
+                Box::new(UniformFlow { velocity: Vec3::new(0.15, 0.1, 0.05) })
+            }
+            ScenarioKind::VortexCluster => {
+                Box::new(VortexField { center: domain.center(), angular_speed: 1.5 })
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for ScenarioKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hele_shaw_bed_is_concentrated_at_bottom() {
+        let domain = Aabb::unit();
+        let set = ScenarioKind::HeleShaw.init_particles(domain, 2000, 1);
+        assert_eq!(set.len(), 2000);
+        let b = set.boundary();
+        // bed occupies the bottom slab only
+        assert!(b.max.z <= 0.121, "bed too tall: {}", b.max.z);
+        // and is concentrated near the centre in x/y
+        assert!(b.min.x > 0.15 && b.max.x < 0.85, "{b}");
+        // bed volume is a small fraction of the domain
+        assert!(b.volume() < 0.05 * domain.volume());
+    }
+
+    #[test]
+    fn uniform_cloud_fills_domain() {
+        let set = ScenarioKind::UniformCloud.init_particles(Aabb::unit(), 5000, 2);
+        let b = set.boundary();
+        assert!(b.volume() > 0.9, "{b}");
+        for &p in &set.position {
+            assert!(Aabb::unit().contains_closed(p));
+        }
+    }
+
+    #[test]
+    fn vortex_cluster_is_compact_and_inside() {
+        let domain = Aabb::unit();
+        let set = ScenarioKind::VortexCluster.init_particles(domain, 3000, 3);
+        let b = set.boundary();
+        assert!(b.volume() < 0.6 * domain.volume());
+        for &p in &set.position {
+            assert!(domain.contains_closed(p));
+        }
+    }
+
+    #[test]
+    fn initialization_is_deterministic() {
+        let a = ScenarioKind::HeleShaw.init_particles(Aabb::unit(), 100, 42);
+        let b = ScenarioKind::HeleShaw.init_particles(Aabb::unit(), 100, 42);
+        assert_eq!(a.position, b.position);
+        let c = ScenarioKind::HeleShaw.init_particles(Aabb::unit(), 100, 43);
+        assert_ne!(a.position, c.position);
+    }
+
+    #[test]
+    fn fields_match_scenarios() {
+        let domain = Aabb::unit();
+        // Hele-Shaw blast pushes up from the bottom centre after burst.
+        let f = ScenarioKind::HeleShaw.field(domain);
+        let v = f.velocity(Vec3::new(0.5, 0.5, 0.1), 0.2);
+        assert!(v.z > 0.0);
+        // Vortex swirls.
+        let f = ScenarioKind::VortexCluster.field(domain);
+        let v = f.velocity(Vec3::new(0.9, 0.5, 0.5), 0.0);
+        assert!(v.y.abs() > 0.0);
+    }
+
+    #[test]
+    fn serde_kebab_names() {
+        assert_eq!(serde_json::to_string(&ScenarioKind::HeleShaw).unwrap(), "\"hele-shaw\"");
+        assert_eq!(ScenarioKind::VortexCluster.to_string(), "vortex-cluster");
+    }
+}

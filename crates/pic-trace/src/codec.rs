@@ -1,0 +1,415 @@
+//! Binary trace codec and streaming IO.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! header:  magic "PICTRC01" | precision u8 | pad [u8;3] | sample_interval u32
+//!          | particle_count u64 | domain min/max 6×f64
+//!          | desc_len u32 | desc utf-8 bytes
+//! frame:   iteration u64 | particle_count × (x y z)   (f64 or f32 each)
+//! ```
+//!
+//! Frames repeat until end-of-stream. A trace with millions of particles and
+//! thousands of samples easily reaches hundreds of gigabytes at `f64`
+//! precision (the paper's key practical limitation), so the codec supports
+//! `f32` storage which halves the file at ~1e-7 relative position error —
+//! far below an element edge length, hence workload-neutral.
+
+use crate::trace::{ParticleTrace, TraceMeta, TraceSample};
+use bytes::{Buf, BufMut};
+use pic_types::{Aabb, PicError, Result, Vec3};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// File magic for trace format version 1.
+pub const MAGIC: &[u8; 8] = b"PICTRC01";
+
+/// Floating-point width used for stored positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    /// 8-byte positions (lossless).
+    F64,
+    /// 4-byte positions (half the file size, ~1e-7 relative error).
+    F32,
+}
+
+impl Precision {
+    fn tag(self) -> u8 {
+        match self {
+            Precision::F64 => 0,
+            Precision::F32 => 1,
+        }
+    }
+
+    fn from_tag(t: u8) -> Result<Precision> {
+        match t {
+            0 => Ok(Precision::F64),
+            1 => Ok(Precision::F32),
+            _ => Err(PicError::trace(format!("unknown precision tag {t}"))),
+        }
+    }
+
+    /// Bytes per scalar coordinate.
+    pub fn scalar_bytes(self) -> usize {
+        match self {
+            Precision::F64 => 8,
+            Precision::F32 => 4,
+        }
+    }
+}
+
+fn encode_header(meta: &TraceMeta, precision: Precision) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + meta.description.len());
+    buf.put_slice(MAGIC);
+    buf.put_u8(precision.tag());
+    buf.put_slice(&[0u8; 3]);
+    buf.put_u32_le(meta.sample_interval);
+    buf.put_u64_le(meta.particle_count as u64);
+    for v in [meta.domain.min, meta.domain.max] {
+        buf.put_f64_le(v.x);
+        buf.put_f64_le(v.y);
+        buf.put_f64_le(v.z);
+    }
+    buf.put_u32_le(meta.description.len() as u32);
+    buf.put_slice(meta.description.as_bytes());
+    buf
+}
+
+fn read_exact_vec<R: Read>(r: &mut R, n: usize) -> Result<Vec<u8>> {
+    let mut buf = vec![0u8; n];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+/// Streaming writer: emits the header on construction, then one frame per
+/// [`TraceWriter::write_sample`] call. Holds no frame data between calls.
+pub struct TraceWriter<W: Write> {
+    sink: W,
+    precision: Precision,
+    particle_count: usize,
+    frames_written: usize,
+    scratch: Vec<u8>,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Write the header for `meta` and return the writer.
+    pub fn new(mut sink: W, meta: &TraceMeta, precision: Precision) -> Result<TraceWriter<W>> {
+        sink.write_all(&encode_header(meta, precision))?;
+        Ok(TraceWriter {
+            sink,
+            precision,
+            particle_count: meta.particle_count,
+            frames_written: 0,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Append one sample frame.
+    pub fn write_sample(&mut self, sample: &TraceSample) -> Result<()> {
+        if sample.positions.len() != self.particle_count {
+            return Err(PicError::trace(format!(
+                "frame has {} positions, header says {}",
+                sample.positions.len(),
+                self.particle_count
+            )));
+        }
+        let frame_len = 8 + self.particle_count * 3 * self.precision.scalar_bytes();
+        self.scratch.clear();
+        self.scratch.reserve(frame_len);
+        self.scratch.put_u64_le(sample.iteration);
+        match self.precision {
+            Precision::F64 => {
+                for p in &sample.positions {
+                    self.scratch.put_f64_le(p.x);
+                    self.scratch.put_f64_le(p.y);
+                    self.scratch.put_f64_le(p.z);
+                }
+            }
+            Precision::F32 => {
+                for p in &sample.positions {
+                    self.scratch.put_f32_le(p.x as f32);
+                    self.scratch.put_f32_le(p.y as f32);
+                    self.scratch.put_f32_le(p.z as f32);
+                }
+            }
+        }
+        self.sink.write_all(&self.scratch)?;
+        self.frames_written += 1;
+        Ok(())
+    }
+
+    /// Number of frames written so far.
+    pub fn frames_written(&self) -> usize {
+        self.frames_written
+    }
+
+    /// Flush and return the underlying sink.
+    pub fn finish(mut self) -> Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Streaming reader: parses the header on construction, then yields one
+/// frame per [`TraceReader::read_sample`] call.
+pub struct TraceReader<R: Read> {
+    source: R,
+    meta: TraceMeta,
+    precision: Precision,
+    frames_read: usize,
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Parse the header and return the reader.
+    pub fn new(mut source: R) -> Result<TraceReader<R>> {
+        let head = read_exact_vec(&mut source, 8 + 4 + 4 + 8 + 48 + 4)?;
+        let mut buf = &head[..];
+        let mut magic = [0u8; 8];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(PicError::trace("bad magic: not a pic-trace file"));
+        }
+        let precision = Precision::from_tag(buf.get_u8())?;
+        buf.advance(3);
+        let sample_interval = buf.get_u32_le();
+        let particle_count = buf.get_u64_le() as usize;
+        let mut corners = [0.0f64; 6];
+        for c in &mut corners {
+            *c = buf.get_f64_le();
+        }
+        let desc_len = buf.get_u32_le() as usize;
+        let desc_bytes = read_exact_vec(&mut source, desc_len)?;
+        let description = String::from_utf8(desc_bytes)
+            .map_err(|_| PicError::trace("description is not valid UTF-8"))?;
+        let domain = Aabb {
+            min: Vec3::new(corners[0], corners[1], corners[2]),
+            max: Vec3::new(corners[3], corners[4], corners[5]),
+        };
+        let meta = TraceMeta { particle_count, sample_interval, domain, description };
+        Ok(TraceReader { source, meta, precision, frames_read: 0 })
+    }
+
+    /// Trace metadata from the header.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Storage precision of the file.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Read the next frame; `Ok(None)` at a clean end-of-stream. A stream
+    /// that ends mid-frame is a [`PicError::TraceFormat`] error.
+    pub fn read_sample(&mut self) -> Result<Option<TraceSample>> {
+        let mut iter_buf = [0u8; 8];
+        match self.source.read_exact(&mut iter_buf) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+        let iteration = u64::from_le_bytes(iter_buf);
+        let n = self.meta.particle_count;
+        let body_len = n * 3 * self.precision.scalar_bytes();
+        let body = read_exact_vec(&mut self.source, body_len).map_err(|_| {
+            PicError::trace(format!("truncated frame at iteration {iteration}"))
+        })?;
+        let mut buf = &body[..];
+        let mut positions = Vec::with_capacity(n);
+        match self.precision {
+            Precision::F64 => {
+                for _ in 0..n {
+                    positions.push(Vec3::new(buf.get_f64_le(), buf.get_f64_le(), buf.get_f64_le()));
+                }
+            }
+            Precision::F32 => {
+                for _ in 0..n {
+                    positions.push(Vec3::new(
+                        buf.get_f32_le() as f64,
+                        buf.get_f32_le() as f64,
+                        buf.get_f32_le() as f64,
+                    ));
+                }
+            }
+        }
+        self.frames_read += 1;
+        Ok(Some(TraceSample { iteration, positions }))
+    }
+
+    /// Number of frames read so far.
+    pub fn frames_read(&self) -> usize {
+        self.frames_read
+    }
+
+    /// Read every remaining frame into a [`ParticleTrace`].
+    pub fn read_all(mut self) -> Result<ParticleTrace> {
+        let mut trace = ParticleTrace::new(self.meta.clone());
+        while let Some(s) = self.read_sample()? {
+            trace.push_sample(s)?;
+        }
+        Ok(trace)
+    }
+}
+
+/// Encode a whole trace into a byte vector.
+///
+/// ```
+/// use pic_trace::{ParticleTrace, TraceMeta};
+/// use pic_trace::codec::{encode_trace, decode_trace, Precision};
+/// use pic_types::{Aabb, Vec3};
+///
+/// let mut trace = ParticleTrace::new(TraceMeta::new(1, 10, Aabb::unit(), "demo"));
+/// trace.push_positions(vec![Vec3::splat(0.5)])?;
+/// let bytes = encode_trace(&trace, Precision::F64)?;
+/// assert_eq!(decode_trace(&bytes)?, trace); // lossless at f64
+/// # Ok::<(), pic_types::PicError>(())
+/// ```
+pub fn encode_trace(trace: &ParticleTrace, precision: Precision) -> Result<Vec<u8>> {
+    let mut w = TraceWriter::new(Vec::new(), trace.meta(), precision)?;
+    for s in trace.samples() {
+        w.write_sample(s)?;
+    }
+    w.finish()
+}
+
+/// Decode a trace from bytes.
+pub fn decode_trace(bytes: &[u8]) -> Result<ParticleTrace> {
+    TraceReader::new(bytes)?.read_all()
+}
+
+/// Write a trace to a file.
+pub fn save_file(trace: &ParticleTrace, path: impl AsRef<Path>, precision: Precision) -> Result<()> {
+    let f = std::fs::File::create(path)?;
+    let mut w = TraceWriter::new(std::io::BufWriter::new(f), trace.meta(), precision)?;
+    for s in trace.samples() {
+        w.write_sample(s)?;
+    }
+    w.finish()?;
+    Ok(())
+}
+
+/// Read a trace from a file.
+pub fn load_file(path: impl AsRef<Path>) -> Result<ParticleTrace> {
+    let f = std::fs::File::open(path)?;
+    TraceReader::new(std::io::BufReader::new(f))?.read_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace(np: usize, t: usize) -> ParticleTrace {
+        let meta = TraceMeta::new(np, 100, Aabb::unit(), "codec-test");
+        let mut tr = ParticleTrace::new(meta);
+        for k in 0..t {
+            let positions =
+                (0..np).map(|i| Vec3::new(i as f64 * 0.01, k as f64 * 0.02, 0.5)).collect();
+            tr.push_positions(positions).unwrap();
+        }
+        tr
+    }
+
+    #[test]
+    fn f64_roundtrip_is_lossless() {
+        let tr = sample_trace(17, 5);
+        let bytes = encode_trace(&tr, Precision::F64).unwrap();
+        let back = decode_trace(&bytes).unwrap();
+        assert_eq!(back, tr);
+    }
+
+    #[test]
+    fn f32_roundtrip_is_close() {
+        let tr = sample_trace(8, 3);
+        let bytes = encode_trace(&tr, Precision::F32).unwrap();
+        let back = decode_trace(&bytes).unwrap();
+        assert_eq!(back.sample_count(), tr.sample_count());
+        for t in 0..tr.sample_count() {
+            for (a, b) in tr.positions_at(t).iter().zip(back.positions_at(t)) {
+                assert!(a.distance(*b) < 1e-6);
+            }
+        }
+        // and smaller on disk
+        let f64_bytes = encode_trace(&tr, Precision::F64).unwrap();
+        assert!(bytes.len() < f64_bytes.len());
+    }
+
+    #[test]
+    fn header_metadata_roundtrips() {
+        let tr = sample_trace(4, 1);
+        let bytes = encode_trace(&tr, Precision::F64).unwrap();
+        let r = TraceReader::new(&bytes[..]).unwrap();
+        assert_eq!(r.meta(), tr.meta());
+        assert_eq!(r.precision(), Precision::F64);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let tr = sample_trace(2, 1);
+        let mut bytes = encode_trace(&tr, Precision::F64).unwrap();
+        bytes[0] = b'X';
+        assert!(decode_trace(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let tr = sample_trace(5, 2);
+        let bytes = encode_trace(&tr, Precision::F64).unwrap();
+        // cut into the middle of the second frame
+        let cut = bytes.len() - 10;
+        let err = decode_trace(&bytes[..cut]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let tr = sample_trace(3, 0);
+        let bytes = encode_trace(&tr, Precision::F64).unwrap();
+        let back = decode_trace(&bytes).unwrap();
+        assert_eq!(back.sample_count(), 0);
+        assert_eq!(back.meta(), tr.meta());
+    }
+
+    #[test]
+    fn streaming_reader_yields_frames_in_order() {
+        let tr = sample_trace(3, 4);
+        let bytes = encode_trace(&tr, Precision::F64).unwrap();
+        let mut r = TraceReader::new(&bytes[..]).unwrap();
+        let mut n = 0;
+        while let Some(s) = r.read_sample().unwrap() {
+            assert_eq!(&s, tr.sample(n));
+            n += 1;
+            assert_eq!(r.frames_read(), n);
+        }
+        assert_eq!(n, 4);
+    }
+
+    #[test]
+    fn writer_rejects_wrong_particle_count() {
+        let tr = sample_trace(3, 1);
+        let mut w = TraceWriter::new(Vec::new(), tr.meta(), Precision::F64).unwrap();
+        let bad = TraceSample { iteration: 0, positions: vec![Vec3::ZERO; 2] };
+        assert!(w.write_sample(&bad).is_err());
+        assert_eq!(w.frames_written(), 0);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let tr = sample_trace(6, 3);
+        let dir = std::env::temp_dir().join("pic_trace_codec_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pictrace");
+        save_file(&tr, &path, Precision::F64).unwrap();
+        let back = load_file(&path).unwrap();
+        assert_eq!(back, tr);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unicode_description_roundtrips() {
+        let meta = TraceMeta::new(1, 10, Aabb::unit(), "Hele-Shaw ∅→💥");
+        let mut tr = ParticleTrace::new(meta);
+        tr.push_positions(vec![Vec3::splat(0.5)]).unwrap();
+        let bytes = encode_trace(&tr, Precision::F64).unwrap();
+        assert_eq!(decode_trace(&bytes).unwrap().meta().description, "Hele-Shaw ∅→💥");
+    }
+}

@@ -1,0 +1,29 @@
+//! # pic-trace
+//!
+//! The *particle trace* substrate of the prediction framework (paper §II):
+//! particle positions sampled at a fixed iteration interval during one
+//! application run. A trace is the sole application-side input the Dynamic
+//! Workload Generator needs — particle movement is independent of the
+//! processor count, so one trace predicts workload at any scale.
+//!
+//! The crate provides:
+//! * [`ParticleTrace`] — the in-memory model (fixed particle population,
+//!   `T` samples of `N_p` positions);
+//! * [`codec`] — a compact binary on-disk format with `f64` or `f32`
+//!   precision (trace size is a first-class concern in the paper: full-scale
+//!   traces run to hundreds of gigabytes);
+//! * streaming [`TraceWriter`] / [`TraceReader`] that never hold more than
+//!   one frame in memory;
+//! * [`stats`] — particle-boundary evolution, displacement statistics, and
+//!   file-size estimation used for the sampling-frequency trade-off.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod extrapolate;
+pub mod stats;
+pub mod trace;
+
+pub use codec::{Precision, TraceReader, TraceWriter};
+pub use extrapolate::extrapolate;
+pub use trace::{ParticleTrace, TraceMeta, TraceSample};

@@ -1,0 +1,196 @@
+//! Trace statistics: particle-boundary evolution, displacement, sizing.
+//!
+//! Two paper-level concerns live here:
+//! * the **particle boundary** (tight AABB of all particles) per sample —
+//!   its expansion over time is what drives bin-count growth in Fig 6;
+//! * the **trace-size / sampling-frequency trade-off** (§II-D): bytes per
+//!   sample scale with `N_p`, so the estimator lets a user budget a
+//!   collection run before making it.
+
+use crate::codec::Precision;
+use crate::trace::ParticleTrace;
+use pic_types::{Aabb, Vec3};
+
+/// Tight bounding box of every particle at each sample.
+///
+/// Returns one AABB per sample (empty box for a sample of zero particles —
+/// cannot happen for valid traces, but kept total).
+pub fn boundary_series(trace: &ParticleTrace) -> Vec<Aabb> {
+    trace
+        .samples()
+        .map(|s| Aabb::from_points(s.positions.iter().copied()))
+        .collect()
+}
+
+/// Volume of the particle boundary at each sample. Strictly increasing for
+/// dispersal problems like Hele-Shaw.
+pub fn boundary_volume_series(trace: &ParticleTrace) -> Vec<f64> {
+    boundary_series(trace).iter().map(Aabb::volume).collect()
+}
+
+/// Per-sample mean displacement of particles relative to the previous
+/// sample. First entry is 0 (no predecessor).
+pub fn mean_displacement_series(trace: &ParticleTrace) -> Vec<f64> {
+    let t = trace.sample_count();
+    let mut out = Vec::with_capacity(t);
+    if t == 0 {
+        return out;
+    }
+    out.push(0.0);
+    for k in 1..t {
+        let prev = trace.positions_at(k - 1);
+        let cur = trace.positions_at(k);
+        let total: f64 = prev.iter().zip(cur).map(|(a, b)| a.distance(*b)).sum();
+        out.push(total / prev.len().max(1) as f64);
+    }
+    out
+}
+
+/// Maximum single-particle displacement between consecutive samples, over
+/// the whole trace. A displacement larger than an element edge between
+/// samples signals an under-sampled trace (the paper's "low sampling
+/// frequency does not accurately capture particle movement").
+pub fn max_step_displacement(trace: &ParticleTrace) -> f64 {
+    let t = trace.sample_count();
+    let mut max = 0.0f64;
+    for k in 1..t {
+        let prev = trace.positions_at(k - 1);
+        let cur = trace.positions_at(k);
+        for (a, b) in prev.iter().zip(cur) {
+            max = max.max(a.distance(*b));
+        }
+    }
+    max
+}
+
+/// Centroid of the particle cloud at each sample.
+pub fn centroid_series(trace: &ParticleTrace) -> Vec<Vec3> {
+    trace
+        .samples()
+        .map(|s| {
+            let n = s.positions.len().max(1) as f64;
+            s.positions.iter().fold(Vec3::ZERO, |acc, &p| acc + p) / n
+        })
+        .collect()
+}
+
+/// Estimated on-disk size in bytes of a trace with `particles` particles and
+/// `samples` samples at the given precision (header excluded — it is tens of
+/// bytes).
+pub fn estimated_file_size(particles: usize, samples: usize, precision: Precision) -> u64 {
+    let frame = 8 + particles as u64 * 3 * precision.scalar_bytes() as u64;
+    frame * samples as u64
+}
+
+/// Given a total iteration count and a byte budget, the coarsest sampling
+/// interval (iterations between samples) that fits the budget. Returns
+/// `None` when even a single sample exceeds the budget.
+pub fn sampling_interval_for_budget(
+    particles: usize,
+    total_iterations: u64,
+    budget_bytes: u64,
+    precision: Precision,
+) -> Option<u64> {
+    let frame = 8 + particles as u64 * 3 * precision.scalar_bytes() as u64;
+    if frame > budget_bytes {
+        return None;
+    }
+    let max_samples = (budget_bytes / frame).max(1);
+    Some((total_iterations / max_samples).max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceMeta;
+
+    fn expanding_trace() -> ParticleTrace {
+        // Two particles that move apart each sample.
+        let meta = TraceMeta::new(2, 10, Aabb::centered_cube(10.0), "expand");
+        let mut tr = ParticleTrace::new(meta);
+        for k in 0..4 {
+            let d = k as f64;
+            tr.push_positions(vec![Vec3::splat(-d), Vec3::splat(d)]).unwrap();
+        }
+        tr
+    }
+
+    #[test]
+    fn boundary_expands() {
+        let tr = expanding_trace();
+        let vols = boundary_volume_series(&tr);
+        assert_eq!(vols.len(), 4);
+        assert_eq!(vols[0], 0.0); // both particles at origin
+        for k in 1..4 {
+            assert!(vols[k] > vols[k - 1]);
+        }
+        let boxes = boundary_series(&tr);
+        assert_eq!(boxes[3], Aabb::centered_cube(3.0));
+    }
+
+    #[test]
+    fn displacement_series() {
+        let tr = expanding_trace();
+        let d = mean_displacement_series(&tr);
+        assert_eq!(d[0], 0.0);
+        let step = Vec3::splat(1.0).norm();
+        #[allow(clippy::needless_range_loop)]
+        for k in 1..4 {
+            assert!((d[k] - step).abs() < 1e-12);
+        }
+        assert!((max_step_displacement(&tr) - step).abs() < 1e-12);
+    }
+
+    #[test]
+    fn centroid_stays_at_origin_for_symmetric_cloud() {
+        let tr = expanding_trace();
+        for c in centroid_series(&tr) {
+            assert!(c.norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_trace_series_are_empty() {
+        let tr = ParticleTrace::new(TraceMeta::new(2, 10, Aabb::unit(), "e"));
+        assert!(boundary_series(&tr).is_empty());
+        assert!(mean_displacement_series(&tr).is_empty());
+        assert_eq!(max_step_displacement(&tr), 0.0);
+    }
+
+    #[test]
+    fn file_size_estimate_matches_codec() {
+        use crate::codec::encode_trace;
+        let tr = expanding_trace();
+        let bytes = encode_trace(&tr, Precision::F64).unwrap();
+        let est = estimated_file_size(2, 4, Precision::F64);
+        // header is the only difference
+        let header = bytes.len() as u64 - est;
+        assert!(header > 0 && header < 200, "header={header}");
+    }
+
+    #[test]
+    fn budget_sampling_interval() {
+        // 1000 particles, f32: frame = 8 + 12000 = 12008 bytes.
+        let frame = 8 + 1000 * 12;
+        // Budget for 10 frames over 1000 iterations → interval 100.
+        let i = sampling_interval_for_budget(1000, 1000, frame * 10, Precision::F32);
+        assert_eq!(i, Some(100));
+        // Budget too small for one frame.
+        assert_eq!(sampling_interval_for_budget(1000, 1000, 10, Precision::F32), None);
+        // Huge budget → interval clamps at 1.
+        assert_eq!(
+            sampling_interval_for_budget(10, 100, u64::MAX / 2, Precision::F64),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn paper_scale_trace_is_hundreds_of_gigabytes() {
+        // §II-D: millions of particles over a million time-steps, sampled
+        // every 100 iterations → 10⁴ samples.
+        let bytes = estimated_file_size(10_000_000, 10_000, Precision::F64);
+        assert!(bytes > 2_000_000_000_000u64); // > 2 TB at f64
+        let f32_bytes = estimated_file_size(10_000_000, 10_000, Precision::F32);
+        assert!(f32_bytes < bytes);
+    }
+}

@@ -1,0 +1,101 @@
+//! Workspace error type.
+
+use std::fmt;
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, PicError>;
+
+/// Errors produced anywhere in the pic-predict framework.
+#[derive(Debug)]
+pub enum PicError {
+    /// A configuration value is out of range or inconsistent.
+    Config(String),
+    /// A particle trace file is malformed or truncated.
+    TraceFormat(String),
+    /// An I/O failure while reading or writing traces / configs / results.
+    Io(std::io::Error),
+    /// A model could not be fitted (singular system, empty training set, …).
+    ModelFit(String),
+    /// The discrete-event simulation reached an inconsistent state.
+    Simulation(String),
+    /// A geometric query failed (point outside domain, empty grid, …).
+    Geometry(String),
+}
+
+impl fmt::Display for PicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PicError::Config(m) => write!(f, "configuration error: {m}"),
+            PicError::TraceFormat(m) => write!(f, "trace format error: {m}"),
+            PicError::Io(e) => write!(f, "I/O error: {e}"),
+            PicError::ModelFit(m) => write!(f, "model fitting error: {m}"),
+            PicError::Simulation(m) => write!(f, "simulation error: {m}"),
+            PicError::Geometry(m) => write!(f, "geometry error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PicError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PicError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for PicError {
+    fn from(e: std::io::Error) -> Self {
+        PicError::Io(e)
+    }
+}
+
+impl PicError {
+    /// Shorthand for a [`PicError::Config`] error.
+    pub fn config(msg: impl Into<String>) -> PicError {
+        PicError::Config(msg.into())
+    }
+
+    /// Shorthand for a [`PicError::TraceFormat`] error.
+    pub fn trace(msg: impl Into<String>) -> PicError {
+        PicError::TraceFormat(msg.into())
+    }
+
+    /// Shorthand for a [`PicError::ModelFit`] error.
+    pub fn model(msg: impl Into<String>) -> PicError {
+        PicError::ModelFit(msg.into())
+    }
+
+    /// Shorthand for a [`PicError::Simulation`] error.
+    pub fn sim(msg: impl Into<String>) -> PicError {
+        PicError::Simulation(msg.into())
+    }
+
+    /// Shorthand for a [`PicError::Geometry`] error.
+    pub fn geometry(msg: impl Into<String>) -> PicError {
+        PicError::Geometry(msg.into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = PicError::config("bad rank count");
+        assert!(e.to_string().contains("bad rank count"));
+        let e = PicError::trace("truncated frame");
+        assert!(e.to_string().contains("truncated frame"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: PicError = io.into();
+        assert!(matches!(e, PicError::Io(_)));
+        assert!(e.source().is_some());
+        assert!(PicError::config("x").source().is_none());
+    }
+}

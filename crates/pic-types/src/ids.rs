@@ -1,0 +1,124 @@
+//! Strongly-typed identifiers.
+//!
+//! The workload generator juggles four distinct index spaces — processors
+//! (ranks), spectral elements, particle bins, and particles. Newtypes keep
+//! them from being mixed up at compile time while still being free at run
+//! time (`#[repr(transparent)]` over `u32`/`u64`).
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $repr:ty) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default,
+            Serialize, Deserialize,
+        )]
+        #[repr(transparent)]
+        pub struct $name(pub $repr);
+
+        impl $name {
+            /// Wrap a raw index.
+            #[inline]
+            pub const fn new(v: $repr) -> Self {
+                Self(v)
+            }
+
+            /// The raw index as `usize`, for array indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Construct from a `usize` index. Panics on overflow in debug
+            /// builds.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                debug_assert!(i <= <$repr>::MAX as usize);
+                Self(i as $repr)
+            }
+        }
+
+        impl From<$repr> for $name {
+            #[inline]
+            fn from(v: $repr) -> Self {
+                Self(v)
+            }
+        }
+
+        impl From<$name> for $repr {
+            #[inline]
+            fn from(v: $name) -> $repr {
+                v.0
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}({})", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A processor (MPI-rank analogue) in the target system.
+    Rank,
+    u32
+);
+id_type!(
+    /// A spectral element of the computation grid.
+    ElementId,
+    u32
+);
+id_type!(
+    /// A particle bin produced by the recursive planar-cut partition.
+    BinId,
+    u32
+);
+id_type!(
+    /// A particle. 64-bit: large-scale PIC runs track billions of particles.
+    ParticleId,
+    u64
+);
+
+impl Rank {
+    /// Iterate over all ranks `0..n`.
+    pub fn all(n: usize) -> impl Iterator<Item = Rank> + Clone {
+        (0..n as u32).map(Rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_ordering() {
+        let r = Rank::new(7);
+        assert_eq!(r.index(), 7);
+        assert_eq!(Rank::from_index(7), r);
+        assert_eq!(u32::from(r), 7);
+        assert_eq!(Rank::from(7u32), r);
+        assert!(Rank::new(3) < Rank::new(4));
+    }
+
+    #[test]
+    fn distinct_types_do_not_compare() {
+        // Compile-time property demonstrated by constructing each type.
+        let _ = (Rank::new(1), ElementId::new(1), BinId::new(1), ParticleId::new(1));
+    }
+
+    #[test]
+    fn rank_all_iterates_in_order() {
+        let v: Vec<_> = Rank::all(4).collect();
+        assert_eq!(v, vec![Rank(0), Rank(1), Rank(2), Rank(3)]);
+        assert_eq!(Rank::all(0).count(), 0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(format!("{}", Rank::new(3)), "Rank(3)");
+        assert_eq!(format!("{}", ParticleId::new(9)), "ParticleId(9)");
+    }
+}

@@ -1,0 +1,178 @@
+//! Communication-matrix analysis.
+//!
+//! The paper's communication matrix quantifies "the amount of particle
+//! data transfer across processors throughout the execution" (§II-A); this
+//! module turns the sparse matrix into the quantities a performance
+//! analyst actually asks for: per-rank send/receive loads, the busiest
+//! links, and message-size statistics under a given per-particle payload.
+
+use crate::matrices::CommMatrix;
+use pic_types::stats;
+
+/// Per-rank send/receive particle totals over the whole run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankCommLoad {
+    /// Particles sent by each rank.
+    pub sent: Vec<u64>,
+    /// Particles received by each rank.
+    pub received: Vec<u64>,
+}
+
+impl RankCommLoad {
+    /// The rank sending the most particles, with its total (None when
+    /// nothing was communicated).
+    pub fn busiest_sender(&self) -> Option<(usize, u64)> {
+        self.sent
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &v)| v)
+            .filter(|&(_, &v)| v > 0)
+            .map(|(i, &v)| (i, v))
+    }
+}
+
+/// Accumulate per-rank communication loads.
+pub fn rank_loads(comm: &CommMatrix, ranks: usize) -> RankCommLoad {
+    let mut sent = vec![0u64; ranks];
+    let mut received = vec![0u64; ranks];
+    for entries in &comm.entries {
+        for &(from, to, count) in entries {
+            sent[from as usize] += count as u64;
+            received[to as usize] += count as u64;
+        }
+    }
+    RankCommLoad { sent, received }
+}
+
+/// The `k` heaviest directed links `(from, to, total_particles)` over the
+/// run, descending; ties break lexicographically for determinism.
+pub fn busiest_links(comm: &CommMatrix, k: usize) -> Vec<(u32, u32, u64)> {
+    use std::collections::BTreeMap;
+    let mut totals: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+    for entries in &comm.entries {
+        for &(from, to, count) in entries {
+            *totals.entry((from, to)).or_insert(0) += count as u64;
+        }
+    }
+    let mut v: Vec<(u32, u32, u64)> =
+        totals.into_iter().map(|((f, t), c)| (f, t, c)).collect();
+    v.sort_by(|a, b| b.2.cmp(&a.2).then((a.0, a.1).cmp(&(b.0, b.1))));
+    v.truncate(k);
+    v
+}
+
+/// Message-size statistics (bytes) across every sample's messages, given a
+/// per-particle payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MessageStats {
+    /// Number of point-to-point messages over the run.
+    pub message_count: usize,
+    /// Total bytes moved.
+    pub total_bytes: u64,
+    /// Mean message size in bytes.
+    pub mean_bytes: f64,
+    /// Median message size in bytes.
+    pub median_bytes: f64,
+    /// Largest message in bytes.
+    pub max_bytes: u64,
+}
+
+/// Compute [`MessageStats`] for a payload of `bytes_per_particle`.
+pub fn message_stats(comm: &CommMatrix, bytes_per_particle: u64) -> MessageStats {
+    let sizes: Vec<f64> = comm
+        .entries
+        .iter()
+        .flatten()
+        .map(|&(_, _, count)| (count as u64 * bytes_per_particle) as f64)
+        .collect();
+    let total_bytes: u64 = sizes.iter().map(|&s| s as u64).sum();
+    MessageStats {
+        message_count: sizes.len(),
+        total_bytes,
+        mean_bytes: stats::mean(&sizes),
+        median_bytes: stats::percentile(&sizes, 50.0),
+        max_bytes: sizes.iter().cloned().fold(0.0, f64::max) as u64,
+    }
+}
+
+/// Communication imbalance: max over ranks of (sent+received) divided by
+/// the mean — 1.0 when every rank shuffles the same amount; 0.0 when
+/// nothing moves.
+pub fn comm_imbalance(comm: &CommMatrix, ranks: usize) -> f64 {
+    let loads = rank_loads(comm, ranks);
+    let combined: Vec<f64> = loads
+        .sent
+        .iter()
+        .zip(&loads.received)
+        .map(|(&s, &r)| (s + r) as f64)
+        .collect();
+    stats::imbalance_factor(&combined)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn comm() -> CommMatrix {
+        let mut c = CommMatrix::with_samples(3);
+        c.entries[1] = vec![(0, 1, 10), (1, 2, 4)];
+        c.entries[2] = vec![(0, 1, 6), (2, 0, 2)];
+        c
+    }
+
+    #[test]
+    fn rank_loads_accumulate() {
+        let l = rank_loads(&comm(), 3);
+        assert_eq!(l.sent, vec![16, 4, 2]);
+        assert_eq!(l.received, vec![2, 16, 4]);
+        assert_eq!(l.busiest_sender(), Some((0, 16)));
+    }
+
+    #[test]
+    fn busiest_sender_none_when_silent() {
+        let l = rank_loads(&CommMatrix::with_samples(2), 4);
+        assert_eq!(l.busiest_sender(), None);
+    }
+
+    #[test]
+    fn busiest_links_ranked() {
+        let links = busiest_links(&comm(), 2);
+        assert_eq!(links, vec![(0, 1, 16), (1, 2, 4)]);
+        let all = busiest_links(&comm(), 10);
+        assert_eq!(all.len(), 3);
+        // descending totals
+        for w in all.windows(2) {
+            assert!(w[0].2 >= w[1].2);
+        }
+    }
+
+    #[test]
+    fn message_stats_with_payload() {
+        let s = message_stats(&comm(), 10);
+        assert_eq!(s.message_count, 4);
+        assert_eq!(s.total_bytes, (10 + 4 + 6 + 2) * 10);
+        assert_eq!(s.max_bytes, 100);
+        assert!((s.mean_bytes - 55.0).abs() < 1e-12);
+        assert_eq!(s.median_bytes, 50.0);
+    }
+
+    #[test]
+    fn empty_comm_stats() {
+        let s = message_stats(&CommMatrix::with_samples(2), 10);
+        assert_eq!(s.message_count, 0);
+        assert_eq!(s.total_bytes, 0);
+        assert_eq!(s.mean_bytes, 0.0);
+    }
+
+    #[test]
+    fn imbalance_detects_hot_rank() {
+        // rank 0 does most of the talking
+        let f = comm_imbalance(&comm(), 3);
+        assert!(f > 1.0, "{f}");
+        // uniform ring: every rank sends and receives the same
+        let mut c = CommMatrix::with_samples(2);
+        c.entries[1] = vec![(0, 1, 5), (1, 2, 5), (2, 0, 5)];
+        let f = comm_imbalance(&c, 3);
+        assert!((f - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,177 @@
+//! Heat-map rendering of computation matrices (paper Fig 1a).
+//!
+//! Renders a [`CompMatrix`] as a portable pixmap: one row of pixels per
+//! rank, one column per sample, brightness/colour by particle count. The
+//! paper's "white patches" (ranks with zero particles throughout) come out
+//! as the zero-count colour. Plain-text PPM/PGM formats keep the renderer
+//! dependency-free and the output verifiable.
+
+use crate::matrices::CompMatrix;
+use pic_types::Rank;
+
+/// Colour map for the heat map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColorMap {
+    /// Grayscale (PGM `P2`): black = 0 particles, white = peak.
+    Gray,
+    /// Blue→red heat ramp (PPM `P3`): dark blue = 0, red = peak.
+    Heat,
+}
+
+/// Render the matrix as a plain-text PGM/PPM image string.
+///
+/// Counts are normalized by the matrix peak; an all-zero matrix renders as
+/// all-zero pixels. `scale` repeats each cell `scale×scale` pixels so small
+/// matrices remain viewable (`scale ≥ 1`).
+pub fn render(matrix: &CompMatrix, map: ColorMap, scale: usize) -> String {
+    let scale = scale.max(1);
+    let rows = matrix.ranks();
+    let cols = matrix.samples();
+    let width = cols * scale;
+    let height = rows * scale;
+    let peak = matrix.peak().max(1) as f64;
+
+    let mut out = String::new();
+    match map {
+        ColorMap::Gray => {
+            out.push_str(&format!("P2\n{width} {height}\n255\n"));
+        }
+        ColorMap::Heat => {
+            out.push_str(&format!("P3\n{width} {height}\n255\n"));
+        }
+    }
+    for r in 0..rows {
+        let mut line = String::new();
+        for t in 0..cols {
+            let v = matrix.get(Rank::from_index(r), t) as f64 / peak;
+            let px = match map {
+                ColorMap::Gray => format!("{} ", (v * 255.0).round() as u32),
+                ColorMap::Heat => {
+                    let (r8, g8, b8) = heat_color(v);
+                    format!("{r8} {g8} {b8} ")
+                }
+            };
+            for _ in 0..scale {
+                line.push_str(&px);
+            }
+        }
+        line.push('\n');
+        for _ in 0..scale {
+            out.push_str(&line);
+        }
+    }
+    out
+}
+
+/// Blue→cyan→yellow→red ramp over `v ∈ [0, 1]`.
+fn heat_color(v: f64) -> (u32, u32, u32) {
+    let v = v.clamp(0.0, 1.0);
+    let seg = v * 3.0;
+    let (r, g, b) = if seg < 1.0 {
+        // dark blue → cyan
+        (0.0, seg, 0.5 + 0.5 * seg)
+    } else if seg < 2.0 {
+        // cyan → yellow
+        let f = seg - 1.0;
+        (f, 1.0, 1.0 - f)
+    } else {
+        // yellow → red
+        let f = seg - 2.0;
+        (1.0, 1.0 - f, 0.0)
+    };
+    ((r * 255.0).round() as u32, (g * 255.0).round() as u32, (b * 255.0).round() as u32)
+}
+
+/// Write a rendered heat map to a file.
+pub fn save(
+    matrix: &CompMatrix,
+    path: impl AsRef<std::path::Path>,
+    map: ColorMap,
+    scale: usize,
+) -> std::io::Result<()> {
+    std::fs::write(path, render(matrix, map, scale))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> CompMatrix {
+        CompMatrix::from_rows(2, vec![vec![0, 4], vec![2, 4]])
+    }
+
+    #[test]
+    fn gray_render_shape_and_values() {
+        let s = render(&matrix(), ColorMap::Gray, 1);
+        let mut lines = s.lines();
+        assert_eq!(lines.next(), Some("P2"));
+        assert_eq!(lines.next(), Some("2 2")); // samples x ranks
+        assert_eq!(lines.next(), Some("255"));
+        // rank 0 row: counts 0 then 2 → 0 and 128 (normalized by peak 4)
+        let row0: Vec<u32> =
+            lines.next().unwrap().split_whitespace().map(|v| v.parse().unwrap()).collect();
+        assert_eq!(row0, vec![0, 128]);
+        let row1: Vec<u32> =
+            lines.next().unwrap().split_whitespace().map(|v| v.parse().unwrap()).collect();
+        assert_eq!(row1, vec![255, 255]);
+    }
+
+    #[test]
+    fn scale_repeats_pixels() {
+        let s = render(&matrix(), ColorMap::Gray, 3);
+        let mut lines = s.lines();
+        lines.next();
+        assert_eq!(lines.next(), Some("6 6"));
+        lines.next();
+        let row: Vec<u32> =
+            lines.next().unwrap().split_whitespace().map(|v| v.parse().unwrap()).collect();
+        assert_eq!(row, vec![0, 0, 0, 128, 128, 128]);
+        // 6 pixel rows total
+        assert_eq!(s.lines().count(), 3 + 6);
+    }
+
+    #[test]
+    fn heat_ramp_endpoints() {
+        assert_eq!(heat_color(0.0), (0, 0, 128)); // dark blue
+        assert_eq!(heat_color(1.0), (255, 0, 0)); // red
+        let (r, g, b) = heat_color(0.5);
+        assert!(g == 255 && r < 255 && b < 255, "midpoint ({r},{g},{b})");
+    }
+
+    #[test]
+    fn heat_render_has_three_channels() {
+        let s = render(&matrix(), ColorMap::Heat, 1);
+        assert!(s.starts_with("P3\n2 2\n255\n"));
+        let pixels: Vec<u32> = s
+            .lines()
+            .skip(3)
+            .flat_map(|l| l.split_whitespace())
+            .map(|v| v.parse().unwrap())
+            .collect();
+        assert_eq!(pixels.len(), 2 * 2 * 3);
+    }
+
+    #[test]
+    fn all_zero_matrix_renders_black() {
+        let m = CompMatrix::from_rows(2, vec![vec![0, 0], vec![0, 0]]);
+        let s = render(&m, ColorMap::Gray, 1);
+        let pixels: Vec<u32> = s
+            .lines()
+            .skip(3)
+            .flat_map(|l| l.split_whitespace())
+            .map(|v| v.parse().unwrap())
+            .collect();
+        assert!(pixels.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn save_writes_file() {
+        let dir = std::env::temp_dir().join("pic_workload_heatmap_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("h.pgm");
+        save(&matrix(), &path, ColorMap::Gray, 2).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.starts_with("P2"));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,32 @@
+//! # pic-workload
+//!
+//! The **Dynamic Workload Generator** (paper §II-A) — the primary
+//! contribution of the reproduced paper.
+//!
+//! Given a particle trace and a configuration (processor count, mapping
+//! algorithm, grid, projection filter), the generator *mimics the mapping
+//! algorithm's logic* over the trace to synthesize, without running the
+//! application:
+//!
+//! * the **computation matrix** `P_comp[rank][sample]` — real and ghost
+//!   particles residing on every rank at every sample;
+//! * the **communication matrix** `P_comm[from][to][sample]` (stored
+//!   sparsely) — particles migrating between rank pairs between
+//!   consecutive samples;
+//! * per-sample **bin counts** for the bin-based mapping (Figs 5/6/10a).
+//!
+//! Because particle movement is independent of the processor count, one
+//! trace serves any target `R` — the basis of the paper's scalability
+//! studies. Sample processing is embarrassingly parallel and runs on all
+//! cores via rayon.
+
+#![warn(missing_docs)]
+
+pub mod comm_stats;
+pub mod generator;
+pub mod heatmap;
+pub mod matrices;
+pub mod metrics;
+
+pub use generator::{generate_streaming, DynamicWorkload, WorkloadConfig};
+pub use matrices::{migration_pairs, CommMatrix, CompMatrix};

@@ -1,0 +1,187 @@
+//! Load-balance metrics derived from workload matrices.
+//!
+//! These back the paper's utilization / idle-processor analyses:
+//! Fig 1b (processors with non-zero particles, ~81 % idle on average),
+//! Fig 9 (bin 56.13 % vs element 0.68 % utilization).
+
+use crate::generator::DynamicWorkload;
+use crate::matrices::CompMatrix;
+use pic_types::stats;
+
+/// Fraction of ranks with at least one particle at a given sample.
+pub fn active_fraction_at(m: &CompMatrix, sample: usize) -> f64 {
+    let row = m.sample_row(sample);
+    if row.is_empty() {
+        return 0.0;
+    }
+    row.iter().filter(|&&c| c > 0).count() as f64 / row.len() as f64
+}
+
+/// Per-sample series of [`active_fraction_at`] — Fig 1b's data.
+pub fn active_fraction_series(m: &CompMatrix) -> Vec<f64> {
+    (0..m.samples()).map(|t| active_fraction_at(m, t)).collect()
+}
+
+/// Resource Utilization as the paper defines it (§II-A / Fig 9): "the
+/// number of processors having at least one or more particles **on
+/// average** during the simulation", normalized by the rank count — i.e.
+/// the time-averaged active fraction. (The paper's Fig 9 values — 584 of
+/// 1044 ranks = 56.13 % for a bin count that eventually exceeds 1044 —
+/// only make sense under the time-averaged reading.)
+pub fn resource_utilization(m: &CompMatrix) -> f64 {
+    let series = active_fraction_series(m);
+    if series.is_empty() {
+        return 0.0;
+    }
+    stats::mean(&series)
+}
+
+/// Fraction of ranks holding at least one particle at *some* sample — the
+/// stricter "ever touched" utilization (complement of Fig 1a's white
+/// patches).
+pub fn ever_active_fraction(m: &CompMatrix) -> f64 {
+    if m.ranks() == 0 || m.samples() == 0 {
+        return 0.0;
+    }
+    let mut ever = vec![false; m.ranks()];
+    for t in 0..m.samples() {
+        for (r, &c) in m.sample_row(t).iter().enumerate() {
+            if c > 0 {
+                ever[r] = true;
+            }
+        }
+    }
+    ever.iter().filter(|&&e| e).count() as f64 / m.ranks() as f64
+}
+
+/// Average number of active ranks (Fig 9's absolute count, e.g. "584
+/// processors out of 1044").
+pub fn active_rank_count(m: &CompMatrix) -> usize {
+    (resource_utilization(m) * m.ranks() as f64).round() as usize
+}
+
+/// Average fraction of ranks idle (zero particles) over the run — the
+/// paper's "81 % of processors remained idle" statistic.
+pub fn mean_idle_fraction(m: &CompMatrix) -> f64 {
+    let series = active_fraction_series(m);
+    if series.is_empty() {
+        return 0.0;
+    }
+    1.0 - stats::mean(&series)
+}
+
+/// Load-imbalance factor (max / mean over ranks) per sample.
+pub fn imbalance_series(m: &CompMatrix) -> Vec<f64> {
+    (0..m.samples())
+        .map(|t| {
+            let row: Vec<f64> = m.sample_row(t).iter().map(|&c| c as f64).collect();
+            stats::imbalance_factor(&row)
+        })
+        .collect()
+}
+
+/// Summary of a generated workload for reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSummary {
+    /// Processor count.
+    pub ranks: usize,
+    /// Samples analysed.
+    pub samples: usize,
+    /// Peak real particles on any rank at any sample.
+    pub peak_workload: u32,
+    /// Resource utilization in `[0, 1]`.
+    pub resource_utilization: f64,
+    /// Mean idle fraction in `[0, 1]`.
+    pub mean_idle_fraction: f64,
+    /// Mean imbalance factor over samples.
+    pub mean_imbalance: f64,
+    /// Total migrated particles.
+    pub total_migrations: u64,
+    /// Maximum bin count (bin-based only).
+    pub max_bins: Option<usize>,
+}
+
+/// Compute the full summary of a workload.
+pub fn summarize(w: &DynamicWorkload) -> WorkloadSummary {
+    WorkloadSummary {
+        ranks: w.ranks,
+        samples: w.samples(),
+        peak_workload: w.peak_workload(),
+        resource_utilization: resource_utilization(&w.real),
+        mean_idle_fraction: mean_idle_fraction(&w.real),
+        mean_imbalance: stats::mean(&imbalance_series(&w.real)),
+        total_migrations: w.comm.total(),
+        max_bins: w.max_bin_count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> CompMatrix {
+        // 4 ranks, 3 samples.
+        CompMatrix::from_rows(
+            4,
+            vec![
+                vec![10, 0, 0, 0], // only rank 0 active
+                vec![5, 5, 0, 0],  // ranks 0, 1 active
+                vec![0, 4, 0, 6],  // ranks 1, 3 active
+            ],
+        )
+    }
+
+    #[test]
+    fn active_fractions() {
+        let m = matrix();
+        assert_eq!(active_fraction_at(&m, 0), 0.25);
+        assert_eq!(active_fraction_at(&m, 1), 0.5);
+        assert_eq!(active_fraction_series(&m), vec![0.25, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn utilization_is_time_averaged() {
+        let m = matrix();
+        // active fractions per sample: 0.25, 0.5, 0.5
+        let expect = (0.25 + 0.5 + 0.5) / 3.0;
+        assert!((resource_utilization(&m) - expect).abs() < 1e-12);
+        // 4 ranks x ~0.4167 -> rounds to 2 average-active ranks
+        assert_eq!(active_rank_count(&m), 2);
+        // ranks 0, 1, 3 are active at some point; rank 2 never.
+        assert_eq!(ever_active_fraction(&m), 0.75);
+    }
+
+    #[test]
+    fn idle_fraction_is_one_minus_mean_active() {
+        let m = matrix();
+        let expect = 1.0 - (0.25 + 0.5 + 0.5) / 3.0;
+        assert!((mean_idle_fraction(&m) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn imbalance_series_values() {
+        let m = matrix();
+        let s = imbalance_series(&m);
+        // sample 0: max 10, mean 2.5 → 4.0
+        assert!((s[0] - 4.0).abs() < 1e-12);
+        // sample 1: max 5, mean 2.5 → 2.0
+        assert!((s[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_metrics() {
+        let m = CompMatrix::new(4);
+        assert_eq!(resource_utilization(&m), 0.0);
+        assert_eq!(ever_active_fraction(&m), 0.0);
+        assert_eq!(mean_idle_fraction(&m), 0.0);
+        assert!(imbalance_series(&m).is_empty());
+    }
+
+    #[test]
+    fn perfectly_balanced_matrix() {
+        let m = CompMatrix::from_rows(2, vec![vec![5, 5]]);
+        assert_eq!(resource_utilization(&m), 1.0);
+        assert_eq!(mean_idle_fraction(&m), 0.0);
+        assert_eq!(imbalance_series(&m), vec![1.0]);
+    }
+}

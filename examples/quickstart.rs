@@ -1,0 +1,62 @@
+//! Quickstart: run the complete prediction pipeline on a small Hele-Shaw
+//! problem and print what each stage produced.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use pic_des::MachineSpec;
+use pic_predict::{run_case_study, FitStrategy};
+use pic_sim::SimConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The configuration file of the framework (paper Fig 3): system
+    // configuration (ranks), application configuration (particles,
+    // elements, grid order, mapping algorithm, problem parameters).
+    let cfg = SimConfig::default();
+    println!("configuration:\n{}\n", cfg.to_json());
+
+    let machine = MachineSpec::quartz_like();
+    let out = run_case_study(&cfg, &machine, &FitStrategy::default())?;
+
+    println!("== trace ==");
+    println!(
+        "  {} particles x {} samples (every {} iterations)",
+        out.sim.trace.particle_count(),
+        out.sim.trace.sample_count(),
+        cfg.sample_interval
+    );
+
+    println!("== dynamic workload (generated from the trace alone) ==");
+    println!("  peak particles on any rank: {}", out.workload.peak_workload());
+    println!(
+        "  resource utilization:       {:.1}%",
+        100.0 * pic_workload::metrics::resource_utilization(&out.workload.real)
+    );
+    println!("  total migrated particles:   {}", out.workload.comm.total());
+    if let Some(bins) = out.workload.max_bin_count() {
+        println!("  max particle bins:          {bins}");
+    }
+
+    println!("== performance models ==");
+    print!("{}", out.models.describe());
+
+    println!("== prediction accuracy vs the application's own timing (Fig 7) ==");
+    for (kernel, mape) in &out.kernel_mape {
+        println!("  {kernel:<24} MAPE {mape:6.2}%");
+    }
+    println!(
+        "  average {:.2}%  (paper: 8.42%), peak {:.2}% (paper: 17.7%)",
+        out.mean_kernel_mape(),
+        out.peak_kernel_mape()
+    );
+
+    println!("== system-level prediction on {} ==", machine.name);
+    println!("  predicted application time: {:.4} s", out.timeline.total_seconds);
+    println!(
+        "  mean rank idle fraction:    {:.1}%",
+        100.0 * out.timeline.mean_idle_fraction()
+    );
+    println!("  discrete events processed:  {}", out.timeline.events_processed);
+    Ok(())
+}
