@@ -1,0 +1,75 @@
+//! RegionIndex sphere-query microbench: CSR build cost and per-query cost
+//! at the paper's rank scale (~8k regions), comparing the sorted
+//! compatibility API against the scratch-driven visitor the ghost kernel
+//! uses.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pic_mapping::{RegionIndex, RegionQueryScratch};
+use pic_types::rng::SplitMix64;
+use pic_types::{Aabb, Rank, Vec3};
+
+/// A 20×20×20 brick decomposition of the unit cube: 8000 regions, the
+/// shape rank regions take at the paper's 8352-rank scale.
+fn brick_regions(per_axis: usize) -> Vec<Aabb> {
+    let w = 1.0 / per_axis as f64;
+    let mut regions = Vec::with_capacity(per_axis.pow(3));
+    for z in 0..per_axis {
+        for y in 0..per_axis {
+            for x in 0..per_axis {
+                let min = Vec3::new(x as f64 * w, y as f64 * w, z as f64 * w);
+                regions.push(Aabb::new(min, min + Vec3::splat(w)));
+            }
+        }
+    }
+    regions
+}
+
+fn query_points(n: usize, seed: u64) -> Vec<Vec3> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n)
+        .map(|_| Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64()))
+        .collect()
+}
+
+fn ghost_queries(c: &mut Criterion) {
+    let regions = brick_regions(20);
+    let points = query_points(10_000, 7);
+    let radius = 0.06; // a few cells wide, like a realistic projection filter
+
+    let mut group = c.benchmark_group("ghost_queries");
+    group.sample_size(10);
+
+    group.bench_function(BenchmarkId::new("build", regions.len()), |b| {
+        b.iter(|| RegionIndex::build(black_box(&regions)))
+    });
+
+    let index = RegionIndex::build(&regions);
+    group.throughput(Throughput::Elements(points.len() as u64));
+    group.bench_function(BenchmarkId::new("query_sorted", regions.len()), |b| {
+        let mut out = Vec::new();
+        b.iter(|| {
+            let mut touched = 0usize;
+            for &p in &points {
+                index.ranks_touching_sphere(p, radius, &mut out);
+                touched += out.len();
+            }
+            touched
+        })
+    });
+    group.bench_function(BenchmarkId::new("query_scratch", regions.len()), |b| {
+        let mut scratch = RegionQueryScratch::new();
+        b.iter(|| {
+            let mut touched = 0usize;
+            for &p in &points {
+                index.for_each_rank_touching_sphere(p, radius, &mut scratch, |r: Rank| {
+                    touched += r.index() & 1;
+                });
+            }
+            touched
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ghost_queries);
+criterion_main!(benches);

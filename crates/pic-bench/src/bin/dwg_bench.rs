@@ -1,0 +1,120 @@
+//! DWG speedup runner: times the sequential reference replay against the
+//! chunked-parallel and pipelined-streaming generator paths at the paper's
+//! headline configuration (50 k particles re-targeted to 4176 ranks) and
+//! writes the measurements to `BENCH_DWG.json`.
+//!
+//! Usage: `cargo run --release -p pic-bench --bin dwg_bench [output.json]`
+
+use pic_bench::synthetic_expanding_trace;
+use pic_mapping::MappingAlgorithm;
+use pic_trace::codec::{encode_trace, Precision};
+use pic_workload::generator::{self, DynamicWorkload, WorkloadConfig};
+use serde::Serialize;
+use std::time::Instant;
+
+/// The measured configuration, echoed into the report.
+#[derive(Serialize)]
+struct BenchConfig {
+    particles: usize,
+    samples: usize,
+    ranks: usize,
+    projection_filter: f64,
+    mapping: MappingAlgorithm,
+    threads: usize,
+}
+
+/// One timed path: best-of-`reps` wall seconds.
+#[derive(Serialize)]
+struct PathTiming {
+    reps: usize,
+    best_secs: f64,
+    mean_secs: f64,
+}
+
+/// The full report written to `BENCH_DWG.json`.
+#[derive(Serialize)]
+struct Report {
+    config: BenchConfig,
+    sequential_reference: PathTiming,
+    parallel: PathTiming,
+    streaming: PathTiming,
+    /// Mapping + comm diff only (`compute_ghosts = false`): the floor the
+    /// ghost-kernel optimizations cannot go below.
+    parallel_no_ghosts: PathTiming,
+    speedup_parallel: f64,
+    speedup_streaming: f64,
+    speedup_ghost_phase: f64,
+    peak_workload: u32,
+    outputs_identical: bool,
+}
+
+fn time_path(reps: usize, mut f: impl FnMut() -> DynamicWorkload) -> (PathTiming, DynamicWorkload) {
+    let mut secs = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let t = Instant::now();
+        let w = f();
+        secs.push(t.elapsed().as_secs_f64());
+        last = Some(w);
+    }
+    let best = secs.iter().cloned().fold(f64::INFINITY, f64::min);
+    let mean = secs.iter().sum::<f64>() / reps as f64;
+    (PathTiming { reps, best_secs: best, mean_secs: mean }, last.unwrap())
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_DWG.json".to_string());
+    let particles = 50_000usize;
+    let samples = 6usize;
+    let ranks = 4176usize;
+    let cfg = WorkloadConfig::new(ranks, MappingAlgorithm::BinBased, 0.02);
+
+    eprintln!("dwg_bench: trace np={particles} samples={samples}, ranks={ranks}");
+    let trace = synthetic_expanding_trace(particles, samples, 7);
+    let encoded = encode_trace(&trace, Precision::F64).expect("encode trace");
+
+    let (seq, w_seq) = time_path(2, || generator::generate_reference(&trace, &cfg, None).unwrap());
+    eprintln!("  sequential reference: best {:.3}s", seq.best_secs);
+    let (par, w_par) = time_path(3, || generator::generate(&trace, &cfg).unwrap());
+    eprintln!("  chunked parallel:     best {:.3}s", par.best_secs);
+    let (stream, w_stream) = time_path(3, || {
+        let reader = pic_trace::TraceReader::new(&encoded[..]).unwrap();
+        generator::generate_streaming(reader, &cfg, None).unwrap()
+    });
+    eprintln!("  pipelined streaming:  best {:.3}s", stream.best_secs);
+    let mut cfg_ng = cfg.clone();
+    cfg_ng.compute_ghosts = false;
+    let (no_ghosts, _) = time_path(3, || generator::generate(&trace, &cfg_ng).unwrap());
+    eprintln!("  parallel, no ghosts:  best {:.3}s", no_ghosts.best_secs);
+
+    let outputs_identical = w_seq == w_par && w_seq == w_stream;
+    assert!(outputs_identical, "parallel paths diverged from the sequential reference");
+
+    let report = Report {
+        config: BenchConfig {
+            particles,
+            samples,
+            ranks,
+            projection_filter: cfg.projection_filter,
+            mapping: cfg.mapping,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        },
+        speedup_parallel: seq.best_secs / par.best_secs,
+        speedup_streaming: seq.best_secs / stream.best_secs,
+        speedup_ghost_phase: (seq.best_secs - no_ghosts.best_secs)
+            / (par.best_secs - no_ghosts.best_secs).max(1e-9),
+        peak_workload: w_seq.peak_workload(),
+        sequential_reference: seq,
+        parallel: par,
+        streaming: stream,
+        parallel_no_ghosts: no_ghosts,
+        outputs_identical,
+    };
+    eprintln!(
+        "  speedup: parallel {:.2}x, streaming {:.2}x",
+        report.speedup_parallel, report.speedup_streaming
+    );
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out_path, json + "\n").expect("write report");
+    eprintln!("wrote {out_path}");
+}

@@ -38,4 +38,4 @@ pub use element::ElementMapper;
 pub use hilbert::HilbertMapper;
 pub use load_balanced::LoadBalancedMapper;
 pub use mapper::{MappingAlgorithm, MappingOutcome, ParticleMapper};
-pub use region_index::RegionIndex;
+pub use region_index::{RegionIndex, RegionQueryScratch};

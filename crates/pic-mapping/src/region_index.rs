@@ -1,4 +1,4 @@
-//! Uniform-grid spatial index over per-rank regions.
+//! Uniform-grid spatial index over per-rank regions (CSR layout).
 //!
 //! Ghost-particle generation must answer, for every particle, "which rank
 //! regions does this projection-filter sphere touch?". A linear scan over
@@ -7,33 +7,92 @@
 //! uniform cell grid once per sample (`O(R)`), making each sphere query
 //! `O(cells touched × occupancy)`.
 //!
+//! The index stores its cell buckets in compressed-sparse-row form: one flat
+//! `cell_offsets` array (length `cells + 1`) and one flat `cell_data` array
+//! of live-region slots, built in two counting passes with no per-cell
+//! `Vec`s. Only non-empty regions are stored — a back-map from live slot to
+//! [`Rank`] keeps rank identities — so samples where most ranks are idle pay
+//! memory proportional to the live set, not the communicator size.
+//!
+//! Queries come in two flavors: the allocating, sorted
+//! [`ranks_touching_sphere`](RegionIndex::ranks_touching_sphere) kept for
+//! existing call sites, and the scratch-driven
+//! [`for_each_rank_touching_sphere`](RegionIndex::for_each_rank_touching_sphere)
+//! used by the hot ghost kernel, which deduplicates multi-cell regions with
+//! an epoch-stamped visited array instead of sort + dedup and performs no
+//! heap allocation in steady state.
+//!
 //! The index is mapper-agnostic: it only sees the `rank_regions` field of a
 //! [`MappingOutcome`](crate::MappingOutcome), so element bricks, bin boxes,
 //! and Hilbert chunk hulls are all handled identically.
 
 use pic_types::{Aabb, Rank, Vec3};
 
-/// Spatial index over `(region, rank)` pairs.
+/// Spatial index over `(region, rank)` pairs in CSR form.
 #[derive(Debug, Clone)]
 pub struct RegionIndex {
     bounds: Aabb,
     dims: [usize; 3],
     inv_cell: Vec3,
-    /// Flat cell buckets of region indices.
-    buckets: Vec<Vec<u32>>,
-    regions: Vec<Aabb>,
+    /// CSR row offsets into `cell_data`; length `cells + 1`.
+    cell_offsets: Vec<u32>,
+    /// Flat live-region slots, grouped by cell.
+    cell_data: Vec<u32>,
+    /// Bounding boxes of live (non-empty) regions only.
+    live_boxes: Vec<Aabb>,
+    /// Back-map: live slot → owning rank.
+    live_ranks: Vec<Rank>,
+    /// Communicator size the index was built from (including idle ranks).
+    total_ranks: usize,
+}
+
+/// Reusable per-thread query state for
+/// [`RegionIndex::for_each_rank_touching_sphere`].
+///
+/// Holds an epoch-stamped visited array sized to the index's live set, so a
+/// region spanning several grid cells is intersection-tested once per query
+/// without sorting and without clearing the array between queries.
+#[derive(Debug, Default, Clone)]
+pub struct RegionQueryScratch {
+    stamps: Vec<u32>,
+    epoch: u32,
+}
+
+impl RegionQueryScratch {
+    /// Fresh scratch; sized lazily on first use.
+    pub fn new() -> RegionQueryScratch {
+        RegionQueryScratch::default()
+    }
+
+    /// Size the visited array for `index` and open a new epoch. Called by
+    /// the query itself; only resizes (allocates) when the live set grew.
+    #[inline]
+    fn begin(&mut self, index: &RegionIndex) {
+        if self.stamps.len() < index.live_boxes.len() {
+            self.stamps.resize(index.live_boxes.len(), 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch counter wrapped: stamp values from the previous cycle
+            // could collide, so reset them once every 2^32 queries.
+            self.stamps.fill(0);
+            self.epoch = 1;
+        }
+    }
 }
 
 impl RegionIndex {
     /// Build an index over `regions`; `regions[i]` belongs to rank `i`.
-    /// Empty regions (ranks with no workload) are skipped.
+    /// Empty regions (ranks with no workload) are skipped and not stored.
     pub fn build(regions: &[Aabb]) -> RegionIndex {
         let mut bounds = Aabb::empty();
-        let mut live = 0usize;
-        for r in regions {
+        let mut live_boxes = Vec::new();
+        let mut live_ranks = Vec::new();
+        for (i, r) in regions.iter().enumerate() {
             if !r.is_empty() {
                 bounds = bounds.union(r);
-                live += 1;
+                live_boxes.push(*r);
+                live_ranks.push(Rank::from_index(i));
             }
         }
         if bounds.is_empty() {
@@ -41,12 +100,18 @@ impl RegionIndex {
                 bounds,
                 dims: [1, 1, 1],
                 inv_cell: Vec3::ZERO,
-                buckets: vec![Vec::new()],
-                regions: regions.to_vec(),
+                cell_offsets: vec![0, 0],
+                cell_data: Vec::new(),
+                live_boxes,
+                live_ranks,
+                total_ranks: regions.len(),
             };
         }
-        // ~2 regions per cell on average; cube-root split per axis.
-        let per_axis = ((live as f64 / 2.0).cbrt().ceil() as usize).clamp(1, 64);
+        // ~1 region per cell on average; cube-root split per axis. Finer
+        // than the classic 2-per-cell heuristic: sphere queries walk fewer
+        // candidate regions per cell, and the stamp-based dedup makes the
+        // extra multi-cell duplicates nearly free to skip.
+        let per_axis = ((live_boxes.len() as f64).cbrt().ceil() as usize).clamp(1, 96);
         let dims = [per_axis, per_axis, per_axis];
         let ext = bounds.extent();
         let safe = |e: f64| if e > 0.0 { e } else { 1.0 };
@@ -59,19 +124,39 @@ impl RegionIndex {
             bounds,
             dims,
             inv_cell,
-            buckets: vec![Vec::new(); dims[0] * dims[1] * dims[2]],
-            regions: regions.to_vec(),
+            cell_offsets: vec![0u32; dims[0] * dims[1] * dims[2] + 1],
+            cell_data: Vec::new(),
+            live_boxes,
+            live_ranks,
+            total_ranks: regions.len(),
         };
-        for (i, r) in regions.iter().enumerate() {
-            if r.is_empty() {
-                continue;
-            }
-            let (lo, hi) = index.cell_range(r);
+        // Pass 1: count entries per cell into offsets[cell + 1].
+        for slot in 0..index.live_boxes.len() {
+            let (lo, hi) = index.cell_range(&index.live_boxes[slot]);
             for cz in lo[2]..=hi[2] {
                 for cy in lo[1]..=hi[1] {
                     for cx in lo[0]..=hi[0] {
                         let c = index.cell_id(cx, cy, cz);
-                        index.buckets[c].push(i as u32);
+                        index.cell_offsets[c + 1] += 1;
+                    }
+                }
+            }
+        }
+        // Prefix-sum counts into row offsets.
+        for c in 1..index.cell_offsets.len() {
+            index.cell_offsets[c] += index.cell_offsets[c - 1];
+        }
+        // Pass 2: scatter slots; `cursors` tracks each cell's write head.
+        let mut cursors = index.cell_offsets.clone();
+        index.cell_data = vec![0u32; *index.cell_offsets.last().unwrap() as usize];
+        for slot in 0..index.live_boxes.len() {
+            let (lo, hi) = index.cell_range(&index.live_boxes[slot]);
+            for cz in lo[2]..=hi[2] {
+                for cy in lo[1]..=hi[1] {
+                    for cx in lo[0]..=hi[0] {
+                        let c = index.cell_id(cx, cy, cz);
+                        index.cell_data[cursors[c] as usize] = slot as u32;
+                        cursors[c] += 1;
                     }
                 }
             }
@@ -82,6 +167,12 @@ impl RegionIndex {
     #[inline]
     fn cell_id(&self, cx: usize, cy: usize, cz: usize) -> usize {
         cx + self.dims[0] * (cy + self.dims[1] * cz)
+    }
+
+    /// Slots hashed into one cell.
+    #[inline]
+    fn cell_slots(&self, cell: usize) -> &[u32] {
+        &self.cell_data[self.cell_offsets[cell] as usize..self.cell_offsets[cell + 1] as usize]
     }
 
     /// Cell index ranges covered by a box (clamped to the index bounds).
@@ -99,10 +190,19 @@ impl RegionIndex {
         (lo, hi)
     }
 
-    /// Collect (sorted, deduplicated) ranks whose region touches the sphere
-    /// at `center` with radius `radius`, into `out` (cleared first).
-    pub fn ranks_touching_sphere(&self, center: Vec3, radius: f64, out: &mut Vec<Rank>) {
-        out.clear();
+    /// Visit each rank whose region touches the sphere at `center` with
+    /// radius `radius`, exactly once, in deterministic (cell-major,
+    /// first-encounter) order. Regions spanning several cells are
+    /// deduplicated through `scratch`'s stamp array, so the call performs
+    /// no sorting and — once `scratch` is warm — no heap allocation.
+    #[inline]
+    pub fn for_each_rank_touching_sphere(
+        &self,
+        center: Vec3,
+        radius: f64,
+        scratch: &mut RegionQueryScratch,
+        mut visit: impl FnMut(Rank),
+    ) {
         if self.bounds.is_empty() {
             return;
         }
@@ -110,26 +210,59 @@ impl RegionIndex {
         if !self.bounds.intersects(&query) {
             return;
         }
+        scratch.begin(self);
         let (lo, hi) = self.cell_range(&query);
         for cz in lo[2]..=hi[2] {
             for cy in lo[1]..=hi[1] {
                 for cx in lo[0]..=hi[0] {
-                    for &ri in &self.buckets[self.cell_id(cx, cy, cz)] {
-                        let region = &self.regions[ri as usize];
-                        if region.intersects_sphere(center, radius) {
-                            out.push(Rank::new(ri));
+                    for &slot in self.cell_slots(self.cell_id(cx, cy, cz)) {
+                        let stamp = &mut scratch.stamps[slot as usize];
+                        if *stamp == scratch.epoch {
+                            continue; // already tested this query
+                        }
+                        *stamp = scratch.epoch;
+                        if self.live_boxes[slot as usize].intersects_sphere(center, radius) {
+                            visit(self.live_ranks[slot as usize]);
                         }
                     }
                 }
             }
         }
+    }
+
+    /// Collect (sorted, deduplicated) ranks whose region touches the sphere
+    /// at `center` with radius `radius`, into `out` (cleared first).
+    ///
+    /// Compatibility wrapper over
+    /// [`for_each_rank_touching_sphere`](Self::for_each_rank_touching_sphere)
+    /// for call sites that want an owned sorted list; hot loops should hold
+    /// a [`RegionQueryScratch`] and use the visitor form directly.
+    pub fn ranks_touching_sphere(&self, center: Vec3, radius: f64, out: &mut Vec<Rank>) {
+        thread_local! {
+            static COMPAT_SCRATCH: std::cell::RefCell<RegionQueryScratch> =
+                std::cell::RefCell::new(RegionQueryScratch::new());
+        }
+        out.clear();
+        COMPAT_SCRATCH.with(|scratch| {
+            let scratch = &mut *scratch.borrow_mut();
+            self.for_each_rank_touching_sphere(center, radius, scratch, |r| out.push(r));
+        });
         out.sort_unstable();
-        out.dedup();
     }
 
     /// Number of ranks the index covers (including empty-region ranks).
     pub fn rank_count(&self) -> usize {
-        self.regions.len()
+        self.total_ranks
+    }
+
+    /// Number of live (non-empty) regions actually stored.
+    pub fn live_count(&self) -> usize {
+        self.live_boxes.len()
+    }
+
+    /// Total `(cell, region)` entries in the CSR payload.
+    pub fn entry_count(&self) -> usize {
+        self.cell_data.len()
     }
 }
 
@@ -201,11 +334,35 @@ mod tests {
     }
 
     #[test]
+    fn live_storage_excludes_empty_regions() {
+        // Regression for the old layout, which cloned the full regions
+        // slice: memory must scale with live regions, not communicator
+        // size. 8 live octants among 4096 ranks → 8 stored boxes.
+        let mut regions = vec![Aabb::empty(); 4096];
+        for (i, oct) in octant_regions().into_iter().enumerate() {
+            regions[i * 512] = oct;
+        }
+        let idx = RegionIndex::build(&regions);
+        assert_eq!(idx.rank_count(), 4096);
+        assert_eq!(idx.live_count(), 8);
+        // 8 unit-cube octants over a 1³..2³ grid never exceed 8 entries
+        // per cell; the CSR payload must stay proportional to live count.
+        assert!(idx.entry_count() <= 8 * 8, "entries = {}", idx.entry_count());
+        // Rank identities survive the live-slot compaction.
+        let mut out = Vec::new();
+        idx.ranks_touching_sphere(Vec3::splat(0.5), 0.1, &mut out);
+        let expect: Vec<Rank> = (0..8).map(|i| Rank::from_index(i * 512)).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
     fn all_empty_regions() {
         let idx = RegionIndex::build(&[Aabb::empty(), Aabb::empty()]);
         let mut out = Vec::new();
         idx.ranks_touching_sphere(Vec3::ZERO, 1.0, &mut out);
         assert!(out.is_empty());
+        assert_eq!(idx.live_count(), 0);
+        assert_eq!(idx.entry_count(), 0);
     }
 
     #[test]
@@ -228,6 +385,31 @@ mod tests {
             let r = rng.next_range(0.01, 0.5);
             idx.ranks_touching_sphere(c, r, &mut out);
             assert_eq!(out, brute(&regions, c, r), "c={c} r={r}");
+        }
+    }
+
+    #[test]
+    fn visitor_reports_each_rank_once_with_reused_scratch() {
+        let mut rng = SplitMix64::new(7);
+        let mut regions = Vec::new();
+        for _ in 0..40 {
+            let min = Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64()) * 2.0;
+            regions.push(Aabb::new(min, min + Vec3::splat(rng.next_range(0.2, 1.0))));
+        }
+        let idx = RegionIndex::build(&regions);
+        // One scratch across many queries: stamps must isolate queries.
+        let mut scratch = RegionQueryScratch::new();
+        for _ in 0..200 {
+            let c = Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64()) * 3.0;
+            let r = rng.next_range(0.05, 0.8);
+            let mut seen = Vec::new();
+            idx.for_each_rank_touching_sphere(c, r, &mut scratch, |rank| seen.push(rank));
+            let mut sorted = seen.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), seen.len(), "visitor emitted a duplicate rank");
+            seen.sort_unstable();
+            assert_eq!(seen, brute(&regions, c, r), "c={c} r={r}");
         }
     }
 

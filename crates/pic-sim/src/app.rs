@@ -259,18 +259,17 @@ impl MiniPic {
         let mut ghost_seconds = vec![0.0f64; ranks];
         {
             let ctx = make_ctx(&self.cfg, &self.mesh, &self.gll, self.field.as_ref());
-            let mut touched = Vec::new();
+            let mut scratch = pic_mapping::RegionQueryScratch::new();
             for r in 0..ranks {
                 let t0 = Instant::now();
                 for &i in &subsets[r] {
                     let p = self.particles.position[i as usize];
-                    index.ranks_touching_sphere(p, ctx.filter, &mut touched);
-                    for &target in &touched {
+                    index.for_each_rank_touching_sphere(p, ctx.filter, &mut scratch, |target| {
                         if target.index() != r {
                             ghost_recv[target.index()].push(i);
                             ghost_sent[r] += 1;
                         }
-                    }
+                    });
                 }
                 ghost_seconds[r] = t0.elapsed().as_secs_f64();
             }

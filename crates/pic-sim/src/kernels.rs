@@ -14,7 +14,7 @@ use crate::field::FluidField;
 use crate::particles::CellList;
 use pic_grid::gll::GllRule;
 use pic_grid::ElementMesh;
-use pic_mapping::RegionIndex;
+use pic_mapping::{RegionIndex, RegionQueryScratch};
 use pic_types::{Rank, Vec3};
 
 /// Shared, read-only context for one solver step.
@@ -228,14 +228,14 @@ pub fn create_ghost_particles(
     index: &RegionIndex,
 ) -> Vec<Vec<u32>> {
     let mut ghosts: Vec<Vec<u32>> = vec![Vec::new(); index.rank_count()];
-    let mut touched = Vec::new();
+    let mut scratch = RegionQueryScratch::new();
     for (i, &p) in positions.iter().enumerate() {
-        index.ranks_touching_sphere(p, ctx.filter, &mut touched);
-        for &r in &touched {
-            if r != owners[i] {
+        let home = owners[i];
+        index.for_each_rank_touching_sphere(p, ctx.filter, &mut scratch, |r| {
+            if r != home {
                 ghosts[r.index()].push(i as u32);
             }
-        }
+        });
     }
     ghosts
 }

@@ -249,6 +249,38 @@ impl<R: Read> TraceReader<R> {
         }
         Ok(trace)
     }
+
+    /// Consume the reader as an iterator of frames. A malformed stream
+    /// yields one `Err` and then ends; a clean end-of-stream just ends.
+    /// This is the handoff surface for pipeline consumers (e.g. the
+    /// streaming workload generator's decoder thread).
+    pub fn frames(self) -> Frames<R> {
+        Frames { reader: Some(self) }
+    }
+}
+
+/// Owning frame iterator returned by [`TraceReader::frames`].
+pub struct Frames<R: Read> {
+    reader: Option<TraceReader<R>>,
+}
+
+impl<R: Read> Iterator for Frames<R> {
+    type Item = Result<TraceSample>;
+
+    fn next(&mut self) -> Option<Result<TraceSample>> {
+        let reader = self.reader.as_mut()?;
+        match reader.read_sample() {
+            Ok(Some(s)) => Some(Ok(s)),
+            Ok(None) => {
+                self.reader = None;
+                None
+            }
+            Err(e) => {
+                self.reader = None;
+                Some(Err(e))
+            }
+        }
+    }
 }
 
 /// Encode a whole trace into a byte vector.

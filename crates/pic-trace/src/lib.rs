@@ -24,6 +24,6 @@ pub mod extrapolate;
 pub mod stats;
 pub mod trace;
 
-pub use codec::{Precision, TraceReader, TraceWriter};
+pub use codec::{Frames, Precision, TraceReader, TraceWriter};
 pub use extrapolate::extrapolate;
 pub use trace::{ParticleTrace, TraceMeta, TraceSample};

@@ -10,7 +10,7 @@ use crate::matrices::{migration_pairs, CommMatrix, CompMatrix};
 use pic_grid::ElementMesh;
 use pic_mapping::{
     BinMapper, ElementMapper, HilbertMapper, LoadBalancedMapper, MappingAlgorithm,
-    ParticleMapper, RegionIndex,
+    ParticleMapper, RegionIndex, RegionQueryScratch,
 };
 use pic_trace::ParticleTrace;
 use pic_types::{PicError, Rank, Result};
@@ -192,54 +192,117 @@ fn build_mapper(
     })
 }
 
-/// Streaming workload generation: consume trace frames one at a time from
-/// a [`TraceReader`](pic_trace::TraceReader), never holding more than one
-/// sample's positions in memory.
+/// Decoded frames in flight between pipeline stages. Bounds resident
+/// memory to `O(PIPELINE_DEPTH + workers)` samples regardless of trace
+/// length, preserving the streaming path's reason to exist.
+const PIPELINE_DEPTH: usize = 4;
+
+/// Streaming workload generation: consume trace frames from a
+/// [`TraceReader`](pic_trace::TraceReader) through a bounded three-stage
+/// pipeline, holding only a handful of samples in memory at once.
 ///
 /// This is the path for the paper's §II-D regime — full-scale traces run
-/// to hundreds of gigabytes, far beyond memory. The trade-off against
-/// [`generate`] is that frames are processed sequentially (frame `t`'s
-/// communication diff needs frame `t-1`'s ownership), so rayon's
-/// per-sample parallelism is unavailable; per-sample internals are
-/// unchanged and results are bit-identical to the in-memory path.
-pub fn generate_streaming<R: std::io::Read>(
-    mut reader: pic_trace::TraceReader<R>,
+/// to hundreds of gigabytes, far beyond memory. A decoder thread pulls
+/// frames off the reader via [`pic_trace::TraceReader::frames`] and feeds
+/// a bounded channel; a pool of workers maps samples through the same
+/// per-sample kernel as [`generate`]; the caller's thread merges worker results back into
+/// trace order and computes the sequential communication diff (frame `t`'s
+/// diff needs frame `t-1`'s ownership, so the merge is the one inherently
+/// serial stage). Out-of-order worker completions are reordered by sample
+/// index before folding, so the output is bit-identical to [`generate`]
+/// and to a straight-line sequential replay.
+pub fn generate_streaming<R: std::io::Read + Send>(
+    reader: pic_trace::TraceReader<R>,
     cfg: &WorkloadConfig,
     mesh: Option<&ElementMesh>,
 ) -> Result<DynamicWorkload> {
     let mapper = build_mapper(cfg, mesh)?;
-    let mut real = CompMatrix::new(cfg.ranks);
-    let mut ghost_recv = CompMatrix::new(cfg.ranks);
-    let mut ghost_sent = CompMatrix::new(cfg.ranks);
-    let mut bin_counts = Vec::new();
-    let mut iterations = Vec::new();
-    let mut comm_entries: Vec<Vec<(u32, u32, u32)>> = Vec::new();
-    let mut prev_owners: Option<Vec<Rank>> = None;
+    let mapper: &dyn ParticleMapper = mapper.as_ref();
+    let workers = rayon::current_num_threads().max(1);
 
-    while let Some(sample) = reader.read_sample()? {
-        let outcome = process_sample(&sample.positions, mapper.as_ref(), cfg);
-        real.push_sample(&outcome.real);
-        ghost_recv.push_sample(&outcome.ghost_recv);
-        ghost_sent.push_sample(&outcome.ghost_sent);
-        bin_counts.push(outcome.bin_count);
-        iterations.push(sample.iteration);
-        comm_entries.push(match &prev_owners {
-            Some(prev) => migration_pairs(prev, &outcome.owners),
-            None => Vec::new(),
+    std::thread::scope(|scope| -> Result<DynamicWorkload> {
+        let (frame_tx, frame_rx) =
+            crossbeam::channel::bounded::<(usize, pic_trace::TraceSample)>(PIPELINE_DEPTH);
+        let (out_tx, out_rx) =
+            crossbeam::channel::bounded::<(usize, u64, SampleOutcome)>(PIPELINE_DEPTH + workers);
+
+        let decoder = scope.spawn(move || -> Result<()> {
+            for (i, frame) in reader.frames().enumerate() {
+                // A send error means every worker hung up; just stop.
+                if frame_tx.send((i, frame?)).is_err() {
+                    break;
+                }
+            }
+            Ok(())
         });
-        prev_owners = Some(outcome.owners);
-    }
 
-    Ok(DynamicWorkload {
-        ranks: cfg.ranks,
-        iterations,
-        real,
-        ghost_recv,
-        ghost_sent,
-        comm: CommMatrix { entries: comm_entries },
-        bin_counts,
+        for _ in 0..workers {
+            let rx = frame_rx.clone();
+            let tx = out_tx.clone();
+            scope.spawn(move || {
+                // Sample-level fan-out is the parallelism here; pin each
+                // worker's intra-sample ghost kernel to one thread so the
+                // stages don't oversubscribe each other.
+                let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+                while let Ok((i, frame)) = rx.recv() {
+                    let outcome = pool.install(|| process_sample(&frame.positions, mapper, cfg));
+                    if tx.send((i, frame.iteration, outcome)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(frame_rx);
+        drop(out_tx);
+
+        let mut real = CompMatrix::new(cfg.ranks);
+        let mut ghost_recv = CompMatrix::new(cfg.ranks);
+        let mut ghost_sent = CompMatrix::new(cfg.ranks);
+        let mut bin_counts = Vec::new();
+        let mut iterations = Vec::new();
+        let mut comm_entries: Vec<Vec<(u32, u32, u32)>> = Vec::new();
+        let mut prev_owners: Option<Vec<Rank>> = None;
+        // Reorder buffer: results stall here until their predecessors
+        // land. Its size is bounded by the channel capacities above.
+        let mut pending: std::collections::BTreeMap<usize, (u64, SampleOutcome)> =
+            std::collections::BTreeMap::new();
+        let mut next = 0usize;
+        while let Ok((i, iteration, outcome)) = out_rx.recv() {
+            pending.insert(i, (iteration, outcome));
+            while let Some((iteration, outcome)) = pending.remove(&next) {
+                real.push_sample(&outcome.real);
+                ghost_recv.push_sample(&outcome.ghost_recv);
+                ghost_sent.push_sample(&outcome.ghost_sent);
+                bin_counts.push(outcome.bin_count);
+                iterations.push(iteration);
+                comm_entries.push(match &prev_owners {
+                    Some(prev) => migration_pairs(prev, &outcome.owners),
+                    None => Vec::new(),
+                });
+                prev_owners = Some(outcome.owners);
+                next += 1;
+            }
+        }
+        // Surface decode errors (truncated frame, I/O failure) after the
+        // pipeline drains.
+        decoder.join().expect("trace decoder thread panicked")?;
+
+        Ok(DynamicWorkload {
+            ranks: cfg.ranks,
+            iterations,
+            real,
+            ghost_recv,
+            ghost_sent,
+            comm: CommMatrix { entries: comm_entries },
+            bin_counts,
+        })
     })
 }
+
+/// Particles per parallel work item in the ghost kernel. Large enough to
+/// amortize one scratch + two partial-histogram allocations per chunk,
+/// small enough that short traces still fan out across cores.
+const GHOST_CHUNK: usize = 2048;
 
 fn process_sample(
     positions: &[pic_types::Vec3],
@@ -251,22 +314,12 @@ fn process_sample(
     for r in &outcome.ranks {
         real[r.index()] += 1;
     }
-    let mut ghost_recv = vec![0u32; cfg.ranks];
-    let mut ghost_sent = vec![0u32; cfg.ranks];
-    if cfg.compute_ghosts {
+    let (ghost_recv, ghost_sent) = if cfg.compute_ghosts {
         let index = RegionIndex::build(&outcome.rank_regions);
-        let mut touched = Vec::new();
-        for (i, &p) in positions.iter().enumerate() {
-            index.ranks_touching_sphere(p, cfg.projection_filter, &mut touched);
-            let home = outcome.ranks[i];
-            for &t in &touched {
-                if t != home {
-                    ghost_recv[t.index()] += 1;
-                    ghost_sent[home.index()] += 1;
-                }
-            }
-        }
-    }
+        ghost_counts_chunked(positions, &outcome.ranks, &index, cfg.projection_filter, cfg.ranks)
+    } else {
+        (vec![0u32; cfg.ranks], vec![0u32; cfg.ranks])
+    };
     SampleOutcome {
         real,
         ghost_recv,
@@ -274,6 +327,272 @@ fn process_sample(
         bin_count: outcome.bin_count,
         owners: outcome.ranks,
     }
+}
+
+/// Intra-sample parallel ghost counting.
+///
+/// Splits the particle array into [`GHOST_CHUNK`]-sized chunks processed in
+/// parallel. Each chunk owns a [`RegionQueryScratch`] reused across all its
+/// sphere queries — the epoch-stamp dedup in
+/// [`RegionIndex::for_each_rank_touching_sphere`] replaces the old
+/// per-query `sort_unstable` + `dedup`, so the steady-state query loop
+/// performs no heap allocation. Chunk partials are dense `u32` histograms
+/// merged by elementwise addition, which is order-independent, so the
+/// result is bit-identical to a straight-line sequential replay regardless
+/// of scheduling.
+fn ghost_counts_chunked(
+    positions: &[pic_types::Vec3],
+    owners: &[Rank],
+    index: &RegionIndex,
+    radius: f64,
+    ranks: usize,
+) -> (Vec<u32>, Vec<u32>) {
+    let chunks = positions.len().div_ceil(GHOST_CHUNK);
+    if chunks <= 1 {
+        let mut recv = vec![0u32; ranks];
+        let mut sent = vec![0u32; ranks];
+        let mut scratch = RegionQueryScratch::new();
+        ghost_count_span(positions, owners, index, radius, &mut scratch, &mut recv, &mut sent);
+        return (recv, sent);
+    }
+    let partials: Vec<(Vec<u32>, Vec<u32>)> = (0..chunks)
+        .into_par_iter()
+        .map(|c| {
+            let lo = c * GHOST_CHUNK;
+            let hi = (lo + GHOST_CHUNK).min(positions.len());
+            let mut recv = vec![0u32; ranks];
+            let mut sent = vec![0u32; ranks];
+            let mut scratch = RegionQueryScratch::new();
+            ghost_count_span(
+                &positions[lo..hi],
+                &owners[lo..hi],
+                index,
+                radius,
+                &mut scratch,
+                &mut recv,
+                &mut sent,
+            );
+            (recv, sent)
+        })
+        .collect();
+    let mut ghost_recv = vec![0u32; ranks];
+    let mut ghost_sent = vec![0u32; ranks];
+    for (recv, sent) in &partials {
+        for (acc, v) in ghost_recv.iter_mut().zip(recv) {
+            *acc += v;
+        }
+        for (acc, v) in ghost_sent.iter_mut().zip(sent) {
+            *acc += v;
+        }
+    }
+    (ghost_recv, ghost_sent)
+}
+
+/// Sequential ghost counting over one aligned span of particles.
+#[inline]
+fn ghost_count_span(
+    positions: &[pic_types::Vec3],
+    owners: &[Rank],
+    index: &RegionIndex,
+    radius: f64,
+    scratch: &mut RegionQueryScratch,
+    recv: &mut [u32],
+    sent: &mut [u32],
+) {
+    for (&p, &home) in positions.iter().zip(owners) {
+        let mut ghost_copies = 0u32;
+        index.for_each_rank_touching_sphere(p, radius, scratch, |t| {
+            if t != home {
+                recv[t.index()] += 1;
+                ghost_copies += 1;
+            }
+        });
+        // One write per particle instead of one per touched rank; the sum
+        // is identical, so outputs stay bit-equal to the reference.
+        sent[home.index()] += ghost_copies;
+    }
+}
+
+/// The pre-optimization region index, preserved verbatim for speedup
+/// accounting: per-cell `Vec<Vec<u32>>` buckets over a clone of the full
+/// regions slice, with per-query collect + `sort_unstable` + `dedup`.
+/// Grid geometry matches [`RegionIndex`], so query results are identical.
+#[doc(hidden)]
+pub struct BaselineRegionIndex {
+    bounds: pic_types::Aabb,
+    dims: [usize; 3],
+    inv_cell: pic_types::Vec3,
+    buckets: Vec<Vec<u32>>,
+    regions: Vec<pic_types::Aabb>,
+}
+
+impl BaselineRegionIndex {
+    /// Build the baseline bucket grid over `regions`.
+    pub fn build(regions: &[pic_types::Aabb]) -> BaselineRegionIndex {
+        use pic_types::{Aabb, Vec3};
+        let mut bounds = Aabb::empty();
+        let mut live = 0usize;
+        for r in regions {
+            if !r.is_empty() {
+                bounds = bounds.union(r);
+                live += 1;
+            }
+        }
+        if bounds.is_empty() {
+            return BaselineRegionIndex {
+                bounds,
+                dims: [1, 1, 1],
+                inv_cell: Vec3::ZERO,
+                buckets: vec![Vec::new()],
+                regions: regions.to_vec(),
+            };
+        }
+        let per_axis = ((live as f64 / 2.0).cbrt().ceil() as usize).clamp(1, 64);
+        let dims = [per_axis, per_axis, per_axis];
+        let ext = bounds.extent();
+        let safe = |e: f64| if e > 0.0 { e } else { 1.0 };
+        let inv_cell = Vec3::new(
+            dims[0] as f64 / safe(ext.x),
+            dims[1] as f64 / safe(ext.y),
+            dims[2] as f64 / safe(ext.z),
+        );
+        let mut index = BaselineRegionIndex {
+            bounds,
+            dims,
+            inv_cell,
+            buckets: vec![Vec::new(); dims[0] * dims[1] * dims[2]],
+            regions: regions.to_vec(),
+        };
+        for (i, r) in regions.iter().enumerate() {
+            if r.is_empty() {
+                continue;
+            }
+            let (lo, hi) = index.cell_range(r);
+            for cz in lo[2]..=hi[2] {
+                for cy in lo[1]..=hi[1] {
+                    for cx in lo[0]..=hi[0] {
+                        let c = index.cell_id(cx, cy, cz);
+                        index.buckets[c].push(i as u32);
+                    }
+                }
+            }
+        }
+        index
+    }
+
+    #[inline]
+    fn cell_id(&self, cx: usize, cy: usize, cz: usize) -> usize {
+        cx + self.dims[0] * (cy + self.dims[1] * cz)
+    }
+
+    fn cell_range(&self, b: &pic_types::Aabb) -> ([usize; 3], [usize; 3]) {
+        let rel_lo = b.min - self.bounds.min;
+        let rel_hi = b.max - self.bounds.min;
+        let mut lo = [0usize; 3];
+        let mut hi = [0usize; 3];
+        let inv = self.inv_cell.to_array();
+        for a in 0..3 {
+            let max_i = self.dims[a] as isize - 1;
+            lo[a] = ((rel_lo.to_array()[a] * inv[a]).floor() as isize).clamp(0, max_i) as usize;
+            hi[a] = ((rel_hi.to_array()[a] * inv[a]).floor() as isize).clamp(0, max_i) as usize;
+        }
+        (lo, hi)
+    }
+
+    /// Collect (sorted, deduplicated) ranks touching the sphere.
+    pub fn ranks_touching_sphere(
+        &self,
+        center: pic_types::Vec3,
+        radius: f64,
+        out: &mut Vec<Rank>,
+    ) {
+        use pic_types::Aabb;
+        out.clear();
+        if self.bounds.is_empty() {
+            return;
+        }
+        let query = Aabb::new(center, center).inflate(radius);
+        if !self.bounds.intersects(&query) {
+            return;
+        }
+        let (lo, hi) = self.cell_range(&query);
+        for cz in lo[2]..=hi[2] {
+            for cy in lo[1]..=hi[1] {
+                for cx in lo[0]..=hi[0] {
+                    for &ri in &self.buckets[self.cell_id(cx, cy, cz)] {
+                        let region = &self.regions[ri as usize];
+                        if region.intersects_sphere(center, radius) {
+                            out.push(Rank::new(ri));
+                        }
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+    }
+}
+
+/// Straight-line sequential replay used as the determinism oracle and
+/// speedup baseline for the parallel paths: no rayon, no chunking, no
+/// channels — one thread walks samples in order querying a
+/// [`BaselineRegionIndex`] (the pre-optimization bucket grid with
+/// per-query sort + dedup). Tests assert [`generate`] and
+/// [`generate_streaming`] equal this exactly.
+#[doc(hidden)]
+pub fn generate_reference(
+    trace: &ParticleTrace,
+    cfg: &WorkloadConfig,
+    mesh: Option<&ElementMesh>,
+) -> Result<DynamicWorkload> {
+    let mapper = build_mapper(cfg, mesh)?;
+    let mut real = CompMatrix::new(cfg.ranks);
+    let mut ghost_recv = CompMatrix::new(cfg.ranks);
+    let mut ghost_sent = CompMatrix::new(cfg.ranks);
+    let mut bin_counts = Vec::new();
+    let mut comm_entries: Vec<Vec<(u32, u32, u32)>> = Vec::new();
+    let mut prev_owners: Option<Vec<Rank>> = None;
+    for sample in trace.samples() {
+        let outcome = mapper.assign(&sample.positions);
+        let mut r = vec![0u32; cfg.ranks];
+        for rank in &outcome.ranks {
+            r[rank.index()] += 1;
+        }
+        let mut recv = vec![0u32; cfg.ranks];
+        let mut sent = vec![0u32; cfg.ranks];
+        if cfg.compute_ghosts {
+            let index = BaselineRegionIndex::build(&outcome.rank_regions);
+            let mut touched = Vec::new();
+            for (i, &p) in sample.positions.iter().enumerate() {
+                index.ranks_touching_sphere(p, cfg.projection_filter, &mut touched);
+                let home = outcome.ranks[i];
+                for &t in &touched {
+                    if t != home {
+                        recv[t.index()] += 1;
+                        sent[home.index()] += 1;
+                    }
+                }
+            }
+        }
+        real.push_sample(&r);
+        ghost_recv.push_sample(&recv);
+        ghost_sent.push_sample(&sent);
+        bin_counts.push(outcome.bin_count);
+        comm_entries.push(match &prev_owners {
+            Some(prev) => migration_pairs(prev, &outcome.ranks),
+            None => Vec::new(),
+        });
+        prev_owners = Some(outcome.ranks);
+    }
+    Ok(DynamicWorkload {
+        ranks: cfg.ranks,
+        iterations: trace.iterations(),
+        real,
+        ghost_recv,
+        ghost_sent,
+        comm: CommMatrix { entries: comm_entries },
+        bin_counts,
+    })
 }
 
 /// Unbounded bin-count series over a trace (Fig 6: "relaxing the processor
@@ -448,16 +767,52 @@ mod tests {
         assert!(generate(&tr, &cfg).is_err());
     }
 
-    #[test]
-    fn streaming_matches_in_memory_generation() {
+    /// Assert the streamed pipeline, the in-memory parallel path, and the
+    /// straight-line sequential reference all agree bit-for-bit.
+    fn assert_streaming_equivalence(cfg: &WorkloadConfig, mesh: Option<&ElementMesh>) {
         use pic_trace::codec::{encode_trace, Precision};
         let tr = make_trace(400, 5, 0.05, 21);
-        let cfg = WorkloadConfig::new(16, MappingAlgorithm::BinBased, 0.04);
-        let in_memory = generate(&tr, &cfg).unwrap();
+        let in_memory = generate_with_mesh(&tr, cfg, mesh).unwrap();
+        let reference = generate_reference(&tr, cfg, mesh).unwrap();
+        assert_eq!(in_memory, reference, "parallel path diverged from sequential");
         let bytes = encode_trace(&tr, Precision::F64).unwrap();
         let reader = pic_trace::TraceReader::new(&bytes[..]).unwrap();
-        let streamed = generate_streaming(reader, &cfg, None).unwrap();
-        assert_eq!(streamed, in_memory);
+        let streamed = generate_streaming(reader, cfg, mesh).unwrap();
+        assert_eq!(streamed, in_memory, "streamed path diverged from in-memory");
+    }
+
+    #[test]
+    fn streaming_matches_in_memory_generation() {
+        let cfg = WorkloadConfig::new(16, MappingAlgorithm::BinBased, 0.04);
+        assert_streaming_equivalence(&cfg, None);
+    }
+
+    #[test]
+    fn streaming_matches_in_memory_element_based() {
+        let m = mesh();
+        let cfg = WorkloadConfig::new(16, MappingAlgorithm::ElementBased, 0.04);
+        assert_streaming_equivalence(&cfg, Some(&m));
+    }
+
+    #[test]
+    fn streaming_matches_in_memory_hilbert_ordered() {
+        let m = mesh();
+        let cfg = WorkloadConfig::new(16, MappingAlgorithm::HilbertOrdered, 0.04);
+        assert_streaming_equivalence(&cfg, Some(&m));
+    }
+
+    #[test]
+    fn streaming_matches_in_memory_load_balanced() {
+        let m = mesh();
+        let cfg = WorkloadConfig::new(16, MappingAlgorithm::LoadBalanced, 0.04);
+        assert_streaming_equivalence(&cfg, Some(&m));
+    }
+
+    #[test]
+    fn streaming_matches_in_memory_without_ghosts() {
+        let mut cfg = WorkloadConfig::new(16, MappingAlgorithm::BinBased, 0.04);
+        cfg.compute_ghosts = false;
+        assert_streaming_equivalence(&cfg, None);
     }
 
     #[test]
@@ -468,6 +823,17 @@ mod tests {
         let cfg = WorkloadConfig::new(4, MappingAlgorithm::ElementBased, 0.04);
         let reader = pic_trace::TraceReader::new(&bytes[..]).unwrap();
         assert!(generate_streaming(reader, &cfg, None).is_err());
+    }
+
+    #[test]
+    fn chunked_kernel_matches_reference_on_large_sample() {
+        // Big enough to split into several ghost-kernel chunks, so the
+        // parallel partial-histogram merge actually runs.
+        let tr = make_trace(GHOST_CHUNK * 2 + 123, 2, 0.05, 33);
+        let cfg = WorkloadConfig::new(32, MappingAlgorithm::BinBased, 0.05);
+        let parallel = generate(&tr, &cfg).unwrap();
+        let reference = generate_reference(&tr, &cfg, None).unwrap();
+        assert_eq!(parallel, reference);
     }
 
     #[test]

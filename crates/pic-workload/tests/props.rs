@@ -28,6 +28,15 @@ fn trace_strategy() -> impl Strategy<Value = ParticleTrace> {
     })
 }
 
+fn mapping_strategy() -> impl Strategy<Value = MappingAlgorithm> {
+    prop_oneof![
+        Just(MappingAlgorithm::BinBased),
+        Just(MappingAlgorithm::ElementBased),
+        Just(MappingAlgorithm::HilbertOrdered),
+        Just(MappingAlgorithm::LoadBalanced),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -119,6 +128,27 @@ proptest! {
         for w in pairs.windows(2) {
             prop_assert!((w[0].0, w[0].1) < (w[1].0, w[1].1));
         }
+    }
+
+    #[test]
+    fn parallel_paths_match_sequential_reference(
+        tr in trace_strategy(),
+        ranks in 1usize..24,
+        radius in 0.005..0.15f64,
+        mapping in mapping_strategy(),
+    ) {
+        use pic_grid::{ElementMesh, MeshDims};
+        let mesh = ElementMesh::new(Aabb::unit(), MeshDims::cube(4), 5).unwrap();
+        let cfg = WorkloadConfig::new(ranks, mapping, radius);
+        // The chunked intra-sample kernel and the streamed pipeline must
+        // both reproduce the straight-line sequential replay exactly.
+        let reference = generator::generate_reference(&tr, &cfg, Some(&mesh)).unwrap();
+        let parallel = generator::generate_with_mesh(&tr, &cfg, Some(&mesh)).unwrap();
+        prop_assert_eq!(&parallel, &reference);
+        let bytes = pic_trace::codec::encode_trace(&tr, pic_trace::codec::Precision::F64).unwrap();
+        let reader = pic_trace::TraceReader::new(&bytes[..]).unwrap();
+        let streamed = generator::generate_streaming(reader, &cfg, Some(&mesh)).unwrap();
+        prop_assert_eq!(&streamed, &reference);
     }
 
     #[test]

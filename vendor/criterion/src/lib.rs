@@ -1,0 +1,314 @@
+//! Vendored minimal `criterion` stand-in (see `vendor/README.md`).
+//!
+//! Provides the API surface the workspace's benches use — groups,
+//! `bench_function` / `bench_with_input`, `Throughput`, `BenchmarkId`,
+//! `criterion_group!` / `criterion_main!` — with a simple measurement
+//! loop: calibrated warm-up, then `sample_size` timed samples, reporting
+//! median / mean / min per iteration and derived throughput.
+//!
+//! `--test` (as passed by `cargo bench -- --test` smoke runs) executes
+//! every benchmark body exactly once without timing, so CI can verify
+//! benches still run without paying measurement cost.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark context.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { test_mode: false }
+    }
+}
+
+impl Criterion {
+    /// Read harness flags from the command line (`--test` is honored;
+    /// everything else cargo passes is accepted and ignored).
+    pub fn configure_from_args(mut self) -> Criterion {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+            test_mode: self.test_mode,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let test_mode = self.test_mode;
+        let id: String = id.into();
+        let mut group = self.benchmark_group("");
+        group.test_mode = test_mode;
+        group.bench_function(BenchmarkId::from(id), f);
+        group.finish();
+    }
+
+    /// Print the final summary (no-op in the stand-in; kept for API
+    /// compatibility).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Units for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `group/function/parameter` benchmark identifier.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Function name plus parameter value.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { full: format!("{function}/{parameter}") }
+    }
+
+    /// Parameter-only identifier.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { full: parameter.to_string() }
+    }
+}
+
+impl From<BenchmarkId> for String {
+    fn from(id: BenchmarkId) -> String {
+        id.full
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { full: s }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { full: s.to_string() }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    test_mode: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the stand-in's measurement time is
+    /// derived from the sample count.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id: BenchmarkId = id.into();
+        self.run(&id.full, &mut |b| f(b));
+    }
+
+    /// Run a benchmark that borrows an input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id: BenchmarkId = id.into();
+        self.run(&id.full, &mut |b| f(b, input));
+    }
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let label = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        let mut bencher = Bencher {
+            test_mode: self.test_mode,
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test-run {label} ... ok");
+            return;
+        }
+        bencher.report(&label, self.throughput);
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark measurement driver.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measure a closure. In `--test` mode the closure runs once.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Calibrate: run once to estimate duration, then pick an
+        // iteration count so each sample takes >= ~20ms (or one call for
+        // slow subjects).
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let iters = (Duration::from_millis(20).as_nanos() / once.as_nanos()).clamp(1, 1_000_000)
+            as usize;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            self.samples.push(t.elapsed() / iters as u32);
+        }
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        if self.samples.is_empty() {
+            println!("{label:<56} (no samples)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort();
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+        let rate = throughput.map(|t| match t {
+            Throughput::Elements(n) => format!(
+                "  thrpt: {:>10}/s",
+                human_rate(n as f64 / median.as_secs_f64(), "elem")
+            ),
+            Throughput::Bytes(n) => format!(
+                "  thrpt: {:>10}/s",
+                human_rate(n as f64 / median.as_secs_f64(), "B")
+            ),
+        });
+        println!(
+            "{label:<56} time: [{} {} {}]{}",
+            human_time(min),
+            human_time(median),
+            human_time(mean),
+            rate.unwrap_or_default()
+        );
+    }
+}
+
+fn human_time(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn human_rate(per_sec: f64, unit: &str) -> String {
+    if per_sec >= 1e9 {
+        format!("{:.3} G{unit}", per_sec / 1e9)
+    } else if per_sec >= 1e6 {
+        format!("{:.3} M{unit}", per_sec / 1e6)
+    } else if per_sec >= 1e3 {
+        format!("{:.3} K{unit}", per_sec / 1e3)
+    } else {
+        format!("{per_sec:.1} {unit}")
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate the benchmark `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_in_test_mode() {
+        let mut c = Criterion { test_mode: true };
+        let mut calls = 0usize;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10).throughput(Throughput::Elements(5));
+            g.bench_function(BenchmarkId::new("f", 1), |b| b.iter(|| calls += 1));
+            g.finish();
+        }
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human_time(Duration::from_nanos(500)), "500.0 ns");
+        assert_eq!(human_time(Duration::from_micros(1500)), "1.50 ms");
+        assert!(human_rate(2.5e6, "elem").starts_with("2.500 M"));
+    }
+}

@@ -1,0 +1,135 @@
+//! Vendored minimal `crossbeam` stand-in (see `vendor/README.md`).
+//!
+//! Provides `crossbeam::channel` with cloneable (MPMC) senders and
+//! receivers on top of `std::sync::mpsc`, which is what the streaming
+//! generation pipeline needs: a bounded handoff channel feeding a pool
+//! of worker threads that each hold a receiver clone.
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// Sending half of a channel.
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender { inner: self.inner.clone() }
+        }
+    }
+
+    /// Receiving half of a channel; clones share one queue.
+    pub struct Receiver<T> {
+        inner: Arc<Mutex<mpsc::Receiver<T>>>,
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    /// The unsent value is returned to the caller.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> std::fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty
+    /// and every sender is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl std::fmt::Display for RecvError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Block until the value is queued; errors if all receivers
+        /// dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a value arrives; errors once the channel is
+        /// drained and all senders dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let guard = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+            guard.recv().map_err(|_| RecvError)
+        }
+
+        /// Iterate until the channel disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    /// Blocking iterator over received values.
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    /// Channel holding at most `cap` queued values; sends block when
+    /// full.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap.max(1));
+        (Sender { inner: tx }, Receiver { inner: Arc::new(Mutex::new(rx)) })
+    }
+
+    /// Channel with a large fixed capacity standing in for unbounded.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        bounded(1 << 20)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn mpmc_workers_drain_everything() {
+        let (tx, rx) = channel::bounded::<usize>(4);
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let rx = rx.clone();
+                std::thread::spawn(move || rx.iter().sum::<usize>())
+            })
+            .collect();
+        drop(rx);
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total: usize = workers.into_iter().map(|w| w.join().unwrap()).sum();
+        assert_eq!(total, 99 * 100 / 2);
+    }
+
+    #[test]
+    fn send_after_disconnect_errors() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        drop(rx);
+        assert!(tx.send(1).is_err());
+        let (tx2, rx2) = channel::unbounded::<u32>();
+        drop(tx2);
+        assert_eq!(rx2.recv(), Err(channel::RecvError));
+    }
+}

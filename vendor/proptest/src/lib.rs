@@ -1,0 +1,661 @@
+//! Vendored minimal `proptest` stand-in (see `vendor/README.md`).
+//!
+//! Implements the strategy combinators and macros this workspace's
+//! property tests use: range and `any::<T>()` strategies, tuples,
+//! `Just`, `collection::vec`, `prop_map` / `prop_flat_map` /
+//! `prop_recursive`, `prop_oneof!`, and the `proptest!` test macro with
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`.
+//!
+//! Differences from the real crate: cases are generated from a
+//! deterministic per-test seed (test name hash + case index), and there
+//! is **no shrinking** — a failing case reports its generated inputs
+//! as-is. That trades minimal counterexamples for zero dependencies and
+//! reproducible CI runs.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+// ------------------------------------------------------------------ rng
+
+/// SplitMix64 generator driving all value generation.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeded construction.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng { state: seed }
+    }
+
+    /// Deterministic per-test, per-case rng.
+    pub fn for_case(test_name: &str, case: u32) -> TestRng {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng::new(h ^ ((case as u64 + 1).wrapping_mul(0x9e3779b97f4a7c15)))
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn next_below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+}
+
+// ------------------------------------------------------------- strategy
+
+/// Error signal from inside a proptest case body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Assertion failed — the test fails.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs — the case is skipped.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Build a failure with a message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// A generator of test values.
+///
+/// Unlike the real crate there is no value tree / shrinking: `generate`
+/// produces a value directly.
+pub trait Strategy: Clone {
+    /// Generated value type.
+    type Value: Debug;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O: Debug, F>(self, f: F) -> MapStrategy<Self, F>
+    where
+        F: Fn(Self::Value) -> O + Clone,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Generate a value, then generate from a strategy derived from it.
+    fn prop_flat_map<S2: Strategy, F>(self, f: F) -> FlatMapStrategy<Self, F>
+    where
+        F: Fn(Self::Value) -> S2 + Clone,
+    {
+        FlatMapStrategy { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (falls back to the last
+    /// generated value after 100 rejected draws).
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> FilterStrategy<Self, F>
+    where
+        F: Fn(&Self::Value) -> bool + Clone,
+    {
+        FilterStrategy { inner: self, pred, whence }
+    }
+
+    /// Recursive strategy: `self` is the leaf; `branch` builds a
+    /// strategy for one more level from the strategy for the levels
+    /// below. `depth` bounds the recursion.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2 + Clone,
+    {
+        let leaf = self.clone().boxed();
+        let mut strat = leaf.clone();
+        for _ in 0..depth {
+            strat = one_of(vec![leaf.clone(), branch(strat).boxed()]);
+        }
+        strat
+    }
+
+    /// Type-erase.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+/// Object-safe generation core for [`BoxedStrategy`].
+trait DynStrategy<T> {
+    fn dyn_generate(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_generate(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.dyn_generate(rng)
+    }
+}
+
+/// Uniform choice between boxed strategies (the `prop_oneof!` backend).
+pub fn one_of<T: Debug + 'static>(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+    OneOf { options }.boxed()
+}
+
+struct OneOf<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Clone for OneOf<T> {
+    fn clone(&self) -> Self {
+        OneOf { options: self.options.clone() }
+    }
+}
+
+impl<T: Debug> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.next_below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// `prop_map` adapter.
+#[derive(Clone)]
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O + Clone> Strategy for MapStrategy<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// `prop_flat_map` adapter.
+#[derive(Clone)]
+pub struct FlatMapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2 + Clone> Strategy
+    for FlatMapStrategy<S, F>
+{
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// `prop_filter` adapter.
+#[derive(Clone)]
+pub struct FilterStrategy<S, F> {
+    inner: S,
+    pred: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool + Clone> Strategy for FilterStrategy<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..100 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter `{}`: gave up after 100 rejected draws", self.whence);
+    }
+}
+
+/// Always-the-same-value strategy.
+#[derive(Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ----------------------------------------------------- range strategies
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.next_below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                if span == 0 {
+                    // Full-width range: the modulus would be 2^64.
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.next_below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let u = rng.next_unit_f64() as $t;
+                self.start + u * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                let u = rng.next_unit_f64() as $t;
+                lo + u * (hi - lo)
+            }
+        }
+    )*};
+}
+float_range_strategy!(f32, f64);
+
+// ------------------------------------------------------------ arbitrary
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized + Debug {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy value.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Full-domain strategy for primitives.
+#[derive(Clone)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = Any<$t>;
+            fn arbitrary() -> Any<$t> {
+                Any { _marker: std::marker::PhantomData }
+            }
+        }
+    )*};
+}
+any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+impl Arbitrary for bool {
+    type Strategy = Any<bool>;
+    fn arbitrary() -> Any<bool> {
+        Any { _marker: std::marker::PhantomData }
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        // Finite, sign-balanced, wide dynamic range.
+        let mag = (rng.next_unit_f64() * 600.0 - 300.0).exp2();
+        if rng.next_u64() & 1 == 1 {
+            -mag
+        } else {
+            mag
+        }
+    }
+}
+impl Arbitrary for f64 {
+    type Strategy = Any<f64>;
+    fn arbitrary() -> Any<f64> {
+        Any { _marker: std::marker::PhantomData }
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+// ---------------------------------------------------------- collections
+
+/// `proptest::collection` — sized containers.
+pub mod collection {
+    use super::*;
+
+    /// Length specification for [`vec`].
+    #[derive(Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> SizeRange {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec<T>` with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// Strategy type produced by [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi - self.size.lo + 1;
+            let len = self.size.lo + rng.next_below(span as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// --------------------------------------------------------------- tuples
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),* $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);
+
+// ---------------------------------------------------------------- config
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+// ---------------------------------------------------------------- macros
+
+/// Define property tests.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::TestRng::for_case(stringify!($name), __case);
+                let __vals = ($( $crate::Strategy::generate(&($strat), &mut __rng), )*);
+                let __desc = format!("{:#?}", __vals);
+                let ($($arg,)*) = __vals;
+                let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match __result {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest case {} of {} failed: {}\ninputs: {}",
+                            __case + 1, __cfg.cases, __msg, __desc
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Assert inside a proptest body (fails the case, not the process).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} ({})", stringify!($cond), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), __a, __b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), format!($($fmt)+), __a, __b
+            )));
+        }
+    }};
+}
+
+/// Discard the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::one_of(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// The glob-import surface mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{
+        any, one_of, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3usize..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = Strategy::generate(&(0.5..2.0f64), &mut rng);
+            assert!((0.5..2.0).contains(&f));
+            let i = Strategy::generate(&(-5i32..5), &mut rng);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn vec_lengths() {
+        let mut rng = TestRng::new(2);
+        let s = collection::vec(0u32..10, 2..=5);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..=5).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_case() {
+        let s = (0u64..1000, 0.0..1.0f64);
+        let mut a = TestRng::for_case("x", 3);
+        let mut b = TestRng::for_case("x", 3);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        #[derive(Debug, Clone)]
+        enum T {
+            Leaf(u8),
+            Node(Box<T>, Box<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf(_) => 1,
+                T::Node(a, b) => 1 + depth(a).max(depth(b)),
+            }
+        }
+        let leaf = (0u8..10).prop_map(T::Leaf);
+        let strat = leaf.prop_recursive(4, 16, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| T::Node(Box::new(a), Box::new(b)))
+        });
+        let mut rng = TestRng::new(9);
+        for _ in 0..200 {
+            assert!(depth(&strat.generate(&mut rng)) <= 5);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_pipeline_works(v in collection::vec(0u32..50, 1..8), k in any::<u64>()) {
+            prop_assume!(k != u64::MAX);
+            prop_assert!(v.len() < 8);
+            prop_assert_eq!(v.len(), v.iter().count());
+        }
+    }
+}

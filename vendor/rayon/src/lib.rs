@@ -1,0 +1,399 @@
+//! Vendored minimal `rayon` stand-in (see `vendor/README.md`).
+//!
+//! Implements the small parallel-iterator surface this workspace uses —
+//! `par_iter` / `into_par_iter` / `par_chunks`, `map`, `collect` — with
+//! real multicore execution over `std::thread::scope`.
+//!
+//! Scheduling model: instead of a global work-stealing pool, every
+//! parallel `collect` splits its input into contiguous spans, one per
+//! worker thread, and each worker inherits a *thread budget*. Nested
+//! parallel calls subdivide their parent's budget, so total concurrency
+//! stays at roughly the machine's core count no matter how deeply
+//! parallel iterators nest (e.g. per-sample parallelism over samples that
+//! internally parallelize over particle chunks). Results are always
+//! assembled in input order, so `collect` is deterministic.
+
+use std::cell::Cell;
+
+/// The single-method surface each parallel pipeline stage implements:
+/// an indexable, thread-safe source of items.
+pub trait Source: Sync {
+    /// Item produced per index.
+    type Item: Send;
+    /// Number of items.
+    fn len(&self) -> usize;
+    /// Produce item `i` (pure; called from many threads).
+    fn get(&self, i: usize) -> Self::Item;
+}
+
+thread_local! {
+    /// Remaining thread budget of this thread; 0 = uninitialized (use the
+    /// machine default).
+    static BUDGET: Cell<usize> = const { Cell::new(0) };
+}
+
+fn machine_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Current thread budget (defaults to the core count).
+pub fn current_num_threads() -> usize {
+    let b = BUDGET.with(|b| b.get());
+    if b == 0 {
+        machine_threads()
+    } else {
+        b
+    }
+}
+
+fn with_budget<R>(budget: usize, f: impl FnOnce() -> R) -> R {
+    BUDGET.with(|b| {
+        let prev = b.get();
+        b.set(budget.max(1));
+        let out = f();
+        b.set(prev);
+        out
+    })
+}
+
+/// Evaluate every item of `src` in input order, splitting across up to
+/// `budget` threads; nested parallel calls share the budget.
+fn drive<S: Source>(src: &S) -> Vec<S::Item> {
+    let n = src.len();
+    let budget = current_num_threads();
+    let threads = budget.min(n);
+    if threads <= 1 || n == 0 {
+        return (0..n).map(|i| src.get(i)).collect();
+    }
+    // Contiguous spans, remainder spread over the first spans.
+    let base = n / threads;
+    let rem = n % threads;
+    let child_budget = budget.div_ceil(threads);
+    let mut parts: Vec<Vec<S::Item>> = Vec::with_capacity(threads);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        let mut start = 0usize;
+        for t in 0..threads {
+            let len = base + usize::from(t < rem);
+            let span = start..start + len;
+            start += len;
+            handles.push(scope.spawn(move || {
+                with_budget(child_budget, || span.map(|i| src.get(i)).collect::<Vec<_>>())
+            }));
+        }
+        for h in handles {
+            parts.push(h.join().expect("rayon (vendored): worker thread panicked"));
+        }
+    });
+    let mut out = Vec::with_capacity(n);
+    for p in parts {
+        out.extend(p);
+    }
+    out
+}
+
+// ------------------------------------------------------------ pipelines
+
+/// A parallel iterator: a [`Source`] plus adapters.
+pub struct ParIter<S: Source> {
+    src: S,
+}
+
+/// `map` adapter.
+pub struct MapSource<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Source, R: Send, F: Fn(S::Item) -> R + Sync> Source for MapSource<S, F> {
+    type Item = R;
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+    fn get(&self, i: usize) -> R {
+        (self.f)(self.inner.get(i))
+    }
+}
+
+/// Slice-backed source yielding `&T`.
+pub struct SliceSource<'a, T: Sync> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> Source for SliceSource<'a, T> {
+    type Item = &'a T;
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+    fn get(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+/// Chunked slice source yielding `&[T]`.
+pub struct ChunkSource<'a, T: Sync> {
+    slice: &'a [T],
+    chunk: usize,
+}
+
+impl<'a, T: Sync> Source for ChunkSource<'a, T> {
+    type Item = &'a [T];
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk)
+    }
+    fn get(&self, i: usize) -> &'a [T] {
+        let lo = i * self.chunk;
+        let hi = (lo + self.chunk).min(self.slice.len());
+        &self.slice[lo..hi]
+    }
+}
+
+/// `Range<usize>` source.
+pub struct RangeSource {
+    start: usize,
+    len: usize,
+}
+
+impl Source for RangeSource {
+    type Item = usize;
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn get(&self, i: usize) -> usize {
+        self.start + i
+    }
+}
+
+/// Collect target abstraction (only `Vec` is needed by this workspace).
+pub trait FromParallelIterator<T> {
+    /// Build the collection from items in input order.
+    fn from_par_vec(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_par_vec(items: Vec<T>) -> Vec<T> {
+        items
+    }
+}
+
+/// Adapter and terminal methods of the vendored parallel iterator.
+pub trait ParallelIterator: Sized {
+    /// The underlying source type.
+    type Src: Source;
+    /// Unwrap into the source.
+    fn into_source(self) -> Self::Src;
+
+    /// Parallel map.
+    fn map<R, F>(self, f: F) -> ParIter<MapSource<Self::Src, F>>
+    where
+        R: Send,
+        F: Fn(<Self::Src as Source>::Item) -> R + Sync,
+    {
+        ParIter { src: MapSource { inner: self.into_source(), f } }
+    }
+
+    /// Evaluate in parallel, preserving input order.
+    fn collect<C: FromParallelIterator<<Self::Src as Source>::Item>>(self) -> C {
+        C::from_par_vec(drive(&self.into_source()))
+    }
+
+    /// Minimum split-length hint; accepted for rayon compatibility (the
+    /// vendored scheduler always splits into one span per worker).
+    fn with_min_len(self, _len: usize) -> Self {
+        self
+    }
+
+    /// Parallel for-each (order of side effects is unspecified).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(<Self::Src as Source>::Item) + Sync,
+    {
+        let _: Vec<()> = ParIter { src: MapSource { inner: self.into_source(), f } }.collect();
+    }
+
+    /// Parallel sum.
+    fn sum<T>(self) -> T
+    where
+        T: std::iter::Sum<<Self::Src as Source>::Item> + Send,
+    {
+        drive(&self.into_source()).into_iter().sum()
+    }
+}
+
+impl<S: Source> ParallelIterator for ParIter<S> {
+    type Src = S;
+    fn into_source(self) -> S {
+        self.src
+    }
+}
+
+/// `.par_iter()` on slice-like containers.
+pub trait IntoParallelRefIterator<'a> {
+    /// The parallel iterator type.
+    type Iter;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParIter<SliceSource<'a, T>>;
+    fn par_iter(&'a self) -> Self::Iter {
+        ParIter { src: SliceSource { slice: self } }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParIter<SliceSource<'a, T>>;
+    fn par_iter(&'a self) -> Self::Iter {
+        ParIter { src: SliceSource { slice: self } }
+    }
+}
+
+/// `.into_par_iter()` on owning/range types.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Consume into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Iter = ParIter<RangeSource>;
+    fn into_par_iter(self) -> Self::Iter {
+        ParIter { src: RangeSource { start: self.start, len: self.end.saturating_sub(self.start) } }
+    }
+}
+
+/// `.par_chunks(n)` on slices.
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `n`-sized chunks (last may be shorter).
+    fn par_chunks(&self, n: usize) -> ParIter<ChunkSource<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, n: usize) -> ParIter<ChunkSource<'_, T>> {
+        assert!(n > 0, "chunk size must be non-zero");
+        ParIter { src: ChunkSource { slice: self, chunk: n } }
+    }
+}
+
+/// Everything a `use rayon::prelude::*;` is expected to bring in.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelIterator, ParallelSlice,
+    };
+}
+
+// --------------------------------------------------------- thread pools
+
+/// Error building a thread pool (never produced by this stand-in).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// New builder with machine defaults.
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Cap the pool's concurrency.
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Build the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads.unwrap_or_else(machine_threads) })
+    }
+}
+
+/// A "pool" in the vendored model is just a thread-budget scope: parallel
+/// iterators run inside `install` see the pool's budget.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread budget.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        with_budget(self.num_threads, f)
+    }
+
+    /// The pool's thread budget.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..10_000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let out: Vec<usize> = (5..25).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(out.len(), 20);
+        assert_eq!(out[0], 25);
+        assert_eq!(out[19], 576);
+    }
+
+    #[test]
+    fn par_chunks_cover_everything() {
+        let v: Vec<u32> = (0..1000).collect();
+        let sums: Vec<u64> = v.par_chunks(64).map(|c| c.iter().map(|&x| x as u64).sum()).collect();
+        assert_eq!(sums.len(), 1000usize.div_ceil(64));
+        assert_eq!(sums.iter().sum::<u64>(), (0..1000u64).sum());
+    }
+
+    #[test]
+    fn single_thread_pool_is_sequential_budget() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out = pool.install(|| {
+            assert_eq!(current_num_threads(), 1);
+            let v: Vec<usize> = (0..100).collect();
+            v.par_iter().map(|&x| x + 1).collect::<Vec<_>>()
+        });
+        assert_eq!(out.len(), 100);
+    }
+
+    #[test]
+    fn nested_parallelism_respects_budget() {
+        let outer: Vec<usize> = (0..4).collect();
+        let out: Vec<Vec<usize>> = outer
+            .par_iter()
+            .map(|&i| (0..100).into_par_iter().map(move |j| i * 100 + j).collect())
+            .collect();
+        let flat: Vec<usize> = out.into_iter().flatten().collect();
+        assert_eq!(flat, (0..400).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

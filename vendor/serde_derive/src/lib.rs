@@ -1,0 +1,579 @@
+//! Minimal `#[derive(Serialize, Deserialize)]` for the vendored `serde`
+//! stand-in (see `vendor/README.md` for scope and rationale).
+//!
+//! Supports the subset of serde this workspace uses:
+//! * named-field structs, tuple structs (newtype = transparent), unit structs;
+//! * enums with unit / tuple / struct variants, externally tagged by default;
+//! * `#[serde(rename_all = "kebab-case" | "snake_case")]`;
+//! * `#[serde(tag = "...")]` internally tagged enums (unit, struct, and
+//!   newtype variants whose payload serializes to a map);
+//! * `#[serde(default)]` on fields (and on containers, applied per field).
+//!
+//! No `syn`/`quote`: the input item is parsed directly from the token
+//! stream and the impl is emitted as a source string.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Default, Clone)]
+struct SerdeAttrs {
+    rename_all: Option<String>,
+    tag: Option<String>,
+    default: bool,
+}
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    attrs: SerdeAttrs,
+    kind: Kind,
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed).parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed).parse().expect("serde_derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_input(input: TokenStream) -> Input {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+
+    let attrs = parse_attrs(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+
+    let kw = expect_ident(&toks, &mut i);
+    let name = expect_ident(&toks, &mut i);
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic types are not supported (type `{name}`)");
+    }
+
+    let kind = match kw.as_str() {
+        "struct" => Kind::Struct(parse_struct_body(&toks, &mut i)),
+        "enum" => Kind::Enum(parse_enum_body(&toks, &mut i)),
+        other => panic!("serde_derive (vendored): expected struct or enum, found `{other}`"),
+    };
+    Input { name, attrs, kind }
+}
+
+/// Consume leading `#[...]` attributes, collecting `#[serde(...)]` entries.
+fn parse_attrs(toks: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut out = SerdeAttrs::default();
+    while matches!(toks.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        let TokenTree::Group(g) = &toks[*i + 1] else {
+            panic!("serde_derive (vendored): malformed attribute");
+        };
+        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+        if matches!(inner.first(), Some(TokenTree::Ident(id)) if id.to_string() == "serde") {
+            if let Some(TokenTree::Group(args)) = inner.get(1) {
+                parse_serde_args(args.stream(), &mut out);
+            }
+        }
+        *i += 2;
+    }
+    out
+}
+
+fn parse_serde_args(stream: TokenStream, out: &mut SerdeAttrs) {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0usize;
+    while i < toks.len() {
+        let key = match &toks[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        i += 1;
+        let mut value = None;
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            if let Some(TokenTree::Literal(l)) = toks.get(i) {
+                value = Some(l.to_string().trim_matches('"').to_string());
+                i += 1;
+            }
+        }
+        match (key.as_str(), value) {
+            ("rename_all", Some(v)) => out.rename_all = Some(v),
+            ("tag", Some(v)) => out.tag = Some(v),
+            ("default", _) => out.default = true,
+            // Unknown keys are ignored: this stand-in only implements the
+            // attributes the workspace uses.
+            _ => {}
+        }
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+}
+
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if matches!(toks.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde_derive (vendored): expected identifier, found {other:?}"),
+    }
+}
+
+fn parse_struct_body(toks: &[TokenTree], i: &mut usize) -> Shape {
+    match toks.get(*i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            Shape::Named(parse_named_fields(g.stream()))
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::Tuple(count_tuple_fields(g.stream()))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+        other => panic!("serde_derive (vendored): malformed struct body: {other:?}"),
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0usize;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        let attrs = parse_attrs(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_visibility(&toks, &mut i);
+        let name = expect_ident(&toks, &mut i);
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive (vendored): expected `:` after field `{name}`, found {other:?}"),
+        }
+        // Skip the type: consume until a comma at angle-bracket depth 0.
+        let mut angle = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        if i < toks.len() {
+            i += 1; // consume comma
+        }
+        fields.push(Field { name, default: attrs.default });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut angle = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for t in &toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    commas + if trailing_comma { 0 } else { 1 }
+}
+
+fn parse_enum_body(toks: &[TokenTree], i: &mut usize) -> Vec<Variant> {
+    let Some(TokenTree::Group(g)) = toks.get(*i) else {
+        panic!("serde_derive (vendored): malformed enum body");
+    };
+    assert_eq!(g.delimiter(), Delimiter::Brace, "serde_derive (vendored): malformed enum body");
+    let vt: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut j = 0usize;
+    let mut variants = Vec::new();
+    while j < vt.len() {
+        let _attrs = parse_attrs(&vt, &mut j); // e.g. #[default], doc comments
+        if j >= vt.len() {
+            break;
+        }
+        let name = expect_ident(&vt, &mut j);
+        let shape = match vt.get(j) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                j += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                j += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        if matches!(vt.get(j), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            j += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- renaming
+
+fn rename(name: &str, rule: Option<&str>) -> String {
+    match rule {
+        Some("kebab-case") => snake_like(name, '-'),
+        Some("snake_case") => snake_like(name, '_'),
+        Some("lowercase") => name.to_lowercase(),
+        Some("UPPERCASE") => name.to_uppercase(),
+        _ => name.to_string(),
+    }
+}
+
+/// serde's CamelCase -> snake/kebab: a separator before every uppercase
+/// letter except the first character, then lowercase everything.
+fn snake_like(name: &str, sep: char) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push(sep);
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(shape) => match shape {
+            Shape::Named(fields) => {
+                let mut s = String::from(
+                    "let mut __m: Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                );
+                for f in fields {
+                    let key = rename(&f.name, input.attrs.rename_all.as_deref());
+                    s.push_str(&format!(
+                        "__m.push((\"{key}\".to_string(), ::serde::Serialize::serialize(&self.{f})));\n",
+                        f = f.name
+                    ));
+                }
+                s.push_str("::serde::Value::Map(__m)\n");
+                s
+            }
+            Shape::Tuple(1) => "::serde::Serialize::serialize(&self.0)\n".to_string(),
+            Shape::Tuple(n) => {
+                let mut s = String::from(
+                    "let mut __a: Vec<::serde::Value> = ::std::vec::Vec::new();\n",
+                );
+                for k in 0..*n {
+                    s.push_str(&format!("__a.push(::serde::Serialize::serialize(&self.{k}));\n"));
+                }
+                s.push_str("::serde::Value::Array(__a)\n");
+                s
+            }
+            Shape::Unit => "::serde::Value::Null\n".to_string(),
+        },
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                let key = rename(vname, input.attrs.rename_all.as_deref());
+                let arm = match (&input.attrs.tag, &v.shape) {
+                    (None, Shape::Unit) => format!(
+                        "Self::{vname} => ::serde::Value::Str(\"{key}\".to_string()),\n"
+                    ),
+                    (None, Shape::Tuple(1)) => format!(
+                        "Self::{vname}(__a0) => ::serde::Value::Map(vec![(\"{key}\".to_string(), ::serde::Serialize::serialize(__a0))]),\n"
+                    ),
+                    (None, Shape::Tuple(n)) => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("__a{k}")).collect();
+                        let pushes: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b})"))
+                            .collect();
+                        format!(
+                            "Self::{vname}({}) => ::serde::Value::Map(vec![(\"{key}\".to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                            binds.join(", "),
+                            pushes.join(", ")
+                        )
+                    }
+                    (None, Shape::Named(fields)) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let pushes: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                let fkey = rename(&f.name, None);
+                                format!(
+                                    "(\"{fkey}\".to_string(), ::serde::Serialize::serialize({f}))",
+                                    f = f.name
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "Self::{vname} {{ {} }} => ::serde::Value::Map(vec![(\"{key}\".to_string(), ::serde::Value::Map(vec![{}]))]),\n",
+                            binds.join(", "),
+                            pushes.join(", ")
+                        )
+                    }
+                    (Some(tag), Shape::Unit) => format!(
+                        "Self::{vname} => ::serde::Value::Map(vec![(\"{tag}\".to_string(), ::serde::Value::Str(\"{key}\".to_string()))]),\n"
+                    ),
+                    (Some(tag), Shape::Named(fields)) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut pushes = vec![format!(
+                            "(\"{tag}\".to_string(), ::serde::Value::Str(\"{key}\".to_string()))"
+                        )];
+                        pushes.extend(fields.iter().map(|f| {
+                            format!(
+                                "(\"{f}\".to_string(), ::serde::Serialize::serialize({f}))",
+                                f = f.name
+                            )
+                        }));
+                        format!(
+                            "Self::{vname} {{ {} }} => ::serde::Value::Map(vec![{}]),\n",
+                            binds.join(", "),
+                            pushes.join(", ")
+                        )
+                    }
+                    (Some(tag), Shape::Tuple(1)) => format!(
+                        "Self::{vname}(__a0) => match ::serde::Serialize::serialize(__a0) {{\n\
+                         ::serde::Value::Map(mut __mm) => {{\n\
+                         __mm.insert(0, (\"{tag}\".to_string(), ::serde::Value::Str(\"{key}\".to_string())));\n\
+                         ::serde::Value::Map(__mm)\n\
+                         }}\n\
+                         _ => panic!(\"internally tagged newtype variant `{vname}` must serialize to a map\"),\n\
+                         }},\n"
+                    ),
+                    (Some(_), Shape::Tuple(_)) => panic!(
+                        "serde_derive (vendored): internally tagged tuple variants are unsupported (`{vname}`)"
+                    ),
+                };
+                arms.push_str(&arm);
+            }
+            format!("match self {{\n{arms}}}\n")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize(&self) -> ::serde::Value {{\n{body}}}\n\
+         }}\n"
+    )
+}
+
+fn gen_named_field_reads(
+    fields: &[Field],
+    container_default: bool,
+    type_name: &str,
+    map_expr: &str,
+) -> String {
+    let mut s = String::new();
+    for f in fields {
+        let key = rename(&f.name, None);
+        let missing = if f.default || container_default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::Error::custom(format!(\"missing field `{key}` for {type_name}\")))"
+            )
+        };
+        s.push_str(&format!(
+            "{f}: match ::serde::find_key({map_expr}, \"{key}\") {{\n\
+             ::std::option::Option::Some(__x) => ::serde::Deserialize::deserialize(__x)?,\n\
+             ::std::option::Option::None => {missing},\n\
+             }},\n",
+            f = f.name
+        ));
+    }
+    s
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(shape) => match shape {
+            Shape::Named(fields) => {
+                let reads = gen_named_field_reads(fields, input.attrs.default, name, "__m");
+                format!(
+                    "let __m = __v.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for {name}\"))?;\n\
+                     ::std::result::Result::Ok({name} {{\n{reads}}})\n"
+                )
+            }
+            Shape::Tuple(1) => format!(
+                "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__v)?))\n"
+            ),
+            Shape::Tuple(n) => {
+                let mut reads = String::new();
+                for k in 0..*n {
+                    reads.push_str(&format!(
+                        "::serde::Deserialize::deserialize(&__a[{k}])?,\n"
+                    ));
+                }
+                format!(
+                    "let __a = __v.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                     if __a.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(\"wrong tuple arity for {name}\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok({name}(\n{reads}))\n"
+                )
+            }
+            Shape::Unit => format!("::std::result::Result::Ok({name})\n"),
+        },
+        Kind::Enum(variants) => match &input.attrs.tag {
+            None => gen_deserialize_external_enum(input, variants),
+            Some(tag) => gen_deserialize_tagged_enum(input, variants, tag),
+        },
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn deserialize(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize_external_enum(input: &Input, variants: &[Variant]) -> String {
+    let name = &input.name;
+    let mut unit_arms = String::new();
+    let mut payload_arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let key = rename(vname, input.attrs.rename_all.as_deref());
+        match &v.shape {
+            Shape::Unit => unit_arms.push_str(&format!(
+                "\"{key}\" => ::std::result::Result::Ok(Self::{vname}),\n"
+            )),
+            Shape::Tuple(1) => payload_arms.push_str(&format!(
+                "\"{key}\" => ::std::result::Result::Ok(Self::{vname}(::serde::Deserialize::deserialize(__payload)?)),\n"
+            )),
+            Shape::Tuple(n) => {
+                let mut reads = String::new();
+                for k in 0..*n {
+                    reads.push_str(&format!("::serde::Deserialize::deserialize(&__pa[{k}])?,\n"));
+                }
+                payload_arms.push_str(&format!(
+                    "\"{key}\" => {{\n\
+                     let __pa = __payload.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array payload for {name}::{vname}\"))?;\n\
+                     if __pa.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(\"wrong arity for {name}::{vname}\"));\n\
+                     }}\n\
+                     ::std::result::Result::Ok(Self::{vname}(\n{reads}))\n\
+                     }}\n"
+                ));
+            }
+            Shape::Named(fields) => {
+                let reads = gen_named_field_reads(fields, false, name, "__pm");
+                payload_arms.push_str(&format!(
+                    "\"{key}\" => {{\n\
+                     let __pm = __payload.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map payload for {name}::{vname}\"))?;\n\
+                     ::std::result::Result::Ok(Self::{vname} {{\n{reads}}})\n\
+                     }}\n"
+                ));
+            }
+        }
+    }
+    format!(
+        "match __v {{\n\
+         ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+         {unit_arms}\
+         __other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+         }},\n\
+         ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+         let (__k, __payload) = &__m[0];\n\
+         match __k.as_str() {{\n\
+         {payload_arms}\
+         __other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+         }}\n\
+         }}\n\
+         _ => ::std::result::Result::Err(::serde::Error::custom(\"expected string or single-key map for {name}\")),\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize_tagged_enum(input: &Input, variants: &[Variant], tag: &str) -> String {
+    let name = &input.name;
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let key = rename(vname, input.attrs.rename_all.as_deref());
+        match &v.shape {
+            Shape::Unit => arms.push_str(&format!(
+                "\"{key}\" => ::std::result::Result::Ok(Self::{vname}),\n"
+            )),
+            Shape::Named(fields) => {
+                let reads = gen_named_field_reads(fields, false, name, "__m");
+                arms.push_str(&format!(
+                    "\"{key}\" => ::std::result::Result::Ok(Self::{vname} {{\n{reads}}}),\n"
+                ));
+            }
+            Shape::Tuple(1) => arms.push_str(&format!(
+                "\"{key}\" => ::std::result::Result::Ok(Self::{vname}(::serde::Deserialize::deserialize(__v)?)),\n"
+            )),
+            Shape::Tuple(_) => panic!(
+                "serde_derive (vendored): internally tagged tuple variants are unsupported (`{vname}`)"
+            ),
+        }
+    }
+    format!(
+        "let __m = __v.as_map().ok_or_else(|| ::serde::Error::custom(\"expected map for {name}\"))?;\n\
+         let __tag = ::serde::find_key(__m, \"{tag}\")\n\
+         .and_then(|t| t.as_str())\n\
+         .ok_or_else(|| ::serde::Error::custom(\"missing tag `{tag}` for {name}\"))?;\n\
+         match __tag {{\n\
+         {arms}\
+         __other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant `{{__other}}` for {name}\"))),\n\
+         }}\n"
+    )
+}

@@ -1,0 +1,394 @@
+//! Vendored minimal `serde_json` stand-in (see `vendor/README.md`).
+//!
+//! Renders the vendored `serde`'s [`Value`] tree to JSON text and parses
+//! JSON text back. Floats are printed with Rust's shortest-roundtrip
+//! formatting, so `from_str(&to_string(x))` is exact (the real crate's
+//! `float_roundtrip` feature, which this package accepts as a no-op
+//! feature flag).
+
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Error {
+        Error(e.0)
+    }
+}
+
+/// Result alias matching the real crate's shape.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize to a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize(), None, 0);
+    Ok(out)
+}
+
+/// Serialize to a human-readable JSON string (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize(), Some(2), 0);
+    Ok(out)
+}
+
+/// Deserialize from a JSON string.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at offset {}", p.pos)));
+    }
+    Ok(T::deserialize(&v)?)
+}
+
+// ---------------------------------------------------------------- writing
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => write_seq(out, items.iter(), items.len(), indent, depth, '[', ']', |out, item, ind, d| {
+            write_value(out, item, ind, d)
+        }),
+        Value::Map(entries) => write_seq(out, entries.iter(), entries.len(), indent, depth, '{', '}', |out, (k, item), ind, d| {
+            write_string(out, k);
+            out.push(':');
+            if ind.is_some() {
+                out.push(' ');
+            }
+            write_value(out, item, ind, d);
+        }),
+    }
+}
+
+fn write_seq<I: Iterator>(
+    out: &mut String,
+    items: I,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    mut write_item: impl FnMut(&mut String, I::Item, Option<usize>, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(w * (depth + 1)));
+        }
+        write_item(out, item, indent, depth + 1);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * depth));
+    }
+    out.push(close);
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if f.is_nan() || f.is_infinite() {
+        // JSON has no NaN/Inf; the real crate emits null.
+        out.push_str("null");
+        return;
+    }
+    // `{:?}` is Rust's shortest-roundtrip formatting and always keeps a
+    // decimal point or exponent, matching serde_json's "1.0" style.
+    out.push_str(&format!("{f:?}"));
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at offset {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_map(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error(format!(
+                "unexpected character {:?} at offset {}",
+                other.map(|c| c as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, v: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(v)
+        } else {
+            Err(Error(format!("invalid literal at offset {}", self.pos)))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error("invalid utf-8 in string".into()))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| Error("unterminated escape".into()))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| Error("truncated \\u escape".into()))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error("bad \\u escape".into()))?,
+                                16,
+                            )
+                            .map_err(|_| Error("bad \\u escape".into()))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our writer;
+                            // accept BMP scalars only.
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("bad \\u scalar".into()))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error(format!("unknown escape \\{}", other as char)))
+                        }
+                    }
+                }
+                _ => return Err(Error("unterminated string".into())),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if !float {
+            if let Some(stripped) = text.strip_prefix('-') {
+                if let Ok(u) = stripped.parse::<u64>() {
+                    if u <= i64::MAX as u64 {
+                        return Ok(Value::Int(-(u as i64)));
+                    }
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error(format!("invalid number `{text}`")))
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error(format!("expected `,` or `]` at offset {}", self.pos))),
+            }
+        }
+    }
+
+    fn parse_map(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(Error(format!("expected `,` or `}}` at offset {}", self.pos))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrips() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(from_str::<f64>("1e300").unwrap(), 1e300);
+        assert_eq!(from_str::<u64>("18446744073709551615").unwrap(), u64::MAX);
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        let x = 0.1f64 + 0.2;
+        assert_eq!(from_str::<f64>(&to_string(&x).unwrap()).unwrap(), x);
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1u32, 2u32, 3u32), (4, 5, 6)];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[[1,2,3],[4,5,6]]");
+        assert_eq!(from_str::<Vec<(u32, u32, u32)>>(&s).unwrap(), v);
+        let o: Vec<Option<usize>> = vec![Some(3), None];
+        let s = to_string(&o).unwrap();
+        assert_eq!(s, "[3,null]");
+        assert_eq!(from_str::<Vec<Option<usize>>>(&s).unwrap(), o);
+    }
+
+    #[test]
+    fn strings_escape() {
+        let s = "a\"b\\c\nd\u{1}";
+        let json = to_string(&s.to_string()).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), s);
+    }
+
+    #[test]
+    fn pretty_has_indentation() {
+        let v = vec![1u32, 2];
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "[\n  1,\n  2\n]");
+    }
+}
