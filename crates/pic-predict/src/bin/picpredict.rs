@@ -3,7 +3,7 @@
 //! ```text
 //! picpredict run       --config cfg.json --trace out.pictrace --records rec.json
 //! picpredict workload  --trace t.pictrace --ranks 128 --mapping bin-based
-//!                      [--filter 0.03] [--mesh 6x6x6 --order 3] [--out dir]
+//!                      [--stream true] [--filter 0.03] [--mesh 6x6x6 --order 3] [--out dir]
 //! picpredict fit       --records rec.json --out models.json [--strategy linear|auto]
 //! picpredict predict   --trace t.pictrace --models models.json --ranks 128
 //!                      [--mapping bin-based] [--machine quartz|vulcan|localhost]
@@ -47,7 +47,7 @@ const USAGE: &str = "usage:
   picpredict run --config cfg.json --trace out.pictrace [--records rec.json] [--precision f64|f32]
   picpredict default-config                 # print a template configuration
   picpredict info --trace t.pictrace        # trace metadata and statistics
-  picpredict workload --trace t.pictrace --ranks N --mapping M [--filter F] [--mesh AxBxC --order K] [--out DIR]
+  picpredict workload --trace t.pictrace --ranks N --mapping M [--stream true] [--filter F] [--mesh AxBxC --order K] [--out DIR]
   picpredict benchmark --out rec.json [--wallclock true] [--order K] [--filter F]
   picpredict fit --records rec.json --out models.json [--strategy linear|auto]
   picpredict predict --trace t.pictrace --models models.json --ranks N [--mapping M] [--machine NAME] [--sync barrier|neighbor] [--mesh AxBxC --order K] [--filter F]
@@ -192,17 +192,35 @@ fn cmd_info(flags: &HashMap<String, String>) -> Result<()> {
 }
 
 fn cmd_workload(flags: &HashMap<String, String>) -> Result<()> {
-    let trace = codec::load_file(required(flags, "trace")?)?;
+    let trace_path = required(flags, "trace")?;
     let ranks: usize = required(flags, "ranks")?
         .parse()
         .map_err(|_| PicError::config("--ranks must be an integer"))?;
     let mapping = parse_mapping(required(flags, "mapping")?)?;
     let filter: f64 = flags.get("filter").map(|s| s.parse().unwrap_or(0.03)).unwrap_or(0.03);
-    let mesh = parse_mesh(flags, trace.meta().domain)?;
     let cfg = WorkloadConfig::new(ranks, mapping, filter);
+    let streaming = flags.get("stream").map(|v| v != "false").unwrap_or(false);
     let t0 = std::time::Instant::now();
-    let w = generator::generate_with_mesh(&trace, &cfg, mesh.as_ref())?;
+    // `--stream` replays the trace through the bounded pipeline without
+    // ever loading it whole — the path for traces larger than memory. A
+    // truncated or corrupt file fails here with a byte-positioned error.
+    let (w, ingest) = if streaming {
+        let file = std::fs::File::open(trace_path)?;
+        let reader = pic_trace::TraceReader::new(std::io::BufReader::new(file))?;
+        let mesh = parse_mesh(flags, reader.meta().domain)?;
+        let (w, stats) = generator::generate_streaming_with_stats(reader, &cfg, mesh.as_ref())?;
+        (w, Some(stats))
+    } else {
+        let trace = codec::load_file(trace_path)?;
+        let mesh = parse_mesh(flags, trace.meta().domain)?;
+        (generator::generate_with_mesh(&trace, &cfg, mesh.as_ref())?, None)
+    };
     eprintln!("workload generated in {:.2} s", t0.elapsed().as_secs_f64());
+    if let Some(stats) = &ingest {
+        let json = serde_json::to_string_pretty(stats)
+            .map_err(|e| PicError::config(format!("cannot serialize ingest stats: {e}")))?;
+        println!("ingest stats: {json}");
+    }
 
     let summary = metrics::summarize(&w);
     println!("ranks:                {}", summary.ranks);

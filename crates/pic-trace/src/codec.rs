@@ -17,12 +17,26 @@
 
 use crate::trace::{ParticleTrace, TraceMeta, TraceSample};
 use bytes::{Buf, BufMut};
-use pic_types::{Aabb, PicError, Result, Vec3};
+use pic_types::{Aabb, PicError, Result, TraceError, TraceErrorKind, Vec3};
 use std::io::{Read, Write};
 use std::path::Path;
 
 /// File magic for trace format version 1.
 pub const MAGIC: &[u8; 8] = b"PICTRC01";
+
+/// Hard cap on the header's description length. A corrupt `desc_len` must
+/// never drive an allocation larger than this.
+pub const MAX_DESC_LEN: usize = 1 << 20; // 1 MiB
+
+/// Hard cap on the header's particle count. Far above any real trace
+/// (the paper's full-scale run is ~6e5 particles) while keeping the frame
+/// byte length comfortably inside `u64` arithmetic.
+pub const MAX_PARTICLE_COUNT: u64 = 1 << 44;
+
+/// Frame bodies are read in chunks of at most this many bytes; decoder
+/// memory beyond the decoded positions themselves is bounded by this
+/// constant no matter what the header claims.
+pub const READ_CHUNK_BYTES: usize = 64 * 1024;
 
 /// Floating-point width used for stored positions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,10 +89,48 @@ fn encode_header(meta: &TraceMeta, precision: Precision) -> Vec<u8> {
     buf
 }
 
-fn read_exact_vec<R: Read>(r: &mut R, n: usize) -> Result<Vec<u8>> {
-    let mut buf = vec![0u8; n];
-    r.read_exact(&mut buf)?;
-    Ok(buf)
+/// Fill as much of `buf` as the stream provides: retries
+/// `ErrorKind::Interrupted`, tolerates short reads, and returns the number
+/// of bytes actually read (`< buf.len()` only at end-of-stream). Unlike
+/// `read_exact`, a partial fill is distinguishable from a zero-byte EOF.
+fn read_fully<R: Read>(r: &mut R, buf: &mut [u8]) -> std::io::Result<usize> {
+    let mut n = 0;
+    while n < buf.len() {
+        match r.read(&mut buf[n..]) {
+            Ok(0) => break,
+            Ok(k) => n += k,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(n)
+}
+
+/// Validate the header's domain corners: no NaNs, and per-axis ordered
+/// finite `min <= max` — except the canonical empty box (`Aabb::empty`,
+/// all-`+inf` min / all-`-inf` max), which legitimately round-trips.
+/// Corrupt corners would otherwise trip `debug_assert`s (or silently
+/// poison geometry) far downstream of the decode.
+fn validate_domain(corners: &[f64; 6]) -> Result<Aabb> {
+    let empty = Aabb::empty();
+    let canonical_empty = corners[..3].iter().all(|&c| c == empty.min.x)
+        && corners[3..].iter().all(|&c| c == empty.max.x);
+    if canonical_empty {
+        return Ok(empty);
+    }
+    for (axis, (&lo, &hi)) in corners[..3].iter().zip(&corners[3..]).enumerate() {
+        if !lo.is_finite() || !hi.is_finite() || lo > hi {
+            return Err(header_err(
+                TraceErrorKind::BadHeader,
+                format!("domain corners on axis {axis} are not finite and ordered: [{lo}, {hi}]"),
+                (24 + 8 * axis) as u64,
+            ));
+        }
+    }
+    Ok(Aabb {
+        min: Vec3::new(corners[0], corners[1], corners[2]),
+        max: Vec3::new(corners[3], corners[4], corners[5]),
+    })
 }
 
 /// Streaming writer: emits the header on construction, then one frame per
@@ -88,18 +140,21 @@ pub struct TraceWriter<W: Write> {
     precision: Precision,
     particle_count: usize,
     frames_written: usize,
+    bytes_written: u64,
     scratch: Vec<u8>,
 }
 
 impl<W: Write> TraceWriter<W> {
     /// Write the header for `meta` and return the writer.
     pub fn new(mut sink: W, meta: &TraceMeta, precision: Precision) -> Result<TraceWriter<W>> {
-        sink.write_all(&encode_header(meta, precision))?;
+        let header = encode_header(meta, precision);
+        sink.write_all(&header)?;
         Ok(TraceWriter {
             sink,
             precision,
             particle_count: meta.particle_count,
             frames_written: 0,
+            bytes_written: header.len() as u64,
             scratch: Vec::new(),
         })
     }
@@ -135,12 +190,18 @@ impl<W: Write> TraceWriter<W> {
         }
         self.sink.write_all(&self.scratch)?;
         self.frames_written += 1;
+        self.bytes_written += self.scratch.len() as u64;
         Ok(())
     }
 
     /// Number of frames written so far.
     pub fn frames_written(&self) -> usize {
         self.frames_written
+    }
+
+    /// Bytes emitted so far, header included.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
     }
 
     /// Flush and return the underlying sink.
@@ -150,43 +211,123 @@ impl<W: Write> TraceWriter<W> {
     }
 }
 
-/// Streaming reader: parses the header on construction, then yields one
-/// frame per [`TraceReader::read_sample`] call.
+/// Streaming reader: parses and validates the header on construction, then
+/// yields one frame per [`TraceReader::read_sample`] call.
+///
+/// Robustness contract (the ingestion layer's load-bearing guarantees):
+///
+/// * every header field is bounds-checked before it drives an allocation —
+///   a corrupt `desc_len` or `particle_count` can cost at most
+///   [`MAX_DESC_LEN`] / [`READ_CHUNK_BYTES`] bytes of scratch, never a
+///   multi-GiB reserve or a capacity-overflow abort;
+/// * frame bodies are read in [`READ_CHUNK_BYTES`] chunks, so decoded
+///   memory grows only with bytes actually present in the stream;
+/// * every error is a positioned [`TraceError`] carrying the byte offset
+///   (and frame index once past the header);
+/// * `ErrorKind::Interrupted` and short reads are retried transparently.
 pub struct TraceReader<R: Read> {
     source: R,
     meta: TraceMeta,
     precision: Precision,
     frames_read: usize,
+    /// Bytes consumed from the stream so far (header included).
+    offset: u64,
+    /// Reusable chunk buffer for frame bodies (capacity ≤ READ_CHUNK_BYTES).
+    chunk: Vec<u8>,
+}
+
+impl<R: Read> std::fmt::Debug for TraceReader<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceReader")
+            .field("meta", &self.meta)
+            .field("precision", &self.precision)
+            .field("frames_read", &self.frames_read)
+            .field("offset", &self.offset)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Fixed-size part of the header, before the description bytes.
+const FIXED_HEADER_LEN: usize = 8 + 4 + 4 + 8 + 48 + 4;
+
+fn header_err(kind: TraceErrorKind, msg: String, offset: u64) -> PicError {
+    TraceError::new(kind, msg).at_offset(offset).into()
 }
 
 impl<R: Read> TraceReader<R> {
-    /// Parse the header and return the reader.
+    /// Parse and validate the header and return the reader.
     pub fn new(mut source: R) -> Result<TraceReader<R>> {
-        let head = read_exact_vec(&mut source, 8 + 4 + 4 + 8 + 48 + 4)?;
+        let mut head = [0u8; FIXED_HEADER_LEN];
+        let got = read_fully(&mut source, &mut head)
+            .map_err(|e| TraceError::new(TraceErrorKind::Io, "header read failed")
+                .at_offset(0)
+                .with_source(e))?;
+        if got < FIXED_HEADER_LEN {
+            return Err(header_err(
+                TraceErrorKind::TruncatedHeader,
+                format!("stream ends {got} bytes into the {FIXED_HEADER_LEN}-byte fixed header"),
+                got as u64,
+            ));
+        }
         let mut buf = &head[..];
         let mut magic = [0u8; 8];
         buf.copy_to_slice(&mut magic);
         if &magic != MAGIC {
-            return Err(PicError::trace("bad magic: not a pic-trace file"));
+            return Err(header_err(
+                TraceErrorKind::BadMagic,
+                "not a pic-trace file".to_string(),
+                0,
+            ));
         }
-        let precision = Precision::from_tag(buf.get_u8())?;
+        let tag = buf.get_u8();
+        let precision = Precision::from_tag(tag)
+            .map_err(|_| header_err(TraceErrorKind::BadHeader, format!("unknown precision tag {tag}"), 8))?;
         buf.advance(3);
         let sample_interval = buf.get_u32_le();
-        let particle_count = buf.get_u64_le() as usize;
+        let particle_count_raw = buf.get_u64_le();
+        if particle_count_raw > MAX_PARTICLE_COUNT {
+            return Err(header_err(
+                TraceErrorKind::BadHeader,
+                format!("particle count {particle_count_raw} exceeds the {MAX_PARTICLE_COUNT} cap"),
+                16,
+            ));
+        }
+        let particle_count = particle_count_raw as usize;
         let mut corners = [0.0f64; 6];
         for c in &mut corners {
             *c = buf.get_f64_le();
         }
+        let domain = validate_domain(&corners)?;
         let desc_len = buf.get_u32_le() as usize;
-        let desc_bytes = read_exact_vec(&mut source, desc_len)?;
-        let description = String::from_utf8(desc_bytes)
-            .map_err(|_| PicError::trace("description is not valid UTF-8"))?;
-        let domain = Aabb {
-            min: Vec3::new(corners[0], corners[1], corners[2]),
-            max: Vec3::new(corners[3], corners[4], corners[5]),
-        };
+        if desc_len > MAX_DESC_LEN {
+            return Err(header_err(
+                TraceErrorKind::BadHeader,
+                format!("description length {desc_len} exceeds the {MAX_DESC_LEN}-byte cap"),
+                (FIXED_HEADER_LEN - 4) as u64,
+            ));
+        }
+        let mut desc_bytes = vec![0u8; desc_len];
+        let got = read_fully(&mut source, &mut desc_bytes)
+            .map_err(|e| TraceError::new(TraceErrorKind::Io, "description read failed")
+                .at_offset(FIXED_HEADER_LEN as u64)
+                .with_source(e))?;
+        if got < desc_len {
+            return Err(header_err(
+                TraceErrorKind::TruncatedHeader,
+                format!("stream ends {got} bytes into the {desc_len}-byte description"),
+                (FIXED_HEADER_LEN + got) as u64,
+            ));
+        }
+        let description = String::from_utf8(desc_bytes).map_err(|_| {
+            header_err(
+                TraceErrorKind::BadHeader,
+                "description is not valid UTF-8".to_string(),
+                FIXED_HEADER_LEN as u64,
+            )
+        })?;
+        let offset = (FIXED_HEADER_LEN + desc_len) as u64;
         let meta = TraceMeta { particle_count, sample_interval, domain, description };
-        Ok(TraceReader { source, meta, precision, frames_read: 0 })
+        Ok(TraceReader { source, meta, precision, frames_read: 0, offset, chunk: Vec::new() })
     }
 
     /// Trace metadata from the header.
@@ -199,38 +340,95 @@ impl<R: Read> TraceReader<R> {
         self.precision
     }
 
-    /// Read the next frame; `Ok(None)` at a clean end-of-stream. A stream
-    /// that ends mid-frame is a [`PicError::TraceFormat`] error.
+    /// Bytes consumed from the stream so far, header included.
+    pub fn bytes_read(&self) -> u64 {
+        self.offset
+    }
+
+    /// Read the next frame; `Ok(None)` only at a *clean* end-of-stream
+    /// (exactly zero bytes past the previous frame). A stream that ends
+    /// anywhere inside a frame — including 1–7 bytes into the iteration
+    /// word — is a positioned [`TraceError`] of kind
+    /// [`TraceErrorKind::TruncatedFrame`]; a real I/O failure surfaces as
+    /// [`TraceErrorKind::Io`] with the source error preserved.
     pub fn read_sample(&mut self) -> Result<Option<TraceSample>> {
+        let frame = self.frames_read as u64;
         let mut iter_buf = [0u8; 8];
-        match self.source.read_exact(&mut iter_buf) {
-            Ok(()) => {}
-            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-            Err(e) => return Err(e.into()),
+        let got = read_fully(&mut self.source, &mut iter_buf).map_err(|e| {
+            TraceError::new(TraceErrorKind::Io, "frame header read failed")
+                .at_offset(self.offset)
+                .at_frame(frame)
+                .with_source(e)
+        })?;
+        if got == 0 {
+            return Ok(None); // clean end-of-stream
         }
+        if got < 8 {
+            return Err(TraceError::new(
+                TraceErrorKind::TruncatedFrame,
+                format!("stream ends {got} bytes into the frame's iteration word"),
+            )
+            .at_offset(self.offset + got as u64)
+            .at_frame(frame)
+            .into());
+        }
+        self.offset += 8;
         let iteration = u64::from_le_bytes(iter_buf);
         let n = self.meta.particle_count;
-        let body_len = n * 3 * self.precision.scalar_bytes();
-        let body = read_exact_vec(&mut self.source, body_len).map_err(|_| {
-            PicError::trace(format!("truncated frame at iteration {iteration}"))
-        })?;
-        let mut buf = &body[..];
-        let mut positions = Vec::with_capacity(n);
-        match self.precision {
-            Precision::F64 => {
-                for _ in 0..n {
-                    positions.push(Vec3::new(buf.get_f64_le(), buf.get_f64_le(), buf.get_f64_le()));
+        let stride = 3 * self.precision.scalar_bytes();
+        // Whole particles per chunk: scalars never straddle a chunk edge.
+        let chunk_particles = (READ_CHUNK_BYTES / stride).max(1);
+        let mut positions: Vec<Vec3> = Vec::new();
+        let mut decoded = 0usize;
+        while decoded < n {
+            let take = chunk_particles.min(n - decoded);
+            let want = take * stride;
+            self.chunk.resize(want, 0);
+            let got = read_fully(&mut self.source, &mut self.chunk[..want]).map_err(|e| {
+                TraceError::new(
+                    TraceErrorKind::Io,
+                    format!("frame body read failed at iteration {iteration}"),
+                )
+                .at_offset(self.offset)
+                .at_frame(frame)
+                .with_source(e)
+            })?;
+            if got < want {
+                let missing = (n - decoded) * stride - got;
+                return Err(TraceError::new(
+                    TraceErrorKind::TruncatedFrame,
+                    format!(
+                        "truncated frame at iteration {iteration}: stream ends {missing} byte(s) short"
+                    ),
+                )
+                .at_offset(self.offset + got as u64)
+                .at_frame(frame)
+                .into());
+            }
+            self.offset += got as u64;
+            positions.reserve(take);
+            let mut buf = &self.chunk[..want];
+            match self.precision {
+                Precision::F64 => {
+                    for _ in 0..take {
+                        positions.push(Vec3::new(
+                            buf.get_f64_le(),
+                            buf.get_f64_le(),
+                            buf.get_f64_le(),
+                        ));
+                    }
+                }
+                Precision::F32 => {
+                    for _ in 0..take {
+                        positions.push(Vec3::new(
+                            buf.get_f32_le() as f64,
+                            buf.get_f32_le() as f64,
+                            buf.get_f32_le() as f64,
+                        ));
+                    }
                 }
             }
-            Precision::F32 => {
-                for _ in 0..n {
-                    positions.push(Vec3::new(
-                        buf.get_f32_le() as f64,
-                        buf.get_f32_le() as f64,
-                        buf.get_f32_le() as f64,
-                    ));
-                }
-            }
+            decoded += take;
         }
         self.frames_read += 1;
         Ok(Some(TraceSample { iteration, positions }))
@@ -241,13 +439,32 @@ impl<R: Read> TraceReader<R> {
         self.frames_read
     }
 
-    /// Read every remaining frame into a [`ParticleTrace`].
+    /// Read every remaining frame into a [`ParticleTrace`]. Trace-model
+    /// invariant violations (non-monotone iterations, non-finite decoded
+    /// positions) are positioned at the offending frame.
     pub fn read_all(mut self) -> Result<ParticleTrace> {
         let mut trace = ParticleTrace::new(self.meta.clone());
         while let Some(s) = self.read_sample()? {
-            trace.push_sample(s)?;
+            trace.push_sample(s).map_err(|e| self.positioned(e))?;
         }
         Ok(trace)
+    }
+
+    /// Stamp an unpositioned trace error with the current stream position
+    /// (the end of the most recently decoded frame).
+    fn positioned(&self, e: PicError) -> PicError {
+        match e {
+            PicError::TraceFormat(mut t) => {
+                if t.offset.is_none() {
+                    t.offset = Some(self.offset);
+                }
+                if t.frame.is_none() {
+                    t.frame = Some((self.frames_read.saturating_sub(1)) as u64);
+                }
+                PicError::TraceFormat(t)
+            }
+            other => other,
+        }
     }
 
     /// Consume the reader as an iterator of frames. A malformed stream
@@ -434,6 +651,204 @@ mod tests {
         let back = load_file(&path).unwrap();
         assert_eq!(back, tr);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn zero_particle_trace_roundtrips() {
+        let tr = sample_trace(0, 4);
+        for precision in [Precision::F64, Precision::F32] {
+            let bytes = encode_trace(&tr, precision).unwrap();
+            let back = decode_trace(&bytes).unwrap();
+            assert_eq!(back.sample_count(), 4);
+            assert_eq!(back.particle_count(), 0);
+            assert_eq!(back.iterations(), tr.iterations());
+        }
+    }
+
+    #[test]
+    fn empty_description_roundtrips() {
+        let meta = TraceMeta::new(2, 10, Aabb::unit(), "");
+        let mut tr = ParticleTrace::new(meta);
+        tr.push_positions(vec![Vec3::splat(0.25); 2]).unwrap();
+        let bytes = encode_trace(&tr, Precision::F64).unwrap();
+        let back = decode_trace(&bytes).unwrap();
+        assert_eq!(back.meta().description, "");
+        assert_eq!(back, tr);
+    }
+
+    #[test]
+    fn multi_chunk_frames_roundtrip_both_precisions() {
+        // More particles than fit one READ_CHUNK_BYTES chunk, so the
+        // chunked body reader crosses chunk boundaries mid-frame.
+        let np = READ_CHUNK_BYTES / (3 * 4) + 211;
+        let tr = sample_trace(np, 2);
+        let f64_bytes = encode_trace(&tr, Precision::F64).unwrap();
+        assert_eq!(decode_trace(&f64_bytes).unwrap(), tr);
+        let f32_bytes = encode_trace(&tr, Precision::F32).unwrap();
+        let back = decode_trace(&f32_bytes).unwrap();
+        assert_eq!(back.sample_count(), 2);
+        for t in 0..2 {
+            for (a, b) in tr.positions_at(t).iter().zip(back.positions_at(t)) {
+                assert!(a.distance(*b) < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn partial_iteration_word_is_truncated_frame_not_clean_eof() {
+        // The doc-comment promise: a stream ending 1–7 bytes into the
+        // iteration word must NOT be reported as Ok(None).
+        let tr = sample_trace(3, 2);
+        let bytes = encode_trace(&tr, Precision::F64).unwrap();
+        let frame_len = 8 + 3 * 3 * 8;
+        let header_len = bytes.len() - 2 * frame_len;
+        for extra in 1..8usize {
+            let cut = header_len + frame_len + extra;
+            let mut r = TraceReader::new(&bytes[..cut]).unwrap();
+            r.read_sample().unwrap().unwrap(); // frame 0 intact
+            let err = r.read_sample().unwrap_err();
+            let d = err.trace_details().expect("structured trace error");
+            assert_eq!(d.kind, pic_types::TraceErrorKind::TruncatedFrame, "extra={extra}");
+            assert_eq!(d.offset, Some(cut as u64));
+            assert_eq!(d.frame, Some(1));
+        }
+    }
+
+    #[test]
+    fn body_io_error_preserves_source_kind() {
+        use crate::fault::FailAt;
+        let tr = sample_trace(8, 2);
+        let bytes = encode_trace(&tr, Precision::F64).unwrap();
+        // hard-fail mid-body of frame 0, well past the header
+        let frame_len = 8 + 8 * 3 * 8;
+        let fail_at = (bytes.len() - 2 * frame_len + frame_len / 2) as u64;
+        let mut r =
+            TraceReader::new(FailAt::new(&bytes[..], fail_at, std::io::ErrorKind::PermissionDenied))
+                .unwrap();
+        let err = r.read_sample().unwrap_err();
+        let d = err.trace_details().expect("structured trace error");
+        assert_eq!(d.kind, pic_types::TraceErrorKind::Io);
+        let src = d.source.as_ref().expect("source IO error preserved");
+        assert_eq!(src.kind(), std::io::ErrorKind::PermissionDenied);
+        assert!(src.to_string().contains("injected fault"));
+    }
+
+    #[test]
+    fn frames_iterator_yields_one_err_then_none() {
+        let tr = sample_trace(4, 3);
+        let bytes = encode_trace(&tr, Precision::F64).unwrap();
+        let cut = bytes.len() - 5; // inside the last frame
+        let mut frames = TraceReader::new(&bytes[..cut]).unwrap().frames();
+        assert!(frames.next().unwrap().is_ok());
+        assert!(frames.next().unwrap().is_ok());
+        assert!(frames.next().unwrap().is_err());
+        assert!(frames.next().is_none());
+        assert!(frames.next().is_none());
+    }
+
+    #[test]
+    fn absurd_particle_count_is_rejected_without_allocating() {
+        // A header claiming ~1.8e19 particles previously drove
+        // Vec::with_capacity into a capacity-overflow abort (or an OOM).
+        let tr = sample_trace(2, 1);
+        let mut bytes = encode_trace(&tr, Precision::F64).unwrap();
+        bytes[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = decode_trace(&bytes).unwrap_err();
+        let d = err.trace_details().unwrap();
+        assert_eq!(d.kind, pic_types::TraceErrorKind::BadHeader);
+        assert_eq!(d.offset, Some(16));
+    }
+
+    #[test]
+    fn large_claimed_count_with_tiny_body_errors_fast() {
+        // In-cap but far beyond the actual body: must error as truncation
+        // after reading what exists, never pre-reserve the claimed size.
+        let tr = sample_trace(2, 1);
+        let mut bytes = encode_trace(&tr, Precision::F64).unwrap();
+        bytes[16..24].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        let err = decode_trace(&bytes).unwrap_err();
+        let d = err.trace_details().unwrap();
+        assert_eq!(d.kind, pic_types::TraceErrorKind::TruncatedFrame);
+        assert_eq!(d.frame, Some(0));
+        assert!(d.offset.is_some());
+    }
+
+    #[test]
+    fn oversized_desc_len_is_rejected() {
+        let tr = sample_trace(2, 1);
+        let mut bytes = encode_trace(&tr, Precision::F64).unwrap();
+        bytes[72..76].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = decode_trace(&bytes).unwrap_err();
+        assert_eq!(err.trace_details().unwrap().kind, pic_types::TraceErrorKind::BadHeader);
+    }
+
+    #[test]
+    fn non_finite_or_unordered_domain_is_rejected() {
+        let tr = sample_trace(2, 1);
+        let good = encode_trace(&tr, Precision::F64).unwrap();
+        // NaN min.x
+        let mut bytes = good.clone();
+        bytes[24..32].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert_eq!(
+            decode_trace(&bytes).unwrap_err().trace_details().unwrap().kind,
+            pic_types::TraceErrorKind::BadHeader
+        );
+        // min.y > max.y
+        let mut bytes = good.clone();
+        bytes[32..40].copy_from_slice(&5.0f64.to_le_bytes());
+        let err = decode_trace(&bytes).unwrap_err();
+        let d = err.trace_details().unwrap();
+        assert_eq!(d.kind, pic_types::TraceErrorKind::BadHeader);
+        assert_eq!(d.offset, Some(32));
+        // the canonical empty box stays decodable
+        let meta = TraceMeta::new(0, 10, Aabb::empty(), "empty-domain");
+        let tr = ParticleTrace::new(meta);
+        let bytes = encode_trace(&tr, Precision::F64).unwrap();
+        assert!(decode_trace(&bytes).unwrap().meta().domain.is_empty());
+    }
+
+    #[test]
+    fn truncated_header_errors_carry_offset() {
+        let tr = sample_trace(2, 1);
+        let bytes = encode_trace(&tr, Precision::F64).unwrap();
+        for cut in [0usize, 1, 7, 8, 40, 75] {
+            let err = TraceReader::new(&bytes[..cut]).unwrap_err();
+            let d = err.trace_details().expect("structured error");
+            assert_eq!(d.kind, pic_types::TraceErrorKind::TruncatedHeader, "cut={cut}");
+            assert_eq!(d.offset, Some(cut as u64));
+        }
+        // mid-description cut
+        let cut = 76 + 3; // description is "codec-test" (10 bytes)
+        let err = TraceReader::new(&bytes[..cut]).unwrap_err();
+        let d = err.trace_details().unwrap();
+        assert_eq!(d.kind, pic_types::TraceErrorKind::TruncatedHeader);
+        assert_eq!(d.offset, Some(cut as u64));
+    }
+
+    #[test]
+    fn bytes_read_tracks_stream_position() {
+        let tr = sample_trace(3, 2);
+        let bytes = encode_trace(&tr, Precision::F64).unwrap();
+        let mut r = TraceReader::new(&bytes[..]).unwrap();
+        let header = 76 + "codec-test".len() as u64;
+        assert_eq!(r.bytes_read(), header);
+        let frame_len = 8 + 3 * 3 * 8;
+        r.read_sample().unwrap().unwrap();
+        assert_eq!(r.bytes_read(), header + frame_len);
+        r.read_sample().unwrap().unwrap();
+        assert!(r.read_sample().unwrap().is_none());
+        assert_eq!(r.bytes_read(), bytes.len() as u64);
+    }
+
+    #[test]
+    fn writer_counts_bytes() {
+        let tr = sample_trace(3, 2);
+        let bytes = encode_trace(&tr, Precision::F64).unwrap();
+        let mut w = TraceWriter::new(Vec::new(), tr.meta(), Precision::F64).unwrap();
+        for s in tr.samples() {
+            w.write_sample(s).unwrap();
+        }
+        assert_eq!(w.bytes_written(), bytes.len() as u64);
     }
 
     #[test]

@@ -98,17 +98,20 @@ pub fn density_distance(
     cells_per_axis: usize,
 ) -> f64 {
     assert!(cells_per_axis > 0, "need at least one cell");
-    let domain = a.meta().domain;
     let n = cells_per_axis;
-    let cell_of = |p: Vec3| -> usize {
-        let rel = p - domain.min;
-        let ext = domain.extent();
-        let idx = |v: f64, e: f64| {
-            (((v / e.max(1e-30)) * n as f64) as usize).min(n - 1)
-        };
-        idx(rel.x, ext.x) + n * (idx(rel.y, ext.y) + n * idx(rel.z, ext.z))
-    };
+    // Each trace is binned in its *own* domain: the comparison is between
+    // relative density shapes, so a trace living in a translated or scaled
+    // domain must not have its mass saturated into `a`'s edge cells.
     let hist = |tr: &ParticleTrace| -> Vec<f64> {
+        let domain = tr.meta().domain;
+        let ext = domain.extent();
+        let cell_of = |p: Vec3| -> usize {
+            let rel = p - domain.min;
+            let idx = |v: f64, e: f64| {
+                (((v / e.max(1e-30)) * n as f64) as usize).min(n - 1)
+            };
+            idx(rel.x, ext.x) + n * (idx(rel.y, ext.y) + n * idx(rel.z, ext.z))
+        };
         let mut h = vec![0.0; n * n * n];
         let pos = tr.positions_at(t);
         for &p in pos {
@@ -239,5 +242,41 @@ mod tests {
     fn density_distance_is_zero_for_identical() {
         let src = source_trace(300);
         assert_eq!(density_distance(&src, &src, 0, 4), 0.0);
+    }
+
+    #[test]
+    fn density_distance_bins_each_trace_in_its_own_domain() {
+        // The same cloud shape translated into a disjoint domain must
+        // compare as identical — the old code binned `b` with `a`'s
+        // domain, saturating all of `b`'s mass into one edge cell.
+        let src = source_trace(400);
+        let shift = Vec3::splat(10.0);
+        let domain_b = Aabb::new(Aabb::unit().min + shift, Aabb::unit().max + shift);
+        let meta = TraceMeta::new(400, 100, domain_b, "shifted");
+        let mut shifted = ParticleTrace::new(meta);
+        for t in 0..src.sample_count() {
+            shifted
+                .push_sample(crate::trace::TraceSample {
+                    iteration: src.iterations()[t],
+                    positions: src.positions_at(t).iter().map(|&p| p + shift).collect(),
+                })
+                .unwrap();
+        }
+        for t in [0, 2, 4] {
+            let d = density_distance(&src, &shifted, t, 4);
+            assert!(d < 1e-12, "sample {t}: shifted clone at distance {d}");
+        }
+        // and a genuinely different distribution still reads as far
+        let meta = TraceMeta::new(400, 100, domain_b, "corner");
+        let mut corner = ParticleTrace::new(meta);
+        for t in 0..src.sample_count() {
+            corner
+                .push_sample(crate::trace::TraceSample {
+                    iteration: src.iterations()[t],
+                    positions: vec![domain_b.max - Vec3::splat(1e-3); 400],
+                })
+                .unwrap();
+        }
+        assert!(density_distance(&src, &corner, 0, 4) > 0.5);
     }
 }

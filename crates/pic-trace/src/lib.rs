@@ -15,12 +15,18 @@
 //! * streaming [`TraceWriter`] / [`TraceReader`] that never hold more than
 //!   one frame in memory;
 //! * [`stats`] — particle-boundary evolution, displacement statistics, and
-//!   file-size estimation used for the sampling-frequency trade-off.
+//!   file-size estimation used for the sampling-frequency trade-off;
+//! * [`fault`] — deterministic fault-injection readers (truncation, short
+//!   reads, interrupts, hard I/O errors, bit flips) backing the ingestion
+//!   robustness contract: decoding arbitrary bytes never panics, stays
+//!   within a bounded allocation budget, and fails with byte-positioned
+//!   errors ([`pic_types::TraceError`]).
 
 #![warn(missing_docs)]
 
 pub mod codec;
 pub mod extrapolate;
+pub mod fault;
 pub mod stats;
 pub mod trace;
 

@@ -5,13 +5,120 @@ use std::fmt;
 /// Convenience alias used across the workspace.
 pub type Result<T> = std::result::Result<T, PicError>;
 
+/// What went wrong while decoding a particle trace.
+///
+/// Trace files reach hundreds of gigabytes (paper §II-D), so ingestion
+/// failures must be *diagnosable from the error alone*: every decoder
+/// error carries the byte offset where it was detected and, once past the
+/// header, the index of the frame being decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceErrorKind {
+    /// The stream does not start with the trace magic.
+    BadMagic,
+    /// A header field is out of bounds or inconsistent (unknown precision
+    /// tag, absurd particle count or description length, non-finite or
+    /// unordered domain corners, invalid UTF-8 description).
+    BadHeader,
+    /// The stream ended before the header was complete.
+    TruncatedHeader,
+    /// The stream ended mid-frame (partial iteration word or body).
+    TruncatedFrame,
+    /// A real I/O failure (permissions, disk error, …) interrupted the
+    /// decode; the underlying [`std::io::Error`] is preserved as the
+    /// source.
+    Io,
+    /// The decoded data violates a trace invariant (wrong position count,
+    /// non-increasing iterations, …).
+    Malformed,
+}
+
+impl fmt::Display for TraceErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceErrorKind::BadMagic => "bad magic",
+            TraceErrorKind::BadHeader => "bad header",
+            TraceErrorKind::TruncatedHeader => "truncated header",
+            TraceErrorKind::TruncatedFrame => "truncated frame",
+            TraceErrorKind::Io => "I/O failure",
+            TraceErrorKind::Malformed => "malformed trace",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A positioned trace-format error: kind, message, byte offset, frame
+/// index, and (for [`TraceErrorKind::Io`]) the underlying I/O error.
+#[derive(Debug)]
+pub struct TraceError {
+    /// Failure category.
+    pub kind: TraceErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+    /// Byte offset into the stream where the error was detected, when the
+    /// failing layer tracks stream position (the codec always does).
+    pub offset: Option<u64>,
+    /// Zero-based index of the frame being decoded, when past the header.
+    pub frame: Option<u64>,
+    /// The I/O error that caused this, when one did.
+    pub source: Option<std::io::Error>,
+}
+
+impl TraceError {
+    /// Build an error with a kind and message; position via
+    /// [`TraceError::at_offset`] / [`TraceError::at_frame`].
+    pub fn new(kind: TraceErrorKind, message: impl Into<String>) -> TraceError {
+        TraceError { kind, message: message.into(), offset: None, frame: None, source: None }
+    }
+
+    /// Attach the byte offset the error was detected at.
+    pub fn at_offset(mut self, offset: u64) -> TraceError {
+        self.offset = Some(offset);
+        self
+    }
+
+    /// Attach the index of the frame being decoded.
+    pub fn at_frame(mut self, frame: u64) -> TraceError {
+        self.frame = Some(frame);
+        self
+    }
+
+    /// Attach the underlying I/O error.
+    pub fn with_source(mut self, source: std::io::Error) -> TraceError {
+        self.source = Some(source);
+        self
+    }
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.message, self.kind)?;
+        if let Some(off) = self.offset {
+            write!(f, " at byte {off}")?;
+        }
+        if let Some(fr) = self.frame {
+            write!(f, " in frame {fr}")?;
+        }
+        if let Some(src) = &self.source {
+            write!(f, ": {src}")?;
+        }
+        Ok(())
+    }
+}
+
+impl From<TraceError> for PicError {
+    fn from(e: TraceError) -> PicError {
+        PicError::TraceFormat(Box::new(e))
+    }
+}
+
 /// Errors produced anywhere in the pic-predict framework.
 #[derive(Debug)]
 pub enum PicError {
     /// A configuration value is out of range or inconsistent.
     Config(String),
-    /// A particle trace file is malformed or truncated.
-    TraceFormat(String),
+    /// A particle trace file is malformed, truncated, or unreadable; see
+    /// [`TraceError`] for the position and failure taxonomy.
+    TraceFormat(Box<TraceError>),
     /// An I/O failure while reading or writing traces / configs / results.
     Io(std::io::Error),
     /// A model could not be fitted (singular system, empty training set, …).
@@ -26,7 +133,7 @@ impl fmt::Display for PicError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PicError::Config(m) => write!(f, "configuration error: {m}"),
-            PicError::TraceFormat(m) => write!(f, "trace format error: {m}"),
+            PicError::TraceFormat(e) => write!(f, "trace format error: {e}"),
             PicError::Io(e) => write!(f, "I/O error: {e}"),
             PicError::ModelFit(m) => write!(f, "model fitting error: {m}"),
             PicError::Simulation(m) => write!(f, "simulation error: {m}"),
@@ -39,6 +146,9 @@ impl std::error::Error for PicError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PicError::Io(e) => Some(e),
+            PicError::TraceFormat(t) => {
+                t.source.as_ref().map(|e| e as &(dyn std::error::Error + 'static))
+            }
             _ => None,
         }
     }
@@ -56,9 +166,19 @@ impl PicError {
         PicError::Config(msg.into())
     }
 
-    /// Shorthand for a [`PicError::TraceFormat`] error.
+    /// Shorthand for an unpositioned [`TraceErrorKind::Malformed`] trace
+    /// error (trace-model invariant violations; the codec builds positioned
+    /// [`TraceError`]s directly).
     pub fn trace(msg: impl Into<String>) -> PicError {
-        PicError::TraceFormat(msg.into())
+        TraceError::new(TraceErrorKind::Malformed, msg).into()
+    }
+
+    /// The structured trace error, when this is one.
+    pub fn trace_details(&self) -> Option<&TraceError> {
+        match self {
+            PicError::TraceFormat(e) => Some(e),
+            _ => None,
+        }
     }
 
     /// Shorthand for a [`PicError::ModelFit`] error.
@@ -97,5 +217,51 @@ mod tests {
         assert!(matches!(e, PicError::Io(_)));
         assert!(e.source().is_some());
         assert!(PicError::config("x").source().is_none());
+    }
+
+    #[test]
+    fn trace_error_display_carries_position() {
+        let e: PicError = TraceError::new(TraceErrorKind::TruncatedFrame, "stream ends early")
+            .at_offset(1234)
+            .at_frame(7)
+            .into();
+        let s = e.to_string();
+        assert!(s.contains("at byte 1234"), "{s}");
+        assert!(s.contains("in frame 7"), "{s}");
+        assert!(s.contains("truncated frame"), "{s}");
+        let d = e.trace_details().unwrap();
+        assert_eq!(d.kind, TraceErrorKind::TruncatedFrame);
+        assert_eq!(d.offset, Some(1234));
+        assert_eq!(d.frame, Some(7));
+    }
+
+    #[test]
+    fn trace_io_error_preserves_source() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::PermissionDenied, "no access");
+        let e: PicError = TraceError::new(TraceErrorKind::Io, "read failed")
+            .at_offset(99)
+            .with_source(io)
+            .into();
+        let src = e.source().expect("source preserved");
+        assert!(src.to_string().contains("no access"));
+        assert_eq!(
+            e.trace_details().unwrap().source.as_ref().unwrap().kind(),
+            std::io::ErrorKind::PermissionDenied
+        );
+    }
+
+    #[test]
+    fn kind_display_names_are_stable() {
+        for (k, s) in [
+            (TraceErrorKind::BadMagic, "bad magic"),
+            (TraceErrorKind::BadHeader, "bad header"),
+            (TraceErrorKind::TruncatedHeader, "truncated header"),
+            (TraceErrorKind::TruncatedFrame, "truncated frame"),
+            (TraceErrorKind::Io, "I/O failure"),
+            (TraceErrorKind::Malformed, "malformed trace"),
+        ] {
+            assert_eq!(k.to_string(), s);
+        }
     }
 }

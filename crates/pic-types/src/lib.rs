@@ -19,6 +19,6 @@ pub mod stats;
 pub mod vec3;
 
 pub use aabb::Aabb;
-pub use error::{PicError, Result};
+pub use error::{PicError, Result, TraceError, TraceErrorKind};
 pub use ids::{BinId, ElementId, ParticleId, Rank};
 pub use vec3::{Axis, Vec3};

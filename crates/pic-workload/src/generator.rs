@@ -197,13 +197,33 @@ fn build_mapper(
 /// length, preserving the streaming path's reason to exist.
 const PIPELINE_DEPTH: usize = 4;
 
+/// Observability counters from one [`generate_streaming`] run: how much
+/// was ingested and where the pipeline's time went. Exposed because a
+/// full-scale ingest runs for hours over hundreds of gigabytes (§II-D) —
+/// "is it the disk, the decode, or the ghost kernel?" must be answerable
+/// from the stats block alone.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IngestStats {
+    /// Frames successfully decoded and folded into the workload.
+    pub frames_decoded: usize,
+    /// Bytes consumed from the trace stream, header included.
+    pub bytes_read: u64,
+    /// Wall-clock seconds the decoder thread spent inside `read_sample`.
+    pub decode_seconds: f64,
+    /// Summed busy seconds across workers in the mapping + ghost kernel.
+    pub ghost_seconds: f64,
+    /// Wall-clock seconds the consumer spent merging outcomes in order
+    /// (including the sequential migration diff).
+    pub merge_seconds: f64,
+}
+
 /// Streaming workload generation: consume trace frames from a
 /// [`TraceReader`](pic_trace::TraceReader) through a bounded three-stage
 /// pipeline, holding only a handful of samples in memory at once.
 ///
 /// This is the path for the paper's §II-D regime — full-scale traces run
 /// to hundreds of gigabytes, far beyond memory. A decoder thread pulls
-/// frames off the reader via [`pic_trace::TraceReader::frames`] and feeds
+/// frames off the reader via [`pic_trace::TraceReader::read_sample`] and feeds
 /// a bounded channel; a pool of workers maps samples through the same
 /// per-sample kernel as [`generate`]; the caller's thread merges worker results back into
 /// trace order and computes the sequential communication diff (frame `t`'s
@@ -211,29 +231,69 @@ const PIPELINE_DEPTH: usize = 4;
 /// serial stage). Out-of-order worker completions are reordered by sample
 /// index before folding, so the output is bit-identical to [`generate`]
 /// and to a straight-line sequential replay.
+///
+/// On a malformed or failing stream the decoder thread stops at the first
+/// error, the workers drain whatever was already queued and exit, the
+/// merge completes over the cleanly decoded prefix, and the decoder's
+/// *positioned* error is returned. Every pipeline thread is joined before
+/// this function returns: a corrupt trace fails the run, it cannot hang
+/// it.
 pub fn generate_streaming<R: std::io::Read + Send>(
     reader: pic_trace::TraceReader<R>,
     cfg: &WorkloadConfig,
     mesh: Option<&ElementMesh>,
 ) -> Result<DynamicWorkload> {
+    generate_streaming_with_stats(reader, cfg, mesh).map(|(workload, _)| workload)
+}
+
+/// Terminal state handed back by the decoder thread: its status plus the
+/// ingestion counters only it can observe.
+struct DecoderReport {
+    status: Result<()>,
+    frames: usize,
+    bytes: u64,
+    seconds: f64,
+}
+
+/// [`generate_streaming`], additionally returning the [`IngestStats`]
+/// observability block.
+pub fn generate_streaming_with_stats<R: std::io::Read + Send>(
+    mut reader: pic_trace::TraceReader<R>,
+    cfg: &WorkloadConfig,
+    mesh: Option<&ElementMesh>,
+) -> Result<(DynamicWorkload, IngestStats)> {
     let mapper = build_mapper(cfg, mesh)?;
     let mapper: &dyn ParticleMapper = mapper.as_ref();
     let workers = rayon::current_num_threads().max(1);
+    let ghost_nanos = std::sync::atomic::AtomicU64::new(0);
+    let ghost_nanos = &ghost_nanos;
 
-    std::thread::scope(|scope| -> Result<DynamicWorkload> {
+    std::thread::scope(|scope| -> Result<(DynamicWorkload, IngestStats)> {
         let (frame_tx, frame_rx) =
             crossbeam::channel::bounded::<(usize, pic_trace::TraceSample)>(PIPELINE_DEPTH);
         let (out_tx, out_rx) =
             crossbeam::channel::bounded::<(usize, u64, SampleOutcome)>(PIPELINE_DEPTH + workers);
 
-        let decoder = scope.spawn(move || -> Result<()> {
-            for (i, frame) in reader.frames().enumerate() {
-                // A send error means every worker hung up; just stop.
-                if frame_tx.send((i, frame?)).is_err() {
-                    break;
+        let decoder = scope.spawn(move || -> DecoderReport {
+            let mut seconds = 0.0;
+            let mut frames = 0usize;
+            let status = loop {
+                let t0 = std::time::Instant::now();
+                let next = reader.read_sample();
+                seconds += t0.elapsed().as_secs_f64();
+                match next {
+                    Ok(Some(frame)) => {
+                        // A send error means every worker hung up; stop.
+                        if frame_tx.send((frames, frame)).is_err() {
+                            break Ok(());
+                        }
+                        frames += 1;
+                    }
+                    Ok(None) => break Ok(()),
+                    Err(e) => break Err(e),
                 }
-            }
-            Ok(())
+            };
+            DecoderReport { status, frames, bytes: reader.bytes_read(), seconds }
         });
 
         for _ in 0..workers {
@@ -245,7 +305,12 @@ pub fn generate_streaming<R: std::io::Read + Send>(
                 // stages don't oversubscribe each other.
                 let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
                 while let Ok((i, frame)) = rx.recv() {
+                    let t0 = std::time::Instant::now();
                     let outcome = pool.install(|| process_sample(&frame.positions, mapper, cfg));
+                    ghost_nanos.fetch_add(
+                        t0.elapsed().as_nanos() as u64,
+                        std::sync::atomic::Ordering::Relaxed,
+                    );
                     if tx.send((i, frame.iteration, outcome)).is_err() {
                         break;
                     }
@@ -262,12 +327,14 @@ pub fn generate_streaming<R: std::io::Read + Send>(
         let mut iterations = Vec::new();
         let mut comm_entries: Vec<Vec<(u32, u32, u32)>> = Vec::new();
         let mut prev_owners: Option<Vec<Rank>> = None;
+        let mut merge_seconds = 0.0;
         // Reorder buffer: results stall here until their predecessors
         // land. Its size is bounded by the channel capacities above.
         let mut pending: std::collections::BTreeMap<usize, (u64, SampleOutcome)> =
             std::collections::BTreeMap::new();
         let mut next = 0usize;
         while let Ok((i, iteration, outcome)) = out_rx.recv() {
+            let t0 = std::time::Instant::now();
             pending.insert(i, (iteration, outcome));
             while let Some((iteration, outcome)) = pending.remove(&next) {
                 real.push_sample(&outcome.real);
@@ -282,20 +349,34 @@ pub fn generate_streaming<R: std::io::Read + Send>(
                 prev_owners = Some(outcome.owners);
                 next += 1;
             }
+            merge_seconds += t0.elapsed().as_secs_f64();
         }
-        // Surface decode errors (truncated frame, I/O failure) after the
-        // pipeline drains.
-        decoder.join().expect("trace decoder thread panicked")?;
+        // out_rx closed ⇒ every worker has already exited; the decoder is
+        // done too (its channel has no readers left). Joining here cannot
+        // block on a stalled stream, so surfacing the decode error
+        // (truncated frame, I/O failure) is hang-free by construction.
+        let report = decoder.join().expect("trace decoder thread panicked");
+        report.status?;
 
-        Ok(DynamicWorkload {
-            ranks: cfg.ranks,
-            iterations,
-            real,
-            ghost_recv,
-            ghost_sent,
-            comm: CommMatrix { entries: comm_entries },
-            bin_counts,
-        })
+        let stats = IngestStats {
+            frames_decoded: report.frames,
+            bytes_read: report.bytes,
+            decode_seconds: report.seconds,
+            ghost_seconds: ghost_nanos.load(std::sync::atomic::Ordering::Relaxed) as f64 * 1e-9,
+            merge_seconds,
+        };
+        Ok((
+            DynamicWorkload {
+                ranks: cfg.ranks,
+                iterations,
+                real,
+                ghost_recv,
+                ghost_sent,
+                comm: CommMatrix { entries: comm_entries },
+                bin_counts,
+            },
+            stats,
+        ))
     })
 }
 

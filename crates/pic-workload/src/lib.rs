@@ -28,5 +28,8 @@ pub mod heatmap;
 pub mod matrices;
 pub mod metrics;
 
-pub use generator::{generate_streaming, DynamicWorkload, WorkloadConfig};
+pub use generator::{
+    generate_streaming, generate_streaming_with_stats, DynamicWorkload, IngestStats,
+    WorkloadConfig,
+};
 pub use matrices::{migration_pairs, CommMatrix, CompMatrix};
