@@ -1,0 +1,41 @@
+//! # pic-analysis
+//!
+//! The static verification layer of the prediction framework: analyses
+//! that run *before* a model is trusted, a workload is simulated, or a
+//! concurrent pipeline ships — catching entire bug classes at admission
+//! time instead of as silently wrong predictions.
+//!
+//! Three analyzers:
+//!
+//! * [`expr_check`] — abstract interpretation of `pic_models::Expr` over
+//!   the [`interval`] domain, seeded with per-column value ranges from the
+//!   training dataset. Flags reachable protected-division degeneracies,
+//!   overflow, out-of-range variable reads, and dead/constant subtrees,
+//!   each positioned by preorder node index and root-relative path. The
+//!   error subset gates model deserialization.
+//! * [`workload`] — the invariant catalog for generated `DynamicWorkload`
+//!   matrices (particle conservation, migration/delta consistency, ghost
+//!   bounds, ...), every violation carrying `(rank, sample)` coordinates.
+//!   Backs the `picpredict check` subcommand.
+//! * [`sched`] + [`pipeline_model`] — a minimal loom-style deterministic
+//!   schedule explorer, plus a faithful model of the streaming workload
+//!   generator's decoder→workers→merge pipeline. Exhaustive exploration
+//!   proves its shutdown paths hang- and leak-free for a matrix of
+//!   configurations, in CI, with a replayable schedule on any failure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod expr_check;
+pub mod interval;
+pub mod pipeline_model;
+pub mod sched;
+pub mod workload;
+
+pub use expr_check::{
+    analyze_expr, check_model_expr, Diagnostic, ExprReport, FeatureSpace, Severity,
+};
+pub use interval::Interval;
+pub use pipeline_model::{verify_pipeline, verify_streaming_shutdown, PipelineSpec};
+pub use sched::{explore, Exploration, Model, ScheduleError};
+pub use workload::{assert_workload_valid, check_workload, WorkloadViolation};

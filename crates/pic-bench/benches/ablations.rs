@@ -8,12 +8,12 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pic_bench::synthetic_expanding_trace;
+use pic_mapping::MappingAlgorithm;
 use pic_mapping::{BinMapper, ParticleMapper, RegionIndex};
 use pic_trace::codec::{encode_trace, Precision};
 use pic_types::rng::SplitMix64;
 use pic_types::{Rank, Vec3};
 use pic_workload::generator::{self, WorkloadConfig};
-use pic_mapping::MappingAlgorithm;
 
 fn positions(n: usize, seed: u64) -> Vec<Vec3> {
     let mut rng = SplitMix64::new(seed);
@@ -71,7 +71,10 @@ fn ablation_parallel_dwg(c: &mut Criterion) {
         b.iter(|| generator::generate(&trace, &cfg).unwrap());
     });
     group.bench_function("single_thread", |b| {
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
         b.iter(|| pool.install(|| generator::generate(&trace, &cfg).unwrap()));
     });
     group.finish();
@@ -92,5 +95,10 @@ fn ablation_precision(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, ablation_region_index, ablation_parallel_dwg, ablation_precision);
+criterion_group!(
+    benches,
+    ablation_region_index,
+    ablation_parallel_dwg,
+    ablation_precision
+);
 criterion_main!(benches);

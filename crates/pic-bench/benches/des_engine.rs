@@ -20,7 +20,10 @@ fn schedule(ranks: usize, steps: usize, msgs_per_rank: usize, seed: u64) -> Vec<
                     messages.push((from, to, 800));
                 }
             }
-            StepWorkload { compute_seconds, messages }
+            StepWorkload {
+                compute_seconds,
+                messages,
+            }
         })
         .collect()
 }

@@ -41,7 +41,9 @@ fn ctx<'a>(
 }
 
 fn interpolation_kernel(c: &mut Criterion) {
-    let field = UniformFlow { velocity: Vec3::new(1.0, 0.0, 0.0) };
+    let field = UniformFlow {
+        velocity: Vec3::new(1.0, 0.0, 0.0),
+    };
     let mut group = c.benchmark_group("kernel_interpolation");
     group.sample_size(10);
     // cost ∝ Np · N³: sweep both
@@ -51,17 +53,23 @@ fn interpolation_kernel(c: &mut Criterion) {
         let pos = positions(5000, 1);
         let subset: Vec<u32> = (0..pos.len() as u32).collect();
         group.throughput(Throughput::Elements(pos.len() as u64));
-        group.bench_with_input(BenchmarkId::new("np5000", format!("N{order}")), &pos, |b, pos| {
-            let kctx = ctx(&mesh, &gll, &field, 0.03);
-            let mut out = Vec::new();
-            b.iter(|| kernels::interpolate(&kctx, pos, &subset, 0.1, &mut out));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("np5000", format!("N{order}")),
+            &pos,
+            |b, pos| {
+                let kctx = ctx(&mesh, &gll, &field, 0.03);
+                let mut out = Vec::new();
+                b.iter(|| kernels::interpolate(&kctx, pos, &subset, 0.1, &mut out));
+            },
+        );
     }
     group.finish();
 }
 
 fn projection_kernel(c: &mut Criterion) {
-    let field = UniformFlow { velocity: Vec3::ZERO };
+    let field = UniformFlow {
+        velocity: Vec3::ZERO,
+    };
     let mesh = ElementMesh::new(Aabb::unit(), MeshDims::cube(6), 5).unwrap();
     let gll = GllRule::new(5);
     let pos = positions(2000, 2);
@@ -84,7 +92,9 @@ fn projection_kernel(c: &mut Criterion) {
 }
 
 fn ghost_kernel(c: &mut Criterion) {
-    let field = UniformFlow { velocity: Vec3::ZERO };
+    let field = UniformFlow {
+        velocity: Vec3::ZERO,
+    };
     let mesh = ElementMesh::new(Aabb::unit(), MeshDims::cube(6), 5).unwrap();
     let gll = GllRule::new(5);
     let pos = positions(20_000, 3);
@@ -108,7 +118,9 @@ fn ghost_kernel(c: &mut Criterion) {
 }
 
 fn equation_solver_kernel(c: &mut Criterion) {
-    let field = UniformFlow { velocity: Vec3::new(0.5, 0.0, 0.0) };
+    let field = UniformFlow {
+        velocity: Vec3::new(0.5, 0.0, 0.0),
+    };
     let mesh = ElementMesh::new(Aabb::unit(), MeshDims::cube(6), 5).unwrap();
     let gll = GllRule::new(5);
     let pos = positions(20_000, 4);
@@ -138,7 +150,9 @@ fn equation_solver_kernel(c: &mut Criterion) {
 }
 
 fn fluid_solver_kernel(c: &mut Criterion) {
-    let field = UniformFlow { velocity: Vec3::new(1.0, 2.0, 0.0) };
+    let field = UniformFlow {
+        velocity: Vec3::new(1.0, 2.0, 0.0),
+    };
     let mut group = c.benchmark_group("kernel_fluid_solver");
     group.sample_size(10);
     for &order in &[3usize, 5] {

@@ -51,7 +51,10 @@ fn expression_eval(c: &mut Criterion) {
             Box::new(Expr::Add(Box::new(Expr::Var(0)), Box::new(Expr::Var(1)))),
             Box::new(Expr::Var(2)),
         )),
-        Box::new(Expr::Add(Box::new(Expr::Const(1.0)), Box::new(Expr::Var(0)))),
+        Box::new(Expr::Add(
+            Box::new(Expr::Const(1.0)),
+            Box::new(Expr::Var(0)),
+        )),
     );
     let rows: Vec<[f64; 3]> = (0..10_000)
         .map(|i| [i as f64, (i / 2) as f64, 8.0 + (i % 56) as f64])

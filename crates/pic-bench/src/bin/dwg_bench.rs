@@ -4,6 +4,7 @@
 //! writes the measurements to `BENCH_DWG.json`.
 //!
 //! Usage: `cargo run --release -p pic-bench --bin dwg_bench [output.json]`
+#![forbid(unsafe_code)]
 
 use pic_bench::synthetic_expanding_trace;
 use pic_mapping::MappingAlgorithm;
@@ -59,11 +60,20 @@ fn time_path(reps: usize, mut f: impl FnMut() -> DynamicWorkload) -> (PathTiming
     }
     let best = secs.iter().cloned().fold(f64::INFINITY, f64::min);
     let mean = secs.iter().sum::<f64>() / reps as f64;
-    (PathTiming { reps, best_secs: best, mean_secs: mean }, last.unwrap())
+    (
+        PathTiming {
+            reps,
+            best_secs: best,
+            mean_secs: mean,
+        },
+        last.unwrap(),
+    )
 }
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_DWG.json".to_string());
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_DWG.json".to_string());
     let particles = 50_000usize;
     let samples = 6usize;
     let ranks = 4176usize;
@@ -73,7 +83,9 @@ fn main() {
     let trace = synthetic_expanding_trace(particles, samples, 7);
     let encoded = encode_trace(&trace, Precision::F64).expect("encode trace");
 
-    let (seq, w_seq) = time_path(2, || generator::generate_reference(&trace, &cfg, None).unwrap());
+    let (seq, w_seq) = time_path(2, || {
+        generator::generate_reference(&trace, &cfg, None).unwrap()
+    });
     eprintln!("  sequential reference: best {:.3}s", seq.best_secs);
     let (par, w_par) = time_path(3, || generator::generate(&trace, &cfg).unwrap());
     eprintln!("  chunked parallel:     best {:.3}s", par.best_secs);
@@ -88,7 +100,10 @@ fn main() {
     eprintln!("  parallel, no ghosts:  best {:.3}s", no_ghosts.best_secs);
 
     let outputs_identical = w_seq == w_par && w_seq == w_stream;
-    assert!(outputs_identical, "parallel paths diverged from the sequential reference");
+    assert!(
+        outputs_identical,
+        "parallel paths diverged from the sequential reference"
+    );
 
     let report = Report {
         config: BenchConfig {

@@ -18,6 +18,7 @@
 //!   under evaluation — run for real at full scale.
 //!
 //! CSVs land in `figures_out/` (override with `--out DIR`).
+#![forbid(unsafe_code)]
 
 use pic_bench::{fmt_series, oracle_models, synthetic_expanding_trace, write_csv, Scale};
 use pic_des::MachineSpec;
@@ -55,7 +56,11 @@ fn main() {
     let all = figs.is_empty() || args.iter().any(|a| a == "all");
     let want = |f: &str| all || figs.iter().any(|g| g == f);
 
-    let scale = if full_scale { Scale::Paper } else { Scale::Mini };
+    let scale = if full_scale {
+        Scale::Paper
+    } else {
+        Scale::Mini
+    };
     let cfg = scale.hele_shaw_config();
     let mesh = ElementMesh::new(cfg.domain, cfg.mesh_dims, cfg.order).expect("valid mesh");
 
@@ -69,7 +74,10 @@ fn main() {
         Scale::Mini => {
             eprintln!("# running the mini PIC application to collect the trace...");
             let t0 = std::time::Instant::now();
-            let out = MiniPic::new(cfg.clone()).expect("valid config").run().expect("app runs");
+            let out = MiniPic::new(cfg.clone())
+                .expect("valid config")
+                .run()
+                .expect("app runs");
             eprintln!("#   done in {:.1} s", t0.elapsed().as_secs_f64());
             out.trace
         }
@@ -79,7 +87,13 @@ fn main() {
         }
     };
 
-    let ctx = Ctx { scale, out_dir, cfg, trace, mesh };
+    let ctx = Ctx {
+        scale,
+        out_dir,
+        cfg,
+        trace,
+        mesh,
+    };
     if want("fig1a") {
         fig1a(&ctx);
     }
@@ -132,7 +146,11 @@ fn heatmap_rank_count(scale: Scale) -> usize {
 fn fig1a(ctx: &Ctx) {
     println!("\n== Fig 1a: particle-distribution heat map (element-based mapping) ==");
     let ranks = heatmap_rank_count(ctx.scale);
-    let mut wcfg = WorkloadConfig::new(ranks, MappingAlgorithm::ElementBased, ctx.cfg.projection_filter);
+    let mut wcfg = WorkloadConfig::new(
+        ranks,
+        MappingAlgorithm::ElementBased,
+        ctx.cfg.projection_filter,
+    );
     wcfg.compute_ghosts = false;
     let w = generator::generate_with_mesh(&ctx.trace, &wcfg, Some(&ctx.mesh)).expect("workload");
     let csv = w.real.to_csv();
@@ -143,7 +161,12 @@ fn fig1a(ctx: &Ctx) {
     let white = (0..w.ranks)
         .filter(|&r| (0..w.samples()).all(|t| w.real.get(pic_types::Rank::from_index(r), t) == 0))
         .count();
-    println!("  {} ranks x {} samples; CSV rows are ranks: {}", w.ranks, w.samples(), path.display());
+    println!(
+        "  {} ranks x {} samples; CSV rows are ranks: {}",
+        w.ranks,
+        w.samples(),
+        path.display()
+    );
     println!("  rendered image: {}", pgm.display());
     println!(
         "  'white patches' (ranks with zero particles THROUGHOUT): {} / {} ({:.1}%)",
@@ -158,10 +181,14 @@ fn fig1b(ctx: &Ctx) {
     let mut csv = String::from("ranks,mean_active,mean_active_pct,mean_idle_pct\n");
     let mut idle_pcts = Vec::new();
     for ranks in ctx.scale.rank_sweep() {
-        let mut wcfg =
-            WorkloadConfig::new(ranks, MappingAlgorithm::ElementBased, ctx.cfg.projection_filter);
+        let mut wcfg = WorkloadConfig::new(
+            ranks,
+            MappingAlgorithm::ElementBased,
+            ctx.cfg.projection_filter,
+        );
         wcfg.compute_ghosts = false;
-        let w = generator::generate_with_mesh(&ctx.trace, &wcfg, Some(&ctx.mesh)).expect("workload");
+        let w =
+            generator::generate_with_mesh(&ctx.trace, &wcfg, Some(&ctx.mesh)).expect("workload");
         let series = metrics::active_fraction_series(&w.real);
         let mean_active = pic_types::stats::mean(&series);
         let idle_pct = 100.0 * (1.0 - mean_active);
@@ -190,8 +217,14 @@ fn fig5(ctx: &Ctx) {
     println!("\n== Fig 5: max particles per rank over iterations (bin-based) ==");
     let threshold = fig5_threshold(ctx.scale);
     let sweep = ctx.scale.rank_sweep();
-    let pts = studies::scalability_study(&ctx.trace, None, MappingAlgorithm::BinBased, threshold, &sweep)
-        .expect("study");
+    let pts = studies::scalability_study(
+        &ctx.trace,
+        None,
+        MappingAlgorithm::BinBased,
+        threshold,
+        &sweep,
+    )
+    .expect("study");
     let iters = ctx.trace.iterations();
     let mut csv = String::from("iteration");
     for p in &pts {
@@ -258,11 +291,15 @@ fn fig7(ctx: &Ctx) {
             sample_interval: 10,
             ..SimConfig::default()
         };
-        let out =
-            run_case_study(&cfg, &MachineSpec::quartz_like(), &FitStrategy::default()).expect("pipeline");
+        let out = run_case_study(&cfg, &MachineSpec::quartz_like(), &FitStrategy::default())
+            .expect("pipeline");
         per_rank_results.push(out);
     }
-    let kernels = per_rank_results[0].kernel_mape.iter().map(|&(k, _)| k).collect::<Vec<_>>();
+    let kernels = per_rank_results[0]
+        .kernel_mape
+        .iter()
+        .map(|&(k, _)| k)
+        .collect::<Vec<_>>();
     print!("  {:<24}", "kernel");
     for r in rank_counts {
         print!("{:>9}", format!("R={r}"));
@@ -301,7 +338,10 @@ fn fig8(ctx: &Ctx) {
     )
     .expect("comparison");
     let mut csv = String::from("ranks,element_peak,bin_peak,ratio\n");
-    println!("  {:>8} {:>14} {:>10} {:>8}", "ranks", "element peak", "bin peak", "ratio");
+    println!(
+        "  {:>8} {:>14} {:>10} {:>8}",
+        "ranks", "element peak", "bin peak", "ratio"
+    );
     for &r in &sweep {
         let el = evals
             .iter()
@@ -374,8 +414,15 @@ fn fig10(ctx: &Ctx, part_a: bool) {
     // uniform element share per rank for the prediction features
     let nel = (ctx.cfg.element_count() / ranks).max(1) as u32;
     let elements = vec![nel; ranks];
-    let pts = studies::filter_study(&ctx.trace, ranks, &filters, &models, &elements, ctx.cfg.order)
-        .expect("filter study");
+    let pts = studies::filter_study(
+        &ctx.trace,
+        ranks,
+        &filters,
+        &models,
+        &elements,
+        ctx.cfg.order,
+    )
+    .expect("filter study");
     if part_a {
         let mut csv = String::from("filter,max_bins\n");
         for p in &pts {
@@ -397,6 +444,13 @@ fn fig10(ctx: &Ctx, part_a: bool) {
             ));
         }
         write_csv(&ctx.out_dir, "fig10b_ghost_kernel.csv", &csv).expect("write csv");
-        println!("  series: {}", fmt_series(&pts.iter().map(|p| p.ghost_kernel_seconds).collect::<Vec<_>>()));
+        println!(
+            "  series: {}",
+            fmt_series(
+                &pts.iter()
+                    .map(|p| p.ghost_kernel_seconds)
+                    .collect::<Vec<_>>()
+            )
+        );
     }
 }

@@ -1,0 +1,168 @@
+//! GP admission-pass ablation: fits symbolic models with the static
+//! admission gate on and off, over several seeds, and reports held-out
+//! RMSE plus the evaluated-node reduction the canonicalizer buys.
+//!
+//! This is the acceptance check for the admission pass: RMSE must match
+//! the ungated run within 1 % while strictly fewer candidate nodes are
+//! walked during fitness evaluation. Writes `BENCH_GP_ADMISSION.json`.
+//!
+//! Usage: `cargo run --release -p pic-bench --bin gp_admission [output.json]`
+#![forbid(unsafe_code)]
+
+use pic_models::{Dataset, GpConfig, PerfModel, SymbolicRegressor};
+use pic_sim::instrument::WorkloadParams;
+use pic_sim::{CostOracle, KernelKind};
+use pic_types::rng::SplitMix64;
+use serde::Serialize;
+
+/// One seed's paired runs.
+#[derive(Serialize)]
+struct SeedResult {
+    seed: u64,
+    rmse_on: f64,
+    rmse_off: f64,
+    /// |rmse_on − rmse_off| / rmse_off — must stay under 0.01.
+    rel_diff: f64,
+    /// Fraction of candidate nodes the canonicalizer removed before
+    /// fitness evaluation (admission-on run).
+    node_reduction: f64,
+    evaluated_nodes_on: u64,
+    evaluated_nodes_off: u64,
+    rejected_candidates: u64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    kernel: String,
+    train_rows: usize,
+    test_rows: usize,
+    seeds: Vec<SeedResult>,
+    max_rel_diff: f64,
+    mean_node_reduction: f64,
+}
+
+/// Noisy kernel-cost dataset over the three varying workload features.
+fn synthetic_dataset(kernel: KernelKind, rows: usize, seed: u64) -> Dataset {
+    let oracle = CostOracle {
+        noise_sigma: 0.05,
+        seed,
+    };
+    let mut rng = SplitMix64::new(seed ^ 0x9e37_79b9);
+    let mut d = Dataset::new(vec!["np".into(), "ngp".into(), "nel".into()]);
+    for key in 0..rows as u64 {
+        let p = WorkloadParams {
+            np: rng.next_range(0.0, 2000.0).round(),
+            ngp: rng.next_range(0.0, 400.0).round(),
+            nel: rng.next_range(8.0, 64.0).round(),
+            n_order: 5.0,
+            filter: 0.05,
+        };
+        d.push(
+            vec![p.np, p.ngp, p.nel],
+            oracle.observed_cost(kernel, &p, key),
+        );
+    }
+    d
+}
+
+fn rmse(model: &dyn PerfModel, data: &Dataset) -> f64 {
+    let n = data.len() as f64;
+    let sq: f64 = data
+        .rows
+        .iter()
+        .zip(&data.targets)
+        .map(|(row, &y)| {
+            let e = model.predict(row) - y;
+            e * e
+        })
+        .sum();
+    (sq / n).sqrt()
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_GP_ADMISSION.json".to_string());
+    let kernel = KernelKind::ParticlePusher;
+    let data = synthetic_dataset(kernel, 240, 42);
+    let (train, test) = data.split(0.75, 42).expect("split");
+
+    let mut seeds = Vec::new();
+    for seed in [7u64, 19, 31] {
+        let on_cfg = GpConfig {
+            admission: true,
+            ..GpConfig::fast(seed)
+        };
+        let off_cfg = GpConfig {
+            admission: false,
+            ..GpConfig::fast(seed)
+        };
+        let (m_on, s_on) = SymbolicRegressor::new(on_cfg)
+            .fit_with_stats(&train)
+            .expect("fit on");
+        let (m_off, s_off) = SymbolicRegressor::new(off_cfg)
+            .fit_with_stats(&train)
+            .expect("fit off");
+        let rmse_on = rmse(&m_on, &test);
+        let rmse_off = rmse(&m_off, &test);
+        let rel_diff = (rmse_on - rmse_off).abs() / rmse_off.max(1e-30);
+        let r = SeedResult {
+            seed,
+            rmse_on,
+            rmse_off,
+            rel_diff,
+            node_reduction: s_on.node_reduction(),
+            evaluated_nodes_on: s_on.evaluated_nodes,
+            evaluated_nodes_off: s_off.evaluated_nodes,
+            rejected_candidates: s_on.rejected as u64,
+        };
+        println!(
+            "seed {:>2}: rmse on/off = {:.4e}/{:.4e} (rel {:.4}%), \
+             evaluated nodes {} vs {} ({:.1}% reduction)",
+            r.seed,
+            r.rmse_on,
+            r.rmse_off,
+            r.rel_diff * 100.0,
+            r.evaluated_nodes_on,
+            r.evaluated_nodes_off,
+            r.node_reduction * 100.0
+        );
+        seeds.push(r);
+    }
+
+    let max_rel_diff = seeds.iter().map(|s| s.rel_diff).fold(0.0, f64::max);
+    let mean_node_reduction =
+        seeds.iter().map(|s| s.node_reduction).sum::<f64>() / seeds.len() as f64;
+    let all_reduced = seeds
+        .iter()
+        .all(|s| s.evaluated_nodes_on < s.evaluated_nodes_off);
+
+    let report = Report {
+        kernel: kernel.to_string(),
+        train_rows: train.len(),
+        test_rows: test.len(),
+        seeds,
+        max_rel_diff,
+        mean_node_reduction,
+    };
+    std::fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&report).expect("serialize"),
+    )
+    .expect("write report");
+    println!(
+        "summary: max rel RMSE diff {:.4}%, mean node reduction {:.1}% -> {}",
+        max_rel_diff * 100.0,
+        mean_node_reduction * 100.0,
+        out_path
+    );
+
+    if max_rel_diff > 0.01 {
+        eprintln!("FAIL: admission changed test RMSE by more than 1%");
+        std::process::exit(1);
+    }
+    if !all_reduced {
+        eprintln!("FAIL: admission did not reduce evaluated candidate nodes");
+        std::process::exit(1);
+    }
+}

@@ -9,6 +9,7 @@
 //!   particles / 216,225 elements / ranks up to 8352). Minutes to hours;
 //!   used for the headline regeneration run.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use pic_mapping::MappingAlgorithm;
@@ -106,7 +107,9 @@ pub fn synthetic_expanding_trace(particles: usize, samples: usize, seed: u64) ->
             .iter()
             .map(|d| (Vec3::new(0.5, 0.5, 0.05) + *d * scale).clamp(Vec3::ZERO, Vec3::ONE))
             .collect();
-        trace.push_positions(positions).expect("monotone synthetic samples");
+        trace
+            .push_positions(positions)
+            .expect("monotone synthetic samples");
     }
     trace
 }
@@ -134,7 +137,11 @@ pub fn oracle_models(seed: u64) -> KernelModels {
 
 /// Format a floating series compactly for stdout tables.
 pub fn fmt_series(series: &[f64]) -> String {
-    series.iter().map(|v| format!("{v:.4e}")).collect::<Vec<_>>().join(", ")
+    series
+        .iter()
+        .map(|v| format!("{v:.4e}"))
+        .collect::<Vec<_>>()
+        .join(", ")
 }
 
 /// Write CSV content to `dir/name`, creating the directory; returns the

@@ -126,7 +126,11 @@ struct SimState<'a> {
 
 impl SimState<'_> {
     fn push(&mut self, time: f64, kind: EventKind) {
-        self.queue.push(Event { time, seq: self.seq, kind });
+        self.queue.push(Event {
+            time,
+            seq: self.seq,
+            kind,
+        });
         self.seq += 1;
     }
 
@@ -135,7 +139,13 @@ impl SimState<'_> {
         self.rank_step[r] = s as u32;
         self.compute_done[r] = f64::NAN;
         let t = start + self.machine.compute_scale * self.steps[s].compute_seconds[r];
-        self.push(t, EventKind::ComputeDone { rank: r as u32, step: s as u32 });
+        self.push(
+            t,
+            EventKind::ComputeDone {
+                rank: r as u32,
+                step: s as u32,
+            },
+        );
     }
 
     /// If rank `r` has completed step `s` (compute + inbound messages),
@@ -162,8 +172,8 @@ impl SimState<'_> {
                 self.barrier_time[s] = self.barrier_time[s].max(ready_at);
                 self.barrier_remaining[s] -= 1;
                 if self.barrier_remaining[s] == 0 {
-                    let release = self.barrier_time[s]
-                        + self.machine.barrier_time(self.rank_step.len());
+                    let release =
+                        self.barrier_time[s] + self.machine.barrier_time(self.rank_step.len());
                     for rr in 0..self.rank_step.len() {
                         // idle covers both message wait and barrier wait
                         let cd = self.compute_done[rr];
@@ -224,7 +234,9 @@ pub fn simulate(
         }
         for &(from, to, _) in &st.messages {
             if from as usize >= ranks || to as usize >= ranks {
-                return Err(PicError::sim(format!("step {s} message endpoint out of range")));
+                return Err(PicError::sim(format!(
+                    "step {s} message endpoint out of range"
+                )));
             }
         }
     }
@@ -320,7 +332,10 @@ mod tests {
 
     fn steps_uniform(ranks: usize, steps: usize, secs: f64) -> Vec<StepWorkload> {
         (0..steps)
-            .map(|_| StepWorkload { compute_seconds: vec![secs; ranks], messages: vec![] })
+            .map(|_| StepWorkload {
+                compute_seconds: vec![secs; ranks],
+                messages: vec![],
+            })
             .collect()
     }
 
@@ -346,8 +361,14 @@ mod tests {
     fn barrier_takes_per_step_max() {
         // rank loads alternate: step0 = [3,1], step1 = [1,3].
         let steps = vec![
-            StepWorkload { compute_seconds: vec![3.0, 1.0], messages: vec![] },
-            StepWorkload { compute_seconds: vec![1.0, 3.0], messages: vec![] },
+            StepWorkload {
+                compute_seconds: vec![3.0, 1.0],
+                messages: vec![],
+            },
+            StepWorkload {
+                compute_seconds: vec![1.0, 3.0],
+                messages: vec![],
+            },
         ];
         let t = simulate(&steps, &machine(), SyncMode::BulkSynchronous).unwrap();
         // barrier: step0 ends at 3, step1 ends at 3+3=6
@@ -368,7 +389,10 @@ mod tests {
                 compute_seconds: vec![2.0, 0.5],
                 messages: vec![(0, 1, 10)],
             },
-            StepWorkload { compute_seconds: vec![0.1, 0.1], messages: vec![] },
+            StepWorkload {
+                compute_seconds: vec![0.1, 0.1],
+                messages: vec![],
+            },
         ];
         let t = simulate(&steps, &machine(), SyncMode::NeighborSync).unwrap();
         // message arrives at 2 + 1.5 = 3.5; rank1 starts step1 at 3.5,
@@ -386,23 +410,43 @@ mod tests {
         // rank1 is still on step 0 — messages for future steps arrive early
         // and are buffered.
         let steps = vec![
-            StepWorkload { compute_seconds: vec![0.1, 10.0], messages: vec![(0, 1, 1)] };
+            StepWorkload {
+                compute_seconds: vec![0.1, 10.0],
+                messages: vec![(0, 1, 1)]
+            };
             4
         ];
         let t = simulate(&steps, &machine(), SyncMode::NeighborSync).unwrap();
         // rank0: 4 × 0.1 = 0.4 total, unaffected by rank1
-        assert!((t.rank_finish[0] - 0.4).abs() < 1e-12, "{}", t.rank_finish[0]);
+        assert!(
+            (t.rank_finish[0] - 0.4).abs() < 1e-12,
+            "{}",
+            t.rank_finish[0]
+        );
         // rank1: messages always arrive before its compute ends → 40s
-        assert!((t.rank_finish[1] - 40.0).abs() < 1e-12, "{}", t.rank_finish[1]);
+        assert!(
+            (t.rank_finish[1] - 40.0).abs() < 1e-12,
+            "{}",
+            t.rank_finish[1]
+        );
         assert!(t.rank_idle[1].abs() < 1e-12);
     }
 
     #[test]
     fn barrier_never_faster_than_neighbor() {
         let steps = vec![
-            StepWorkload { compute_seconds: vec![1.0, 4.0, 2.0], messages: vec![(1, 0, 100)] },
-            StepWorkload { compute_seconds: vec![3.0, 1.0, 1.0], messages: vec![(0, 2, 10)] },
-            StepWorkload { compute_seconds: vec![2.0, 2.0, 5.0], messages: vec![] },
+            StepWorkload {
+                compute_seconds: vec![1.0, 4.0, 2.0],
+                messages: vec![(1, 0, 100)],
+            },
+            StepWorkload {
+                compute_seconds: vec![3.0, 1.0, 1.0],
+                messages: vec![(0, 2, 10)],
+            },
+            StepWorkload {
+                compute_seconds: vec![2.0, 2.0, 5.0],
+                messages: vec![],
+            },
         ];
         let b = simulate(&steps, &machine(), SyncMode::BulkSynchronous).unwrap();
         let n = simulate(&steps, &machine(), SyncMode::NeighborSync).unwrap();
@@ -437,15 +481,27 @@ mod tests {
     fn invalid_schedules_are_rejected() {
         // inconsistent rank counts
         let steps = vec![
-            StepWorkload { compute_seconds: vec![1.0, 1.0], messages: vec![] },
-            StepWorkload { compute_seconds: vec![1.0], messages: vec![] },
+            StepWorkload {
+                compute_seconds: vec![1.0, 1.0],
+                messages: vec![],
+            },
+            StepWorkload {
+                compute_seconds: vec![1.0],
+                messages: vec![],
+            },
         ];
         assert!(simulate(&steps, &machine(), SyncMode::NeighborSync).is_err());
         // message endpoint out of range
-        let steps = vec![StepWorkload { compute_seconds: vec![1.0], messages: vec![(0, 5, 1)] }];
+        let steps = vec![StepWorkload {
+            compute_seconds: vec![1.0],
+            messages: vec![(0, 5, 1)],
+        }];
         assert!(simulate(&steps, &machine(), SyncMode::NeighborSync).is_err());
         // zero ranks
-        let steps = vec![StepWorkload { compute_seconds: vec![], messages: vec![] }];
+        let steps = vec![StepWorkload {
+            compute_seconds: vec![],
+            messages: vec![],
+        }];
         assert!(simulate(&steps, &machine(), SyncMode::NeighborSync).is_err());
     }
 
@@ -453,7 +509,10 @@ mod tests {
     fn idle_fraction_reflects_imbalance() {
         // one hot rank, three idle ranks, barrier mode
         let steps = vec![
-            StepWorkload { compute_seconds: vec![10.0, 1.0, 1.0, 1.0], messages: vec![] };
+            StepWorkload {
+                compute_seconds: vec![10.0, 1.0, 1.0, 1.0],
+                messages: vec![]
+            };
             3
         ];
         let t = simulate(&steps, &machine(), SyncMode::BulkSynchronous).unwrap();
@@ -479,10 +538,18 @@ mod tests {
     fn torus_topology_slows_distant_messages() {
         use crate::topology::Topology;
         // one message between torus-opposite ranks vs adjacent ranks
-        let mk = |to: u32| vec![
-            StepWorkload { compute_seconds: vec![1.0; 8], messages: vec![(0, to, 0)] },
-            StepWorkload { compute_seconds: vec![0.0; 8], messages: vec![] },
-        ];
+        let mk = |to: u32| {
+            vec![
+                StepWorkload {
+                    compute_seconds: vec![1.0; 8],
+                    messages: vec![(0, to, 0)],
+                },
+                StepWorkload {
+                    compute_seconds: vec![0.0; 8],
+                    messages: vec![],
+                },
+            ]
+        };
         let mut m = machine();
         m.topology = Topology::Torus3D { x: 2, y: 2, z: 2 };
         // rank 7 = (1,1,1): 3 hops from rank 0; rank 1: 1 hop
@@ -501,8 +568,14 @@ mod tests {
         // a rank "sending to itself" (possible if a comm matrix kept a
         // diagonal entry) must not deadlock
         let steps = vec![
-            StepWorkload { compute_seconds: vec![1.0], messages: vec![(0, 0, 10)] },
-            StepWorkload { compute_seconds: vec![1.0], messages: vec![] },
+            StepWorkload {
+                compute_seconds: vec![1.0],
+                messages: vec![(0, 0, 10)],
+            },
+            StepWorkload {
+                compute_seconds: vec![1.0],
+                messages: vec![],
+            },
         ];
         let t = simulate(&steps, &machine(), SyncMode::NeighborSync).unwrap();
         // step0 ready at max(1.0, 1.0 + 1.5) = 2.5; finish = 2.5 + 1.0

@@ -18,6 +18,7 @@
 //! * [`SyncMode::NeighborSync`] — a rank proceeds once its own compute and
 //!   its inbound messages are done (the relaxed dependency structure).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod engine;

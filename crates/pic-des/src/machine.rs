@@ -75,7 +75,10 @@ impl MachineSpec {
             compute_scale: 1.0,
             link_latency: 1.5e-6,
             link_bandwidth: 12.5e9, // ~100 Gb/s Omni-Path
-            topology: Topology::FatTree { radix: 36, spine_hops: 3 },
+            topology: Topology::FatTree {
+                radix: 36,
+                spine_hops: 3,
+            },
             collective_latency: 1.5e-6,
         }
     }
@@ -92,7 +95,11 @@ impl MachineSpec {
             link_bandwidth: 2.0e9,
             // BG/Q was a 5-D torus; a 3-D torus of equivalent node count is
             // the closest shape this coarse model carries.
-            topology: Topology::Torus3D { x: 32, y: 32, z: 24 },
+            topology: Topology::Torus3D {
+                x: 32,
+                y: 32,
+                z: 24,
+            },
             collective_latency: 2.0e-6,
         }
     }

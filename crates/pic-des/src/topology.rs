@@ -39,7 +39,6 @@ pub enum Topology {
     },
 }
 
-
 impl Topology {
     /// Hop count between two ranks. `from == to` costs zero hops.
     pub fn hops(&self, from: u32, to: u32) -> u32 {
@@ -129,7 +128,10 @@ mod tests {
 
     #[test]
     fn fat_tree_leaf_vs_spine() {
-        let t = Topology::FatTree { radix: 4, spine_hops: 3 };
+        let t = Topology::FatTree {
+            radix: 4,
+            spine_hops: 3,
+        };
         assert_eq!(t.hops(0, 3), 1); // same leaf
         assert_eq!(t.hops(0, 4), 3); // cross spine
         assert_eq!(t.hops(5, 6), 1);
@@ -141,7 +143,10 @@ mod tests {
         for t in [
             Topology::FullyConnected,
             Topology::Torus3D { x: 8, y: 8, z: 16 },
-            Topology::FatTree { radix: 36, spine_hops: 3 },
+            Topology::FatTree {
+                radix: 36,
+                spine_hops: 3,
+            },
         ] {
             let json = serde_json::to_string(&t).unwrap();
             let back: Topology = serde_json::from_str(&json).unwrap();

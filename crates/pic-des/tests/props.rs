@@ -22,10 +22,7 @@ fn schedule_strategy() -> impl Strategy<Value = Vec<StepWorkload>> {
         proptest::collection::vec(
             (
                 proptest::collection::vec(0.0..2.0f64, ranks..=ranks),
-                proptest::collection::vec(
-                    (0..ranks as u32, 0..ranks as u32, 0u64..10_000),
-                    0..6,
-                ),
+                proptest::collection::vec((0..ranks as u32, 0..ranks as u32, 0u64..10_000), 0..6),
             )
                 .prop_map(|(compute_seconds, messages)| StepWorkload {
                     compute_seconds,

@@ -63,7 +63,10 @@ impl RcbDecomposition {
         let mut rank_regions = vec![Aabb::empty(); ranks];
         let mut rank_element_counts = vec![0usize; ranks];
 
-        let root = IndexBrick { lo: [0, 0, 0], hi: [dims.nx, dims.ny, dims.nz] };
+        let root = IndexBrick {
+            lo: [0, 0, 0],
+            hi: [dims.nx, dims.ny, dims.nz],
+        };
         let h = mesh.element_size();
         let mut stack: Vec<(IndexBrick, usize, usize)> = vec![(root, 0, ranks)];
         while let Some((brick, rank0, r)) = stack.pop() {
@@ -107,7 +110,12 @@ impl RcbDecomposition {
             stack.push((right, rank0 + ra, rb));
         }
 
-        Ok(RcbDecomposition { ranks, element_owner, rank_regions, rank_element_counts })
+        Ok(RcbDecomposition {
+            ranks,
+            element_owner,
+            rank_regions,
+            rank_element_counts,
+        })
     }
 
     /// Decompose `mesh` onto `ranks` processors balancing per-element
@@ -136,14 +144,19 @@ impl RcbDecomposition {
             )));
         }
         if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
-            return Err(PicError::config("element weights must be finite and non-negative"));
+            return Err(PicError::config(
+                "element weights must be finite and non-negative",
+            ));
         }
         let dims = mesh.dims();
         let mut element_owner = vec![Rank::new(0); mesh.element_count()];
         let mut rank_regions = vec![Aabb::empty(); ranks];
         let mut rank_element_counts = vec![0usize; ranks];
 
-        let root = IndexBrick { lo: [0, 0, 0], hi: [dims.nx, dims.ny, dims.nz] };
+        let root = IndexBrick {
+            lo: [0, 0, 0],
+            hi: [dims.nx, dims.ny, dims.nz],
+        };
         let h = mesh.element_size();
         let mut stack: Vec<(IndexBrick, usize, usize)> = vec![(root, 0, ranks)];
         while let Some((brick, rank0, r)) = stack.pop() {
@@ -214,7 +227,12 @@ impl RcbDecomposition {
             stack.push((right, rank0 + ra, rb));
         }
 
-        Ok(RcbDecomposition { ranks, element_owner, rank_regions, rank_element_counts })
+        Ok(RcbDecomposition {
+            ranks,
+            element_owner,
+            rank_regions,
+            rank_element_counts,
+        })
     }
 
     /// Total weight assigned to each rank under a given weight vector
@@ -266,7 +284,8 @@ impl RcbDecomposition {
         self.element_owner
             .iter()
             .enumerate()
-            .filter(|&(_i, &r)| r == rank).map(|(i, &_r)| ElementId::from_index(i))
+            .filter(|&(_i, &r)| r == rank)
+            .map(|(i, &_r)| ElementId::from_index(i))
             .collect()
     }
 

@@ -28,7 +28,11 @@ pub fn legendre(n: usize, x: f64) -> (f64, f64) {
             // P'_n(x) = n (x P_n - P_{n-1}) / (x² - 1), except at |x| = 1.
             let dp = if (x * x - 1.0).abs() < 1e-14 {
                 // Limit: P'_n(±1) = ±1^{n-1} * n(n+1)/2
-                let sign = if x > 0.0 { 1.0 } else { (-1.0f64).powi(n as i32 - 1) };
+                let sign = if x > 0.0 {
+                    1.0
+                } else {
+                    (-1.0f64).powi(n as i32 - 1)
+                };
                 sign * (n * (n + 1)) as f64 / 2.0
             } else {
                 n as f64 * (x * p - p_prev) / (x * x - 1.0)

@@ -10,6 +10,7 @@
 //! so the decomposition is computed once; all irregularity comes from
 //! particles moving across the (fixed) processor domains.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod decomp;

@@ -72,8 +72,17 @@ impl ElementMesh {
             return Err(PicError::config("element order (N) must be at least 2"));
         }
         let e = domain.extent();
-        let h = Vec3::new(e.x / dims.nx as f64, e.y / dims.ny as f64, e.z / dims.nz as f64);
-        Ok(ElementMesh { domain, dims, h, order })
+        let h = Vec3::new(
+            e.x / dims.nx as f64,
+            e.y / dims.ny as f64,
+            e.z / dims.nz as f64,
+        );
+        Ok(ElementMesh {
+            domain,
+            dims,
+            h,
+            order,
+        })
     }
 
     /// The full mesh domain.
@@ -148,7 +157,11 @@ impl ElementMesh {
     pub fn element_aabb(&self, id: ElementId) -> Aabb {
         let (ix, iy, iz) = self.element_indices(id);
         let min = self.domain.min
-            + Vec3::new(ix as f64 * self.h.x, iy as f64 * self.h.y, iz as f64 * self.h.z);
+            + Vec3::new(
+                ix as f64 * self.h.x,
+                iy as f64 * self.h.y,
+                iz as f64 * self.h.z,
+            );
         Aabb::new(min, min + self.h)
     }
 

@@ -58,7 +58,11 @@ struct Node {
 impl Node {
     fn new(indices: Vec<u32>, positions: &[Vec3]) -> Node {
         let bbox = Aabb::from_points(indices.iter().map(|&i| positions[i as usize]));
-        Node { indices, bbox, unsplittable: false }
+        Node {
+            indices,
+            bbox,
+            unsplittable: false,
+        }
     }
 }
 
@@ -94,7 +98,11 @@ impl BinMapper {
         use std::collections::BinaryHeap;
 
         if positions.is_empty() {
-            return BinPartition { boxes: vec![], counts: vec![], assignment: vec![] };
+            return BinPartition {
+                boxes: vec![],
+                counts: vec![],
+                assignment: vec![],
+            };
         }
         let all: Vec<u32> = (0..positions.len() as u32).collect();
         // Slots: split nodes are tombstoned (None); children get new slots,
@@ -108,8 +116,12 @@ impl BinMapper {
         let mut scratch: Vec<f64> = Vec::new();
 
         while bins < max_bins {
-            let Some((_, Reverse(i))) = heap.pop() else { break };
-            let node = slots[i].take().expect("heap entries reference live slots once");
+            let Some((_, Reverse(i))) = heap.pop() else {
+                break;
+            };
+            let node = slots[i]
+                .take()
+                .expect("heap entries reference live slots once");
             match self.split(&node, positions, &mut scratch) {
                 Some((left, right)) => {
                     bins += 1;
@@ -144,7 +156,11 @@ impl BinMapper {
             boxes.push(node.bbox);
             counts.push(node.indices.len() as u32);
         }
-        BinPartition { boxes, counts, assignment }
+        BinPartition {
+            boxes,
+            counts,
+            assignment,
+        }
     }
 
     /// Maximum number of bins the threshold permits, ignoring the processor
@@ -156,19 +172,24 @@ impl BinMapper {
     }
 
     fn splittable(&self, node: &Node) -> bool {
-        !node.unsplittable
-            && node.indices.len() >= 2
-            && node.bbox.longest_extent() > self.threshold
+        !node.unsplittable && node.indices.len() >= 2 && node.bbox.longest_extent() > self.threshold
     }
 
     /// Try to cut `node` at the median coordinate of its longest axis;
     /// fall back to shorter axes when all particles share a coordinate.
     /// Returns `None` when no axis separates the particles.
-    fn split(&self, node: &Node, positions: &[Vec3], scratch: &mut Vec<f64>) -> Option<(Node, Node)> {
+    fn split(
+        &self,
+        node: &Node,
+        positions: &[Vec3],
+        scratch: &mut Vec<f64>,
+    ) -> Option<(Node, Node)> {
         let e = node.bbox.extent();
         let mut axes = [0usize, 1, 2];
         axes.sort_by(|&a, &b| {
-            e.to_array()[b].partial_cmp(&e.to_array()[a]).expect("finite extents")
+            e.to_array()[b]
+                .partial_cmp(&e.to_array()[a])
+                .expect("finite extents")
         });
         for axis in axes {
             scratch.clear();
@@ -208,7 +229,11 @@ impl ParticleMapper for BinMapper {
             rank_regions[b] = *bx;
         }
         let ranks = part.assignment.iter().map(|&b| Rank::new(b)).collect();
-        MappingOutcome { ranks, rank_regions, bin_count: Some(part.bin_count()) }
+        MappingOutcome {
+            ranks,
+            rank_regions,
+            bin_count: Some(part.bin_count()),
+        }
     }
 }
 
@@ -303,7 +328,8 @@ mod tests {
                 let bb = part.boxes[b];
                 let lo = ba.min.max(bb.min);
                 let hi = ba.max.min(bb.max);
-                let overlap = (hi.x - lo.x).max(0.0) * (hi.y - lo.y).max(0.0) * (hi.z - lo.z).max(0.0);
+                let overlap =
+                    (hi.x - lo.x).max(0.0) * (hi.y - lo.y).max(0.0) * (hi.z - lo.z).max(0.0);
                 assert!(overlap < 1e-12, "bins {a},{b} overlap by {overlap}");
             }
         }
@@ -369,7 +395,9 @@ mod tests {
     fn collinear_particles_split_along_their_axis() {
         // Particles on a line along z: x/y cuts impossible, z cuts fine.
         let m = BinMapper::new(4, 1e-6).unwrap();
-        let pos: Vec<Vec3> = (0..64).map(|i| Vec3::new(0.5, 0.5, i as f64 / 64.0)).collect();
+        let pos: Vec<Vec3> = (0..64)
+            .map(|i| Vec3::new(0.5, 0.5, i as f64 / 64.0))
+            .collect();
         let out = m.assign(&pos);
         assert_eq!(out.bin_count, Some(4));
         let counts = out.counts(4);

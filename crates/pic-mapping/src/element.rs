@@ -31,8 +31,14 @@ impl ElementMapper {
         mesh: &ElementMesh,
         decomp: RcbDecomposition,
     ) -> Result<ElementMapper> {
-        let regions = Rank::all(decomp.ranks()).map(|r| decomp.rank_region(r)).collect();
-        Ok(ElementMapper { mesh: mesh.clone(), decomp, regions })
+        let regions = Rank::all(decomp.ranks())
+            .map(|r| decomp.rank_region(r))
+            .collect();
+        Ok(ElementMapper {
+            mesh: mesh.clone(),
+            decomp,
+            regions,
+        })
     }
 
     /// The underlying element decomposition.
@@ -73,7 +79,11 @@ impl ParticleMapper for ElementMapper {
         for &p in positions {
             ranks.push(self.rank_of(p));
         }
-        MappingOutcome { ranks, rank_regions: self.regions.clone(), bin_count: None }
+        MappingOutcome {
+            ranks,
+            rank_regions: self.regions.clone(),
+            bin_count: None,
+        }
     }
 }
 
@@ -145,7 +155,10 @@ mod tests {
         let out = m.assign(&[Vec3::splat(0.5)]);
         assert_eq!(out.rank_regions.len(), 4);
         for r in Rank::all(4) {
-            assert_eq!(out.rank_regions[r.index()], m.decomposition().rank_region(r));
+            assert_eq!(
+                out.rank_regions[r.index()],
+                m.decomposition().rank_region(r)
+            );
         }
         assert_eq!(out.bin_count, None);
         assert_eq!(m.name(), "element-based");

@@ -88,14 +88,21 @@ impl HilbertMapper {
         let max_dim = dims.nx.max(dims.ny).max(dims.nz) as u32;
         let bits = 32 - max_dim.next_power_of_two().leading_zeros() - 1;
         let bits = bits.max(1);
-        Ok(HilbertMapper { mesh: mesh.clone(), ranks, bits })
+        Ok(HilbertMapper {
+            mesh: mesh.clone(),
+            ranks,
+            bits,
+        })
     }
 
     /// Hilbert key of a position: the index of its (clamped) element.
     pub fn key_of(&self, p: Vec3) -> u64 {
         let domain = self.mesh.domain();
         let q = p.clamp(domain.min, domain.max);
-        let e = self.mesh.element_of_point(q).expect("clamped point inside domain");
+        let e = self
+            .mesh
+            .element_of_point(q)
+            .expect("clamped point inside domain");
         let (ix, iy, iz) = self.mesh.element_indices(e);
         hilbert_index(ix as u32, iy as u32, iz as u32, self.bits)
     }
@@ -132,7 +139,11 @@ impl ParticleMapper for HilbertMapper {
             }
             cursor += take;
         }
-        MappingOutcome { ranks, rank_regions, bin_count: None }
+        MappingOutcome {
+            ranks,
+            rank_regions,
+            bin_count: None,
+        }
     }
 }
 
@@ -214,7 +225,9 @@ mod tests {
     #[test]
     fn concentrated_cloud_is_still_balanced() {
         let m = HilbertMapper::new(&mesh(), 4).unwrap();
-        let pos: Vec<Vec3> = (0..80).map(|i| Vec3::splat(0.01 + i as f64 * 1e-4)).collect();
+        let pos: Vec<Vec3> = (0..80)
+            .map(|i| Vec3::splat(0.01 + i as f64 * 1e-4))
+            .collect();
         let counts = m.assign(&pos).counts(4);
         assert!(counts.iter().all(|&c| c == 20), "{counts:?}");
     }
@@ -236,7 +249,9 @@ mod tests {
     fn locality_beats_random_assignment() {
         // Particles in one small element cluster should land on few ranks.
         let m = HilbertMapper::new(&mesh(), 16).unwrap();
-        let pos: Vec<Vec3> = (0..32).map(|i| Vec3::splat(0.05 + i as f64 * 1e-5)).collect();
+        let pos: Vec<Vec3> = (0..32)
+            .map(|i| Vec3::splat(0.05 + i as f64 * 1e-5))
+            .collect();
         let out = m.assign(&pos);
         // all 32 particles share one element → their keys tie → split into
         // exactly 16 chunks of 2 (balance), consecutive in id order.

@@ -24,6 +24,7 @@
 //!   locality preserved, elements distributed by grid-plus-particle load,
 //!   re-partitioned as the particles move.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bin;

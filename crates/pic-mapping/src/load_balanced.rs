@@ -51,7 +51,9 @@ impl LoadBalancedMapper {
         particle_weight: f64,
     ) -> Result<LoadBalancedMapper> {
         if ranks == 0 {
-            return Err(PicError::config("load-balanced mapper needs at least one rank"));
+            return Err(PicError::config(
+                "load-balanced mapper needs at least one rank",
+            ));
         }
         if !(particle_weight.is_finite() && particle_weight >= 0.0) {
             return Err(PicError::config("particle weight must be non-negative"));
@@ -71,7 +73,10 @@ impl LoadBalancedMapper {
         let mut counts = vec![0u32; self.mesh.element_count()];
         for &p in positions {
             let q = p.clamp(domain.min, domain.max);
-            let e = self.mesh.element_of_point(q).expect("clamped point in domain");
+            let e = self
+                .mesh
+                .element_of_point(q)
+                .expect("clamped point in domain");
             counts[e.index()] += 1;
         }
         counts
@@ -112,9 +117,14 @@ impl ParticleMapper for LoadBalancedMapper {
                     .expect("clamped point in domain")
             })
             .collect();
-        let rank_regions: Vec<Aabb> =
-            Rank::all(self.ranks).map(|r| decomp.rank_region(r)).collect();
-        MappingOutcome { ranks, rank_regions, bin_count: None }
+        let rank_regions: Vec<Aabb> = Rank::all(self.ranks)
+            .map(|r| decomp.rank_region(r))
+            .collect();
+        MappingOutcome {
+            ranks,
+            rank_regions,
+            bin_count: None,
+        }
     }
 }
 
@@ -213,8 +223,9 @@ mod tests {
         // all particles inside ONE element: no element decomposition can
         // split them — the documented limit of locality-preserving balance
         let m = mesh();
-        let positions: Vec<Vec3> =
-            (0..256).map(|i| Vec3::splat(0.01 + (i as f64) * 1e-5)).collect();
+        let positions: Vec<Vec3> = (0..256)
+            .map(|i| Vec3::splat(0.01 + (i as f64) * 1e-5))
+            .collect();
         let lb = LoadBalancedMapper::new(&m, 8).unwrap();
         let out = lb.assign(&positions);
         assert_eq!(*out.counts(8).iter().max().unwrap(), 256);
@@ -228,7 +239,10 @@ mod tests {
         let near: Vec<Vec3> = (0..500)
             .map(|i| Vec3::new(0.05 + (i % 10) as f64 * 0.01, 0.05, 0.05))
             .collect();
-        let far: Vec<Vec3> = near.iter().map(|p| Vec3::new(1.0 - p.x, 0.95, 0.95)).collect();
+        let far: Vec<Vec3> = near
+            .iter()
+            .map(|p| Vec3::new(1.0 - p.x, 0.95, 0.95))
+            .collect();
         let peak_near = *lb.assign(&near).counts(8).iter().max().unwrap();
         let peak_far = *lb.assign(&far).counts(8).iter().max().unwrap();
         // symmetric problem → similar balance at both ends

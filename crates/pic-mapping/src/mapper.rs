@@ -87,7 +87,10 @@ mod tests {
         assert_eq!(s, "\"bin-based\"");
         let a: MappingAlgorithm = serde_json::from_str("\"element-based\"").unwrap();
         assert_eq!(a, MappingAlgorithm::ElementBased);
-        assert_eq!(MappingAlgorithm::HilbertOrdered.to_string(), "hilbert-ordered");
+        assert_eq!(
+            MappingAlgorithm::HilbertOrdered.to_string(),
+            "hilbert-ordered"
+        );
     }
 
     #[test]

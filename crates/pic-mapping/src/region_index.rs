@@ -347,7 +347,11 @@ mod tests {
         assert_eq!(idx.live_count(), 8);
         // 8 unit-cube octants over a 1³..2³ grid never exceed 8 entries
         // per cell; the CSR payload must stay proportional to live count.
-        assert!(idx.entry_count() <= 8 * 8, "entries = {}", idx.entry_count());
+        assert!(
+            idx.entry_count() <= 8 * 8,
+            "entries = {}",
+            idx.entry_count()
+        );
         // Rank identities survive the live-slot compaction.
         let mut out = Vec::new();
         idx.ranks_touching_sphere(Vec3::splat(0.5), 0.1, &mut out);

@@ -18,7 +18,11 @@ pub struct Dataset {
 impl Dataset {
     /// An empty dataset with the given feature names.
     pub fn new(feature_names: Vec<String>) -> Dataset {
-        Dataset { feature_names, rows: Vec::new(), targets: Vec::new() }
+        Dataset {
+            feature_names,
+            rows: Vec::new(),
+            targets: Vec::new(),
+        }
     }
 
     /// Append one observation.
@@ -78,7 +82,10 @@ impl Dataset {
 
     /// Keep only the given feature columns (by index), in the given order.
     pub fn select_features(&self, columns: &[usize]) -> Dataset {
-        let names = columns.iter().map(|&c| self.feature_names[c].clone()).collect();
+        let names = columns
+            .iter()
+            .map(|&c| self.feature_names[c].clone())
+            .collect();
         let mut out = Dataset::new(names);
         for (row, &t) in self.rows.iter().zip(&self.targets) {
             out.push(columns.iter().map(|&c| row[c]).collect(), t);

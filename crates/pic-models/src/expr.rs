@@ -20,8 +20,31 @@ pub enum Expr {
     Sub(Box<Expr>, Box<Expr>),
     /// Product.
     Mul(Box<Expr>, Box<Expr>),
-    /// Protected division: denominators near zero evaluate to 1.
+    /// Protected division: denominators within `1e-9` of zero pass the
+    /// numerator through unchanged.
     Div(Box<Expr>, Box<Expr>),
+}
+
+/// Canonical operand order for commutative nodes: the structurally
+/// smaller tree goes left. Swapping is bit-exact for IEEE `+` and `×`.
+fn order_commutative(a: Expr, b: Expr) -> (Expr, Expr) {
+    if b.structural_cmp(&a) == std::cmp::Ordering::Less {
+        (b, a)
+    } else {
+        (a, b)
+    }
+}
+
+/// Ordering rank of an [`Expr`] variant, used by [`Expr::structural_cmp`].
+fn variant_rank(e: &Expr) -> u8 {
+    match e {
+        Expr::Const(_) => 0,
+        Expr::Var(_) => 1,
+        Expr::Add(_, _) => 2,
+        Expr::Sub(_, _) => 3,
+        Expr::Mul(_, _) => 4,
+        Expr::Div(_, _) => 5,
+    }
 }
 
 impl Expr {
@@ -123,44 +146,136 @@ impl Expr {
 
     /// Constant folding and identity elimination. Applied after evolution to
     /// make reported formulas readable; never changes evaluation results
-    /// (up to floating-point rounding of folded constants).
+    /// (up to floating-point rounding of folded constants). Delegates to
+    /// [`Expr::canonicalize`].
     pub fn simplify(self) -> Expr {
+        self.canonicalize()
+    }
+
+    /// Canonicalizing simplifier: constant folding (with the protected
+    /// division semantics of [`Expr::eval`]), algebraic identity
+    /// elimination, and a commutative-operand normal form (`Add`/`Mul`
+    /// operands sorted by [`Expr::structural_cmp`], which is bit-exact
+    /// because IEEE-754 `+` and `×` are commutative).
+    ///
+    /// Guarantees relied on by the GP admission pass and the analyzer:
+    ///
+    /// * **semantics-preserving**: on finite evaluations the canonical
+    ///   form is bit-identical to the original (identities like `x − x → 0`
+    ///   diverge only where the original evaluates to non-finite values —
+    ///   exactly what `pic-analysis` exists to flag);
+    /// * **idempotent**: `e.canonicalize().canonicalize() ==
+    ///   e.canonicalize()`;
+    /// * **shrinking**: never increases the node count.
+    pub fn canonicalize(self) -> Expr {
         match self {
             Expr::Const(_) | Expr::Var(_) => self,
             Expr::Add(a, b) => {
-                let (a, b) = (a.simplify(), b.simplify());
-                match (&a, &b) {
+                let (a, b) = (a.canonicalize(), b.canonicalize());
+                match (a, b) {
                     (Expr::Const(x), Expr::Const(y)) => Expr::Const(x + y),
-                    (Expr::Const(z), _) if *z == 0.0 => b,
-                    (_, Expr::Const(z)) if *z == 0.0 => a,
-                    _ => Expr::Add(Box::new(a), Box::new(b)),
+                    (Expr::Const(z), e) | (e, Expr::Const(z)) if z == 0.0 => e,
+                    (a, b) => {
+                        let (a, b) = order_commutative(a, b);
+                        Expr::Add(Box::new(a), Box::new(b))
+                    }
                 }
             }
             Expr::Sub(a, b) => {
-                let (a, b) = (a.simplify(), b.simplify());
-                match (&a, &b) {
+                let (a, b) = (a.canonicalize(), b.canonicalize());
+                match (a, b) {
                     (Expr::Const(x), Expr::Const(y)) => Expr::Const(x - y),
-                    (_, Expr::Const(z)) if *z == 0.0 => a,
-                    _ if a == b => Expr::Const(0.0),
-                    _ => Expr::Sub(Box::new(a), Box::new(b)),
+                    (a, Expr::Const(0.0)) => a,
+                    (a, b) if a == b => Expr::Const(0.0),
+                    (a, b) => Expr::Sub(Box::new(a), Box::new(b)),
                 }
             }
             Expr::Mul(a, b) => {
-                let (a, b) = (a.simplify(), b.simplify());
-                match (&a, &b) {
+                let (a, b) = (a.canonicalize(), b.canonicalize());
+                match (a, b) {
                     (Expr::Const(x), Expr::Const(y)) => Expr::Const(x * y),
-                    (Expr::Const(z), _) | (_, Expr::Const(z)) if *z == 0.0 => Expr::Const(0.0),
-                    (Expr::Const(o), _) if *o == 1.0 => b,
-                    (_, Expr::Const(o)) if *o == 1.0 => a,
-                    _ => Expr::Mul(Box::new(a), Box::new(b)),
+                    (Expr::Const(z), _) | (_, Expr::Const(z)) if z == 0.0 => Expr::Const(0.0),
+                    (Expr::Const(o), e) | (e, Expr::Const(o)) if o == 1.0 => e,
+                    (a, b) => {
+                        let (a, b) = order_commutative(a, b);
+                        Expr::Mul(Box::new(a), Box::new(b))
+                    }
                 }
             }
             Expr::Div(a, b) => {
-                let (a, b) = (a.simplify(), b.simplify());
-                match (&a, &b) {
-                    (Expr::Const(x), Expr::Const(y)) if y.abs() >= 1e-9 => Expr::Const(x / y),
-                    (_, Expr::Const(o)) if *o == 1.0 => a,
-                    _ => Expr::Div(Box::new(a), Box::new(b)),
+                let (a, b) = (a.canonicalize(), b.canonicalize());
+                match (a, b) {
+                    // Protected fold: mirrors eval's near-zero guard.
+                    (Expr::Const(x), Expr::Const(y)) => {
+                        Expr::Const(if y.abs() < 1e-9 { x } else { x / y })
+                    }
+                    (a, Expr::Const(1.0)) => a,
+                    (a, b) => Expr::Div(Box::new(a), Box::new(b)),
+                }
+            }
+        }
+    }
+
+    /// Total structural order over expression trees: variant rank first
+    /// (`Const < Var < Add < Sub < Mul < Div`), then contents
+    /// (constants by `total_cmp`, variables by index, branches
+    /// lexicographically). Used to pick the canonical operand order of
+    /// commutative nodes.
+    pub fn structural_cmp(&self, other: &Expr) -> std::cmp::Ordering {
+        match (self, other) {
+            (Expr::Const(a), Expr::Const(b)) => a.total_cmp(b),
+            (Expr::Var(a), Expr::Var(b)) => a.cmp(b),
+            (Expr::Add(a1, b1), Expr::Add(a2, b2))
+            | (Expr::Sub(a1, b1), Expr::Sub(a2, b2))
+            | (Expr::Mul(a1, b1), Expr::Mul(a2, b2))
+            | (Expr::Div(a1, b1), Expr::Div(a2, b2)) => {
+                a1.structural_cmp(a2).then_with(|| b1.structural_cmp(b2))
+            }
+            _ => variant_rank(self).cmp(&variant_rank(other)),
+        }
+    }
+
+    /// FNV-1a hash over the preorder structure (variant tags, variable
+    /// indices, constant bit patterns). Trees that compare
+    /// [`Equal`](std::cmp::Ordering::Equal) under
+    /// [`Expr::structural_cmp`] hash identically, so the hash serves as a
+    /// cheap key for subtree deduplication in the analyzer.
+    pub fn structural_hash(&self) -> u64 {
+        fn mix(h: u64, byte: u8) -> u64 {
+            (h ^ byte as u64).wrapping_mul(0x100000001b3)
+        }
+        fn walk(e: &Expr, mut h: u64) -> u64 {
+            h = mix(h, variant_rank(e));
+            match e {
+                Expr::Const(c) => {
+                    for b in c.to_bits().to_le_bytes() {
+                        h = mix(h, b);
+                    }
+                    h
+                }
+                Expr::Var(i) => {
+                    for b in (*i as u64).to_le_bytes() {
+                        h = mix(h, b);
+                    }
+                    h
+                }
+                Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                    walk(b, walk(a, h))
+                }
+            }
+        }
+        walk(self, 0xcbf29ce484222325)
+    }
+
+    /// Highest feature index referenced, or `None` for constant trees.
+    pub fn max_var(&self) -> Option<usize> {
+        match self {
+            Expr::Const(_) => None,
+            Expr::Var(i) => Some(*i),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                match (a.max_var(), b.max_var()) {
+                    (Some(x), Some(y)) => Some(x.max(y)),
+                    (x, y) => x.or(y),
                 }
             }
         }
@@ -171,10 +286,7 @@ impl Expr {
     pub fn render(&self, names: &[String]) -> String {
         match self {
             Expr::Const(c) => format!("{c:.4e}"),
-            Expr::Var(i) => names
-                .get(*i)
-                .cloned()
-                .unwrap_or_else(|| format!("x{i}")),
+            Expr::Var(i) => names.get(*i).cloned().unwrap_or_else(|| format!("x{i}")),
             Expr::Add(a, b) => format!("({} + {})", a.render(names), b.render(names)),
             Expr::Sub(a, b) => format!("({} - {})", a.render(names), b.render(names)),
             Expr::Mul(a, b) => format!("({} * {})", a.render(names), b.render(names)),
@@ -190,7 +302,10 @@ mod tests {
     fn sample() -> Expr {
         // (x0 + 2) * x1
         Expr::Mul(
-            Box::new(Expr::Add(Box::new(Expr::Var(0)), Box::new(Expr::Const(2.0)))),
+            Box::new(Expr::Add(
+                Box::new(Expr::Var(0)),
+                Box::new(Expr::Const(2.0)),
+            )),
             Box::new(Expr::Var(1)),
         )
     }
@@ -259,12 +374,67 @@ mod tests {
     fn simplify_preserves_semantics() {
         let e = Expr::Div(
             Box::new(sample()),
-            Box::new(Expr::Add(Box::new(Expr::Const(1.0)), Box::new(Expr::Const(0.0)))),
+            Box::new(Expr::Add(
+                Box::new(Expr::Const(1.0)),
+                Box::new(Expr::Const(0.0)),
+            )),
         );
         let s = e.clone().simplify();
         for x in [[1.0, 2.0], [0.5, -3.0], [10.0, 0.0]] {
             assert!((e.eval(&x) - s.eval(&x)).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn canonicalize_orders_commutative_operands() {
+        let ab = Expr::Add(Box::new(Expr::Var(1)), Box::new(Expr::Var(0)));
+        let ba = Expr::Add(Box::new(Expr::Var(0)), Box::new(Expr::Var(1)));
+        assert_eq!(ab.clone().canonicalize(), ba.clone().canonicalize());
+        // constants sort before variables
+        let e = Expr::Mul(Box::new(Expr::Var(0)), Box::new(Expr::Const(3.0)));
+        assert_eq!(
+            e.canonicalize(),
+            Expr::Mul(Box::new(Expr::Const(3.0)), Box::new(Expr::Var(0)))
+        );
+        // non-commutative operands keep their order
+        let s = Expr::Sub(Box::new(Expr::Var(1)), Box::new(Expr::Var(0)));
+        assert_eq!(s.clone().canonicalize(), s);
+    }
+
+    #[test]
+    fn canonicalize_folds_protected_division() {
+        // |denominator| below the guard: the numerator passes through
+        let e = Expr::Div(Box::new(Expr::Const(6.0)), Box::new(Expr::Const(1e-12)));
+        assert_eq!(e.canonicalize(), Expr::Const(6.0));
+        let e = Expr::Div(Box::new(Expr::Const(6.0)), Box::new(Expr::Const(2.0)));
+        assert_eq!(e.canonicalize(), Expr::Const(3.0));
+    }
+
+    #[test]
+    fn canonicalize_detects_equal_subtrees_modulo_commutativity() {
+        // (x0 + x1) - (x1 + x0) == 0 once operands are normalized
+        let l = Expr::Add(Box::new(Expr::Var(0)), Box::new(Expr::Var(1)));
+        let r = Expr::Add(Box::new(Expr::Var(1)), Box::new(Expr::Var(0)));
+        let e = Expr::Sub(Box::new(l), Box::new(r));
+        assert_eq!(e.canonicalize(), Expr::Const(0.0));
+    }
+
+    #[test]
+    fn structural_hash_agrees_with_cmp() {
+        let a = sample();
+        let b = sample();
+        assert_eq!(a.structural_cmp(&b), std::cmp::Ordering::Equal);
+        assert_eq!(a.structural_hash(), b.structural_hash());
+        let c = Expr::Var(0);
+        assert_ne!(a.structural_hash(), c.structural_hash());
+    }
+
+    #[test]
+    fn max_var_spans_tree() {
+        assert_eq!(Expr::Const(1.0).max_var(), None);
+        assert_eq!(sample().max_var(), Some(1));
+        let e = Expr::Div(Box::new(Expr::Var(7)), Box::new(Expr::Const(2.0)));
+        assert_eq!(e.max_var(), Some(7));
     }
 
     #[test]

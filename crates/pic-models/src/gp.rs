@@ -37,6 +37,14 @@ pub struct GpConfig {
     pub elitism: usize,
     /// RNG seed.
     pub seed: u64,
+    /// Run the static admission pass before fitness evaluation:
+    /// structurally invalid candidates (out-of-range variables,
+    /// non-finite constants) are rejected and replaced, and every
+    /// admitted candidate's fitness is computed on its
+    /// [canonical form](Expr::canonicalize) — identical semantics,
+    /// fewer evaluated nodes. Selection is unchanged because the
+    /// parsimony penalty still uses the original node count.
+    pub admission: bool,
 }
 
 impl Default for GpConfig {
@@ -50,6 +58,7 @@ impl Default for GpConfig {
             parsimony: 1e-4,
             elitism: 4,
             seed: 0xC0FFEE,
+            admission: true,
         }
     }
 }
@@ -57,7 +66,12 @@ impl Default for GpConfig {
 impl GpConfig {
     /// A small, fast configuration for tests and smoke runs.
     pub fn fast(seed: u64) -> GpConfig {
-        GpConfig { population: 96, generations: 30, seed, ..GpConfig::default() }
+        GpConfig {
+            population: 96,
+            generations: 30,
+            seed,
+            ..GpConfig::default()
+        }
     }
 }
 
@@ -95,8 +109,63 @@ pub struct SymbolicRegressor {
     cfg: GpConfig,
 }
 
+/// Counters from one GP run showing what the admission pass did. The
+/// node counters measure search cost: fitness evaluation walks the tree
+/// once per dataset row, so `evaluated_nodes / original_nodes` is the
+/// fraction of tree-walking work the canonicalizer left standing.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GpRunStats {
+    /// Candidates whose fitness was computed.
+    pub candidates: usize,
+    /// Candidates rejected by the admission pass (structurally invalid:
+    /// out-of-range variable or non-finite constant) and replaced with
+    /// fresh random trees before evaluation.
+    pub rejected: usize,
+    /// Summed node count of candidates as bred.
+    pub original_nodes: u64,
+    /// Summed node count of the trees actually evaluated (canonical
+    /// forms when admission is on).
+    pub evaluated_nodes: u64,
+}
+
+impl GpRunStats {
+    /// Fraction of candidate nodes eliminated before evaluation.
+    pub fn node_reduction(&self) -> f64 {
+        if self.original_nodes == 0 {
+            0.0
+        } else {
+            1.0 - self.evaluated_nodes as f64 / self.original_nodes as f64
+        }
+    }
+}
+
+/// Structural admission: every variable in range, every constant finite.
+/// GP's own operators never violate this, but candidates can also arrive
+/// from deserialized populations or future operators — the gate is what
+/// makes that safe.
+fn admissible(expr: &Expr, arity: usize) -> bool {
+    fn constants_finite(e: &Expr) -> bool {
+        match e {
+            Expr::Const(c) => c.is_finite(),
+            Expr::Var(_) => true,
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                constants_finite(a) && constants_finite(b)
+            }
+        }
+    }
+    expr.max_var().is_none_or(|v| v < arity) && constants_finite(expr)
+}
+
 /// Linear-scaling coefficients and the resulting error of a candidate.
-fn scaled_fitness(expr: &Expr, data: &Dataset, parsimony: f64) -> (f64, f64, f64) {
+/// `penalty_nodes` is the node count charged by the parsimony term — the
+/// *original* candidate's size, so canonicalizing for evaluation does not
+/// perturb selection.
+fn scaled_fitness(
+    expr: &Expr,
+    data: &Dataset,
+    parsimony: f64,
+    penalty_nodes: usize,
+) -> (f64, f64, f64) {
     let n = data.len() as f64;
     let mut evals = Vec::with_capacity(data.len());
     for row in &data.rows {
@@ -114,7 +183,11 @@ fn scaled_fitness(expr: &Expr, data: &Dataset, parsimony: f64) -> (f64, f64, f64
         cov += (e - mean_e) * (y - mean_y);
         var_e += (e - mean_e) * (e - mean_e);
     }
-    let (a, b) = if var_e < 1e-30 { (0.0, mean_y) } else { (cov / var_e, mean_y - cov / var_e * mean_e) };
+    let (a, b) = if var_e < 1e-30 {
+        (0.0, mean_y)
+    } else {
+        (cov / var_e, mean_y - cov / var_e * mean_e)
+    };
     // Relative error against a magnitude floor so near-zero targets don't
     // dominate.
     let floor = data.targets.iter().map(|y| y.abs()).sum::<f64>() / n;
@@ -124,7 +197,7 @@ fn scaled_fitness(expr: &Expr, data: &Dataset, parsimony: f64) -> (f64, f64, f64
         let p = a * e + b;
         err += (p - y).abs() / (y.abs() + floor);
     }
-    let fitness = err / n + parsimony * expr.node_count() as f64;
+    let fitness = err / n + parsimony * penalty_nodes as f64;
     if fitness.is_finite() {
         (fitness, a, b)
     } else {
@@ -140,6 +213,12 @@ impl SymbolicRegressor {
 
     /// Run the evolutionary search against `data`.
     pub fn fit(&self, data: &Dataset) -> Result<SymbolicModel> {
+        self.fit_with_stats(data).map(|(m, _)| m)
+    }
+
+    /// Like [`SymbolicRegressor::fit`], additionally returning the
+    /// admission-pass counters.
+    pub fn fit_with_stats(&self, data: &Dataset) -> Result<(SymbolicModel, GpRunStats)> {
         if data.is_empty() {
             return Err(PicError::model("cannot run GP on an empty dataset"));
         }
@@ -149,6 +228,24 @@ impl SymbolicRegressor {
         let cfg = &self.cfg;
         let mut rng = SplitMix64::new(cfg.seed);
         let arity = data.arity();
+        let mut stats = GpRunStats::default();
+
+        // Admission + scoring: fitness is computed on the canonical form
+        // (bit-identical evaluation on finite inputs, strictly fewer
+        // nodes); the parsimony penalty keeps charging the original size.
+        let score = |e: &Expr, stats: &mut GpRunStats| -> (f64, f64, f64) {
+            let n = e.node_count();
+            stats.candidates += 1;
+            stats.original_nodes += n as u64;
+            if cfg.admission {
+                let canon = e.clone().canonicalize();
+                stats.evaluated_nodes += canon.node_count() as u64;
+                scaled_fitness(&canon, data, cfg.parsimony, n)
+            } else {
+                stats.evaluated_nodes += n as u64;
+                scaled_fitness(e, data, cfg.parsimony, n)
+            }
+        };
 
         // Ramped half-and-half initialization.
         let mut pop: Vec<Expr> = (0..cfg.population)
@@ -158,8 +255,7 @@ impl SymbolicRegressor {
                 random_tree(&mut rng, arity, depth, full)
             })
             .collect();
-        let mut scored: Vec<(f64, f64, f64)> =
-            pop.iter().map(|e| scaled_fitness(e, data, cfg.parsimony)).collect();
+        let mut scored: Vec<(f64, f64, f64)> = pop.iter().map(|e| score(e, &mut stats)).collect();
 
         let mut best_idx = argmin(&scored);
         let mut best = (pop[best_idx].clone(), scored[best_idx]);
@@ -173,7 +269,7 @@ impl SymbolicRegressor {
                 next.push(pop[i].clone());
             }
             while next.len() < cfg.population {
-                let child = if rng.next_f64() < cfg.crossover_prob {
+                let mut child = if rng.next_f64() < cfg.crossover_prob {
                     let p1 = tournament(&mut rng, &scored, cfg.tournament);
                     let p2 = tournament(&mut rng, &scored, cfg.tournament);
                     crossover(&mut rng, &pop[p1], &pop[p2])
@@ -181,6 +277,12 @@ impl SymbolicRegressor {
                     let p = tournament(&mut rng, &scored, cfg.tournament);
                     mutate(&mut rng, &pop[p], arity)
                 };
+                // Admission gate: structurally invalid children never
+                // reach fitness evaluation.
+                if cfg.admission && !admissible(&child, arity) {
+                    stats.rejected += 1;
+                    child = random_tree(&mut rng, arity, 3, false);
+                }
                 // Depth limit: oversize children are replaced by a fresh
                 // small tree (keeps diversity instead of cloning parents).
                 if child.depth() <= cfg.max_depth {
@@ -190,7 +292,7 @@ impl SymbolicRegressor {
                 }
             }
             pop = next;
-            scored = pop.iter().map(|e| scaled_fitness(e, data, cfg.parsimony)).collect();
+            scored = pop.iter().map(|e| score(e, &mut stats)).collect();
             best_idx = argmin(&scored);
             if scored[best_idx].0 < best.1 .0 {
                 best = (pop[best_idx].clone(), scored[best_idx]);
@@ -200,16 +302,17 @@ impl SymbolicRegressor {
             }
         }
 
-        let expr = best.0.simplify();
-        // Re-fit scaling on the simplified tree (identical semantics, but be
-        // safe against constant-folding rounding).
-        let (_, a, b) = scaled_fitness(&expr, data, 0.0);
-        Ok(SymbolicModel {
+        let expr = best.0.canonicalize();
+        // Re-fit scaling on the canonical tree (identical semantics, but
+        // be safe against constant-folding rounding).
+        let (_, a, b) = scaled_fitness(&expr, data, 0.0, 0);
+        let model = SymbolicModel {
             expr,
             scale: a,
             offset: b,
             feature_names: data.feature_names.clone(),
-        })
+        };
+        Ok((model, stats))
     }
 }
 
@@ -327,7 +430,12 @@ mod tests {
         // y = x0 * x1 — requires discovering the product structure.
         let d = dataset_from(|x| x[0] * x[1], 2, 120, 2);
         let m = SymbolicRegressor::new(GpConfig::fast(7)).fit(&d).unwrap();
-        assert!(m.mape(&d) < 5.0, "mape {} expr {}", m.mape(&d), m.describe());
+        assert!(
+            m.mape(&d) < 5.0,
+            "mape {} expr {}",
+            m.mape(&d),
+            m.describe()
+        );
     }
 
     #[test]
@@ -335,7 +443,12 @@ mod tests {
         // y ∝ (x0 + x1) — the projection kernel at fixed N and filter.
         let d = dataset_from(|x| 30e-9 * (x[0] + x[1]) * 125.0, 2, 100, 3);
         let m = SymbolicRegressor::new(GpConfig::fast(11)).fit(&d).unwrap();
-        assert!(m.mape(&d) < 2.0, "mape {} expr {}", m.mape(&d), m.describe());
+        assert!(
+            m.mape(&d) < 2.0,
+            "mape {} expr {}",
+            m.mape(&d),
+            m.describe()
+        );
     }
 
     #[test]
@@ -353,6 +466,50 @@ mod tests {
         let b = SymbolicRegressor::new(GpConfig::fast(2)).fit(&d).unwrap();
         assert!(a.mape(&d) < 5.0);
         assert!(b.mape(&d) < 5.0);
+    }
+
+    #[test]
+    fn admission_reduces_evaluated_nodes_without_changing_quality() {
+        // The acceptance contract: canonicalizing before evaluation must
+        // cut tree-walking work while leaving the best model's held-out
+        // RMSE within 1 % of the no-admission run.
+        let d = dataset_from(|x| x[0] * x[1] + 2.0 * x[0], 2, 120, 13);
+        let test = dataset_from(|x| x[0] * x[1] + 2.0 * x[0], 2, 60, 14);
+        let on = GpConfig {
+            admission: true,
+            ..GpConfig::fast(7)
+        };
+        let off = GpConfig {
+            admission: false,
+            ..GpConfig::fast(7)
+        };
+        let (m_on, s_on) = SymbolicRegressor::new(on).fit_with_stats(&d).unwrap();
+        let (m_off, s_off) = SymbolicRegressor::new(off).fit_with_stats(&d).unwrap();
+        assert!(
+            s_on.evaluated_nodes < s_off.evaluated_nodes,
+            "admission should shrink evaluated nodes: {} vs {}",
+            s_on.evaluated_nodes,
+            s_off.evaluated_nodes
+        );
+        assert!(s_on.node_reduction() > 0.0);
+        assert_eq!(s_on.candidates, s_off.candidates);
+        let (r_on, r_off) = (m_on.rmse(&test), m_off.rmse(&test));
+        let scale = r_off.abs().max(1e-12);
+        assert!(
+            (r_on - r_off).abs() / scale <= 0.01,
+            "admission changed RMSE: {r_on} vs {r_off}"
+        );
+    }
+
+    #[test]
+    fn admission_rejects_invalid_candidates() {
+        // Directly exercise the gate GP's own operators never trip.
+        let bad_var = Expr::Var(9);
+        assert!(!super::admissible(&bad_var, 2));
+        let bad_const = Expr::Add(Box::new(Expr::Const(f64::INFINITY)), Box::new(Expr::Var(0)));
+        assert!(!super::admissible(&bad_const, 2));
+        let ok = Expr::Mul(Box::new(Expr::Var(1)), Box::new(Expr::Const(2.0)));
+        assert!(super::admissible(&ok, 2));
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! (the workload parameters `N_p`, `N_gp`, `N_el`, `N`, filter). Accuracy is
 //! reported as MAPE, the paper's headline metric.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod dataset;
@@ -27,6 +28,6 @@ pub mod model;
 
 pub use dataset::Dataset;
 pub use expr::Expr;
-pub use gp::{GpConfig, SymbolicRegressor};
+pub use gp::{GpConfig, GpRunStats, SymbolicRegressor};
 pub use linear::{LinearModel, PolynomialModel};
 pub use model::{FittedModel, PerfModel};

@@ -47,8 +47,9 @@ impl LinearModel {
     /// into homoscedastic OLS on relative errors. Rows with `y == 0` carry
     /// no relative information and are skipped.
     pub fn fit_relative(data: &Dataset) -> Result<LinearModel> {
-        let kept: Vec<usize> =
-            (0..data.len()).filter(|&i| data.targets[i] != 0.0).collect();
+        let kept: Vec<usize> = (0..data.len())
+            .filter(|&i| data.targets[i] != 0.0)
+            .collect();
         if kept.is_empty() {
             // All-zero targets: the zero model is exact.
             return Ok(LinearModel {
@@ -148,7 +149,10 @@ impl PerfModel for PolynomialModel {
     fn predict(&self, features: &[f64]) -> f64 {
         let v = features[self.feature_index];
         // Horner evaluation.
-        self.coefficients.iter().rev().fold(0.0, |acc, &c| acc * v + c)
+        self.coefficients
+            .iter()
+            .rev()
+            .fold(0.0, |acc, &c| acc * v + c)
     }
 
     fn describe(&self) -> String {

@@ -6,17 +6,14 @@ use pic_models::{Dataset, Expr, LinearModel, PerfModel, PolynomialModel};
 use pic_types::rng::SplitMix64;
 use proptest::prelude::*;
 
-fn planted_linear(
-    coefs: &[f64],
-    intercept: f64,
-    rows: usize,
-    seed: u64,
-) -> Dataset {
+fn planted_linear(coefs: &[f64], intercept: f64, rows: usize, seed: u64) -> Dataset {
     let names = (0..coefs.len()).map(|i| format!("x{i}")).collect();
     let mut d = Dataset::new(names);
     let mut rng = SplitMix64::new(seed);
     for _ in 0..rows {
-        let x: Vec<f64> = (0..coefs.len()).map(|_| rng.next_range(-10.0, 10.0)).collect();
+        let x: Vec<f64> = (0..coefs.len())
+            .map(|_| rng.next_range(-10.0, 10.0))
+            .collect();
         let y = intercept + coefs.iter().zip(&x).map(|(c, v)| c * v).sum::<f64>();
         d.push(x, y);
     }
@@ -104,6 +101,53 @@ proptest! {
     #[test]
     fn expr_simplify_never_grows(e in expr_strategy()) {
         prop_assert!(e.clone().simplify().node_count() <= e.node_count());
+    }
+
+    #[test]
+    fn expr_canonicalize_preserves_value_tightly(
+        e in expr_strategy(),
+        rows in proptest::collection::vec(proptest::collection::vec(-10.0..10.0f64, 3), 1..8),
+    ) {
+        // Canonicalization is the GP admission pass: fitness computed on
+        // the canonical form must be what the original would have scored,
+        // so the tolerance here is tight (1e-12 relative), not loose.
+        let canon = e.clone().canonicalize();
+        for x in &rows {
+            let before = e.eval(x);
+            let after = canon.eval(x);
+            if before.is_finite() {
+                let scale = before.abs().max(1.0);
+                prop_assert!(
+                    (before - after).abs() <= 1e-12 * scale,
+                    "{before} vs {after} on {x:?}\n  orig:  {e:?}\n  canon: {canon:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn expr_canonicalize_is_idempotent(e in expr_strategy()) {
+        let once = e.canonicalize();
+        let twice = once.clone().canonicalize();
+        prop_assert_eq!(&twice, &once);
+    }
+
+    #[test]
+    fn expr_canonicalize_normalizes_commutative_swaps(e in expr_strategy()) {
+        // Swapping every Add/Mul operand pair must reach the same
+        // canonical form (structural hashing gives one normal form per
+        // equivalence class under commutativity).
+        fn mirror(e: Expr) -> Expr {
+            match e {
+                Expr::Const(_) | Expr::Var(_) => e,
+                Expr::Add(a, b) => Expr::Add(Box::new(mirror(*b)), Box::new(mirror(*a))),
+                Expr::Mul(a, b) => Expr::Mul(Box::new(mirror(*b)), Box::new(mirror(*a))),
+                Expr::Sub(a, b) => Expr::Sub(Box::new(mirror(*a)), Box::new(mirror(*b))),
+                Expr::Div(a, b) => Expr::Div(Box::new(mirror(*a)), Box::new(mirror(*b))),
+            }
+        }
+        let m = mirror(e.clone());
+        prop_assert_eq!(e.canonicalize(), m.canonicalize());
     }
 
     #[test]

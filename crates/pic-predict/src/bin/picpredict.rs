@@ -14,6 +14,7 @@
 //! `run` executes the mini PIC application and writes the trace + timing
 //! records; the other commands never touch the application again — they
 //! are the paper's "predict anything from one trace" workflow.
+#![forbid(unsafe_code)]
 
 use pic_des::{MachineSpec, SyncMode};
 use pic_grid::{ElementMesh, MeshDims};
@@ -47,6 +48,7 @@ const USAGE: &str = "usage:
   picpredict run --config cfg.json --trace out.pictrace [--records rec.json] [--precision f64|f32]
   picpredict default-config                 # print a template configuration
   picpredict info --trace t.pictrace        # trace metadata and statistics
+  picpredict check [--workload w.json] [--particles N | --trace t.pictrace] [--models m.json] [--pipeline true]
   picpredict workload --trace t.pictrace --ranks N --mapping M [--stream true] [--filter F] [--mesh AxBxC --order K] [--out DIR]
   picpredict benchmark --out rec.json [--wallclock true] [--order K] [--filter F]
   picpredict fit --records rec.json --out models.json [--strategy linear|auto]
@@ -97,7 +99,9 @@ fn parse_machine(s: &str) -> Result<MachineSpec> {
         "localhost" => Ok(MachineSpec::localhost(8)),
         path => {
             let text = std::fs::read_to_string(path).map_err(|e| {
-                PicError::config(format!("machine '{s}' is not a preset and not a readable file: {e}"))
+                PicError::config(format!(
+                    "machine '{s}' is not a preset and not a readable file: {e}"
+                ))
             })?;
             serde_json::from_str(&text)
                 .map_err(|e| PicError::config(format!("bad machine JSON in {path}: {e}")))
@@ -106,16 +110,28 @@ fn parse_machine(s: &str) -> Result<MachineSpec> {
 }
 
 fn parse_mesh(flags: &HashMap<String, String>, domain: Aabb) -> Result<Option<ElementMesh>> {
-    let Some(spec) = flags.get("mesh") else { return Ok(None) };
+    let Some(spec) = flags.get("mesh") else {
+        return Ok(None);
+    };
     let dims: Vec<usize> = spec
         .split('x')
-        .map(|p| p.parse().map_err(|_| PicError::config(format!("bad mesh spec '{spec}'"))))
+        .map(|p| {
+            p.parse()
+                .map_err(|_| PicError::config(format!("bad mesh spec '{spec}'")))
+        })
         .collect::<Result<_>>()?;
     if dims.len() != 3 {
         return Err(PicError::config("mesh spec must be AxBxC"));
     }
-    let order: usize = flags.get("order").map(|s| s.parse().unwrap_or(3)).unwrap_or(3);
-    Ok(Some(ElementMesh::new(domain, MeshDims::new(dims[0], dims[1], dims[2]), order)?))
+    let order: usize = flags
+        .get("order")
+        .map(|s| s.parse().unwrap_or(3))
+        .unwrap_or(3);
+    Ok(Some(ElementMesh::new(
+        domain,
+        MeshDims::new(dims[0], dims[1], dims[2]),
+        order,
+    )?))
 }
 
 fn dispatch(args: &[String]) -> Result<()> {
@@ -128,6 +144,7 @@ fn dispatch(args: &[String]) -> Result<()> {
             Ok(())
         }
         "info" => cmd_info(&flags),
+        "check" => cmd_check(&flags),
         "workload" => cmd_workload(&flags),
         "benchmark" => cmd_benchmark(&flags),
         "fit" => cmd_fit(&flags),
@@ -153,7 +170,10 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<()> {
     );
     let t0 = std::time::Instant::now();
     let out = MiniPic::new(cfg)?.run()?;
-    eprintln!("application finished in {:.2} s", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "application finished in {:.2} s",
+        t0.elapsed().as_secs_f64()
+    );
     let precision = match flags.get("precision").map(|s| s.as_str()) {
         Some("f32") => codec::Precision::F32,
         _ => codec::Precision::F64,
@@ -167,7 +187,11 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<()> {
     );
     if let Some(records_path) = flags.get("records") {
         std::fs::write(records_path, out.recorder.to_json())?;
-        eprintln!("records: {} kernel timings -> {}", out.recorder.len(), records_path);
+        eprintln!(
+            "records: {} kernel timings -> {}",
+            out.recorder.len(),
+            records_path
+        );
     }
     Ok(())
 }
@@ -191,31 +215,133 @@ fn cmd_info(flags: &HashMap<String, String>) -> Result<()> {
     Ok(())
 }
 
+/// Static verification driver: workload invariant catalog, kernel-model
+/// admission + expression analysis, and the pipeline interleaving matrix.
+/// Exits nonzero if any check fails; warnings alone do not fail the run.
+fn cmd_check(flags: &HashMap<String, String>) -> Result<()> {
+    let mut ran_any = false;
+    let mut failures = 0usize;
+
+    if let Some(path) = flags.get("workload") {
+        ran_any = true;
+        let w: pic_workload::DynamicWorkload =
+            serde_json::from_str(&std::fs::read_to_string(path)?)
+                .map_err(|e| PicError::config(format!("bad workload JSON in {path}: {e}")))?;
+        // the conservation reference: explicit flag, else the trace header
+        let expected: Option<u64> = match flags.get("particles") {
+            Some(n) => Some(
+                n.parse()
+                    .map_err(|_| PicError::config("--particles must be an integer"))?,
+            ),
+            None => match flags.get("trace") {
+                Some(tp) => {
+                    let file = std::fs::File::open(tp)?;
+                    let reader = pic_trace::TraceReader::new(std::io::BufReader::new(file))?;
+                    Some(reader.meta().particle_count as u64)
+                }
+                None => None,
+            },
+        };
+        let violations = pic_analysis::check_workload(&w, expected);
+        if violations.is_empty() {
+            println!(
+                "workload {path}: OK ({} ranks x {} samples, all invariants hold)",
+                w.ranks,
+                w.samples()
+            );
+        } else {
+            for v in &violations {
+                eprintln!("error: {v}");
+            }
+            eprintln!("workload {path}: {} violation(s)", violations.len());
+            failures += violations.len();
+        }
+    }
+
+    if let Some(path) = flags.get("models") {
+        ran_any = true;
+        // from_json runs the admission pass: corrupt models error out here
+        // with positioned diagnostics
+        let models = KernelModels::from_json(&std::fs::read_to_string(path)?)?;
+        let mut warnings = 0usize;
+        for km in models.models() {
+            if let pic_models::FittedModel::Symbolic(sm) = &km.model {
+                let space = pic_analysis::FeatureSpace::unconstrained(km.feature_columns.len());
+                let report = pic_analysis::analyze_expr(&sm.expr, &space);
+                for d in &report.diagnostics {
+                    println!("{}: {d}", km.kernel);
+                    if d.severity == pic_analysis::Severity::Warning {
+                        warnings += 1;
+                    }
+                }
+            }
+        }
+        println!(
+            "models {path}: OK ({} kernel model(s) admitted, {warnings} warning(s))",
+            models.models().len()
+        );
+    }
+
+    if flags.get("pipeline").map(|v| v != "false").unwrap_or(false) {
+        ran_any = true;
+        let stats = pic_analysis::verify_streaming_shutdown()
+            .map_err(|e| PicError::model(format!("pipeline interleaving check failed: {e}")))?;
+        println!(
+            "pipeline: OK ({} states, {} terminal, {} transitions explored — no hangs or leaks)",
+            stats.states, stats.terminal_states, stats.transitions
+        );
+    }
+
+    if !ran_any {
+        return Err(PicError::config(
+            "nothing to check: pass --workload, --models, and/or --pipeline true",
+        ));
+    }
+    if failures > 0 {
+        // diagnostics were already printed, positioned; no usage dump
+        eprintln!("check failed with {failures} violation(s)");
+        std::process::exit(1);
+    }
+    Ok(())
+}
+
 fn cmd_workload(flags: &HashMap<String, String>) -> Result<()> {
     let trace_path = required(flags, "trace")?;
     let ranks: usize = required(flags, "ranks")?
         .parse()
         .map_err(|_| PicError::config("--ranks must be an integer"))?;
     let mapping = parse_mapping(required(flags, "mapping")?)?;
-    let filter: f64 = flags.get("filter").map(|s| s.parse().unwrap_or(0.03)).unwrap_or(0.03);
+    let filter: f64 = flags
+        .get("filter")
+        .map(|s| s.parse().unwrap_or(0.03))
+        .unwrap_or(0.03);
     let cfg = WorkloadConfig::new(ranks, mapping, filter);
     let streaming = flags.get("stream").map(|v| v != "false").unwrap_or(false);
     let t0 = std::time::Instant::now();
     // `--stream` replays the trace through the bounded pipeline without
     // ever loading it whole — the path for traces larger than memory. A
     // truncated or corrupt file fails here with a byte-positioned error.
-    let (w, ingest) = if streaming {
+    let (w, ingest, particles) = if streaming {
         let file = std::fs::File::open(trace_path)?;
         let reader = pic_trace::TraceReader::new(std::io::BufReader::new(file))?;
+        let particles = reader.meta().particle_count as u64;
         let mesh = parse_mesh(flags, reader.meta().domain)?;
         let (w, stats) = generator::generate_streaming_with_stats(reader, &cfg, mesh.as_ref())?;
-        (w, Some(stats))
+        (w, Some(stats), particles)
     } else {
         let trace = codec::load_file(trace_path)?;
+        let particles = trace.meta().particle_count as u64;
         let mesh = parse_mesh(flags, trace.meta().domain)?;
-        (generator::generate_with_mesh(&trace, &cfg, mesh.as_ref())?, None)
+        (
+            generator::generate_with_mesh(&trace, &cfg, mesh.as_ref())?,
+            None,
+            particles,
+        )
     };
     eprintln!("workload generated in {:.2} s", t0.elapsed().as_secs_f64());
+    // defense in depth: a generator bug (or a corrupted trace that decoded
+    // cleanly) must not propagate silently into predictions
+    pic_analysis::assert_workload_valid(&w, Some(particles))?;
     if let Some(stats) = &ingest {
         let json = serde_json::to_string_pretty(stats)
             .map_err(|e| PicError::config(format!("cannot serialize ingest stats: {e}")))?;
@@ -226,8 +352,14 @@ fn cmd_workload(flags: &HashMap<String, String>) -> Result<()> {
     println!("ranks:                {}", summary.ranks);
     println!("samples:              {}", summary.samples);
     println!("peak workload:        {}", summary.peak_workload);
-    println!("resource utilization: {:.2}%", 100.0 * summary.resource_utilization);
-    println!("mean idle fraction:   {:.2}%", 100.0 * summary.mean_idle_fraction);
+    println!(
+        "resource utilization: {:.2}%",
+        100.0 * summary.resource_utilization
+    );
+    println!(
+        "mean idle fraction:   {:.2}%",
+        100.0 * summary.mean_idle_fraction
+    );
     println!("mean imbalance:       {:.2}", summary.mean_imbalance);
     println!("total migrations:     {}", summary.total_migrations);
     if let Some(bins) = summary.max_bins {
@@ -244,6 +376,10 @@ fn cmd_workload(flags: &HashMap<String, String>) -> Result<()> {
             }
         }
         std::fs::write(format!("{dir}/comm.csv"), comm)?;
+        // the full workload as JSON — the input format of `picpredict check`
+        let json = serde_json::to_string_pretty(&w)
+            .map_err(|e| PicError::config(format!("cannot serialize workload: {e}")))?;
+        std::fs::write(format!("{dir}/workload.json"), json)?;
         eprintln!("matrices written to {dir}/");
     }
     Ok(())
@@ -256,19 +392,30 @@ fn cmd_workload(flags: &HashMap<String, String>) -> Result<()> {
 fn cmd_benchmark(flags: &HashMap<String, String>) -> Result<()> {
     let mut sweep = pic_sim::SweepConfig::default();
     if let Some(order) = flags.get("order") {
-        sweep.order = order.parse().map_err(|_| PicError::config("--order must be an integer"))?;
+        sweep.order = order
+            .parse()
+            .map_err(|_| PicError::config("--order must be an integer"))?;
     }
     if let Some(filter) = flags.get("filter") {
-        sweep.projection_filter =
-            filter.parse().map_err(|_| PicError::config("--filter must be a number"))?;
+        sweep.projection_filter = filter
+            .parse()
+            .map_err(|_| PicError::config("--filter must be a number"))?;
     }
-    if flags.get("wallclock").map(|v| v != "false").unwrap_or(false) {
+    if flags
+        .get("wallclock")
+        .map(|v| v != "false")
+        .unwrap_or(false)
+    {
         sweep.timing = pic_sim::config::TimingMode::WallClock;
     }
     eprintln!(
         "benchmarking {} kernel observations ({:?} mode)...",
         sweep.record_count(),
-        if matches!(sweep.timing, pic_sim::config::TimingMode::WallClock) { "wall-clock" } else { "oracle" }
+        if matches!(sweep.timing, pic_sim::config::TimingMode::WallClock) {
+            "wall-clock"
+        } else {
+            "oracle"
+        }
     );
     let t0 = std::time::Instant::now();
     let rec = pic_sim::benchmark_kernels(&sweep)?;
@@ -288,7 +435,10 @@ fn cmd_fit(flags: &HashMap<String, String>) -> Result<()> {
     };
     let models = KernelModels::fit(&recorder, &strategy, 42)?;
     print!("{}", models.describe());
-    println!("average validation MAPE: {:.2}%", models.mean_validation_mape());
+    println!(
+        "average validation MAPE: {:.2}%",
+        models.mean_validation_mape()
+    );
     let out = required(flags, "out")?;
     std::fs::write(out, models.to_json())?;
     eprintln!("models -> {out}");
@@ -301,15 +451,26 @@ fn cmd_predict(flags: &HashMap<String, String>) -> Result<()> {
     let ranks: usize = required(flags, "ranks")?
         .parse()
         .map_err(|_| PicError::config("--ranks must be an integer"))?;
-    let mapping = parse_mapping(flags.get("mapping").map(|s| s.as_str()).unwrap_or("bin-based"))?;
-    let filter: f64 = flags.get("filter").map(|s| s.parse().unwrap_or(0.03)).unwrap_or(0.03);
+    let mapping = parse_mapping(
+        flags
+            .get("mapping")
+            .map(|s| s.as_str())
+            .unwrap_or("bin-based"),
+    )?;
+    let filter: f64 = flags
+        .get("filter")
+        .map(|s| s.parse().unwrap_or(0.03))
+        .unwrap_or(0.03);
     let machine = parse_machine(flags.get("machine").map(|s| s.as_str()).unwrap_or("quartz"))?;
     let sync = match flags.get("sync").map(|s| s.as_str()) {
         Some("neighbor") => SyncMode::NeighborSync,
         _ => SyncMode::BulkSynchronous,
     };
     let mesh = parse_mesh(flags, trace.meta().domain)?;
-    let order = flags.get("order").map(|s| s.parse().unwrap_or(3)).unwrap_or(3);
+    let order = flags
+        .get("order")
+        .map(|s| s.parse().unwrap_or(3))
+        .unwrap_or(3);
 
     let wcfg = WorkloadConfig::new(ranks, mapping, filter);
     let w = generator::generate_with_mesh(&trace, &wcfg, mesh.as_ref())?;
@@ -332,7 +493,10 @@ fn cmd_predict(flags: &HashMap<String, String>) -> Result<()> {
     println!("machine:             {}", machine.name);
     println!("sync mode:           {sync:?}");
     println!("predicted time:      {:.6} s", timeline.total_seconds);
-    println!("mean idle fraction:  {:.2}%", 100.0 * timeline.mean_idle_fraction());
+    println!(
+        "mean idle fraction:  {:.2}%",
+        100.0 * timeline.mean_idle_fraction()
+    );
     println!("events processed:    {}", timeline.events_processed);
     Ok(())
 }
@@ -351,12 +515,19 @@ fn parse_usize_list(s: &str, what: &str) -> Result<Vec<usize>> {
 /// straight from the command line.
 fn cmd_study(kind: &str, flags: &HashMap<String, String>) -> Result<()> {
     let trace = codec::load_file(required(flags, "trace")?)?;
-    let filter: f64 = flags.get("filter").map(|s| s.parse().unwrap_or(0.03)).unwrap_or(0.03);
+    let filter: f64 = flags
+        .get("filter")
+        .map(|s| s.parse().unwrap_or(0.03))
+        .unwrap_or(0.03);
     match kind {
         "scalability" => {
             let ranks = parse_usize_list(required(flags, "ranks")?, "ranks")?;
-            let mapping =
-                parse_mapping(flags.get("mapping").map(|s| s.as_str()).unwrap_or("bin-based"))?;
+            let mapping = parse_mapping(
+                flags
+                    .get("mapping")
+                    .map(|s| s.as_str())
+                    .unwrap_or("bin-based"),
+            )?;
             let mesh = parse_mesh(flags, trace.meta().domain)?;
             let pts = pic_predict::studies::scalability_study(
                 &trace,
@@ -365,7 +536,10 @@ fn cmd_study(kind: &str, flags: &HashMap<String, String>) -> Result<()> {
                 filter,
                 &ranks,
             )?;
-            println!("{:>8} {:>12} {:>14} {:>12}", "ranks", "peak", "utilization", "migrations");
+            println!(
+                "{:>8} {:>12} {:>14} {:>12}",
+                "ranks", "peak", "utilization", "migrations"
+            );
             for p in &pts {
                 println!(
                     "{:>8} {:>12} {:>13.1}% {:>12}",
@@ -387,10 +561,17 @@ fn cmd_study(kind: &str, flags: &HashMap<String, String>) -> Result<()> {
             let ranks: usize = required(flags, "ranks")?
                 .parse()
                 .map_err(|_| PicError::config("--ranks must be an integer"))?;
-            let mapping =
-                parse_mapping(flags.get("mapping").map(|s| s.as_str()).unwrap_or("bin-based"))?;
+            let mapping = parse_mapping(
+                flags
+                    .get("mapping")
+                    .map(|s| s.as_str())
+                    .unwrap_or("bin-based"),
+            )?;
             let strides = parse_usize_list(
-                flags.get("strides").map(|s| s.as_str()).unwrap_or("1,2,4,8"),
+                flags
+                    .get("strides")
+                    .map(|s| s.as_str())
+                    .unwrap_or("1,2,4,8"),
                 "strides",
             )?;
             let mesh = parse_mesh(flags, trace.meta().domain)?;
@@ -428,7 +609,10 @@ fn cmd_extrapolate(flags: &HashMap<String, String>) -> Result<()> {
     let particles: usize = required(flags, "particles")?
         .parse()
         .map_err(|_| PicError::config("--particles must be an integer"))?;
-    let seed: u64 = flags.get("seed").map(|s| s.parse().unwrap_or(1)).unwrap_or(1);
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().unwrap_or(1))
+        .unwrap_or(1);
     let big = pic_trace::extrapolate(&trace, particles, seed)?;
     codec::save_file(&big, out, codec::Precision::F32)?;
     println!(
@@ -471,10 +655,22 @@ mod tests {
 
     #[test]
     fn parse_mapping_accepts_all_algorithms() {
-        assert_eq!(parse_mapping("bin-based").unwrap(), MappingAlgorithm::BinBased);
-        assert_eq!(parse_mapping("element-based").unwrap(), MappingAlgorithm::ElementBased);
-        assert_eq!(parse_mapping("hilbert-ordered").unwrap(), MappingAlgorithm::HilbertOrdered);
-        assert_eq!(parse_mapping("load-balanced").unwrap(), MappingAlgorithm::LoadBalanced);
+        assert_eq!(
+            parse_mapping("bin-based").unwrap(),
+            MappingAlgorithm::BinBased
+        );
+        assert_eq!(
+            parse_mapping("element-based").unwrap(),
+            MappingAlgorithm::ElementBased
+        );
+        assert_eq!(
+            parse_mapping("hilbert-ordered").unwrap(),
+            MappingAlgorithm::HilbertOrdered
+        );
+        assert_eq!(
+            parse_mapping("load-balanced").unwrap(),
+            MappingAlgorithm::LoadBalanced
+        );
         assert!(parse_mapping("nonsense").is_err());
     }
 

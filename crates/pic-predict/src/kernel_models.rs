@@ -33,14 +33,20 @@ pub enum FitStrategy {
 
 impl Default for FitStrategy {
     fn default() -> FitStrategy {
-        FitStrategy::Auto { mape_threshold: 12.0, gp: GpConfig::default() }
+        FitStrategy::Auto {
+            mape_threshold: 12.0,
+            gp: GpConfig::default(),
+        }
     }
 }
 
 impl FitStrategy {
     /// An Auto strategy with a fast GP — for tests and quick studies.
     pub fn fast(seed: u64) -> FitStrategy {
-        FitStrategy::Auto { mape_threshold: 12.0, gp: GpConfig::fast(seed) }
+        FitStrategy::Auto {
+            mape_threshold: 12.0,
+            gp: GpConfig::fast(seed),
+        }
     }
 }
 
@@ -56,6 +62,70 @@ pub struct KernelModel {
     pub feature_columns: Vec<usize>,
     /// Held-out validation MAPE (percent) measured at fit time.
     pub validation_mape: f64,
+}
+
+impl KernelModel {
+    /// Static admission check for a (possibly deserialized) kernel model.
+    ///
+    /// The evaluators are deliberately total — `Expr::eval` maps an
+    /// out-of-range `Var(i)` to `0.0` and a short linear coefficient
+    /// vector silently truncates the dot product — so a stale or corrupt
+    /// model file would *predict* rather than *fail*. This check rejects
+    /// such models at the load boundary with positioned diagnostics
+    /// (kernel name, and for symbolic models the offending node's preorder
+    /// index and path, via [`pic_analysis::check_model_expr`]).
+    pub fn validate(&self) -> Result<()> {
+        let ctx = |msg: String| PicError::model(format!("kernel '{}': {msg}", self.kernel));
+        let arity = self.feature_columns.len();
+        let n_features = WorkloadParams::FEATURE_NAMES.len();
+        if arity == 0 {
+            return Err(ctx("no feature columns".into()));
+        }
+        for &c in &self.feature_columns {
+            if c >= n_features {
+                return Err(ctx(format!(
+                    "feature column {c} out of range for the {n_features} workload features"
+                )));
+            }
+        }
+        if !self.validation_mape.is_finite() || self.validation_mape < 0.0 {
+            return Err(ctx(format!(
+                "non-physical validation MAPE {}",
+                self.validation_mape
+            )));
+        }
+        match &self.model {
+            FittedModel::Linear(m) => {
+                if m.coefficients.len() != arity {
+                    return Err(ctx(format!(
+                        "linear model has {} coefficients for {arity} feature columns",
+                        m.coefficients.len()
+                    )));
+                }
+                if !m.intercept.is_finite() || m.coefficients.iter().any(|c| !c.is_finite()) {
+                    return Err(ctx("linear model has non-finite parameters".into()));
+                }
+            }
+            FittedModel::Polynomial(m) => {
+                if m.feature_index >= arity {
+                    return Err(ctx(format!(
+                        "polynomial feature index {} out of range for {arity} columns",
+                        m.feature_index
+                    )));
+                }
+                if m.coefficients.iter().any(|c| !c.is_finite()) {
+                    return Err(ctx("polynomial model has non-finite coefficients".into()));
+                }
+            }
+            FittedModel::Symbolic(m) => {
+                pic_analysis::check_model_expr(&m.expr, arity).map_err(|e| ctx(e.to_string()))?;
+                if !m.scale.is_finite() || !m.offset.is_finite() {
+                    return Err(ctx("symbolic model has non-finite scaling".into()));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// The full set of per-kernel performance models.
@@ -105,6 +175,26 @@ impl KernelModels {
         self.models.iter().find(|m| m.kernel == kernel)
     }
 
+    /// All fitted models, in fit order.
+    pub fn models(&self) -> &[KernelModel] {
+        &self.models
+    }
+
+    /// Assemble a model set directly, without the admission pass — for
+    /// tools and tests that need to construct sets (including deliberately
+    /// invalid ones); loading from disk still validates.
+    pub fn from_models(models: Vec<KernelModel>) -> KernelModels {
+        KernelModels { models }
+    }
+
+    /// Run [`KernelModel::validate`] on every model.
+    pub fn validate(&self) -> Result<()> {
+        for m in &self.models {
+            m.validate()?;
+        }
+        Ok(())
+    }
+
     /// All fitted kernels.
     pub fn kernels(&self) -> Vec<KernelKind> {
         self.models.iter().map(|m| m.kernel).collect()
@@ -113,7 +203,9 @@ impl KernelModels {
     /// Predict one kernel's execution seconds for a workload. Negative
     /// model outputs clamp to zero (times cannot be negative).
     pub fn predict(&self, kernel: KernelKind, params: &WorkloadParams) -> f64 {
-        let Some(km) = self.model(kernel) else { return 0.0 };
+        let Some(km) = self.model(kernel) else {
+            return 0.0;
+        };
         let feats = params.features();
         let row: Vec<f64> = km.feature_columns.iter().map(|&c| feats[c]).collect();
         km.model.predict(&row).max(0.0)
@@ -121,7 +213,10 @@ impl KernelModels {
 
     /// Per-kernel held-out validation MAPE (percent).
     pub fn validation_mapes(&self) -> Vec<(KernelKind, f64)> {
-        self.models.iter().map(|m| (m.kernel, m.validation_mape)).collect()
+        self.models
+            .iter()
+            .map(|m| (m.kernel, m.validation_mape))
+            .collect()
     }
 
     /// Average validation MAPE across kernels (the paper's headline
@@ -150,15 +245,22 @@ impl KernelModels {
         serde_json::to_string_pretty(self).expect("models serialize")
     }
 
-    /// Parse from JSON.
+    /// Parse from JSON, rejecting structurally invalid models (the
+    /// analyzer admission pass — see [`KernelModel::validate`]).
     pub fn from_json(s: &str) -> Result<KernelModels> {
-        serde_json::from_str(s).map_err(|e| PicError::model(format!("bad models JSON: {e}")))
+        let models: KernelModels = serde_json::from_str(s)
+            .map_err(|e| PicError::model(format!("bad models JSON: {e}")))?;
+        models.validate()?;
+        Ok(models)
     }
 }
 
 /// Build the full-feature dataset for one kernel's records.
 fn dataset_for(records: &[pic_sim::TrainingRecord]) -> Dataset {
-    let names = WorkloadParams::FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
+    let names = WorkloadParams::FEATURE_NAMES
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
     let mut d = Dataset::new(names);
     for r in records {
         d.push(r.params.features().to_vec(), r.seconds);
@@ -212,7 +314,10 @@ mod tests {
 
     /// Synthesize oracle-based training data across a workload sweep.
     fn synthetic_recorder(noise: f64, seed: u64) -> Recorder {
-        let oracle = CostOracle { noise_sigma: noise, seed };
+        let oracle = CostOracle {
+            noise_sigma: noise,
+            seed,
+        };
         let mut rec = Recorder::new();
         let mut rng = SplitMix64::new(seed);
         let mut key = 0u64;
@@ -262,7 +367,13 @@ mod tests {
         let rec = synthetic_recorder(0.0, 5);
         let models = KernelModels::fit(&rec, &FitStrategy::Linear, 3).unwrap();
         let oracle = CostOracle::noiseless();
-        let p = WorkloadParams { np: 500.0, ngp: 100.0, nel: 27.0, n_order: 5.0, filter: 0.05 };
+        let p = WorkloadParams {
+            np: 500.0,
+            ngp: 100.0,
+            nel: 27.0,
+            n_order: 5.0,
+            filter: 0.05,
+        };
         for k in KernelKind::ALL {
             let pred = models.predict(k, &p);
             let truth = oracle.true_cost(k, &p);
@@ -275,7 +386,13 @@ mod tests {
     fn predictions_clamp_to_zero() {
         let rec = synthetic_recorder(0.1, 6);
         let models = KernelModels::fit(&rec, &FitStrategy::Linear, 4).unwrap();
-        let p = WorkloadParams { np: 0.0, ngp: 0.0, nel: 0.0, n_order: 5.0, filter: 0.05 };
+        let p = WorkloadParams {
+            np: 0.0,
+            ngp: 0.0,
+            nel: 0.0,
+            n_order: 5.0,
+            filter: 0.05,
+        };
         for k in KernelKind::ALL {
             assert!(models.predict(k, &p) >= 0.0);
         }
@@ -298,6 +415,87 @@ mod tests {
         // and the chosen family should be Linear for at least the pusher
         let m = models.model(KernelKind::ParticlePusher).unwrap();
         assert!(matches!(m.model, FittedModel::Linear(_)));
+    }
+
+    fn symbolic_kernel_model(expr: pic_models::Expr, columns: Vec<usize>) -> KernelModel {
+        KernelModel {
+            kernel: KernelKind::ParticlePusher,
+            model: FittedModel::Symbolic(pic_models::gp::SymbolicModel {
+                expr,
+                scale: 1.0,
+                offset: 0.0,
+                feature_names: columns.iter().map(|c| format!("f{c}")).collect(),
+            }),
+            feature_columns: columns,
+            validation_mape: 1.0,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_fitted_models() {
+        let rec = synthetic_recorder(0.1, 10);
+        let models = KernelModels::fit(&rec, &FitStrategy::Linear, 8).unwrap();
+        assert!(models.validate().is_ok());
+        assert_eq!(models.models().len(), models.kernels().len());
+    }
+
+    #[test]
+    fn out_of_range_var_is_rejected_with_position() {
+        use pic_models::Expr;
+        let e = Expr::Add(Box::new(Expr::Var(0)), Box::new(Expr::Var(7)));
+        let m = symbolic_kernel_model(e, vec![0, 1]);
+        let err = m.validate().unwrap_err().to_string();
+        assert!(err.contains("E001"), "{err}");
+        assert!(err.contains("node 2"), "{err}");
+        assert!(err.contains("root/rhs"), "{err}");
+        assert!(err.contains("particle_pusher"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_serialized_models_fail_to_load() {
+        use pic_models::Expr;
+        // a valid single-model set...
+        let good = KernelModels {
+            models: vec![symbolic_kernel_model(
+                Expr::Mul(Box::new(Expr::Var(0)), Box::new(Expr::Const(2.0))),
+                vec![0],
+            )],
+        };
+        let json = good.to_json();
+        assert!(KernelModels::from_json(&json).is_ok());
+        // ...corrupted on disk: the variable index now points past the arity
+        let bad = json
+            .replace("\"Var\": 0", "\"Var\": 9")
+            .replace("\"Var\":0", "\"Var\":9");
+        assert_ne!(bad, json, "corruption must hit the serialized Var");
+        let err = KernelModels::from_json(&bad).unwrap_err().to_string();
+        assert!(err.contains("E001"), "{err}");
+    }
+
+    #[test]
+    fn truncated_linear_coefficients_are_rejected() {
+        let rec = synthetic_recorder(0.0, 11);
+        let models = KernelModels::fit(&rec, &FitStrategy::Linear, 9).unwrap();
+        let mut broken = models.clone();
+        let lm = &mut broken.models[0];
+        let FittedModel::Linear(ref mut linear) = lm.model else {
+            panic!("expected linear model")
+        };
+        linear.coefficients.pop();
+        let err = broken.validate().unwrap_err().to_string();
+        assert!(err.contains("coefficients"), "{err}");
+        // and the load path rejects it too
+        assert!(KernelModels::from_json(&broken.to_json()).is_err());
+    }
+
+    #[test]
+    fn feature_columns_out_of_range_are_rejected() {
+        let m = KernelModel {
+            feature_columns: vec![0, 99],
+            ..symbolic_kernel_model(pic_models::Expr::Var(0), vec![0])
+        };
+        let err = m.validate().unwrap_err().to_string();
+        assert!(err.contains("99"), "{err}");
     }
 
     #[test]

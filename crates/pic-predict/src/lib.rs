@@ -29,6 +29,7 @@
 //! * [`run_case_study`] — one call that runs the mini-app, generates the
 //!   workload, fits models, validates, and predicts application time.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod kernel_models;
@@ -37,6 +38,6 @@ pub mod studies;
 pub mod validate;
 
 pub use kernel_models::{FitStrategy, KernelModels};
-pub use pipeline::{build_schedule, predict_application, predict_kernel_seconds, CaseStudyOutput};
 pub use pipeline::run_case_study;
+pub use pipeline::{build_schedule, predict_application, predict_kernel_seconds, CaseStudyOutput};
 pub use validate::{kernel_mape_vs_ground_truth, workload_matches_ground_truth};

@@ -48,8 +48,13 @@ pub fn predict_kernel_seconds(
                     KernelKind::CreateGhostParticles => sent,
                     _ => recv,
                 };
-                let params =
-                    WorkloadParams { np, ngp, nel, n_order: order as f64, filter };
+                let params = WorkloadParams {
+                    np,
+                    ngp,
+                    nel,
+                    n_order: order as f64,
+                    filter,
+                };
                 row[slot] = models.predict(kernel, &params);
             }
             per_rank.push(row);
@@ -83,7 +88,10 @@ pub fn build_schedule(
             .iter()
             .map(|&(from, to, count)| (from, to, count as u64 * bytes_per_particle))
             .collect();
-        steps.push(StepWorkload { compute_seconds, messages });
+        steps.push(StepWorkload {
+            compute_seconds,
+            messages,
+        });
     }
     steps
 }
@@ -143,12 +151,19 @@ pub fn run_case_study(
 ) -> Result<CaseStudyOutput> {
     let app = MiniPic::new(cfg.clone())?;
     let mesh = app.mesh().clone();
-    let elements_per_rank: Vec<u32> =
-        app.decomposition().element_counts().iter().map(|&c| c as u32).collect();
+    let elements_per_rank: Vec<u32> = app
+        .decomposition()
+        .element_counts()
+        .iter()
+        .map(|&c| c as u32)
+        .collect();
     let sim = app.run()?;
 
     let wcfg = WorkloadConfig::new(cfg.ranks, cfg.mapping, cfg.projection_filter);
     let workload = generator::generate_with_mesh(&sim.trace, &wcfg, Some(&mesh))?;
+    // static invariant catalog first (cheap, positioned diagnostics), then
+    // the exact ground-truth comparison
+    pic_analysis::assert_workload_valid(&workload, Some(sim.trace.particle_count() as u64))?;
     validate::workload_matches_ground_truth(&workload, &sim.ground_truth)?;
 
     let models = KernelModels::fit(&sim.recorder, strategy, cfg.seed)?;
@@ -244,7 +259,11 @@ mod tests {
         // Fig 7 regime: single-digit average MAPE with the default 10 % noise
         let avg = out.mean_kernel_mape();
         assert!(avg < 15.0, "avg MAPE {avg}");
-        assert!(out.peak_kernel_mape() < 40.0, "peak {}", out.peak_kernel_mape());
+        assert!(
+            out.peak_kernel_mape() < 40.0,
+            "peak {}",
+            out.peak_kernel_mape()
+        );
         // a positive predicted application time
         assert!(out.timeline.total_seconds > 0.0);
         assert_eq!(out.timeline.rank_finish.len(), 8);
@@ -282,7 +301,13 @@ mod tests {
         let oracle = pic_sim::CostOracle::noiseless();
         for np in [0.0, 10.0, 100.0, 500.0] {
             for k in KernelKind::ALL {
-                let p = WorkloadParams { np, ngp: np / 10.0, nel: 8.0, n_order: 3.0, filter: 0.04 };
+                let p = WorkloadParams {
+                    np,
+                    ngp: np / 10.0,
+                    nel: 8.0,
+                    n_order: 3.0,
+                    filter: 0.04,
+                };
                 rec.record(k, p, oracle.true_cost(k, &p));
             }
         }

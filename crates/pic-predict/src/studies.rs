@@ -156,8 +156,7 @@ pub fn filter_study(
             .into_iter()
             .max()
             .unwrap_or(0);
-        let total_ghosts: u64 =
-            (0..w.samples()).map(|t| w.ghost_recv.sample_total(t)).sum();
+        let total_ghosts: u64 = (0..w.samples()).map(|t| w.ghost_recv.sample_total(t)).sum();
         let predicted = predict_kernel_seconds(&w, models, elements_per_rank, order, filter);
         // critical-path ghost kernel time: max over ranks, mean over samples
         let mut per_sample_max = Vec::with_capacity(predicted.len());
@@ -221,7 +220,6 @@ pub fn params_at(
     }
 }
 
-
 /// One sampling-interval point of the trace-fidelity study (paper §II-D:
 /// "A low sampling frequency would reduce the file size, but would not
 /// accurately capture particle movement").
@@ -272,8 +270,7 @@ pub fn sampling_frequency_study(
         let undercount = if full_migrations == 0 {
             0.0
         } else {
-            100.0 * (full_migrations.saturating_sub(sub_migrations)) as f64
-                / full_migrations as f64
+            100.0 * (full_migrations.saturating_sub(sub_migrations)) as f64 / full_migrations as f64
         };
         out.push(SamplingStudyPoint {
             stride,
@@ -317,9 +314,7 @@ mod tests {
             let scale = 0.02 + 0.06 * k as f64;
             let positions: Vec<Vec3> = dirs
                 .iter()
-                .map(|d| {
-                    (Vec3::new(0.5, 0.5, 0.05) + *d * scale).clamp(Vec3::ZERO, Vec3::ONE)
-                })
+                .map(|d| (Vec3::new(0.5, 0.5, 0.05) + *d * scale).clamp(Vec3::ZERO, Vec3::ONE))
                 .collect();
             tr.push_positions(positions).unwrap();
         }
@@ -352,8 +347,8 @@ mod tests {
     #[test]
     fn scalability_peak_is_monotone_nonincreasing_in_ranks() {
         let tr = expanding_trace(800, 4, 1);
-        let pts = scalability_study(&tr, None, MappingAlgorithm::BinBased, 1e-4, &[4, 16, 64])
-            .unwrap();
+        let pts =
+            scalability_study(&tr, None, MappingAlgorithm::BinBased, 1e-4, &[4, 16, 64]).unwrap();
         assert_eq!(pts.len(), 3);
         for w in pts.windows(2) {
             assert!(
@@ -448,15 +443,9 @@ mod tests {
     #[test]
     fn sampling_study_quantifies_fidelity_loss() {
         let tr = expanding_trace(800, 12, 11);
-        let pts = sampling_frequency_study(
-            &tr,
-            16,
-            MappingAlgorithm::BinBased,
-            None,
-            0.05,
-            &[1, 2, 4],
-        )
-        .unwrap();
+        let pts =
+            sampling_frequency_study(&tr, 16, MappingAlgorithm::BinBased, None, 0.05, &[1, 2, 4])
+                .unwrap();
         assert_eq!(pts.len(), 3);
         // stride 1 is the reference: zero error, full size
         assert_eq!(pts[0].peak_workload_mape, 0.0);
@@ -487,4 +476,3 @@ mod tests {
         assert_eq!(pg.np, pi.np);
     }
 }
-

@@ -35,10 +35,14 @@ pub fn workload_matches_ground_truth(w: &DynamicWorkload, gt: &GroundTruth) -> R
             return Err(PicError::sim(format!("real counts differ at sample {t}")));
         }
         if w.ghost_recv.sample_row(t) != &s.ghost_recv_counts[..] {
-            return Err(PicError::sim(format!("ghost recv counts differ at sample {t}")));
+            return Err(PicError::sim(format!(
+                "ghost recv counts differ at sample {t}"
+            )));
         }
         if w.ghost_sent.sample_row(t) != &s.ghost_sent_counts[..] {
-            return Err(PicError::sim(format!("ghost sent counts differ at sample {t}")));
+            return Err(PicError::sim(format!(
+                "ghost sent counts differ at sample {t}"
+            )));
         }
         if w.comm.entries[t] != s.migrations {
             return Err(PicError::sim(format!("migrations differ at sample {t}")));

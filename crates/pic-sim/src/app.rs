@@ -15,8 +15,8 @@ use crate::particles::{CellList, ParticleSet};
 use pic_grid::gll::GllRule;
 use pic_grid::{ElementMesh, RcbDecomposition};
 use pic_mapping::{
-    BinMapper, ElementMapper, HilbertMapper, LoadBalancedMapper, MappingAlgorithm,
-    MappingOutcome, ParticleMapper, RegionIndex,
+    BinMapper, ElementMapper, HilbertMapper, LoadBalancedMapper, MappingAlgorithm, MappingOutcome,
+    ParticleMapper, RegionIndex,
 };
 use pic_trace::{ParticleTrace, TraceMeta};
 use pic_types::{ElementId, Rank, Result, Vec3};
@@ -123,10 +123,14 @@ impl MiniPic {
         let mesh = ElementMesh::new(cfg.domain, cfg.mesh_dims, cfg.order)?;
         let gll = GllRule::new(cfg.order);
         let decomp = RcbDecomposition::decompose(&mesh, cfg.ranks)?;
-        let rank_elements = Rank::all(cfg.ranks).map(|r| decomp.elements_of_rank(r)).collect();
+        let rank_elements = Rank::all(cfg.ranks)
+            .map(|r| decomp.elements_of_rank(r))
+            .collect();
         let mapper = build_mapper(cfg.mapping, &mesh, cfg.ranks, cfg.projection_filter)?;
         let field = cfg.scenario.field(cfg.domain);
-        let particles = cfg.scenario.init_particles(cfg.domain, cfg.particles, cfg.seed);
+        let particles = cfg
+            .scenario
+            .init_particles(cfg.domain, cfg.particles, cfg.seed);
         let oracle = cfg.timing.oracle();
         Ok(MiniPic {
             cfg,
@@ -161,7 +165,6 @@ impl MiniPic {
     pub fn positions(&self) -> &[Vec3] {
         &self.particles.position
     }
-
 
     /// Run the configured number of steps, producing trace, ground truth,
     /// and timing records.
@@ -209,7 +212,11 @@ impl MiniPic {
             self.time += self.cfg.dt;
         }
 
-        Ok(SimOutput { trace, ground_truth, recorder })
+        Ok(SimOutput {
+            trace,
+            ground_truth,
+            recorder,
+        })
     }
 
     /// Advance one step without instrumentation (single global "rank").
@@ -218,7 +225,13 @@ impl MiniPic {
         let n = self.particles.len();
         let all: Vec<u32> = (0..n as u32).collect();
         let mut fluid_vel = Vec::new();
-        kernels::interpolate(&ctx, &self.particles.position, &all, self.time, &mut fluid_vel);
+        kernels::interpolate(
+            &ctx,
+            &self.particles.position,
+            &all,
+            self.time,
+            &mut fluid_vel,
+        );
         let cell = CellList::build(&self.particles.position, neighbor_cell(&self.cfg));
         let mut accel = Vec::new();
         kernels::equation_solver(
@@ -318,7 +331,13 @@ impl MiniPic {
             let mut chunk = Vec::new();
             for r in 0..ranks {
                 let t0 = Instant::now();
-                kernels::interpolate(&ctx, &self.particles.position, &subsets[r], self.time, &mut chunk);
+                kernels::interpolate(
+                    &ctx,
+                    &self.particles.position,
+                    &subsets[r],
+                    self.time,
+                    &mut chunk,
+                );
                 interp_seconds[r] = t0.elapsed().as_secs_f64();
                 for (k, &i) in subsets[r].iter().enumerate() {
                     fluid_vel_all[i as usize] = chunk[k];
@@ -404,7 +423,9 @@ impl MiniPic {
             for r in 0..ranks {
                 let params = params_of(r, kernel);
                 let seconds = match &self.oracle {
-                    Some(o) => o.observed_cost(kernel, &params, iteration * ranks as u64 + r as u64),
+                    Some(o) => {
+                        o.observed_cost(kernel, &params, iteration * ranks as u64 + r as u64)
+                    }
                     None => wall[r],
                 };
                 kernel_seconds[r][slot] = seconds;
@@ -620,7 +641,10 @@ mod tests {
         cfg.steps = 40;
         cfg.sample_interval = 10;
         let out = MiniPic::new(cfg).unwrap().run().unwrap();
-        assert!(out.ground_truth.total_migrations() > 0, "vortex must migrate particles");
+        assert!(
+            out.ground_truth.total_migrations() > 0,
+            "vortex must migrate particles"
+        );
         // first sample has no migrations by definition
         assert!(out.ground_truth.samples[0].migrations.is_empty());
     }

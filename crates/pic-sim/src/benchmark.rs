@@ -78,14 +78,18 @@ pub fn benchmark_kernels(cfg: &SweepConfig) -> Result<Recorder> {
         return Err(PicError::config("sweep order must be at least 2"));
     }
     if cfg.np_values.is_empty() || cfg.nel_values.is_empty() {
-        return Err(PicError::config("sweep needs at least one np and nel value"));
+        return Err(PicError::config(
+            "sweep needs at least one np and nel value",
+        ));
     }
     let max_nel = cfg.nel_values.iter().copied().max().unwrap_or(1);
     // The sweep mesh is just large enough to hold the largest nel request.
     let side = (max_nel as f64).cbrt().ceil() as usize + 1;
     let mesh = ElementMesh::new(Aabb::unit(), MeshDims::cube(side.max(2)), cfg.order)?;
     let gll = GllRule::new(cfg.order);
-    let field = UniformFlow { velocity: Vec3::new(0.4, 0.2, 0.1) };
+    let field = UniformFlow {
+        velocity: Vec3::new(0.4, 0.2, 0.1),
+    };
     let ctx = KernelContext {
         mesh: &mesh,
         gll: &gll,
@@ -142,12 +146,18 @@ pub fn benchmark_kernels(cfg: &SweepConfig) -> Result<Recorder> {
                                 key += 1;
                                 o.observed_cost(kernel, &params, key)
                             }
-                            None => {
-                                time_kernel(
-                                    &ctx, kernel, &positions, &velocities, &subset, &proj_set,
-                                    elements, &outcome.ranks, &index, &cell,
-                                )
-                            }
+                            None => time_kernel(
+                                &ctx,
+                                kernel,
+                                &positions,
+                                &velocities,
+                                &subset,
+                                &proj_set,
+                                elements,
+                                &outcome.ranks,
+                                &index,
+                                &cell,
+                            ),
                         };
                         recorder.record(kernel, params, seconds);
                     }
@@ -204,7 +214,12 @@ fn time_kernel(
         }
         KernelKind::CreateGhostParticles => {
             let t0 = Instant::now();
-            let g = kernels::create_ghost_particles(ctx, &positions[..subset.len()], &owners[..subset.len()], index);
+            let g = kernels::create_ghost_particles(
+                ctx,
+                &positions[..subset.len()],
+                &owners[..subset.len()],
+                index,
+            );
             let dt = t0.elapsed().as_secs_f64();
             std::hint::black_box(g.len());
             dt

@@ -30,7 +30,10 @@ impl TimingMode {
     /// The default reproducible oracle.
     pub fn default_oracle() -> TimingMode {
         let o = CostOracle::default();
-        TimingMode::Oracle { noise_sigma: o.noise_sigma, seed: o.seed }
+        TimingMode::Oracle {
+            noise_sigma: o.noise_sigma,
+            seed: o.seed,
+        }
     }
 
     /// Materialize the oracle, if this mode uses one.
@@ -203,7 +206,10 @@ mod tests {
     #[test]
     fn timing_mode_oracle_materializes() {
         assert!(TimingMode::WallClock.oracle().is_none());
-        let m = TimingMode::Oracle { noise_sigma: 0.2, seed: 9 };
+        let m = TimingMode::Oracle {
+            noise_sigma: 0.2,
+            seed: 9,
+        };
         let o = m.oracle().unwrap();
         assert_eq!(o.noise_sigma, 0.2);
         assert_eq!(o.seed, 9);

@@ -87,7 +87,11 @@ impl FluidField for BlastField {
         // Gaussian bump around the front, exponential temporal decay.
         let envelope = (-((r - front) / self.front_width).powi(2)).exp();
         let strength = self.peak_speed * (-t / self.decay_time).exp();
-        let dir = if r > 1e-12 { rvec / r } else { Vec3::new(0.0, 0.0, 1.0) };
+        let dir = if r > 1e-12 {
+            rvec / r
+        } else {
+            Vec3::new(0.0, 0.0, 1.0)
+        };
         dir * (strength * envelope)
     }
 
@@ -121,7 +125,9 @@ mod tests {
 
     #[test]
     fn uniform_flow_is_uniform() {
-        let f = UniformFlow { velocity: Vec3::new(1.0, 2.0, 3.0) };
+        let f = UniformFlow {
+            velocity: Vec3::new(1.0, 2.0, 3.0),
+        };
         assert_eq!(f.velocity(Vec3::ZERO, 0.0), f.velocity(Vec3::ONE, 5.0));
         assert_eq!(f.pressure(Vec3::ZERO, 0.0), 1.0);
     }
@@ -163,8 +169,12 @@ mod tests {
         let t = 0.5;
         let front = f.front_radius(t);
         let at_front = f.velocity(f.origin + Vec3::new(front, 0.0, 0.0), t).norm();
-        let behind = f.velocity(f.origin + Vec3::new(front * 0.3, 0.0, 0.0), t).norm();
-        let ahead = f.velocity(f.origin + Vec3::new(front * 2.5, 0.0, 0.0), t).norm();
+        let behind = f
+            .velocity(f.origin + Vec3::new(front * 0.3, 0.0, 0.0), t)
+            .norm();
+        let ahead = f
+            .velocity(f.origin + Vec3::new(front * 2.5, 0.0, 0.0), t)
+            .norm();
         assert!(at_front > behind && at_front > ahead);
     }
 
@@ -176,7 +186,10 @@ mod tests {
 
     #[test]
     fn vortex_is_tangential() {
-        let f = VortexField { center: Vec3::splat(0.5), angular_speed: 2.0 };
+        let f = VortexField {
+            center: Vec3::splat(0.5),
+            angular_speed: 2.0,
+        };
         let p = Vec3::new(0.9, 0.5, 0.5);
         let v = f.velocity(p, 0.0);
         // tangential: perpendicular to the radial direction, no z component

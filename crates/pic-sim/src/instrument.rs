@@ -109,7 +109,11 @@ impl Recorder {
 
     /// Record one kernel execution.
     pub fn record(&mut self, kernel: KernelKind, params: WorkloadParams, seconds: f64) {
-        self.records.push(TrainingRecord { kernel, params, seconds });
+        self.records.push(TrainingRecord {
+            kernel,
+            params,
+            seconds,
+        });
     }
 
     /// All records so far.
@@ -119,7 +123,11 @@ impl Recorder {
 
     /// Records for one kernel.
     pub fn for_kernel(&self, kernel: KernelKind) -> Vec<TrainingRecord> {
-        self.records.iter().copied().filter(|r| r.kernel == kernel).collect()
+        self.records
+            .iter()
+            .copied()
+            .filter(|r| r.kernel == kernel)
+            .collect()
     }
 
     /// Number of records.
@@ -140,7 +148,11 @@ impl Recorder {
     /// Total recorded seconds for a kernel (its share of the critical path
     /// when summed over the max rank per step).
     pub fn total_seconds(&self, kernel: KernelKind) -> f64 {
-        self.records.iter().filter(|r| r.kernel == kernel).map(|r| r.seconds).sum()
+        self.records
+            .iter()
+            .filter(|r| r.kernel == kernel)
+            .map(|r| r.seconds)
+            .sum()
     }
 
     /// Serialize all records to JSON (the on-disk training-data format).
@@ -161,7 +173,13 @@ mod tests {
     use super::*;
 
     fn params(np: f64) -> WorkloadParams {
-        WorkloadParams { np, ngp: 2.0, nel: 8.0, n_order: 5.0, filter: 0.1 }
+        WorkloadParams {
+            np,
+            ngp: 2.0,
+            nel: 8.0,
+            n_order: 5.0,
+            filter: 0.1,
+        }
     }
 
     #[test]
@@ -174,7 +192,13 @@ mod tests {
 
     #[test]
     fn features_match_names() {
-        let p = WorkloadParams { np: 1.0, ngp: 2.0, nel: 3.0, n_order: 4.0, filter: 5.0 };
+        let p = WorkloadParams {
+            np: 1.0,
+            ngp: 2.0,
+            nel: 3.0,
+            n_order: 4.0,
+            filter: 5.0,
+        };
         assert_eq!(p.features(), [1.0, 2.0, 3.0, 4.0, 5.0]);
         assert_eq!(WorkloadParams::FEATURE_NAMES.len(), p.features().len());
     }

@@ -44,7 +44,9 @@ pub struct KernelContext<'a> {
 fn reference_coords(mesh: &ElementMesh, p: Vec3) -> (pic_types::ElementId, Vec3) {
     let domain = mesh.domain();
     let q = p.clamp(domain.min, domain.max);
-    let e = mesh.element_of_point(q).expect("clamped point is inside the domain");
+    let e = mesh
+        .element_of_point(q)
+        .expect("clamped point is inside the domain");
     let b = mesh.element_aabb(e);
     let h = b.extent();
     let xi = Vec3::new(
@@ -246,11 +248,7 @@ pub fn create_ghost_particles(
 ///
 /// Cost shape: `O(|elements| · N³)` — uniform across ranks by construction
 /// of the element decomposition.
-pub fn fluid_solver(
-    ctx: &KernelContext<'_>,
-    elements: &[pic_types::ElementId],
-    time: f64,
-) -> f64 {
+pub fn fluid_solver(ctx: &KernelContext<'_>, elements: &[pic_types::ElementId], time: f64) -> f64 {
     let n = ctx.gll.len();
     let mut acc = 0.0;
     for &e in elements {
@@ -287,7 +285,11 @@ mod tests {
         ElementMesh::new(Aabb::unit(), MeshDims::cube(4), 5).unwrap()
     }
 
-    fn ctx<'a>(mesh: &'a ElementMesh, gll: &'a GllRule, field: &'a dyn FluidField) -> KernelContext<'a> {
+    fn ctx<'a>(
+        mesh: &'a ElementMesh,
+        gll: &'a GllRule,
+        field: &'a dyn FluidField,
+    ) -> KernelContext<'a> {
         KernelContext {
             mesh,
             gll,
@@ -305,7 +307,9 @@ mod tests {
     fn interpolation_reproduces_constant_field() {
         let m = mesh();
         let gll = GllRule::new(m.order());
-        let f = UniformFlow { velocity: Vec3::new(1.0, -2.0, 0.5) };
+        let f = UniformFlow {
+            velocity: Vec3::new(1.0, -2.0, 0.5),
+        };
         let c = ctx(&m, &gll, &f);
         let positions = vec![Vec3::new(0.13, 0.7, 0.42), Vec3::new(0.9, 0.1, 0.99)];
         let subset: Vec<u32> = vec![0, 1];
@@ -322,7 +326,10 @@ mod tests {
         // of order >= 2 must reproduce it to machine precision.
         let m = mesh();
         let gll = GllRule::new(m.order());
-        let f = VortexField { center: Vec3::splat(0.5), angular_speed: 3.0 };
+        let f = VortexField {
+            center: Vec3::splat(0.5),
+            angular_speed: 3.0,
+        };
         let c = ctx(&m, &gll, &f);
         let positions = vec![Vec3::new(0.31, 0.77, 0.11)];
         let mut out = Vec::new();
@@ -335,14 +342,24 @@ mod tests {
     fn drag_relaxes_toward_fluid() {
         let m = mesh();
         let gll = GllRule::new(m.order());
-        let f = UniformFlow { velocity: Vec3::new(1.0, 0.0, 0.0) };
+        let f = UniformFlow {
+            velocity: Vec3::new(1.0, 0.0, 0.0),
+        };
         let mut c = ctx(&m, &gll, &f);
         c.gravity = Vec3::ZERO;
         let positions = vec![Vec3::splat(0.5)];
         let velocities = vec![Vec3::ZERO];
         let cl = CellList::build(&positions, 0.1);
         let mut acc = Vec::new();
-        equation_solver(&c, &positions, &velocities, &[0], &[f.velocity], &cl, &mut acc);
+        equation_solver(
+            &c,
+            &positions,
+            &velocities,
+            &[0],
+            &[f.velocity],
+            &cl,
+            &mut acc,
+        );
         // a = (u - v)/tau = (1,0,0)/0.1
         assert!(acc[0].distance(Vec3::new(10.0, 0.0, 0.0)) < 1e-12);
     }
@@ -351,7 +368,9 @@ mod tests {
     fn collisions_push_particles_apart() {
         let m = mesh();
         let gll = GllRule::new(m.order());
-        let f = UniformFlow { velocity: Vec3::ZERO };
+        let f = UniformFlow {
+            velocity: Vec3::ZERO,
+        };
         let mut c = ctx(&m, &gll, &f);
         c.gravity = Vec3::ZERO;
         c.collision_radius = 0.1;
@@ -360,7 +379,15 @@ mod tests {
         let velocities = vec![Vec3::ZERO; 2];
         let cl = CellList::build(&positions, 0.1);
         let mut acc = Vec::new();
-        equation_solver(&c, &positions, &velocities, &[0, 1], &[Vec3::ZERO; 2], &cl, &mut acc);
+        equation_solver(
+            &c,
+            &positions,
+            &velocities,
+            &[0, 1],
+            &[Vec3::ZERO; 2],
+            &cl,
+            &mut acc,
+        );
         assert!(acc[0].x < 0.0, "left particle pushed left: {}", acc[0]);
         assert!(acc[1].x > 0.0, "right particle pushed right: {}", acc[1]);
         // symmetric
@@ -371,7 +398,9 @@ mod tests {
     fn pusher_advances_and_reflects() {
         let m = mesh();
         let gll = GllRule::new(m.order());
-        let f = UniformFlow { velocity: Vec3::ZERO };
+        let f = UniformFlow {
+            velocity: Vec3::ZERO,
+        };
         let c = ctx(&m, &gll, &f);
         let mut positions = vec![Vec3::new(0.5, 0.5, 0.005)];
         let mut velocities = vec![Vec3::new(0.0, 0.0, -1.0)];
@@ -388,7 +417,9 @@ mod tests {
     fn pusher_only_touches_subset() {
         let m = mesh();
         let gll = GllRule::new(m.order());
-        let f = UniformFlow { velocity: Vec3::ZERO };
+        let f = UniformFlow {
+            velocity: Vec3::ZERO,
+        };
         let c = ctx(&m, &gll, &f);
         let mut positions = vec![Vec3::splat(0.5), Vec3::splat(0.25)];
         let mut velocities = vec![Vec3::new(1.0, 0.0, 0.0); 2];
@@ -401,7 +432,9 @@ mod tests {
     fn projection_weight_positive_and_filter_monotone() {
         let m = mesh();
         let gll = GllRule::new(m.order());
-        let f = UniformFlow { velocity: Vec3::ZERO };
+        let f = UniformFlow {
+            velocity: Vec3::ZERO,
+        };
         let mut c = ctx(&m, &gll, &f);
         let positions = vec![Vec3::splat(0.5)];
         c.filter = 0.05;
@@ -418,7 +451,9 @@ mod tests {
     fn ghosts_match_decomposition_query() {
         let m = mesh();
         let gll = GllRule::new(m.order());
-        let f = UniformFlow { velocity: Vec3::ZERO };
+        let f = UniformFlow {
+            velocity: Vec3::ZERO,
+        };
         let mut c = ctx(&m, &gll, &f);
         c.filter = 0.1;
         let mapper = ElementMapper::new(&m, 8).unwrap();
@@ -446,12 +481,17 @@ mod tests {
     fn fluid_solver_scales_with_elements() {
         let m = mesh();
         let gll = GllRule::new(m.order());
-        let f = UniformFlow { velocity: Vec3::new(1.0, 0.0, 0.0) };
+        let f = UniformFlow {
+            velocity: Vec3::new(1.0, 0.0, 0.0),
+        };
         let c = ctx(&m, &gll, &f);
         let all: Vec<_> = m.element_ids().collect();
         let one = fluid_solver(&c, &all[..1], 0.0);
         let many = fluid_solver(&c, &all, 0.0);
         assert!(one > 0.0);
-        assert!((many / one - 64.0).abs() < 1e-6, "uniform field: work ∝ elements");
+        assert!(
+            (many / one - 64.0).abs() < 1e-6,
+            "uniform field: work ∝ elements"
+        );
     }
 }

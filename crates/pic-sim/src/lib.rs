@@ -28,6 +28,7 @@
 //! particles to ranks, and kernels run rank-by-rank on each rank's subset so
 //! per-rank workloads and timings are faithful.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod app;

@@ -30,19 +30,28 @@ pub struct CostOracle {
 
 impl Default for CostOracle {
     fn default() -> Self {
-        CostOracle { noise_sigma: 0.10, seed: 0x9e3779b9 }
+        CostOracle {
+            noise_sigma: 0.10,
+            seed: 0x9e3779b9,
+        }
     }
 }
 
 impl CostOracle {
     /// An oracle with a specific seed and the default noise level.
     pub fn with_seed(seed: u64) -> CostOracle {
-        CostOracle { seed, ..CostOracle::default() }
+        CostOracle {
+            seed,
+            ..CostOracle::default()
+        }
     }
 
     /// A noise-free oracle (exact analytic costs).
     pub fn noiseless() -> CostOracle {
-        CostOracle { noise_sigma: 0.0, seed: 0 }
+        CostOracle {
+            noise_sigma: 0.0,
+            seed: 0,
+        }
     }
 
     /// The noise-free cost (seconds) of one kernel invocation.
@@ -78,7 +87,12 @@ impl CostOracle {
     ///
     /// `observation_key` distinguishes repeated observations of the same
     /// workload (e.g. `rank * T + sample_index`).
-    pub fn observed_cost(&self, kernel: KernelKind, p: &WorkloadParams, observation_key: u64) -> f64 {
+    pub fn observed_cost(
+        &self,
+        kernel: KernelKind,
+        p: &WorkloadParams,
+        observation_key: u64,
+    ) -> f64 {
         let t = self.true_cost(kernel, p);
         if self.noise_sigma == 0.0 {
             return t;
@@ -97,7 +111,13 @@ mod tests {
     use super::*;
 
     fn p(np: f64, ngp: f64, filter: f64) -> WorkloadParams {
-        WorkloadParams { np, ngp, nel: 27.0, n_order: 5.0, filter }
+        WorkloadParams {
+            np,
+            ngp,
+            nel: 27.0,
+            n_order: 5.0,
+            filter,
+        }
     }
 
     #[test]
@@ -109,8 +129,14 @@ mod tests {
             assert!(large >= small, "{k}: {large} < {small}");
         }
         // particle kernels at zero particles cost nothing
-        assert_eq!(o.true_cost(KernelKind::Interpolation, &p(0.0, 0.0, 0.05)), 0.0);
-        assert_eq!(o.true_cost(KernelKind::ParticlePusher, &p(0.0, 0.0, 0.05)), 0.0);
+        assert_eq!(
+            o.true_cost(KernelKind::Interpolation, &p(0.0, 0.0, 0.05)),
+            0.0
+        );
+        assert_eq!(
+            o.true_cost(KernelKind::ParticlePusher, &p(0.0, 0.0, 0.05)),
+            0.0
+        );
     }
 
     #[test]
@@ -169,6 +195,9 @@ mod tests {
             .sum::<f64>()
             / n as f64;
         // E|N(0, σ)| = σ·√(2/π) ≈ 0.0798 for σ = 0.1
-        assert!((mean_abs_rel - 0.0798).abs() < 0.01, "mean abs rel {mean_abs_rel}");
+        assert!(
+            (mean_abs_rel - 0.0798).abs() < 0.01,
+            "mean abs rel {mean_abs_rel}"
+        );
     }
 }

@@ -19,7 +19,10 @@ pub struct ParticleSet {
 impl ParticleSet {
     /// An empty set with reserved capacity.
     pub fn with_capacity(n: usize) -> ParticleSet {
-        ParticleSet { position: Vec::with_capacity(n), velocity: Vec::with_capacity(n) }
+        ParticleSet {
+            position: Vec::with_capacity(n),
+            velocity: Vec::with_capacity(n),
+        }
     }
 
     /// Append a particle at rest.
@@ -88,7 +91,8 @@ impl CellList {
         // Counting sort into CSR buckets.
         let cell_of = |p: Vec3| -> usize {
             let rel = p - bounds.min;
-            let idx = |v: f64, d: usize| (((v / cell_size) as isize).clamp(0, d as isize - 1)) as usize;
+            let idx =
+                |v: f64, d: usize| (((v / cell_size) as isize).clamp(0, d as isize - 1)) as usize;
             let cx = idx(rel.x, dims[0]);
             let cy = idx(rel.y, dims[1]);
             let cz = idx(rel.z, dims[2]);
@@ -109,7 +113,13 @@ impl CellList {
             entries[cursor[c] as usize] = i as u32;
             cursor[c] += 1;
         }
-        CellList { bounds, dims, cell_size, starts, entries }
+        CellList {
+            bounds,
+            dims,
+            cell_size,
+            starts,
+            entries,
+        }
     }
 
     /// Visit the indices of all particles within `radius` of `query`

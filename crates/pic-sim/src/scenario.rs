@@ -107,12 +107,13 @@ impl ScenarioKind {
                 );
                 Box::new(f)
             }
-            ScenarioKind::UniformCloud => {
-                Box::new(UniformFlow { velocity: Vec3::new(0.15, 0.1, 0.05) })
-            }
-            ScenarioKind::VortexCluster => {
-                Box::new(VortexField { center: domain.center(), angular_speed: 1.5 })
-            }
+            ScenarioKind::UniformCloud => Box::new(UniformFlow {
+                velocity: Vec3::new(0.15, 0.1, 0.05),
+            }),
+            ScenarioKind::VortexCluster => Box::new(VortexField {
+                center: domain.center(),
+                angular_speed: 1.5,
+            }),
         }
     }
 }
@@ -186,7 +187,10 @@ mod tests {
 
     #[test]
     fn serde_kebab_names() {
-        assert_eq!(serde_json::to_string(&ScenarioKind::HeleShaw).unwrap(), "\"hele-shaw\"");
+        assert_eq!(
+            serde_json::to_string(&ScenarioKind::HeleShaw).unwrap(),
+            "\"hele-shaw\""
+        );
         assert_eq!(ScenarioKind::VortexCluster.to_string(), "vortex-cluster");
     }
 }

@@ -258,10 +258,11 @@ impl<R: Read> TraceReader<R> {
     /// Parse and validate the header and return the reader.
     pub fn new(mut source: R) -> Result<TraceReader<R>> {
         let mut head = [0u8; FIXED_HEADER_LEN];
-        let got = read_fully(&mut source, &mut head)
-            .map_err(|e| TraceError::new(TraceErrorKind::Io, "header read failed")
+        let got = read_fully(&mut source, &mut head).map_err(|e| {
+            TraceError::new(TraceErrorKind::Io, "header read failed")
                 .at_offset(0)
-                .with_source(e))?;
+                .with_source(e)
+        })?;
         if got < FIXED_HEADER_LEN {
             return Err(header_err(
                 TraceErrorKind::TruncatedHeader,
@@ -280,8 +281,13 @@ impl<R: Read> TraceReader<R> {
             ));
         }
         let tag = buf.get_u8();
-        let precision = Precision::from_tag(tag)
-            .map_err(|_| header_err(TraceErrorKind::BadHeader, format!("unknown precision tag {tag}"), 8))?;
+        let precision = Precision::from_tag(tag).map_err(|_| {
+            header_err(
+                TraceErrorKind::BadHeader,
+                format!("unknown precision tag {tag}"),
+                8,
+            )
+        })?;
         buf.advance(3);
         let sample_interval = buf.get_u32_le();
         let particle_count_raw = buf.get_u64_le();
@@ -307,10 +313,11 @@ impl<R: Read> TraceReader<R> {
             ));
         }
         let mut desc_bytes = vec![0u8; desc_len];
-        let got = read_fully(&mut source, &mut desc_bytes)
-            .map_err(|e| TraceError::new(TraceErrorKind::Io, "description read failed")
+        let got = read_fully(&mut source, &mut desc_bytes).map_err(|e| {
+            TraceError::new(TraceErrorKind::Io, "description read failed")
                 .at_offset(FIXED_HEADER_LEN as u64)
-                .with_source(e))?;
+                .with_source(e)
+        })?;
         if got < desc_len {
             return Err(header_err(
                 TraceErrorKind::TruncatedHeader,
@@ -326,8 +333,20 @@ impl<R: Read> TraceReader<R> {
             )
         })?;
         let offset = (FIXED_HEADER_LEN + desc_len) as u64;
-        let meta = TraceMeta { particle_count, sample_interval, domain, description };
-        Ok(TraceReader { source, meta, precision, frames_read: 0, offset, chunk: Vec::new() })
+        let meta = TraceMeta {
+            particle_count,
+            sample_interval,
+            domain,
+            description,
+        };
+        Ok(TraceReader {
+            source,
+            meta,
+            precision,
+            frames_read: 0,
+            offset,
+            chunk: Vec::new(),
+        })
     }
 
     /// Trace metadata from the header.
@@ -431,7 +450,10 @@ impl<R: Read> TraceReader<R> {
             decoded += take;
         }
         self.frames_read += 1;
-        Ok(Some(TraceSample { iteration, positions }))
+        Ok(Some(TraceSample {
+            iteration,
+            positions,
+        }))
     }
 
     /// Number of frames read so far.
@@ -527,7 +549,11 @@ pub fn decode_trace(bytes: &[u8]) -> Result<ParticleTrace> {
 }
 
 /// Write a trace to a file.
-pub fn save_file(trace: &ParticleTrace, path: impl AsRef<Path>, precision: Precision) -> Result<()> {
+pub fn save_file(
+    trace: &ParticleTrace,
+    path: impl AsRef<Path>,
+    precision: Precision,
+) -> Result<()> {
     let f = std::fs::File::create(path)?;
     let mut w = TraceWriter::new(std::io::BufWriter::new(f), trace.meta(), precision)?;
     for s in trace.samples() {
@@ -551,8 +577,9 @@ mod tests {
         let meta = TraceMeta::new(np, 100, Aabb::unit(), "codec-test");
         let mut tr = ParticleTrace::new(meta);
         for k in 0..t {
-            let positions =
-                (0..np).map(|i| Vec3::new(i as f64 * 0.01, k as f64 * 0.02, 0.5)).collect();
+            let positions = (0..np)
+                .map(|i| Vec3::new(i as f64 * 0.01, k as f64 * 0.02, 0.5))
+                .collect();
             tr.push_positions(positions).unwrap();
         }
         tr
@@ -636,7 +663,10 @@ mod tests {
     fn writer_rejects_wrong_particle_count() {
         let tr = sample_trace(3, 1);
         let mut w = TraceWriter::new(Vec::new(), tr.meta(), Precision::F64).unwrap();
-        let bad = TraceSample { iteration: 0, positions: vec![Vec3::ZERO; 2] };
+        let bad = TraceSample {
+            iteration: 0,
+            positions: vec![Vec3::ZERO; 2],
+        };
         assert!(w.write_sample(&bad).is_err());
         assert_eq!(w.frames_written(), 0);
     }
@@ -708,7 +738,11 @@ mod tests {
             r.read_sample().unwrap().unwrap(); // frame 0 intact
             let err = r.read_sample().unwrap_err();
             let d = err.trace_details().expect("structured trace error");
-            assert_eq!(d.kind, pic_types::TraceErrorKind::TruncatedFrame, "extra={extra}");
+            assert_eq!(
+                d.kind,
+                pic_types::TraceErrorKind::TruncatedFrame,
+                "extra={extra}"
+            );
             assert_eq!(d.offset, Some(cut as u64));
             assert_eq!(d.frame, Some(1));
         }
@@ -722,9 +756,12 @@ mod tests {
         // hard-fail mid-body of frame 0, well past the header
         let frame_len = 8 + 8 * 3 * 8;
         let fail_at = (bytes.len() - 2 * frame_len + frame_len / 2) as u64;
-        let mut r =
-            TraceReader::new(FailAt::new(&bytes[..], fail_at, std::io::ErrorKind::PermissionDenied))
-                .unwrap();
+        let mut r = TraceReader::new(FailAt::new(
+            &bytes[..],
+            fail_at,
+            std::io::ErrorKind::PermissionDenied,
+        ))
+        .unwrap();
         let err = r.read_sample().unwrap_err();
         let d = err.trace_details().expect("structured trace error");
         assert_eq!(d.kind, pic_types::TraceErrorKind::Io);
@@ -779,7 +816,10 @@ mod tests {
         let mut bytes = encode_trace(&tr, Precision::F64).unwrap();
         bytes[72..76].copy_from_slice(&u32::MAX.to_le_bytes());
         let err = decode_trace(&bytes).unwrap_err();
-        assert_eq!(err.trace_details().unwrap().kind, pic_types::TraceErrorKind::BadHeader);
+        assert_eq!(
+            err.trace_details().unwrap().kind,
+            pic_types::TraceErrorKind::BadHeader
+        );
     }
 
     #[test]
@@ -790,7 +830,11 @@ mod tests {
         let mut bytes = good.clone();
         bytes[24..32].copy_from_slice(&f64::NAN.to_le_bytes());
         assert_eq!(
-            decode_trace(&bytes).unwrap_err().trace_details().unwrap().kind,
+            decode_trace(&bytes)
+                .unwrap_err()
+                .trace_details()
+                .unwrap()
+                .kind,
             pic_types::TraceErrorKind::BadHeader
         );
         // min.y > max.y
@@ -814,7 +858,11 @@ mod tests {
         for cut in [0usize, 1, 7, 8, 40, 75] {
             let err = TraceReader::new(&bytes[..cut]).unwrap_err();
             let d = err.trace_details().expect("structured error");
-            assert_eq!(d.kind, pic_types::TraceErrorKind::TruncatedHeader, "cut={cut}");
+            assert_eq!(
+                d.kind,
+                pic_types::TraceErrorKind::TruncatedHeader,
+                "cut={cut}"
+            );
             assert_eq!(d.offset, Some(cut as u64));
         }
         // mid-description cut
@@ -857,6 +905,9 @@ mod tests {
         let mut tr = ParticleTrace::new(meta);
         tr.push_positions(vec![Vec3::splat(0.5)]).unwrap();
         let bytes = encode_trace(&tr, Precision::F64).unwrap();
-        assert_eq!(decode_trace(&bytes).unwrap().meta().description, "Hele-Shaw ∅→💥");
+        assert_eq!(
+            decode_trace(&bytes).unwrap().meta().description,
+            "Hele-Shaw ∅→💥"
+        );
     }
 }

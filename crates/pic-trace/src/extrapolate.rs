@@ -49,11 +49,16 @@ pub fn extrapolate(
     let mut rng = SplitMix64::new(seed);
 
     // Per-target-particle: a source index and a unit-scale offset.
-    let assignments: Vec<u64> = (0..target_count).map(|_| rng.next_below(n_src as u64)).collect();
+    let assignments: Vec<u64> = (0..target_count)
+        .map(|_| rng.next_below(n_src as u64))
+        .collect();
     let offsets: Vec<Vec3> = (0..target_count)
         .map(|_| {
-            Vec3::new(rng.next_gaussian(), rng.next_gaussian(), rng.next_gaussian())
-                * JITTER_FRACTION
+            Vec3::new(
+                rng.next_gaussian(),
+                rng.next_gaussian(),
+                rng.next_gaussian(),
+            ) * JITTER_FRACTION
         })
         .collect();
 
@@ -79,7 +84,10 @@ pub fn extrapolate(
             let p = base + Vec3::new(o.x * ext.x, o.y * ext.y, o.z * ext.z);
             positions.push(p.clamp(domain.min, domain.max));
         }
-        out.push_sample(TraceSample { iteration: sample.iteration, positions })?;
+        out.push_sample(TraceSample {
+            iteration: sample.iteration,
+            positions,
+        })?;
     }
     Ok(out)
 }
@@ -107,9 +115,7 @@ pub fn density_distance(
         let ext = domain.extent();
         let cell_of = |p: Vec3| -> usize {
             let rel = p - domain.min;
-            let idx = |v: f64, e: f64| {
-                (((v / e.max(1e-30)) * n as f64) as usize).min(n - 1)
-            };
+            let idx = |v: f64, e: f64| (((v / e.max(1e-30)) * n as f64) as usize).min(n - 1);
             idx(rel.x, ext.x) + n * (idx(rel.y, ext.y) + n * idx(rel.z, ext.z))
         };
         let mut h = vec![0.0; n * n * n];
@@ -222,11 +228,19 @@ mod tests {
         let bv = crate::stats::boundary_volume_series(&big);
         // both expand monotonically
         for k in 1..sv.len() {
-            assert!(bv[k] >= bv[k - 1] * 0.9, "extrapolated boundary shrank at {k}");
+            assert!(
+                bv[k] >= bv[k - 1] * 0.9,
+                "extrapolated boundary shrank at {k}"
+            );
         }
         // extrapolated boundary is within ~35 % of the source (jitter inflates it)
         for k in 0..sv.len() {
-            assert!(bv[k] <= sv[k] * 2.5 + 1e-6, "sample {k}: {} vs {}", bv[k], sv[k]);
+            assert!(
+                bv[k] <= sv[k] * 2.5 + 1e-6,
+                "sample {k}: {} vs {}",
+                bv[k],
+                sv[k]
+            );
         }
     }
 

@@ -23,7 +23,10 @@ pub struct TruncateAt<R> {
 impl<R: Read> TruncateAt<R> {
     /// Wrap `inner`, exposing only its first `limit` bytes.
     pub fn new(inner: R, limit: u64) -> TruncateAt<R> {
-        TruncateAt { inner, remaining: limit }
+        TruncateAt {
+            inner,
+            remaining: limit,
+        }
     }
 }
 
@@ -52,7 +55,11 @@ impl<R: Read> ShortReads<R> {
     /// Wrap `inner`, limiting each read to at most `max_per_read` bytes.
     pub fn new(inner: R, max_per_read: usize) -> ShortReads<R> {
         assert!(max_per_read > 0, "short reads must still make progress");
-        ShortReads { inner, max_per_read, next: 1 }
+        ShortReads {
+            inner,
+            max_per_read,
+            next: 1,
+        }
     }
 }
 
@@ -62,7 +69,11 @@ impl<R: Read> Read for ShortReads<R> {
             return Ok(0);
         }
         let grant = self.next.min(buf.len());
-        self.next = if self.next >= self.max_per_read { 1 } else { self.next + 1 };
+        self.next = if self.next >= self.max_per_read {
+            1
+        } else {
+            self.next + 1
+        };
         self.inner.read(&mut buf[..grant])
     }
 }
@@ -80,7 +91,11 @@ impl<R: Read> InterruptEvery<R> {
     /// Wrap `inner`, interrupting every `period`-th read call.
     pub fn new(inner: R, period: u32) -> InterruptEvery<R> {
         assert!(period > 0, "period must be positive");
-        InterruptEvery { inner, period, calls: 0 }
+        InterruptEvery {
+            inner,
+            period,
+            calls: 0,
+        }
     }
 }
 
@@ -108,7 +123,12 @@ pub struct FailAt<R> {
 impl<R: Read> FailAt<R> {
     /// Wrap `inner`, failing with `kind` once `fail_at` bytes were served.
     pub fn new(inner: R, fail_at: u64, kind: ErrorKind) -> FailAt<R> {
-        FailAt { inner, fail_at, served: 0, kind }
+        FailAt {
+            inner,
+            fail_at,
+            served: 0,
+            kind,
+        }
     }
 }
 

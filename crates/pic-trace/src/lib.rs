@@ -22,6 +22,7 @@
 //!   within a bounded allocation budget, and fails with byte-positioned
 //!   errors ([`pic_types::TraceError`]).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod codec;

@@ -110,7 +110,8 @@ mod tests {
         let mut tr = ParticleTrace::new(meta);
         for k in 0..4 {
             let d = k as f64;
-            tr.push_positions(vec![Vec3::splat(-d), Vec3::splat(d)]).unwrap();
+            tr.push_positions(vec![Vec3::splat(-d), Vec3::splat(d)])
+                .unwrap();
         }
         tr
     }
@@ -176,7 +177,10 @@ mod tests {
         let i = sampling_interval_for_budget(1000, 1000, frame * 10, Precision::F32);
         assert_eq!(i, Some(100));
         // Budget too small for one frame.
-        assert_eq!(sampling_interval_for_budget(1000, 1000, 10, Precision::F32), None);
+        assert_eq!(
+            sampling_interval_for_budget(1000, 1000, 10, Precision::F32),
+            None
+        );
         // Huge budget → interval clamps at 1.
         assert_eq!(
             sampling_interval_for_budget(10, 100, u64::MAX / 2, Precision::F64),

@@ -27,7 +27,12 @@ impl TraceMeta {
         domain: Aabb,
         description: impl Into<String>,
     ) -> TraceMeta {
-        TraceMeta { particle_count, sample_interval, domain, description: description.into() }
+        TraceMeta {
+            particle_count,
+            sample_interval,
+            domain,
+            description: description.into(),
+        }
     }
 }
 
@@ -54,7 +59,10 @@ pub struct ParticleTrace {
 impl ParticleTrace {
     /// Create an empty trace with the given metadata.
     pub fn new(meta: TraceMeta) -> ParticleTrace {
-        ParticleTrace { meta, samples: Vec::new() }
+        ParticleTrace {
+            meta,
+            samples: Vec::new(),
+        }
     }
 
     /// Trace metadata.
@@ -114,7 +122,10 @@ impl ParticleTrace {
             Some(s) => s.iteration + self.meta.sample_interval as u64,
             None => 0,
         };
-        self.push_sample(TraceSample { iteration, positions })
+        self.push_sample(TraceSample {
+            iteration,
+            positions,
+        })
     }
 
     /// The `t`-th sample.
@@ -189,10 +200,20 @@ mod tests {
     #[test]
     fn push_enforces_monotone_iterations() {
         let mut tr = ParticleTrace::new(meta(1));
-        tr.push_sample(TraceSample { iteration: 100, positions: pos(1, 0.0) }).unwrap();
-        let dup = tr.push_sample(TraceSample { iteration: 100, positions: pos(1, 0.1) });
+        tr.push_sample(TraceSample {
+            iteration: 100,
+            positions: pos(1, 0.0),
+        })
+        .unwrap();
+        let dup = tr.push_sample(TraceSample {
+            iteration: 100,
+            positions: pos(1, 0.1),
+        });
         assert!(dup.is_err());
-        let back = tr.push_sample(TraceSample { iteration: 50, positions: pos(1, 0.1) });
+        let back = tr.push_sample(TraceSample {
+            iteration: 50,
+            positions: pos(1, 0.1),
+        });
         assert!(back.is_err());
     }
 

@@ -8,7 +8,9 @@
 //! paths are exercised.
 
 use pic_trace::codec::{decode_trace, encode_trace, Precision, MAX_PARTICLE_COUNT};
-use pic_trace::fault::{flip_bit, truncation_points, FailAt, InterruptEvery, ShortReads, TruncateAt};
+use pic_trace::fault::{
+    flip_bit, truncation_points, FailAt, InterruptEvery, ShortReads, TruncateAt,
+};
 use pic_trace::{ParticleTrace, TraceMeta, TraceReader};
 use pic_types::{Aabb, PicError, TraceErrorKind, Vec3};
 use proptest::prelude::*;
@@ -27,9 +29,14 @@ fn small_trace(np: usize, t: usize) -> ParticleTrace {
 
 /// Every codec error must name a byte offset (the acceptance criterion).
 fn assert_positioned(err: &PicError) {
-    let d = err.trace_details().unwrap_or_else(|| panic!("unstructured codec error: {err}"));
+    let d = err
+        .trace_details()
+        .unwrap_or_else(|| panic!("unstructured codec error: {err}"));
     assert!(d.offset.is_some(), "error without byte offset: {err}");
-    assert!(err.to_string().contains("at byte"), "display misses offset: {err}");
+    assert!(
+        err.to_string().contains("at byte"),
+        "display misses offset: {err}"
+    );
 }
 
 #[test]
@@ -71,10 +78,16 @@ fn interrupted_and_short_reads_still_roundtrip() {
     let tr = small_trace(7, 4);
     let bytes = encode_trace(&tr, Precision::F64).unwrap();
     // one-byte reads
-    let back = TraceReader::new(ShortReads::new(&bytes[..], 1)).unwrap().read_all().unwrap();
+    let back = TraceReader::new(ShortReads::new(&bytes[..], 1))
+        .unwrap()
+        .read_all()
+        .unwrap();
     assert_eq!(back, tr);
     // interrupt storm: every other call fails with Interrupted
-    let back = TraceReader::new(InterruptEvery::new(&bytes[..], 2)).unwrap().read_all().unwrap();
+    let back = TraceReader::new(InterruptEvery::new(&bytes[..], 2))
+        .unwrap()
+        .read_all()
+        .unwrap();
     assert_eq!(back, tr);
     // both at once
     let r = InterruptEvery::new(ShortReads::new(&bytes[..], 3), 2);
@@ -100,7 +113,10 @@ fn hard_io_fault_is_not_mislabeled_as_truncation() {
         assert_positioned(&err);
         let d = err.trace_details().unwrap();
         assert_eq!(d.kind, TraceErrorKind::Io, "fail_at={fail_at}: {err}");
-        assert_eq!(d.source.as_ref().unwrap().kind(), std::io::ErrorKind::BrokenPipe);
+        assert_eq!(
+            d.source.as_ref().unwrap().kind(),
+            std::io::ErrorKind::BrokenPipe
+        );
     }
 }
 
@@ -117,7 +133,10 @@ fn allocation_stays_bounded_for_adversarial_headers() {
         bytes[16..24].copy_from_slice(&claimed.to_le_bytes());
         let err = decode_trace(&bytes).unwrap_err();
         assert_positioned(&err);
-        assert_eq!(err.trace_details().unwrap().kind, TraceErrorKind::TruncatedFrame);
+        assert_eq!(
+            err.trace_details().unwrap().kind,
+            TraceErrorKind::TruncatedFrame
+        );
     }
     // over the cap: rejected at the header, before any body read
     let mut bytes = good;

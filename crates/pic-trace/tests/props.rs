@@ -10,8 +10,7 @@ fn trace_strategy() -> impl Strategy<Value = ParticleTrace> {
     (1usize..20, 0usize..8, 1u32..1000).prop_flat_map(|(np, t, interval)| {
         proptest::collection::vec(
             proptest::collection::vec(
-                (-1e3..1e3f64, -1e3..1e3f64, -1e3..1e3f64)
-                    .prop_map(|(x, y, z)| Vec3::new(x, y, z)),
+                (-1e3..1e3f64, -1e3..1e3f64, -1e3..1e3f64).prop_map(|(x, y, z)| Vec3::new(x, y, z)),
                 np..=np,
             ),
             t..=t,

@@ -281,9 +281,18 @@ mod tests {
 
     #[test]
     fn longest_axis_selection() {
-        assert_eq!(Aabb::new(Vec3::ZERO, Vec3::new(3.0, 2.0, 1.0)).longest_axis(), Axis::X);
-        assert_eq!(Aabb::new(Vec3::ZERO, Vec3::new(1.0, 3.0, 2.0)).longest_axis(), Axis::Y);
-        assert_eq!(Aabb::new(Vec3::ZERO, Vec3::new(1.0, 2.0, 3.0)).longest_axis(), Axis::Z);
+        assert_eq!(
+            Aabb::new(Vec3::ZERO, Vec3::new(3.0, 2.0, 1.0)).longest_axis(),
+            Axis::X
+        );
+        assert_eq!(
+            Aabb::new(Vec3::ZERO, Vec3::new(1.0, 3.0, 2.0)).longest_axis(),
+            Axis::Y
+        );
+        assert_eq!(
+            Aabb::new(Vec3::ZERO, Vec3::new(1.0, 2.0, 3.0)).longest_axis(),
+            Axis::Z
+        );
         // tie breaks toward X
         assert_eq!(Aabb::unit().longest_axis(), Axis::X);
     }
@@ -294,7 +303,7 @@ mod tests {
         assert!(b.intersects_sphere(Vec3::splat(0.5), 0.01)); // inside
         assert!(b.intersects_sphere(Vec3::new(1.5, 0.5, 0.5), 0.6)); // touches face
         assert!(!b.intersects_sphere(Vec3::new(1.5, 0.5, 0.5), 0.4)); // misses
-        // corner distance is sqrt(3*0.25) ≈ 0.866 from (1.5,1.5,1.5)
+                                                                      // corner distance is sqrt(3*0.25) ≈ 0.866 from (1.5,1.5,1.5)
         assert!(b.intersects_sphere(Vec3::splat(1.5), 0.87));
         assert!(!b.intersects_sphere(Vec3::splat(1.5), 0.85));
     }

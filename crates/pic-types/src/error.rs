@@ -67,7 +67,13 @@ impl TraceError {
     /// Build an error with a kind and message; position via
     /// [`TraceError::at_offset`] / [`TraceError::at_frame`].
     pub fn new(kind: TraceErrorKind, message: impl Into<String>) -> TraceError {
-        TraceError { kind, message: message.into(), offset: None, frame: None, source: None }
+        TraceError {
+            kind,
+            message: message.into(),
+            offset: None,
+            frame: None,
+            source: None,
+        }
     }
 
     /// Attach the byte offset the error was detected at.
@@ -146,9 +152,10 @@ impl std::error::Error for PicError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             PicError::Io(e) => Some(e),
-            PicError::TraceFormat(t) => {
-                t.source.as_ref().map(|e| e as &(dyn std::error::Error + 'static))
-            }
+            PicError::TraceFormat(t) => t
+                .source
+                .as_ref()
+                .map(|e| e as &(dyn std::error::Error + 'static)),
             _ => None,
         }
     }

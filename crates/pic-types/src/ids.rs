@@ -106,7 +106,12 @@ mod tests {
     #[test]
     fn distinct_types_do_not_compare() {
         // Compile-time property demonstrated by constructing each type.
-        let _ = (Rank::new(1), ElementId::new(1), BinId::new(1), ParticleId::new(1));
+        let _ = (
+            Rank::new(1),
+            ElementId::new(1),
+            BinId::new(1),
+            ParticleId::new(1),
+        );
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! these types sit on the hot path of the Dynamic Workload Generator, which
 //! streams hundreds of millions of particle samples.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aabb;

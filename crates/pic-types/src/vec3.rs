@@ -6,7 +6,9 @@
 //! crate to keep the hot path transparent to the optimizer.
 
 use serde::{Deserialize, Serialize};
-use std::ops::{Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::ops::{
+    Add, AddAssign, Div, DivAssign, Index, IndexMut, Mul, MulAssign, Neg, Sub, SubAssign,
+};
 
 /// One of the three coordinate axes.
 ///
@@ -61,9 +63,17 @@ pub struct Vec3 {
 
 impl Vec3 {
     /// The zero vector.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
     /// The all-ones vector.
-    pub const ONE: Vec3 = Vec3 { x: 1.0, y: 1.0, z: 1.0 };
+    pub const ONE: Vec3 = Vec3 {
+        x: 1.0,
+        y: 1.0,
+        z: 1.0,
+    };
 
     /// Construct a vector from components.
     #[inline]
@@ -362,9 +372,18 @@ mod tests {
     fn clamp_min_max() {
         let lo = Vec3::splat(0.0);
         let hi = Vec3::splat(1.0);
-        assert_eq!(Vec3::new(-1.0, 0.5, 2.0).clamp(lo, hi), Vec3::new(0.0, 0.5, 1.0));
-        assert_eq!(Vec3::new(2.0, -3.0, 0.0).min(Vec3::ZERO), Vec3::new(0.0, -3.0, 0.0));
-        assert_eq!(Vec3::new(2.0, -3.0, 0.0).max(Vec3::ZERO), Vec3::new(2.0, 0.0, 0.0));
+        assert_eq!(
+            Vec3::new(-1.0, 0.5, 2.0).clamp(lo, hi),
+            Vec3::new(0.0, 0.5, 1.0)
+        );
+        assert_eq!(
+            Vec3::new(2.0, -3.0, 0.0).min(Vec3::ZERO),
+            Vec3::new(0.0, -3.0, 0.0)
+        );
+        assert_eq!(
+            Vec3::new(2.0, -3.0, 0.0).max(Vec3::ZERO),
+            Vec3::new(2.0, 0.0, 0.0)
+        );
     }
 
     #[test]

@@ -54,8 +54,7 @@ pub fn busiest_links(comm: &CommMatrix, k: usize) -> Vec<(u32, u32, u64)> {
             *totals.entry((from, to)).or_insert(0) += count as u64;
         }
     }
-    let mut v: Vec<(u32, u32, u64)> =
-        totals.into_iter().map(|((f, t), c)| (f, t, c)).collect();
+    let mut v: Vec<(u32, u32, u64)> = totals.into_iter().map(|((f, t), c)| (f, t, c)).collect();
     v.sort_by(|a, b| b.2.cmp(&a.2).then((a.0, a.1).cmp(&(b.0, b.1))));
     v.truncate(k);
     v

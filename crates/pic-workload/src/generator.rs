@@ -9,8 +9,8 @@
 use crate::matrices::{migration_pairs, CommMatrix, CompMatrix};
 use pic_grid::ElementMesh;
 use pic_mapping::{
-    BinMapper, ElementMapper, HilbertMapper, LoadBalancedMapper, MappingAlgorithm,
-    ParticleMapper, RegionIndex, RegionQueryScratch,
+    BinMapper, ElementMapper, HilbertMapper, LoadBalancedMapper, MappingAlgorithm, ParticleMapper,
+    RegionIndex, RegionQueryScratch,
 };
 use pic_trace::ParticleTrace;
 use pic_types::{PicError, Rank, Result};
@@ -36,7 +36,12 @@ pub struct WorkloadConfig {
 impl WorkloadConfig {
     /// Convenience constructor with ghosts enabled.
     pub fn new(ranks: usize, mapping: MappingAlgorithm, projection_filter: f64) -> WorkloadConfig {
-        WorkloadConfig { ranks, mapping, projection_filter, compute_ghosts: true }
+        WorkloadConfig {
+            ranks,
+            mapping,
+            projection_filter,
+            compute_ghosts: true,
+        }
     }
 }
 
@@ -162,7 +167,6 @@ pub fn generate_with_mesh(
     })
 }
 
-
 /// Construct the mapper the configuration selects (mesh-requiring
 /// algorithms fail without one).
 fn build_mapper(
@@ -170,23 +174,25 @@ fn build_mapper(
     mesh: Option<&ElementMesh>,
 ) -> Result<Box<dyn ParticleMapper>> {
     if cfg.ranks == 0 {
-        return Err(PicError::config("workload generation needs at least one rank"));
+        return Err(PicError::config(
+            "workload generation needs at least one rank",
+        ));
     }
     Ok(match cfg.mapping {
         MappingAlgorithm::BinBased => Box::new(BinMapper::new(cfg.ranks, cfg.projection_filter)?),
         MappingAlgorithm::ElementBased => {
-            let mesh = mesh
-                .ok_or_else(|| PicError::config("element-based mapping requires a mesh"))?;
+            let mesh =
+                mesh.ok_or_else(|| PicError::config("element-based mapping requires a mesh"))?;
             Box::new(ElementMapper::new(mesh, cfg.ranks)?)
         }
         MappingAlgorithm::HilbertOrdered => {
-            let mesh = mesh
-                .ok_or_else(|| PicError::config("hilbert-ordered mapping requires a mesh"))?;
+            let mesh =
+                mesh.ok_or_else(|| PicError::config("hilbert-ordered mapping requires a mesh"))?;
             Box::new(HilbertMapper::new(mesh, cfg.ranks)?)
         }
         MappingAlgorithm::LoadBalanced => {
-            let mesh = mesh
-                .ok_or_else(|| PicError::config("load-balanced mapping requires a mesh"))?;
+            let mesh =
+                mesh.ok_or_else(|| PicError::config("load-balanced mapping requires a mesh"))?;
             Box::new(LoadBalancedMapper::new(mesh, cfg.ranks)?)
         }
     })
@@ -293,7 +299,12 @@ pub fn generate_streaming_with_stats<R: std::io::Read + Send>(
                     Err(e) => break Err(e),
                 }
             };
-            DecoderReport { status, frames, bytes: reader.bytes_read(), seconds }
+            DecoderReport {
+                status,
+                frames,
+                bytes: reader.bytes_read(),
+                seconds,
+            }
         });
 
         for _ in 0..workers {
@@ -303,7 +314,10 @@ pub fn generate_streaming_with_stats<R: std::io::Read + Send>(
                 // Sample-level fan-out is the parallelism here; pin each
                 // worker's intra-sample ghost kernel to one thread so the
                 // stages don't oversubscribe each other.
-                let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(1)
+                    .build()
+                    .unwrap();
                 while let Ok((i, frame)) = rx.recv() {
                     let t0 = std::time::Instant::now();
                     let outcome = pool.install(|| process_sample(&frame.positions, mapper, cfg));
@@ -372,7 +386,9 @@ pub fn generate_streaming_with_stats<R: std::io::Read + Send>(
                 real,
                 ghost_recv,
                 ghost_sent,
-                comm: CommMatrix { entries: comm_entries },
+                comm: CommMatrix {
+                    entries: comm_entries,
+                },
                 bin_counts,
             },
             stats,
@@ -397,7 +413,13 @@ fn process_sample(
     }
     let (ghost_recv, ghost_sent) = if cfg.compute_ghosts {
         let index = RegionIndex::build(&outcome.rank_regions);
-        ghost_counts_chunked(positions, &outcome.ranks, &index, cfg.projection_filter, cfg.ranks)
+        ghost_counts_chunked(
+            positions,
+            &outcome.ranks,
+            &index,
+            cfg.projection_filter,
+            cfg.ranks,
+        )
     } else {
         (vec![0u32; cfg.ranks], vec![0u32; cfg.ranks])
     };
@@ -433,7 +455,15 @@ fn ghost_counts_chunked(
         let mut recv = vec![0u32; ranks];
         let mut sent = vec![0u32; ranks];
         let mut scratch = RegionQueryScratch::new();
-        ghost_count_span(positions, owners, index, radius, &mut scratch, &mut recv, &mut sent);
+        ghost_count_span(
+            positions,
+            owners,
+            index,
+            radius,
+            &mut scratch,
+            &mut recv,
+            &mut sent,
+        );
         return (recv, sent);
     }
     let partials: Vec<(Vec<u32>, Vec<u32>)> = (0..chunks)
@@ -581,12 +611,7 @@ impl BaselineRegionIndex {
     }
 
     /// Collect (sorted, deduplicated) ranks touching the sphere.
-    pub fn ranks_touching_sphere(
-        &self,
-        center: pic_types::Vec3,
-        radius: f64,
-        out: &mut Vec<Rank>,
-    ) {
+    pub fn ranks_touching_sphere(&self, center: pic_types::Vec3, radius: f64, out: &mut Vec<Rank>) {
         use pic_types::Aabb;
         out.clear();
         if self.bounds.is_empty() {
@@ -671,7 +696,9 @@ pub fn generate_reference(
         real,
         ghost_recv,
         ghost_sent,
-        comm: CommMatrix { entries: comm_entries },
+        comm: CommMatrix {
+            entries: comm_entries,
+        },
         bin_counts,
     })
 }
@@ -785,7 +812,10 @@ mod tests {
             let cfg = WorkloadConfig::new(ranks, MappingAlgorithm::BinBased, 1e-4);
             let w = generate(&tr, &cfg).unwrap();
             let peak = w.peak_workload();
-            assert!(peak <= prev_peak, "ranks={ranks} peak={peak} prev={prev_peak}");
+            assert!(
+                peak <= prev_peak,
+                "ranks={ranks} peak={peak} prev={prev_peak}"
+            );
             prev_peak = peak;
         }
     }
@@ -796,8 +826,16 @@ mod tests {
         // the bin cap leaves the peak unchanged.
         let tr = make_trace(800, 3, 0.02, 6);
         let coarse = 0.2; // few bins possible
-        let w_small = generate(&tr, &WorkloadConfig::new(32, MappingAlgorithm::BinBased, coarse)).unwrap();
-        let w_large = generate(&tr, &WorkloadConfig::new(256, MappingAlgorithm::BinBased, coarse)).unwrap();
+        let w_small = generate(
+            &tr,
+            &WorkloadConfig::new(32, MappingAlgorithm::BinBased, coarse),
+        )
+        .unwrap();
+        let w_large = generate(
+            &tr,
+            &WorkloadConfig::new(256, MappingAlgorithm::BinBased, coarse),
+        )
+        .unwrap();
         let bins_small = w_small.max_bin_count().unwrap();
         let bins_large = w_large.max_bin_count().unwrap();
         assert_eq!(bins_small, bins_large, "bin cap must not depend on R");
@@ -810,7 +848,10 @@ mod tests {
         let tr = make_trace(2000, 5, 0.08, 7);
         let series = unbounded_bin_series(&tr, 0.1).unwrap();
         assert_eq!(series.len(), 5);
-        assert!(series.last().unwrap() > series.first().unwrap(), "{series:?}");
+        assert!(
+            series.last().unwrap() > series.first().unwrap(),
+            "{series:?}"
+        );
     }
 
     #[test]
@@ -820,11 +861,16 @@ mod tests {
         let total_at = |filter: f64| {
             let cfg = WorkloadConfig::new(8, MappingAlgorithm::ElementBased, filter);
             let w = generate_with_mesh(&tr, &cfg, Some(&m)).unwrap();
-            (0..w.samples()).map(|t| w.ghost_recv.sample_total(t)).sum::<u64>()
+            (0..w.samples())
+                .map(|t| w.ghost_recv.sample_total(t))
+                .sum::<u64>()
         };
         let small = total_at(0.01);
         let large = total_at(0.15);
-        assert!(large > small, "filter 0.15 ghosts {large} vs 0.01 ghosts {small}");
+        assert!(
+            large > small,
+            "filter 0.15 ghosts {large} vs 0.01 ghosts {small}"
+        );
     }
 
     #[test]
@@ -844,7 +890,12 @@ mod tests {
     #[test]
     fn zero_ranks_is_error() {
         let tr = make_trace(10, 1, 0.0, 10);
-        let cfg = WorkloadConfig { ranks: 0, mapping: MappingAlgorithm::BinBased, projection_filter: 0.1, compute_ghosts: false };
+        let cfg = WorkloadConfig {
+            ranks: 0,
+            mapping: MappingAlgorithm::BinBased,
+            projection_filter: 0.1,
+            compute_ghosts: false,
+        };
         assert!(generate(&tr, &cfg).is_err());
     }
 
@@ -855,7 +906,10 @@ mod tests {
         let tr = make_trace(400, 5, 0.05, 21);
         let in_memory = generate_with_mesh(&tr, cfg, mesh).unwrap();
         let reference = generate_reference(&tr, cfg, mesh).unwrap();
-        assert_eq!(in_memory, reference, "parallel path diverged from sequential");
+        assert_eq!(
+            in_memory, reference,
+            "parallel path diverged from sequential"
+        );
         let bytes = encode_trace(&tr, Precision::F64).unwrap();
         let reader = pic_trace::TraceReader::new(&bytes[..]).unwrap();
         let streamed = generate_streaming(reader, cfg, mesh).unwrap();

@@ -79,7 +79,11 @@ fn heat_color(v: f64) -> (u32, u32, u32) {
         let f = seg - 2.0;
         (1.0, 1.0 - f, 0.0)
     };
-    ((r * 255.0).round() as u32, (g * 255.0).round() as u32, (b * 255.0).round() as u32)
+    (
+        (r * 255.0).round() as u32,
+        (g * 255.0).round() as u32,
+        (b * 255.0).round() as u32,
+    )
 }
 
 /// Write a rendered heat map to a file.
@@ -108,11 +112,19 @@ mod tests {
         assert_eq!(lines.next(), Some("2 2")); // samples x ranks
         assert_eq!(lines.next(), Some("255"));
         // rank 0 row: counts 0 then 2 → 0 and 128 (normalized by peak 4)
-        let row0: Vec<u32> =
-            lines.next().unwrap().split_whitespace().map(|v| v.parse().unwrap()).collect();
+        let row0: Vec<u32> = lines
+            .next()
+            .unwrap()
+            .split_whitespace()
+            .map(|v| v.parse().unwrap())
+            .collect();
         assert_eq!(row0, vec![0, 128]);
-        let row1: Vec<u32> =
-            lines.next().unwrap().split_whitespace().map(|v| v.parse().unwrap()).collect();
+        let row1: Vec<u32> = lines
+            .next()
+            .unwrap()
+            .split_whitespace()
+            .map(|v| v.parse().unwrap())
+            .collect();
         assert_eq!(row1, vec![255, 255]);
     }
 
@@ -123,8 +135,12 @@ mod tests {
         lines.next();
         assert_eq!(lines.next(), Some("6 6"));
         lines.next();
-        let row: Vec<u32> =
-            lines.next().unwrap().split_whitespace().map(|v| v.parse().unwrap()).collect();
+        let row: Vec<u32> = lines
+            .next()
+            .unwrap()
+            .split_whitespace()
+            .map(|v| v.parse().unwrap())
+            .collect();
         assert_eq!(row, vec![0, 0, 0, 128, 128, 128]);
         // 6 pixel rows total
         assert_eq!(s.lines().count(), 3 + 6);

@@ -20,6 +20,7 @@
 //! studies. Sample processing is embarrassingly parallel and runs on all
 //! cores via rayon.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod comm_stats;
@@ -29,7 +30,6 @@ pub mod matrices;
 pub mod metrics;
 
 pub use generator::{
-    generate_streaming, generate_streaming_with_stats, DynamicWorkload, IngestStats,
-    WorkloadConfig,
+    generate_streaming, generate_streaming_with_stats, DynamicWorkload, IngestStats, WorkloadConfig,
 };
 pub use matrices::{migration_pairs, CommMatrix, CompMatrix};

@@ -19,7 +19,10 @@ pub struct CompMatrix {
 impl CompMatrix {
     /// An empty matrix for `ranks` processors.
     pub fn new(ranks: usize) -> CompMatrix {
-        CompMatrix { ranks, data: Vec::new() }
+        CompMatrix {
+            ranks,
+            data: Vec::new(),
+        }
     }
 
     /// Build directly from per-sample count rows.
@@ -110,7 +113,9 @@ pub struct CommMatrix {
 impl CommMatrix {
     /// A matrix with one (empty) slot per sample.
     pub fn with_samples(t: usize) -> CommMatrix {
-        CommMatrix { entries: vec![Vec::new(); t] }
+        CommMatrix {
+            entries: vec![Vec::new(); t],
+        }
     }
 
     /// The paper's `P_comm[i][j][k]`: particles moving from `from` to `to`

@@ -43,8 +43,7 @@ fn stream_with_watchdog(
 ) -> pic_types::Result<pic_workload::DynamicWorkload> {
     let (tx, rx) = mpsc::channel();
     std::thread::spawn(move || {
-        let result =
-            TraceReader::new(&bytes[..]).and_then(|r| generate_streaming(r, &cfg(), None));
+        let result = TraceReader::new(&bytes[..]).and_then(|r| generate_streaming(r, &cfg(), None));
         // The watchdog may have given up; a dead receiver is fine.
         let _ = tx.send(result);
     });
@@ -53,10 +52,17 @@ fn stream_with_watchdog(
 }
 
 fn assert_positioned(err: &PicError, label: &str) {
-    let details =
-        err.trace_details().unwrap_or_else(|| panic!("{label}: unstructured error: {err}"));
-    assert!(details.offset.is_some(), "{label}: error without byte offset: {err}");
-    assert!(err.to_string().contains("at byte"), "{label}: display misses offset: {err}");
+    let details = err
+        .trace_details()
+        .unwrap_or_else(|| panic!("{label}: unstructured error: {err}"));
+    assert!(
+        details.offset.is_some(),
+        "{label}: error without byte offset: {err}"
+    );
+    assert!(
+        err.to_string().contains("at byte"),
+        "{label}: display misses offset: {err}"
+    );
 }
 
 #[test]
@@ -98,7 +104,10 @@ fn hard_io_fault_mid_stream_propagates_with_workers_joined() {
     assert_positioned(&err, "hard fault");
     let details = err.trace_details().unwrap();
     assert_eq!(details.kind, TraceErrorKind::Io, "{err}");
-    assert_eq!(details.source.as_ref().unwrap().kind(), std::io::ErrorKind::BrokenPipe);
+    assert_eq!(
+        details.source.as_ref().unwrap().kind(),
+        std::io::ErrorKind::BrokenPipe
+    );
 }
 
 #[test]
@@ -110,7 +119,10 @@ fn truncating_reader_mid_frame_is_a_positioned_error() {
     let reader = TraceReader::new(TruncateAt::new(&bytes[..], cut)).unwrap();
     let err = generate_streaming(reader, &cfg(), None).unwrap_err();
     assert_positioned(&err, "mid-frame truncation");
-    assert_eq!(err.trace_details().unwrap().kind, TraceErrorKind::TruncatedFrame);
+    assert_eq!(
+        err.trace_details().unwrap().kind,
+        TraceErrorKind::TruncatedFrame
+    );
 }
 
 #[test]
@@ -123,7 +135,10 @@ fn clean_stream_reports_accurate_ingest_stats() {
     assert_eq!(stats.frames_decoded, 6);
     assert_eq!(stats.bytes_read, bytes.len() as u64);
     assert!(stats.decode_seconds >= 0.0);
-    assert!(stats.ghost_seconds > 0.0, "ghost kernel ran, timer stayed zero");
+    assert!(
+        stats.ghost_seconds > 0.0,
+        "ghost kernel ran, timer stayed zero"
+    );
     assert!(stats.merge_seconds >= 0.0);
 }
 

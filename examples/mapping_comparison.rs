@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for alg in algorithms {
         print!("  {:<18}", alg.to_string());
         for r in rank_counts {
-            let e = evals.iter().find(|e| e.mapping == alg && e.ranks == r).unwrap();
+            let e = evals
+                .iter()
+                .find(|e| e.mapping == alg && e.ranks == r)
+                .unwrap();
             print!("{:>10}", e.peak_workload);
         }
         println!();
@@ -72,7 +75,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for alg in algorithms {
         print!("  {:<18}", alg.to_string());
         for r in rank_counts {
-            let e = evals.iter().find(|e| e.mapping == alg && e.ranks == r).unwrap();
+            let e = evals
+                .iter()
+                .find(|e| e.mapping == alg && e.ranks == r)
+                .unwrap();
             print!("{:>9.1}%", 100.0 * e.resource_utilization);
         }
         println!();

@@ -28,12 +28,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("== dynamic workload (generated from the trace alone) ==");
-    println!("  peak particles on any rank: {}", out.workload.peak_workload());
+    println!(
+        "  peak particles on any rank: {}",
+        out.workload.peak_workload()
+    );
     println!(
         "  resource utilization:       {:.1}%",
         100.0 * pic_workload::metrics::resource_utilization(&out.workload.real)
     );
-    println!("  total migrated particles:   {}", out.workload.comm.total());
+    println!(
+        "  total migrated particles:   {}",
+        out.workload.comm.total()
+    );
     if let Some(bins) = out.workload.max_bin_count() {
         println!("  max particle bins:          {bins}");
     }
@@ -52,11 +58,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("== system-level prediction on {} ==", machine.name);
-    println!("  predicted application time: {:.4} s", out.timeline.total_seconds);
+    println!(
+        "  predicted application time: {:.4} s",
+        out.timeline.total_seconds
+    );
     println!(
         "  mean rank idle fraction:    {:.1}%",
         100.0 * out.timeline.mean_idle_fraction()
     );
-    println!("  discrete events processed:  {}", out.timeline.events_processed);
+    println!(
+        "  discrete events processed:  {}",
+        out.timeline.events_processed
+    );
     Ok(())
 }

@@ -29,30 +29,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     // The "expensive" reference run, 8x the particles (at real scale this
     // is the run you could NOT afford — here we run it to validate).
-    let big_cfg = SimConfig { particles: 12_000, ..small_cfg.clone() };
+    let big_cfg = SimConfig {
+        particles: 12_000,
+        ..small_cfg.clone()
+    };
 
-    println!("running the cheap {}-particle trace collection...", small_cfg.particles);
+    println!(
+        "running the cheap {}-particle trace collection...",
+        small_cfg.particles
+    );
     let small = MiniPic::new(small_cfg.clone())?.run()?;
-    println!("running the expensive {}-particle reference...", big_cfg.particles);
+    println!(
+        "running the expensive {}-particle reference...",
+        big_cfg.particles
+    );
     let reference = MiniPic::new(big_cfg.clone())?.run()?;
 
-    println!("\nextrapolating {} -> {} particles...", small_cfg.particles, big_cfg.particles);
+    println!(
+        "\nextrapolating {} -> {} particles...",
+        small_cfg.particles, big_cfg.particles
+    );
     let synthetic = extrapolate(&small.trace, big_cfg.particles, 42)?;
 
     println!(
         "trace sizes (f32): small {} kB, extrapolated {} kB (collection cost ratio ~{}x)",
-        estimated_file_size(small_cfg.particles, small.trace.sample_count(), Precision::F32) / 1024,
+        estimated_file_size(
+            small_cfg.particles,
+            small.trace.sample_count(),
+            Precision::F32
+        ) / 1024,
         estimated_file_size(big_cfg.particles, synthetic.sample_count(), Precision::F32) / 1024,
         big_cfg.particles / small_cfg.particles
     );
 
     println!("\ndensity similarity to the real full-scale trace (total variation, 0 = identical):");
-    for t in [0, synthetic.sample_count() / 2, synthetic.sample_count() - 1] {
+    for t in [
+        0,
+        synthetic.sample_count() / 2,
+        synthetic.sample_count() - 1,
+    ] {
         let d_synth = density_distance(&reference.trace, &synthetic, t, 4);
         let d_small = density_distance(&reference.trace, &small.trace, t, 4);
-        println!(
-            "  sample {t:>2}: extrapolated {d_synth:.3} (small source itself: {d_small:.3})"
-        );
+        println!("  sample {t:>2}: extrapolated {d_synth:.3} (small source itself: {d_small:.3})");
     }
 
     // Element-based mapping is the discriminating test: its workload is a
@@ -60,11 +78,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // right (bin-based would balance ANY density perfectly).
     println!("\nworkload predictions at R=64 (element-based), peak particles per rank:");
     let mesh = pic_grid::ElementMesh::new(small_cfg.domain, small_cfg.mesh_dims, small_cfg.order)?;
-    let wcfg =
-        WorkloadConfig::new(64, MappingAlgorithm::ElementBased, small_cfg.projection_filter);
+    let wcfg = WorkloadConfig::new(
+        64,
+        MappingAlgorithm::ElementBased,
+        small_cfg.projection_filter,
+    );
     let w_ref = generator::generate_with_mesh(&reference.trace, &wcfg, Some(&mesh))?;
     let w_syn = generator::generate_with_mesh(&synthetic, &wcfg, Some(&mesh))?;
-    println!("  {:<14}{:>12}{:>16}", "sample", "reference", "extrapolated");
+    println!(
+        "  {:<14}{:>12}{:>16}",
+        "sample", "reference", "extrapolated"
+    );
     for t in 0..w_ref.samples() {
         println!(
             "  {:<14}{:>12}{:>16}",
@@ -75,16 +99,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let ru_ref = metrics::resource_utilization(&w_ref.real);
     let ru_syn = metrics::resource_utilization(&w_syn.real);
-    println!("\n  utilization: reference {:.1}%, extrapolated {:.1}%", 100.0 * ru_ref, 100.0 * ru_syn);
+    println!(
+        "\n  utilization: reference {:.1}%, extrapolated {:.1}%",
+        100.0 * ru_ref,
+        100.0 * ru_syn
+    );
 
     let peak_err = {
         let a: Vec<f64> = w_syn.real.peak_series().iter().map(|&v| v as f64).collect();
         let b: Vec<f64> = w_ref.real.peak_series().iter().map(|&v| v as f64).collect();
         pic_types::stats::mape(&a, &b)
     };
-    println!(
-        "  peak-workload MAPE of the extrapolated trace vs the real one: {peak_err:.1}%"
-    );
+    println!("  peak-workload MAPE of the extrapolated trace vs the real one: {peak_err:.1}%");
     println!(
         "\n=> a {}x cheaper collection run predicts full-scale workload within ~{:.0}%",
         big_cfg.particles / small_cfg.particles,

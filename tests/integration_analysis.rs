@@ -1,0 +1,108 @@
+//! Golden-corpus sweep for the static verification layer.
+//!
+//! Every fixture under `tests/fixtures/analysis/good/` must pass the
+//! corresponding checker; every fixture under `bad/` must be rejected with
+//! at least one positioned diagnostic. The corpus is committed and
+//! regenerated with `cargo run --example gen_analysis_fixtures`.
+
+use pic_predict::KernelModels;
+use pic_workload::DynamicWorkload;
+use std::path::{Path, PathBuf};
+
+/// Every workload fixture is generated from a 40-particle trace.
+const FIXTURE_PARTICLES: u64 = 40;
+
+fn corpus_dir(kind: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures/analysis")
+        .join(kind)
+}
+
+fn fixtures(kind: &str, prefix: &str) -> Vec<PathBuf> {
+    let dir = corpus_dir(kind);
+    let mut out: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {} missing: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with(prefix))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn good_workload_fixtures_are_clean() {
+    let paths = fixtures("good", "workload_");
+    assert!(!paths.is_empty(), "no good workload fixtures committed");
+    for path in paths {
+        let w: DynamicWorkload = serde_json::from_str(&read(&path)).unwrap();
+        let violations = pic_analysis::check_workload(&w, Some(FIXTURE_PARTICLES));
+        assert!(
+            violations.is_empty(),
+            "{}: {:?}",
+            path.display(),
+            violations
+        );
+    }
+}
+
+#[test]
+fn bad_workload_fixtures_all_produce_positioned_violations() {
+    let paths = fixtures("bad", "workload_");
+    assert!(
+        paths.len() >= 8,
+        "expected one bad fixture per corruption class, got {paths:?}"
+    );
+    for path in paths {
+        let w: DynamicWorkload = serde_json::from_str(&read(&path)).unwrap();
+        let violations = pic_analysis::check_workload(&w, Some(FIXTURE_PARTICLES));
+        assert!(!violations.is_empty(), "{} slipped through", path.display());
+        // the fixture file name encodes the expected violation class
+        let stem = path
+            .file_stem()
+            .unwrap()
+            .to_string_lossy()
+            .replace('_', "-");
+        assert!(
+            violations.iter().any(|v| stem.contains(v.code)),
+            "{}: expected a code matching the file name, got {:?}",
+            path.display(),
+            violations
+        );
+    }
+}
+
+#[test]
+fn good_model_fixtures_load_through_admission() {
+    let paths = fixtures("good", "models_");
+    assert!(
+        paths.len() >= 2,
+        "expected linear + symbolic model fixtures"
+    );
+    for path in paths {
+        let models = KernelModels::from_json(&read(&path))
+            .unwrap_or_else(|e| panic!("{} rejected: {e}", path.display()));
+        assert!(!models.models().is_empty());
+    }
+}
+
+#[test]
+fn bad_model_fixtures_are_rejected_at_load() {
+    let paths = fixtures("bad", "models_");
+    assert!(paths.len() >= 2, "expected corrupted model fixtures");
+    for path in paths {
+        let err = KernelModels::from_json(&read(&path))
+            .expect_err(&format!("{} loaded despite corruption", path.display()));
+        let msg = err.to_string();
+        assert!(
+            msg.contains("kernel"),
+            "diagnostic should name the kernel: {msg}"
+        );
+    }
+}

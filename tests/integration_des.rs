@@ -78,10 +78,17 @@ fn predicted_particle_solver_time_saturates_at_the_bin_cap() {
         let wcfg = WorkloadConfig::new(ranks, base.mapping, base.projection_filter);
         let w = generator::generate(&out.sim.trace, &wcfg).unwrap();
         let elements = vec![0u32; ranks]; // particle solver only
-        let pred =
-            predict_kernel_seconds(&w, &out.models, &elements, base.order, base.projection_filter);
+        let pred = predict_kernel_seconds(
+            &w,
+            &out.models,
+            &elements,
+            base.order,
+            base.projection_filter,
+        );
         let schedule = build_schedule(&w, &pred, base.sample_interval as u32, 80);
-        simulate(&schedule, &machine, SyncMode::BulkSynchronous).unwrap().total_seconds
+        simulate(&schedule, &machine, SyncMode::BulkSynchronous)
+            .unwrap()
+            .total_seconds
     };
 
     let below = time_at((cap / 2).max(1));
@@ -142,7 +149,11 @@ fn blind_prediction_at_scale_beyond_the_app_run() {
     );
     for machine in [MachineSpec::quartz_like(), MachineSpec::vulcan_like()] {
         let t = simulate(&schedule, &machine, SyncMode::BulkSynchronous).unwrap();
-        assert!(t.total_seconds.is_finite() && t.total_seconds > 0.0, "{}", machine.name);
+        assert!(
+            t.total_seconds.is_finite() && t.total_seconds > 0.0,
+            "{}",
+            machine.name
+        );
     }
 }
 
@@ -158,7 +169,12 @@ fn des_events_scale_with_schedule_size() {
     );
     let machine = MachineSpec::quartz_like();
     let full = simulate(&schedule, &machine, SyncMode::NeighborSync).unwrap();
-    let half = simulate(&schedule[..schedule.len() / 2], &machine, SyncMode::NeighborSync).unwrap();
+    let half = simulate(
+        &schedule[..schedule.len() / 2],
+        &machine,
+        SyncMode::NeighborSync,
+    )
+    .unwrap();
     assert!(full.events_processed > half.events_processed);
     assert!(full.total_seconds >= half.total_seconds);
 }

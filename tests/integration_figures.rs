@@ -74,7 +74,10 @@ fn fig5_peak_workload_flat_then_dips() {
     .unwrap();
     // early samples: bed is tiny, few bins possible → identical peaks
     let first: Vec<u32> = pts.iter().map(|p| p.peak_series[0]).collect();
-    assert!(first.windows(2).all(|w| w[0] == w[1]), "early peaks {first:?}");
+    assert!(
+        first.windows(2).all(|w| w[0] == w[1]),
+        "early peaks {first:?}"
+    );
     // late samples: the expanded bed supports more bins → more ranks help
     let last: Vec<u32> = pts.iter().map(|p| *p.peak_series.last().unwrap()).collect();
     assert!(
@@ -118,7 +121,11 @@ fn fig7_kernel_mape_in_paper_regime_across_rank_counts() {
         let out = run_case_study(&cfg, &MachineSpec::quartz_like(), &FitStrategy::Linear).unwrap();
         let avg = out.mean_kernel_mape();
         assert!(avg > 1.0 && avg < 15.0, "ranks {ranks}: avg MAPE {avg}");
-        assert!(out.peak_kernel_mape() < 45.0, "ranks {ranks}: peak {}", out.peak_kernel_mape());
+        assert!(
+            out.peak_kernel_mape() < 45.0,
+            "ranks {ranks}: peak {}",
+            out.peak_kernel_mape()
+        );
     }
 }
 
@@ -136,8 +143,13 @@ fn fig8_bin_mapping_peak_is_far_below_element_mapping() {
         &[MappingAlgorithm::ElementBased, MappingAlgorithm::BinBased],
     )
     .unwrap();
-    let peak =
-        |m: MappingAlgorithm, r: usize| evals.iter().find(|e| e.mapping == m && e.ranks == r).unwrap().peak_workload;
+    let peak = |m: MappingAlgorithm, r: usize| {
+        evals
+            .iter()
+            .find(|e| e.mapping == m && e.ranks == r)
+            .unwrap()
+            .peak_workload
+    };
     // At mini scale (64 elements instead of the paper's 216k) the gap is
     // ~one order of magnitude rather than two; the figures binary shows the
     // gap widening with problem scale.
@@ -171,8 +183,16 @@ fn fig9_utilization_gap_between_mappings() {
     // Mini-scale proxy for the paper's 56 % vs 0.68 %: the element-mapped
     // run never activates most ranks even after dispersal, bin-based
     // activates essentially all of them.
-    assert!(el.resource_utilization < 0.5, "element RU {}", el.resource_utilization);
-    assert!(bin.resource_utilization > 0.9, "bin RU {}", bin.resource_utilization);
+    assert!(
+        el.resource_utilization < 0.5,
+        "element RU {}",
+        el.resource_utilization
+    );
+    assert!(
+        bin.resource_utilization > 0.9,
+        "bin RU {}",
+        bin.resource_utilization
+    );
     assert!(bin.resource_utilization > 2.0 * el.resource_utilization);
     assert!(bin.active_ranks > el.active_ranks);
 
@@ -227,7 +247,5 @@ fn fig10_filter_tradeoff() {
     assert!(pts.first().unwrap().max_bins > pts.last().unwrap().max_bins);
     // 10b: ghost totals and predicted ghost-kernel time increase overall
     assert!(pts.last().unwrap().total_ghosts > pts.first().unwrap().total_ghosts);
-    assert!(
-        pts.last().unwrap().ghost_kernel_seconds > pts.first().unwrap().ghost_kernel_seconds
-    );
+    assert!(pts.last().unwrap().ghost_kernel_seconds > pts.first().unwrap().ghost_kernel_seconds);
 }

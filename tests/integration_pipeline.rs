@@ -63,8 +63,12 @@ fn models_fitted_on_one_run_transfer_to_another_seed() {
     let mut cfg_b = base_cfg();
     cfg_b.seed = 222;
     let app_b = MiniPic::new(cfg_b.clone()).unwrap();
-    let elements: Vec<u32> =
-        app_b.decomposition().element_counts().iter().map(|&c| c as u32).collect();
+    let elements: Vec<u32> = app_b
+        .decomposition()
+        .element_counts()
+        .iter()
+        .map(|&c| c as u32)
+        .collect();
     let sim_b = app_b.run().unwrap();
     let wcfg =
         pic_workload::WorkloadConfig::new(cfg_b.ranks, cfg_b.mapping, cfg_b.projection_filter);

@@ -135,7 +135,11 @@ fn subsampled_trace_is_a_subset_of_the_full_workload() {
 
 #[test]
 fn ghost_aggregates_balance_across_every_sample() {
-    let cfg = cfg(MappingAlgorithm::ElementBased, ScenarioKind::UniformCloud, 27);
+    let cfg = cfg(
+        MappingAlgorithm::ElementBased,
+        ScenarioKind::UniformCloud,
+        27,
+    );
     let mesh = mesh_of(&cfg);
     let out = MiniPic::new(cfg.clone()).unwrap().run().unwrap();
     let wcfg = WorkloadConfig::new(cfg.ranks, cfg.mapping, cfg.projection_filter);

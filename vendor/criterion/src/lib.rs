@@ -79,12 +79,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Function name plus parameter value.
     pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
-        BenchmarkId { full: format!("{function}/{parameter}") }
+        BenchmarkId {
+            full: format!("{function}/{parameter}"),
+        }
     }
 
     /// Parameter-only identifier.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
-        BenchmarkId { full: parameter.to_string() }
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
     }
 }
 
@@ -102,7 +106,9 @@ impl From<String> for BenchmarkId {
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> BenchmarkId {
-        BenchmarkId { full: s.to_string() }
+        BenchmarkId {
+            full: s.to_string(),
+        }
     }
 }
 
@@ -149,8 +155,12 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Run a benchmark that borrows an input value.
-    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F)
-    where
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) where
         F: FnMut(&mut Bencher, &I),
     {
         let id: BenchmarkId = id.into();
@@ -200,8 +210,8 @@ impl Bencher {
         let t0 = Instant::now();
         black_box(f());
         let once = t0.elapsed().max(Duration::from_nanos(50));
-        let iters = (Duration::from_millis(20).as_nanos() / once.as_nanos()).clamp(1, 1_000_000)
-            as usize;
+        let iters =
+            (Duration::from_millis(20).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as usize;
         self.samples.clear();
         for _ in 0..self.sample_size {
             let t = Instant::now();

@@ -17,7 +17,9 @@ pub mod channel {
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Sender { inner: self.inner.clone() }
+            Sender {
+                inner: self.inner.clone(),
+            }
         }
     }
 
@@ -28,7 +30,9 @@ pub mod channel {
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
-            Receiver { inner: Arc::clone(&self.inner) }
+            Receiver {
+                inner: Arc::clone(&self.inner),
+            }
         }
     }
 
@@ -58,7 +62,9 @@ pub mod channel {
         /// Block until the value is queued; errors if all receivers
         /// dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            self.inner.send(value).map_err(|mpsc::SendError(v)| SendError(v))
+            self.inner
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
         }
     }
 
@@ -92,7 +98,12 @@ pub mod channel {
     /// full.
     pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let (tx, rx) = mpsc::sync_channel(cap.max(1));
-        (Sender { inner: tx }, Receiver { inner: Arc::new(Mutex::new(rx)) })
+        (
+            Sender { inner: tx },
+            Receiver {
+                inner: Arc::new(Mutex::new(rx)),
+            },
+        )
     }
 
     /// Channel with a large fixed capacity standing in for unbounded.

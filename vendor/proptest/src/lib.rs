@@ -114,7 +114,11 @@ pub trait Strategy: Clone {
     where
         F: Fn(&Self::Value) -> bool + Clone,
     {
-        FilterStrategy { inner: self, pred, whence }
+        FilterStrategy {
+            inner: self,
+            pred,
+            whence,
+        }
     }
 
     /// Recursive strategy: `self` is the leaf; `branch` builds a
@@ -188,7 +192,9 @@ struct OneOf<T> {
 
 impl<T> Clone for OneOf<T> {
     fn clone(&self) -> Self {
-        OneOf { options: self.options.clone() }
+        OneOf {
+            options: self.options.clone(),
+        }
     }
 }
 
@@ -221,9 +227,7 @@ pub struct FlatMapStrategy<S, F> {
     f: F,
 }
 
-impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2 + Clone> Strategy
-    for FlatMapStrategy<S, F>
-{
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2 + Clone> Strategy for FlatMapStrategy<S, F> {
     type Value = S2::Value;
     fn generate(&self, rng: &mut TestRng) -> S2::Value {
         (self.f)(self.inner.generate(rng)).generate(rng)
@@ -247,7 +251,10 @@ impl<S: Strategy, F: Fn(&S::Value) -> bool + Clone> Strategy for FilterStrategy<
                 return v;
             }
         }
-        panic!("prop_filter `{}`: gave up after 100 rejected draws", self.whence);
+        panic!(
+            "prop_filter `{}`: gave up after 100 rejected draws",
+            self.whence
+        );
     }
 }
 
@@ -356,7 +363,9 @@ impl Strategy for Any<bool> {
 impl Arbitrary for bool {
     type Strategy = Any<bool>;
     fn arbitrary() -> Any<bool> {
-        Any { _marker: std::marker::PhantomData }
+        Any {
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 
@@ -375,7 +384,9 @@ impl Strategy for Any<f64> {
 impl Arbitrary for f64 {
     type Strategy = Any<f64>;
     fn arbitrary() -> Any<f64> {
-        Any { _marker: std::marker::PhantomData }
+        Any {
+            _marker: std::marker::PhantomData,
+        }
     }
 }
 
@@ -405,18 +416,27 @@ pub mod collection {
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> SizeRange {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { lo: r.start, hi: r.end - 1 }
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
         }
     }
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(r: RangeInclusive<usize>) -> SizeRange {
-            SizeRange { lo: *r.start(), hi: *r.end() }
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
         }
     }
 
     /// Strategy for `Vec<T>` with length drawn from `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     /// Strategy type produced by [`vec`].

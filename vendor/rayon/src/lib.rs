@@ -33,7 +33,9 @@ thread_local! {
 }
 
 fn machine_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }
 
 /// Current thread budget (defaults to the core count).
@@ -78,7 +80,9 @@ fn drive<S: Source>(src: &S) -> Vec<S::Item> {
             let span = start..start + len;
             start += len;
             handles.push(scope.spawn(move || {
-                with_budget(child_budget, || span.map(|i| src.get(i)).collect::<Vec<_>>())
+                with_budget(child_budget, || {
+                    span.map(|i| src.get(i)).collect::<Vec<_>>()
+                })
             }));
         }
         for h in handles {
@@ -189,7 +193,12 @@ pub trait ParallelIterator: Sized {
         R: Send,
         F: Fn(<Self::Src as Source>::Item) -> R + Sync,
     {
-        ParIter { src: MapSource { inner: self.into_source(), f } }
+        ParIter {
+            src: MapSource {
+                inner: self.into_source(),
+                f,
+            },
+        }
     }
 
     /// Evaluate in parallel, preserving input order.
@@ -208,7 +217,13 @@ pub trait ParallelIterator: Sized {
     where
         F: Fn(<Self::Src as Source>::Item) + Sync,
     {
-        let _: Vec<()> = ParIter { src: MapSource { inner: self.into_source(), f } }.collect();
+        let _: Vec<()> = ParIter {
+            src: MapSource {
+                inner: self.into_source(),
+                f,
+            },
+        }
+        .collect();
     }
 
     /// Parallel sum.
@@ -238,14 +253,18 @@ pub trait IntoParallelRefIterator<'a> {
 impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
     type Iter = ParIter<SliceSource<'a, T>>;
     fn par_iter(&'a self) -> Self::Iter {
-        ParIter { src: SliceSource { slice: self } }
+        ParIter {
+            src: SliceSource { slice: self },
+        }
     }
 }
 
 impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     type Iter = ParIter<SliceSource<'a, T>>;
     fn par_iter(&'a self) -> Self::Iter {
-        ParIter { src: SliceSource { slice: self } }
+        ParIter {
+            src: SliceSource { slice: self },
+        }
     }
 }
 
@@ -260,7 +279,12 @@ pub trait IntoParallelIterator {
 impl IntoParallelIterator for std::ops::Range<usize> {
     type Iter = ParIter<RangeSource>;
     fn into_par_iter(self) -> Self::Iter {
-        ParIter { src: RangeSource { start: self.start, len: self.end.saturating_sub(self.start) } }
+        ParIter {
+            src: RangeSource {
+                start: self.start,
+                len: self.end.saturating_sub(self.start),
+            },
+        }
     }
 }
 
@@ -273,7 +297,12 @@ pub trait ParallelSlice<T: Sync> {
 impl<T: Sync> ParallelSlice<T> for [T] {
     fn par_chunks(&self, n: usize) -> ParIter<ChunkSource<'_, T>> {
         assert!(n > 0, "chunk size must be non-zero");
-        ParIter { src: ChunkSource { slice: self, chunk: n } }
+        ParIter {
+            src: ChunkSource {
+                slice: self,
+                chunk: n,
+            },
+        }
     }
 }
 
@@ -318,7 +347,9 @@ impl ThreadPoolBuilder {
 
     /// Build the pool.
     pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        Ok(ThreadPool { num_threads: self.num_threads.unwrap_or_else(machine_threads) })
+        Ok(ThreadPool {
+            num_threads: self.num_threads.unwrap_or_else(machine_threads),
+        })
     }
 }
 
@@ -363,7 +394,10 @@ mod tests {
     #[test]
     fn par_chunks_cover_everything() {
         let v: Vec<u32> = (0..1000).collect();
-        let sums: Vec<u64> = v.par_chunks(64).map(|c| c.iter().map(|&x| x as u64).sum()).collect();
+        let sums: Vec<u64> = v
+            .par_chunks(64)
+            .map(|c| c.iter().map(|&x| x as u64).sum())
+            .collect();
         assert_eq!(sums.len(), 1000usize.div_ceil(64));
         assert_eq!(sums.iter().sum::<u64>(), (0..1000u64).sum());
     }

@@ -86,7 +86,8 @@ impl Value {
         match self {
             Value::Int(i) => Some(*i),
             Value::UInt(u) if *u <= i64::MAX as u64 => Some(*u as i64),
-            Value::Float(f) if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 =>
+            Value::Float(f)
+                if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 =>
             {
                 Some(*f as i64)
             }
@@ -183,7 +184,8 @@ impl Serialize for f64 {
 }
 impl Deserialize for f64 {
     fn deserialize(v: &Value) -> Result<Self, Error> {
-        v.as_f64().ok_or_else(|| Error::custom(format!("expected number, got {v:?}")))
+        v.as_f64()
+            .ok_or_else(|| Error::custom(format!("expected number, got {v:?}")))
     }
 }
 
@@ -194,7 +196,9 @@ impl Serialize for f32 {
 }
 impl Deserialize for f32 {
     fn deserialize(v: &Value) -> Result<Self, Error> {
-        v.as_f64().map(|f| f as f32).ok_or_else(|| Error::custom("expected number"))
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::custom("expected number"))
     }
 }
 
@@ -216,7 +220,9 @@ impl Serialize for String {
 }
 impl Deserialize for String {
     fn deserialize(v: &Value) -> Result<Self, Error> {
-        v.as_str().map(str::to_string).ok_or_else(|| Error::custom("expected string"))
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::custom("expected string"))
     }
 }
 
@@ -347,7 +353,11 @@ where
     K: fmt::Display,
 {
     fn serialize(&self) -> Value {
-        Value::Map(self.iter().map(|(k, v)| (k.to_string(), v.serialize())).collect())
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.serialize()))
+                .collect(),
+        )
     }
 }
 

@@ -51,13 +51,17 @@ struct Input {
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
-    gen_serialize(&parsed).parse().expect("serde_derive: generated Serialize impl must parse")
+    gen_serialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Serialize impl must parse")
 }
 
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let parsed = parse_input(input);
-    gen_deserialize(&parsed).parse().expect("serde_derive: generated Deserialize impl must parse")
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl must parse")
 }
 
 // ---------------------------------------------------------------- parsing
@@ -181,7 +185,9 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         let name = expect_ident(&toks, &mut i);
         match toks.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
-            other => panic!("serde_derive (vendored): expected `:` after field `{name}`, found {other:?}"),
+            other => panic!(
+                "serde_derive (vendored): expected `:` after field `{name}`, found {other:?}"
+            ),
         }
         // Skip the type: consume until a comma at angle-bracket depth 0.
         let mut angle = 0i32;
@@ -197,7 +203,10 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         if i < toks.len() {
             i += 1; // consume comma
         }
-        fields.push(Field { name, default: attrs.default });
+        fields.push(Field {
+            name,
+            default: attrs.default,
+        });
     }
     fields
 }
@@ -234,7 +243,11 @@ fn parse_enum_body(toks: &[TokenTree], i: &mut usize) -> Vec<Variant> {
     let Some(TokenTree::Group(g)) = toks.get(*i) else {
         panic!("serde_derive (vendored): malformed enum body");
     };
-    assert_eq!(g.delimiter(), Delimiter::Brace, "serde_derive (vendored): malformed enum body");
+    assert_eq!(
+        g.delimiter(),
+        Delimiter::Brace,
+        "serde_derive (vendored): malformed enum body"
+    );
     let vt: Vec<TokenTree> = g.stream().into_iter().collect();
     let mut j = 0usize;
     let mut variants = Vec::new();
@@ -314,11 +327,12 @@ fn gen_serialize(input: &Input) -> String {
             }
             Shape::Tuple(1) => "::serde::Serialize::serialize(&self.0)\n".to_string(),
             Shape::Tuple(n) => {
-                let mut s = String::from(
-                    "let mut __a: Vec<::serde::Value> = ::std::vec::Vec::new();\n",
-                );
+                let mut s =
+                    String::from("let mut __a: Vec<::serde::Value> = ::std::vec::Vec::new();\n");
                 for k in 0..*n {
-                    s.push_str(&format!("__a.push(::serde::Serialize::serialize(&self.{k}));\n"));
+                    s.push_str(&format!(
+                        "__a.push(::serde::Serialize::serialize(&self.{k}));\n"
+                    ));
                 }
                 s.push_str("::serde::Value::Array(__a)\n");
                 s
@@ -457,9 +471,7 @@ fn gen_deserialize(input: &Input) -> String {
             Shape::Tuple(n) => {
                 let mut reads = String::new();
                 for k in 0..*n {
-                    reads.push_str(&format!(
-                        "::serde::Deserialize::deserialize(&__a[{k}])?,\n"
-                    ));
+                    reads.push_str(&format!("::serde::Deserialize::deserialize(&__a[{k}])?,\n"));
                 }
                 format!(
                     "let __a = __v.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}\"))?;\n\

@@ -46,7 +46,10 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
 
 /// Deserialize from a JSON string.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.parse_value()?;
     p.skip_ws();
@@ -66,17 +69,33 @@ fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize)
         Value::UInt(u) => out.push_str(&u.to_string()),
         Value::Float(f) => write_float(out, *f),
         Value::Str(s) => write_string(out, s),
-        Value::Array(items) => write_seq(out, items.iter(), items.len(), indent, depth, '[', ']', |out, item, ind, d| {
-            write_value(out, item, ind, d)
-        }),
-        Value::Map(entries) => write_seq(out, entries.iter(), entries.len(), indent, depth, '{', '}', |out, (k, item), ind, d| {
-            write_string(out, k);
-            out.push(':');
-            if ind.is_some() {
-                out.push(' ');
-            }
-            write_value(out, item, ind, d);
-        }),
+        Value::Array(items) => write_seq(
+            out,
+            items.iter(),
+            items.len(),
+            indent,
+            depth,
+            '[',
+            ']',
+            |out, item, ind, d| write_value(out, item, ind, d),
+        ),
+        Value::Map(entries) => write_seq(
+            out,
+            entries.iter(),
+            entries.len(),
+            indent,
+            depth,
+            '{',
+            '}',
+            |out, (k, item), ind, d| {
+                write_string(out, k);
+                out.push(':');
+                if ind.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, ind, d);
+            },
+        ),
     }
 }
 
@@ -255,9 +274,7 @@ impl<'a> Parser<'a> {
                                     .ok_or_else(|| Error("bad \\u scalar".into()))?,
                             );
                         }
-                        other => {
-                            return Err(Error(format!("unknown escape \\{}", other as char)))
-                        }
+                        other => return Err(Error(format!("unknown escape \\{}", other as char))),
                     }
                 }
                 _ => return Err(Error("unterminated string".into())),
@@ -345,7 +362,12 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                     return Ok(Value::Map(entries));
                 }
-                _ => return Err(Error(format!("expected `,` or `}}` at offset {}", self.pos))),
+                _ => {
+                    return Err(Error(format!(
+                        "expected `,` or `}}` at offset {}",
+                        self.pos
+                    )))
+                }
             }
         }
     }
