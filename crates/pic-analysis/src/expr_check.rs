@@ -20,8 +20,8 @@
 //! * **I201** — structurally repeated non-trivial subtrees (common
 //!   subexpressions the canonicalizer can deduplicate for costing).
 
-use crate::interval::Interval;
-use pic_models::{Dataset, Expr};
+use crate::interval::{Interval, PROTECT_EPS};
+use pic_models::{CompiledExpr, Dataset, Expr};
 use pic_types::PicError;
 use serde::Serialize;
 use std::collections::HashMap;
@@ -90,6 +90,105 @@ impl FeatureSpace {
             .and_then(|n| n.get(i))
             .map(String::as_str)
     }
+
+    /// Deterministic probe rows covering the corners of the space: per
+    /// column the range endpoints, midpoint, zero, and values straddling
+    /// the `1e-9` protected-division guard band (all clamped into the
+    /// column's range; unconstrained columns substitute finite stand-ins).
+    /// The cartesian product is capped at [`FeatureSpace::MAX_PROBE_ROWS`]
+    /// rows, walked in mixed-radix order so early rows still vary every
+    /// column.
+    pub fn probe_rows(&self) -> Vec<Vec<f64>> {
+        let per_col: Vec<Vec<f64>> = self
+            .ranges
+            .iter()
+            .map(|iv| Self::probe_values(*iv))
+            .collect();
+        if per_col.is_empty() {
+            return Vec::new();
+        }
+        let total: usize = per_col
+            .iter()
+            .map(|v| v.len())
+            .try_fold(1usize, |acc, k| acc.checked_mul(k))
+            .unwrap_or(usize::MAX);
+        let count = total.min(Self::MAX_PROBE_ROWS);
+        let mut rows = Vec::with_capacity(count);
+        for mut k in 0..count {
+            let mut row = Vec::with_capacity(per_col.len());
+            for vals in &per_col {
+                row.push(vals[k % vals.len()]);
+                k /= vals.len();
+            }
+            rows.push(row);
+        }
+        rows
+    }
+
+    /// Cap on the cartesian probe-row product of [`FeatureSpace::probe_rows`].
+    pub const MAX_PROBE_ROWS: usize = 512;
+
+    /// Candidate probe values for one column, deduplicated, in range.
+    fn probe_values(iv: Interval) -> Vec<f64> {
+        // Finite stand-ins for unconstrained bounds: wide enough to
+        // exercise magnitude-dependent behaviour, small enough that
+        // products of a few columns stay finite.
+        let lo = if iv.lo.is_finite() { iv.lo } else { -1e6 };
+        let hi = if iv.hi.is_finite() { iv.hi } else { 1e6 };
+        let candidates = [
+            lo,
+            hi,
+            0.5 * (lo + hi),
+            0.0,
+            // straddle the protected-division guard band
+            0.5 * PROTECT_EPS,
+            PROTECT_EPS,
+            -0.5 * PROTECT_EPS,
+        ];
+        let mut vals: Vec<f64> = Vec::with_capacity(candidates.len());
+        for c in candidates {
+            let v = c.clamp(lo, hi);
+            if !vals.iter().any(|p| p.to_bits() == v.to_bits()) {
+                vals.push(v);
+            }
+        }
+        vals
+    }
+}
+
+/// Differential check of the compiled bytecode tape against the recursive
+/// evaluator: every [`FeatureSpace::probe_rows`] corner must produce
+/// bit-identical results through `Expr::eval`, `CompiledExpr::eval_row`,
+/// *and* `CompiledExpr::eval_batch` (NaN compares equal to NaN). This is
+/// the load-time counterpart of the property tests: it runs on the
+/// actual admitted model over the actual feature space.
+pub fn check_compiled_equivalence(expr: &Expr, space: &FeatureSpace) -> Result<(), PicError> {
+    let rows = space.probe_rows();
+    if rows.is_empty() {
+        return Ok(());
+    }
+    let tape = CompiledExpr::compile(expr);
+    let names = (0..space.arity()).map(|i| format!("x{i}")).collect();
+    let mut d = Dataset::new(names);
+    for row in &rows {
+        d.push(row.clone(), 0.0);
+    }
+    let cols = d.columns();
+    let mut batch = vec![0.0; rows.len()];
+    tape.eval_batch(&cols, &mut batch, &mut pic_models::EvalScratch::new());
+    let same = |a: f64, b: f64| a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan());
+    for (i, row) in rows.iter().enumerate() {
+        let tree = expr.eval(row);
+        let one = tape.eval_row(row);
+        if !same(tree, one) || !same(tree, batch[i]) {
+            return Err(PicError::model(format!(
+                "compiled tape diverges from the tree evaluator at probe row {i} \
+                 {row:?}: tree {tree:e}, tape {one:e}, batch {:e}",
+                batch[i]
+            )));
+        }
+    }
+    Ok(())
 }
 
 /// How serious a diagnostic is.
@@ -517,6 +616,54 @@ mod tests {
         assert_eq!(s.range(0), Interval::new(1.0, 5.0));
         assert_eq!(s.range(1), Interval::new(-2.0, 0.5));
         assert_eq!(s.name(1), Some("b"));
+    }
+
+    #[test]
+    fn probe_rows_cover_corners_and_guard_band() {
+        let space =
+            FeatureSpace::from_ranges(vec![Interval::new(-1.0, 2.0), Interval::new(0.5, 4.0)]);
+        let rows = space.probe_rows();
+        assert!(!rows.is_empty());
+        assert!(rows.len() <= FeatureSpace::MAX_PROBE_ROWS);
+        // both-corners row and the guard-band probe appear
+        assert!(rows.iter().any(|r| r == &vec![-1.0, 0.5]));
+        assert!(rows.iter().any(|r| r == &vec![2.0, 4.0]));
+        assert!(rows.iter().any(|r| r[0] == 0.5 * PROTECT_EPS));
+        // out-of-range candidates were clamped into the column range
+        for r in &rows {
+            assert!((-1.0..=2.0).contains(&r[0]) && (0.5..=4.0).contains(&r[1]));
+        }
+        // unconstrained columns get finite stand-ins
+        let u = FeatureSpace::unconstrained(2);
+        assert!(u
+            .probe_rows()
+            .iter()
+            .all(|r| r.iter().all(|v| v.is_finite())));
+        assert!(FeatureSpace::unconstrained(0).probe_rows().is_empty());
+    }
+
+    #[test]
+    fn probe_row_cap_holds_for_wide_spaces() {
+        let space = FeatureSpace::unconstrained(8);
+        let rows = space.probe_rows();
+        assert_eq!(rows.len(), FeatureSpace::MAX_PROBE_ROWS);
+        // mixed-radix order varies the early columns within the cap
+        assert!(rows.iter().any(|r| r[0] != rows[0][0]));
+        assert!(rows.iter().any(|r| r[1] != rows[0][1]));
+    }
+
+    #[test]
+    fn compiled_equivalence_holds_on_probe_corners() {
+        // protected division with the guard band reachable — the probes
+        // include rows on both sides of it
+        let e = div(add(Expr::Var(0), Expr::Const(1.0)), Expr::Var(1));
+        let space =
+            FeatureSpace::from_ranges(vec![Interval::new(-2.0, 2.0), Interval::new(-1.0, 1.0)]);
+        assert!(check_compiled_equivalence(&e, &space).is_ok());
+        assert!(check_compiled_equivalence(&e, &FeatureSpace::unconstrained(2)).is_ok());
+        // overflow corners (inf/NaN evaluations) must also agree
+        let blow = mul(Expr::Const(1e300), mul(Expr::Var(0), Expr::Var(1)));
+        assert!(check_compiled_equivalence(&blow, &FeatureSpace::unconstrained(2)).is_ok());
     }
 
     #[test]

@@ -33,7 +33,8 @@ pub mod sched;
 pub mod workload;
 
 pub use expr_check::{
-    analyze_expr, check_model_expr, Diagnostic, ExprReport, FeatureSpace, Severity,
+    analyze_expr, check_compiled_equivalence, check_model_expr, Diagnostic, ExprReport,
+    FeatureSpace, Severity,
 };
 pub use interval::Interval;
 pub use pipeline_model::{verify_pipeline, verify_streaming_shutdown, PipelineSpec};

@@ -1,0 +1,58 @@
+//! One GP generation's population-scoring cost under the engine toggles:
+//! tree walk vs compiled tape, serial vs parallel, memo off vs on. This is
+//! the inner loop of symbolic-regression model fitting (paper §II-B).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pic_models::gp::{random_population, score_population, FitnessCache};
+use pic_models::{Dataset, FitContext, FitScratch, GpConfig, GpRunStats};
+use pic_types::rng::SplitMix64;
+
+fn dataset(rows: usize, seed: u64) -> Dataset {
+    let mut rng = SplitMix64::new(seed);
+    let mut d = Dataset::new(vec!["np".into(), "ngp".into(), "nel".into()]);
+    for _ in 0..rows {
+        let np = rng.next_range(0.0, 2000.0);
+        let ngp = rng.next_range(0.0, 400.0);
+        let nel = rng.next_range(8.0, 64.0);
+        let y = 3e-6 * np + 6e-6 * ngp + 5e-5 * nel + 1e-5;
+        d.push(vec![np, ngp, nel], y * (1.0 + 0.05 * rng.next_gaussian()));
+    }
+    d
+}
+
+fn gp_generation(c: &mut Criterion) {
+    let d = dataset(256, 21);
+    let ctx = FitContext::new(&d);
+    let pop = random_population(7, 3, 128, 8);
+    let mut group = c.benchmark_group("gp_generation");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(pop.len() as u64));
+    let variants: &[(&str, bool, bool, bool)] = &[
+        ("tree_serial", false, false, false),
+        ("compiled_serial", true, false, false),
+        ("compiled_parallel", true, true, false),
+        ("compiled_parallel_memo", true, true, true),
+    ];
+    for &(name, compiled, parallel, memo) in variants {
+        let cfg = GpConfig {
+            compiled,
+            parallel,
+            memo,
+            ..GpConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new(name, pop.len()), &cfg, |b, cfg| {
+            // The memo variant keeps its cache across iterations, as the
+            // engine keeps it across generations.
+            let mut cache = FitnessCache::new();
+            let mut scratch = FitScratch::default();
+            b.iter(|| {
+                let mut stats = GpRunStats::default();
+                score_population(cfg, &pop, &ctx, &mut cache, &mut stats, &mut scratch)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, gp_generation);
+criterion_main!(benches);

@@ -1,0 +1,289 @@
+//! Compiled-fitness-engine benchmark and acceptance gate.
+//!
+//! Scores the same random GP population three ways — the old per-candidate
+//! tree walk (replicated here exactly as the pre-compiled engine computed
+//! it, including its per-candidate dataset-constant recomputation), the
+//! compiled bytecode tape serially, and the compiled tape with parallel
+//! population scoring — and reports candidate-evaluations/second for each.
+//! Also runs one full fixed-seed fit with the engine on and off to report
+//! end-to-end wall time, the memo cache hit rate, and the determinism
+//! gate: the best model must be identical either way.
+//!
+//! Exits nonzero if any compiled fitness triple diverges bitwise from the
+//! tree-walk reference, or if the fixed-seed best model changes with the
+//! engine toggles — the contract `picpredict` relies on when it compiles
+//! admitted models at load time.
+//!
+//! Usage: `cargo run --release -p pic-bench --bin gp_bench [output.json] [--smoke]`
+#![forbid(unsafe_code)]
+
+use pic_models::gp::{random_population, score_population, FitnessCache, SymbolicModel};
+use pic_models::{Dataset, Expr, FitContext, FitScratch, GpConfig, GpRunStats, SymbolicRegressor};
+use pic_sim::instrument::WorkloadParams;
+use pic_sim::{CostOracle, KernelKind};
+use pic_types::rng::SplitMix64;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Throughput {
+    /// Candidate fitness evaluations per second (best of the repeats).
+    evals_per_sec: f64,
+    /// Wall seconds for one scoring pass over the population (best).
+    pass_seconds: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    rows: usize,
+    population: usize,
+    repeats: usize,
+    threads: usize,
+    tree_walk: Throughput,
+    compiled_serial: Throughput,
+    compiled_parallel: Throughput,
+    /// compiled_serial / tree_walk evals per second.
+    speedup_serial: f64,
+    /// compiled_parallel / tree_walk evals per second.
+    speedup_parallel: f64,
+    /// Bitwise agreement of every (fitness, scale, offset) triple across
+    /// tree-walk, compiled-serial, and compiled-parallel scoring.
+    scoring_bitwise_identical: bool,
+    /// Memo cache hit rate over a full fixed-seed fit with the engine on.
+    cache_hit_rate: f64,
+    /// Full fit wall milliseconds, engine on (compiled+parallel+memo).
+    fit_wall_ms_engine_on: f64,
+    /// Full fit wall milliseconds, engine off (tree walk, serial, no memo).
+    fit_wall_ms_engine_off: f64,
+    /// fit_wall_ms_engine_off / fit_wall_ms_engine_on.
+    fit_speedup: f64,
+    /// The fixed-seed best model is identical with the engine on and off.
+    best_model_identical: bool,
+}
+
+/// Noisy kernel-cost dataset over the three varying workload features.
+fn synthetic_dataset(rows: usize, seed: u64) -> Dataset {
+    let oracle = CostOracle {
+        noise_sigma: 0.05,
+        seed,
+    };
+    let mut rng = SplitMix64::new(seed ^ 0x9e37_79b9);
+    let mut d = Dataset::new(vec!["np".into(), "ngp".into(), "nel".into()]);
+    for key in 0..rows as u64 {
+        let p = WorkloadParams {
+            np: rng.next_range(0.0, 2000.0).round(),
+            ngp: rng.next_range(0.0, 400.0).round(),
+            nel: rng.next_range(8.0, 64.0).round(),
+            n_order: 5.0,
+            filter: 0.05,
+        };
+        d.push(
+            vec![p.np, p.ngp, p.nel],
+            oracle.observed_cost(KernelKind::ParticlePusher, &p, key),
+        );
+    }
+    d
+}
+
+/// The pre-compiled engine's fitness, replicated verbatim: recursive tree
+/// walk per row, a fresh evaluation buffer per candidate, and the dataset
+/// constants (`mean_y`, the relative-error floor) recomputed per call.
+/// This is the baseline the compiled engine is measured against.
+fn old_scaled_fitness(
+    expr: &Expr,
+    data: &Dataset,
+    parsimony: f64,
+    penalty_nodes: usize,
+) -> (f64, f64, f64) {
+    let n = data.len() as f64;
+    let mut evals = Vec::with_capacity(data.len());
+    for row in &data.rows {
+        let v = expr.eval(row);
+        if !v.is_finite() {
+            return (f64::INFINITY, 0.0, 0.0);
+        }
+        evals.push(v);
+    }
+    let mean_e = evals.iter().sum::<f64>() / n;
+    let mean_y = data.targets.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_e = 0.0;
+    for (e, y) in evals.iter().zip(&data.targets) {
+        cov += (e - mean_e) * (y - mean_y);
+        var_e += (e - mean_e) * (e - mean_e);
+    }
+    let (a, b) = if var_e < 1e-30 {
+        (0.0, mean_y)
+    } else {
+        (cov / var_e, mean_y - cov / var_e * mean_e)
+    };
+    let floor = data.targets.iter().map(|y| y.abs()).sum::<f64>() / n;
+    let floor = (floor * 1e-3).max(1e-30);
+    let mut err = 0.0;
+    for (e, y) in evals.iter().zip(&data.targets) {
+        let p = a * e + b;
+        err += (p - y).abs() / (y.abs() + floor);
+    }
+    let fitness = err / n + parsimony * penalty_nodes as f64;
+    if fitness.is_finite() {
+        (fitness, a, b)
+    } else {
+        (f64::INFINITY, 0.0, 0.0)
+    }
+}
+
+/// Time `pass` over `repeats` runs; return the best throughput.
+fn best_of(repeats: usize, candidates: usize, mut pass: impl FnMut()) -> Throughput {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let t = Instant::now();
+        pass();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    Throughput {
+        evals_per_sec: candidates as f64 / best,
+        pass_seconds: best,
+    }
+}
+
+fn triples_identical(a: &[(f64, f64, f64)], b: &[(f64, f64, f64)]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.0.to_bits() == y.0.to_bits()
+                && x.1.to_bits() == y.1.to_bits()
+                && x.2.to_bits() == y.2.to_bits()
+        })
+}
+
+fn models_identical(a: &SymbolicModel, b: &SymbolicModel) -> bool {
+    a.expr == b.expr
+        && a.scale.to_bits() == b.scale.to_bits()
+        && a.offset.to_bits() == b.offset.to_bits()
+}
+
+fn main() {
+    let mut out_path = "BENCH_GP.json".to_string();
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let (rows, population, repeats) = if smoke { (96, 128, 2) } else { (512, 512, 5) };
+    let parsimony = GpConfig::default().parsimony;
+
+    let data = synthetic_dataset(rows, 42);
+    let ctx = FitContext::new(&data);
+    let pop = random_population(11, data.arity(), population, 8);
+
+    let cfg_with = |compiled: bool, parallel: bool| GpConfig {
+        compiled,
+        parallel,
+        memo: false,
+        ..GpConfig::default()
+    };
+    let score = |cfg: &GpConfig| -> Vec<(f64, f64, f64)> {
+        let mut cache = FitnessCache::new();
+        let mut stats = GpRunStats::default();
+        let mut scratch = FitScratch::default();
+        score_population(cfg, &pop, &ctx, &mut cache, &mut stats, &mut scratch)
+    };
+
+    // Divergence gate: the three scoring paths must agree bit for bit
+    // with the old engine's arithmetic.
+    let reference: Vec<(f64, f64, f64)> = pop
+        .iter()
+        .map(|e| {
+            let canon = e.clone().canonicalize();
+            old_scaled_fitness(&canon, &data, parsimony, e.node_count())
+        })
+        .collect();
+    let serial = score(&cfg_with(true, false));
+    let parallel = score(&cfg_with(true, true));
+    let tree_engine = score(&cfg_with(false, false));
+    let scoring_bitwise_identical = triples_identical(&reference, &serial)
+        && triples_identical(&reference, &parallel)
+        && triples_identical(&reference, &tree_engine);
+
+    // Throughput of one full scoring pass per variant.
+    let tree_walk = best_of(repeats, pop.len(), || {
+        for e in &pop {
+            let canon = e.clone().canonicalize();
+            std::hint::black_box(old_scaled_fitness(&canon, &data, parsimony, e.node_count()));
+        }
+    });
+    let compiled_serial = best_of(repeats, pop.len(), || {
+        std::hint::black_box(score(&cfg_with(true, false)));
+    });
+    let compiled_parallel = best_of(repeats, pop.len(), || {
+        std::hint::black_box(score(&cfg_with(true, true)));
+    });
+
+    // End-to-end fixed-seed fits: engine fully on vs fully off.
+    let on_cfg = GpConfig::fast(5);
+    let off_cfg = GpConfig {
+        compiled: false,
+        parallel: false,
+        memo: false,
+        ..GpConfig::fast(5)
+    };
+    let t = Instant::now();
+    let (m_on, stats_on) = SymbolicRegressor::new(on_cfg)
+        .fit_with_stats(&data)
+        .expect("fit (engine on)");
+    let fit_wall_ms_engine_on = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let (m_off, _) = SymbolicRegressor::new(off_cfg)
+        .fit_with_stats(&data)
+        .expect("fit (engine off)");
+    let fit_wall_ms_engine_off = t.elapsed().as_secs_f64() * 1e3;
+    let best_model_identical = models_identical(&m_on, &m_off);
+
+    let report = Report {
+        rows,
+        population,
+        repeats,
+        threads: std::thread::available_parallelism().map_or(1, usize::from),
+        speedup_serial: compiled_serial.evals_per_sec / tree_walk.evals_per_sec,
+        speedup_parallel: compiled_parallel.evals_per_sec / tree_walk.evals_per_sec,
+        tree_walk,
+        compiled_serial,
+        compiled_parallel,
+        scoring_bitwise_identical,
+        cache_hit_rate: stats_on.cache_hit_rate(),
+        fit_wall_ms_engine_on,
+        fit_wall_ms_engine_off,
+        fit_speedup: fit_wall_ms_engine_off / fit_wall_ms_engine_on,
+        best_model_identical,
+    };
+
+    println!(
+        "tree-walk          {:>12.0} evals/s\n\
+         compiled (serial)  {:>12.0} evals/s  ({:.2}x)\n\
+         compiled (parallel){:>12.0} evals/s  ({:.2}x)\n\
+         full fit           {:.1} ms on / {:.1} ms off ({:.2}x), cache hit rate {:.1}%",
+        report.tree_walk.evals_per_sec,
+        report.compiled_serial.evals_per_sec,
+        report.speedup_serial,
+        report.compiled_parallel.evals_per_sec,
+        report.speedup_parallel,
+        report.fit_wall_ms_engine_on,
+        report.fit_wall_ms_engine_off,
+        report.fit_speedup,
+        report.cache_hit_rate * 100.0
+    );
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out_path, json + "\n").expect("write report");
+    eprintln!("report -> {out_path}");
+
+    if !report.scoring_bitwise_identical {
+        eprintln!("FAIL: compiled scoring diverges bitwise from the tree-walk reference");
+        std::process::exit(1);
+    }
+    if !report.best_model_identical {
+        eprintln!("FAIL: fixed-seed best model changed with the engine toggles");
+        std::process::exit(1);
+    }
+}

@@ -7,6 +7,19 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Protected-division guard band: denominators with `|d| < DIV_GUARD`
+/// pass the numerator through unchanged. Shared by [`Expr::eval`], the
+/// canonicalizer's constant folder, and the compiled tape so the three
+/// can never disagree.
+pub const DIV_GUARD: f64 = 1e-9;
+
+/// Recursion budget of [`Expr::eval`]: trees deeper than this are
+/// evaluated on the non-recursive compiled tape instead of the call
+/// stack. Generously above anything the GP breeds (its depth limit is
+/// single digits) while keeping hostile deep trees from aborting the
+/// process.
+const EVAL_RECURSION_LIMIT: usize = 128;
+
 /// A symbolic expression over feature variables.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Expr {
@@ -50,22 +63,79 @@ fn variant_rank(e: &Expr) -> u8 {
 impl Expr {
     /// Evaluate over a feature row. Out-of-range variables evaluate to 0
     /// (defensive; the GP never generates them).
+    ///
+    /// Recursion is bounded: trees deeper than an internal limit are
+    /// lowered to the non-recursive [`CompiledExpr`](crate::compile::CompiledExpr)
+    /// tape and evaluated there — bit-identical results (the tape runs
+    /// the same IEEE operations in the same order), no call-stack
+    /// overflow on hostile inputs.
     pub fn eval(&self, x: &[f64]) -> f64 {
-        match self {
+        match self.eval_bounded(x, EVAL_RECURSION_LIMIT) {
+            Some(v) => v,
+            None => crate::compile::CompiledExpr::compile(self).eval_row(x),
+        }
+    }
+
+    /// Recursive evaluator with a depth budget; `None` when the budget
+    /// runs out (the caller switches to the compiled tape).
+    fn eval_bounded(&self, x: &[f64], budget: usize) -> Option<f64> {
+        if budget == 0 {
+            return None;
+        }
+        Some(match self {
             Expr::Const(c) => *c,
             Expr::Var(i) => x.get(*i).copied().unwrap_or(0.0),
-            Expr::Add(a, b) => a.eval(x) + b.eval(x),
-            Expr::Sub(a, b) => a.eval(x) - b.eval(x),
-            Expr::Mul(a, b) => a.eval(x) * b.eval(x),
+            Expr::Add(a, b) => a.eval_bounded(x, budget - 1)? + b.eval_bounded(x, budget - 1)?,
+            Expr::Sub(a, b) => a.eval_bounded(x, budget - 1)? - b.eval_bounded(x, budget - 1)?,
+            Expr::Mul(a, b) => a.eval_bounded(x, budget - 1)? * b.eval_bounded(x, budget - 1)?,
             Expr::Div(a, b) => {
-                let d = b.eval(x);
-                if d.abs() < 1e-9 {
-                    a.eval(x)
+                let d = b.eval_bounded(x, budget - 1)?;
+                if d.abs() < DIV_GUARD {
+                    a.eval_bounded(x, budget - 1)?
                 } else {
-                    a.eval(x) / d
+                    a.eval_bounded(x, budget - 1)? / d
+                }
+            }
+        })
+    }
+
+    /// Consume the tree iteratively. `Box<Expr>`'s compiler-generated
+    /// drop glue recurses, so simply dropping a pathologically deep tree
+    /// can overflow the call stack; use this for trees of untrusted
+    /// depth. (Trees behind the model-load depth gate never need it.)
+    pub fn drop_iterative(self) {
+        let mut work = vec![self];
+        while let Some(e) = work.pop() {
+            match e {
+                Expr::Const(_) | Expr::Var(_) => {}
+                Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                    work.push(*a);
+                    work.push(*b);
                 }
             }
         }
+    }
+
+    /// Tree depth computed iteratively (a leaf has depth 1) — safe on
+    /// trees too deep for the recursive [`Expr::depth`]. Returns `None`
+    /// as soon as the depth exceeds `max`, without walking the rest.
+    pub fn depth_within(&self, max: usize) -> Option<usize> {
+        let mut work: Vec<(&Expr, usize)> = vec![(self, 1)];
+        let mut deepest = 0usize;
+        while let Some((e, d)) = work.pop() {
+            if d > max {
+                return None;
+            }
+            deepest = deepest.max(d);
+            match e {
+                Expr::Const(_) | Expr::Var(_) => {}
+                Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                    work.push((a, d + 1));
+                    work.push((b, d + 1));
+                }
+            }
+        }
+        Some(deepest)
     }
 
     /// Number of nodes in the tree.
@@ -207,7 +277,7 @@ impl Expr {
                 match (a, b) {
                     // Protected fold: mirrors eval's near-zero guard.
                     (Expr::Const(x), Expr::Const(y)) => {
-                        Expr::Const(if y.abs() < 1e-9 { x } else { x / y })
+                        Expr::Const(if y.abs() < DIV_GUARD { x } else { x / y })
                     }
                     (a, Expr::Const(1.0)) => a,
                     (a, b) => Expr::Div(Box::new(a), Box::new(b)),
@@ -442,6 +512,28 @@ mod tests {
         let names = vec!["np".to_string(), "ngp".to_string()];
         assert_eq!(sample().render(&names), "((np + 2.0000e0) * ngp)");
         assert_eq!(Expr::Var(9).render(&names), "x9");
+    }
+
+    #[test]
+    fn deep_tree_eval_uses_tape_not_call_stack() {
+        // 200k-deep right-leaning chain: recursive eval would abort.
+        let mut e = Expr::Var(0);
+        for _ in 0..200_000 {
+            e = Expr::Add(Box::new(Expr::Const(1.0)), Box::new(e));
+        }
+        assert_eq!(e.eval(&[0.25]), 200_000.25);
+        assert_eq!(e.depth_within(1_000_000), Some(200_001));
+        assert_eq!(e.depth_within(1000), None);
+        e.drop_iterative();
+    }
+
+    #[test]
+    fn depth_within_agrees_with_depth() {
+        let e = sample();
+        assert_eq!(e.depth_within(10), Some(e.depth()));
+        assert_eq!(e.depth_within(3), Some(3));
+        assert_eq!(e.depth_within(2), None);
+        assert_eq!(Expr::Const(1.0).depth_within(1), Some(1));
     }
 
     #[test]

@@ -9,14 +9,27 @@
 //! * **parsimony pressure**: fitness carries a per-node penalty, keeping
 //!   the reported formulas compact.
 //!
-//! The search is fully deterministic in the configured seed.
+//! The search is fully deterministic in the configured seed — including
+//! with the compiled/parallel/memoized fitness engine enabled. Scoring
+//! never touches the RNG, candidates are scored independently, the
+//! vendored rayon assembles results in input order, and the memo cache
+//! returns exactly the value an evaluation would have produced, so every
+//! toggle combination yields a bit-identical search trajectory.
 
-use crate::dataset::Dataset;
+use crate::compile::{CompiledExpr, EvalScratch};
+use crate::dataset::{Columns, Dataset};
 use crate::expr::Expr;
 use crate::model::PerfModel;
 use pic_types::rng::SplitMix64;
 use pic_types::{PicError, Result};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+fn default_true() -> bool {
+    true
+}
 
 /// Genetic-programming search parameters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -45,6 +58,24 @@ pub struct GpConfig {
     /// fewer evaluated nodes. Selection is unchanged because the
     /// parsimony penalty still uses the original node count.
     pub admission: bool,
+    /// Evaluate candidates on the compiled bytecode tape over columnar
+    /// feature storage instead of walking the boxed tree per row.
+    /// Bit-identical fitness either way (the tape executes the same IEEE
+    /// operations in the same order); this is purely a speed switch.
+    #[serde(default = "default_true")]
+    pub compiled: bool,
+    /// Score each generation's population in parallel. Deterministic:
+    /// scoring is per-candidate, touches no RNG, and results are
+    /// assembled in population order, so the search trajectory is
+    /// bit-identical to the serial path.
+    #[serde(default = "default_true")]
+    pub parallel: bool,
+    /// Memoize fitness by the structural hash of the evaluated tree, so
+    /// duplicate individuals (common after crossover, and every elite
+    /// every generation) are scored once per run. Returns exactly the
+    /// value evaluation would produce — no trajectory change.
+    #[serde(default = "default_true")]
+    pub memo: bool,
 }
 
 impl Default for GpConfig {
@@ -59,6 +90,9 @@ impl Default for GpConfig {
             elitism: 4,
             seed: 0xC0FFEE,
             admission: true,
+            compiled: true,
+            parallel: true,
+            memo: true,
         }
     }
 }
@@ -126,6 +160,10 @@ pub struct GpRunStats {
     /// Summed node count of the trees actually evaluated (canonical
     /// forms when admission is on).
     pub evaluated_nodes: u64,
+    /// Candidates whose fitness came from the memo cache instead of a
+    /// fresh evaluation (duplicates after crossover, surviving elites).
+    #[serde(default)]
+    pub cache_hits: u64,
 }
 
 impl GpRunStats {
@@ -135,6 +173,15 @@ impl GpRunStats {
             0.0
         } else {
             1.0 - self.evaluated_nodes as f64 / self.original_nodes as f64
+        }
+    }
+
+    /// Fraction of candidate scorings served from the memo cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.candidates == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.candidates as f64
         }
     }
 }
@@ -156,53 +203,298 @@ fn admissible(expr: &Expr, arity: usize) -> bool {
     expr.max_var().is_none_or(|v| v < arity) && constants_finite(expr)
 }
 
-/// Linear-scaling coefficients and the resulting error of a candidate.
-/// `penalty_nodes` is the node count charged by the parsimony term — the
-/// *original* candidate's size, so canonicalizing for evaluation does not
-/// perturb selection.
-fn scaled_fitness(
-    expr: &Expr,
-    data: &Dataset,
-    parsimony: f64,
-    penalty_nodes: usize,
-) -> (f64, f64, f64) {
-    let n = data.len() as f64;
-    let mut evals = Vec::with_capacity(data.len());
-    for row in &data.rows {
-        let v = expr.eval(row);
-        if !v.is_finite() {
+/// Dataset-constant fitness state, hoisted out of the per-candidate loop.
+///
+/// `mean_y` and the relative-error magnitude floor depend only on the
+/// targets, yet the old `scaled_fitness` recomputed both for every
+/// candidate × generation. They are computed here once per fit, together
+/// with the columnar feature block the compiled evaluator streams over.
+/// The arithmetic (summation order included) is identical to the old
+/// per-candidate recomputation, so hoisting is bit-exact.
+#[derive(Debug, Clone)]
+pub struct FitContext<'a> {
+    data: &'a Dataset,
+    cols: Columns,
+    mean_y: f64,
+    floor: f64,
+}
+
+/// Reusable per-worker fitness workspace: the candidate's per-row
+/// evaluations plus the tape's register block. After warm-up neither
+/// path allocates per candidate.
+#[derive(Debug, Default, Clone)]
+pub struct FitScratch {
+    /// Per-row candidate evaluations.
+    pub evals: Vec<f64>,
+    /// Batch-evaluator register block.
+    pub tape: EvalScratch,
+}
+
+impl<'a> FitContext<'a> {
+    /// Hoist the dataset constants and build the columnar feature view.
+    pub fn new(data: &'a Dataset) -> FitContext<'a> {
+        let n = data.len() as f64;
+        let mean_y = data.targets.iter().sum::<f64>() / n;
+        // Relative error against a magnitude floor so near-zero targets
+        // don't dominate.
+        let floor = data.targets.iter().map(|y| y.abs()).sum::<f64>() / n;
+        let floor = (floor * 1e-3).max(1e-30);
+        FitContext {
+            data,
+            cols: data.columns(),
+            mean_y,
+            floor,
+        }
+    }
+
+    /// The columnar feature block.
+    pub fn columns(&self) -> &Columns {
+        &self.cols
+    }
+
+    /// Penalty-free fitness base of a candidate — `(mean relative error,
+    /// scale, offset)` — evaluated by walking the tree per row (the
+    /// reference path). The parsimony penalty is *not* included: it
+    /// depends on the candidate's original size, not on the evaluated
+    /// tree, so it is applied per candidate by [`FitContext::finalize`].
+    pub fn base_tree(&self, expr: &Expr, scratch: &mut FitScratch) -> (f64, f64, f64) {
+        scratch.evals.clear();
+        for row in &self.data.rows {
+            let v = expr.eval(row);
+            if !v.is_finite() {
+                return (f64::INFINITY, 0.0, 0.0);
+            }
+            scratch.evals.push(v);
+        }
+        let evals = std::mem::take(&mut scratch.evals);
+        let out = self.base_from_evals(&evals);
+        scratch.evals = evals;
+        out
+    }
+
+    /// Like [`FitContext::base_tree`], but evaluating the candidate's
+    /// compiled tape over the columnar block — bit-identical results.
+    pub fn base_compiled(&self, tape: &CompiledExpr, scratch: &mut FitScratch) -> (f64, f64, f64) {
+        scratch.evals.clear();
+        scratch.evals.resize(self.data.len(), 0.0);
+        tape.eval_batch(&self.cols, &mut scratch.evals, &mut scratch.tape);
+        if scratch.evals.iter().any(|v| !v.is_finite()) {
             return (f64::INFINITY, 0.0, 0.0);
         }
-        evals.push(v);
+        let evals = std::mem::take(&mut scratch.evals);
+        let out = self.base_from_evals(&evals);
+        scratch.evals = evals;
+        out
     }
-    let mean_e = evals.iter().sum::<f64>() / n;
-    let mean_y = data.targets.iter().sum::<f64>() / n;
-    let mut cov = 0.0;
-    let mut var_e = 0.0;
-    for (e, y) in evals.iter().zip(&data.targets) {
-        cov += (e - mean_e) * (y - mean_y);
-        var_e += (e - mean_e) * (e - mean_e);
+
+    /// Add the parsimony charge for a candidate of `penalty_nodes`
+    /// original nodes to a penalty-free base triple. Split from the base
+    /// computation so memoized bases can serve hash-equal candidates of
+    /// *different* original sizes without perturbing selection.
+    pub fn finalize(
+        base: (f64, f64, f64),
+        parsimony: f64,
+        penalty_nodes: usize,
+    ) -> (f64, f64, f64) {
+        let (err, a, b) = base;
+        let fitness = err + parsimony * penalty_nodes as f64;
+        if fitness.is_finite() {
+            (fitness, a, b)
+        } else {
+            (f64::INFINITY, 0.0, 0.0)
+        }
     }
-    let (a, b) = if var_e < 1e-30 {
-        (0.0, mean_y)
-    } else {
-        (cov / var_e, mean_y - cov / var_e * mean_e)
+
+    /// Full fitness of a candidate via the tree-walking reference path:
+    /// [`FitContext::base_tree`] plus the parsimony charge.
+    pub fn fitness_tree(
+        &self,
+        expr: &Expr,
+        parsimony: f64,
+        penalty_nodes: usize,
+        scratch: &mut FitScratch,
+    ) -> (f64, f64, f64) {
+        FitContext::finalize(self.base_tree(expr, scratch), parsimony, penalty_nodes)
+    }
+
+    /// Full fitness of a candidate via the compiled tape:
+    /// [`FitContext::base_compiled`] plus the parsimony charge.
+    pub fn fitness_compiled(
+        &self,
+        tape: &CompiledExpr,
+        parsimony: f64,
+        penalty_nodes: usize,
+        scratch: &mut FitScratch,
+    ) -> (f64, f64, f64) {
+        FitContext::finalize(self.base_compiled(tape, scratch), parsimony, penalty_nodes)
+    }
+
+    /// Keijzer linear scaling and mean relative error over precomputed
+    /// per-row evaluations (no parsimony term).
+    fn base_from_evals(&self, evals: &[f64]) -> (f64, f64, f64) {
+        let n = self.data.len() as f64;
+        let mean_e = evals.iter().sum::<f64>() / n;
+        let mean_y = self.mean_y;
+        let mut cov = 0.0;
+        let mut var_e = 0.0;
+        for (e, y) in evals.iter().zip(&self.data.targets) {
+            cov += (e - mean_e) * (y - mean_y);
+            var_e += (e - mean_e) * (e - mean_e);
+        }
+        let (a, b) = if var_e < 1e-30 {
+            (0.0, mean_y)
+        } else {
+            (cov / var_e, mean_y - cov / var_e * mean_e)
+        };
+        let mut err = 0.0;
+        for (e, y) in evals.iter().zip(&self.data.targets) {
+            let p = a * e + b;
+            err += (p - y).abs() / (y.abs() + self.floor);
+        }
+        (err / n, a, b)
+    }
+}
+
+/// Memoized *penalty-free* fitness bases keyed by the structural hash of
+/// the tree that was actually evaluated (the canonical form when
+/// admission is on). Bases rather than final fitness because hash-equal
+/// candidates may differ in original size and therefore in parsimony
+/// charge; [`FitContext::finalize`] applies the per-candidate term.
+/// Hash-equal ⇒ canonical-form-equal is a property-checked invariant of
+/// [`Expr::structural_hash`] (`tests/compile_props.rs`).
+pub type FitnessCache = HashMap<u64, (f64, f64, f64)>;
+
+/// Per-candidate admission artifacts produced before evaluation.
+struct Prepared {
+    /// Canonical form, when admission rewrites the tree for evaluation.
+    canon: Option<Expr>,
+    /// Node count of the candidate as bred (parsimony charge).
+    orig_nodes: usize,
+    /// Node count of the tree actually evaluated.
+    eval_nodes: usize,
+    /// Structural hash of the evaluated tree (memo key).
+    hash: u64,
+}
+
+thread_local! {
+    /// Per-worker scratch for parallel scoring. The vendored rayon gives
+    /// each worker a contiguous span of candidates, so the buffer warms
+    /// up once per worker per generation instead of once per candidate.
+    static WORKER_SCRATCH: RefCell<FitScratch> = RefCell::new(FitScratch::default());
+}
+
+/// Score a population against a fit context, honoring the engine toggles
+/// in `cfg` (`admission`, `compiled`, `parallel`, `memo`). Returns the
+/// `(fitness, scale, offset)` triple per candidate, in population order.
+///
+/// Deterministic by construction: every toggle combination produces
+/// bit-identical triples. Scoring never touches the RNG; duplicates are
+/// answered from `cache` with exactly the value a fresh evaluation would
+/// produce; the parallel path scores candidates independently and
+/// assembles results in input order. Exposed publicly so benches can
+/// drive the engine's scoring paths directly.
+pub fn score_population(
+    cfg: &GpConfig,
+    pop: &[Expr],
+    ctx: &FitContext<'_>,
+    cache: &mut FitnessCache,
+    stats: &mut GpRunStats,
+    scratch: &mut FitScratch,
+) -> Vec<(f64, f64, f64)> {
+    // Phase 1: admission rewrite + memo key, per candidate.
+    let prepare = |e: &Expr| -> Prepared {
+        let orig_nodes = e.node_count();
+        if cfg.admission {
+            let canon = e.clone().canonicalize();
+            Prepared {
+                eval_nodes: canon.node_count(),
+                hash: canon.structural_hash(),
+                canon: Some(canon),
+                orig_nodes,
+            }
+        } else {
+            Prepared {
+                canon: None,
+                orig_nodes,
+                eval_nodes: orig_nodes,
+                hash: e.structural_hash(),
+            }
+        }
     };
-    // Relative error against a magnitude floor so near-zero targets don't
-    // dominate.
-    let floor = data.targets.iter().map(|y| y.abs()).sum::<f64>() / n;
-    let floor = (floor * 1e-3).max(1e-30);
-    let mut err = 0.0;
-    for (e, y) in evals.iter().zip(&data.targets) {
-        let p = a * e + b;
-        err += (p - y).abs() / (y.abs() + floor);
-    }
-    let fitness = err / n + parsimony * penalty_nodes as f64;
-    if fitness.is_finite() {
-        (fitness, a, b)
+    let prepared: Vec<Prepared> = if cfg.parallel && pop.len() > 1 {
+        pop.par_iter().map(prepare).collect()
     } else {
-        (f64::INFINITY, 0.0, 0.0)
+        pop.iter().map(prepare).collect()
+    };
+
+    // Phase 2 (sequential): counters, cache lookups, dedup plan.
+    let mut scored: Vec<Option<(f64, f64, f64)>> = vec![None; pop.len()];
+    let mut to_eval: Vec<usize> = Vec::new();
+    let mut aliases: Vec<(usize, usize)> = Vec::new(); // (candidate, to_eval slot)
+    let mut this_batch: HashMap<u64, usize> = HashMap::new();
+    for (i, p) in prepared.iter().enumerate() {
+        stats.candidates += 1;
+        stats.original_nodes += p.orig_nodes as u64;
+        stats.evaluated_nodes += p.eval_nodes as u64;
+        if cfg.memo {
+            if let Some(&hit) = cache.get(&p.hash) {
+                scored[i] = Some(FitContext::finalize(hit, cfg.parsimony, p.orig_nodes));
+                stats.cache_hits += 1;
+                continue;
+            }
+            if let Some(&slot) = this_batch.get(&p.hash) {
+                aliases.push((i, slot));
+                stats.cache_hits += 1;
+                continue;
+            }
+            this_batch.insert(p.hash, to_eval.len());
+        }
+        to_eval.push(i);
     }
+
+    // Phase 3: evaluate the unique candidates (penalty-free bases; the
+    // per-candidate parsimony charge is applied at assembly).
+    let eval_one = |i: usize, ws: &mut FitScratch| -> (f64, f64, f64) {
+        let p = &prepared[i];
+        let expr = p.canon.as_ref().unwrap_or(&pop[i]);
+        if cfg.compiled {
+            let tape = CompiledExpr::compile(expr);
+            ctx.base_compiled(&tape, ws)
+        } else {
+            ctx.base_tree(expr, ws)
+        }
+    };
+    let results: Vec<(f64, f64, f64)> = if cfg.parallel && to_eval.len() > 1 {
+        to_eval
+            .par_iter()
+            .map(|&i| WORKER_SCRATCH.with(|ws| eval_one(i, &mut ws.borrow_mut())))
+            .collect()
+    } else {
+        to_eval.iter().map(|&i| eval_one(i, scratch)).collect()
+    };
+
+    // Phase 4 (sequential): assemble in population order, fill the cache.
+    for (&i, &base) in to_eval.iter().zip(&results) {
+        scored[i] = Some(FitContext::finalize(
+            base,
+            cfg.parsimony,
+            prepared[i].orig_nodes,
+        ));
+        if cfg.memo {
+            cache.insert(prepared[i].hash, base);
+        }
+    }
+    for (i, slot) in aliases {
+        scored[i] = Some(FitContext::finalize(
+            results[slot],
+            cfg.parsimony,
+            prepared[i].orig_nodes,
+        ));
+    }
+    scored
+        .into_iter()
+        .map(|s| s.expect("every candidate scored"))
+        .collect()
 }
 
 impl SymbolicRegressor {
@@ -230,22 +522,13 @@ impl SymbolicRegressor {
         let arity = data.arity();
         let mut stats = GpRunStats::default();
 
-        // Admission + scoring: fitness is computed on the canonical form
-        // (bit-identical evaluation on finite inputs, strictly fewer
-        // nodes); the parsimony penalty keeps charging the original size.
-        let score = |e: &Expr, stats: &mut GpRunStats| -> (f64, f64, f64) {
-            let n = e.node_count();
-            stats.candidates += 1;
-            stats.original_nodes += n as u64;
-            if cfg.admission {
-                let canon = e.clone().canonicalize();
-                stats.evaluated_nodes += canon.node_count() as u64;
-                scaled_fitness(&canon, data, cfg.parsimony, n)
-            } else {
-                stats.evaluated_nodes += n as u64;
-                scaled_fitness(e, data, cfg.parsimony, n)
-            }
-        };
+        // Dataset constants (mean_y, magnitude floor) and the columnar
+        // feature block are hoisted here, once per fit; scoring below is
+        // compiled/parallel/memoized per the config, with bit-identical
+        // results on every path.
+        let ctx = FitContext::new(data);
+        let mut cache = FitnessCache::new();
+        let mut scratch = FitScratch::default();
 
         // Ramped half-and-half initialization.
         let mut pop: Vec<Expr> = (0..cfg.population)
@@ -255,7 +538,7 @@ impl SymbolicRegressor {
                 random_tree(&mut rng, arity, depth, full)
             })
             .collect();
-        let mut scored: Vec<(f64, f64, f64)> = pop.iter().map(|e| score(e, &mut stats)).collect();
+        let mut scored = score_population(cfg, &pop, &ctx, &mut cache, &mut stats, &mut scratch);
 
         let mut best_idx = argmin(&scored);
         let mut best = (pop[best_idx].clone(), scored[best_idx]);
@@ -292,7 +575,7 @@ impl SymbolicRegressor {
                 }
             }
             pop = next;
-            scored = pop.iter().map(|e| score(e, &mut stats)).collect();
+            scored = score_population(cfg, &pop, &ctx, &mut cache, &mut stats, &mut scratch);
             best_idx = argmin(&scored);
             if scored[best_idx].0 < best.1 .0 {
                 best = (pop[best_idx].clone(), scored[best_idx]);
@@ -305,7 +588,7 @@ impl SymbolicRegressor {
         let expr = best.0.canonicalize();
         // Re-fit scaling on the canonical tree (identical semantics, but
         // be safe against constant-folding rounding).
-        let (_, a, b) = scaled_fitness(&expr, data, 0.0, 0);
+        let (_, a, b) = ctx.fitness_tree(&expr, 0.0, 0, &mut scratch);
         let model = SymbolicModel {
             expr,
             scale: a,
@@ -336,6 +619,17 @@ fn tournament(rng: &mut SplitMix64, scored: &[(f64, f64, f64)], k: usize) -> usi
         }
     }
     best
+}
+
+/// A ramped half-and-half population like the engine's initialization —
+/// public so benches can score realistic candidate pools without running
+/// the full search.
+pub fn random_population(seed: u64, arity: usize, count: usize, max_depth: usize) -> Vec<Expr> {
+    let mut rng = SplitMix64::new(seed);
+    let ramp = max_depth.saturating_sub(1).max(1);
+    (0..count)
+        .map(|i| random_tree(&mut rng, arity, 2 + (i % ramp), i % 2 == 0))
+        .collect()
 }
 
 /// Random tree generation ("full" or "grow" method).
@@ -499,6 +793,101 @@ mod tests {
             (r_on - r_off).abs() / scale <= 0.01,
             "admission changed RMSE: {r_on} vs {r_off}"
         );
+    }
+
+    #[test]
+    fn engine_toggles_preserve_search_trajectory_bitwise() {
+        // The acceptance contract of the compiled engine: every
+        // combination of {compiled, parallel, memo} returns the same
+        // best model, bit for bit, and identical admission counters
+        // (modulo the cache-hit field, which only the memoized runs
+        // populate).
+        let d = dataset_from(|x| x[0] * x[1] + 3.0 * x[0], 2, 100, 21);
+        let mut reference: Option<(SymbolicModel, GpRunStats)> = None;
+        for mask in 0..8u8 {
+            let cfg = GpConfig {
+                compiled: mask & 1 != 0,
+                parallel: mask & 2 != 0,
+                memo: mask & 4 != 0,
+                ..GpConfig::fast(17)
+            };
+            let (m, s) = SymbolicRegressor::new(cfg).fit_with_stats(&d).unwrap();
+            match &reference {
+                None => reference = Some((m, s)),
+                Some((m0, s0)) => {
+                    assert_eq!(&m, m0, "mask {mask:#05b} changed the best model");
+                    assert_eq!(s.candidates, s0.candidates);
+                    assert_eq!(s.rejected, s0.rejected);
+                    assert_eq!(s.original_nodes, s0.original_nodes);
+                    assert_eq!(s.evaluated_nodes, s0.evaluated_nodes);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn config_engine_toggles_default_on_for_pre_compiled_json() {
+        // Config files written before the compiled engine existed carry
+        // none of the toggle fields: they must load with the fast path on.
+        let old = r#"{"population":96,"generations":30,"tournament":5,"max_depth":8,
+                      "crossover_prob":0.85,"parsimony":0.0001,"elitism":4,"seed":7,
+                      "admission":true}"#;
+        let cfg: GpConfig = serde_json::from_str(old).expect("old config loads");
+        assert!(cfg.compiled && cfg.parallel && cfg.memo);
+        // and a full roundtrip preserves explicit opt-outs
+        let off = GpConfig {
+            compiled: false,
+            parallel: false,
+            memo: false,
+            ..GpConfig::default()
+        };
+        let back: GpConfig = serde_json::from_str(&serde_json::to_string(&off).unwrap()).unwrap();
+        assert_eq!(back, off);
+    }
+
+    #[test]
+    fn memo_cache_reports_hits_for_duplicates_and_elites() {
+        let d = dataset_from(|x| 2.0 * x[0] + x[1], 2, 80, 22);
+        let cfg = GpConfig {
+            memo: true,
+            ..GpConfig::fast(3)
+        };
+        let (_, stats) = SymbolicRegressor::new(cfg).fit_with_stats(&d).unwrap();
+        // Elites alone guarantee hits: they are re-scored every
+        // generation and always cached.
+        assert!(
+            stats.cache_hits as usize >= GpConfig::fast(3).elitism,
+            "cache hits {}",
+            stats.cache_hits
+        );
+        assert!(stats.cache_hit_rate() > 0.0 && stats.cache_hit_rate() < 1.0);
+        let off = GpConfig {
+            memo: false,
+            ..GpConfig::fast(3)
+        };
+        let (_, s_off) = SymbolicRegressor::new(off).fit_with_stats(&d).unwrap();
+        assert_eq!(s_off.cache_hits, 0);
+    }
+
+    #[test]
+    fn score_population_matches_fitness_tree_reference() {
+        let d = dataset_from(|x| x[0] + 2.0 * x[1], 2, 60, 23);
+        let ctx = FitContext::new(&d);
+        let pop = random_population(9, 2, 64, 6);
+        let cfg = GpConfig::default();
+        let mut cache = FitnessCache::new();
+        let mut stats = GpRunStats::default();
+        let mut scratch = FitScratch::default();
+        let scored = score_population(&cfg, &pop, &ctx, &mut cache, &mut stats, &mut scratch);
+        assert_eq!(scored.len(), pop.len());
+        for (e, &(f, a, b)) in pop.iter().zip(&scored) {
+            let canon = e.clone().canonicalize();
+            let (rf, ra, rb) =
+                ctx.fitness_tree(&canon, cfg.parsimony, e.node_count(), &mut scratch);
+            assert_eq!(f.to_bits(), rf.to_bits());
+            assert_eq!(a.to_bits(), ra.to_bits());
+            assert_eq!(b.to_bits(), rb.to_bits());
+        }
     }
 
     #[test]

@@ -15,10 +15,18 @@
 //! Models implement [`PerfModel`], predicting seconds from a feature vector
 //! (the workload parameters `N_p`, `N_gp`, `N_el`, `N`, filter). Accuracy is
 //! reported as MAPE, the paper's headline metric.
+//!
+//! The GP inner loop runs on a compiled fitness engine ([`compile`]):
+//! candidate trees are lowered to flat bytecode tapes and batch-evaluated
+//! over columnar feature storage ([`dataset::Columns`]), with population
+//! scoring parallelized and memoized by canonical-form hash — all
+//! bit-identical to the recursive reference evaluator, so the search
+//! trajectory for a fixed seed never depends on which path ran.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compile;
 pub mod dataset;
 pub mod expr;
 pub mod gp;
@@ -26,8 +34,9 @@ pub mod linalg;
 pub mod linear;
 pub mod model;
 
-pub use dataset::Dataset;
+pub use compile::{CompiledExpr, EvalScratch};
+pub use dataset::{Columns, Dataset};
 pub use expr::Expr;
-pub use gp::{GpConfig, GpRunStats, SymbolicRegressor};
+pub use gp::{FitContext, FitScratch, GpConfig, GpRunStats, SymbolicRegressor};
 pub use linear::{LinearModel, PolynomialModel};
 pub use model::{FittedModel, PerfModel};

@@ -1,0 +1,139 @@
+//! Property-based evidence for the compiled-evaluation contract: the
+//! bytecode tape is bit-identical to the recursive evaluator on arbitrary
+//! trees and adversarial inputs (signed zeros, subnormals, guard-band
+//! divisors, overflow magnitudes), and the structural hash that keys the
+//! GP fitness memo never aliases distinct canonical forms.
+
+use pic_models::{CompiledExpr, Dataset, EvalScratch, Expr};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn expr_strategy() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-5.0..5.0f64).prop_map(Expr::Const),
+        // near-guard constants so protected division gets exercised from
+        // the constant side too
+        (-2.0..2.0f64).prop_map(|t| Expr::Const(t * 1e-9)),
+        (0usize..4).prop_map(Expr::Var), // Var(3) is out of range for arity 3
+    ];
+    leaf.prop_recursive(5, 96, 2, |inner| {
+        (inner.clone(), inner, 0..4u8).prop_map(|(a, b, op)| match op {
+            0 => Expr::Add(Box::new(a), Box::new(b)),
+            1 => Expr::Sub(Box::new(a), Box::new(b)),
+            2 => Expr::Mul(Box::new(a), Box::new(b)),
+            _ => Expr::Div(Box::new(a), Box::new(b)),
+        })
+    })
+}
+
+/// Inputs weighted toward the evaluator's edge cases.
+fn value_strategy() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -10.0..10.0f64,
+        -10.0..10.0f64,
+        -10.0..10.0f64,
+        Just(0.0),
+        Just(-0.0),
+        Just(f64::MIN_POSITIVE / 2.0),         // subnormal
+        Just(-f64::from_bits(1)),              // smallest-magnitude subnormal
+        (-2.0..2.0f64).prop_map(|t| t * 1e-9), // straddles the div guard
+        Just(1e300),                           // overflow territory
+        Just(-1e300),
+    ]
+}
+
+fn rows_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(value_strategy(), 3), 1..10)
+}
+
+/// Bitwise agreement, with NaN equal to NaN regardless of payload.
+fn same_bits(a: f64, b: f64) -> bool {
+    a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan())
+}
+
+fn dataset_of(rows: &[Vec<f64>]) -> Dataset {
+    let mut d = Dataset::new(vec!["a".into(), "b".into(), "c".into()]);
+    for r in rows {
+        d.push(r.clone(), 0.0);
+    }
+    d
+}
+
+proptest! {
+    #[test]
+    fn tape_is_bit_identical_to_tree_eval(e in expr_strategy(), rows in rows_strategy()) {
+        let tape = CompiledExpr::compile(&e);
+        prop_assert_eq!(tape.ops(), e.node_count());
+        let cols = dataset_of(&rows).columns();
+        let mut out = vec![0.0; rows.len()];
+        let mut scratch = EvalScratch::new();
+        tape.eval_batch(&cols, &mut out, &mut scratch);
+        for (i, row) in rows.iter().enumerate() {
+            let tree = e.eval(row);
+            prop_assert!(
+                same_bits(tree, out[i]),
+                "batch diverges on row {i} {row:?}: tree {tree:e} ({:#x}) vs batch {:e} ({:#x})\n{e:?}",
+                tree.to_bits(), out[i], out[i].to_bits()
+            );
+            let one = tape.eval_row(row);
+            prop_assert!(
+                same_bits(tree, one),
+                "eval_row diverges on row {i} {row:?}: tree {tree:e} vs tape {one:e}\n{e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn canonical_form_tape_matches_its_own_tree(e in expr_strategy(), rows in rows_strategy()) {
+        // The GP engine evaluates canonical forms through the tape; the
+        // contract must hold for those trees too (constant folding can
+        // produce values no leaf strategy generates directly).
+        let canon = e.canonicalize();
+        let tape = CompiledExpr::compile(&canon);
+        let cols = dataset_of(&rows).columns();
+        let mut out = vec![0.0; rows.len()];
+        tape.eval_batch(&cols, &mut out, &mut EvalScratch::new());
+        for (i, row) in rows.iter().enumerate() {
+            prop_assert!(same_bits(canon.eval(row), out[i]), "row {row:?} of {canon:?}");
+        }
+    }
+
+    #[test]
+    fn slots_never_exceed_depth(e in expr_strategy()) {
+        let tape = CompiledExpr::compile(&e);
+        prop_assert!(tape.slots() >= 1);
+        prop_assert!(tape.slots() <= e.depth(), "{} slots for depth {}", tape.slots(), e.depth());
+    }
+
+    #[test]
+    fn structural_hash_never_aliases_canonical_forms(
+        es in proptest::collection::vec(expr_strategy(), 2..24)
+    ) {
+        // The fitness memo answers candidate i with candidate j's base
+        // fitness whenever their hashes match — so hash-equal must imply
+        // canonical-form-equal across the whole corpus.
+        let mut seen: HashMap<u64, Expr> = HashMap::new();
+        for e in es {
+            let canon = e.canonicalize();
+            let h = canon.structural_hash();
+            match seen.get(&h) {
+                Some(prev) => prop_assert_eq!(
+                    prev, &canon,
+                    "hash {:#018x} shared by distinct canonical forms", h
+                ),
+                None => {
+                    seen.insert(h, canon);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equal_canonical_forms_hash_equal(e in expr_strategy()) {
+        // ...and the converse direction: hashing is a pure function of
+        // structure, so a clone always lands on the same memo entry.
+        let canon = e.clone().canonicalize();
+        let again = e.canonicalize();
+        prop_assert_eq!(canon.structural_hash(), again.structural_hash());
+    }
+}

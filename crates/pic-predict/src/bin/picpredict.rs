@@ -274,6 +274,10 @@ fn cmd_check(flags: &HashMap<String, String>) -> Result<()> {
                         warnings += 1;
                     }
                 }
+                // Differential check: the compiled tape predictions run on
+                // must match the tree evaluator on the space's corners.
+                pic_analysis::check_compiled_equivalence(&sm.expr, &space)
+                    .map_err(|e| PicError::model(format!("kernel '{}': {e}", km.kernel)))?;
             }
         }
         println!(

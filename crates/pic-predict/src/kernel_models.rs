@@ -1,6 +1,8 @@
 //! Per-kernel performance models fitted from instrumentation records.
 
-use pic_models::{Dataset, FittedModel, GpConfig, LinearModel, PerfModel, SymbolicRegressor};
+use pic_models::{
+    CompiledExpr, Dataset, FittedModel, GpConfig, LinearModel, PerfModel, SymbolicRegressor,
+};
 use pic_sim::instrument::WorkloadParams;
 use pic_sim::{KernelKind, Recorder};
 use pic_types::{PicError, Result};
@@ -49,6 +51,21 @@ impl FitStrategy {
         }
     }
 }
+
+/// Maximum depth accepted for a symbolic model's expression tree. The
+/// recursive walkers that render and analyze admitted models (and serde's
+/// `Serialize`) stay far from the thread stack limit at this bound;
+/// evaluation itself is depth-safe regardless (deep trees run on the
+/// compiled tape). Checked iteratively by [`KernelModel::validate`].
+pub const MAX_EXPR_DEPTH: usize = 512;
+
+/// Maximum raw JSON nesting depth accepted by [`KernelModels::from_json`].
+/// Scanned byte-wise *before* parsing, because the parser and the derived
+/// `Deserialize` recurse per nesting level — a hostile or corrupt model
+/// file must be rejected before it can touch the call stack. Generous:
+/// a [`MAX_EXPR_DEPTH`]-deep expression serializes to ~2 JSON levels per
+/// node, well under this cap.
+pub const MAX_JSON_DEPTH: usize = 4096;
 
 /// One kernel's fitted model plus the feature columns it consumes
 /// (indices into [`WorkloadParams::features`]).
@@ -118,6 +135,13 @@ impl KernelModel {
                 }
             }
             FittedModel::Symbolic(m) => {
+                // Depth gate first: it is iterative, and everything after
+                // it (the analyzer, rendering, serialization) recurses.
+                if m.expr.depth_within(MAX_EXPR_DEPTH).is_none() {
+                    return Err(ctx(format!(
+                        "symbolic expression nests deeper than {MAX_EXPR_DEPTH} levels"
+                    )));
+                }
                 pic_analysis::check_model_expr(&m.expr, arity).map_err(|e| ctx(e.to_string()))?;
                 if !m.scale.is_finite() || !m.offset.is_finite() {
                     return Err(ctx("symbolic model has non-finite scaling".into()));
@@ -129,9 +153,40 @@ impl KernelModel {
 }
 
 /// The full set of per-kernel performance models.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Symbolic models are lowered to compiled bytecode tapes at
+/// construction (fit *and* load), so every downstream prediction —
+/// pipeline assembly, DES replay — runs on the non-recursive tape
+/// instead of walking the boxed expression tree. Bit-identical output
+/// either way; the tapes are derived state and are never serialized.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct KernelModels {
     models: Vec<KernelModel>,
+    /// Compiled tape per model (`None` for linear/polynomial), aligned
+    /// with `models`. Rebuilt by every constructor; empty only on the
+    /// deserialization fast path, which [`KernelModels::from_json`]
+    /// immediately repairs.
+    #[serde(skip)]
+    compiled: Vec<Option<CompiledExpr>>,
+}
+
+impl PartialEq for KernelModels {
+    fn eq(&self, other: &KernelModels) -> bool {
+        // The tapes are a pure function of the models: comparing them
+        // would only distinguish construction paths, not content.
+        self.models == other.models
+    }
+}
+
+/// Lower each symbolic model's expression to a tape.
+fn compile_tapes(models: &[KernelModel]) -> Vec<Option<CompiledExpr>> {
+    models
+        .iter()
+        .map(|m| match &m.model {
+            FittedModel::Symbolic(s) => Some(CompiledExpr::compile(&s.expr)),
+            _ => None,
+        })
+        .collect()
 }
 
 impl KernelModels {
@@ -157,6 +212,14 @@ impl KernelModels {
             let test = if test.is_empty() { train.clone() } else { test };
 
             let (model, mape) = fit_one(&train, &test, strategy, seed)?;
+            if let FittedModel::Symbolic(s) = &model {
+                // Differential admission: the compiled tape every later
+                // prediction runs on must agree bit-for-bit with the tree
+                // on the corners of the training feature space.
+                let space = pic_analysis::FeatureSpace::from_dataset(&data);
+                pic_analysis::check_compiled_equivalence(&s.expr, &space)
+                    .map_err(|e| PicError::model(format!("kernel '{kernel}': {e}")))?;
+            }
             models.push(KernelModel {
                 kernel,
                 model,
@@ -167,7 +230,7 @@ impl KernelModels {
         if models.is_empty() {
             return Err(PicError::model("recorder holds no training records"));
         }
-        Ok(KernelModels { models })
+        Ok(KernelModels::from_models(models))
     }
 
     /// The model for a kernel, if fitted.
@@ -184,7 +247,10 @@ impl KernelModels {
     /// tools and tests that need to construct sets (including deliberately
     /// invalid ones); loading from disk still validates.
     pub fn from_models(models: Vec<KernelModel>) -> KernelModels {
-        KernelModels { models }
+        KernelModels {
+            compiled: compile_tapes(&models),
+            models,
+        }
     }
 
     /// Run [`KernelModel::validate`] on every model.
@@ -203,12 +269,19 @@ impl KernelModels {
     /// Predict one kernel's execution seconds for a workload. Negative
     /// model outputs clamp to zero (times cannot be negative).
     pub fn predict(&self, kernel: KernelKind, params: &WorkloadParams) -> f64 {
-        let Some(km) = self.model(kernel) else {
+        let Some(idx) = self.models.iter().position(|m| m.kernel == kernel) else {
             return 0.0;
         };
+        let km = &self.models[idx];
         let feats = params.features();
         let row: Vec<f64> = km.feature_columns.iter().map(|&c| feats[c]).collect();
-        km.model.predict(&row).max(0.0)
+        let raw = match (&km.model, self.compiled.get(idx).and_then(Option::as_ref)) {
+            // Compiled path: same IEEE operations as `Expr::eval`, so the
+            // prediction is bit-identical to the tree walk.
+            (FittedModel::Symbolic(s), Some(tape)) => s.scale * tape.eval_row(&row) + s.offset,
+            (m, _) => m.predict(&row),
+        };
+        raw.max(0.0)
     }
 
     /// Per-kernel held-out validation MAPE (percent).
@@ -246,13 +319,54 @@ impl KernelModels {
     }
 
     /// Parse from JSON, rejecting structurally invalid models (the
-    /// analyzer admission pass — see [`KernelModel::validate`]).
+    /// analyzer admission pass — see [`KernelModel::validate`]) and
+    /// hostile nesting depths (see [`MAX_JSON_DEPTH`]), then compile the
+    /// admitted symbolic models to tapes.
     pub fn from_json(s: &str) -> Result<KernelModels> {
-        let models: KernelModels = serde_json::from_str(s)
+        json_depth_check(s, MAX_JSON_DEPTH)?;
+        let mut models: KernelModels = serde_json::from_str(s)
             .map_err(|e| PicError::model(format!("bad models JSON: {e}")))?;
         models.validate()?;
+        models.compiled = compile_tapes(&models.models);
         Ok(models)
     }
+}
+
+/// Reject JSON whose raw `{`/`[` nesting exceeds `max` *before* handing
+/// it to the recursive parser. String-literal aware (brackets inside
+/// strings, including escaped quotes, do not count). Reports the byte
+/// offset where the limit was crossed.
+fn json_depth_check(s: &str, max: usize) -> Result<()> {
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, b) in s.bytes().enumerate() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_str = true,
+            b'{' | b'[' => {
+                depth += 1;
+                if depth > max {
+                    return Err(PicError::model(format!(
+                        "models JSON nests deeper than {max} levels (at byte {i}); \
+                         refusing to parse"
+                    )));
+                }
+            }
+            b'}' | b']' => depth = depth.saturating_sub(1),
+            _ => {}
+        }
+    }
+    Ok(())
 }
 
 /// Build the full-feature dataset for one kernel's records.
@@ -455,12 +569,10 @@ mod tests {
     fn corrupt_serialized_models_fail_to_load() {
         use pic_models::Expr;
         // a valid single-model set...
-        let good = KernelModels {
-            models: vec![symbolic_kernel_model(
-                Expr::Mul(Box::new(Expr::Var(0)), Box::new(Expr::Const(2.0))),
-                vec![0],
-            )],
-        };
+        let good = KernelModels::from_models(vec![symbolic_kernel_model(
+            Expr::Mul(Box::new(Expr::Var(0)), Box::new(Expr::Const(2.0))),
+            vec![0],
+        )]);
         let json = good.to_json();
         assert!(KernelModels::from_json(&json).is_ok());
         // ...corrupted on disk: the variable index now points past the arity
@@ -496,6 +608,107 @@ mod tests {
         };
         let err = m.validate().unwrap_err().to_string();
         assert!(err.contains("99"), "{err}");
+    }
+
+    /// Serialized `Add` chain of the given length around a `Var(0)` leaf,
+    /// built by string concatenation: serializing a real tree would
+    /// recurse, which is exactly what the load path must survive without.
+    fn deep_expr_json(levels: usize) -> String {
+        let mut s = String::with_capacity(24 * levels + 16);
+        for _ in 0..levels {
+            s.push_str("{\"Add\": [{\"Const\": 1.0}, ");
+        }
+        s.push_str("{\"Var\": 0}");
+        for _ in 0..levels {
+            s.push_str("]}");
+        }
+        s
+    }
+
+    fn with_deep_expr(levels: usize) -> String {
+        let good = KernelModels::from_models(vec![symbolic_kernel_model(
+            pic_models::Expr::Var(0),
+            vec![0],
+        )]);
+        let json = good.to_json();
+        let bad = json.replace("{\"Var\": 0}", &deep_expr_json(levels));
+        // Pretty-printing may break the expr across lines; fall back to
+        // replacing the bare tag.
+        if bad != json {
+            bad
+        } else {
+            json.replace(
+                "\"Var\": 0",
+                &deep_expr_json(levels)[1..deep_expr_json(levels).len() - 1],
+            )
+        }
+    }
+
+    #[test]
+    fn hundred_k_deep_model_file_is_rejected_before_parsing() {
+        // A ~100k-deep expression would overflow the stack in the parser,
+        // the derived Deserialize, or the drop glue — the raw-depth scan
+        // must reject it first, as a clean error.
+        let hostile = with_deep_expr(100_000);
+        let err = KernelModels::from_json(&hostile).unwrap_err().to_string();
+        assert!(err.contains("nests deeper"), "{err}");
+        assert!(err.contains("byte"), "{err}");
+    }
+
+    #[test]
+    fn over_deep_expression_is_rejected_by_validation() {
+        // Deep enough to exceed the expression bound, shallow enough to
+        // parse: the iterative depth gate in validate() must catch it.
+        let sneaky = with_deep_expr(MAX_EXPR_DEPTH + 100);
+        let err = KernelModels::from_json(&sneaky).unwrap_err().to_string();
+        assert!(
+            err.contains(&format!("nests deeper than {MAX_EXPR_DEPTH}")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn compiled_predictions_match_tree_walk_bitwise() {
+        use pic_models::Expr;
+        // (f0 * 2 + f1) / f0 exercises add/mul/div including the guard
+        let expr = Expr::Div(
+            Box::new(Expr::Add(
+                Box::new(Expr::Mul(
+                    Box::new(Expr::Var(0)),
+                    Box::new(Expr::Const(2.0)),
+                )),
+                Box::new(Expr::Var(1)),
+            )),
+            Box::new(Expr::Var(0)),
+        );
+        let km = KernelModel {
+            model: FittedModel::Symbolic(pic_models::gp::SymbolicModel {
+                expr: expr.clone(),
+                scale: 1.5,
+                offset: 0.25,
+                feature_names: vec!["f0".into(), "f1".into()],
+            }),
+            feature_columns: vec![0, 1],
+            ..symbolic_kernel_model(Expr::Var(0), vec![0, 1])
+        };
+        let models = KernelModels::from_models(vec![km]);
+        // ...and a loaded copy, whose tapes come from the from_json rebuild
+        let loaded = KernelModels::from_json(&models.to_json()).unwrap();
+        for np in [0.0, 1.0, 513.0, 2e4] {
+            let p = WorkloadParams {
+                np,
+                ngp: 3.0 * np + 1.0,
+                nel: 27.0,
+                n_order: 5.0,
+                filter: 0.05,
+            };
+            let feats = p.features();
+            let want = (1.5 * expr.eval(&[feats[0], feats[1]]) + 0.25).max(0.0);
+            let got = models.predict(KernelKind::ParticlePusher, &p);
+            assert_eq!(got.to_bits(), want.to_bits());
+            let got_loaded = loaded.predict(KernelKind::ParticlePusher, &p);
+            assert_eq!(got_loaded.to_bits(), want.to_bits());
+        }
     }
 
     #[test]

@@ -7,7 +7,10 @@
 //! * `#[serde(rename_all = "kebab-case" | "snake_case")]`;
 //! * `#[serde(tag = "...")]` internally tagged enums (unit, struct, and
 //!   newtype variants whose payload serializes to a map);
-//! * `#[serde(default)]` on fields (and on containers, applied per field).
+//! * `#[serde(default)]` on fields (and on containers, applied per field);
+//! * `#[serde(default = "path")]` on fields (missing field calls `path()`);
+//! * `#[serde(skip)]` on named struct fields (never serialized,
+//!   deserialized to `Default::default()`).
 //!
 //! No `syn`/`quote`: the input item is parsed directly from the token
 //! stream and the impl is emitted as a source string.
@@ -19,11 +22,18 @@ struct SerdeAttrs {
     rename_all: Option<String>,
     tag: Option<String>,
     default: bool,
+    /// `#[serde(default = "path")]`: function called for missing fields.
+    default_path: Option<String>,
+    /// `#[serde(skip)]`: field is never serialized and deserializes to
+    /// its `Default` (named struct fields only).
+    skip: bool,
 }
 
 struct Field {
     name: String,
     default: bool,
+    default_path: Option<String>,
+    skip: bool,
 }
 
 enum Shape {
@@ -128,7 +138,9 @@ fn parse_serde_args(stream: TokenStream, out: &mut SerdeAttrs) {
         match (key.as_str(), value) {
             ("rename_all", Some(v)) => out.rename_all = Some(v),
             ("tag", Some(v)) => out.tag = Some(v),
-            ("default", _) => out.default = true,
+            ("default", Some(path)) => out.default_path = Some(path),
+            ("default", None) => out.default = true,
+            ("skip", _) => out.skip = true,
             // Unknown keys are ignored: this stand-in only implements the
             // attributes the workspace uses.
             _ => {}
@@ -206,6 +218,8 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
         fields.push(Field {
             name,
             default: attrs.default,
+            default_path: attrs.default_path,
+            skip: attrs.skip,
         });
     }
     fields
@@ -316,6 +330,9 @@ fn gen_serialize(input: &Input) -> String {
                     "let mut __m: Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
                 );
                 for f in fields {
+                    if f.skip {
+                        continue;
+                    }
                     let key = rename(&f.name, input.attrs.rename_all.as_deref());
                     s.push_str(&format!(
                         "__m.push((\"{key}\".to_string(), ::serde::Serialize::serialize(&self.{f})));\n",
@@ -435,8 +452,17 @@ fn gen_named_field_reads(
 ) -> String {
     let mut s = String::new();
     for f in fields {
+        if f.skip {
+            s.push_str(&format!(
+                "{f}: ::std::default::Default::default(),\n",
+                f = f.name
+            ));
+            continue;
+        }
         let key = rename(&f.name, None);
-        let missing = if f.default || container_default {
+        let missing = if let Some(path) = &f.default_path {
+            format!("{path}()")
+        } else if f.default || container_default {
             "::std::default::Default::default()".to_string()
         } else {
             format!(
