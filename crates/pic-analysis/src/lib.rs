@@ -39,4 +39,7 @@ pub use expr_check::{
 pub use interval::Interval;
 pub use pipeline_model::{verify_pipeline, verify_streaming_shutdown, PipelineSpec};
 pub use sched::{explore, Exploration, Model, ScheduleError};
-pub use workload::{assert_workload_valid, check_workload, WorkloadViolation};
+pub use workload::{
+    assert_sweep_valid, assert_workload_valid, check_sweep, check_workload, SweepViolation,
+    WorkloadViolation,
+};

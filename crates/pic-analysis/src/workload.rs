@@ -351,6 +351,68 @@ pub fn assert_workload_valid(
     )))
 }
 
+/// One violated invariant inside a sweep grid, positioned by grid point on
+/// top of the invariant's own `(rank, sample)` coordinates.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SweepViolation {
+    /// Index of the offending workload in the sweep's point list.
+    pub point: usize,
+    /// The underlying invariant violation.
+    pub violation: WorkloadViolation,
+}
+
+impl std::fmt::Display for SweepViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "point {}: {}", self.point, self.violation)
+    }
+}
+
+/// Run the full invariant catalog over every grid point a sweep emitted —
+/// one call, `(point, rank, sample)`-positioned diagnostics.
+///
+/// `expected_particles` pins every point's conservation total to the
+/// trace's `N_p`; the sweep engine replays one trace for the whole grid,
+/// so a single reference count applies to every point.
+pub fn check_sweep(
+    workloads: &[DynamicWorkload],
+    expected_particles: Option<u64>,
+) -> Vec<SweepViolation> {
+    workloads
+        .iter()
+        .enumerate()
+        .flat_map(|(point, w)| {
+            check_workload(w, expected_particles)
+                .into_iter()
+                .map(move |violation| SweepViolation { point, violation })
+        })
+        .collect()
+}
+
+/// [`check_sweep`] as a hard gate: formats the violations into one
+/// [`PicError`] for sweep call sites (`picpredict sweep` refuses to emit a
+/// grid that fails it).
+pub fn assert_sweep_valid(
+    workloads: &[DynamicWorkload],
+    expected_particles: Option<u64>,
+) -> Result<(), PicError> {
+    let violations = check_sweep(workloads, expected_particles);
+    if violations.is_empty() {
+        return Ok(());
+    }
+    let shown: Vec<String> = violations.iter().take(5).map(|v| v.to_string()).collect();
+    let suffix = if violations.len() > 5 {
+        format!(" (+{} more)", violations.len() - 5)
+    } else {
+        String::new()
+    };
+    Err(PicError::model(format!(
+        "sweep failed invariant check with {} violation(s) across {} grid point(s): {}{suffix}",
+        violations.len(),
+        workloads.len(),
+        shown.join("; ")
+    )))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -431,6 +493,31 @@ mod tests {
         assert!(codes.contains(&"ghost-balance"), "{v:?}");
         let gr = v.iter().find(|x| x.code == "ghost-recv").unwrap();
         assert_eq!((gr.rank, gr.sample), (Some(0), Some(0)));
+    }
+
+    #[test]
+    fn sweep_check_positions_by_grid_point() {
+        let good = valid();
+        let mut bad = valid();
+        bad.comm.entries[1][0].2 = 2; // comm-flow violations at point 2
+        let grid = vec![good.clone(), good, bad];
+        let v = check_sweep(&grid, Some(10));
+        assert!(!v.is_empty());
+        assert!(v.iter().all(|x| x.point == 2), "{v:?}");
+        assert!(v.iter().any(|x| x.violation.code == "comm-flow"));
+        let s = v[0].to_string();
+        assert!(s.starts_with("point 2:"), "{s}");
+        let err = assert_sweep_valid(&grid, Some(10)).unwrap_err();
+        assert!(err.to_string().contains("point 2"), "{err}");
+        assert!(err.to_string().contains("3 grid point(s)"), "{err}");
+    }
+
+    #[test]
+    fn sweep_check_accepts_clean_grids() {
+        let grid = vec![valid(), valid()];
+        assert_eq!(check_sweep(&grid, Some(10)), vec![]);
+        assert!(assert_sweep_valid(&grid, Some(10)).is_ok());
+        assert!(assert_sweep_valid(&[], None).is_ok());
     }
 
     #[test]

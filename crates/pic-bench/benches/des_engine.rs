@@ -50,5 +50,33 @@ fn des_events(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, des_events);
+/// Event-queue pressure: the engine's `BinaryHeap` loop with deep queues.
+///
+/// High fan-out schedules keep hundreds to tens of thousands of pending
+/// `MsgArrive` events in the heap at once, so this group measures the
+/// push/pop cost of `simulate`'s event loop rather than the bookkeeping
+/// around it. Neighbor sync avoids the barrier's batch release, which
+/// would otherwise drain the queue in lockstep and hide heap depth.
+fn des_heap_pressure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des_event_queue");
+    group.sample_size(10);
+    let ranks = 128usize;
+    let steps = 20usize;
+    for &msgs in &[4usize, 16, 64] {
+        let sched = schedule(ranks, steps, msgs, 11);
+        let events = (ranks * steps * (1 + msgs)) as u64;
+        group.throughput(Throughput::Elements(events));
+        group.bench_with_input(
+            BenchmarkId::new("neighbor_sync", format!("fanout{msgs}")),
+            &sched,
+            |b, sched| {
+                let machine = MachineSpec::quartz_like();
+                b.iter(|| simulate(sched, &machine, SyncMode::NeighborSync).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, des_events, des_heap_pressure);
 criterion_main!(benches);

@@ -203,6 +203,30 @@ impl RegionIndex {
         scratch: &mut RegionQueryScratch,
         mut visit: impl FnMut(Rank),
     ) {
+        self.for_each_candidate_in_sphere(center, radius, scratch, |rank, _d2| visit(rank));
+    }
+
+    /// Candidate-set query for multi-radius sweeps: visit each rank whose
+    /// region touches the sphere at `center` with radius `radius`, passing
+    /// the exact squared distance from `center` to the region's box (zero
+    /// when the center lies inside it).
+    ///
+    /// Sphere–box overlap is monotone in the radius — the region touches a
+    /// sphere of radius `r ≤ radius` exactly when the reported distance
+    /// satisfies `d² ≤ r²`, the same closed comparison
+    /// [`Aabb::intersects_sphere`] performs. One query at the *maximum*
+    /// radius of a sweep therefore yields the touching set at every smaller
+    /// radius by filtering the retained distances, with no re-query.
+    /// Visit order, dedup behavior, and allocation discipline match
+    /// [`for_each_rank_touching_sphere`](Self::for_each_rank_touching_sphere).
+    #[inline]
+    pub fn for_each_candidate_in_sphere(
+        &self,
+        center: Vec3,
+        radius: f64,
+        scratch: &mut RegionQueryScratch,
+        mut visit: impl FnMut(Rank, f64),
+    ) {
         if self.bounds.is_empty() {
             return;
         }
@@ -211,6 +235,7 @@ impl RegionIndex {
             return;
         }
         scratch.begin(self);
+        let rr = radius * radius;
         let (lo, hi) = self.cell_range(&query);
         for cz in lo[2]..=hi[2] {
             for cy in lo[1]..=hi[1] {
@@ -221,8 +246,11 @@ impl RegionIndex {
                             continue; // already tested this query
                         }
                         *stamp = scratch.epoch;
-                        if self.live_boxes[slot as usize].intersects_sphere(center, radius) {
-                            visit(self.live_ranks[slot as usize]);
+                        // Live boxes are never empty, so this distance test
+                        // is exactly `Aabb::intersects_sphere`.
+                        let d2 = self.live_boxes[slot as usize].distance_sq_to_point(center);
+                        if d2 <= rr {
+                            visit(self.live_ranks[slot as usize], d2);
                         }
                     }
                 }
@@ -427,5 +455,71 @@ mod tests {
         assert_eq!(out, vec![Rank::new(0)]);
         idx.ranks_touching_sphere(Vec3::new(0.5, 0.5, 0.3), 0.1, &mut out);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn candidate_distances_are_exact_box_distances() {
+        let regions = octant_regions();
+        let idx = RegionIndex::build(&regions);
+        let mut scratch = RegionQueryScratch::new();
+        let mut rng = SplitMix64::new(99);
+        for _ in 0..200 {
+            let c = Vec3::new(
+                rng.next_range(-0.2, 1.2),
+                rng.next_range(-0.2, 1.2),
+                rng.next_range(-0.2, 1.2),
+            );
+            let r = rng.next_range(0.0, 0.6);
+            let mut seen = Vec::new();
+            idx.for_each_candidate_in_sphere(c, r, &mut scratch, |rank, d2| {
+                assert_eq!(
+                    d2,
+                    regions[rank.index()].distance_sq_to_point(c),
+                    "reported distance must be the exact box distance"
+                );
+                assert!(d2 <= r * r);
+                seen.push(rank);
+            });
+            seen.sort_unstable();
+            assert_eq!(seen, brute(&regions, c, r), "c={c} r={r}");
+        }
+    }
+
+    #[test]
+    fn candidate_filtering_is_monotone_in_radius() {
+        // One query at r_max, filtered down by retained d², must equal a
+        // dedicated query at every smaller radius — the sweep engine's
+        // one-query-many-radii contract.
+        let regions = octant_regions();
+        let idx = RegionIndex::build(&regions);
+        let mut scratch = RegionQueryScratch::new();
+        let radii = [0.0, 0.05, 0.11, 0.27, 0.6];
+        let r_max = 0.6;
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..200 {
+            let c = Vec3::new(
+                rng.next_range(-0.3, 1.3),
+                rng.next_range(-0.3, 1.3),
+                rng.next_range(-0.3, 1.3),
+            );
+            let mut candidates = Vec::new();
+            idx.for_each_candidate_in_sphere(c, r_max, &mut scratch, |rank, d2| {
+                candidates.push((rank, d2));
+            });
+            for &r in &radii {
+                let mut filtered: Vec<Rank> = candidates
+                    .iter()
+                    .filter(|&&(_, d2)| d2 <= r * r)
+                    .map(|&(rank, _)| rank)
+                    .collect();
+                filtered.sort_unstable();
+                let mut direct = Vec::new();
+                idx.for_each_candidate_in_sphere(c, r, &mut scratch, |rank, _| {
+                    direct.push(rank);
+                });
+                direct.sort_unstable();
+                assert_eq!(filtered, direct, "c={c} r={r}");
+            }
+        }
     }
 }

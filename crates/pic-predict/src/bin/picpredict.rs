@@ -56,7 +56,9 @@ const USAGE: &str = "usage:
   picpredict extrapolate --trace t.pictrace --out big.pictrace --particles N [--seed S]
   picpredict study scalability --trace T --ranks 16,32,64 --mapping M [--filter F] [--mesh AxBxC --order K]
   picpredict study bins --trace T --filter F
-  picpredict study sampling --trace T --ranks N --mapping M --strides 1,2,4 [--filter F] [--mesh AxBxC]";
+  picpredict study sampling --trace T --ranks N --mapping M --strides 1,2,4 [--filter F] [--mesh AxBxC]
+  picpredict sweep --trace T --ranks 16,32 [--mappings M1,M2] [--filters F1,F2] [--strides 1,2]
+                   [--ghosts false] [--stream true] [--mesh AxBxC --order K] [--out grid.json]";
 
 /// Parse `--key value` flags into a map; bare words are positional.
 fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
@@ -151,6 +153,7 @@ fn dispatch(args: &[String]) -> Result<()> {
         "predict" => cmd_predict(&flags),
         "extrapolate" => cmd_extrapolate(&flags),
         "study" => cmd_study(positional.get(1).map(String::as_str).unwrap_or(""), &flags),
+        "sweep" => cmd_sweep(&flags),
         "" => Err(PicError::config("no command given")),
         other => Err(PicError::config(format!("unknown command '{other}'"))),
     }
@@ -607,6 +610,162 @@ fn cmd_study(kind: &str, flags: &HashMap<String, String>) -> Result<()> {
     Ok(())
 }
 
+fn parse_f64_list(s: &str, what: &str) -> Result<Vec<f64>> {
+    s.split(',')
+        .map(|p| {
+            p.trim()
+                .parse()
+                .map_err(|_| PicError::config(format!("bad {what} entry '{p}'")))
+        })
+        .collect()
+}
+
+/// The cross-product grid a `sweep` invocation describes, in
+/// mapping-major, then ranks, filter, stride order.
+fn sweep_grid(
+    mappings: &[MappingAlgorithm],
+    rank_counts: &[usize],
+    filters: &[f64],
+    strides: &[usize],
+    compute_ghosts: bool,
+) -> Vec<pic_workload::SweepPoint> {
+    let mut points =
+        Vec::with_capacity(mappings.len() * rank_counts.len() * filters.len() * strides.len());
+    for &mapping in mappings {
+        for &ranks in rank_counts {
+            for &filter in filters {
+                for &stride in strides {
+                    let mut cfg = WorkloadConfig::new(ranks, mapping, filter);
+                    cfg.compute_ghosts = compute_ghosts;
+                    points.push(pic_workload::SweepPoint::with_stride(cfg, stride));
+                }
+            }
+        }
+    }
+    points
+}
+
+/// One emitted grid point: the configuration alongside its full workload.
+#[derive(serde::Serialize)]
+struct SweepGridEntry {
+    point: usize,
+    mapping: MappingAlgorithm,
+    ranks: usize,
+    projection_filter: f64,
+    stride: usize,
+    workload: pic_workload::DynamicWorkload,
+}
+
+/// The multi-configuration sweep: replay the trace once, emit the whole
+/// grid. Gated on the pic-analysis invariant catalog over every grid
+/// point — a grid that fails verification is never written.
+fn cmd_sweep(flags: &HashMap<String, String>) -> Result<()> {
+    let trace_path = required(flags, "trace")?;
+    let rank_counts = parse_usize_list(required(flags, "ranks")?, "ranks")?;
+    let mappings: Vec<MappingAlgorithm> = flags
+        .get("mappings")
+        .map(|s| s.as_str())
+        .unwrap_or("bin-based")
+        .split(',')
+        .map(|p| parse_mapping(p.trim()))
+        .collect::<Result<_>>()?;
+    let filters = parse_f64_list(
+        flags.get("filters").map(|s| s.as_str()).unwrap_or("0.03"),
+        "filters",
+    )?;
+    let strides = match flags.get("strides") {
+        Some(s) => parse_usize_list(s, "strides")?,
+        None => vec![1],
+    };
+    let compute_ghosts = flags.get("ghosts").map(|v| v != "false").unwrap_or(true);
+    let streaming = flags.get("stream").map(|v| v != "false").unwrap_or(false);
+    let points = sweep_grid(&mappings, &rank_counts, &filters, &strides, compute_ghosts);
+
+    let t0 = std::time::Instant::now();
+    let (workloads, stats, particles) = if streaming {
+        let file = std::fs::File::open(trace_path)?;
+        let reader = pic_trace::TraceReader::new(std::io::BufReader::new(file))?;
+        let particles = reader.meta().particle_count as u64;
+        let mesh = parse_mesh(flags, reader.meta().domain)?;
+        let w = pic_workload::sweep_streaming(reader, &points, mesh.as_ref())?;
+        (w, None, particles)
+    } else {
+        let trace = codec::load_file(trace_path)?;
+        let particles = trace.meta().particle_count as u64;
+        let mesh = parse_mesh(flags, trace.meta().domain)?;
+        let (w, stats) = pic_workload::sweep_with_stats(&trace, &points, mesh.as_ref())?;
+        (w, Some(stats), particles)
+    };
+    eprintln!(
+        "sweep of {} grid point(s) generated in {:.2} s",
+        points.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    if let Some(stats) = &stats {
+        eprintln!(
+            "sharing: {} point(s) -> {} assignment group(s); {} of {} assignment passes run; {} ghost radii ({} group(s) served by one shared query)",
+            stats.points,
+            stats.groups,
+            stats.assign_passes,
+            stats.naive_assign_passes,
+            stats.ghost_radii,
+            stats.shared_query_groups,
+        );
+    }
+    // The gate: every grid point through the full invariant catalog, with
+    // (point, rank, sample)-positioned diagnostics on failure.
+    pic_analysis::assert_sweep_valid(&workloads, Some(particles))?;
+
+    println!(
+        "{:>5} {:>16} {:>8} {:>10} {:>7} {:>10} {:>13} {:>12} {:>12}",
+        "point",
+        "mapping",
+        "ranks",
+        "filter",
+        "stride",
+        "peak",
+        "utilization",
+        "migrations",
+        "ghosts"
+    );
+    for (i, (p, w)) in points.iter().zip(&workloads).enumerate() {
+        let summary = metrics::summarize(w);
+        let ghosts: u64 = (0..w.samples()).map(|t| w.ghost_recv.sample_total(t)).sum();
+        println!(
+            "{:>5} {:>16} {:>8} {:>10.4} {:>7} {:>10} {:>12.1}% {:>12} {:>12}",
+            i,
+            p.config.mapping.to_string(),
+            p.config.ranks,
+            p.config.projection_filter,
+            p.stride,
+            summary.peak_workload,
+            100.0 * summary.resource_utilization,
+            summary.total_migrations,
+            ghosts
+        );
+    }
+    if let Some(out) = flags.get("out") {
+        let entries: Vec<SweepGridEntry> = points
+            .iter()
+            .zip(workloads)
+            .enumerate()
+            .map(|(point, (p, workload))| SweepGridEntry {
+                point,
+                mapping: p.config.mapping,
+                ranks: p.config.ranks,
+                projection_filter: p.config.projection_filter,
+                stride: p.stride,
+                workload,
+            })
+            .collect();
+        let json = serde_json::to_string_pretty(&entries)
+            .map_err(|e| PicError::config(format!("cannot serialize sweep grid: {e}")))?;
+        std::fs::write(out, json)?;
+        eprintln!("full grid ({} point(s)) -> {out}", entries.len());
+    }
+    Ok(())
+}
+
 fn cmd_extrapolate(flags: &HashMap<String, String>) -> Result<()> {
     let trace = codec::load_file(required(flags, "trace")?)?;
     let out = required(flags, "out")?;
@@ -710,5 +869,43 @@ mod tests {
     fn usize_list_parsing() {
         assert_eq!(parse_usize_list("1,2, 4", "x").unwrap(), vec![1, 2, 4]);
         assert!(parse_usize_list("1,a", "x").is_err());
+    }
+
+    #[test]
+    fn f64_list_parsing() {
+        assert_eq!(
+            parse_f64_list("0.01, 0.02,0.4", "x").unwrap(),
+            vec![0.01, 0.02, 0.4]
+        );
+        assert!(parse_f64_list("0.01,oops", "x").is_err());
+    }
+
+    #[test]
+    fn sweep_grid_is_mapping_major_cross_product() {
+        let points = sweep_grid(
+            &[MappingAlgorithm::ElementBased, MappingAlgorithm::BinBased],
+            &[16, 32],
+            &[0.01, 0.02],
+            &[1],
+            true,
+        );
+        assert_eq!(points.len(), 8);
+        // mapping-major: first half element-based, second half bin-based
+        assert!(points[..4]
+            .iter()
+            .all(|p| p.config.mapping == MappingAlgorithm::ElementBased));
+        assert!(points[4..]
+            .iter()
+            .all(|p| p.config.mapping == MappingAlgorithm::BinBased));
+        // then ranks, then filter
+        assert_eq!(points[0].config.ranks, 16);
+        assert_eq!(points[1].config.projection_filter, 0.02);
+        assert_eq!(points[2].config.ranks, 32);
+        assert!(points
+            .iter()
+            .all(|p| p.stride == 1 && p.config.compute_ghosts));
+        let no_ghosts = sweep_grid(&[MappingAlgorithm::BinBased], &[4], &[0.1], &[2], false);
+        assert!(!no_ghosts[0].config.compute_ghosts);
+        assert_eq!(no_ghosts[0].stride, 2);
     }
 }

@@ -12,6 +12,7 @@ use pic_trace::ParticleTrace;
 use pic_types::{Rank, Result};
 use pic_workload::generator::{self, WorkloadConfig};
 use pic_workload::metrics::{self, WorkloadSummary};
+use pic_workload::sweep::{self, SweepPoint};
 
 /// One rank-count point of a scalability study.
 #[derive(Debug, Clone)]
@@ -27,7 +28,9 @@ pub struct ScalabilityPoint {
 /// Strong-scaling workload prediction from a single trace (paper §IV-B):
 /// generate the workload at each target rank count and report the peak
 /// series. The trace is never re-collected — that is the framework's
-/// central economy.
+/// central economy. All rank counts replay through one sweep-engine pass
+/// (mesh validated and mapper built once per rank count, decode shared),
+/// bit-identical to per-configuration generation.
 pub fn scalability_study(
     trace: &ParticleTrace,
     mesh: Option<&ElementMesh>,
@@ -35,19 +38,25 @@ pub fn scalability_study(
     projection_filter: f64,
     rank_counts: &[usize],
 ) -> Result<Vec<ScalabilityPoint>> {
-    let mut out = Vec::with_capacity(rank_counts.len());
-    for &ranks in rank_counts {
-        let mut cfg = WorkloadConfig::new(ranks, mapping, projection_filter);
-        // Peak-workload scaling only needs real-particle counts.
-        cfg.compute_ghosts = false;
-        let w = generator::generate_with_mesh(trace, &cfg, mesh)?;
-        out.push(ScalabilityPoint {
+    let points: Vec<SweepPoint> = rank_counts
+        .iter()
+        .map(|&ranks| {
+            let mut cfg = WorkloadConfig::new(ranks, mapping, projection_filter);
+            // Peak-workload scaling only needs real-particle counts.
+            cfg.compute_ghosts = false;
+            SweepPoint::new(cfg)
+        })
+        .collect();
+    let workloads = sweep::sweep(trace, &points, mesh)?;
+    Ok(rank_counts
+        .iter()
+        .zip(workloads)
+        .map(|(&ranks, w)| ScalabilityPoint {
             ranks,
             peak_series: w.real.peak_series(),
             summary: metrics::summarize(&w),
-        });
-    }
-    Ok(out)
+        })
+        .collect())
 }
 
 /// The Fig 6 analysis: unbounded bin counts per sample and the optimal
@@ -94,6 +103,8 @@ pub struct MappingEvaluation {
 
 /// Evaluate mapping algorithms across rank counts from one trace
 /// (paper §IV-C): who has the lower peak workload, and at what utilization.
+/// The whole mapping × ranks grid replays through one sweep-engine pass;
+/// results stay in mapping-major, then rank-count order.
 pub fn mapping_comparison(
     trace: &ParticleTrace,
     mesh: Option<&ElementMesh>,
@@ -101,22 +112,26 @@ pub fn mapping_comparison(
     rank_counts: &[usize],
     algorithms: &[MappingAlgorithm],
 ) -> Result<Vec<MappingEvaluation>> {
-    let mut out = Vec::new();
+    let mut points = Vec::with_capacity(algorithms.len() * rank_counts.len());
     for &mapping in algorithms {
         for &ranks in rank_counts {
             let mut cfg = WorkloadConfig::new(ranks, mapping, projection_filter);
             cfg.compute_ghosts = false;
-            let w = generator::generate_with_mesh(trace, &cfg, mesh)?;
-            out.push(MappingEvaluation {
-                mapping,
-                ranks,
-                peak_workload: w.peak_workload(),
-                resource_utilization: metrics::resource_utilization(&w.real),
-                active_ranks: metrics::active_rank_count(&w.real),
-            });
+            points.push(SweepPoint::new(cfg));
         }
     }
-    Ok(out)
+    let workloads = sweep::sweep(trace, &points, mesh)?;
+    Ok(points
+        .iter()
+        .zip(workloads)
+        .map(|(p, w)| MappingEvaluation {
+            mapping: p.config.mapping,
+            ranks: p.config.ranks,
+            peak_workload: w.peak_workload(),
+            resource_utilization: metrics::resource_utilization(&w.real),
+            active_ranks: metrics::active_rank_count(&w.real),
+        })
+        .collect())
 }
 
 /// One projection-filter value's result (Fig 10).
@@ -144,20 +159,34 @@ pub fn filter_study(
     elements_per_rank: &[u32],
     order: usize,
 ) -> Result<Vec<FilterStudyPoint>> {
-    let mut out = Vec::with_capacity(filters.len());
     let ghost_slot = KernelKind::ALL
         .iter()
         .position(|&k| k == KernelKind::CreateGhostParticles)
         .expect("kernel list contains create_ghost_particles");
-    for &filter in filters {
-        let cfg = WorkloadConfig::new(ranks, MappingAlgorithm::BinBased, filter);
-        let w = generator::generate(trace, &cfg)?;
+    // One sweep across all filters. Bin-based assignment depends on the
+    // threshold, so the points don't collapse into one assignment group —
+    // but the decode pass, mapper hoisting, and outer parallelism across
+    // grid points are still shared, and the outputs are bit-identical to
+    // per-configuration generation.
+    let points: Vec<SweepPoint> = filters
+        .iter()
+        .map(|&filter| {
+            SweepPoint::new(WorkloadConfig::new(
+                ranks,
+                MappingAlgorithm::BinBased,
+                filter,
+            ))
+        })
+        .collect();
+    let workloads = sweep::sweep(trace, &points, None)?;
+    let mut out = Vec::with_capacity(filters.len());
+    for (&filter, w) in filters.iter().zip(&workloads) {
         let max_bins = generator::unbounded_bin_series(trace, filter)?
             .into_iter()
             .max()
             .unwrap_or(0);
         let total_ghosts: u64 = (0..w.samples()).map(|t| w.ghost_recv.sample_total(t)).sum();
-        let predicted = predict_kernel_seconds(&w, models, elements_per_rank, order, filter);
+        let predicted = predict_kernel_seconds(w, models, elements_per_rank, order, filter);
         // critical-path ghost kernel time: max over ranks, mean over samples
         let mut per_sample_max = Vec::with_capacity(predicted.len());
         for sample in &predicted {
@@ -241,6 +270,11 @@ pub struct SamplingStudyPoint {
 
 /// Quantify the sampling-frequency trade-off: how much workload fidelity
 /// is lost (and trace bytes saved) as the sampling interval grows.
+///
+/// The full-trace reference and every stride share one sweep-engine group:
+/// the trace is decoded and every sample assigned exactly once, and each
+/// stride's workload is assembled from the shared per-sample outcomes —
+/// bit-identical to generating over `trace.subsample(stride)` separately.
 pub fn sampling_frequency_study(
     trace: &ParticleTrace,
     ranks: usize,
@@ -251,15 +285,22 @@ pub fn sampling_frequency_study(
 ) -> Result<Vec<SamplingStudyPoint>> {
     let mut cfg = pic_workload::WorkloadConfig::new(ranks, mapping, projection_filter);
     cfg.compute_ghosts = false;
-    let full = pic_workload::generator::generate_with_mesh(trace, &cfg, mesh)?;
+    // Point 0 is the stride-1 reference; the rest are the requested strides.
+    let mut points = vec![SweepPoint::new(cfg.clone())];
+    points.extend(
+        strides
+            .iter()
+            .map(|&stride| SweepPoint::with_stride(cfg.clone(), stride.max(1))),
+    );
+    let workloads = sweep::sweep(trace, &points, mesh)?;
+    let full = &workloads[0];
     let full_peaks = full.real.peak_series();
     let mut out = Vec::with_capacity(strides.len());
-    for &stride in strides {
-        let sub = trace.subsample(stride.max(1));
-        let w = pic_workload::generator::generate_with_mesh(&sub, &cfg, mesh)?;
+    for (&stride, w) in strides.iter().zip(&workloads[1..]) {
+        let s = stride.max(1);
         let peaks: Vec<f64> = w.real.peak_series().iter().map(|&v| v as f64).collect();
         let reference: Vec<f64> = (0..trace.sample_count())
-            .step_by(stride.max(1))
+            .step_by(s)
             .map(|t| full_peaks[t] as f64)
             .collect();
         let peak_workload_mape = pic_types::stats::mape(&peaks, &reference);
@@ -275,8 +316,8 @@ pub fn sampling_frequency_study(
         out.push(SamplingStudyPoint {
             stride,
             trace_bytes: pic_trace::stats::estimated_file_size(
-                sub.particle_count(),
-                sub.sample_count(),
+                trace.particle_count(),
+                w.samples(),
                 pic_trace::Precision::F32,
             ),
             peak_workload_mape,
@@ -460,6 +501,43 @@ mod tests {
         // (same positions -> same mapping), so its MAPE is exactly zero
         for p in &pts {
             assert_eq!(p.peak_workload_mape, 0.0, "stride {}", p.stride);
+        }
+    }
+
+    #[test]
+    fn sweep_backed_drivers_match_per_config_generation() {
+        let tr = expanding_trace(500, 4, 12);
+        let m = mesh();
+        // scalability: each point must equal a dedicated generator run
+        let pts = scalability_study(&tr, Some(&m), MappingAlgorithm::ElementBased, 0.02, &[4, 8])
+            .unwrap();
+        for p in &pts {
+            let mut cfg = WorkloadConfig::new(p.ranks, MappingAlgorithm::ElementBased, 0.02);
+            cfg.compute_ghosts = false;
+            let w = generator::generate_with_mesh(&tr, &cfg, Some(&m)).unwrap();
+            assert_eq!(p.peak_series, w.real.peak_series());
+            assert_eq!(p.summary, metrics::summarize(&w));
+        }
+        // mapping comparison: grid order and values must match the naive loop
+        let evals = mapping_comparison(
+            &tr,
+            Some(&m),
+            0.05,
+            &[4, 8],
+            &[MappingAlgorithm::HilbertOrdered, MappingAlgorithm::BinBased],
+        )
+        .unwrap();
+        let mut i = 0;
+        for &mapping in &[MappingAlgorithm::HilbertOrdered, MappingAlgorithm::BinBased] {
+            for &ranks in &[4usize, 8] {
+                let mut cfg = WorkloadConfig::new(ranks, mapping, 0.05);
+                cfg.compute_ghosts = false;
+                let w = generator::generate_with_mesh(&tr, &cfg, Some(&m)).unwrap();
+                assert_eq!(evals[i].mapping, mapping);
+                assert_eq!(evals[i].ranks, ranks);
+                assert_eq!(evals[i].peak_workload, w.peak_workload());
+                i += 1;
+            }
         }
     }
 

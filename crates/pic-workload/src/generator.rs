@@ -169,7 +169,7 @@ pub fn generate_with_mesh(
 
 /// Construct the mapper the configuration selects (mesh-requiring
 /// algorithms fail without one).
-fn build_mapper(
+pub(crate) fn build_mapper(
     cfg: &WorkloadConfig,
     mesh: Option<&ElementMesh>,
 ) -> Result<Box<dyn ParticleMapper>> {
@@ -399,7 +399,7 @@ pub fn generate_streaming_with_stats<R: std::io::Read + Send>(
 /// Particles per parallel work item in the ghost kernel. Large enough to
 /// amortize one scratch + two partial-histogram allocations per chunk,
 /// small enough that short traces still fan out across cores.
-const GHOST_CHUNK: usize = 2048;
+pub(crate) const GHOST_CHUNK: usize = 2048;
 
 fn process_sample(
     positions: &[pic_types::Vec3],
@@ -443,7 +443,7 @@ fn process_sample(
 /// merged by elementwise addition, which is order-independent, so the
 /// result is bit-identical to a straight-line sequential replay regardless
 /// of scheduling.
-fn ghost_counts_chunked(
+pub(crate) fn ghost_counts_chunked(
     positions: &[pic_types::Vec3],
     owners: &[Rank],
     index: &RegionIndex,

@@ -28,8 +28,10 @@ pub mod generator;
 pub mod heatmap;
 pub mod matrices;
 pub mod metrics;
+pub mod sweep;
 
 pub use generator::{
     generate_streaming, generate_streaming_with_stats, DynamicWorkload, IngestStats, WorkloadConfig,
 };
 pub use matrices::{migration_pairs, CommMatrix, CompMatrix};
+pub use sweep::{sweep_configs, sweep_streaming, sweep_with_stats, SweepPoint, SweepStats};

@@ -1,0 +1,943 @@
+//! Multi-configuration sweep engine: one trace replay, many workloads.
+//!
+//! The paper's parameter studies (Figs 6, 9, 10) regenerate workload
+//! matrices across processor counts, mapping algorithms, projection-filter
+//! radii, and sampling strides. Running [`generator::generate`] per grid
+//! point repeats work the points share: the mapper construction, the
+//! per-sample particle assignment, the [`RegionIndex`] build, and — for
+//! filter sweeps — the sphere queries themselves. This module amortizes
+//! all of it:
+//!
+//! * **Grouping.** Sweep points whose assignment is provably identical are
+//!   grouped: mesh-based mappings (`element-based`, `hilbert-ordered`,
+//!   `load-balanced`) assign from `(mesh, ranks)` alone, so they group by
+//!   `(mapping, ranks)`; `bin-based` partitions depend on the bin-size
+//!   threshold too, so its key also carries the filter bits. Each group
+//!   builds its mapper once and runs the assignment + index pass once per
+//!   sample, no matter how many filters, ghost toggles, or strides ride
+//!   on it.
+//! * **Radius monotonicity.** Sphere–box overlap is monotone in the
+//!   radius: a region touches the radius-`r` sphere iff its squared
+//!   distance to the center is `≤ r²` — exactly the comparison
+//!   [`RegionIndex::for_each_candidate_in_sphere`] reports. One candidate
+//!   query per particle at the group's **maximum** filter radius therefore
+//!   yields, by filtering the retained distances, results bit-identical to
+//!   a dedicated query at every smaller radius. A six-filter sweep pays
+//!   for one traversal, not six.
+//! * **Strides.** A member with stride `s` consumes every `s`-th shared
+//!   sample outcome, producing exactly the workload of
+//!   `generate(&trace.subsample(s), cfg)` — the sampling-frequency study
+//!   re-uses the full-trace replay instead of re-running it per stride.
+//!
+//! Outputs are **bit-identical** to the per-configuration
+//! [`generator::generate_with_mesh`] path (and hence to the sequential
+//! [`generator::generate_reference`] oracle); the equivalence is enforced
+//! by tests here, by the property corpus in `tests/props.rs`, and at
+//! runtime by `sweep_bench`.
+//!
+//! [`sweep_streaming`] drives the same plan sample-by-sample off a
+//! [`pic_trace::TraceReader`], holding one decoded frame per pipeline slot
+//! and one accumulator row-set per sweep point — memory stays bounded by
+//! one sample × configurations, never by trace length × configurations.
+
+use crate::generator::{self, DynamicWorkload, WorkloadConfig};
+use crate::matrices::{migration_pairs, CommMatrix, CompMatrix};
+use pic_grid::ElementMesh;
+use pic_mapping::{MappingAlgorithm, ParticleMapper, RegionIndex, RegionQueryScratch};
+use pic_trace::ParticleTrace;
+use pic_types::{Rank, Result, Vec3};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One grid point of a sweep: a generator configuration plus a sampling
+/// stride (`1` = every trace sample; `s` = the workload of
+/// `trace.subsample(s)`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The generator configuration to evaluate.
+    pub config: WorkloadConfig,
+    /// Sampling stride over the trace (`0` is treated as `1`).
+    pub stride: usize,
+}
+
+impl SweepPoint {
+    /// A stride-1 point (every sample).
+    pub fn new(config: WorkloadConfig) -> SweepPoint {
+        SweepPoint { config, stride: 1 }
+    }
+
+    /// A point that consumes every `stride`-th sample.
+    pub fn with_stride(config: WorkloadConfig, stride: usize) -> SweepPoint {
+        SweepPoint { config, stride }
+    }
+}
+
+/// Sharing accounting from one sweep run: how much replay the grouping
+/// actually avoided.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SweepStats {
+    /// Grid points evaluated.
+    pub points: usize,
+    /// Assignment groups the points collapsed into.
+    pub groups: usize,
+    /// Trace samples replayed.
+    pub samples: usize,
+    /// Assignment + index passes executed (`groups × samples`).
+    pub assign_passes: usize,
+    /// Passes the per-configuration loop would have run
+    /// (`points × samples`).
+    pub naive_assign_passes: usize,
+    /// Distinct ghost radii evaluated across all groups.
+    pub ghost_radii: usize,
+    /// Groups whose ghost radii were served by a single shared
+    /// maximum-radius candidate query per particle.
+    pub shared_query_groups: usize,
+}
+
+/// One ghost-radius slot of a group: the radius and whether it joins the
+/// shared maximum-radius candidate pass. Radii that are not `≥ 0` (NaN or
+/// negative) stay outside the sharing argument and are evaluated through
+/// the unmodified single-radius kernel, preserving its exact semantics.
+struct GhostSlot {
+    radius: f64,
+    shared: bool,
+}
+
+/// One assignment group: a mapper built once, plus every ghost radius its
+/// members need.
+struct GroupPlan {
+    mapper: Box<dyn ParticleMapper>,
+    ranks: usize,
+    slots: Vec<GhostSlot>,
+    /// Maximum radius among shared slots (meaningless when none are).
+    shared_max: f64,
+}
+
+impl GroupPlan {
+    fn shared_slots(&self) -> usize {
+        self.slots.iter().filter(|s| s.shared).count()
+    }
+}
+
+/// One sweep point resolved against the plan.
+struct MemberPlan {
+    group: usize,
+    stride: usize,
+    /// Index into the group's ghost slots; `None` when ghosts are off.
+    ghost_slot: Option<usize>,
+}
+
+struct SweepPlan {
+    groups: Vec<GroupPlan>,
+    members: Vec<MemberPlan>,
+}
+
+/// Key under which two points share assignment outcomes. Mesh-based
+/// mappings ignore the projection filter during assignment; the bin-based
+/// partition cuts at the bin-size threshold, so its key carries the filter
+/// bits.
+fn group_key(cfg: &WorkloadConfig) -> (MappingAlgorithm, usize, Option<u64>) {
+    let filter_bits =
+        (cfg.mapping == MappingAlgorithm::BinBased).then(|| cfg.projection_filter.to_bits());
+    (cfg.mapping, cfg.ranks, filter_bits)
+}
+
+fn build_plan(points: &[SweepPoint], mesh: Option<&ElementMesh>) -> Result<SweepPlan> {
+    let mut keys: Vec<(MappingAlgorithm, usize, Option<u64>)> = Vec::new();
+    let mut groups: Vec<GroupPlan> = Vec::new();
+    let mut members = Vec::with_capacity(points.len());
+    for p in points {
+        let key = group_key(&p.config);
+        let g = match keys.iter().position(|k| *k == key) {
+            Some(i) => i,
+            None => {
+                // Mapper construction (mesh validation, decomposition)
+                // happens here, once per group — not once per grid point.
+                keys.push(key);
+                groups.push(GroupPlan {
+                    mapper: generator::build_mapper(&p.config, mesh)?,
+                    ranks: p.config.ranks,
+                    slots: Vec::new(),
+                    shared_max: f64::NEG_INFINITY,
+                });
+                groups.len() - 1
+            }
+        };
+        let group = &mut groups[g];
+        let ghost_slot = if p.config.compute_ghosts {
+            let radius = p.config.projection_filter;
+            let existing = group
+                .slots
+                .iter()
+                .position(|s| s.radius.to_bits() == radius.to_bits());
+            Some(match existing {
+                Some(k) => k,
+                None => {
+                    let shared = radius >= 0.0;
+                    if shared {
+                        group.shared_max = group.shared_max.max(radius);
+                    }
+                    group.slots.push(GhostSlot { radius, shared });
+                    group.slots.len() - 1
+                }
+            })
+        } else {
+            None
+        };
+        members.push(MemberPlan {
+            group: g,
+            stride: p.stride.max(1),
+            ghost_slot,
+        });
+    }
+    Ok(SweepPlan { groups, members })
+}
+
+/// One sample's shared result for one group: everything any member needs.
+struct GroupSampleOutcome {
+    real: Vec<u32>,
+    bin_count: Option<usize>,
+    owners: Vec<Rank>,
+    /// `(recv, sent)` histograms, parallel to the group's ghost slots.
+    ghosts: Vec<(Vec<u32>, Vec<u32>)>,
+}
+
+fn process_group_sample(positions: &[Vec3], group: &GroupPlan) -> GroupSampleOutcome {
+    let outcome = group.mapper.assign(positions);
+    let mut real = vec![0u32; group.ranks];
+    for r in &outcome.ranks {
+        real[r.index()] += 1;
+    }
+    let ghosts = if group.slots.is_empty() {
+        Vec::new()
+    } else {
+        let index = RegionIndex::build(&outcome.rank_regions);
+        multi_radius_ghost_counts(positions, &outcome.ranks, &index, group)
+    };
+    GroupSampleOutcome {
+        real,
+        bin_count: outcome.bin_count,
+        owners: outcome.ranks,
+        ghosts,
+    }
+}
+
+/// Ghost histograms for every radius slot of a group, from one assignment.
+///
+/// Shared slots (`radius ≥ 0`) are served by a single candidate query per
+/// particle at the group's maximum shared radius: a region touches the
+/// radius-`r` sphere iff its retained squared distance is `≤ r²`, the same
+/// closed comparison the single-radius kernel's
+/// [`pic_types::Aabb::intersects_sphere`] performs, so the per-slot filter
+/// is bit-exact — see DESIGN.md §11 for the superset argument. Non-shared
+/// slots (NaN / negative radii) go through the unmodified single-radius
+/// kernel so their edge-case behavior matches the per-config path by
+/// construction rather than by argument.
+fn multi_radius_ghost_counts(
+    positions: &[Vec3],
+    owners: &[Rank],
+    index: &RegionIndex,
+    group: &GroupPlan,
+) -> Vec<(Vec<u32>, Vec<u32>)> {
+    let ranks = group.ranks;
+    let shared: Vec<(usize, f64)> = group
+        .slots
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.shared)
+        .map(|(k, s)| (k, s.radius))
+        .collect();
+    let mut out: Vec<(Vec<u32>, Vec<u32>)> = group
+        .slots
+        .iter()
+        .map(|_| (vec![0u32; ranks], vec![0u32; ranks]))
+        .collect();
+    match shared.len() {
+        0 => {}
+        1 => {
+            // A lone radius gains nothing from candidate retention; run
+            // the existing kernel (identical output, no buffer overhead).
+            let (k, radius) = shared[0];
+            out[k] = generator::ghost_counts_chunked(positions, owners, index, radius, ranks);
+        }
+        _ => {
+            let rr: Vec<f64> = shared.iter().map(|&(_, r)| r * r).collect();
+            let partials =
+                multi_ghost_chunked(positions, owners, index, group.shared_max, &rr, ranks);
+            for (&(k, _), partial) in shared.iter().zip(partials) {
+                out[k] = partial;
+            }
+        }
+    }
+    for (k, slot) in group.slots.iter().enumerate() {
+        if !slot.shared {
+            out[k] = generator::ghost_counts_chunked(positions, owners, index, slot.radius, ranks);
+        }
+    }
+    out
+}
+
+/// Chunked multi-radius ghost kernel: same chunk geometry and
+/// order-independent histogram merge as the single-radius
+/// `ghost_counts_chunked`, but each particle's candidate set is gathered
+/// once at `r_max` and counted once at its *first* (smallest) containing
+/// radius; suffix sums then recover the per-radius histograms. The counts
+/// are integers, so the regrouping is bit-identical to filtering every
+/// radius independently.
+fn multi_ghost_chunked(
+    positions: &[Vec3],
+    owners: &[Rank],
+    index: &RegionIndex,
+    r_max: f64,
+    rr: &[f64],
+    ranks: usize,
+) -> Vec<(Vec<u32>, Vec<u32>)> {
+    // First-inclusion counting needs the radii ascending; slot order is
+    // arbitrary, so compute in sorted order and un-permute at the end.
+    let mut order: Vec<usize> = (0..rr.len()).collect();
+    order.sort_by(|&a, &b| rr[a].total_cmp(&rr[b]));
+    let sorted_rr: Vec<f64> = order.iter().map(|&i| rr[i]).collect();
+    let fresh = || -> Vec<(Vec<u32>, Vec<u32>)> {
+        rr.iter()
+            .map(|_| (vec![0u32; ranks], vec![0u32; ranks]))
+            .collect()
+    };
+    let chunks = positions.len().div_ceil(generator::GHOST_CHUNK);
+    let mut merged = if chunks <= 1 {
+        let mut partial = fresh();
+        multi_ghost_span(
+            positions,
+            owners,
+            index,
+            r_max,
+            &sorted_rr,
+            &mut RegionQueryScratch::new(),
+            &mut partial,
+        );
+        partial
+    } else {
+        let partials: Vec<Vec<(Vec<u32>, Vec<u32>)>> = (0..chunks)
+            .into_par_iter()
+            .map(|c| {
+                let lo = c * generator::GHOST_CHUNK;
+                let hi = (lo + generator::GHOST_CHUNK).min(positions.len());
+                let mut partial = fresh();
+                multi_ghost_span(
+                    &positions[lo..hi],
+                    &owners[lo..hi],
+                    index,
+                    r_max,
+                    &sorted_rr,
+                    &mut RegionQueryScratch::new(),
+                    &mut partial,
+                );
+                partial
+            })
+            .collect();
+        let mut merged = fresh();
+        for partial in &partials {
+            for (acc, p) in merged.iter_mut().zip(partial) {
+                for (a, v) in acc.0.iter_mut().zip(&p.0) {
+                    *a += v;
+                }
+                for (a, v) in acc.1.iter_mut().zip(&p.1) {
+                    *a += v;
+                }
+            }
+        }
+        merged
+    };
+    let mut out = fresh();
+    for (pos, &slot) in order.iter().enumerate() {
+        out[slot] = std::mem::take(&mut merged[pos]);
+    }
+    out
+}
+
+/// Sequential multi-radius counting over one aligned span, `rr_sorted`
+/// ascending: each candidate is tallied once at the first radius that
+/// contains it, and a suffix pass completes the larger radii. Returns
+/// histograms in `rr_sorted` order.
+#[inline]
+fn multi_ghost_span(
+    positions: &[Vec3],
+    owners: &[Rank],
+    index: &RegionIndex,
+    r_max: f64,
+    rr_sorted: &[f64],
+    scratch: &mut RegionQueryScratch,
+    partial: &mut [(Vec<u32>, Vec<u32>)],
+) {
+    let nr = rr_sorted.len();
+    let mut count_first = vec![0u32; nr];
+    for (&p, &home) in positions.iter().zip(owners) {
+        count_first.iter_mut().for_each(|c| *c = 0);
+        // Every candidate satisfies d2 ≤ r_max² (the query's own visit
+        // condition), and r_max is the largest shared radius, so the
+        // first-inclusion scan always terminates inside the slice.
+        index.for_each_candidate_in_sphere(p, r_max, scratch, |t, d2| {
+            if t == home {
+                return;
+            }
+            let mut j = 0;
+            while d2 > rr_sorted[j] {
+                j += 1;
+            }
+            partial[j].0[t.index()] += 1;
+            count_first[j] += 1;
+        });
+        let mut copies = 0u32;
+        for (j, &c) in count_first.iter().enumerate() {
+            copies += c;
+            partial[j].1[home.index()] += copies;
+        }
+    }
+    // Suffix-complete the recv histograms: a region first touched at
+    // radius j is a ghost source at every radius ≥ j.
+    for j in 1..nr {
+        let (lo, hi) = partial.split_at_mut(j);
+        for (a, &v) in hi[0].0.iter_mut().zip(&lo[j - 1].0) {
+            *a += v;
+        }
+    }
+}
+
+/// Assemble one member's workload from its group's shared sample outcomes.
+fn assemble_member(
+    member: &MemberPlan,
+    ranks: usize,
+    outcomes: &[GroupSampleOutcome],
+    iterations: &[u64],
+) -> DynamicWorkload {
+    let retained: Vec<usize> = (0..outcomes.len()).step_by(member.stride).collect();
+    let mut real = CompMatrix::new(ranks);
+    let mut ghost_recv = CompMatrix::new(ranks);
+    let mut ghost_sent = CompMatrix::new(ranks);
+    let mut bin_counts = Vec::with_capacity(retained.len());
+    let mut iters = Vec::with_capacity(retained.len());
+    let mut comm_entries = Vec::with_capacity(retained.len());
+    let zeros = vec![0u32; ranks];
+    let mut prev: Option<usize> = None;
+    for &t in &retained {
+        let o = &outcomes[t];
+        real.push_sample(&o.real);
+        match member.ghost_slot {
+            Some(k) => {
+                ghost_recv.push_sample(&o.ghosts[k].0);
+                ghost_sent.push_sample(&o.ghosts[k].1);
+            }
+            None => {
+                ghost_recv.push_sample(&zeros);
+                ghost_sent.push_sample(&zeros);
+            }
+        }
+        bin_counts.push(o.bin_count);
+        iters.push(iterations[t]);
+        comm_entries.push(match prev {
+            Some(pt) => migration_pairs(&outcomes[pt].owners, &o.owners),
+            None => Vec::new(),
+        });
+        prev = Some(t);
+    }
+    DynamicWorkload {
+        ranks,
+        iterations: iters,
+        real,
+        ghost_recv,
+        ghost_sent,
+        comm: CommMatrix {
+            entries: comm_entries,
+        },
+        bin_counts,
+    }
+}
+
+fn stats_for(plan: &SweepPlan, samples: usize) -> SweepStats {
+    SweepStats {
+        points: plan.members.len(),
+        groups: plan.groups.len(),
+        samples,
+        assign_passes: plan.groups.len() * samples,
+        naive_assign_passes: plan.members.len() * samples,
+        ghost_radii: plan.groups.iter().map(|g| g.slots.len()).sum(),
+        shared_query_groups: plan.groups.iter().filter(|g| g.shared_slots() > 1).count(),
+    }
+}
+
+/// Replay `trace` once and produce one [`DynamicWorkload`] per sweep
+/// point, in point order, each bit-identical to what
+/// [`generator::generate_with_mesh`] (over `trace.subsample(stride)`)
+/// would return for that point.
+///
+/// Errors mirror the per-configuration path: a point whose configuration
+/// would fail there (zero ranks, mesh-requiring mapping without a mesh,
+/// invalid bin threshold) fails the sweep.
+pub fn sweep(
+    trace: &ParticleTrace,
+    points: &[SweepPoint],
+    mesh: Option<&ElementMesh>,
+) -> Result<Vec<DynamicWorkload>> {
+    sweep_with_stats(trace, points, mesh).map(|(w, _)| w)
+}
+
+/// [`sweep`], additionally returning the sharing accounting.
+pub fn sweep_with_stats(
+    trace: &ParticleTrace,
+    points: &[SweepPoint],
+    mesh: Option<&ElementMesh>,
+) -> Result<(Vec<DynamicWorkload>, SweepStats)> {
+    let plan = build_plan(points, mesh)?;
+    let samples: Vec<&pic_trace::TraceSample> = trace.samples().collect();
+    let t_count = samples.len();
+    // Flattened (group, sample) fan-out: outer-level parallelism across
+    // configurations composed with the chunked intra-sample ghost kernel
+    // (big samples split further inside process_group_sample).
+    let outcomes: Vec<GroupSampleOutcome> = (0..plan.groups.len() * t_count)
+        .into_par_iter()
+        .map(|i| {
+            let (g, t) = (i / t_count, i % t_count);
+            process_group_sample(&samples[t].positions, &plan.groups[g])
+        })
+        .collect();
+    let iterations = trace.iterations();
+    let workloads: Vec<DynamicWorkload> = plan
+        .members
+        .par_iter()
+        .map(|m| {
+            let group = &plan.groups[m.group];
+            let span = &outcomes[m.group * t_count..(m.group + 1) * t_count];
+            assemble_member(m, group.ranks, span, &iterations)
+        })
+        .collect();
+    let stats = stats_for(&plan, t_count);
+    Ok((workloads, stats))
+}
+
+/// Convenience: a stride-1 sweep over plain configurations.
+pub fn sweep_configs(
+    trace: &ParticleTrace,
+    configs: &[WorkloadConfig],
+    mesh: Option<&ElementMesh>,
+) -> Result<Vec<DynamicWorkload>> {
+    let points: Vec<SweepPoint> = configs.iter().cloned().map(SweepPoint::new).collect();
+    sweep(trace, &points, mesh)
+}
+
+/// Per-member streaming accumulator: the rows of one output workload,
+/// folded sample-by-sample.
+struct MemberAccum {
+    real: CompMatrix,
+    ghost_recv: CompMatrix,
+    ghost_sent: CompMatrix,
+    bin_counts: Vec<Option<usize>>,
+    iterations: Vec<u64>,
+    comm_entries: Vec<Vec<(u32, u32, u32)>>,
+    prev_owners: Option<Vec<Rank>>,
+}
+
+/// Decoded frames in flight between pipeline stages (mirrors the
+/// single-config streaming path).
+const PIPELINE_DEPTH: usize = 4;
+
+/// Streaming sweep: drive every sweep point sample-by-sample off one
+/// [`pic_trace::TraceReader`] pass, bit-identical to [`sweep`].
+///
+/// The pipeline is the single-config streaming generator's — decoder
+/// thread → bounded channel → worker pool → in-order merge — except each
+/// frame is processed once **per group** and folded into one accumulator
+/// per member. Resident memory is `O(PIPELINE_DEPTH + workers)` frames
+/// plus the accumulated output rows: bounded by one sample ×
+/// configurations, never trace length × configurations. Error behavior
+/// matches [`generator::generate_streaming`]: a corrupt stream fails the
+/// run with the decoder's positioned error after every thread is joined.
+pub fn sweep_streaming<R: std::io::Read + Send>(
+    mut reader: pic_trace::TraceReader<R>,
+    points: &[SweepPoint],
+    mesh: Option<&ElementMesh>,
+) -> Result<Vec<DynamicWorkload>> {
+    let plan = build_plan(points, mesh)?;
+    let plan = &plan;
+    let workers = rayon::current_num_threads().max(1);
+
+    std::thread::scope(|scope| -> Result<Vec<DynamicWorkload>> {
+        let (frame_tx, frame_rx) =
+            crossbeam::channel::bounded::<(usize, pic_trace::TraceSample)>(PIPELINE_DEPTH);
+        let (out_tx, out_rx) = crossbeam::channel::bounded::<(usize, u64, Vec<GroupSampleOutcome>)>(
+            PIPELINE_DEPTH + workers,
+        );
+
+        let decoder = scope.spawn(move || -> Result<()> {
+            let mut i = 0usize;
+            loop {
+                match reader.read_sample() {
+                    Ok(Some(frame)) => {
+                        if frame_tx.send((i, frame)).is_err() {
+                            return Ok(()); // every worker hung up; stop
+                        }
+                        i += 1;
+                    }
+                    Ok(None) => return Ok(()),
+                    Err(e) => return Err(e),
+                }
+            }
+        });
+
+        for _ in 0..workers {
+            let rx = frame_rx.clone();
+            let tx = out_tx.clone();
+            scope.spawn(move || {
+                // Frame-level fan-out is the parallelism; pin each
+                // worker's intra-sample kernels to one thread so the
+                // stages don't oversubscribe each other.
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(1)
+                    .build()
+                    .unwrap();
+                while let Ok((i, frame)) = rx.recv() {
+                    let outcomes: Vec<GroupSampleOutcome> = pool.install(|| {
+                        plan.groups
+                            .iter()
+                            .map(|g| process_group_sample(&frame.positions, g))
+                            .collect()
+                    });
+                    if tx.send((i, frame.iteration, outcomes)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(frame_rx);
+        drop(out_tx);
+
+        let mut accums: Vec<MemberAccum> = plan
+            .members
+            .iter()
+            .map(|m| {
+                let ranks = plan.groups[m.group].ranks;
+                MemberAccum {
+                    real: CompMatrix::new(ranks),
+                    ghost_recv: CompMatrix::new(ranks),
+                    ghost_sent: CompMatrix::new(ranks),
+                    bin_counts: Vec::new(),
+                    iterations: Vec::new(),
+                    comm_entries: Vec::new(),
+                    prev_owners: None,
+                }
+            })
+            .collect();
+        // Reorder buffer: results stall here until their predecessors
+        // land, so the fold below always sees samples in trace order.
+        let mut pending: std::collections::BTreeMap<usize, (u64, Vec<GroupSampleOutcome>)> =
+            std::collections::BTreeMap::new();
+        let mut next = 0usize;
+        while let Ok((i, iteration, outcomes)) = out_rx.recv() {
+            pending.insert(i, (iteration, outcomes));
+            while let Some((iteration, outcomes)) = pending.remove(&next) {
+                for (m, acc) in plan.members.iter().zip(&mut accums) {
+                    if !next.is_multiple_of(m.stride) {
+                        continue;
+                    }
+                    let o = &outcomes[m.group];
+                    acc.real.push_sample(&o.real);
+                    let ranks = plan.groups[m.group].ranks;
+                    match m.ghost_slot {
+                        Some(k) => {
+                            acc.ghost_recv.push_sample(&o.ghosts[k].0);
+                            acc.ghost_sent.push_sample(&o.ghosts[k].1);
+                        }
+                        None => {
+                            let zeros = vec![0u32; ranks];
+                            acc.ghost_recv.push_sample(&zeros);
+                            acc.ghost_sent.push_sample(&zeros);
+                        }
+                    }
+                    acc.bin_counts.push(o.bin_count);
+                    acc.iterations.push(iteration);
+                    acc.comm_entries.push(match &acc.prev_owners {
+                        Some(prev) => migration_pairs(prev, &o.owners),
+                        None => Vec::new(),
+                    });
+                    acc.prev_owners = Some(o.owners.clone());
+                }
+                next += 1;
+            }
+        }
+        // out_rx closed ⇒ workers exited ⇒ the decoder has no readers
+        // left; joining here cannot block on a stalled stream.
+        decoder.join().expect("trace decoder thread panicked")?;
+
+        Ok(plan
+            .members
+            .iter()
+            .zip(accums)
+            .map(|(m, acc)| DynamicWorkload {
+                ranks: plan.groups[m.group].ranks,
+                iterations: acc.iterations,
+                real: acc.real,
+                ghost_recv: acc.ghost_recv,
+                ghost_sent: acc.ghost_sent,
+                comm: CommMatrix {
+                    entries: acc.comm_entries,
+                },
+                bin_counts: acc.bin_counts,
+            })
+            .collect())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pic_grid::MeshDims;
+    use pic_trace::TraceMeta;
+    use pic_types::rng::SplitMix64;
+    use pic_types::Aabb;
+
+    fn make_trace(np: usize, t: usize, seed: u64) -> ParticleTrace {
+        let mut rng = SplitMix64::new(seed);
+        let dirs: Vec<Vec3> = (0..np)
+            .map(|_| {
+                Vec3::new(
+                    rng.next_range(-1.0, 1.0),
+                    rng.next_range(-1.0, 1.0),
+                    rng.next_range(-1.0, 1.0),
+                )
+            })
+            .collect();
+        let meta = TraceMeta::new(np, 100, Aabb::unit(), "sweep-test");
+        let mut tr = ParticleTrace::new(meta);
+        for k in 0..t {
+            let scale = 0.05 + 0.05 * k as f64;
+            let drift = Vec3::new(0.03 * k as f64, 0.0, 0.0);
+            let positions: Vec<Vec3> = dirs
+                .iter()
+                .map(|d| (Vec3::splat(0.5) + *d * scale + drift).clamp(Vec3::ZERO, Vec3::ONE))
+                .collect();
+            tr.push_positions(positions).unwrap();
+        }
+        tr
+    }
+
+    fn mesh() -> ElementMesh {
+        ElementMesh::new(Aabb::unit(), MeshDims::cube(4), 5).unwrap()
+    }
+
+    /// The oracle: what the per-config sequential reference produces for
+    /// one sweep point (subsampling the trace for stride > 1).
+    fn reference_for(
+        trace: &ParticleTrace,
+        point: &SweepPoint,
+        mesh: Option<&ElementMesh>,
+    ) -> DynamicWorkload {
+        let sub;
+        let tr = if point.stride.max(1) == 1 {
+            trace
+        } else {
+            sub = trace.subsample(point.stride);
+            &sub
+        };
+        generator::generate_reference(tr, &point.config, mesh).unwrap()
+    }
+
+    fn assert_matches_reference(
+        trace: &ParticleTrace,
+        points: &[SweepPoint],
+        mesh: Option<&ElementMesh>,
+    ) {
+        let swept = sweep(trace, points, mesh).unwrap();
+        assert_eq!(swept.len(), points.len());
+        for (i, (w, p)) in swept.iter().zip(points).enumerate() {
+            let reference = reference_for(trace, p, mesh);
+            assert_eq!(*w, reference, "point {i} diverged: {p:?}");
+        }
+    }
+
+    #[test]
+    fn filter_sweep_matches_per_config_reference() {
+        let tr = make_trace(400, 5, 1);
+        let m = mesh();
+        let points: Vec<SweepPoint> = [0.01, 0.03, 0.08, 0.15]
+            .iter()
+            .map(|&f| SweepPoint::new(WorkloadConfig::new(16, MappingAlgorithm::ElementBased, f)))
+            .collect();
+        assert_matches_reference(&tr, &points, Some(&m));
+    }
+
+    #[test]
+    fn mixed_grid_matches_reference_for_all_mappings() {
+        let tr = make_trace(300, 4, 2);
+        let m = mesh();
+        let mut points = Vec::new();
+        for mapping in [
+            MappingAlgorithm::BinBased,
+            MappingAlgorithm::ElementBased,
+            MappingAlgorithm::HilbertOrdered,
+            MappingAlgorithm::LoadBalanced,
+        ] {
+            for ranks in [4, 16] {
+                for filter in [0.02, 0.06] {
+                    points.push(SweepPoint::new(WorkloadConfig::new(ranks, mapping, filter)));
+                }
+            }
+        }
+        assert_matches_reference(&tr, &points, Some(&m));
+    }
+
+    #[test]
+    fn strides_match_subsampled_reference() {
+        let tr = make_trace(250, 9, 3);
+        let cfg = WorkloadConfig::new(8, MappingAlgorithm::BinBased, 0.04);
+        let points = vec![
+            SweepPoint::new(cfg.clone()),
+            SweepPoint::with_stride(cfg.clone(), 2),
+            SweepPoint::with_stride(cfg.clone(), 4),
+            SweepPoint::with_stride(cfg, 0), // treated as 1
+        ];
+        assert_matches_reference(&tr, &points, None);
+        let swept = sweep(&tr, &points, None).unwrap();
+        assert_eq!(swept[0], swept[3]);
+    }
+
+    #[test]
+    fn ghost_toggle_and_weird_radii_match_reference() {
+        let tr = make_trace(200, 3, 4);
+        let m = mesh();
+        let mut off = WorkloadConfig::new(8, MappingAlgorithm::ElementBased, 0.05);
+        off.compute_ghosts = false;
+        let points = vec![
+            SweepPoint::new(WorkloadConfig::new(8, MappingAlgorithm::ElementBased, 0.05)),
+            SweepPoint::new(off),
+            SweepPoint::new(WorkloadConfig::new(8, MappingAlgorithm::ElementBased, 0.0)),
+            SweepPoint::new(WorkloadConfig::new(8, MappingAlgorithm::ElementBased, -0.3)),
+            SweepPoint::new(WorkloadConfig::new(
+                8,
+                MappingAlgorithm::ElementBased,
+                f64::NAN,
+            )),
+        ];
+        assert_matches_reference(&tr, &points, Some(&m));
+    }
+
+    #[test]
+    fn grouping_collapses_shared_assignments() {
+        let tr = make_trace(150, 3, 5);
+        let m = mesh();
+        let mut points = Vec::new();
+        for filter in [0.01, 0.02, 0.04, 0.08] {
+            points.push(SweepPoint::new(WorkloadConfig::new(
+                16,
+                MappingAlgorithm::ElementBased,
+                filter,
+            )));
+            // bin-based groups carry the filter in their key: no collapse
+            points.push(SweepPoint::new(WorkloadConfig::new(
+                16,
+                MappingAlgorithm::BinBased,
+                filter,
+            )));
+        }
+        let (_, stats) = sweep_with_stats(&tr, &points, Some(&m)).unwrap();
+        assert_eq!(stats.points, 8);
+        // 1 element-based group (4 radii shared) + 4 bin-based groups
+        assert_eq!(stats.groups, 5);
+        assert_eq!(stats.samples, 3);
+        assert_eq!(stats.assign_passes, 15);
+        assert_eq!(stats.naive_assign_passes, 24);
+        assert_eq!(stats.ghost_radii, 4 + 4);
+        assert_eq!(stats.shared_query_groups, 1);
+    }
+
+    #[test]
+    fn streaming_sweep_matches_in_memory() {
+        use pic_trace::codec::{encode_trace, Precision};
+        let tr = make_trace(300, 5, 6);
+        let m = mesh();
+        let mut no_ghosts = WorkloadConfig::new(8, MappingAlgorithm::BinBased, 0.03);
+        no_ghosts.compute_ghosts = false;
+        let points = vec![
+            SweepPoint::new(WorkloadConfig::new(
+                16,
+                MappingAlgorithm::ElementBased,
+                0.02,
+            )),
+            SweepPoint::new(WorkloadConfig::new(
+                16,
+                MappingAlgorithm::ElementBased,
+                0.07,
+            )),
+            SweepPoint::new(WorkloadConfig::new(8, MappingAlgorithm::BinBased, 0.03)),
+            SweepPoint::with_stride(
+                WorkloadConfig::new(16, MappingAlgorithm::HilbertOrdered, 0.05),
+                2,
+            ),
+            SweepPoint::new(no_ghosts),
+        ];
+        let in_memory = sweep(&tr, &points, Some(&m)).unwrap();
+        let bytes = encode_trace(&tr, Precision::F64).unwrap();
+        let reader = pic_trace::TraceReader::new(&bytes[..]).unwrap();
+        let streamed = sweep_streaming(reader, &points, Some(&m)).unwrap();
+        assert_eq!(streamed, in_memory);
+    }
+
+    #[test]
+    fn streaming_sweep_surfaces_decode_errors() {
+        use pic_trace::codec::{encode_trace, Precision};
+        let tr = make_trace(100, 4, 7);
+        let bytes = encode_trace(&tr, Precision::F64).unwrap();
+        let truncated = &bytes[..bytes.len() - 7];
+        let reader = pic_trace::TraceReader::new(truncated).unwrap();
+        let points = vec![SweepPoint::new(WorkloadConfig::new(
+            8,
+            MappingAlgorithm::BinBased,
+            0.05,
+        ))];
+        assert!(sweep_streaming(reader, &points, None).is_err());
+    }
+
+    #[test]
+    fn config_errors_mirror_per_config_path() {
+        let tr = make_trace(50, 2, 8);
+        // mesh-requiring mapping without a mesh
+        let points = vec![SweepPoint::new(WorkloadConfig::new(
+            4,
+            MappingAlgorithm::ElementBased,
+            0.05,
+        ))];
+        assert!(sweep(&tr, &points, None).is_err());
+        // zero ranks
+        let bad = WorkloadConfig {
+            ranks: 0,
+            mapping: MappingAlgorithm::BinBased,
+            projection_filter: 0.1,
+            compute_ghosts: false,
+        };
+        assert!(sweep(&tr, &[SweepPoint::new(bad)], None).is_err());
+    }
+
+    #[test]
+    fn empty_point_list_and_empty_trace() {
+        let tr = make_trace(50, 2, 9);
+        assert!(sweep(&tr, &[], None).unwrap().is_empty());
+        let empty = ParticleTrace::new(TraceMeta::new(5, 100, Aabb::unit(), "empty"));
+        let points = vec![SweepPoint::new(WorkloadConfig::new(
+            4,
+            MappingAlgorithm::BinBased,
+            0.1,
+        ))];
+        let w = sweep(&empty, &points, None).unwrap();
+        assert_eq!(w[0].samples(), 0);
+    }
+
+    #[test]
+    fn large_sample_exercises_chunked_multi_radius_kernel() {
+        // Two chunks' worth of particles so the parallel partial merge of
+        // the multi-radius kernel actually runs.
+        let tr = make_trace(generator::GHOST_CHUNK * 2 + 57, 2, 10);
+        let m = mesh();
+        let points: Vec<SweepPoint> = [0.02, 0.05, 0.09]
+            .iter()
+            .map(|&f| SweepPoint::new(WorkloadConfig::new(24, MappingAlgorithm::ElementBased, f)))
+            .collect();
+        assert_matches_reference(&tr, &points, Some(&m));
+    }
+}

@@ -152,6 +152,46 @@ proptest! {
     }
 
     #[test]
+    fn sweep_grid_matches_per_config_reference(
+        tr in trace_strategy(),
+        rank_counts in proptest::collection::vec(1usize..24, 1..3),
+        radii in proptest::collection::vec(0.005..0.15f64, 1..4),
+        strides in proptest::collection::vec(1usize..4, 1..3),
+        mappings in proptest::collection::vec(mapping_strategy(), 1..3),
+    ) {
+        use pic_grid::{ElementMesh, MeshDims};
+        use pic_workload::sweep::{self, SweepPoint};
+        let mesh = ElementMesh::new(Aabb::unit(), MeshDims::cube(4), 5).unwrap();
+        let mut points = Vec::new();
+        for &mapping in &mappings {
+            for &ranks in &rank_counts {
+                for &radius in &radii {
+                    for &stride in &strides {
+                        points.push(SweepPoint::with_stride(
+                            WorkloadConfig::new(ranks, mapping, radius),
+                            stride,
+                        ));
+                    }
+                }
+            }
+        }
+        // Every grid point of the shared-replay sweep must reproduce the
+        // straight-line sequential replay of its subsampled trace exactly.
+        let workloads = sweep::sweep(&tr, &points, Some(&mesh)).unwrap();
+        prop_assert_eq!(workloads.len(), points.len());
+        for (p, w) in points.iter().zip(&workloads) {
+            let sub = tr.subsample(p.stride);
+            let reference = generator::generate_reference(&sub, &p.config, Some(&mesh)).unwrap();
+            prop_assert_eq!(w, &reference);
+        }
+        // The bounded-memory streaming sweep folds to the same grid.
+        let bytes = pic_trace::codec::encode_trace(&tr, pic_trace::codec::Precision::F64).unwrap();
+        let reader = pic_trace::TraceReader::new(&bytes[..]).unwrap();
+        let streamed = sweep::sweep_streaming(reader, &points, Some(&mesh)).unwrap();
+        prop_assert_eq!(&streamed, &workloads);
+    }
+
+    #[test]
     fn peak_series_dominates_every_rank(tr in trace_strategy(), ranks in 1usize..16) {
         let cfg = WorkloadConfig::new(ranks, MappingAlgorithm::BinBased, 0.05);
         let w = generator::generate(&tr, &cfg).unwrap();
