@@ -1,15 +1,19 @@
 //! DWG speedup runner: times the sequential reference replay against the
 //! chunked-parallel and pipelined-streaming generator paths at the paper's
-//! headline configuration (50 k particles re-targeted to 4176 ranks) and
-//! writes the measurements to `BENCH_DWG.json`.
+//! headline configuration (50 k particles re-targeted to 4176 ranks),
+//! times the scalar ghost kernel against the grouped SoA matrix kernel on
+//! one core, records a `--threads` 1→N scaling curve, and writes the
+//! measurements to `BENCH_DWG.json`.
 //!
-//! Usage: `cargo run --release -p pic-bench --bin dwg_bench [output.json]`
+//! Usage: `cargo run --release -p pic-bench --bin dwg_bench
+//!         [output.json] [--threads 1,2,4]`
 #![forbid(unsafe_code)]
 
-use pic_bench::synthetic_expanding_trace;
-use pic_mapping::MappingAlgorithm;
+use pic_bench::{parse_thread_list, run_thread_scaling, synthetic_expanding_trace, ThreadPoint};
+use pic_mapping::{BinMapper, MappingAlgorithm, ParticleMapper, RegionIndex};
 use pic_trace::codec::{encode_trace, Precision};
-use pic_workload::generator::{self, DynamicWorkload, WorkloadConfig};
+use pic_workload::generator::{self, ghost_counts_chunked, DynamicWorkload, WorkloadConfig};
+use pic_workload::soa::{ghost_counts_soa, SoAPositions};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -45,8 +49,30 @@ struct Report {
     speedup_parallel: f64,
     speedup_streaming: f64,
     speedup_ghost_phase: f64,
+    /// Scalar candidate-walk kernel vs the grouped SoA matrix kernel, both
+    /// on a 1-thread pool over the same assignments (pure kernel speedup).
+    ghost_kernel_scalar: PathTiming,
+    ghost_kernel_soa: PathTiming,
+    speedup_ghost_kernel: f64,
+    /// End-to-end `generate` under pools of each requested size.
+    thread_scaling: Vec<ThreadPoint>,
     peak_workload: u32,
     outputs_identical: bool,
+}
+
+/// Time one closure best-of-`reps` without caring about its output.
+fn time_kernel(reps: usize, mut f: impl FnMut()) -> PathTiming {
+    let mut secs = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        secs.push(t.elapsed().as_secs_f64());
+    }
+    PathTiming {
+        reps,
+        best_secs: secs.iter().cloned().fold(f64::INFINITY, f64::min),
+        mean_secs: secs.iter().sum::<f64>() / reps as f64,
+    }
 }
 
 fn time_path(reps: usize, mut f: impl FnMut() -> DynamicWorkload) -> (PathTiming, DynamicWorkload) {
@@ -71,8 +97,12 @@ fn time_path(reps: usize, mut f: impl FnMut() -> DynamicWorkload) -> (PathTiming
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let thread_list = parse_thread_list(&args);
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--") && !a.chars().next().is_some_and(|c| c.is_ascii_digit()))
+        .cloned()
         .unwrap_or_else(|| "BENCH_DWG.json".to_string());
     let particles = 50_000usize;
     let samples = 6usize;
@@ -105,6 +135,77 @@ fn main() {
         "parallel paths diverged from the sequential reference"
     );
 
+    // Single-core kernel duel: the scalar candidate walk vs the grouped
+    // SoA matrix kernel over the same per-sample assignments. A 1-thread
+    // pool pins both to one core so the ratio is pure kernel speedup.
+    let mapper = BinMapper::new(ranks, 0.02).expect("bench mapper");
+    let assignments: Vec<_> = trace
+        .samples()
+        .map(|s| {
+            let out = mapper.assign(&s.positions);
+            let index = RegionIndex::build(&out.rank_regions);
+            let soa = SoAPositions::from_positions(&s.positions);
+            (s.positions.clone(), soa, out.ranks, index)
+        })
+        .collect();
+    let pool1 = rayon::ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .expect("1-thread pool");
+    for (positions, soa, owners, index) in &assignments {
+        let scalar = ghost_counts_chunked(positions, owners, index, cfg.projection_filter, ranks);
+        let lane = ghost_counts_soa(soa, owners, index, cfg.projection_filter, ranks);
+        assert_eq!(scalar, lane, "SoA ghost kernel diverged from scalar");
+    }
+    let ghost_kernel_scalar = time_kernel(3, || {
+        pool1.install(|| {
+            for (positions, _, owners, index) in &assignments {
+                std::hint::black_box(ghost_counts_chunked(
+                    positions,
+                    owners,
+                    index,
+                    cfg.projection_filter,
+                    ranks,
+                ));
+            }
+        })
+    });
+    eprintln!(
+        "  ghost kernel scalar:  best {:.3}s",
+        ghost_kernel_scalar.best_secs
+    );
+    let ghost_kernel_soa = time_kernel(3, || {
+        pool1.install(|| {
+            for (_, soa, owners, index) in &assignments {
+                std::hint::black_box(ghost_counts_soa(
+                    soa,
+                    owners,
+                    index,
+                    cfg.projection_filter,
+                    ranks,
+                ));
+            }
+        })
+    });
+    eprintln!(
+        "  ghost kernel SoA:     best {:.3}s ({:.2}x)",
+        ghost_kernel_soa.best_secs,
+        ghost_kernel_scalar.best_secs / ghost_kernel_soa.best_secs
+    );
+    drop(assignments);
+
+    // 1→N scaling of the full generator (outputs must not depend on the
+    // pool size; run_thread_scaling asserts equality across the curve).
+    let thread_scaling = run_thread_scaling(&thread_list, 2, || {
+        generator::generate(&trace, &cfg).unwrap()
+    });
+    for p in &thread_scaling {
+        eprintln!(
+            "  threads={:<2} best {:.3}s  speedup_vs_1t {:.2}x",
+            p.threads, p.best_secs, p.speedup_vs_1t
+        );
+    }
+
     let report = Report {
         config: BenchConfig {
             particles,
@@ -118,6 +219,10 @@ fn main() {
         speedup_streaming: seq.best_secs / stream.best_secs,
         speedup_ghost_phase: (seq.best_secs - no_ghosts.best_secs)
             / (par.best_secs - no_ghosts.best_secs).max(1e-9),
+        speedup_ghost_kernel: ghost_kernel_scalar.best_secs / ghost_kernel_soa.best_secs,
+        ghost_kernel_scalar,
+        ghost_kernel_soa,
+        thread_scaling,
         peak_workload: w_seq.peak_workload(),
         sequential_reference: seq,
         parallel: par,

@@ -14,9 +14,11 @@
 //! engine toggles — the contract `picpredict` relies on when it compiles
 //! admitted models at load time.
 //!
-//! Usage: `cargo run --release -p pic-bench --bin gp_bench [output.json] [--smoke]`
+//! Usage: `cargo run --release -p pic-bench --bin gp_bench
+//!         [output.json] [--smoke] [--threads 1,2,4]`
 #![forbid(unsafe_code)]
 
+use pic_bench::{parse_thread_list, run_thread_scaling, ThreadPoint};
 use pic_models::gp::{random_population, score_population, FitnessCache, SymbolicModel};
 use pic_models::{Dataset, Expr, FitContext, FitScratch, GpConfig, GpRunStats, SymbolicRegressor};
 use pic_sim::instrument::WorkloadParams;
@@ -59,6 +61,9 @@ struct Report {
     fit_speedup: f64,
     /// The fixed-seed best model is identical with the engine on and off.
     best_model_identical: bool,
+    /// Compiled-parallel scoring under pools of each requested size;
+    /// fitness triples are asserted bitwise-identical across the curve.
+    thread_scaling: Vec<ThreadPoint>,
 }
 
 /// Noisy kernel-cost dataset over the three varying workload features.
@@ -162,15 +167,14 @@ fn models_identical(a: &SymbolicModel, b: &SymbolicModel) -> bool {
 }
 
 fn main() {
-    let mut out_path = "BENCH_GP.json".to_string();
-    let mut smoke = false;
-    for arg in std::env::args().skip(1) {
-        if arg == "--smoke" {
-            smoke = true;
-        } else {
-            out_path = arg;
-        }
-    }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let thread_list = parse_thread_list(&args);
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--") && !a.chars().next().is_some_and(|c| c.is_ascii_digit()))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_GP.json".to_string());
     let (rows, population, repeats) = if smoke { (96, 128, 2) } else { (512, 512, 5) };
     let parsimony = GpConfig::default().parsimony;
 
@@ -221,6 +225,17 @@ fn main() {
         std::hint::black_box(score(&cfg_with(true, true)));
     });
 
+    // 1→N scaling of the compiled-parallel scoring pass; the shared-pool
+    // policy routes `score_population` through the ambient bench pool, and
+    // the fitness triples must be identical at every pool size.
+    let thread_scaling = run_thread_scaling(&thread_list, repeats, || score(&cfg_with(true, true)));
+    for p in &thread_scaling {
+        eprintln!(
+            "  threads={:<2} best {:.4}s  speedup_vs_1t {:.2}x",
+            p.threads, p.best_secs, p.speedup_vs_1t
+        );
+    }
+
     // End-to-end fixed-seed fits: engine fully on vs fully off.
     let on_cfg = GpConfig::fast(5);
     let off_cfg = GpConfig {
@@ -257,6 +272,7 @@ fn main() {
         fit_wall_ms_engine_off,
         fit_speedup: fit_wall_ms_engine_off / fit_wall_ms_engine_on,
         best_model_identical,
+        thread_scaling,
     };
 
     println!(

@@ -3,17 +3,23 @@
 //! (one trace × 6 projection filters × 4 rank counts, Hilbert-ordered
 //! mapping) and writes the measurements to `BENCH_SWEEP.json`.
 //!
-//! Both paths run on a single core (a 1-thread rayon pool) so the
-//! speedup isolates replay sharing from thread-level parallelism.
+//! Both headline paths run on a single core (a 1-thread rayon pool) so the
+//! speedup isolates replay sharing from thread-level parallelism; a
+//! separate `--threads` 1→N curve then measures how the sweep engine
+//! scales across pool sizes, asserting the outputs never change with the
+//! thread count.
 //!
-//! Usage: `cargo run --release -p pic-bench --bin sweep_bench [output.json] [--smoke]`
+//! Usage: `cargo run --release -p pic-bench --bin sweep_bench
+//!         [output.json] [--smoke] [--threads 1,2,4]`
 //!
 //! `--smoke` shrinks the grid to CI scale and additionally checks every
 //! grid point against the sequential `generate_reference` oracle,
 //! exiting non-zero on any divergence.
 #![forbid(unsafe_code)]
 
-use pic_bench::{synthetic_expanding_trace, Scale};
+use pic_bench::{
+    parse_thread_list, run_thread_scaling, synthetic_expanding_trace, Scale, ThreadPoint,
+};
 use pic_grid::{ElementMesh, MeshDims};
 use pic_mapping::MappingAlgorithm;
 use pic_types::Aabb;
@@ -50,6 +56,9 @@ struct Report {
     per_config_loop: PathTiming,
     sweep: PathTiming,
     speedup: f64,
+    /// The sweep engine under pools of each requested size; outputs are
+    /// asserted identical across the whole curve.
+    thread_scaling: Vec<ThreadPoint>,
     sharing: SweepStats,
     outputs_identical: bool,
     oracle_checked: bool,
@@ -82,9 +91,10 @@ fn time_runs(
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
+    let thread_list = parse_thread_list(&args);
     let out_path = args
         .iter()
-        .find(|a| !a.starts_with("--"))
+        .find(|a| !a.starts_with("--") && !a.chars().next().is_some_and(|c| c.is_ascii_digit()))
         .cloned()
         .unwrap_or_else(|| "BENCH_SWEEP.json".to_string());
 
@@ -156,6 +166,25 @@ fn main() {
         "sweep engine diverged from the per-config loop"
     );
 
+    // 1→N thread scaling of the sweep engine. `run_thread_scaling` asserts
+    // the workloads are identical at every pool size; additionally pin the
+    // curve to the single-thread headline run above.
+    let scaling_reps = if smoke { 1 } else { 2 };
+    let thread_scaling = run_thread_scaling(&thread_list, scaling_reps, || {
+        let w = sweep::sweep(&trace, &points, Some(&mesh)).unwrap();
+        assert!(
+            w == w_sweep,
+            "thread-scaled sweep diverged from headline run"
+        );
+        w
+    });
+    for p in &thread_scaling {
+        eprintln!(
+            "  threads={:<2} best {:.3}s  speedup_vs_1t {:.2}x",
+            p.threads, p.best_secs, p.speedup_vs_1t
+        );
+    }
+
     let mut oracle_checked = false;
     if smoke {
         for (p, w) in points.iter().zip(&w_sweep) {
@@ -190,6 +219,7 @@ fn main() {
         speedup: loop_timing.best_secs / sweep_timing.best_secs,
         per_config_loop: loop_timing,
         sweep: sweep_timing,
+        thread_scaling,
         sharing: stats,
         outputs_identical,
         oracle_checked,

@@ -19,6 +19,7 @@ use pic_sim::{CostOracle, KernelKind, Recorder, ScenarioKind, SimConfig};
 use pic_trace::{ParticleTrace, TraceMeta};
 use pic_types::rng::SplitMix64;
 use pic_types::{Aabb, Vec3};
+use serde::Serialize;
 
 /// Experiment scale preset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -135,6 +136,93 @@ pub fn oracle_models(seed: u64) -> KernelModels {
     KernelModels::fit(&rec, &FitStrategy::Linear, seed).expect("oracle sweep fits")
 }
 
+/// One point of a `--threads` scaling curve: wall time under a pool of
+/// `threads` workers and the speedup against the 1-thread entry.
+#[derive(Debug, Clone, Serialize)]
+pub struct ThreadPoint {
+    /// Rayon pool size this point ran under.
+    pub threads: usize,
+    /// Best-of-reps wall seconds.
+    pub best_secs: f64,
+    /// 1-thread best time divided by this point's best time (1.0 when no
+    /// 1-thread entry was requested).
+    pub speedup_vs_1t: f64,
+}
+
+/// Parse a `--threads 1,2,4` (or `--threads=1,2,4`) flag from bench args.
+/// Defaults to `[1, P]` (deduplicated) where `P` is the machine's available
+/// parallelism, so every bench records a 1→N curve out of the box.
+pub fn parse_thread_list(args: &[String]) -> Vec<usize> {
+    let parse = |s: &str| -> Vec<usize> {
+        s.split(',')
+            .map(|t| {
+                t.trim()
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| panic!("bad --threads entry {t:?}"))
+            })
+            .collect()
+    };
+    let mut iter = args.iter();
+    while let Some(a) = iter.next() {
+        if let Some(list) = a.strip_prefix("--threads=") {
+            return parse(list);
+        }
+        if a == "--threads" {
+            let list = iter.next().expect("--threads needs a comma-separated list");
+            return parse(list);
+        }
+    }
+    let machine = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut defaults = vec![1, machine];
+    defaults.dedup();
+    defaults
+}
+
+/// Run `f` under a dedicated rayon pool per thread count (best of `reps`
+/// runs each) and return the scaling curve. Every run's output must be
+/// equal to the first run's — the thread count is a performance knob, never
+/// an output knob — and the function panics on divergence.
+pub fn run_thread_scaling<T: PartialEq + Send>(
+    threads: &[usize],
+    reps: usize,
+    mut f: impl FnMut() -> T + Send,
+) -> Vec<ThreadPoint> {
+    let mut points = Vec::with_capacity(threads.len());
+    let mut reference: Option<T> = None;
+    for &t in threads {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build()
+            .expect("bench thread pool");
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let start = std::time::Instant::now();
+            let out = pool.install(&mut f);
+            best = best.min(start.elapsed().as_secs_f64());
+            match &reference {
+                Some(r) => assert!(
+                    *r == out,
+                    "outputs diverged under a {t}-thread pool; thread count must not affect results"
+                ),
+                None => reference = Some(out),
+            }
+        }
+        points.push(ThreadPoint {
+            threads: t,
+            best_secs: best,
+            speedup_vs_1t: 1.0,
+        });
+    }
+    if let Some(base) = points.iter().find(|p| p.threads == 1).map(|p| p.best_secs) {
+        for p in &mut points {
+            p.speedup_vs_1t = base / p.best_secs;
+        }
+    }
+    points
+}
+
 /// Format a floating series compactly for stdout tables.
 pub fn fmt_series(series: &[f64]) -> String {
     series
@@ -184,6 +272,26 @@ mod tests {
         for (_, mape) in m.validation_mapes() {
             assert!(mape < 1.0);
         }
+    }
+
+    #[test]
+    fn thread_list_parses_and_defaults() {
+        let args = vec!["--threads".to_string(), "1,2,4".to_string()];
+        assert_eq!(parse_thread_list(&args), vec![1, 2, 4]);
+        assert_eq!(parse_thread_list(&["--threads=8".to_string()]), vec![8]);
+        let d = parse_thread_list(&[]);
+        assert_eq!(d[0], 1);
+        assert!(!d.is_empty() && d.len() <= 2);
+    }
+
+    #[test]
+    fn thread_scaling_records_curve_with_unit_baseline() {
+        let pts = run_thread_scaling(&[1, 2], 2, || (0..1000u64).sum::<u64>());
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].threads, 1);
+        assert!(pts.iter().all(|p| p.best_secs.is_finite()));
+        assert!((pts[0].speedup_vs_1t - 1.0).abs() < 1e-12);
+        assert!(pts[1].speedup_vs_1t > 0.0);
     }
 
     #[test]

@@ -153,6 +153,61 @@ impl ElementMesh {
         Some(self.element_id(ix, iy, iz))
     }
 
+    /// Blocked structure-of-arrays element location: for each position
+    /// `(xs[i], ys[i], zs[i])`, clamp it onto the domain and write the
+    /// containing element's lexicographic index to `out[i]` (`out` is
+    /// resized to the input length).
+    ///
+    /// Bit-identical to `clamp` + [`element_of_point`](Self::element_of_point)
+    /// per particle — same component-wise `max`/`min` clamp, same
+    /// `((q - min)/h).floor()` index arithmetic — but laid out as three
+    /// independent per-axis passes over fixed-width lanes so the compiler
+    /// can vectorize the clamp/divide/floor chain. NaN coordinates clamp to
+    /// `domain.min` (`f64::max`/`min` ignore NaN), exactly as the scalar
+    /// path does.
+    pub fn locate_clamped_soa(&self, xs: &[f64], ys: &[f64], zs: &[f64], out: &mut Vec<u32>) {
+        assert_eq!(xs.len(), ys.len());
+        assert_eq!(xs.len(), zs.len());
+        let n = xs.len();
+        out.clear();
+        out.resize(n, 0);
+        let (dmin, dmax) = (self.domain.min, self.domain.max);
+        // Per-axis pass: out accumulates ix + nx*(iy + ny*iz) incrementally.
+        let axis = |coords: &[f64],
+                    lo: f64,
+                    hi: f64,
+                    h: f64,
+                    n_ax: usize,
+                    stride: u32,
+                    out: &mut [u32]| {
+            let max_i = n_ax as isize - 1;
+            for (o, &v) in out.iter_mut().zip(coords) {
+                let q = v.max(lo).min(hi);
+                let i = ((q - lo) / h).floor() as isize;
+                *o += stride * i.clamp(0, max_i) as u32;
+            }
+        };
+        axis(xs, dmin.x, dmax.x, self.h.x, self.dims.nx, 1, out);
+        axis(
+            ys,
+            dmin.y,
+            dmax.y,
+            self.h.y,
+            self.dims.ny,
+            self.dims.nx as u32,
+            out,
+        );
+        axis(
+            zs,
+            dmin.z,
+            dmax.z,
+            self.h.z,
+            self.dims.nz,
+            (self.dims.nx * self.dims.ny) as u32,
+            out,
+        );
+    }
+
     /// Bounding box of element `id`.
     pub fn element_aabb(&self, id: ElementId) -> Aabb {
         let (ix, iy, iz) = self.element_indices(id);
@@ -277,6 +332,37 @@ mod tests {
         // Point exactly on the domain max corner maps into the last element.
         let last = m.element_id(3, 3, 3);
         assert_eq!(m.element_of_point(Vec3::ONE), Some(last));
+    }
+
+    #[test]
+    fn soa_locate_matches_scalar_clamped_lookup() {
+        let m = ElementMesh::new(
+            Aabb::new(Vec3::new(-1.0, 0.0, 2.0), Vec3::new(3.0, 2.0, 5.0)),
+            MeshDims::new(5, 3, 7),
+            4,
+        )
+        .unwrap();
+        let mut pts = Vec::new();
+        // Interior lattice + out-of-domain + NaN + exact max-face points.
+        for i in 0..200 {
+            let t = i as f64 * 0.0137;
+            pts.push(Vec3::new(-2.0 + t * 4.0, -1.0 + t * 2.5, 1.0 + t * 3.0));
+        }
+        pts.push(Vec3::new(f64::NAN, 1.0, 3.0));
+        pts.push(Vec3::new(3.0, 2.0, 5.0)); // domain max corner
+        pts.push(Vec3::splat(f64::INFINITY));
+        pts.push(Vec3::splat(f64::NEG_INFINITY));
+        let xs: Vec<f64> = pts.iter().map(|p| p.x).collect();
+        let ys: Vec<f64> = pts.iter().map(|p| p.y).collect();
+        let zs: Vec<f64> = pts.iter().map(|p| p.z).collect();
+        let mut out = Vec::new();
+        m.locate_clamped_soa(&xs, &ys, &zs, &mut out);
+        assert_eq!(out.len(), pts.len());
+        for (p, &e) in pts.iter().zip(&out) {
+            let q = p.clamp(m.domain().min, m.domain().max);
+            let want = m.element_of_point(q).unwrap();
+            assert_eq!(e as usize, want.index(), "p={p}");
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::mapper::{MappingOutcome, ParticleMapper};
 use pic_grid::{ElementMesh, RcbDecomposition};
-use pic_types::{Aabb, Rank, Result, Vec3};
+use pic_types::{Aabb, ElementId, Rank, Result, Vec3};
 
 /// Element-based mapper: `R_p = owner(element_of(particle position))`.
 #[derive(Debug, Clone)]
@@ -79,6 +79,30 @@ impl ParticleMapper for ElementMapper {
         for &p in positions {
             ranks.push(self.rank_of(p));
         }
+        MappingOutcome {
+            ranks,
+            rank_regions: self.regions.clone(),
+            bin_count: None,
+        }
+    }
+
+    fn supports_soa(&self) -> bool {
+        true
+    }
+
+    fn assign_soa(&self, xs: &[f64], ys: &[f64], zs: &[f64]) -> MappingOutcome {
+        // Vectorizable clamp/locate over SoA lanes, then a scalar gather
+        // through the element-owner table. Element indices match
+        // `rank_of`'s clamp + point lookup bit-for-bit.
+        let mut eidx = Vec::new();
+        self.mesh.locate_clamped_soa(xs, ys, zs, &mut eidx);
+        let ranks = eidx
+            .iter()
+            .map(|&e| {
+                self.decomp
+                    .rank_of_element(ElementId::from_index(e as usize))
+            })
+            .collect();
         MappingOutcome {
             ranks,
             rank_regions: self.regions.clone(),

@@ -11,7 +11,7 @@
 
 use crate::mapper::{MappingOutcome, ParticleMapper};
 use pic_grid::ElementMesh;
-use pic_types::{Aabb, PicError, Rank, Result, Vec3};
+use pic_types::{Aabb, ElementId, PicError, Rank, Result, Vec3};
 
 /// Convert axis coordinates (each `< 2^bits`) into their Hilbert transpose
 /// representation, in place (Skilling's `AxestoTranspose`).
@@ -118,9 +118,38 @@ impl ParticleMapper for HilbertMapper {
     }
 
     fn assign(&self, positions: &[Vec3]) -> MappingOutcome {
-        let n = positions.len();
-        let mut order: Vec<u32> = (0..n as u32).collect();
         let keys: Vec<u64> = positions.iter().map(|&p| self.key_of(p)).collect();
+        self.chunk_by_keys(&keys, |i| positions[i])
+    }
+
+    fn supports_soa(&self) -> bool {
+        true
+    }
+
+    fn assign_soa(&self, xs: &[f64], ys: &[f64], zs: &[f64]) -> MappingOutcome {
+        // SoA clamp/locate pass (vectorizable), then the scalar Hilbert
+        // bit-twiddle per located element. Keys are bit-identical to
+        // `key_of` because `locate_clamped_soa` reproduces its clamp +
+        // element lookup exactly.
+        let mut eidx = Vec::new();
+        self.mesh.locate_clamped_soa(xs, ys, zs, &mut eidx);
+        let keys: Vec<u64> = eidx
+            .iter()
+            .map(|&e| {
+                let (ix, iy, iz) = self.mesh.element_indices(ElementId::from_index(e as usize));
+                hilbert_index(ix as u32, iy as u32, iz as u32, self.bits)
+            })
+            .collect();
+        self.chunk_by_keys(&keys, |i| Vec3::new(xs[i], ys[i], zs[i]))
+    }
+}
+
+impl HilbertMapper {
+    /// Shared back half of `assign`/`assign_soa`: sort particle ids by
+    /// (key, id) and hand out equal contiguous chunks of the curve order.
+    fn chunk_by_keys(&self, keys: &[u64], position_of: impl Fn(usize) -> Vec3) -> MappingOutcome {
+        let n = keys.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
         // Stable tie-break on the particle id keeps the mapping deterministic.
         order.sort_by_key(|&i| (keys[i as usize], i));
 
@@ -135,7 +164,7 @@ impl ParticleMapper for HilbertMapper {
             let take = base + usize::from(r < extra);
             for &idx in &order[cursor..cursor + take] {
                 ranks[idx as usize] = Rank::from_index(r);
-                rank_regions[r].expand(positions[idx as usize]);
+                rank_regions[r].expand(position_of(idx as usize));
             }
             cursor += take;
         }

@@ -18,7 +18,7 @@
 
 use crate::mapper::{MappingOutcome, ParticleMapper};
 use pic_grid::{ElementMesh, RcbDecomposition};
-use pic_types::{Aabb, PicError, Rank, Result, Vec3};
+use pic_types::{Aabb, ElementId, PicError, Rank, Result, Vec3};
 
 /// Weighted-element mapper: locality-preserving, load-driven decomposition
 /// recomputed per sample.
@@ -116,6 +116,41 @@ impl ParticleMapper for LoadBalancedMapper {
                     .rank_of_point(&self.mesh, q)
                     .expect("clamped point in domain")
             })
+            .collect();
+        let rank_regions: Vec<Aabb> = Rank::all(self.ranks)
+            .map(|r| decomp.rank_region(r))
+            .collect();
+        MappingOutcome {
+            ranks,
+            rank_regions,
+            bin_count: None,
+        }
+    }
+
+    fn supports_soa(&self) -> bool {
+        true
+    }
+
+    fn assign_soa(&self, xs: &[f64], ys: &[f64], zs: &[f64]) -> MappingOutcome {
+        // One SoA clamp/locate pass feeds both the weight histogram and the
+        // final rank gather. The AoS path locates every particle twice
+        // (once in `element_counts`, once in `assign`); the results are
+        // bit-identical, this just stops recomputing them.
+        let mut eidx = Vec::new();
+        self.mesh.locate_clamped_soa(xs, ys, zs, &mut eidx);
+        let mut counts = vec![0u32; self.mesh.element_count()];
+        for &e in &eidx {
+            counts[e as usize] += 1;
+        }
+        let weights: Vec<f64> = counts
+            .iter()
+            .map(|&c| self.grid_weight + self.particle_weight * c as f64)
+            .collect();
+        let decomp = RcbDecomposition::decompose_weighted(&self.mesh, self.ranks, &weights)
+            .expect("validated construction implies valid decomposition");
+        let ranks = eidx
+            .iter()
+            .map(|&e| decomp.rank_of_element(ElementId::from_index(e as usize)))
             .collect();
         let rank_regions: Vec<Aabb> = Rank::all(self.ranks)
             .map(|r| decomp.rank_region(r))

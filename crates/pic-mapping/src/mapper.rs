@@ -75,6 +75,33 @@ pub trait ParticleMapper: Send + Sync {
 
     /// Map one sample's positions to residing ranks.
     fn assign(&self, positions: &[Vec3]) -> MappingOutcome;
+
+    /// Whether [`assign_soa`](Self::assign_soa) is a genuine
+    /// structure-of-arrays specialization. Callers holding SoA data should
+    /// check this and fall back to [`assign`](Self::assign) with their AoS
+    /// copy when `false` — the default `assign_soa` reconstitutes a `Vec3`
+    /// buffer, which is pure overhead for mappers without an SoA inner
+    /// loop (e.g. the recursive bin partitioner).
+    fn supports_soa(&self) -> bool {
+        false
+    }
+
+    /// Map one sample's positions, given as parallel x/y/z arrays, to
+    /// residing ranks. Must produce output bit-identical to
+    /// [`assign`](Self::assign) on the zipped positions; specializations
+    /// exist so grid-affine mappers can run their clamp/locate arithmetic
+    /// over vectorizable SoA lanes.
+    fn assign_soa(&self, xs: &[f64], ys: &[f64], zs: &[f64]) -> MappingOutcome {
+        assert_eq!(xs.len(), ys.len());
+        assert_eq!(xs.len(), zs.len());
+        let positions: Vec<Vec3> = xs
+            .iter()
+            .zip(ys)
+            .zip(zs)
+            .map(|((&x, &y), &z)| Vec3::new(x, y, z))
+            .collect();
+        self.assign(&positions)
+    }
 }
 
 #[cfg(test)]

@@ -258,6 +258,90 @@ impl RegionIndex {
         }
     }
 
+    /// Packed cell-range signature of the sphere query at `center` with
+    /// radius `radius`, or `None` when the query provably touches nothing
+    /// (empty index, or the inflated query box misses the index bounds —
+    /// including NaN centers/radii, whose query boxes intersect nothing).
+    ///
+    /// Two queries with equal keys walk exactly the same grid cells and
+    /// therefore see exactly the same candidate slots in the same order.
+    /// The batched ghost kernel exploits this: it groups particles by key,
+    /// enumerates candidates once per group via
+    /// [`gather_candidate_slots`](Self::gather_candidate_slots), and
+    /// re-applies only the per-particle `d² ≤ r²` filter — bit-identical
+    /// to running [`for_each_candidate_in_sphere`](Self::for_each_candidate_in_sphere)
+    /// per particle.
+    ///
+    /// Packing: the grid is at most 96³ (`build` clamps `per_axis` to 96),
+    /// so each of the six cell indices fits in 7 bits; keys are 42-bit.
+    #[inline]
+    pub fn query_cell_key(&self, center: Vec3, radius: f64) -> Option<u64> {
+        if self.bounds.is_empty() {
+            return None;
+        }
+        let query = Aabb::new(center, center).inflate(radius);
+        if !self.bounds.intersects(&query) {
+            return None;
+        }
+        let (lo, hi) = self.cell_range(&query);
+        let mut key = 0u64;
+        for a in 0..3 {
+            key = key << 7 | lo[a] as u64;
+            key = key << 7 | hi[a] as u64;
+        }
+        Some(key)
+    }
+
+    /// Enumerate the deduplicated candidate slots of a query key produced
+    /// by [`query_cell_key`](Self::query_cell_key), into `out` (cleared
+    /// first), in the same cell-major first-encounter order the per-sphere
+    /// visitors use. Slots still need the per-particle `d² ≤ r²` test —
+    /// use [`slot_box`](Self::slot_box) / [`slot_rank`](Self::slot_rank).
+    #[inline]
+    pub fn gather_candidate_slots(
+        &self,
+        mut key: u64,
+        scratch: &mut RegionQueryScratch,
+        out: &mut Vec<u32>,
+    ) {
+        out.clear();
+        scratch.begin(self);
+        let mut lo = [0usize; 3];
+        let mut hi = [0usize; 3];
+        for a in (0..3).rev() {
+            hi[a] = (key & 0x7f) as usize;
+            lo[a] = (key >> 7 & 0x7f) as usize;
+            key >>= 14;
+        }
+        for cz in lo[2]..=hi[2] {
+            for cy in lo[1]..=hi[1] {
+                for cx in lo[0]..=hi[0] {
+                    for &slot in self.cell_slots(self.cell_id(cx, cy, cz)) {
+                        let stamp = &mut scratch.stamps[slot as usize];
+                        if *stamp == scratch.epoch {
+                            continue;
+                        }
+                        *stamp = scratch.epoch;
+                        out.push(slot);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Bounding box of a live slot returned by
+    /// [`gather_candidate_slots`](Self::gather_candidate_slots).
+    #[inline]
+    pub fn slot_box(&self, slot: u32) -> &Aabb {
+        &self.live_boxes[slot as usize]
+    }
+
+    /// Owning rank of a live slot.
+    #[inline]
+    pub fn slot_rank(&self, slot: u32) -> Rank {
+        self.live_ranks[slot as usize]
+    }
+
     /// Collect (sorted, deduplicated) ranks whose region touches the sphere
     /// at `center` with radius `radius`, into `out` (cleared first).
     ///
@@ -483,6 +567,70 @@ mod tests {
             seen.sort_unstable();
             assert_eq!(seen, brute(&regions, c, r), "c={c} r={r}");
         }
+    }
+
+    #[test]
+    fn batched_gather_matches_scalar_visitor_exactly() {
+        // The grouped ghost kernel's contract: key + gathered slots +
+        // per-particle d² filter must reproduce the scalar visitor's
+        // output *in order*, and a None key must coincide with the scalar
+        // visitor's early return.
+        let mut rng = SplitMix64::new(2024);
+        let mut regions = Vec::new();
+        for _ in 0..50 {
+            let min = Vec3::new(rng.next_f64(), rng.next_f64(), rng.next_f64()) * 3.0;
+            regions.push(Aabb::new(min, min + Vec3::splat(rng.next_range(0.1, 0.9))));
+        }
+        let idx = RegionIndex::build(&regions);
+        let mut scratch = RegionQueryScratch::new();
+        let mut batch_scratch = RegionQueryScratch::new();
+        let mut slots = Vec::new();
+        for case in 0..400 {
+            let c = Vec3::new(
+                rng.next_range(-1.0, 5.0),
+                rng.next_range(-1.0, 5.0),
+                rng.next_range(-1.0, 5.0),
+            );
+            let r = match case % 5 {
+                0 => 0.0,
+                1 => f64::NAN,
+                2 => -0.3,
+                _ => rng.next_range(0.01, 0.8),
+            };
+            let mut scalar = Vec::new();
+            idx.for_each_candidate_in_sphere(c, r, &mut scratch, |rank, d2| {
+                scalar.push((rank, d2));
+            });
+            let mut batched = Vec::new();
+            if let Some(key) = idx.query_cell_key(c, r) {
+                idx.gather_candidate_slots(key, &mut batch_scratch, &mut slots);
+                let rr = r * r;
+                for &slot in &slots {
+                    let d2 = idx.slot_box(slot).distance_sq_to_point(c);
+                    if d2 <= rr {
+                        batched.push((idx.slot_rank(slot), d2));
+                    }
+                }
+            } else {
+                // A None key must mean the scalar path also visits nothing.
+                assert!(scalar.is_empty(), "c={c} r={r}");
+            }
+            assert_eq!(batched, scalar, "c={c} r={r}");
+        }
+    }
+
+    #[test]
+    fn equal_keys_share_candidate_enumeration() {
+        // Two centers in the same grid cell with the same radius get the
+        // same key — the grouping invariant the batched kernel relies on.
+        let idx = RegionIndex::build(&octant_regions());
+        let a = idx.query_cell_key(Vec3::splat(0.26), 0.05).unwrap();
+        let b = idx.query_cell_key(Vec3::splat(0.27), 0.05).unwrap();
+        assert_eq!(a, b);
+        let far = idx.query_cell_key(Vec3::splat(0.9), 0.05).unwrap();
+        assert_ne!(a, far);
+        assert_eq!(idx.query_cell_key(Vec3::splat(50.0), 0.1), None);
+        assert_eq!(idx.query_cell_key(Vec3::splat(0.5), f64::NAN), None);
     }
 
     #[test]

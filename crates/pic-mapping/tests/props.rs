@@ -3,7 +3,8 @@
 
 use pic_grid::{ElementMesh, MeshDims};
 use pic_mapping::{
-    hilbert::hilbert_index, BinMapper, ElementMapper, HilbertMapper, ParticleMapper, RegionIndex,
+    hilbert::hilbert_index, BinMapper, ElementMapper, HilbertMapper, LoadBalancedMapper,
+    ParticleMapper, RegionIndex,
 };
 use pic_types::{Aabb, Rank, Vec3};
 use proptest::prelude::*;
@@ -125,6 +126,28 @@ proptest! {
             .collect();
         brute.sort_unstable();
         prop_assert_eq!(fast, brute);
+    }
+
+    #[test]
+    fn assign_soa_is_bit_identical_to_assign(positions in unit_positions(200), ranks in 1usize..24) {
+        // The SoA specializations (element, load-balanced, hilbert) and the
+        // default reconstitution fallback (bin) must all reproduce the AoS
+        // assignment exactly — ranks, regions, and bin counts.
+        let m = mesh();
+        let mappers: Vec<Box<dyn ParticleMapper>> = vec![
+            Box::new(ElementMapper::new(&m, ranks).unwrap()),
+            Box::new(LoadBalancedMapper::new(&m, ranks).unwrap()),
+            Box::new(HilbertMapper::new(&m, ranks).unwrap()),
+            Box::new(BinMapper::new(ranks, 0.05).unwrap()),
+        ];
+        let xs: Vec<f64> = positions.iter().map(|p| p.x).collect();
+        let ys: Vec<f64> = positions.iter().map(|p| p.y).collect();
+        let zs: Vec<f64> = positions.iter().map(|p| p.z).collect();
+        for mapper in &mappers {
+            let aos = mapper.assign(&positions);
+            let soa = mapper.assign_soa(&xs, &ys, &zs);
+            prop_assert_eq!(aos, soa, "{}", mapper.name());
+        }
     }
 
     #[test]

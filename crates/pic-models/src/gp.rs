@@ -422,7 +422,7 @@ pub fn score_population(
         }
     };
     let prepared: Vec<Prepared> = if cfg.parallel && pop.len() > 1 {
-        pop.par_iter().map(prepare).collect()
+        pic_types::pool::install(|| pop.par_iter().map(prepare).collect())
     } else {
         pop.iter().map(prepare).collect()
     };
@@ -465,10 +465,12 @@ pub fn score_population(
         }
     };
     let results: Vec<(f64, f64, f64)> = if cfg.parallel && to_eval.len() > 1 {
-        to_eval
-            .par_iter()
-            .map(|&i| WORKER_SCRATCH.with(|ws| eval_one(i, &mut ws.borrow_mut())))
-            .collect()
+        pic_types::pool::install(|| {
+            to_eval
+                .par_iter()
+                .map(|&i| WORKER_SCRATCH.with(|ws| eval_one(i, &mut ws.borrow_mut())))
+                .collect()
+        })
     } else {
         to_eval.iter().map(|&i| eval_one(i, scratch)).collect()
     };

@@ -58,7 +58,11 @@ const USAGE: &str = "usage:
   picpredict study bins --trace T --filter F
   picpredict study sampling --trace T --ranks N --mapping M --strides 1,2,4 [--filter F] [--mesh AxBxC]
   picpredict sweep --trace T --ranks 16,32 [--mappings M1,M2] [--filters F1,F2] [--strides 1,2]
-                   [--ghosts false] [--stream true] [--mesh AxBxC --order K] [--out grid.json]";
+                   [--ghosts false] [--stream true] [--mesh AxBxC --order K] [--out grid.json]
+
+global flags:
+  --threads N    run the command under an N-thread pool (default: shared
+                 pool sized from RAYON_NUM_THREADS or machine parallelism)";
 
 /// Parse `--key value` flags into a map; bare words are positional.
 fn parse_flags(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
@@ -139,21 +143,40 @@ fn parse_mesh(flags: &HashMap<String, String>, domain: Aabb) -> Result<Option<El
 fn dispatch(args: &[String]) -> Result<()> {
     let (positional, flags) = parse_flags(args);
     let cmd = positional.first().map(|s| s.as_str()).unwrap_or("");
+    // Global `--threads N`: run the whole command under a pool of that
+    // size. Without it, the shared-pool policy applies (pool sized from
+    // `RAYON_NUM_THREADS`, falling back to the machine's parallelism).
+    if let Some(spec) = flags.get("threads") {
+        let n: usize = spec
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or_else(|| PicError::config("--threads must be a positive integer"))?;
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .map_err(|e| PicError::config(format!("cannot build {n}-thread pool: {e}")))?;
+        return pool.install(|| dispatch_cmd(cmd, &positional, &flags));
+    }
+    dispatch_cmd(cmd, &positional, &flags)
+}
+
+fn dispatch_cmd(cmd: &str, positional: &[String], flags: &HashMap<String, String>) -> Result<()> {
     match cmd {
-        "run" => cmd_run(&flags),
+        "run" => cmd_run(flags),
         "default-config" => {
             println!("{}", SimConfig::default().to_json());
             Ok(())
         }
-        "info" => cmd_info(&flags),
-        "check" => cmd_check(&flags),
-        "workload" => cmd_workload(&flags),
-        "benchmark" => cmd_benchmark(&flags),
-        "fit" => cmd_fit(&flags),
-        "predict" => cmd_predict(&flags),
-        "extrapolate" => cmd_extrapolate(&flags),
-        "study" => cmd_study(positional.get(1).map(String::as_str).unwrap_or(""), &flags),
-        "sweep" => cmd_sweep(&flags),
+        "info" => cmd_info(flags),
+        "check" => cmd_check(flags),
+        "workload" => cmd_workload(flags),
+        "benchmark" => cmd_benchmark(flags),
+        "fit" => cmd_fit(flags),
+        "predict" => cmd_predict(flags),
+        "extrapolate" => cmd_extrapolate(flags),
+        "study" => cmd_study(positional.get(1).map(String::as_str).unwrap_or(""), flags),
+        "sweep" => cmd_sweep(flags),
         "" => Err(PicError::config("no command given")),
         other => Err(PicError::config(format!("unknown command '{other}'"))),
     }

@@ -15,6 +15,8 @@
 pub mod aabb;
 pub mod error;
 pub mod ids;
+pub mod padded;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod vec3;
@@ -22,4 +24,5 @@ pub mod vec3;
 pub use aabb::Aabb;
 pub use error::{PicError, Result, TraceError, TraceErrorKind};
 pub use ids::{BinId, ElementId, ParticleId, Rank};
+pub use padded::CachePadded;
 pub use vec3::{Axis, Vec3};

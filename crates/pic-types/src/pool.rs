@@ -1,0 +1,79 @@
+//! The workspace-wide shared thread pool.
+//!
+//! Every parallel entry point (the DWG ghost kernel, the sweep engine's
+//! outer configuration fan-out, GP population scoring) routes through
+//! [`install`], which lazily builds **one** shared pool sized from
+//! `RAYON_NUM_THREADS` (else the core count) and — crucially — *inherits*
+//! any budget already in force instead of resetting it. Nested parallel
+//! sections therefore subdivide a single machine-wide budget: the sweep's
+//! outer config-group loop composed with the inner chunked ghost kernel
+//! can never spawn pools-within-pools, and a bench or CLI override
+//! (`ThreadPoolBuilder::num_threads(n).install(..)` around a whole run)
+//! caps everything beneath it.
+
+use std::sync::OnceLock;
+
+/// Thread count the shared pool is built with: `RAYON_NUM_THREADS` when
+/// set to a positive integer, else the machine's available parallelism.
+pub fn configured_threads() -> usize {
+    shared().current_num_threads()
+}
+
+/// The lazily-built shared pool. Prefer [`install`]; this accessor exists
+/// for diagnostics (reporting the effective thread count in bench output).
+pub fn shared() -> &'static rayon::ThreadPool {
+    static POOL: OnceLock<rayon::ThreadPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        rayon::ThreadPoolBuilder::new()
+            .build()
+            .expect("shared thread pool construction cannot fail")
+    })
+}
+
+/// Run `f` under the workspace's shared thread budget.
+///
+/// If the calling thread is already inside a pool scope (an enclosing
+/// [`install`], an explicit bench/CLI pool, or a parallel-iterator
+/// worker), `f` runs directly and inherits that budget — installing the
+/// shared pool here would *widen* the budget and oversubscribe the
+/// machine. Only a top-level call actually enters the shared pool.
+pub fn install<R>(f: impl FnOnce() -> R) -> R {
+    if rayon::in_pool_context() {
+        f()
+    } else {
+        shared().install(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn install_runs_and_returns() {
+        let out = install(|| (0..100usize).into_par_iter().map(|i| i * 2).sum::<usize>());
+        assert_eq!(out, 99 * 100);
+    }
+
+    #[test]
+    fn nested_install_inherits_narrow_budget() {
+        // A 1-thread override around an install must not be widened back
+        // to the machine budget by the shared pool.
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            install(|| assert_eq!(rayon::current_num_threads(), 1));
+        });
+    }
+
+    #[test]
+    fn top_level_install_enters_shared_pool() {
+        install(|| {
+            assert!(rayon::in_pool_context());
+            assert_eq!(rayon::current_num_threads(), configured_threads());
+        });
+    }
+}

@@ -130,10 +130,12 @@ pub fn generate_with_mesh(
     let mapper = build_mapper(cfg, mesh)?;
 
     let samples: Vec<&pic_trace::TraceSample> = trace.samples().collect();
-    let outcomes: Vec<SampleOutcome> = samples
-        .par_iter()
-        .map(|s| process_sample(&s.positions, mapper.as_ref(), cfg))
-        .collect();
+    let outcomes: Vec<SampleOutcome> = pic_types::pool::install(|| {
+        samples
+            .par_iter()
+            .map(|s| process_sample(&s.positions, mapper.as_ref(), cfg))
+            .collect()
+    });
 
     let mut real = CompMatrix::new(cfg.ranks);
     let mut ghost_recv = CompMatrix::new(cfg.ranks);
@@ -148,10 +150,12 @@ pub fn generate_with_mesh(
 
     // Communication Load Generator: diff consecutive ownership snapshots.
     let mut comm = CommMatrix::with_samples(outcomes.len());
-    let diffs: Vec<Vec<(u32, u32, u32)>> = (1..outcomes.len())
-        .into_par_iter()
-        .map(|t| migration_pairs(&outcomes[t - 1].owners, &outcomes[t].owners))
-        .collect();
+    let diffs: Vec<Vec<(u32, u32, u32)>> = pic_types::pool::install(|| {
+        (1..outcomes.len())
+            .into_par_iter()
+            .map(|t| migration_pairs(&outcomes[t - 1].owners, &outcomes[t].owners))
+            .collect()
+    });
     for (t, d) in diffs.into_iter().enumerate() {
         comm.entries[t + 1] = d;
     }
@@ -270,7 +274,10 @@ pub fn generate_streaming_with_stats<R: std::io::Read + Send>(
 ) -> Result<(DynamicWorkload, IngestStats)> {
     let mapper = build_mapper(cfg, mesh)?;
     let mapper: &dyn ParticleMapper = mapper.as_ref();
-    let workers = rayon::current_num_threads().max(1);
+    // Worker count follows the shared-pool policy: an ambient install (a
+    // bench's `--threads` override) wins, otherwise the shared pool's
+    // `RAYON_NUM_THREADS`-aware size applies.
+    let workers = pic_types::pool::install(rayon::current_num_threads).max(1);
     let ghost_nanos = std::sync::atomic::AtomicU64::new(0);
     let ghost_nanos = &ghost_nanos;
 
@@ -406,15 +413,24 @@ fn process_sample(
     mapper: &dyn ParticleMapper,
     cfg: &WorkloadConfig,
 ) -> SampleOutcome {
-    let outcome = mapper.assign(positions);
+    // One SoA transpose per sample feeds both the mapper's vectorized
+    // assignment pass and the grouped matrix ghost kernel. Mappers without
+    // a native SoA path (bin-based) keep the AoS slice — their default
+    // `assign_soa` would only reconstitute it.
+    let soa = crate::soa::SoAPositions::from_positions(positions);
+    let outcome = if mapper.supports_soa() {
+        mapper.assign_soa(soa.xs(), soa.ys(), soa.zs())
+    } else {
+        mapper.assign(positions)
+    };
     let mut real = vec![0u32; cfg.ranks];
     for r in &outcome.ranks {
         real[r.index()] += 1;
     }
     let (ghost_recv, ghost_sent) = if cfg.compute_ghosts {
         let index = RegionIndex::build(&outcome.rank_regions);
-        ghost_counts_chunked(
-            positions,
+        crate::soa::ghost_counts_soa(
+            &soa,
             &outcome.ranks,
             &index,
             cfg.projection_filter,
@@ -443,7 +459,8 @@ fn process_sample(
 /// merged by elementwise addition, which is order-independent, so the
 /// result is bit-identical to a straight-line sequential replay regardless
 /// of scheduling.
-pub(crate) fn ghost_counts_chunked(
+#[doc(hidden)] // scalar reference kernel, exposed for benches and equivalence tests
+pub fn ghost_counts_chunked(
     positions: &[pic_types::Vec3],
     owners: &[Rank],
     index: &RegionIndex,
@@ -708,10 +725,12 @@ pub fn generate_reference(
 pub fn unbounded_bin_series(trace: &ParticleTrace, threshold: f64) -> Result<Vec<usize>> {
     let mapper = BinMapper::new(1, threshold)?;
     let samples: Vec<&pic_trace::TraceSample> = trace.samples().collect();
-    Ok(samples
-        .par_iter()
-        .map(|s| mapper.unbounded_bin_count(&s.positions))
-        .collect())
+    Ok(pic_types::pool::install(|| {
+        samples
+            .par_iter()
+            .map(|s| mapper.unbounded_bin_count(&s.positions))
+            .collect()
+    }))
 }
 
 #[cfg(test)]

@@ -28,10 +28,12 @@ pub mod generator;
 pub mod heatmap;
 pub mod matrices;
 pub mod metrics;
+pub mod soa;
 pub mod sweep;
 
 pub use generator::{
     generate_streaming, generate_streaming_with_stats, DynamicWorkload, IngestStats, WorkloadConfig,
 };
 pub use matrices::{migration_pairs, CommMatrix, CompMatrix};
+pub use soa::SoAPositions;
 pub use sweep::{sweep_configs, sweep_streaming, sweep_with_stats, SweepPoint, SweepStats};

@@ -203,7 +203,14 @@ struct GroupSampleOutcome {
 }
 
 fn process_group_sample(positions: &[Vec3], group: &GroupPlan) -> GroupSampleOutcome {
-    let outcome = group.mapper.assign(positions);
+    // One transpose serves the mapper's SoA assignment and every shared
+    // ghost slot of the group (see `process_sample` for the AoS fallback).
+    let soa = crate::soa::SoAPositions::from_positions(positions);
+    let outcome = if group.mapper.supports_soa() {
+        group.mapper.assign_soa(soa.xs(), soa.ys(), soa.zs())
+    } else {
+        group.mapper.assign(positions)
+    };
     let mut real = vec![0u32; group.ranks];
     for r in &outcome.ranks {
         real[r.index()] += 1;
@@ -212,7 +219,7 @@ fn process_group_sample(positions: &[Vec3], group: &GroupPlan) -> GroupSampleOut
         Vec::new()
     } else {
         let index = RegionIndex::build(&outcome.rank_regions);
-        multi_radius_ghost_counts(positions, &outcome.ranks, &index, group)
+        multi_radius_ghost_counts(positions, &soa, &outcome.ranks, &index, group)
     };
     GroupSampleOutcome {
         real,
@@ -235,6 +242,7 @@ fn process_group_sample(positions: &[Vec3], group: &GroupPlan) -> GroupSampleOut
 /// construction rather than by argument.
 fn multi_radius_ghost_counts(
     positions: &[Vec3],
+    soa: &crate::soa::SoAPositions,
     owners: &[Rank],
     index: &RegionIndex,
     group: &GroupPlan,
@@ -256,14 +264,14 @@ fn multi_radius_ghost_counts(
         0 => {}
         1 => {
             // A lone radius gains nothing from candidate retention; run
-            // the existing kernel (identical output, no buffer overhead).
+            // the single-radius matrix kernel (identical output).
             let (k, radius) = shared[0];
-            out[k] = generator::ghost_counts_chunked(positions, owners, index, radius, ranks);
+            out[k] = crate::soa::ghost_counts_soa(soa, owners, index, radius, ranks);
         }
         _ => {
             let rr: Vec<f64> = shared.iter().map(|&(_, r)| r * r).collect();
             let partials =
-                multi_ghost_chunked(positions, owners, index, group.shared_max, &rr, ranks);
+                crate::soa::multi_ghost_soa(soa, owners, index, group.shared_max, &rr, ranks);
             for (&(k, _), partial) in shared.iter().zip(partials) {
                 out[k] = partial;
             }
@@ -284,7 +292,8 @@ fn multi_radius_ghost_counts(
 /// radius; suffix sums then recover the per-radius histograms. The counts
 /// are integers, so the regrouping is bit-identical to filtering every
 /// radius independently.
-fn multi_ghost_chunked(
+#[doc(hidden)] // scalar reference kernel, exposed for benches and equivalence tests
+pub fn multi_ghost_chunked(
     positions: &[Vec3],
     owners: &[Rank],
     index: &RegionIndex,
@@ -492,23 +501,26 @@ pub fn sweep_with_stats(
     // Flattened (group, sample) fan-out: outer-level parallelism across
     // configurations composed with the chunked intra-sample ghost kernel
     // (big samples split further inside process_group_sample).
-    let outcomes: Vec<GroupSampleOutcome> = (0..plan.groups.len() * t_count)
-        .into_par_iter()
-        .map(|i| {
-            let (g, t) = (i / t_count, i % t_count);
-            process_group_sample(&samples[t].positions, &plan.groups[g])
-        })
-        .collect();
+    let outcomes: Vec<GroupSampleOutcome> = pic_types::pool::install(|| {
+        (0..plan.groups.len() * t_count)
+            .into_par_iter()
+            .map(|i| {
+                let (g, t) = (i / t_count, i % t_count);
+                process_group_sample(&samples[t].positions, &plan.groups[g])
+            })
+            .collect()
+    });
     let iterations = trace.iterations();
-    let workloads: Vec<DynamicWorkload> = plan
-        .members
-        .par_iter()
-        .map(|m| {
-            let group = &plan.groups[m.group];
-            let span = &outcomes[m.group * t_count..(m.group + 1) * t_count];
-            assemble_member(m, group.ranks, span, &iterations)
-        })
-        .collect();
+    let workloads: Vec<DynamicWorkload> = pic_types::pool::install(|| {
+        plan.members
+            .par_iter()
+            .map(|m| {
+                let group = &plan.groups[m.group];
+                let span = &outcomes[m.group * t_count..(m.group + 1) * t_count];
+                assemble_member(m, group.ranks, span, &iterations)
+            })
+            .collect()
+    });
     let stats = stats_for(&plan, t_count);
     Ok((workloads, stats))
 }
@@ -557,7 +569,9 @@ pub fn sweep_streaming<R: std::io::Read + Send>(
 ) -> Result<Vec<DynamicWorkload>> {
     let plan = build_plan(points, mesh)?;
     let plan = &plan;
-    let workers = rayon::current_num_threads().max(1);
+    // Shared-pool policy: ambient installs override, else the
+    // `RAYON_NUM_THREADS`-aware shared pool size applies.
+    let workers = pic_types::pool::install(rayon::current_num_threads).max(1);
 
     std::thread::scope(|scope| -> Result<Vec<DynamicWorkload>> {
         let (frame_tx, frame_rx) =

@@ -32,13 +32,28 @@ thread_local! {
     static BUDGET: Cell<usize> = const { Cell::new(0) };
 }
 
-fn machine_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+/// Parse a `RAYON_NUM_THREADS`-style value: a positive integer caps the
+/// default budget; anything else (absent, empty, `0`, garbage) means "use
+/// the machine default", mirroring real rayon's global-pool behavior.
+pub fn parse_thread_env(value: Option<&str>) -> Option<usize> {
+    value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
 }
 
-/// Current thread budget (defaults to the core count).
+fn machine_threads() -> usize {
+    static DEFAULT: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        parse_thread_env(std::env::var("RAYON_NUM_THREADS").ok().as_deref()).unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+    })
+}
+
+/// Current thread budget (defaults to `RAYON_NUM_THREADS`, else the core
+/// count).
 pub fn current_num_threads() -> usize {
     let b = BUDGET.with(|b| b.get());
     if b == 0 {
@@ -46,6 +61,14 @@ pub fn current_num_threads() -> usize {
     } else {
         b
     }
+}
+
+/// True when this thread already runs under an explicit thread budget —
+/// inside a [`ThreadPool::install`] scope or a worker of a parallel
+/// iterator. Entry points use this to inherit the ambient budget instead
+/// of resetting it by installing a pool of their own.
+pub fn in_pool_context() -> bool {
+    BUDGET.with(|b| b.get()) != 0
 }
 
 fn with_budget<R>(budget: usize, f: impl FnOnce() -> R) -> R {
@@ -422,6 +445,27 @@ mod tests {
             .collect();
         let flat: Vec<usize> = out.into_iter().flatten().collect();
         assert_eq!(flat, (0..400).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_env_parsing() {
+        assert_eq!(parse_thread_env(None), None);
+        assert_eq!(parse_thread_env(Some("")), None);
+        assert_eq!(parse_thread_env(Some("0")), None);
+        assert_eq!(parse_thread_env(Some("not-a-number")), None);
+        assert_eq!(parse_thread_env(Some("1")), Some(1));
+        assert_eq!(parse_thread_env(Some(" 8 ")), Some(8));
+    }
+
+    #[test]
+    fn pool_context_is_visible_to_nested_code() {
+        assert!(!in_pool_context());
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        pool.install(|| {
+            assert!(in_pool_context());
+            assert_eq!(current_num_threads(), 2);
+        });
+        assert!(!in_pool_context());
     }
 
     #[test]
