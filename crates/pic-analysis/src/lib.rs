@@ -5,7 +5,7 @@
 //! concurrent pipeline ships — catching entire bug classes at admission
 //! time instead of as silently wrong predictions.
 //!
-//! Three analyzers:
+//! Four analyzers:
 //!
 //! * [`expr_check`] — abstract interpretation of `pic_models::Expr` over
 //!   the [`interval`] domain, seeded with per-column value ranges from the
@@ -17,6 +17,10 @@
 //!   matrices (particle conservation, migration/delta consistency, ghost
 //!   bounds, ...), every violation carrying `(rank, sample)` coordinates.
 //!   Backs the `picpredict check` subcommand.
+//! * [`prediction`] — the outbound response gate for the resident
+//!   prediction service: no NaN, infinite, negative, or ragged predicted
+//!   kernel time ever leaves the server, each rejection positioned by
+//!   `(sample, rank, kernel)`.
 //! * [`sched`] + [`pipeline_model`] — a minimal loom-style deterministic
 //!   schedule explorer, plus a faithful model of the streaming workload
 //!   generator's decoder→workers→merge pipeline. Exhaustive exploration
@@ -29,6 +33,7 @@
 pub mod expr_check;
 pub mod interval;
 pub mod pipeline_model;
+pub mod prediction;
 pub mod sched;
 pub mod workload;
 
@@ -38,6 +43,9 @@ pub use expr_check::{
 };
 pub use interval::Interval;
 pub use pipeline_model::{verify_pipeline, verify_streaming_shutdown, PipelineSpec};
+pub use prediction::{
+    assert_prediction_valid, check_prediction, PredictionDefect, PredictionViolation,
+};
 pub use sched::{explore, Exploration, Model, ScheduleError};
 pub use workload::{
     assert_sweep_valid, assert_workload_valid, check_sweep, check_workload, SweepViolation,

@@ -1,0 +1,165 @@
+//! Validity gate for outbound prediction responses.
+//!
+//! The resident prediction service (`picpredict serve`) refuses to emit a
+//! response whose numeric payload is degenerate: a NaN or negative
+//! predicted kernel time is always a bug upstream (a model admitted past
+//! [`crate::expr_check`] despite a divergent region, a workload row that
+//! escaped [`crate::workload`]'s catalog), and shipping it to a client
+//! turns a positioned server-side diagnostic into a silently wrong
+//! downstream plot. The checks here are O(payload) and allocation-light —
+//! cheap enough to run on every response.
+
+use std::fmt;
+
+/// One degenerate value in a predicted kernel-time payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictionViolation {
+    /// Trace-sample index of the offending value.
+    pub sample: usize,
+    /// Rank index of the offending value.
+    pub rank: usize,
+    /// Kernel slot (index into `KernelKind::ALL` order).
+    pub kernel: usize,
+    /// The offending value.
+    pub value: f64,
+    /// What is wrong with it.
+    pub reason: PredictionDefect,
+}
+
+/// Why a predicted value is unacceptable in a response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictionDefect {
+    /// Not a number — arithmetic escaped the models' protected operators.
+    NotFinite,
+    /// A negative execution time.
+    Negative,
+}
+
+impl fmt::Display for PredictionViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self.reason {
+            PredictionDefect::NotFinite => "non-finite",
+            PredictionDefect::Negative => "negative",
+        };
+        write!(
+            f,
+            "{what} predicted kernel time {} at (sample {}, rank {}, kernel slot {})",
+            self.value, self.sample, self.rank, self.kernel
+        )
+    }
+}
+
+/// Scan a `[sample][rank][kernel]` prediction payload (the
+/// `predict_kernel_seconds` shape) for values no response may carry.
+/// Also flags ragged rank arity — every sample must predict for the same
+/// rank count.
+pub fn check_prediction(predicted: &[Vec<[f64; 6]>]) -> Vec<PredictionViolation> {
+    let mut out = Vec::new();
+    let ranks = predicted.first().map(|s| s.len()).unwrap_or(0);
+    for (t, per_rank) in predicted.iter().enumerate() {
+        if per_rank.len() != ranks {
+            out.push(PredictionViolation {
+                sample: t,
+                rank: per_rank.len(),
+                kernel: 0,
+                value: ranks as f64,
+                reason: PredictionDefect::NotFinite,
+            });
+            continue;
+        }
+        for (r, row) in per_rank.iter().enumerate() {
+            for (k, &v) in row.iter().enumerate() {
+                if !v.is_finite() {
+                    out.push(PredictionViolation {
+                        sample: t,
+                        rank: r,
+                        kernel: k,
+                        value: v,
+                        reason: PredictionDefect::NotFinite,
+                    });
+                } else if v < 0.0 {
+                    out.push(PredictionViolation {
+                        sample: t,
+                        rank: r,
+                        kernel: k,
+                        value: v,
+                        reason: PredictionDefect::Negative,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// [`check_prediction`] as a gate: `Err` with the first violations folded
+/// into a positioned message when the payload must not ship.
+pub fn assert_prediction_valid(predicted: &[Vec<[f64; 6]>]) -> pic_types::Result<()> {
+    let violations = check_prediction(predicted);
+    if violations.is_empty() {
+        return Ok(());
+    }
+    let shown: Vec<String> = violations.iter().take(3).map(|v| v.to_string()).collect();
+    Err(pic_types::PicError::model(format!(
+        "prediction payload failed response gate ({} violation(s)): {}{}",
+        violations.len(),
+        shown.join("; "),
+        if violations.len() > shown.len() {
+            "; ..."
+        } else {
+            ""
+        }
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean(samples: usize, ranks: usize) -> Vec<Vec<[f64; 6]>> {
+        vec![vec![[1e-3; 6]; ranks]; samples]
+    }
+
+    #[test]
+    fn clean_payload_passes() {
+        assert!(check_prediction(&clean(3, 4)).is_empty());
+        assert!(assert_prediction_valid(&clean(3, 4)).is_ok());
+        assert!(check_prediction(&[]).is_empty());
+        // zero is a legitimate predicted time (idle rank, empty sample)
+        assert!(check_prediction(&[vec![[0.0; 6]; 2]]).is_empty());
+    }
+
+    #[test]
+    fn nan_and_negative_are_positioned() {
+        let mut p = clean(2, 3);
+        p[1][2][4] = f64::NAN;
+        p[0][1][0] = -0.5;
+        let v = check_prediction(&p);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().any(|x| x.sample == 1
+            && x.rank == 2
+            && x.kernel == 4
+            && x.reason == PredictionDefect::NotFinite));
+        assert!(v.iter().any(|x| x.sample == 0
+            && x.rank == 1
+            && x.kernel == 0
+            && x.reason == PredictionDefect::Negative));
+        let err = assert_prediction_valid(&p).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("sample 1"), "{msg}");
+    }
+
+    #[test]
+    fn infinity_fails() {
+        let mut p = clean(1, 1);
+        p[0][0][5] = f64::INFINITY;
+        assert_eq!(check_prediction(&p).len(), 1);
+    }
+
+    #[test]
+    fn ragged_rank_arity_fails() {
+        let mut p = clean(2, 3);
+        p[1].pop();
+        assert!(!check_prediction(&p).is_empty());
+    }
+}

@@ -213,7 +213,7 @@ fn main() {
             ranks,
             projection_filter: cfg.projection_filter,
             mapping: cfg.mapping,
-            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            threads: pic_types::pool::configured_threads(),
         },
         speedup_parallel: seq.best_secs / par.best_secs,
         speedup_streaming: seq.best_secs / stream.best_secs,

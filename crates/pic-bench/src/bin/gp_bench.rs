@@ -260,7 +260,7 @@ fn main() {
         rows,
         population,
         repeats,
-        threads: std::thread::available_parallelism().map_or(1, usize::from),
+        threads: pic_types::pool::configured_threads(),
         speedup_serial: compiled_serial.evals_per_sec / tree_walk.evals_per_sec,
         speedup_parallel: compiled_parallel.evals_per_sec / tree_walk.evals_per_sec,
         tree_walk,

@@ -1,0 +1,219 @@
+//! Load generator for the resident prediction service: starts an
+//! in-process `picpredict serve` instance on an ephemeral port, ingests a
+//! synthetic trace over the wire, then drives concurrent sweep traffic
+//! through real sockets and reports queries/sec, p50/p99 latency, and the
+//! assignment-cache hit rate to `BENCH_SERVE.json`.
+//!
+//! Usage: `cargo run --release -p pic-bench --bin serve_bench
+//!         [output.json] [--smoke]`
+//!
+//! `--smoke` shrinks the run to CI scale and additionally asserts that
+//! every response for a given request body is bit-identical across the
+//! whole run, and that the server shuts down cleanly.
+#![forbid(unsafe_code)]
+
+use pic_bench::synthetic_expanding_trace;
+use pic_predict::{ServeConfig, Server};
+use pic_trace::{codec, Precision};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+#[derive(Serialize)]
+struct BenchConfig {
+    particles: usize,
+    samples: usize,
+    clients: usize,
+    requests_per_client: usize,
+    distinct_bodies: usize,
+    smoke: bool,
+}
+
+/// The report written to `BENCH_SERVE.json`. The CI smoke job asserts the
+/// headline keys exist and are sane.
+#[derive(Serialize)]
+struct Report {
+    config: BenchConfig,
+    total_requests: usize,
+    wall_secs: f64,
+    queries_per_sec: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    max_ms: f64,
+    cache_hit_rate: f64,
+    batched_requests: u64,
+    server_errors: u64,
+    responses_identical: bool,
+    clean_shutdown: bool,
+}
+
+fn http_post(addr: SocketAddr, path: &str, body: &[u8]) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    let head = format!(
+        "POST {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    s.write_all(head.as_bytes()).expect("write head");
+    s.write_all(body).expect("write body");
+    let mut resp = Vec::new();
+    s.read_to_end(&mut resp).expect("read response");
+    let text = String::from_utf8_lossy(&resp);
+    let (head, body) = text.split_once("\r\n\r\n").expect("response terminator");
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|t| t.parse().ok())
+        .expect("status line");
+    (status, body.to_string())
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * p).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_SERVE.json".to_string());
+
+    let (particles, samples, clients, requests_per_client) = if smoke {
+        (2_000usize, 4usize, 4usize, 12usize)
+    } else {
+        (10_000usize, 6usize, 8usize, 40usize)
+    };
+
+    eprintln!(
+        "serve_bench: np={particles} samples={samples}, {clients} client(s) x \
+         {requests_per_client} request(s), smoke={smoke}"
+    );
+
+    let server = Server::start(ServeConfig::default()).expect("start server");
+    let addr = server.addr();
+    let state = server.state();
+
+    // Ingest the synthetic trace over the wire, like a real client.
+    let trace = synthetic_expanding_trace(particles, samples, 7);
+    let encoded = codec::encode_trace(&trace, Precision::F64).expect("encode trace");
+    let (status, body) = http_post(addr, "/traces", &encoded);
+    assert_eq!(status, 200, "ingest failed: {body}");
+    let marker = "\"address\":\"";
+    let at = body.find(marker).expect("address in ingest response") + marker.len();
+    let address = body[at..at + 32].to_string();
+    eprintln!("  ingested {} bytes as {address}", encoded.len());
+
+    // A small set of distinct request bodies; repeats within and across
+    // clients exercise the assignment cache and single-flight batching.
+    let mut bodies: Vec<String> = Vec::new();
+    for ranks in [8usize, 16, 32, 64] {
+        for filter in [0.02f64, 0.05] {
+            bodies.push(format!(
+                "{{\"trace\":\"{address}\",\"ranks\":[{ranks}],\"filters\":[{filter}]}}"
+            ));
+        }
+    }
+
+    // Warm pass: every distinct body once, sequentially. Responses become
+    // the bit-identity reference for the measured pass.
+    let mut reference: HashMap<String, String> = HashMap::new();
+    for b in &bodies {
+        let (status, resp) = http_post(addr, "/sweep", b.as_bytes());
+        assert_eq!(status, 200, "warm sweep failed: {resp}");
+        reference.insert(b.clone(), resp);
+    }
+    eprintln!("  warmed {} distinct grid(s)", bodies.len());
+
+    // Measured pass: concurrent clients, round-robin over the bodies.
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let identical = Mutex::new(true);
+    let wall = Instant::now();
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let bodies = &bodies;
+            let reference = &reference;
+            let latencies = &latencies;
+            let identical = &identical;
+            scope.spawn(move || {
+                let mut mine = Vec::with_capacity(requests_per_client);
+                for r in 0..requests_per_client {
+                    let body = &bodies[(c + r) % bodies.len()];
+                    let t = Instant::now();
+                    let (status, resp) = http_post(addr, "/sweep", body.as_bytes());
+                    mine.push(t.elapsed().as_secs_f64() * 1e3);
+                    assert_eq!(status, 200, "sweep failed: {resp}");
+                    if resp != reference[body] {
+                        *identical.lock().unwrap() = false;
+                    }
+                }
+                latencies.lock().unwrap().extend(mine);
+            });
+        }
+    });
+    let wall_secs = wall.elapsed().as_secs_f64();
+
+    let mut ms = latencies.into_inner().unwrap();
+    ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let total_requests = ms.len();
+    let responses_identical = identical.into_inner().unwrap();
+    assert!(responses_identical, "responses diverged under concurrency");
+
+    let cache = state.registry().aggregate_cache_stats();
+    let cache_hit_rate = if cache.hits + cache.misses > 0 {
+        cache.hits as f64 / (cache.hits + cache.misses) as f64
+    } else {
+        0.0
+    };
+    let (requests, server_errors, batched_requests) = state.counters();
+    assert_eq!(server_errors, 0, "server counted {server_errors} error(s)");
+    assert!(requests as usize > total_requests + bodies.len());
+    let (status, stats_body) = http_post(addr, "/shutdown", b"");
+    assert_eq!(status, 200, "shutdown failed: {stats_body}");
+    server.run_to_completion();
+    let clean_shutdown = true;
+
+    let report = Report {
+        config: BenchConfig {
+            particles,
+            samples,
+            clients,
+            requests_per_client,
+            distinct_bodies: bodies.len(),
+            smoke,
+        },
+        total_requests,
+        wall_secs,
+        queries_per_sec: total_requests as f64 / wall_secs,
+        p50_ms: percentile(&ms, 0.50),
+        p99_ms: percentile(&ms, 0.99),
+        max_ms: ms.last().copied().unwrap_or(0.0),
+        cache_hit_rate,
+        batched_requests,
+        server_errors,
+        responses_identical,
+        clean_shutdown,
+    };
+    eprintln!(
+        "  {} request(s) in {:.2}s: {:.1} q/s, p50 {:.2} ms, p99 {:.2} ms, \
+         cache hit rate {:.1}%",
+        report.total_requests,
+        report.wall_secs,
+        report.queries_per_sec,
+        report.p50_ms,
+        report.p99_ms,
+        100.0 * report.cache_hit_rate
+    );
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&out_path, json + "\n").expect("write report");
+    eprintln!("wrote {out_path}");
+}

@@ -367,6 +367,16 @@ impl RegionIndex {
         self.total_ranks
     }
 
+    /// Approximate resident bytes of the index, for byte-budgeted caches
+    /// holding per-sample indexes as registry artifacts.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.cell_offsets.capacity() * std::mem::size_of::<u32>()
+            + self.cell_data.capacity() * std::mem::size_of::<u32>()
+            + self.live_boxes.capacity() * std::mem::size_of::<Aabb>()
+            + self.live_ranks.capacity() * std::mem::size_of::<Rank>()
+    }
+
     /// Number of live (non-empty) regions actually stored.
     pub fn live_count(&self) -> usize {
         self.live_boxes.len()

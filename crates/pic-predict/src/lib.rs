@@ -27,17 +27,28 @@
 //!   mapping-algorithm evaluation, and the projection-filter parameter
 //!   study;
 //! * [`run_case_study`] — one call that runs the mini-app, generates the
-//!   workload, fits models, validates, and predicts application time.
+//!   workload, fits models, validates, and predicts application time;
+//! * [`serve`] — the resident prediction service: a long-lived daemon
+//!   with a content-addressed trace registry that decodes each trace
+//!   once and answers sweep/predict/check requests over HTTP, sharing
+//!   assignment artifacts across concurrent and repeat requests;
+//! * [`gridspec`] — the canonical sweep-grid expansion and serialization
+//!   shared by the `sweep` subcommand and the service, so both emit
+//!   bit-identical grids.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gridspec;
 pub mod kernel_models;
 pub mod pipeline;
+pub mod serve;
 pub mod studies;
 pub mod validate;
 
+pub use gridspec::{grid_entries, grid_to_json, SweepGridEntry, SweepGridSpec};
 pub use kernel_models::{FitStrategy, KernelModels};
 pub use pipeline::run_case_study;
 pub use pipeline::{build_schedule, predict_application, predict_kernel_seconds, CaseStudyOutput};
+pub use serve::{registry::TraceRegistry, ServeConfig, Server};
 pub use validate::{kernel_mape_vs_ground_truth, workload_matches_ground_truth};

@@ -1,0 +1,807 @@
+//! `picpredict serve` — the resident prediction service (DESIGN.md §13).
+//!
+//! A long-lived daemon that keeps ingested traces *decoded once* in a
+//! content-addressed [`registry::TraceRegistry`] and answers
+//! sweep/predict/check requests against them over hand-rolled HTTP/1.1 +
+//! JSON (`std::net` only; the workspace is offline). The performance
+//! contract:
+//!
+//! * **Ingest once, replay many.** `POST /traces` streams the body
+//!   through [`pic_trace::BoundedReader`] → [`pic_trace::DigestReader`] →
+//!   [`pic_trace::TraceReader`]: the trace is decoded exactly once, its
+//!   content address is the FNV-1a-128 digest of the bytes the decoder
+//!   consumed, and identical bytes always land on the identical address.
+//! * **Shared replays.** Requests against a resident trace run through
+//!   [`pic_workload::sweep_with_cache`] on the trace's shared
+//!   [`pic_workload::AssignmentCache`], so concurrent and repeat requests
+//!   reuse per-sample assignment artifacts (mapper pass + region index)
+//!   across filter radii, strides, and ghost toggles. Byte-identical
+//!   in-flight requests additionally collapse onto one computation
+//!   (single-flight batching).
+//! * **Bit-identical to offline.** A `POST /sweep` response body is
+//!   byte-for-byte the file `picpredict sweep --out` writes for the same
+//!   grid — both serialize through [`crate::gridspec`], and the cached
+//!   sweep engine is bit-identical to the per-configuration reference.
+//! * **Gated responses.** Sweep grids pass
+//!   [`pic_analysis::assert_sweep_valid`] and predictions pass
+//!   [`pic_analysis::check_prediction`] before a byte leaves the server.
+//! * **Adversarial clients survive.** Framing is bounded and deadlined
+//!   (see [`http`]); the pic-trace fault corpus replayed over a socket
+//!   yields positioned 4xx responses, never a panic or a hung thread.
+
+pub mod http;
+pub mod registry;
+
+use crate::gridspec::{grid_entries, grid_to_json, SweepGridSpec};
+use crate::kernel_models::KernelModels;
+use http::{HttpError, Request};
+use pic_grid::{ElementMesh, MeshDims};
+use pic_mapping::MappingAlgorithm;
+use pic_trace::{BoundedReader, DigestReader, ParticleTrace, TraceReader};
+use pic_types::hash::fnv1a_128;
+use pic_types::{PicError, Result};
+use pic_workload::{SweepPoint, WorkloadConfig};
+use registry::TraceRegistry;
+use serde::Deserialize;
+use std::collections::HashMap;
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Registry byte budget for decoded traces + assignment artifacts.
+    pub budget_bytes: usize,
+    /// Per-socket read deadline (slow-loris cutoff).
+    pub read_timeout: Duration,
+    /// Per-socket write deadline.
+    pub write_timeout: Duration,
+    /// Largest accepted request body.
+    pub max_body_bytes: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            budget_bytes: 512 << 20,
+            read_timeout: Duration::from_millis(2000),
+            write_timeout: Duration::from_millis(10_000),
+            max_body_bytes: 256 << 20,
+        }
+    }
+}
+
+/// One single-flight computation: followers park on the condvar until the
+/// leader publishes `(status, body)`.
+struct Flight {
+    done: Mutex<Option<(u16, String)>>,
+    cv: Condvar,
+}
+
+/// Shared server state. `Send + Sync`: the registry and flight table are
+/// mutex-guarded, counters are atomics, and request handlers only hold
+/// `Arc`s into registry entries while computing.
+pub struct ServerState {
+    cfg: ServeConfig,
+    registry: TraceRegistry,
+    inflight: Mutex<HashMap<u128, Arc<Flight>>>,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    batched: AtomicU64,
+    active_connections: AtomicUsize,
+    shutdown: Mutex<bool>,
+    shutdown_cv: Condvar,
+    addr: Mutex<Option<SocketAddr>>,
+}
+
+impl ServerState {
+    fn new(cfg: ServeConfig) -> ServerState {
+        ServerState {
+            registry: TraceRegistry::new(cfg.budget_bytes),
+            cfg,
+            inflight: Mutex::new(HashMap::new()),
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            batched: AtomicU64::new(0),
+            active_connections: AtomicUsize::new(0),
+            shutdown: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+            addr: Mutex::new(None),
+        }
+    }
+
+    /// The trace/model registry (exposed for tests and stats).
+    pub fn registry(&self) -> &TraceRegistry {
+        &self.registry
+    }
+
+    /// Request counters since startup: `(requests, errors, batched)`.
+    /// `batched` counts requests that rode an identical in-flight
+    /// computation instead of running their own.
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.requests.load(Ordering::Relaxed),
+            self.errors.load(Ordering::Relaxed),
+            self.batched.load(Ordering::Relaxed),
+        )
+    }
+
+    fn is_shutting_down(&self) -> bool {
+        *self.shutdown.lock().expect("shutdown flag poisoned")
+    }
+
+    fn begin_shutdown(&self) {
+        {
+            let mut flag = self.shutdown.lock().expect("shutdown flag poisoned");
+            if *flag {
+                return;
+            }
+            *flag = true;
+        }
+        self.shutdown_cv.notify_all();
+        // Poke the accept loop out of its blocking accept.
+        if let Some(addr) = *self.addr.lock().expect("addr poisoned") {
+            let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
+        }
+    }
+
+    fn wait_shutdown(&self) {
+        let mut flag = self.shutdown.lock().expect("shutdown flag poisoned");
+        while !*flag {
+            flag = self.shutdown_cv.wait(flag).expect("shutdown flag poisoned");
+        }
+    }
+}
+
+/// A running server: accept loop plus one thread per connection.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind and start serving. Returns as soon as the listener is live.
+    pub fn start(cfg: ServeConfig) -> Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)
+            .map_err(|e| PicError::config(format!("cannot bind {}: {e}", cfg.addr)))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| PicError::config(format!("cannot resolve bound address: {e}")))?;
+        let state = Arc::new(ServerState::new(cfg));
+        *state.addr.lock().expect("addr poisoned") = Some(addr);
+        let accept_state = Arc::clone(&state);
+        let accept_thread = std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                if accept_state.is_shutting_down() {
+                    break;
+                }
+                let Ok(stream) = conn else { continue };
+                let st = Arc::clone(&accept_state);
+                st.active_connections.fetch_add(1, Ordering::SeqCst);
+                std::thread::spawn(move || {
+                    handle_connection(&st, stream);
+                    st.active_connections.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+        Ok(Server {
+            addr,
+            state,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state handle (stats inspection in tests and benches).
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Block until `POST /shutdown` (or [`Server::shutdown`] from another
+    /// thread via the state handle), then drain connections and join the
+    /// accept loop.
+    pub fn run_to_completion(mut self) {
+        self.state.wait_shutdown();
+        self.cleanup();
+    }
+
+    /// Initiate shutdown and drain: stops accepting, waits (bounded) for
+    /// in-flight connections, joins the accept thread.
+    pub fn shutdown(mut self) {
+        self.state.begin_shutdown();
+        self.cleanup();
+    }
+
+    fn cleanup(&mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while self.state.active_connections.load(Ordering::SeqCst) > 0
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.state.begin_shutdown();
+        self.cleanup();
+    }
+}
+
+// --------------------------------------------------------------- routing
+
+fn handle_connection(state: &ServerState, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(state.cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(state.cfg.write_timeout));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut write_half = write_half;
+    let mut reader = BufReader::new(stream);
+    let head = match http::read_head(&mut reader) {
+        Ok(h) => h,
+        Err(e) => {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            http::write_error(&mut write_half, &e);
+            lingering_close(&mut reader);
+            return;
+        }
+    };
+    state.requests.fetch_add(1, Ordering::Relaxed);
+    match route(state, &head, &mut reader) {
+        Ok((status, body)) => {
+            http::write_response(&mut write_half, status, "application/json", body.as_bytes());
+        }
+        Err(e) => {
+            state.errors.fetch_add(1, Ordering::Relaxed);
+            http::write_error(&mut write_half, &e);
+            lingering_close(&mut reader);
+        }
+    }
+}
+
+/// Drain (bounded) whatever request bytes the client already sent before
+/// dropping an errored connection. Closing with unread data in the
+/// receive buffer makes the kernel send RST, which can destroy the error
+/// response before the client reads it.
+fn lingering_close(reader: &mut BufReader<TcpStream>) {
+    use std::io::Read;
+    let _ = reader
+        .get_ref()
+        .set_read_timeout(Some(Duration::from_millis(150)));
+    let mut scratch = [0u8; 16 * 1024];
+    let mut drained = 0usize;
+    while drained < 1 << 20 {
+        match reader.read(&mut scratch) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => drained += n,
+        }
+    }
+}
+
+/// Dispatch one parsed request. JSON-body endpoints read the (bounded)
+/// body here; `POST /traces` streams it straight into the decoder.
+fn route(
+    state: &ServerState,
+    head: &Request,
+    reader: &mut BufReader<TcpStream>,
+) -> std::result::Result<(u16, String), HttpError> {
+    match (head.method.as_str(), head.path.as_str()) {
+        ("GET", "/healthz") => Ok((200, "{\"ok\":true}".to_string())),
+        ("GET", "/stats") => handle_stats(state),
+        ("GET", "/traces") => handle_list_traces(state),
+        ("POST", "/shutdown") => {
+            state.begin_shutdown();
+            Ok((200, "{\"ok\":true,\"shutting_down\":true}".to_string()))
+        }
+        ("POST", "/traces") => handle_ingest_trace(state, head, reader),
+        ("POST", "/models") => {
+            let body = read_json_body(state, head, reader)?;
+            handle_ingest_models(state, &body)
+        }
+        ("POST", path @ ("/sweep" | "/predict" | "/check")) => {
+            let body = read_json_body(state, head, reader)?;
+            let key = flight_key(path, &body);
+            single_flight(state, key, || match path {
+                "/sweep" => handle_sweep(state, &body),
+                "/predict" => handle_predict(state, &body),
+                _ => handle_check(state, &body),
+            })
+        }
+        (
+            _,
+            "/healthz" | "/stats" | "/traces" | "/shutdown" | "/sweep" | "/predict" | "/check"
+            | "/models",
+        ) => Err(HttpError::new(
+            405,
+            format!("method {} not allowed on {}", head.method, head.path),
+        )),
+        (_, path) => Err(HttpError::new(404, format!("no such endpoint {path}"))),
+    }
+}
+
+fn read_json_body(
+    state: &ServerState,
+    head: &Request,
+    reader: &mut BufReader<TcpStream>,
+) -> std::result::Result<Vec<u8>, HttpError> {
+    let len = head
+        .content_length
+        .ok_or_else(|| HttpError::new(411, "Content-Length required"))?;
+    if len > state.cfg.max_body_bytes {
+        return Err(HttpError::new(
+            413,
+            format!(
+                "declared body of {len} bytes exceeds the {} byte limit",
+                state.cfg.max_body_bytes
+            ),
+        ));
+    }
+    http::read_body(reader, len)
+}
+
+fn flight_key(path: &str, body: &[u8]) -> u128 {
+    let mut keyed = Vec::with_capacity(path.len() + 1 + body.len());
+    keyed.extend_from_slice(path.as_bytes());
+    keyed.push(0);
+    keyed.extend_from_slice(body);
+    fnv1a_128(&keyed)
+}
+
+/// Collapse byte-identical in-flight requests onto one computation: the
+/// first arrival computes, later arrivals park and share the response.
+fn single_flight(
+    state: &ServerState,
+    key: u128,
+    compute: impl FnOnce() -> std::result::Result<(u16, String), HttpError>,
+) -> std::result::Result<(u16, String), HttpError> {
+    let (flight, leader) = {
+        let mut tbl = state.inflight.lock().expect("flight table poisoned");
+        match tbl.get(&key) {
+            Some(f) => (Arc::clone(f), false),
+            None => {
+                let f = Arc::new(Flight {
+                    done: Mutex::new(None),
+                    cv: Condvar::new(),
+                });
+                tbl.insert(key, Arc::clone(&f));
+                (f, true)
+            }
+        }
+    };
+    if leader {
+        let outcome = compute();
+        let published = match &outcome {
+            Ok(ok) => ok.clone(),
+            Err(e) => (
+                e.status,
+                format!(
+                    "{{\"error\":{{\"status\":{},\"message\":{}}}}}",
+                    e.status,
+                    http::json_escape(&e.message)
+                ),
+            ),
+        };
+        *flight.done.lock().expect("flight poisoned") = Some(published);
+        flight.cv.notify_all();
+        state
+            .inflight
+            .lock()
+            .expect("flight table poisoned")
+            .remove(&key);
+        outcome
+    } else {
+        state.batched.fetch_add(1, Ordering::Relaxed);
+        let mut done = flight.done.lock().expect("flight poisoned");
+        while done.is_none() {
+            done = flight.cv.wait(done).expect("flight poisoned");
+        }
+        let (status, body) = done.clone().expect("flight published none");
+        Ok((status, body))
+    }
+}
+
+// -------------------------------------------------------------- handlers
+
+fn handle_stats(state: &ServerState) -> std::result::Result<(u16, String), HttpError> {
+    let reg = serde_json::to_string(&state.registry.stats())
+        .map_err(|e| HttpError::new(500, format!("stats serialization: {e}")))?;
+    let cache = serde_json::to_string(&state.registry.aggregate_cache_stats())
+        .map_err(|e| HttpError::new(500, format!("stats serialization: {e}")))?;
+    let body = format!(
+        "{{\"requests\":{},\"errors\":{},\"batched\":{},\"budget_bytes\":{},\"registry\":{reg},\"sweep_cache\":{cache}}}",
+        state.requests.load(Ordering::Relaxed),
+        state.errors.load(Ordering::Relaxed),
+        state.batched.load(Ordering::Relaxed),
+        state.cfg.budget_bytes,
+    );
+    Ok((200, body))
+}
+
+fn handle_list_traces(state: &ServerState) -> std::result::Result<(u16, String), HttpError> {
+    let rows: Vec<String> = state
+        .registry
+        .list_traces()
+        .into_iter()
+        .map(|(addr, particles, samples, encoded, resident)| {
+            format!(
+                "{{\"address\":\"{addr}\",\"particles\":{particles},\"samples\":{samples},\
+                 \"encoded_bytes\":{encoded},\"resident_bytes\":{resident}}}"
+            )
+        })
+        .collect();
+    Ok((200, format!("[{}]", rows.join(","))))
+}
+
+fn handle_ingest_trace(
+    state: &ServerState,
+    head: &Request,
+    reader: &mut BufReader<TcpStream>,
+) -> std::result::Result<(u16, String), HttpError> {
+    let len = head
+        .content_length
+        .ok_or_else(|| HttpError::new(411, "Content-Length required for trace ingest"))?;
+    if len == 0 {
+        return Err(HttpError::new(400, "empty trace body"));
+    }
+    if len > state.cfg.max_body_bytes {
+        return Err(HttpError::new(
+            413,
+            format!(
+                "declared trace of {len} bytes exceeds the {} byte limit",
+                state.cfg.max_body_bytes
+            ),
+        ));
+    }
+    // The hardened ingest stack: cap at the declaration, digest what the
+    // decoder consumes, decode frame-by-frame. No full-body buffer exists
+    // at any point.
+    let bounded = BoundedReader::new(reader, len);
+    let mut digesting = DigestReader::new(bounded);
+    let decoded: Result<ParticleTrace> = (|| {
+        let mut tr = TraceReader::new(&mut digesting)?;
+        let meta = tr.meta().clone();
+        let mut trace = ParticleTrace::new(meta);
+        while let Some(sample) = tr.read_sample()? {
+            trace.push_sample(sample)?;
+        }
+        Ok(trace)
+    })();
+    let trace = decoded.map_err(|e| match e {
+        PicError::Io(ref io)
+            if matches!(
+                io.kind(),
+                std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+            ) =>
+        {
+            HttpError::new(
+                408,
+                format!("read deadline expired during trace ingest: {e}"),
+            )
+        }
+        e => HttpError::new(422, format!("trace rejected: {e}")),
+    })?;
+    let consumed = digesting.bytes_read();
+    if consumed != len {
+        return Err(HttpError::new(
+            400,
+            format!("trace decoded cleanly at byte {consumed} but body declares {len} bytes"),
+        ));
+    }
+    let address = digesting.digest().hex();
+    let (resident, evicted) = state.registry.insert_trace(&address, trace, len);
+    let evicted_json: Vec<String> = evicted.iter().map(|a| format!("\"{a}\"")).collect();
+    let body = format!(
+        "{{\"address\":\"{address}\",\"particles\":{},\"samples\":{},\"encoded_bytes\":{len},\
+         \"evicted\":[{}]}}",
+        resident.particle_count(),
+        resident.sample_count(),
+        evicted_json.join(",")
+    );
+    Ok((200, body))
+}
+
+fn handle_ingest_models(
+    state: &ServerState,
+    body: &[u8],
+) -> std::result::Result<(u16, String), HttpError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|e| HttpError::new(400, format!("models body is not UTF-8: {e}")))?;
+    // from_json runs the full admission pass: corrupt or degenerate
+    // models are rejected here with positioned diagnostics.
+    let models = KernelModels::from_json(text)
+        .map_err(|e| HttpError::new(422, format!("models rejected: {e}")))?;
+    let mut digest = pic_types::hash::Fnv128::new();
+    digest.update(body);
+    let address = digest.hex();
+    let resident = state.registry.insert_models(&address, models);
+    let body = format!(
+        "{{\"address\":\"{address}\",\"kernels\":{}}}",
+        resident.models().len()
+    );
+    Ok((200, body))
+}
+
+// Request shapes. Unknown fields are rejected by the vendored serde
+// derive, which keeps client typos loud.
+
+fn default_mappings() -> Vec<String> {
+    vec!["bin-based".to_string()]
+}
+fn default_filters() -> Vec<f64> {
+    vec![0.03]
+}
+fn default_strides() -> Vec<usize> {
+    vec![1]
+}
+fn default_true() -> bool {
+    true
+}
+fn default_order() -> usize {
+    3
+}
+fn default_machine() -> String {
+    "quartz".to_string()
+}
+fn default_sync() -> String {
+    "barrier".to_string()
+}
+fn default_mapping_one() -> String {
+    "bin-based".to_string()
+}
+
+#[derive(Deserialize)]
+struct SweepRequest {
+    trace: String,
+    ranks: Vec<usize>,
+    #[serde(default = "default_mappings")]
+    mappings: Vec<String>,
+    #[serde(default = "default_filters")]
+    filters: Vec<f64>,
+    #[serde(default = "default_strides")]
+    strides: Vec<usize>,
+    #[serde(default = "default_true")]
+    ghosts: bool,
+    #[serde(default)]
+    mesh: Option<String>,
+    #[serde(default = "default_order")]
+    order: usize,
+}
+
+#[derive(Deserialize)]
+struct PredictRequest {
+    trace: String,
+    models: String,
+    ranks: usize,
+    #[serde(default = "default_mapping_one")]
+    mapping: String,
+    #[serde(default = "default_filters")]
+    filters: Vec<f64>,
+    #[serde(default = "default_machine")]
+    machine: String,
+    #[serde(default = "default_sync")]
+    sync: String,
+    #[serde(default)]
+    mesh: Option<String>,
+    #[serde(default = "default_order")]
+    order: usize,
+}
+
+#[derive(Deserialize)]
+struct CheckRequest {
+    trace: String,
+    ranks: usize,
+    #[serde(default = "default_mapping_one")]
+    mapping: String,
+    #[serde(default = "default_filters")]
+    filters: Vec<f64>,
+    #[serde(default)]
+    mesh: Option<String>,
+    #[serde(default = "default_order")]
+    order: usize,
+}
+
+fn parse_request<T: Deserialize>(body: &[u8]) -> std::result::Result<T, HttpError> {
+    let text = std::str::from_utf8(body)
+        .map_err(|e| HttpError::new(400, format!("request body is not UTF-8: {e}")))?;
+    serde_json::from_str(text).map_err(|e| HttpError::new(400, format!("bad request JSON: {e}")))
+}
+
+fn parse_mapping_name(s: &str) -> std::result::Result<MappingAlgorithm, HttpError> {
+    serde_json::from_str(&format!("\"{s}\""))
+        .map_err(|_| HttpError::new(422, format!("unknown mapping '{s}'")))
+}
+
+fn parse_mesh_spec(
+    spec: Option<&str>,
+    order: usize,
+    domain: pic_types::Aabb,
+) -> std::result::Result<Option<ElementMesh>, HttpError> {
+    let Some(spec) = spec else { return Ok(None) };
+    let dims: Vec<usize> = spec
+        .split('x')
+        .map(|p| {
+            p.parse()
+                .map_err(|_| HttpError::new(422, format!("bad mesh spec '{spec}' (want AxBxC)")))
+        })
+        .collect::<std::result::Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(HttpError::new(
+            422,
+            format!("mesh spec '{spec}' must have three axes"),
+        ));
+    }
+    ElementMesh::new(domain, MeshDims::new(dims[0], dims[1], dims[2]), order)
+        .map(Some)
+        .map_err(|e| HttpError::new(422, format!("bad mesh: {e}")))
+}
+
+fn resolve_trace(
+    state: &ServerState,
+    address: &str,
+) -> std::result::Result<(Arc<ParticleTrace>, Arc<pic_workload::AssignmentCache>), HttpError> {
+    state.registry.get_trace(address).ok_or_else(|| {
+        HttpError::new(
+            404,
+            format!("trace {address} is not resident; POST /traces it first"),
+        )
+    })
+}
+
+fn semantic(e: PicError) -> HttpError {
+    HttpError::new(422, format!("{e}"))
+}
+
+fn single_filter(filters: &[f64]) -> std::result::Result<f64, HttpError> {
+    match filters {
+        [f] => Ok(*f),
+        _ => Err(HttpError::new(
+            422,
+            format!("expected exactly one filter, got {}", filters.len()),
+        )),
+    }
+}
+
+fn handle_sweep(state: &ServerState, body: &[u8]) -> std::result::Result<(u16, String), HttpError> {
+    let req: SweepRequest = parse_request(body)?;
+    let (trace, cache) = resolve_trace(state, &req.trace)?;
+    let mappings: Vec<MappingAlgorithm> = req
+        .mappings
+        .iter()
+        .map(|s| parse_mapping_name(s))
+        .collect::<std::result::Result<_, _>>()?;
+    let spec = SweepGridSpec {
+        mappings,
+        ranks: req.ranks,
+        filters: req.filters,
+        strides: req.strides,
+        compute_ghosts: req.ghosts,
+    };
+    spec.validate().map_err(semantic)?;
+    let mesh = parse_mesh_spec(req.mesh.as_deref(), req.order, trace.meta().domain)?;
+    let points = spec.points();
+    let (workloads, _stats) =
+        pic_workload::sweep_with_cache(&trace, &points, mesh.as_ref(), &cache).map_err(semantic)?;
+    // Response gate: the full invariant catalog over every grid point.
+    pic_analysis::assert_sweep_valid(&workloads, Some(trace.particle_count() as u64))
+        .map_err(|e| HttpError::new(500, format!("response failed validity gate: {e}")))?;
+    let entries = grid_entries(&points, workloads);
+    let json = grid_to_json(&entries).map_err(|e| HttpError::new(500, format!("{e}")))?;
+    Ok((200, json))
+}
+
+fn handle_predict(
+    state: &ServerState,
+    body: &[u8],
+) -> std::result::Result<(u16, String), HttpError> {
+    let req: PredictRequest = parse_request(body)?;
+    let (trace, cache) = resolve_trace(state, &req.trace)?;
+    let models = state.registry.get_models(&req.models).ok_or_else(|| {
+        HttpError::new(
+            404,
+            format!(
+                "models {} are not resident; POST /models them first",
+                req.models
+            ),
+        )
+    })?;
+    let mapping = parse_mapping_name(&req.mapping)?;
+    let filter = single_filter(&req.filters)?;
+    let mesh = parse_mesh_spec(req.mesh.as_deref(), req.order, trace.meta().domain)?;
+    let machine = match req.machine.as_str() {
+        "quartz" | "quartz-like" => pic_des::MachineSpec::quartz_like(),
+        "vulcan" | "vulcan-like" => pic_des::MachineSpec::vulcan_like(),
+        "localhost" => pic_des::MachineSpec::localhost(8),
+        other => {
+            return Err(HttpError::new(
+                422,
+                format!("unknown machine '{other}' (the service accepts presets only)"),
+            ))
+        }
+    };
+    let sync = match req.sync.as_str() {
+        "neighbor" => pic_des::SyncMode::NeighborSync,
+        "barrier" => pic_des::SyncMode::BulkSynchronous,
+        other => return Err(HttpError::new(422, format!("unknown sync mode '{other}'"))),
+    };
+    // One-point cached sweep: bit-identical to the offline generator and
+    // shares the assignment artifacts with every other request.
+    let point = SweepPoint::new(WorkloadConfig::new(req.ranks, mapping, filter));
+    let (mut workloads, _) =
+        pic_workload::sweep_with_cache(&trace, std::slice::from_ref(&point), mesh.as_ref(), &cache)
+            .map_err(semantic)?;
+    let workload = workloads.pop().expect("one point in, one workload out");
+    pic_analysis::assert_workload_valid(&workload, Some(trace.particle_count() as u64))
+        .map_err(|e| HttpError::new(500, format!("response failed validity gate: {e}")))?;
+    let elements: Vec<u32> = match &mesh {
+        Some(m) => {
+            let d = pic_grid::RcbDecomposition::decompose(m, req.ranks).map_err(semantic)?;
+            d.element_counts().iter().map(|&c| c as u32).collect()
+        }
+        None => vec![0; req.ranks],
+    };
+    let predicted = crate::predict_kernel_seconds(&workload, &models, &elements, req.order, filter);
+    // Response gate: no NaN / negative / ragged kernel time ships.
+    pic_analysis::assert_prediction_valid(&predicted)
+        .map_err(|e| HttpError::new(500, format!("response failed validity gate: {e}")))?;
+    let schedule = crate::build_schedule(
+        &workload,
+        &predicted,
+        trace.meta().sample_interval,
+        crate::pipeline::bytes_per_particle(),
+    );
+    let timeline = crate::predict_application(&schedule, &machine, sync).map_err(semantic)?;
+    let body = format!(
+        "{{\"machine\":{},\"sync\":{},\"predicted_seconds\":{},\"mean_idle_fraction\":{},\
+         \"events_processed\":{},\"samples\":{},\"ranks\":{}}}",
+        http::json_escape(&machine.name),
+        http::json_escape(&req.sync),
+        timeline.total_seconds,
+        timeline.mean_idle_fraction(),
+        timeline.events_processed,
+        workload.samples(),
+        workload.ranks,
+    );
+    Ok((200, body))
+}
+
+fn handle_check(state: &ServerState, body: &[u8]) -> std::result::Result<(u16, String), HttpError> {
+    let req: CheckRequest = parse_request(body)?;
+    let (trace, cache) = resolve_trace(state, &req.trace)?;
+    let mapping = parse_mapping_name(&req.mapping)?;
+    let filter = single_filter(&req.filters)?;
+    let mesh = parse_mesh_spec(req.mesh.as_deref(), req.order, trace.meta().domain)?;
+    let point = SweepPoint::new(WorkloadConfig::new(req.ranks, mapping, filter));
+    let (mut workloads, _) =
+        pic_workload::sweep_with_cache(&trace, std::slice::from_ref(&point), mesh.as_ref(), &cache)
+            .map_err(semantic)?;
+    let workload = workloads.pop().expect("one point in, one workload out");
+    let violations = pic_analysis::check_workload(&workload, Some(trace.particle_count() as u64));
+    let rendered: Vec<String> = violations
+        .iter()
+        .map(|v| http::json_escape(&v.to_string()))
+        .collect();
+    let body = format!(
+        "{{\"ok\":{},\"ranks\":{},\"samples\":{},\"violations\":[{}]}}",
+        violations.is_empty(),
+        workload.ranks,
+        workload.samples(),
+        rendered.join(",")
+    );
+    Ok((200, body))
+}

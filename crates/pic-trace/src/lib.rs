@@ -25,12 +25,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bounded;
 pub mod codec;
 pub mod extrapolate;
 pub mod fault;
 pub mod stats;
 pub mod trace;
 
+pub use bounded::{BoundedReader, DigestReader};
 pub use codec::{Frames, Precision, TraceReader, TraceWriter};
 pub use extrapolate::extrapolate;
 pub use trace::{ParticleTrace, TraceMeta, TraceSample};

@@ -14,6 +14,7 @@
 
 pub mod aabb;
 pub mod error;
+pub mod hash;
 pub mod ids;
 pub mod padded;
 pub mod pool;

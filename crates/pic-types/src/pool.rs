@@ -13,10 +13,21 @@
 
 use std::sync::OnceLock;
 
-/// Thread count the shared pool is built with: `RAYON_NUM_THREADS` when
-/// set to a positive integer, else the machine's available parallelism.
+/// Effective thread budget of the calling context.
+///
+/// Inside a pool scope — a `--threads N` CLI override, a bench override
+/// pool, or a worker of a parallel iterator — this is the *ambient*
+/// budget ([`rayon::current_num_threads`]), the count [`install`] will
+/// actually run under. Only a top-level call reports (and lazily builds)
+/// the shared pool's size. Reading the shared pool unconditionally here
+/// would both misreport overridden runs in `BENCH_*.json` metadata and
+/// force-construct the shared pool from inside the override.
 pub fn configured_threads() -> usize {
-    shared().current_num_threads()
+    if rayon::in_pool_context() {
+        rayon::current_num_threads()
+    } else {
+        shared().current_num_threads()
+    }
 }
 
 /// The lazily-built shared pool. Prefer [`install`]; this accessor exists
@@ -66,6 +77,22 @@ mod tests {
             .unwrap();
         pool.install(|| {
             install(|| assert_eq!(rayon::current_num_threads(), 1));
+        });
+    }
+
+    #[test]
+    fn configured_threads_reports_override_budget() {
+        // Regression: under a 1-thread override pool, configured_threads
+        // used to read the shared pool (machine width) — the wrong count
+        // for bench metadata — and force-built the shared pool to do it.
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            assert!(rayon::in_pool_context());
+            assert_eq!(configured_threads(), 1);
+            install(|| assert_eq!(configured_threads(), 1));
         });
     }
 

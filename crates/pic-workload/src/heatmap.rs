@@ -18,11 +18,67 @@ pub enum ColorMap {
     Heat,
 }
 
+/// Plain PGM/PPM (`P2`/`P3`) caps raster lines at this many characters —
+/// strict readers (netpbm's own included) reject longer lines.
+pub const MAX_RASTER_LINE: usize = 70;
+
+/// Raster-line assembler enforcing the plain-format contract: samples
+/// separated by single spaces, no trailing space before a newline, and no
+/// line longer than [`MAX_RASTER_LINE`] characters.
+struct RasterLines {
+    out: String,
+    line_len: usize,
+}
+
+impl RasterLines {
+    fn new(header: String) -> RasterLines {
+        RasterLines {
+            out: header,
+            line_len: 0,
+        }
+    }
+
+    /// Append one ASCII sample token, wrapping if it would overflow the
+    /// current line.
+    fn push_token(&mut self, token: &str) {
+        let sep = usize::from(self.line_len > 0);
+        if self.line_len + sep + token.len() > MAX_RASTER_LINE {
+            self.break_line();
+        }
+        if self.line_len > 0 {
+            self.out.push(' ');
+            self.line_len += 1;
+        }
+        self.out.push_str(token);
+        self.line_len += token.len();
+    }
+
+    /// End the current line (no-op when nothing is pending).
+    fn break_line(&mut self) {
+        if self.line_len > 0 {
+            self.out.push('\n');
+            self.line_len = 0;
+        }
+    }
+
+    fn finish(mut self) -> String {
+        self.break_line();
+        self.out
+    }
+}
+
 /// Render the matrix as a plain-text PGM/PPM image string.
 ///
 /// Counts are normalized by the matrix peak; an all-zero matrix renders as
 /// all-zero pixels. `scale` repeats each cell `scale×scale` pixels so small
 /// matrices remain viewable (`scale ≥ 1`).
+///
+/// Output conforms to the plain-format contract: every raster line is at
+/// most [`MAX_RASTER_LINE`] characters and carries no trailing space, so
+/// strict `P2`/`P3` readers accept arbitrarily large matrices. Pixel rows
+/// wider than one line wrap mid-row (sample order is what defines the
+/// image; line breaks are just whitespace), but a new pixel row always
+/// starts on a fresh line so small rasters stay human-readable.
 pub fn render(matrix: &CompMatrix, map: ColorMap, scale: usize) -> String {
     let scale = scale.max(1);
     let rows = matrix.ranks();
@@ -31,36 +87,36 @@ pub fn render(matrix: &CompMatrix, map: ColorMap, scale: usize) -> String {
     let height = rows * scale;
     let peak = matrix.peak().max(1) as f64;
 
-    let mut out = String::new();
-    match map {
-        ColorMap::Gray => {
-            out.push_str(&format!("P2\n{width} {height}\n255\n"));
-        }
-        ColorMap::Heat => {
-            out.push_str(&format!("P3\n{width} {height}\n255\n"));
-        }
-    }
+    let header = match map {
+        ColorMap::Gray => format!("P2\n{width} {height}\n255\n"),
+        ColorMap::Heat => format!("P3\n{width} {height}\n255\n"),
+    };
+    let mut raster = RasterLines::new(header);
     for r in 0..rows {
-        let mut line = String::new();
+        // Per-cell sample tokens of this pixel row, each repeated `scale`
+        // times horizontally; the whole row repeats `scale` times
+        // vertically.
+        let mut row_tokens: Vec<String> = Vec::with_capacity(cols);
         for t in 0..cols {
             let v = matrix.get(Rank::from_index(r), t) as f64 / peak;
-            let px = match map {
-                ColorMap::Gray => format!("{} ", (v * 255.0).round() as u32),
+            match map {
+                ColorMap::Gray => row_tokens.push(format!("{}", (v * 255.0).round() as u32)),
                 ColorMap::Heat => {
                     let (r8, g8, b8) = heat_color(v);
-                    format!("{r8} {g8} {b8} ")
+                    row_tokens.push(format!("{r8} {g8} {b8}"));
                 }
-            };
-            for _ in 0..scale {
-                line.push_str(&px);
             }
         }
-        line.push('\n');
         for _ in 0..scale {
-            out.push_str(&line);
+            for token in &row_tokens {
+                for _ in 0..scale {
+                    raster.push_token(token);
+                }
+            }
+            raster.break_line();
         }
     }
-    out
+    raster.finish()
 }
 
 /// Blue→cyan→yellow→red ramp over `v ∈ [0, 1]`.
@@ -178,6 +234,102 @@ mod tests {
             .map(|v| v.parse().unwrap())
             .collect();
         assert!(pixels.iter().all(|&p| p == 0));
+    }
+
+    /// Minimal strict plain-PNM reader: verifies the magic, dimensions,
+    /// maxval, then consumes whitespace-separated samples. Rejects the
+    /// format violations the renderer used to emit (lines over 70 chars,
+    /// trailing spaces) the way netpbm's own parsers do.
+    fn parse_plain_pnm(s: &str) -> (String, usize, usize, Vec<u32>) {
+        let mut lines = s.lines();
+        let magic = lines.next().expect("magic").to_string();
+        assert!(magic == "P2" || magic == "P3", "bad magic {magic:?}");
+        let dims: Vec<usize> = lines
+            .next()
+            .expect("dims")
+            .split_whitespace()
+            .map(|v| v.parse().unwrap())
+            .collect();
+        assert_eq!(lines.next(), Some("255"));
+        let mut samples = Vec::new();
+        for line in lines {
+            assert!(
+                line.len() <= MAX_RASTER_LINE,
+                "raster line of {} chars exceeds the {MAX_RASTER_LINE}-char plain-format cap",
+                line.len()
+            );
+            assert_eq!(line.trim_end(), line, "trailing whitespace on {line:?}");
+            assert!(!line.is_empty(), "blank raster line");
+            for tok in line.split(' ') {
+                assert!(!tok.is_empty(), "double space in {line:?}");
+                let v: u32 = tok.parse().expect("sample token");
+                assert!(v <= 255, "sample {v} over maxval");
+                samples.push(v);
+            }
+        }
+        (magic, dims[0], dims[1], samples)
+    }
+
+    #[test]
+    fn golden_70_char_invariant_and_roundtrip() {
+        // Wide matrix with 3-digit samples: one pixel row spans many
+        // raster lines, exercising the wrap path in both formats.
+        let cols = 64;
+        let rows = 5;
+        let data: Vec<Vec<u32>> = (0..rows)
+            .map(|r| {
+                (0..cols)
+                    .map(|t| ((r * 37 + t * 11) % 256) as u32)
+                    .collect()
+            })
+            .collect();
+        // from_rows takes one row per *sample* (length = ranks).
+        let sample_rows: Vec<Vec<u32>> = (0..cols)
+            .map(|t| (0..rows).map(|r| data[r][t]).collect())
+            .collect();
+        let m = CompMatrix::from_rows(rows, sample_rows);
+        let peak = m.peak().max(1) as f64;
+        for (map, magic, channels) in [(ColorMap::Gray, "P2", 1), (ColorMap::Heat, "P3", 3)] {
+            for scale in [1usize, 3] {
+                let s = render(&m, map, scale);
+                let (got_magic, w, h, samples) = parse_plain_pnm(&s);
+                assert_eq!(got_magic, magic);
+                assert_eq!((w, h), (cols * scale, rows * scale));
+                assert_eq!(samples.len(), w * h * channels);
+                // Round-trip: every pixel carries the normalized count.
+                for (r, row) in data.iter().enumerate() {
+                    for (t, &count) in row.iter().enumerate() {
+                        let v = count as f64 / peak;
+                        let expected = match map {
+                            ColorMap::Gray => vec![(v * 255.0).round() as u32],
+                            ColorMap::Heat => {
+                                let (r8, g8, b8) = heat_color(v);
+                                vec![r8, g8, b8]
+                            }
+                        };
+                        let px = ((r * scale) * w + t * scale) * channels;
+                        assert_eq!(
+                            &samples[px..px + channels],
+                            &expected[..],
+                            "pixel ({r},{t}) scale {scale}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_line_exceeds_cap_even_at_extreme_width() {
+        // 200 three-digit grays: the old renderer emitted one 800-char
+        // line per row here; strict readers reject anything past 70.
+        let m = CompMatrix::from_rows(1, vec![vec![255]; 200]);
+        let s = render(&m, ColorMap::Gray, 1);
+        assert!(s.lines().all(|l| l.len() <= MAX_RASTER_LINE));
+        assert!(s.lines().all(|l| l.trim_end() == l));
+        let (_, w, h, samples) = parse_plain_pnm(&s);
+        assert_eq!((w, h), (200, 1));
+        assert!(samples.iter().all(|&v| v == 255));
     }
 
     #[test]

@@ -36,4 +36,7 @@ pub use generator::{
 };
 pub use matrices::{migration_pairs, CommMatrix, CompMatrix};
 pub use soa::SoAPositions;
-pub use sweep::{sweep_configs, sweep_streaming, sweep_with_stats, SweepPoint, SweepStats};
+pub use sweep::{
+    mesh_fingerprint, sweep_configs, sweep_streaming, sweep_with_cache, sweep_with_stats,
+    AssignmentCache, AssignmentCacheStats, AssignmentKey, SampleAssignment, SweepPoint, SweepStats,
+};

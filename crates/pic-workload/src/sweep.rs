@@ -48,6 +48,8 @@ use pic_trace::ParticleTrace;
 use pic_types::{Rank, Result, Vec3};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// One grid point of a sweep: a generator configuration plus a sampling
 /// stride (`1` = every trace sample; `s` = the workload of
@@ -92,6 +94,11 @@ pub struct SweepStats {
     /// Groups whose ghost radii were served by a single shared
     /// maximum-radius candidate query per particle.
     pub shared_query_groups: usize,
+    /// Groups whose assignment artifacts were served from an
+    /// [`AssignmentCache`] instead of being recomputed (always `0` on the
+    /// cacheless paths).
+    #[serde(default)]
+    pub cached_groups: usize,
 }
 
 /// One ghost-radius slot of a group: the radius and whether it joins the
@@ -108,6 +115,10 @@ struct GhostSlot {
 struct GroupPlan {
     mapper: Box<dyn ParticleMapper>,
     ranks: usize,
+    /// The grouping key the plan built this group under (assignment
+    /// identity: mapping, ranks, filter bits iff bin-based). Combined
+    /// with a mesh fingerprint it addresses cached assignment artifacts.
+    key: (MappingAlgorithm, usize, Option<u64>),
     slots: Vec<GhostSlot>,
     /// Maximum radius among shared slots (meaningless when none are).
     shared_max: f64,
@@ -157,6 +168,7 @@ fn build_plan(points: &[SweepPoint], mesh: Option<&ElementMesh>) -> Result<Sweep
                 groups.push(GroupPlan {
                     mapper: generator::build_mapper(&p.config, mesh)?,
                     ranks: p.config.ranks,
+                    key,
                     slots: Vec::new(),
                     shared_max: f64::NEG_INFINITY,
                 });
@@ -193,19 +205,46 @@ fn build_plan(points: &[SweepPoint], mesh: Option<&ElementMesh>) -> Result<Sweep
     Ok(SweepPlan { groups, members })
 }
 
-/// One sample's shared result for one group: everything any member needs.
-struct GroupSampleOutcome {
+/// The radius-independent artifact of one (group, sample) assignment
+/// pass: per-rank real counts, bin count, particle owners, and the
+/// spatial [`RegionIndex`] built from the rank regions. Everything a
+/// ghost query at *any* radius needs, which is what makes it the unit of
+/// sharing for [`AssignmentCache`] — the resident prediction service
+/// keeps these as registry artifacts keyed by (mesh, binning) and replays
+/// filters/strides off them without re-running the assignment.
+#[derive(Debug, Clone)]
+pub struct SampleAssignment {
     real: Vec<u32>,
     bin_count: Option<usize>,
     owners: Vec<Rank>,
-    /// `(recv, sent)` histograms, parallel to the group's ghost slots.
+    index: RegionIndex,
+}
+
+impl SampleAssignment {
+    /// Approximate resident bytes, for cache budget accounting.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.real.capacity() * std::mem::size_of::<u32>()
+            + self.owners.capacity() * std::mem::size_of::<Rank>()
+            + self.index.approx_bytes()
+    }
+}
+
+/// One sample's shared result for one group: the assignment artifact plus
+/// `(recv, sent)` ghost histograms parallel to the group's ghost slots.
+struct GroupSampleOutcome {
+    assignment: SampleAssignment,
     ghosts: Vec<(Vec<u32>, Vec<u32>)>,
 }
 
-fn process_group_sample(positions: &[Vec3], group: &GroupPlan) -> GroupSampleOutcome {
-    // One transpose serves the mapper's SoA assignment and every shared
-    // ghost slot of the group (see `process_sample` for the AoS fallback).
-    let soa = crate::soa::SoAPositions::from_positions(positions);
+/// The assignment phase of one (group, sample): mapper pass, per-rank
+/// counting, and the region-index build. Radius-independent by
+/// construction — the cacheable half of [`process_group_sample`].
+fn assign_group_sample(
+    positions: &[Vec3],
+    soa: &crate::soa::SoAPositions,
+    group: &GroupPlan,
+) -> SampleAssignment {
     let outcome = if group.mapper.supports_soa() {
         group.mapper.assign_soa(soa.xs(), soa.ys(), soa.zs())
     } else {
@@ -215,18 +254,36 @@ fn process_group_sample(positions: &[Vec3], group: &GroupPlan) -> GroupSampleOut
     for r in &outcome.ranks {
         real[r.index()] += 1;
     }
-    let ghosts = if group.slots.is_empty() {
-        Vec::new()
-    } else {
-        let index = RegionIndex::build(&outcome.rank_regions);
-        multi_radius_ghost_counts(positions, &soa, &outcome.ranks, &index, group)
-    };
-    GroupSampleOutcome {
+    SampleAssignment {
         real,
         bin_count: outcome.bin_count,
         owners: outcome.ranks,
-        ghosts,
+        index: RegionIndex::build(&outcome.rank_regions),
     }
+}
+
+/// The ghost phase: every radius slot of the group served off a shared
+/// assignment artifact.
+fn ghost_group_sample(
+    positions: &[Vec3],
+    soa: &crate::soa::SoAPositions,
+    assignment: &SampleAssignment,
+    group: &GroupPlan,
+) -> Vec<(Vec<u32>, Vec<u32>)> {
+    if group.slots.is_empty() {
+        Vec::new()
+    } else {
+        multi_radius_ghost_counts(positions, soa, &assignment.owners, &assignment.index, group)
+    }
+}
+
+fn process_group_sample(positions: &[Vec3], group: &GroupPlan) -> GroupSampleOutcome {
+    // One transpose serves the mapper's SoA assignment and every shared
+    // ghost slot of the group (see `process_sample` for the AoS fallback).
+    let soa = crate::soa::SoAPositions::from_positions(positions);
+    let assignment = assign_group_sample(positions, &soa, group);
+    let ghosts = ghost_group_sample(positions, &soa, &assignment, group);
+    GroupSampleOutcome { assignment, ghosts }
 }
 
 /// Ghost histograms for every radius slot of a group, from one assignment.
@@ -411,14 +468,21 @@ fn multi_ghost_span(
     }
 }
 
-/// Assemble one member's workload from its group's shared sample outcomes.
+/// One sample's ghost histograms: a `(recv, sent)` pair per radius slot.
+type GhostSlots = Vec<(Vec<u32>, Vec<u32>)>;
+
+/// One sample's shared view: its assignment plus its ghost slot pairs.
+type SampleView<'a> = (&'a SampleAssignment, &'a [(Vec<u32>, Vec<u32>)]);
+
+/// Assemble one member's workload from its group's shared per-sample
+/// views (`(assignment, ghost histograms)` per trace sample).
 fn assemble_member(
     member: &MemberPlan,
     ranks: usize,
-    outcomes: &[GroupSampleOutcome],
+    samples: &[SampleView<'_>],
     iterations: &[u64],
 ) -> DynamicWorkload {
-    let retained: Vec<usize> = (0..outcomes.len()).step_by(member.stride).collect();
+    let retained: Vec<usize> = (0..samples.len()).step_by(member.stride).collect();
     let mut real = CompMatrix::new(ranks);
     let mut ghost_recv = CompMatrix::new(ranks);
     let mut ghost_sent = CompMatrix::new(ranks);
@@ -428,22 +492,22 @@ fn assemble_member(
     let zeros = vec![0u32; ranks];
     let mut prev: Option<usize> = None;
     for &t in &retained {
-        let o = &outcomes[t];
-        real.push_sample(&o.real);
+        let (a, ghosts) = samples[t];
+        real.push_sample(&a.real);
         match member.ghost_slot {
             Some(k) => {
-                ghost_recv.push_sample(&o.ghosts[k].0);
-                ghost_sent.push_sample(&o.ghosts[k].1);
+                ghost_recv.push_sample(&ghosts[k].0);
+                ghost_sent.push_sample(&ghosts[k].1);
             }
             None => {
                 ghost_recv.push_sample(&zeros);
                 ghost_sent.push_sample(&zeros);
             }
         }
-        bin_counts.push(o.bin_count);
+        bin_counts.push(a.bin_count);
         iters.push(iterations[t]);
         comm_entries.push(match prev {
-            Some(pt) => migration_pairs(&outcomes[pt].owners, &o.owners),
+            Some(pt) => migration_pairs(&samples[pt].0.owners, &a.owners),
             None => Vec::new(),
         });
         prev = Some(t);
@@ -470,6 +534,7 @@ fn stats_for(plan: &SweepPlan, samples: usize) -> SweepStats {
         naive_assign_passes: plan.members.len() * samples,
         ghost_radii: plan.groups.iter().map(|g| g.slots.len()).sum(),
         shared_query_groups: plan.groups.iter().filter(|g| g.shared_slots() > 1).count(),
+        cached_groups: 0,
     }
 }
 
@@ -517,11 +582,337 @@ pub fn sweep_with_stats(
             .map(|m| {
                 let group = &plan.groups[m.group];
                 let span = &outcomes[m.group * t_count..(m.group + 1) * t_count];
-                assemble_member(m, group.ranks, span, &iterations)
+                let views: Vec<SampleView<'_>> = span
+                    .iter()
+                    .map(|o| (&o.assignment, o.ghosts.as_slice()))
+                    .collect();
+                assemble_member(m, group.ranks, &views, &iterations)
             })
             .collect()
     });
     let stats = stats_for(&plan, t_count);
+    Ok((workloads, stats))
+}
+
+/// Structural fingerprint of a mesh specification: two meshes with the
+/// same domain bits, dimensions, and order assign identically under every
+/// mesh-based mapping, so their fingerprints may (and do) collide — that
+/// collision is exactly the sharing the [`AssignmentCache`] wants.
+pub fn mesh_fingerprint(mesh: &ElementMesh) -> u64 {
+    let mut bytes = Vec::with_capacity(6 * 8 + 4 * 8);
+    let d = mesh.domain();
+    for v in [d.min, d.max] {
+        for c in [v.x, v.y, v.z] {
+            bytes.extend_from_slice(&c.to_bits().to_le_bytes());
+        }
+    }
+    for n in mesh.dims().to_array() {
+        bytes.extend_from_slice(&(n as u64).to_le_bytes());
+    }
+    bytes.extend_from_slice(&(mesh.order() as u64).to_le_bytes());
+    pic_types::hash::fnv1a_64(&bytes)
+}
+
+/// Cache key for one group's assignment artifacts **within one trace**:
+/// the assignment-identity group key plus a mesh fingerprint. Bin-based
+/// partitions ignore the mesh entirely, so their keys carry no mesh
+/// component and survive mesh changes. The key deliberately does *not*
+/// identify the trace — an [`AssignmentCache`] is scoped to the trace it
+/// was populated from (the serve registry keeps one per resident trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AssignmentKey {
+    mapping: MappingAlgorithm,
+    ranks: usize,
+    filter_bits: Option<u64>,
+    mesh_fp: Option<u64>,
+}
+
+impl AssignmentKey {
+    fn for_group(
+        key: (MappingAlgorithm, usize, Option<u64>),
+        mesh_fp: Option<u64>,
+    ) -> AssignmentKey {
+        let (mapping, ranks, filter_bits) = key;
+        AssignmentKey {
+            mapping,
+            ranks,
+            filter_bits,
+            // Bin-based assignment never consults the mesh.
+            mesh_fp: (mapping != MappingAlgorithm::BinBased)
+                .then_some(mesh_fp)
+                .flatten(),
+        }
+    }
+
+    /// The key a sweep point's assignment artifacts live under, given the
+    /// mesh (if any) the sweep runs against.
+    pub fn for_config(cfg: &WorkloadConfig, mesh: Option<&ElementMesh>) -> AssignmentKey {
+        AssignmentKey::for_group(group_key(cfg), mesh.map(mesh_fingerprint))
+    }
+}
+
+/// Counters exposed by [`AssignmentCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AssignmentCacheStats {
+    /// Lookups served from resident artifacts.
+    pub hits: u64,
+    /// Lookups that required an assignment replay.
+    pub misses: u64,
+    /// Entries dropped to stay within the byte budget.
+    pub evictions: u64,
+    /// Approximate bytes currently resident.
+    pub resident_bytes: usize,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+struct CacheEntry {
+    artifacts: Arc<Vec<SampleAssignment>>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct CacheInner {
+    entries: HashMap<AssignmentKey, CacheEntry>,
+    resident_bytes: usize,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// Byte-budgeted LRU cache of per-sample assignment artifacts, shared
+/// across concurrent sweeps of **one** trace (`Send + Sync`; interior
+/// mutability behind a mutex — lookups move `Arc`s, never artifact data).
+///
+/// [`sweep_with_cache`] consults it per assignment group: a hit skips the
+/// group's entire assignment + index replay and goes straight to the
+/// ghost phase, which is why the resident prediction service answers
+/// repeat sweeps at a different filter radius or stride without touching
+/// the mapper at all. Eviction is strict LRU by lookup/insert tick; an
+/// entry larger than the whole budget is admitted alone (the cache never
+/// refuses to serve the request it was asked to back).
+pub struct AssignmentCache {
+    budget_bytes: usize,
+    inner: Mutex<CacheInner>,
+}
+
+impl std::fmt::Debug for AssignmentCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("AssignmentCache")
+            .field("budget_bytes", &self.budget_bytes)
+            .field("stats", &s)
+            .finish()
+    }
+}
+
+impl AssignmentCache {
+    /// A cache that holds at most ~`budget_bytes` of artifacts.
+    pub fn new(budget_bytes: usize) -> AssignmentCache {
+        AssignmentCache {
+            budget_bytes,
+            inner: Mutex::new(CacheInner {
+                entries: HashMap::new(),
+                resident_bytes: 0,
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            }),
+        }
+    }
+
+    /// Look up the artifacts for `key`, bumping its recency on a hit.
+    pub fn get(&self, key: &AssignmentKey) -> Option<Arc<Vec<SampleAssignment>>> {
+        let mut inner = self.inner.lock().expect("assignment cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(key) {
+            Some(e) => {
+                e.last_used = tick;
+                let out = Arc::clone(&e.artifacts);
+                inner.hits += 1;
+                Some(out)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or replace) the artifacts for `key`, then evict
+    /// least-recently-used entries until the budget holds. The entry just
+    /// inserted is never evicted by its own insertion.
+    pub fn insert(&self, key: AssignmentKey, artifacts: Arc<Vec<SampleAssignment>>) {
+        let bytes = artifacts.iter().map(|a| a.approx_bytes()).sum::<usize>()
+            + artifacts.capacity() * std::mem::size_of::<SampleAssignment>();
+        let mut inner = self.inner.lock().expect("assignment cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.entries.insert(
+            key,
+            CacheEntry {
+                artifacts,
+                bytes,
+                last_used: tick,
+            },
+        ) {
+            inner.resident_bytes -= old.bytes;
+        }
+        inner.resident_bytes += bytes;
+        while inner.resident_bytes > self.budget_bytes && inner.entries.len() > 1 {
+            let victim = inner
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != key)
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k);
+            match victim {
+                Some(v) => {
+                    let e = inner.entries.remove(&v).expect("victim vanished");
+                    inner.resident_bytes -= e.bytes;
+                    inner.evictions += 1;
+                }
+                None => break,
+            }
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> AssignmentCacheStats {
+        let inner = self.inner.lock().expect("assignment cache poisoned");
+        AssignmentCacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            resident_bytes: inner.resident_bytes,
+            entries: inner.entries.len(),
+        }
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> usize {
+        self.budget_bytes
+    }
+}
+
+/// [`sweep_with_stats`] backed by an [`AssignmentCache`]: assignment
+/// groups whose artifacts are resident skip the mapper / counting / index
+/// replay entirely and jump to the ghost phase; missing groups run the
+/// normal pass and publish their artifacts for the next caller. Outputs
+/// are bit-identical to [`sweep`] — artifacts are plain data produced by
+/// the same kernels, so serving them from memory cannot perturb a bit —
+/// and `stats.assign_passes` reports the passes actually executed, with
+/// `stats.cached_groups` counting the groups served from cache.
+pub fn sweep_with_cache(
+    trace: &ParticleTrace,
+    points: &[SweepPoint],
+    mesh: Option<&ElementMesh>,
+    cache: &AssignmentCache,
+) -> Result<(Vec<DynamicWorkload>, SweepStats)> {
+    let plan = build_plan(points, mesh)?;
+    let samples: Vec<&pic_trace::TraceSample> = trace.samples().collect();
+    let t_count = samples.len();
+    let mesh_fp = mesh.map(mesh_fingerprint);
+
+    let keys: Vec<AssignmentKey> = plan
+        .groups
+        .iter()
+        .map(|g| AssignmentKey::for_group(g.key, mesh_fp))
+        .collect();
+    let mut assignments: Vec<Option<Arc<Vec<SampleAssignment>>>> =
+        keys.iter().map(|k| cache.get(k)).collect();
+    let missing: Vec<usize> = (0..plan.groups.len())
+        .filter(|&g| assignments[g].is_none())
+        .collect();
+
+    // Missing groups run the fused pass (one SoA transpose serves both
+    // phases, exactly as the cacheless path does); their ghosts are kept
+    // so they aren't recomputed below.
+    let mut ghosts: Vec<Vec<GhostSlots>> = (0..plan.groups.len()).map(|_| Vec::new()).collect();
+    if !missing.is_empty() {
+        let outcomes: Vec<GroupSampleOutcome> = pic_types::pool::install(|| {
+            (0..missing.len() * t_count)
+                .into_par_iter()
+                .map(|i| {
+                    let (mi, t) = (i / t_count, i % t_count);
+                    process_group_sample(&samples[t].positions, &plan.groups[missing[mi]])
+                })
+                .collect()
+        });
+        let mut outcomes = outcomes.into_iter();
+        for &g in &missing {
+            let mut arts = Vec::with_capacity(t_count);
+            let mut gh = Vec::with_capacity(t_count);
+            for o in outcomes.by_ref().take(t_count) {
+                arts.push(o.assignment);
+                gh.push(o.ghosts);
+            }
+            let arts = Arc::new(arts);
+            cache.insert(keys[g], Arc::clone(&arts));
+            assignments[g] = Some(arts);
+            ghosts[g] = gh;
+        }
+    }
+
+    // Cache-hit groups still owe their ghost phase (radii are not part of
+    // the artifact); replay it off the resident assignments.
+    let hit_ghost_work: Vec<usize> = (0..plan.groups.len())
+        .filter(|&g| ghosts[g].is_empty() && !plan.groups[g].slots.is_empty() && t_count > 0)
+        .collect();
+    if !hit_ghost_work.is_empty() {
+        let assignments = &assignments;
+        let computed: Vec<Vec<(Vec<u32>, Vec<u32>)>> = pic_types::pool::install(|| {
+            (0..hit_ghost_work.len() * t_count)
+                .into_par_iter()
+                .map(|i| {
+                    let (gi, t) = (i / t_count, i % t_count);
+                    let g = hit_ghost_work[gi];
+                    let positions = &samples[t].positions;
+                    let soa = crate::soa::SoAPositions::from_positions(positions);
+                    let arts = assignments[g].as_ref().expect("hit group lost artifacts");
+                    ghost_group_sample(positions, &soa, &arts[t], &plan.groups[g])
+                })
+                .collect()
+        });
+        let mut computed = computed.into_iter();
+        for &g in &hit_ghost_work {
+            ghosts[g] = computed.by_ref().take(t_count).collect();
+        }
+    }
+    // Ghost-free hit groups: give every sample its empty slot vector.
+    for slots in ghosts.iter_mut() {
+        if slots.is_empty() {
+            *slots = vec![Vec::new(); t_count];
+        }
+    }
+
+    let iterations = trace.iterations();
+    let assignments_ref = &assignments;
+    let ghosts_ref = &ghosts;
+    let workloads: Vec<DynamicWorkload> = pic_types::pool::install(|| {
+        plan.members
+            .par_iter()
+            .map(|m| {
+                let group = &plan.groups[m.group];
+                let arts = assignments_ref[m.group]
+                    .as_ref()
+                    .expect("group lost artifacts");
+                let views: Vec<SampleView<'_>> = arts
+                    .iter()
+                    .zip(&ghosts_ref[m.group])
+                    .map(|(a, gh)| (a, gh.as_slice()))
+                    .collect();
+                assemble_member(m, group.ranks, &views, &iterations)
+            })
+            .collect()
+    });
+
+    let mut stats = stats_for(&plan, t_count);
+    stats.assign_passes = missing.len() * t_count;
+    stats.cached_groups = plan.groups.len() - missing.len();
     Ok((workloads, stats))
 }
 
@@ -652,7 +1043,7 @@ pub fn sweep_streaming<R: std::io::Read + Send>(
                         continue;
                     }
                     let o = &outcomes[m.group];
-                    acc.real.push_sample(&o.real);
+                    acc.real.push_sample(&o.assignment.real);
                     let ranks = plan.groups[m.group].ranks;
                     match m.ghost_slot {
                         Some(k) => {
@@ -665,13 +1056,13 @@ pub fn sweep_streaming<R: std::io::Read + Send>(
                             acc.ghost_sent.push_sample(&zeros);
                         }
                     }
-                    acc.bin_counts.push(o.bin_count);
+                    acc.bin_counts.push(o.assignment.bin_count);
                     acc.iterations.push(iteration);
                     acc.comm_entries.push(match &acc.prev_owners {
-                        Some(prev) => migration_pairs(prev, &o.owners),
+                        Some(prev) => migration_pairs(prev, &o.assignment.owners),
                         None => Vec::new(),
                     });
-                    acc.prev_owners = Some(o.owners.clone());
+                    acc.prev_owners = Some(o.assignment.owners.clone());
                 }
                 next += 1;
             }
@@ -940,6 +1331,130 @@ mod tests {
         ))];
         let w = sweep(&empty, &points, None).unwrap();
         assert_eq!(w[0].samples(), 0);
+    }
+
+    #[test]
+    fn cached_sweep_is_bit_identical_and_skips_assignment() {
+        let tr = make_trace(300, 4, 11);
+        let m = mesh();
+        let mut points = Vec::new();
+        for mapping in [
+            MappingAlgorithm::BinBased,
+            MappingAlgorithm::ElementBased,
+            MappingAlgorithm::HilbertOrdered,
+        ] {
+            for filter in [0.02, 0.06] {
+                points.push(SweepPoint::new(WorkloadConfig::new(8, mapping, filter)));
+            }
+        }
+        points.push(SweepPoint::with_stride(
+            WorkloadConfig::new(8, MappingAlgorithm::ElementBased, 0.06),
+            2,
+        ));
+        let baseline = sweep(&tr, &points, Some(&m)).unwrap();
+
+        let cache = AssignmentCache::new(64 << 20);
+        let (cold, cold_stats) = sweep_with_cache(&tr, &points, Some(&m), &cache).unwrap();
+        assert_eq!(cold, baseline);
+        assert_eq!(cold_stats.cached_groups, 0);
+        assert_eq!(cold_stats.assign_passes, cold_stats.groups * 4);
+
+        let (warm, warm_stats) = sweep_with_cache(&tr, &points, Some(&m), &cache).unwrap();
+        assert_eq!(warm, baseline);
+        assert_eq!(warm_stats.cached_groups, warm_stats.groups);
+        assert_eq!(warm_stats.assign_passes, 0);
+
+        // A new filter radius on a resident mesh-based group is still a
+        // full hit: radii are outside the artifact.
+        let fresh = vec![SweepPoint::new(WorkloadConfig::new(
+            8,
+            MappingAlgorithm::ElementBased,
+            0.11,
+        ))];
+        let (w, s) = sweep_with_cache(&tr, &fresh, Some(&m), &cache).unwrap();
+        assert_eq!(w[0], reference_for(&tr, &fresh[0], Some(&m)));
+        assert_eq!(s.cached_groups, 1);
+        assert_eq!(s.assign_passes, 0);
+
+        let cs = cache.stats();
+        assert!(cs.hits > warm_stats.groups as u64);
+        assert!(cs.resident_bytes > 0 && cs.entries > 0);
+    }
+
+    #[test]
+    fn cache_eviction_recomputes_identically() {
+        let tr = make_trace(200, 3, 12);
+        let m = mesh();
+        let mk = |ranks| {
+            vec![SweepPoint::new(WorkloadConfig::new(
+                ranks,
+                MappingAlgorithm::ElementBased,
+                0.05,
+            ))]
+        };
+        // A budget of one entry: every new rank count evicts the previous.
+        let one = {
+            let probe = AssignmentCache::new(usize::MAX);
+            sweep_with_cache(&tr, &mk(4), Some(&m), &probe).unwrap();
+            probe.stats().resident_bytes
+        };
+        let cache = AssignmentCache::new(one + one / 2);
+        let (a1, _) = sweep_with_cache(&tr, &mk(4), Some(&m), &cache).unwrap();
+        for ranks in [8, 16, 32] {
+            sweep_with_cache(&tr, &mk(ranks), Some(&m), &cache).unwrap();
+        }
+        assert!(cache.stats().evictions > 0, "budget never forced eviction");
+        // Re-ingesting the evicted key replays to bit-identical artifacts
+        // and output (content-address stability of the sweep kernels).
+        let (a2, s2) = sweep_with_cache(&tr, &mk(4), Some(&m), &cache).unwrap();
+        assert_eq!(a1, a2);
+        assert_eq!(s2.cached_groups, 0);
+        let (a3, s3) = sweep_with_cache(&tr, &mk(4), Some(&m), &cache).unwrap();
+        assert_eq!(a1, a3);
+        assert_eq!(s3.cached_groups, 1);
+    }
+
+    #[test]
+    fn assignment_keys_separate_meshes_but_not_for_bin_based() {
+        let m1 = mesh();
+        let m2 = ElementMesh::new(Aabb::unit(), MeshDims::cube(8), 5).unwrap();
+        let eb = WorkloadConfig::new(8, MappingAlgorithm::ElementBased, 0.05);
+        let bb = WorkloadConfig::new(8, MappingAlgorithm::BinBased, 0.05);
+        assert_ne!(
+            AssignmentKey::for_config(&eb, Some(&m1)),
+            AssignmentKey::for_config(&eb, Some(&m2))
+        );
+        assert_eq!(
+            AssignmentKey::for_config(&bb, Some(&m1)),
+            AssignmentKey::for_config(&bb, Some(&m2))
+        );
+        assert_eq!(
+            AssignmentKey::for_config(&bb, Some(&m1)),
+            AssignmentKey::for_config(&bb, None)
+        );
+        assert_eq!(mesh_fingerprint(&m1), mesh_fingerprint(&mesh()));
+    }
+
+    #[test]
+    fn concurrent_cached_sweeps_are_bit_identical() {
+        let tr = make_trace(250, 3, 13);
+        let m = mesh();
+        let points: Vec<SweepPoint> = [0.02, 0.05, 0.09]
+            .iter()
+            .map(|&f| SweepPoint::new(WorkloadConfig::new(12, MappingAlgorithm::ElementBased, f)))
+            .collect();
+        let baseline = sweep(&tr, &points, Some(&m)).unwrap();
+        let cache = AssignmentCache::new(64 << 20);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    scope.spawn(|| sweep_with_cache(&tr, &points, Some(&m), &cache).unwrap().0)
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap(), baseline);
+            }
+        });
     }
 
     #[test]

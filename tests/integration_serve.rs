@@ -1,0 +1,417 @@
+//! Integration tests for the resident prediction service: bit-identity
+//! against the offline CLI serialization path, content-address stability
+//! across LRU eviction and re-ingest, a fault corpus replayed over real
+//! sockets, and the slow-loris deadline.
+
+use pic_mapping::MappingAlgorithm;
+use pic_predict::{grid_entries, grid_to_json, ServeConfig, Server, SweepGridSpec};
+use pic_sim::{MiniPic, SimConfig};
+use pic_trace::{codec, ParticleTrace, Precision};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+fn base_cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        ranks: 8,
+        mesh_dims: pic_grid::MeshDims::cube(4),
+        order: 3,
+        particles: 300,
+        steps: 30,
+        sample_interval: 10,
+        seed,
+        ..SimConfig::default()
+    }
+}
+
+fn make_trace(seed: u64) -> ParticleTrace {
+    MiniPic::new(base_cfg(seed)).unwrap().run().unwrap().trace
+}
+
+/// Send one raw HTTP request and return `(status, body)`.
+fn raw_request(addr: SocketAddr, bytes: &[u8]) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    s.write_all(bytes).expect("write request");
+    let mut resp = Vec::new();
+    s.read_to_end(&mut resp).expect("read response");
+    parse_response(&resp)
+}
+
+fn parse_response(resp: &[u8]) -> (u16, String) {
+    let text = String::from_utf8_lossy(resp);
+    let (head, body) = text
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header terminator in response: {text:?}"));
+    let status: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line: {head:?}"));
+    (status, body.to_string())
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &[u8]) -> (u16, String) {
+    let mut req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    req.extend_from_slice(body);
+    raw_request(addr, &req)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    raw_request(
+        addr,
+        format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes(),
+    )
+}
+
+/// Pull the string value of `"key":"..."` out of a flat JSON response.
+fn json_str_field(body: &str, key: &str) -> String {
+    let marker = format!("\"{key}\":\"");
+    let start = body
+        .find(&marker)
+        .unwrap_or_else(|| panic!("no {key} in {body}"))
+        + marker.len();
+    let end = body[start..].find('"').unwrap() + start;
+    body[start..end].to_string()
+}
+
+#[test]
+fn serve_responses_are_bit_identical_to_offline_cli_serialization() {
+    let trace = make_trace(42);
+    let encoded = codec::encode_trace(&trace, Precision::F64).unwrap();
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let addr = server.addr();
+
+    // Ingest.
+    let (status, body) = request(addr, "POST", "/traces", &encoded);
+    assert_eq!(status, 200, "{body}");
+    let address = json_str_field(&body, "address");
+    assert!(body.contains(&format!("\"particles\":{}", trace.particle_count())));
+    assert!(body.contains(&format!("\"samples\":{}", trace.sample_count())));
+
+    // The same grid, offline: the spec the CLI `sweep --out` builds.
+    let spec = SweepGridSpec {
+        mappings: vec![MappingAlgorithm::BinBased, MappingAlgorithm::ElementBased],
+        ranks: vec![4, 8],
+        filters: vec![0.02, 0.05],
+        strides: vec![1, 2],
+        compute_ghosts: true,
+    };
+    let points = spec.points();
+    let mesh =
+        pic_grid::ElementMesh::new(trace.meta().domain, pic_grid::MeshDims::cube(4), 3).unwrap();
+    let (workloads, _) = pic_workload::sweep_with_stats(&trace, &points, Some(&mesh)).unwrap();
+    let offline = grid_to_json(&grid_entries(&points, workloads)).unwrap();
+
+    let sweep_body = format!(
+        "{{\"trace\":\"{address}\",\"ranks\":[4,8],\
+         \"mappings\":[\"bin-based\",\"element-based\"],\
+         \"filters\":[0.02,0.05],\"strides\":[1,2],\
+         \"mesh\":\"4x4x4\",\"order\":3}}"
+    );
+    let (status, served) = request(addr, "POST", "/sweep", sweep_body.as_bytes());
+    assert_eq!(status, 200, "{served}");
+    assert_eq!(served, offline, "served sweep differs from offline bytes");
+
+    // Concurrent identical requests: every response bit-identical.
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let sweep_body = sweep_body.clone();
+                scope.spawn(move || request(addr, "POST", "/sweep", sweep_body.as_bytes()))
+            })
+            .collect();
+        for h in handles {
+            let (status, body) = h.join().unwrap();
+            assert_eq!(status, 200);
+            assert_eq!(body, offline, "concurrent response diverged");
+        }
+    });
+
+    // The repeat sweeps ran entirely from the assignment cache.
+    let (status, stats) = get(addr, "/stats");
+    assert_eq!(status, 200);
+    assert!(stats.contains("\"sweep_cache\":"), "{stats}");
+    assert!(stats.contains("\"hits\":"), "{stats}");
+    let hits_at = stats.find("\"hits\":").unwrap() + "\"hits\":".len();
+    let hits: u64 = stats[hits_at..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap();
+    assert!(
+        hits > 0,
+        "repeat sweeps should hit the assignment cache: {stats}"
+    );
+
+    // Predict through the service == predict through the library.
+    let study = pic_predict::run_case_study(
+        &base_cfg(42),
+        &pic_des::MachineSpec::quartz_like(),
+        &pic_predict::FitStrategy::Linear,
+    )
+    .unwrap();
+    let models_json = study.models.to_json();
+    let (status, body) = request(addr, "POST", "/models", models_json.as_bytes());
+    assert_eq!(status, 200, "{body}");
+    let models_addr = json_str_field(&body, "address");
+
+    let predict_body = format!(
+        "{{\"trace\":\"{address}\",\"models\":\"{models_addr}\",\"ranks\":4,\
+         \"mapping\":\"bin-based\",\"filters\":[0.03]}}"
+    );
+    let (status, served) = request(addr, "POST", "/predict", predict_body.as_bytes());
+    assert_eq!(status, 200, "{served}");
+
+    let wcfg = pic_workload::WorkloadConfig::new(4, MappingAlgorithm::BinBased, 0.03);
+    let w = pic_workload::generator::generate(&trace, &wcfg).unwrap();
+    let models = pic_predict::KernelModels::from_json(&models_json).unwrap();
+    let predicted = pic_predict::predict_kernel_seconds(&w, &models, &[0; 4], 3, 0.03);
+    let schedule = pic_predict::build_schedule(
+        &w,
+        &predicted,
+        trace.meta().sample_interval,
+        pic_predict::pipeline::bytes_per_particle(),
+    );
+    let timeline = pic_predict::predict_application(
+        &schedule,
+        &pic_des::MachineSpec::quartz_like(),
+        pic_des::SyncMode::BulkSynchronous,
+    )
+    .unwrap();
+    assert!(
+        served.contains(&format!("\"predicted_seconds\":{}", timeline.total_seconds)),
+        "serve prediction {served} vs offline {}",
+        timeline.total_seconds
+    );
+
+    // Check endpoint agrees the workload is clean.
+    let check_body = format!(
+        "{{\"trace\":\"{address}\",\"ranks\":4,\"mapping\":\"bin-based\",\"filters\":[0.03]}}"
+    );
+    let (status, body) = request(addr, "POST", "/check", check_body.as_bytes());
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"ok\":true"), "{body}");
+
+    server.shutdown();
+}
+
+#[test]
+fn lru_eviction_and_reingest_yield_identical_artifacts() {
+    let trace_a = make_trace(7);
+    let trace_b = make_trace(8);
+    let bytes_a = codec::encode_trace(&trace_a, Precision::F64).unwrap();
+    let bytes_b = codec::encode_trace(&trace_b, Precision::F64).unwrap();
+
+    // A budget of one byte keeps exactly one trace resident: inserting a
+    // second always evicts the first (the just-inserted entry is never
+    // evicted).
+    let cfg = ServeConfig {
+        budget_bytes: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg).unwrap();
+    let addr = server.addr();
+
+    let (status, body) = request(addr, "POST", "/traces", &bytes_a);
+    assert_eq!(status, 200, "{body}");
+    let addr_a = json_str_field(&body, "address");
+
+    let sweep_body = format!("{{\"trace\":\"{addr_a}\",\"ranks\":[4],\"filters\":[0.03]}}");
+    let (status, first) = request(addr, "POST", "/sweep", sweep_body.as_bytes());
+    assert_eq!(status, 200, "{first}");
+
+    // Ingest B: A is evicted (reported in the response), and requests
+    // against A now miss.
+    let (status, body) = request(addr, "POST", "/traces", &bytes_b);
+    assert_eq!(status, 200, "{body}");
+    let addr_b = json_str_field(&body, "address");
+    assert_ne!(addr_a, addr_b);
+    assert!(
+        body.contains(&format!("\"evicted\":[\"{addr_a}\"]")),
+        "{body}"
+    );
+    let (status, listing) = get(addr, "/traces");
+    assert_eq!(status, 200);
+    assert!(!listing.contains(&addr_a), "{listing}");
+    assert!(listing.contains(&addr_b), "{listing}");
+    let (status, body) = request(addr, "POST", "/sweep", sweep_body.as_bytes());
+    assert_eq!(status, 404, "{body}");
+
+    // Re-ingest the identical bytes: same content address, and the sweep
+    // rebuilt from scratch is bit-identical to the pre-eviction one.
+    let (status, body) = request(addr, "POST", "/traces", &bytes_a);
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(json_str_field(&body, "address"), addr_a);
+    let (status, second) = request(addr, "POST", "/sweep", sweep_body.as_bytes());
+    assert_eq!(status, 200, "{second}");
+    assert_eq!(first, second, "artifacts differ after eviction + re-ingest");
+
+    server.shutdown();
+}
+
+#[test]
+fn fault_corpus_over_http_yields_positioned_4xx_and_server_survives() {
+    let trace = make_trace(3);
+    let good = codec::encode_trace(&trace, Precision::F64).unwrap();
+    let cfg = ServeConfig {
+        max_body_bytes: 1 << 20,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg).unwrap();
+    let addr = server.addr();
+
+    // Framing faults.
+    let (status, body) = raw_request(addr, b"\x01\x02 garbage\r\n\r\n");
+    assert_eq!(status, 400, "{body}");
+    let (status, body) = raw_request(addr, b"GET /healthz NOTHTTP\r\n\r\n");
+    assert_eq!(status, 400, "{body}");
+    let mut oversized = b"GET /healthz HTTP/1.1\r\n".to_vec();
+    oversized.extend(std::iter::repeat_n(b'A', 20 * 1024));
+    let (status, body) = raw_request(addr, &oversized);
+    assert_eq!(status, 431, "{body}");
+    let (status, body) = raw_request(
+        addr,
+        b"POST /sweep HTTP/1.1\r\nContent-Length: notanumber\r\n\r\n",
+    );
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("byte"), "not positioned: {body}");
+    let (status, body) = raw_request(addr, b"POST /sweep HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert_eq!(status, 411, "{body}");
+    let (status, body) = raw_request(
+        addr,
+        b"POST /traces HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n",
+    );
+    assert_eq!(status, 413, "{body}");
+    let (status, body) = raw_request(addr, b"DELETE /sweep HTTP/1.1\r\n\r\n");
+    assert_eq!(status, 405, "{body}");
+    let (status, body) = raw_request(addr, b"GET /nope HTTP/1.1\r\n\r\n");
+    assert_eq!(status, 404, "{body}");
+
+    // Trace-body faults: truncations at several depths and a flipped bit,
+    // all rejected with positioned diagnostics, none fatal.
+    for cut in [5, good.len() / 3, good.len() - 7] {
+        let (status, body) = request(addr, "POST", "/traces", &good[..cut]);
+        assert_eq!(status, 422, "cut at {cut}: {body}");
+        assert!(
+            body.contains("byte") || body.contains("frame") || body.contains("header"),
+            "cut at {cut} not positioned: {body}"
+        );
+    }
+    let mut flipped = good.clone();
+    pic_trace::fault::flip_bit(&mut flipped, 17);
+    let (status, body) = request(addr, "POST", "/traces", &flipped);
+    assert!(
+        (400..500).contains(&status),
+        "flipped bit -> {status}: {body}"
+    );
+
+    // A client that declares more body than it sends, then hangs up.
+    {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        let head = format!(
+            "POST /traces HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+            good.len()
+        );
+        s.write_all(head.as_bytes()).unwrap();
+        s.write_all(&good[..64]).unwrap();
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut resp = Vec::new();
+        s.read_to_end(&mut resp).unwrap();
+        let (status, body) = parse_response(&resp);
+        assert!(
+            (400..500).contains(&status),
+            "short body -> {status}: {body}"
+        );
+    }
+
+    // Semantic faults on the JSON endpoints.
+    let (status, body) = request(addr, "POST", "/sweep", b"not json at all");
+    assert_eq!(status, 400, "{body}");
+    let (status, body) = request(
+        addr,
+        "POST",
+        "/sweep",
+        b"{\"trace\":\"0000\",\"ranks\":[4]}",
+    );
+    assert_eq!(status, 404, "{body}");
+    let (status, body) = request(addr, "POST", "/traces", &good);
+    assert_eq!(status, 200, "{body}");
+    let address = json_str_field(&body, "address");
+    let bad_mapping =
+        format!("{{\"trace\":\"{address}\",\"ranks\":[4],\"mappings\":[\"quantum\"]}}");
+    let (status, body) = request(addr, "POST", "/sweep", bad_mapping.as_bytes());
+    assert_eq!(status, 422, "{body}");
+    let empty_ranks = format!("{{\"trace\":\"{address}\",\"ranks\":[]}}");
+    let (status, body) = request(addr, "POST", "/sweep", empty_ranks.as_bytes());
+    assert_eq!(status, 422, "{body}");
+
+    // After the whole corpus, the server still answers.
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200, "{body}");
+    assert_eq!(body, "{\"ok\":true}");
+    server.shutdown();
+}
+
+#[test]
+fn slow_loris_is_cut_off_by_the_read_deadline() {
+    let cfg = ServeConfig {
+        read_timeout: Duration::from_millis(150),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(cfg).unwrap();
+    let addr = server.addr();
+
+    let started = std::time::Instant::now();
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    s.write_all(b"POST /sw").unwrap();
+    // Dribble nothing further; the server's deadline must fire.
+    let mut resp = Vec::new();
+    s.read_to_end(&mut resp).unwrap();
+    let (status, body) = parse_response(&resp);
+    assert_eq!(status, 408, "{body}");
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "loris held the connection {:?}",
+        started.elapsed()
+    );
+
+    let (status, _) = get(addr, "/healthz");
+    assert_eq!(status, 200);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_endpoint_stops_the_server_cleanly() {
+    let server = Server::start(ServeConfig::default()).unwrap();
+    let addr = server.addr();
+    let (status, body) = request(addr, "POST", "/shutdown", b"");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"shutting_down\":true"));
+    // run_to_completion returns promptly once the flag is set.
+    server.run_to_completion();
+    // The port no longer accepts new work.
+    std::thread::sleep(Duration::from_millis(50));
+    let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
+    if let Ok(mut s) = refused {
+        // The OS may still complete the TCP handshake on a dying socket;
+        // but no response must come back.
+        let _ = s.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+        let mut out = Vec::new();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let n = s.read_to_end(&mut out).unwrap_or(0);
+        assert_eq!(
+            n,
+            0,
+            "server answered after shutdown: {:?}",
+            String::from_utf8_lossy(&out)
+        );
+    }
+}
