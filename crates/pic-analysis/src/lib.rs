@@ -22,10 +22,17 @@
 //!   kernel time ever leaves the server, each rejection positioned by
 //!   `(sample, rank, kernel)`.
 //! * [`sched`] + [`pipeline_model`] — a minimal loom-style deterministic
-//!   schedule explorer, plus a faithful model of the streaming workload
-//!   generator's decoder→workers→merge pipeline. Exhaustive exploration
-//!   proves its shutdown paths hang- and leak-free for a matrix of
-//!   configurations, in CI, with a replayable schedule on any failure.
+//!   schedule explorer (with optional ample-set partial-order reduction
+//!   and lasso-based liveness checking), plus a faithful model of the
+//!   streaming workload generator's decoder→workers→merge pipeline.
+//!   Exhaustive exploration proves its shutdown paths hang- and leak-free
+//!   for a matrix of configurations, in CI, with a replayable schedule on
+//!   any failure.
+//! * [`serve_model`] — explicit-state models of the three `picpredict
+//!   serve` concurrency protocols (single-flight batching, LRU registry
+//!   weight accounting, the shutdown handshake), verified over a config
+//!   matrix by `picpredict check --serve`, plus a seeded-mutant corpus
+//!   proving the checker catches each protocol's bug classes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +42,7 @@ pub mod interval;
 pub mod pipeline_model;
 pub mod prediction;
 pub mod sched;
+pub mod serve_model;
 pub mod workload;
 
 pub use expr_check::{
@@ -46,7 +54,10 @@ pub use pipeline_model::{verify_pipeline, verify_streaming_shutdown, PipelineSpe
 pub use prediction::{
     assert_prediction_valid, check_prediction, PredictionDefect, PredictionViolation,
 };
-pub use sched::{explore, Exploration, Model, ScheduleError};
+pub use sched::{explore, explore_with, Exploration, ExploreOptions, Model, ScheduleError};
+pub use serve_model::{
+    serve_mutant_corpus, verify_serve_protocols, MutantOutcome, ProtocolVerdict,
+};
 pub use workload::{
     assert_sweep_valid, assert_workload_valid, check_sweep, check_workload, SweepViolation,
     WorkloadViolation,

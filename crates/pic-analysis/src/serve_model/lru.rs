@@ -1,0 +1,233 @@
+//! Explicit-state model of the serve registry's byte-budgeted LRU
+//! weight accounting.
+//!
+//! Faithful to the discipline shared by `TraceRegistry` and the
+//! sweep-engine `AssignmentCache`: every resident artifact has a weight
+//! (its byte cost), a running `accounted` counter mirrors the sum of
+//! resident weights, ingest of a new artifact charges the counter and
+//! then evicts least-recently-used entries until the counter is back
+//! under budget (never evicting the just-inserted entry, never evicting
+//! below one resident), re-ingest of a resident artifact is a recency
+//! bump that must *not* re-charge the counter, and an artifact's weight
+//! can grow between ingests (its per-trace assignment cache fills up
+//! during sweeps) — pushing the counter over budget until the next
+//! ingest's eviction pass settles it again.
+//!
+//! The explorer enumerates **every** op sequence up to the ops budget,
+//! which is exactly what the proptest satellite samples randomly — the
+//! model proves the small cases exhaustively, the proptest covers the
+//! real implementation on big ones.
+//!
+//! Checked invariants (every reachable state):
+//! * `accounted == Σ resident weights` — the counter never drifts;
+//! * settled ⇒ `accounted ≤ budget` or a single oversized resident;
+//! * settled ⇒ the most recently ingested artifact is resident (an
+//!   eviction pass must never evict what it was admitting).
+
+use crate::sched::Model;
+
+/// Distinct artifact addresses the model ingests.
+pub const LRU_ADDRS: usize = 3;
+
+/// Seeded bugs for the mutant corpus; `None` is the faithful discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LruMutant {
+    /// The faithful accounting discipline.
+    None,
+    /// Eviction removes the entry but forgets to decrement the counter:
+    /// `accounted` drifts above the true resident sum and the registry
+    /// under-admits forever after ("leaks on evict").
+    SkipEvictDecrement,
+    /// Re-ingest of a resident artifact charges the counter again:
+    /// `accounted` drifts above the true sum.
+    DoubleCountReinsert,
+    /// Eviction removes the most recent entry instead of the least:
+    /// the artifact being admitted is thrown away by its own insert.
+    EvictNewest,
+}
+
+/// One point of the LRU configuration matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct LruSpec {
+    /// Byte budget.
+    pub budget: u8,
+    /// Initial weight of each address.
+    pub weights: [u8; LRU_ADDRS],
+    /// Total operations to enumerate sequences of.
+    pub ops: u8,
+    /// Allow `Grow` ops (weight inflation between ingests, modelling the
+    /// per-trace assignment cache filling during sweeps).
+    pub grow: bool,
+    /// Seeded bug, if any.
+    pub mutant: LruMutant,
+}
+
+/// Global model state: the resident list in LRU order plus the counter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LruState {
+    /// Resident `(address, weight)` pairs, oldest first.
+    pub resident: Vec<(u8, u8)>,
+    /// The incremental resident-bytes counter.
+    pub accounted: u8,
+    /// Ops remaining in the enumeration budget.
+    pub ops_left: u8,
+    /// An eviction pass has run since the last counter change that could
+    /// exceed the budget (false right after `Grow`).
+    pub settled: bool,
+    /// Address of the most recent `Ingest`, for the newest-survives check.
+    pub last_ingest: Option<u8>,
+}
+
+/// One registry operation.
+#[derive(Debug, Clone, Copy)]
+pub enum LruOp {
+    /// Ingest an artifact: insert-and-evict, or a recency bump if already
+    /// resident.
+    Ingest(u8),
+    /// Query a resident artifact (recency bump only).
+    Get(u8),
+    /// The artifact's weight grows by one outside any eviction pass.
+    Grow(u8),
+}
+
+/// The model over one [`LruSpec`]. Single actor: the registry lock
+/// serializes all operations, so op *sequences* are the faithful model.
+#[derive(Debug, Clone, Copy)]
+pub struct LruModel {
+    /// The configuration being explored.
+    pub spec: LruSpec,
+}
+
+impl LruState {
+    fn pos(&self, addr: u8) -> Option<usize> {
+        self.resident.iter().position(|&(a, _)| a == addr)
+    }
+}
+
+impl Model for LruModel {
+    type State = LruState;
+    type Action = LruOp;
+
+    fn initial(&self) -> LruState {
+        LruState {
+            resident: Vec::new(),
+            accounted: 0,
+            ops_left: self.spec.ops,
+            settled: true,
+            last_ingest: None,
+        }
+    }
+
+    fn enabled(&self, s: &LruState) -> Vec<LruOp> {
+        if s.ops_left == 0 {
+            return Vec::new();
+        }
+        let mut v = Vec::new();
+        for a in 0..LRU_ADDRS as u8 {
+            v.push(LruOp::Ingest(a));
+            if s.pos(a).is_some() {
+                v.push(LruOp::Get(a));
+                if self.spec.grow {
+                    v.push(LruOp::Grow(a));
+                }
+            }
+        }
+        v
+    }
+
+    fn step(&self, s: &LruState, op: LruOp) -> LruState {
+        let mut n = s.clone();
+        n.ops_left -= 1;
+        match op {
+            LruOp::Ingest(addr) => {
+                match n.pos(addr) {
+                    Some(p) => {
+                        // Re-ingest: recency bump, entry (and its grown
+                        // weight) kept warm. The real registry returns
+                        // early here — no eviction pass runs, so a
+                        // grown-over-budget state is NOT settled by a
+                        // re-ingest. No counter charge either...
+                        let e = n.resident.remove(p);
+                        n.resident.push(e);
+                        if self.spec.mutant == LruMutant::DoubleCountReinsert {
+                            // ...unless the mutant charges it again.
+                            n.accounted = n.accounted.saturating_add(e.1);
+                        }
+                        n.last_ingest = Some(addr);
+                    }
+                    None => {
+                        let w = self.spec.weights[addr as usize];
+                        n.resident.push((addr, w));
+                        n.accounted = n.accounted.saturating_add(w);
+                        // Eviction pass: LRU victims until under budget,
+                        // never the just-inserted entry, never below one.
+                        while n.accounted > self.spec.budget && n.resident.len() > 1 {
+                            let victim = match self.spec.mutant {
+                                LruMutant::EvictNewest => n.resident.len() - 1,
+                                _ => 0,
+                            };
+                            let (_, vw) = n.resident.remove(victim);
+                            if self.spec.mutant != LruMutant::SkipEvictDecrement {
+                                n.accounted = n.accounted.saturating_sub(vw);
+                            }
+                            // With the skipped decrement the counter never
+                            // falls, so the `len > 1` bound is what stops
+                            // the loop — exactly like the real bug, which
+                            // evicts everything evictable and still thinks
+                            // it is over budget.
+                        }
+                        n.last_ingest = Some(addr);
+                        n.settled = true;
+                    }
+                }
+            }
+            LruOp::Get(addr) => {
+                let p = n.pos(addr).expect("Get only enabled when resident");
+                let e = n.resident.remove(p);
+                n.resident.push(e);
+            }
+            LruOp::Grow(addr) => {
+                let p = n.pos(addr).expect("Grow only enabled when resident");
+                n.resident[p].1 = n.resident[p].1.saturating_add(1);
+                n.accounted = n.accounted.saturating_add(1);
+                n.settled = false;
+            }
+        }
+        n
+    }
+
+    fn is_terminal(&self, s: &LruState) -> bool {
+        s.ops_left == 0
+    }
+
+    fn check(&self, s: &LruState) -> Result<(), String> {
+        let true_sum: u32 = s.resident.iter().map(|&(_, w)| w as u32).sum();
+        if true_sum != s.accounted as u32 {
+            return Err(format!(
+                "resident-bytes counter drifted: accounted {} ≠ Σ resident weights {} \
+                 — the registry will mis-admit from here on",
+                s.accounted, true_sum
+            ));
+        }
+        if s.settled && s.accounted > self.spec.budget && s.resident.len() > 1 {
+            return Err(format!(
+                "budget exceeded after a settling eviction pass: accounted {} > budget {} \
+                 with {} residents (only a single oversized artifact may exceed it)",
+                s.accounted,
+                self.spec.budget,
+                s.resident.len()
+            ));
+        }
+        if s.settled {
+            if let Some(a) = s.last_ingest {
+                if s.pos(a).is_none() {
+                    return Err(format!(
+                        "artifact {a} was evicted by its own ingest's eviction pass: \
+                         the newest entry must survive admission"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}

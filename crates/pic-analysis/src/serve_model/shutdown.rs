@@ -1,0 +1,298 @@
+//! Explicit-state model of the serve daemon's shutdown handshake.
+//!
+//! Faithful to `pic-predict/src/serve/mod.rs`: a *requester* thread
+//! (`begin_shutdown`) sets the shutdown flag under its mutex, wakes the
+//! shutdown condvar, and pokes the blocked accept loop with a loopback
+//! connection; a *waiter* thread (`wait_shutdown` + `Server::cleanup`)
+//! parks on the condvar until the flag is set, joins the accept thread,
+//! then drains: spins until `active_connections` reaches zero as each
+//! in-flight *handler* finishes and decrements the counter. The *accept*
+//! actor blocks in `accept()` until a connection (the poke) arrives,
+//! re-checks the flag, and exits.
+//!
+//! The four seeded mutants cover one failure mode each:
+//!
+//! * [`SdMutant::DropNotify`] — the waiter parks forever (deadlock);
+//! * [`SdMutant::DropPoke`] — the accept loop never wakes, the waiter
+//!   hangs in join (deadlock);
+//! * [`SdMutant::FlagOutsideLock`] — the waiter's flag check and its
+//!   park are no longer atomic against the flag write, so the notify can
+//!   fire in the window between them: a textbook lost wakeup (deadlock
+//!   on one specific schedule, which the explorer prints);
+//! * [`SdMutant::SkipActiveDecrement`] — a handler exits without
+//!   decrementing `active_connections`. The drain loop spins forever but
+//!   is never *stuck* — every state has an enabled action — so deadlock
+//!   detection is blind to it; only the lasso liveness check reports the
+//!   waiter starving around the spin cycle.
+//!
+//! Handler work steps are the model's local actions (POR fodder).
+
+use crate::sched::Model;
+
+/// Seeded bugs for the mutant corpus; `None` is the faithful handshake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SdMutant {
+    /// The faithful handshake.
+    None,
+    /// `begin_shutdown` never notifies the condvar.
+    DropNotify,
+    /// `begin_shutdown` never pokes the accept loop.
+    DropPoke,
+    /// The flag is written outside the mutex the waiter checks under:
+    /// check-then-park is no longer atomic against the write+notify.
+    FlagOutsideLock,
+    /// A finishing handler skips the `active_connections` decrement.
+    SkipActiveDecrement,
+}
+
+/// One point of the shutdown configuration matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct ShutdownSpec {
+    /// In-flight connection handlers at shutdown time.
+    pub handlers: usize,
+    /// Local work steps each handler takes before finishing.
+    pub handler_steps: u8,
+    /// Seeded bug, if any.
+    pub mutant: SdMutant,
+}
+
+/// Requester (`begin_shutdown`) phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReqPhase {
+    /// About to set the flag.
+    Start,
+    /// Flag set; about to notify.
+    FlagSet,
+    /// Notified; about to poke the accept loop.
+    Notified,
+    /// Handshake sent.
+    Done,
+}
+
+/// Waiter (`wait_shutdown` + cleanup) phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WaitPhase {
+    /// About to (atomically) check the flag under the mutex.
+    Idle,
+    /// Saw the flag unset and released the lock before parking — only
+    /// reachable under [`SdMutant::FlagOutsideLock`]; this is the lost-
+    /// wakeup window.
+    SawFalse,
+    /// Parked on the shutdown condvar.
+    Parked,
+    /// Joining the accept thread (blocked until it exits).
+    Joining,
+    /// Spinning until `active` reaches zero.
+    Draining,
+    /// Shutdown complete.
+    Done,
+}
+
+/// Accept-loop phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AcceptPhase {
+    /// Blocked in `accept()` until a connection (the poke) arrives.
+    Blocked,
+    /// Saw the flag after a wakeup and exited the loop.
+    Exited,
+}
+
+/// Global model state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SdState {
+    /// Requester phase.
+    pub req: ReqPhase,
+    /// Waiter phase.
+    pub waiter: WaitPhase,
+    /// Accept-loop phase.
+    pub accept: AcceptPhase,
+    /// Work steps remaining per handler; `None` = finished.
+    pub handlers: Vec<Option<u8>>,
+    /// The shutdown flag.
+    pub flag: bool,
+    /// An un-consumed poke connection is queued at the listener.
+    pub poke_pending: bool,
+    /// The `active_connections` counter.
+    pub active: u8,
+}
+
+/// One atomic step of the handshake.
+#[derive(Debug, Clone, Copy)]
+pub enum SdOp {
+    /// Requester sets the flag.
+    SetFlag,
+    /// Requester notifies the shutdown condvar.
+    NotifyAll,
+    /// Requester pokes the accept loop.
+    Poke,
+    /// Waiter checks the flag under the mutex (atomically parking if
+    /// unset — except under [`SdMutant::FlagOutsideLock`]).
+    WaitCheck,
+    /// Waiter parks after having released the lock (mutant only).
+    Park,
+    /// Waiter observes the accept thread exited (join returns).
+    JoinAccept,
+    /// Waiter polls the drain condition (self-loop while `active > 0`).
+    Drain,
+    /// Accept loop consumes a queued connection and re-checks the flag.
+    AcceptWake,
+    /// Handler does one local work step.
+    Work,
+    /// Handler finishes and decrements `active`.
+    Finish,
+}
+
+/// Action: `(actor, op)`. Actor 0 = requester, 1 = waiter, 2 = accept,
+/// `3 + i` = handler `i`.
+pub type SdAction = (usize, SdOp);
+
+/// Actor index of the waiter (for assertions in tests).
+pub const WAITER: usize = 1;
+
+/// The model over one [`ShutdownSpec`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShutdownModel {
+    /// The configuration being explored.
+    pub spec: ShutdownSpec,
+}
+
+impl Model for ShutdownModel {
+    type State = SdState;
+    type Action = SdAction;
+
+    fn initial(&self) -> SdState {
+        SdState {
+            req: ReqPhase::Start,
+            waiter: WaitPhase::Idle,
+            accept: AcceptPhase::Blocked,
+            handlers: vec![Some(self.spec.handler_steps); self.spec.handlers],
+            flag: false,
+            poke_pending: false,
+            active: self.spec.handlers as u8,
+        }
+    }
+
+    fn enabled(&self, s: &SdState) -> Vec<SdAction> {
+        let mut v = Vec::new();
+        match s.req {
+            ReqPhase::Start => v.push((0, SdOp::SetFlag)),
+            ReqPhase::FlagSet => v.push((0, SdOp::NotifyAll)),
+            ReqPhase::Notified => v.push((0, SdOp::Poke)),
+            ReqPhase::Done => {}
+        }
+        match s.waiter {
+            WaitPhase::Idle => v.push((WAITER, SdOp::WaitCheck)),
+            WaitPhase::SawFalse => v.push((WAITER, SdOp::Park)),
+            // Parked: woken only by the requester's notify.
+            WaitPhase::Parked => {}
+            // Joining blocks until the accept thread has exited.
+            WaitPhase::Joining => {
+                if s.accept == AcceptPhase::Exited {
+                    v.push((WAITER, SdOp::JoinAccept));
+                }
+            }
+            WaitPhase::Draining => v.push((WAITER, SdOp::Drain)),
+            WaitPhase::Done => {}
+        }
+        if s.accept == AcceptPhase::Blocked && s.poke_pending {
+            v.push((2, SdOp::AcceptWake));
+        }
+        for (i, h) in s.handlers.iter().enumerate() {
+            match h {
+                Some(0) => v.push((3 + i, SdOp::Finish)),
+                Some(_) => v.push((3 + i, SdOp::Work)),
+                None => {}
+            }
+        }
+        v
+    }
+
+    fn step(&self, s: &SdState, (actor, op): SdAction) -> SdState {
+        let mut n = s.clone();
+        match op {
+            SdOp::SetFlag => {
+                n.flag = true;
+                n.req = ReqPhase::FlagSet;
+            }
+            SdOp::NotifyAll => {
+                if self.spec.mutant != SdMutant::DropNotify && n.waiter == WaitPhase::Parked {
+                    // wait_while semantics: a wakeup means re-check.
+                    n.waiter = WaitPhase::Idle;
+                }
+                n.req = ReqPhase::Notified;
+            }
+            SdOp::Poke => {
+                if self.spec.mutant != SdMutant::DropPoke {
+                    n.poke_pending = true;
+                }
+                n.req = ReqPhase::Done;
+            }
+            SdOp::WaitCheck => {
+                n.waiter = if s.flag {
+                    WaitPhase::Joining
+                } else if self.spec.mutant == SdMutant::FlagOutsideLock {
+                    // The check released the lock before parking: the
+                    // flag write and notify can land in this window.
+                    WaitPhase::SawFalse
+                } else {
+                    WaitPhase::Parked
+                };
+            }
+            SdOp::Park => n.waiter = WaitPhase::Parked,
+            SdOp::JoinAccept => n.waiter = WaitPhase::Draining,
+            SdOp::Drain => {
+                if s.active == 0 {
+                    n.waiter = WaitPhase::Done;
+                }
+                // else: the spin — a genuine self-loop in the state graph.
+            }
+            SdOp::AcceptWake => {
+                n.poke_pending = false;
+                if s.flag {
+                    n.accept = AcceptPhase::Exited;
+                }
+                // else: spurious connection, back to Blocked (no change).
+            }
+            SdOp::Work => {
+                let h = &mut n.handlers[actor - 3];
+                *h = h.map(|r| r - 1);
+            }
+            SdOp::Finish => {
+                n.handlers[actor - 3] = None;
+                if self.spec.mutant != SdMutant::SkipActiveDecrement {
+                    n.active -= 1;
+                }
+            }
+        }
+        n
+    }
+
+    fn is_terminal(&self, s: &SdState) -> bool {
+        s.req == ReqPhase::Done
+            && s.waiter == WaitPhase::Done
+            && s.accept == AcceptPhase::Exited
+            && s.handlers.iter().all(Option::is_none)
+    }
+
+    fn check(&self, _: &SdState) -> Result<(), String> {
+        // Deliberately no counter invariant: the skipped decrement must
+        // be caught by the liveness lasso, proving that detector's worth.
+        Ok(())
+    }
+
+    fn actor(&self, (a, _): SdAction) -> usize {
+        a
+    }
+
+    fn is_local(&self, _: &SdState, (_, op): SdAction) -> bool {
+        // A work step only advances the handler's private counter.
+        matches!(op, SdOp::Work)
+    }
+
+    fn waiting_actors(&self, s: &SdState) -> Vec<usize> {
+        match s.waiter {
+            WaitPhase::Parked | WaitPhase::Joining | WaitPhase::Draining => vec![WAITER],
+            _ => Vec::new(),
+        }
+    }
+}

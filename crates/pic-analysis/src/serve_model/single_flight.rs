@@ -1,0 +1,386 @@
+//! Explicit-state model of the serve layer's single-flight protocol.
+//!
+//! Faithful to `pic-predict/src/serve/mod.rs::single_flight`: the first
+//! thread to find no in-flight entry for its key becomes the *leader* —
+//! it registers a `Flight` in the inflight table, computes, publishes the
+//! result into `flight.done` under the flight mutex, wakes every parked
+//! *follower* with `notify_all`, and removes the table entry. Followers
+//! that arrive while the flight is registered park on the flight condvar
+//! (`wait_while done.is_none()`) and read the published result.
+//!
+//! The model covers the abandonment path PR 8 fixes: a leader that
+//! panics mid-compute either runs its drop guard (publishing an
+//! `abandoned` 500 so followers unpark, then clearing the table so a
+//! later request elects a fresh leader) or — modelling the pre-fix code
+//! via [`SfMutant`]-less `abandonment_guard: false` — simply dies,
+//! leaving followers parked forever, which exploration reports as a
+//! deadlock with the exact schedule.
+//!
+//! Compute steps are the model's *local* actions: they only advance the
+//! leader's private counter, so the ample-set reduction collapses the
+//! interleavings that differ merely in where compute lands.
+
+use crate::sched::Model;
+
+/// Seeded bugs for the mutant corpus; `None` is the faithful protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SfMutant {
+    /// The faithful protocol.
+    None,
+    /// Leader publishes but never calls `notify_all`: parked followers
+    /// are lost (deadlock).
+    DropNotify,
+    /// Leader never removes the completed flight from the inflight
+    /// table: the table leaks and every later request for the key is
+    /// served the stale flight forever (terminal leak invariant).
+    SkipTableRemove,
+    /// Leader removes the table entry *before* publishing: a window
+    /// where the flight is gone but unpublished (order invariant; a new
+    /// leader can be elected while the old flight's followers still
+    /// park).
+    RemoveBeforePublish,
+}
+
+/// One point of the single-flight configuration matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct SingleFlightSpec {
+    /// Concurrent requester threads for the same key (2..=4 is plenty:
+    /// leader + contended followers + a late arrival).
+    pub threads: usize,
+    /// Local compute steps the leader takes before publishing — pure
+    /// partial-order-reduction fodder.
+    pub compute_steps: u8,
+    /// The first elected leader panics mid-compute.
+    pub leader_panics: bool,
+    /// The panicking leader's drop guard publishes an `abandoned` result
+    /// and clears the table (the PR 8 fix). With `leader_panics` and no
+    /// guard, followers hang — the bug this model exists to catch.
+    pub abandonment_guard: bool,
+    /// Seeded bug, if any.
+    pub mutant: SfMutant,
+}
+
+/// What a thread observed as its response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SfResp {
+    /// A normally published result.
+    Ok,
+    /// The drop-guard's abandonment 500.
+    Abandoned,
+}
+
+/// Lifecycle phase of one requester thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SfPhase {
+    /// Has not yet locked the inflight table.
+    Start,
+    /// Elected leader of flight `gen`, `step` compute steps done.
+    Leading {
+        /// Flight this thread leads.
+        gen: u8,
+        /// Compute steps completed so far.
+        step: u8,
+    },
+    /// Leader post-compute pipeline position `stage` (0, 1, 2); the
+    /// operation each stage performs depends on the mutant.
+    Finishing {
+        /// Flight this thread leads.
+        gen: u8,
+        /// Pipeline position: 0, 1, 2.
+        stage: u8,
+    },
+    /// Panicking leader unwinding through the drop guard, `stage` ∈
+    /// {publish-abandoned, notify, remove}.
+    Unwinding {
+        /// Flight this thread leads.
+        gen: u8,
+        /// Guard position: 0, 1, 2.
+        stage: u8,
+    },
+    /// Panicked without a guard (or finished unwinding): thread is gone.
+    Dead,
+    /// Follower holding `flight.done`, about to check the predicate.
+    Checking {
+        /// Flight this follower joined.
+        gen: u8,
+    },
+    /// Follower parked on the flight condvar.
+    Parked {
+        /// Flight this follower joined.
+        gen: u8,
+    },
+    /// Finished with a response.
+    Done {
+        /// The response this thread observed.
+        resp: SfResp,
+    },
+}
+
+/// A flight record. Kept (with `removed` set) after table removal —
+/// followers still hold their `Arc` in the real code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SfFlight {
+    /// Published result, if any.
+    pub done: Option<SfResp>,
+    /// Removed from the inflight table.
+    pub removed: bool,
+}
+
+/// Global model state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SfState {
+    /// Per-thread phase.
+    pub threads: Vec<SfPhase>,
+    /// All flights ever created (index = generation).
+    pub flights: Vec<SfFlight>,
+    /// Inflight-table entry for the key: the registered generation.
+    pub table: Option<u8>,
+}
+
+/// The operation a thread's single enabled action performs.
+#[derive(Debug, Clone, Copy)]
+pub enum SfOp {
+    /// Lock the table; become leader (insert flight) or follower.
+    Acquire,
+    /// One local compute step (leader).
+    Compute,
+    /// Leader panics: start unwinding (guard) or die (no guard).
+    Panic,
+    /// Set `flight.done` (normal or abandoned publish).
+    Publish,
+    /// `notify_all` on the flight condvar.
+    Notify,
+    /// Remove the flight from the inflight table.
+    Remove,
+    /// Follower checks the predicate under `flight.done`.
+    Check,
+}
+
+/// Action: `(thread index, operation)`. Each thread has at most one
+/// enabled operation per state, derived from its phase.
+pub type SfAction = (usize, SfOp);
+
+/// The model over one [`SingleFlightSpec`].
+#[derive(Debug, Clone, Copy)]
+pub struct SingleFlightModel {
+    /// The configuration being explored.
+    pub spec: SingleFlightSpec,
+}
+
+impl SingleFlightModel {
+    /// Ordered post-compute pipeline for a finishing leader. The faithful
+    /// order is publish → notify → remove; mutants permute or neuter it.
+    fn finish_op(&self, stage: u8) -> SfOp {
+        match (self.spec.mutant, stage) {
+            (SfMutant::RemoveBeforePublish, 0) => SfOp::Remove,
+            (SfMutant::RemoveBeforePublish, 1) => SfOp::Publish,
+            (SfMutant::RemoveBeforePublish, _) => SfOp::Notify,
+            (_, 0) => SfOp::Publish,
+            (_, 1) => SfOp::Notify,
+            (_, _) => SfOp::Remove,
+        }
+    }
+}
+
+impl Model for SingleFlightModel {
+    type State = SfState;
+    type Action = SfAction;
+
+    fn initial(&self) -> SfState {
+        SfState {
+            threads: vec![SfPhase::Start; self.spec.threads],
+            flights: Vec::new(),
+            table: None,
+        }
+    }
+
+    fn enabled(&self, s: &SfState) -> Vec<SfAction> {
+        let mut v = Vec::new();
+        for (i, &ph) in s.threads.iter().enumerate() {
+            let op = match ph {
+                SfPhase::Start => Some(SfOp::Acquire),
+                SfPhase::Leading { gen, step } => {
+                    if step < self.spec.compute_steps {
+                        Some(SfOp::Compute)
+                    } else if self.spec.leader_panics && gen == 0 {
+                        Some(SfOp::Panic)
+                    } else {
+                        // Transitions into the finishing pipeline happen
+                        // lazily: the first finishing op is stage 0.
+                        Some(self.finish_op(0))
+                    }
+                }
+                SfPhase::Finishing { stage, .. } => Some(self.finish_op(stage)),
+                SfPhase::Unwinding { stage, .. } => Some(match stage {
+                    0 => SfOp::Publish,
+                    1 => SfOp::Notify,
+                    _ => SfOp::Remove,
+                }),
+                SfPhase::Checking { .. } => Some(SfOp::Check),
+                // Parked followers are woken by a leader's notify; dead
+                // and done threads take no further steps.
+                SfPhase::Parked { .. } | SfPhase::Dead | SfPhase::Done { .. } => None,
+            };
+            if let Some(op) = op {
+                v.push((i, op));
+            }
+        }
+        v
+    }
+
+    fn step(&self, s: &SfState, (i, op): SfAction) -> SfState {
+        let mut n = s.clone();
+        match (s.threads[i], op) {
+            (SfPhase::Start, SfOp::Acquire) => match s.table {
+                Some(gen) => n.threads[i] = SfPhase::Checking { gen },
+                None => {
+                    let gen = n.flights.len() as u8;
+                    n.flights.push(SfFlight {
+                        done: None,
+                        removed: false,
+                    });
+                    n.table = Some(gen);
+                    n.threads[i] = SfPhase::Leading { gen, step: 0 };
+                }
+            },
+            (SfPhase::Leading { gen, step }, SfOp::Compute) => {
+                n.threads[i] = SfPhase::Leading {
+                    gen,
+                    step: step + 1,
+                };
+            }
+            (SfPhase::Leading { gen, .. }, SfOp::Panic) => {
+                n.threads[i] = if self.spec.abandonment_guard {
+                    SfPhase::Unwinding { gen, stage: 0 }
+                } else {
+                    // Pre-fix code: the flight is never published, never
+                    // removed; followers park forever.
+                    SfPhase::Dead
+                };
+            }
+            // First finishing op comes straight from Leading.
+            (SfPhase::Leading { gen, .. }, _) => {
+                self.apply_finish(&mut n, i, gen, 0);
+            }
+            (SfPhase::Finishing { gen, stage }, _) => {
+                self.apply_finish(&mut n, i, gen, stage);
+            }
+            (SfPhase::Unwinding { gen, stage }, _) => {
+                let g = gen as usize;
+                match stage {
+                    0 => n.flights[g].done = Some(SfResp::Abandoned),
+                    1 => wake_parked(&mut n, gen),
+                    _ => {
+                        n.flights[g].removed = true;
+                        if n.table == Some(gen) {
+                            n.table = None;
+                        }
+                    }
+                }
+                n.threads[i] = if stage == 2 {
+                    SfPhase::Dead
+                } else {
+                    SfPhase::Unwinding {
+                        gen,
+                        stage: stage + 1,
+                    }
+                };
+            }
+            (SfPhase::Checking { gen }, SfOp::Check) => {
+                n.threads[i] = match s.flights[gen as usize].done {
+                    Some(resp) => SfPhase::Done { resp },
+                    None => SfPhase::Parked { gen },
+                };
+            }
+            (ph, op) => unreachable!("phase {ph:?} cannot perform {op:?}"),
+        }
+        n
+    }
+
+    fn is_terminal(&self, s: &SfState) -> bool {
+        s.threads
+            .iter()
+            .all(|ph| matches!(ph, SfPhase::Done { .. } | SfPhase::Dead))
+    }
+
+    fn check(&self, s: &SfState) -> Result<(), String> {
+        for (g, f) in s.flights.iter().enumerate() {
+            if f.removed && f.done.is_none() {
+                return Err(format!(
+                    "flight {g} removed from the inflight table before its result \
+                     was published: a racing request elects a second leader while \
+                     this flight's followers are still parked on an unpublished slot"
+                ));
+            }
+        }
+        if self.is_terminal(s) {
+            if let Some(gen) = s.table {
+                return Err(format!(
+                    "inflight table leaks completed flight {gen}: every future \
+                     request for this key will be served the stale flight forever"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn actor(&self, (i, _): SfAction) -> usize {
+        i
+    }
+
+    fn is_local(&self, _: &SfState, (_, op): SfAction) -> bool {
+        // Compute only advances the leader's private step counter.
+        matches!(op, SfOp::Compute)
+    }
+
+    fn waiting_actors(&self, s: &SfState) -> Vec<usize> {
+        s.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, ph)| matches!(ph, SfPhase::Parked { .. }))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+impl SingleFlightModel {
+    /// Apply finishing-pipeline stage `stage` for leader `i` of `gen`.
+    fn apply_finish(&self, n: &mut SfState, i: usize, gen: u8, stage: u8) {
+        let g = gen as usize;
+        match self.finish_op(stage) {
+            SfOp::Publish => n.flights[g].done = Some(SfResp::Ok),
+            SfOp::Notify => {
+                if self.spec.mutant != SfMutant::DropNotify {
+                    wake_parked(n, gen);
+                }
+            }
+            SfOp::Remove => {
+                if self.spec.mutant != SfMutant::SkipTableRemove {
+                    n.flights[g].removed = true;
+                    if n.table == Some(gen) {
+                        n.table = None;
+                    }
+                }
+            }
+            op => unreachable!("{op:?} is not a finishing op"),
+        }
+        n.threads[i] = if stage == 2 {
+            SfPhase::Done { resp: SfResp::Ok }
+        } else {
+            SfPhase::Finishing {
+                gen,
+                stage: stage + 1,
+            }
+        };
+    }
+}
+
+/// `notify_all`: every follower parked on flight `gen` re-checks the
+/// predicate (wait_while semantics — wakeup means re-check, not proceed).
+fn wake_parked(n: &mut SfState, gen: u8) {
+    for ph in &mut n.threads {
+        if *ph == (SfPhase::Parked { gen }) {
+            *ph = SfPhase::Checking { gen };
+        }
+    }
+}

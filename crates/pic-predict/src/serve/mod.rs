@@ -39,6 +39,7 @@ use pic_grid::{ElementMesh, MeshDims};
 use pic_mapping::MappingAlgorithm;
 use pic_trace::{BoundedReader, DigestReader, ParticleTrace, TraceReader};
 use pic_types::hash::fnv1a_128;
+use pic_types::sync::{TrackedCondvar, TrackedMutex, TrackedRwLock};
 use pic_types::{PicError, Result};
 use pic_workload::{SweepPoint, WorkloadConfig};
 use registry::TraceRegistry;
@@ -47,8 +48,29 @@ use std::collections::HashMap;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
+
+/// The declared lock hierarchy of the serve layer (DESIGN.md §14).
+///
+/// Levels must strictly increase along any nested acquisition; the
+/// tracked primitives check this on every lock in debug/test builds.
+/// The sweep-engine `AssignmentCache` sits *below* everything here (level
+/// 100, declared in `pic-workload`): the registry computes entry weights
+/// by calling `cache.stats()` under its own lock, so `registry <
+/// assignment_cache` is a real nesting this hierarchy must admit.
+pub(crate) mod lock_order {
+    /// `TraceRegistry::inner` — the outermost serve lock.
+    pub const REGISTRY: u32 = 10;
+    /// `ServerState::inflight` — the single-flight table.
+    pub const INFLIGHT: u32 = 20;
+    /// `Flight::done` — one in-flight computation's result slot.
+    pub const FLIGHT_DONE: u32 = 30;
+    /// `ServerState::shutdown` — the shutdown flag.
+    pub const SHUTDOWN: u32 = 40;
+    /// `ServerState::addr` — the bound-address cell.
+    pub const ADDR: u32 = 50;
+}
 
 /// Server configuration.
 #[derive(Debug, Clone)]
@@ -80,8 +102,17 @@ impl Default for ServeConfig {
 /// One single-flight computation: followers park on the condvar until the
 /// leader publishes `(status, body)`.
 struct Flight {
-    done: Mutex<Option<(u16, String)>>,
-    cv: Condvar,
+    done: TrackedMutex<Option<(u16, String)>>,
+    cv: TrackedCondvar,
+}
+
+impl Flight {
+    fn new() -> Flight {
+        Flight {
+            done: TrackedMutex::new("serve.flight.done", lock_order::FLIGHT_DONE, None),
+            cv: TrackedCondvar::new(),
+        }
+    }
 }
 
 /// Shared server state. `Send + Sync`: the registry and flight table are
@@ -90,14 +121,14 @@ struct Flight {
 pub struct ServerState {
     cfg: ServeConfig,
     registry: TraceRegistry,
-    inflight: Mutex<HashMap<u128, Arc<Flight>>>,
+    inflight: TrackedMutex<HashMap<u128, Arc<Flight>>>,
     requests: AtomicU64,
     errors: AtomicU64,
     batched: AtomicU64,
     active_connections: AtomicUsize,
-    shutdown: Mutex<bool>,
-    shutdown_cv: Condvar,
-    addr: Mutex<Option<SocketAddr>>,
+    shutdown: TrackedMutex<bool>,
+    shutdown_cv: TrackedCondvar,
+    addr: TrackedRwLock<Option<SocketAddr>>,
 }
 
 impl ServerState {
@@ -105,14 +136,14 @@ impl ServerState {
         ServerState {
             registry: TraceRegistry::new(cfg.budget_bytes),
             cfg,
-            inflight: Mutex::new(HashMap::new()),
+            inflight: TrackedMutex::new("serve.inflight", lock_order::INFLIGHT, HashMap::new()),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             batched: AtomicU64::new(0),
             active_connections: AtomicUsize::new(0),
-            shutdown: Mutex::new(false),
-            shutdown_cv: Condvar::new(),
-            addr: Mutex::new(None),
+            shutdown: TrackedMutex::new("serve.shutdown", lock_order::SHUTDOWN, false),
+            shutdown_cv: TrackedCondvar::new(),
+            addr: TrackedRwLock::new("serve.addr", lock_order::ADDR, None),
         }
     }
 
@@ -133,12 +164,12 @@ impl ServerState {
     }
 
     fn is_shutting_down(&self) -> bool {
-        *self.shutdown.lock().expect("shutdown flag poisoned")
+        *self.shutdown.lock()
     }
 
     fn begin_shutdown(&self) {
         {
-            let mut flag = self.shutdown.lock().expect("shutdown flag poisoned");
+            let mut flag = self.shutdown.lock();
             if *flag {
                 return;
             }
@@ -146,16 +177,17 @@ impl ServerState {
         }
         self.shutdown_cv.notify_all();
         // Poke the accept loop out of its blocking accept.
-        if let Some(addr) = *self.addr.lock().expect("addr poisoned") {
+        if let Some(addr) = *self.addr.read() {
             let _ = TcpStream::connect_timeout(&addr, Duration::from_millis(250));
         }
     }
 
     fn wait_shutdown(&self) {
-        let mut flag = self.shutdown.lock().expect("shutdown flag poisoned");
-        while !*flag {
-            flag = self.shutdown_cv.wait(flag).expect("shutdown flag poisoned");
-        }
+        let flag = self.shutdown.lock();
+        // wait_while re-checks under the lock on every wakeup: lost and
+        // spurious wakeups cannot produce a premature return (the model
+        // in pic-analysis::serve_model::shutdown proves the handshake).
+        let _flag = self.shutdown_cv.wait_while(flag, |f| !*f);
     }
 }
 
@@ -175,7 +207,7 @@ impl Server {
             .local_addr()
             .map_err(|e| PicError::config(format!("cannot resolve bound address: {e}")))?;
         let state = Arc::new(ServerState::new(cfg));
-        *state.addr.lock().expect("addr poisoned") = Some(addr);
+        *state.addr.write() = Some(addr);
         let accept_state = Arc::clone(&state);
         let accept_thread = std::thread::spawn(move || {
             for conn in listener.incoming() {
@@ -363,6 +395,44 @@ fn flight_key(path: &str, body: &[u8]) -> u128 {
     fnv1a_128(&keyed)
 }
 
+/// Publishes a flight's result exactly once, even if the leader panics.
+///
+/// The leader's obligation — publish, wake followers, clear the table
+/// entry — is owed no matter how the compute ends. If the leader unwinds
+/// before [`FlightPublisher::publish`] runs (the abandonment bug the
+/// single-flight model in `pic-analysis::serve_model` proves deadlocks
+/// followers), `Drop` publishes a 500 so every parked follower gets a
+/// response and a later request can elect a fresh leader.
+struct FlightPublisher<'a> {
+    state: &'a ServerState,
+    key: u128,
+    flight: &'a Flight,
+    published: bool,
+}
+
+impl FlightPublisher<'_> {
+    fn publish(&mut self, outcome: (u16, String)) {
+        *self.flight.done.lock() = Some(outcome);
+        self.flight.cv.notify_all();
+        self.state.inflight.lock().remove(&self.key);
+        self.published = true;
+    }
+}
+
+impl Drop for FlightPublisher<'_> {
+    fn drop(&mut self) {
+        if !self.published {
+            self.state.errors.fetch_add(1, Ordering::Relaxed);
+            self.publish((
+                500,
+                "{\"error\":{\"status\":500,\"message\":\"request computation \
+                 abandoned: the leading request panicked before publishing\"}}"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
 /// Collapse byte-identical in-flight requests onto one computation: the
 /// first arrival computes, later arrivals park and share the response.
 fn single_flight(
@@ -371,20 +441,23 @@ fn single_flight(
     compute: impl FnOnce() -> std::result::Result<(u16, String), HttpError>,
 ) -> std::result::Result<(u16, String), HttpError> {
     let (flight, leader) = {
-        let mut tbl = state.inflight.lock().expect("flight table poisoned");
+        let mut tbl = state.inflight.lock();
         match tbl.get(&key) {
             Some(f) => (Arc::clone(f), false),
             None => {
-                let f = Arc::new(Flight {
-                    done: Mutex::new(None),
-                    cv: Condvar::new(),
-                });
+                let f = Arc::new(Flight::new());
                 tbl.insert(key, Arc::clone(&f));
                 (f, true)
             }
         }
     };
     if leader {
+        let mut publisher = FlightPublisher {
+            state,
+            key,
+            flight: &flight,
+            published: false,
+        };
         let outcome = compute();
         let published = match &outcome {
             Ok(ok) => ok.clone(),
@@ -397,21 +470,15 @@ fn single_flight(
                 ),
             ),
         };
-        *flight.done.lock().expect("flight poisoned") = Some(published);
-        flight.cv.notify_all();
-        state
-            .inflight
-            .lock()
-            .expect("flight table poisoned")
-            .remove(&key);
+        publisher.publish(published);
         outcome
     } else {
         state.batched.fetch_add(1, Ordering::Relaxed);
-        let mut done = flight.done.lock().expect("flight poisoned");
-        while done.is_none() {
-            done = flight.cv.wait(done).expect("flight poisoned");
-        }
-        let (status, body) = done.clone().expect("flight published none");
+        let done = flight.done.lock();
+        let done = flight.cv.wait_while(done, |d| d.is_none());
+        let (status, body) = done
+            .clone()
+            .expect("wait_while guarantees a published result");
         Ok((status, body))
     }
 }
@@ -804,4 +871,113 @@ fn handle_check(state: &ServerState, body: &[u8]) -> std::result::Result<(u16, S
         rendered.join(",")
     );
     Ok((200, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A panicking leader must not strand its followers: the drop guard
+    /// publishes a 500, wakes every parked follower, and clears the
+    /// inflight table. Mirrors the `sf-no-abandonment-guard` mutant in
+    /// the pic-analysis model, on the real primitives.
+    #[test]
+    fn abandoned_leader_unparks_followers_with_500() {
+        let state = Arc::new(ServerState::new(ServeConfig::default()));
+        let key = 42u128;
+
+        let leader_state = Arc::clone(&state);
+        let leader = std::thread::spawn(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                single_flight(&leader_state, key, || {
+                    // Hold the flight open until a follower has joined,
+                    // so the follower deterministically parks on an
+                    // unpublished slot.
+                    while leader_state.batched.load(Ordering::Relaxed) == 0 {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    panic!("leader dies mid-compute");
+                })
+            }));
+            assert!(result.is_err(), "leader must observe its own panic");
+        });
+
+        // Wait for the flight to be registered before joining as follower.
+        while state.inflight.lock().is_empty() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let follower_state = Arc::clone(&state);
+        let follower = std::thread::spawn(move || {
+            single_flight(&follower_state, key, || {
+                panic!("follower must never be elected while the flight is registered")
+            })
+        });
+
+        let (status, body) = follower.join().unwrap().unwrap();
+        assert_eq!(status, 500);
+        assert!(body.contains("abandoned"), "{body}");
+        leader.join().unwrap();
+
+        // The abandonment counted as an error and the table is clean.
+        assert_eq!(state.counters().1, 1);
+        assert!(state.inflight.lock().is_empty());
+        pic_types::sync::assert_witness_clean();
+    }
+
+    /// After an abandonment the key is no longer in flight: the next
+    /// request for the same bytes elects a fresh leader and computes.
+    #[test]
+    fn fresh_leader_after_abandonment() {
+        let state = Arc::new(ServerState::new(ServeConfig::default()));
+        let key = 7u128;
+        let panicking = Arc::clone(&state);
+        std::thread::spawn(move || {
+            let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                single_flight(&panicking, key, || panic!("first leader dies"))
+            }));
+        })
+        .join()
+        .unwrap();
+        assert!(state.inflight.lock().is_empty());
+
+        let (status, body) =
+            single_flight(&state, key, || Ok((200, "\"recomputed\"".to_string()))).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(body, "\"recomputed\"");
+        pic_types::sync::assert_witness_clean();
+    }
+
+    /// The ordinary path: one leader computes, a follower shares the
+    /// response verbatim and is counted as batched.
+    #[test]
+    fn follower_shares_leader_response() {
+        let state = Arc::new(ServerState::new(ServeConfig::default()));
+        let key = 9u128;
+        let leader_state = Arc::clone(&state);
+        let leader = std::thread::spawn(move || {
+            single_flight(&leader_state, key, || {
+                while leader_state.batched.load(Ordering::Relaxed) == 0 {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                Ok((200, "\"shared\"".to_string()))
+            })
+        });
+        while state.inflight.lock().is_empty() {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let follower_state = Arc::clone(&state);
+        let follower = std::thread::spawn(move || {
+            single_flight(&follower_state, key, || unreachable!("must batch"))
+        });
+        assert_eq!(
+            follower.join().unwrap().unwrap(),
+            (200, "\"shared\"".to_string())
+        );
+        assert_eq!(
+            leader.join().unwrap().unwrap(),
+            (200, "\"shared\"".to_string())
+        );
+        assert_eq!(state.counters().2, 1);
+        pic_types::sync::assert_witness_clean();
+    }
 }

@@ -18,11 +18,12 @@
 //! count, LRU as well.
 
 use pic_trace::ParticleTrace;
+use pic_types::sync::TrackedMutex;
 use pic_types::Vec3;
 use pic_workload::AssignmentCache;
 use serde::Serialize;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 use crate::kernel_models::KernelModels;
 
@@ -79,10 +80,14 @@ struct RegistryInner {
 
 /// The registry. `Send + Sync`; all mutation behind one mutex — every
 /// critical section is bookkeeping only, never a replay (replays happen
-/// outside the lock against `Arc`-shared entries).
+/// outside the lock against `Arc`-shared entries). That bookkeeping-only
+/// contract is also what makes poison recovery sound: a panic under the
+/// lock cannot leave a half-applied multi-step update. The registry lock
+/// is the *outermost* class of the declared serve hierarchy — weighing
+/// entries under it takes each entry's assignment-cache lock (level 100).
 pub struct TraceRegistry {
     budget_bytes: usize,
-    inner: Mutex<RegistryInner>,
+    inner: TrackedMutex<RegistryInner>,
 }
 
 fn trace_bytes(trace: &ParticleTrace) -> usize {
@@ -100,12 +105,16 @@ impl TraceRegistry {
     pub fn new(budget_bytes: usize) -> TraceRegistry {
         TraceRegistry {
             budget_bytes,
-            inner: Mutex::new(RegistryInner {
-                traces: HashMap::new(),
-                models: HashMap::new(),
-                tick: 0,
-                stats: RegistryStats::default(),
-            }),
+            inner: TrackedMutex::new(
+                "serve.registry",
+                super::lock_order::REGISTRY,
+                RegistryInner {
+                    traces: HashMap::new(),
+                    models: HashMap::new(),
+                    tick: 0,
+                    stats: RegistryStats::default(),
+                },
+            ),
         }
     }
 
@@ -124,7 +133,7 @@ impl TraceRegistry {
         trace: ParticleTrace,
         encoded_bytes: u64,
     ) -> (Arc<ParticleTrace>, Vec<String>) {
-        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
         inner.stats.ingests += 1;
@@ -190,7 +199,7 @@ impl TraceRegistry {
 
     /// Look up a resident trace by content address, bumping its recency.
     pub fn get_trace(&self, address: &str) -> Option<(Arc<ParticleTrace>, Arc<AssignmentCache>)> {
-        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
         match inner.traces.get_mut(address) {
@@ -209,7 +218,7 @@ impl TraceRegistry {
 
     /// Register fitted models under their content address.
     pub fn insert_models(&self, address: &str, models: KernelModels) -> Arc<KernelModels> {
-        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(e) = inner.models.get_mut(address) {
@@ -244,7 +253,7 @@ impl TraceRegistry {
 
     /// Look up resident models by content address.
     pub fn get_models(&self, address: &str) -> Option<Arc<KernelModels>> {
-        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
         inner.models.get_mut(address).map(|e| {
@@ -256,7 +265,7 @@ impl TraceRegistry {
     /// One line per resident trace: `(address, particles, samples,
     /// encoded bytes, approx resident bytes)`, address-sorted.
     pub fn list_traces(&self) -> Vec<(String, usize, usize, u64, usize)> {
-        let inner = self.inner.lock().expect("registry poisoned");
+        let inner = self.inner.lock();
         let mut out: Vec<_> = inner
             .traces
             .iter()
@@ -277,7 +286,7 @@ impl TraceRegistry {
     /// Current counters (recomputes resident bytes so assignment-cache
     /// growth since the last eviction pass is reflected).
     pub fn stats(&self) -> RegistryStats {
-        let mut inner = self.inner.lock().expect("registry poisoned");
+        let mut inner = self.inner.lock();
         inner.stats.resident_bytes = inner
             .traces
             .values()
@@ -290,7 +299,7 @@ impl TraceRegistry {
 
     /// Aggregate assignment-cache counters across every resident trace.
     pub fn aggregate_cache_stats(&self) -> pic_workload::AssignmentCacheStats {
-        let inner = self.inner.lock().expect("registry poisoned");
+        let inner = self.inner.lock();
         let mut agg = pic_workload::AssignmentCacheStats::default();
         for e in inner.traces.values() {
             let s = e.resident.cache.stats();

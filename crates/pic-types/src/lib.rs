@@ -20,6 +20,7 @@ pub mod padded;
 pub mod pool;
 pub mod rng;
 pub mod stats;
+pub mod sync;
 pub mod vec3;
 
 pub use aabb::Aabb;

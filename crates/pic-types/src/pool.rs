@@ -49,6 +49,10 @@ pub fn shared() -> &'static rayon::ThreadPool {
 /// shared pool here would *widen* the budget and oversubscribe the
 /// machine. Only a top-level call actually enters the shared pool.
 pub fn install<R>(f: impl FnOnce() -> R) -> R {
+    // A tracked lock held across this entry point is a recorded
+    // lock-discipline violation: pool workers can block behind it, or
+    // deadlock outright if `f` (or a sibling job) tries to take it.
+    crate::sync::note_parallel_entry("pic_types::pool::install");
     if rayon::in_pool_context() {
         f()
     } else {

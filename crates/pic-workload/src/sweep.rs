@@ -45,11 +45,12 @@ use crate::matrices::{migration_pairs, CommMatrix, CompMatrix};
 use pic_grid::ElementMesh;
 use pic_mapping::{MappingAlgorithm, ParticleMapper, RegionIndex, RegionQueryScratch};
 use pic_trace::ParticleTrace;
+use pic_types::sync::TrackedMutex;
 use pic_types::{Rank, Result, Vec3};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// One grid point of a sweep: a generator configuration plus a sampling
 /// stride (`1` = every trace sample; `s` = the workload of
@@ -681,6 +682,13 @@ struct CacheInner {
     evictions: u64,
 }
 
+/// Lock-order level of the assignment-cache mutex. The serve layer
+/// (`pic-predict::serve::lock_order`) tops out at 50; the registry's
+/// `entry_bytes` calls [`AssignmentCache::stats`] *while holding* the
+/// registry lock, so this class must sit strictly above every serve
+/// class in the declared hierarchy (see DESIGN.md §14).
+const ASSIGNMENT_CACHE_LOCK_LEVEL: u32 = 100;
+
 /// Byte-budgeted LRU cache of per-sample assignment artifacts, shared
 /// across concurrent sweeps of **one** trace (`Send + Sync`; interior
 /// mutability behind a mutex — lookups move `Arc`s, never artifact data).
@@ -694,7 +702,7 @@ struct CacheInner {
 /// refuses to serve the request it was asked to back).
 pub struct AssignmentCache {
     budget_bytes: usize,
-    inner: Mutex<CacheInner>,
+    inner: TrackedMutex<CacheInner>,
 }
 
 impl std::fmt::Debug for AssignmentCache {
@@ -712,20 +720,24 @@ impl AssignmentCache {
     pub fn new(budget_bytes: usize) -> AssignmentCache {
         AssignmentCache {
             budget_bytes,
-            inner: Mutex::new(CacheInner {
-                entries: HashMap::new(),
-                resident_bytes: 0,
-                tick: 0,
-                hits: 0,
-                misses: 0,
-                evictions: 0,
-            }),
+            inner: TrackedMutex::new(
+                "workload.assignment_cache",
+                ASSIGNMENT_CACHE_LOCK_LEVEL,
+                CacheInner {
+                    entries: HashMap::new(),
+                    resident_bytes: 0,
+                    tick: 0,
+                    hits: 0,
+                    misses: 0,
+                    evictions: 0,
+                },
+            ),
         }
     }
 
     /// Look up the artifacts for `key`, bumping its recency on a hit.
     pub fn get(&self, key: &AssignmentKey) -> Option<Arc<Vec<SampleAssignment>>> {
-        let mut inner = self.inner.lock().expect("assignment cache poisoned");
+        let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
         match inner.entries.get_mut(key) {
@@ -748,7 +760,7 @@ impl AssignmentCache {
     pub fn insert(&self, key: AssignmentKey, artifacts: Arc<Vec<SampleAssignment>>) {
         let bytes = artifacts.iter().map(|a| a.approx_bytes()).sum::<usize>()
             + artifacts.capacity() * std::mem::size_of::<SampleAssignment>();
-        let mut inner = self.inner.lock().expect("assignment cache poisoned");
+        let mut inner = self.inner.lock();
         inner.tick += 1;
         let tick = inner.tick;
         if let Some(old) = inner.entries.insert(
@@ -782,7 +794,7 @@ impl AssignmentCache {
 
     /// Current counters.
     pub fn stats(&self) -> AssignmentCacheStats {
-        let inner = self.inner.lock().expect("assignment cache poisoned");
+        let inner = self.inner.lock();
         AssignmentCacheStats {
             hits: inner.hits,
             misses: inner.misses,

@@ -2,6 +2,11 @@
 //! against the offline CLI serialization path, content-address stability
 //! across LRU eviction and re-ingest, a fault corpus replayed over real
 //! sockets, and the slow-loris deadline.
+//!
+//! In debug builds every serve-layer lock is a tracked primitive, so each
+//! test doubles as a lock-order-witness run over real concurrent traffic:
+//! the suite asserts at the end of every test that no ordering violation,
+//! lock cycle, or unchecked condvar wait was recorded.
 
 use pic_mapping::MappingAlgorithm;
 use pic_predict::{grid_entries, grid_to_json, ServeConfig, Server, SweepGridSpec};
@@ -199,6 +204,7 @@ fn serve_responses_are_bit_identical_to_offline_cli_serialization() {
     assert!(body.contains("\"ok\":true"), "{body}");
 
     server.shutdown();
+    pic_types::sync::assert_witness_clean();
 }
 
 #[test]
@@ -253,6 +259,7 @@ fn lru_eviction_and_reingest_yield_identical_artifacts() {
     assert_eq!(first, second, "artifacts differ after eviction + re-ingest");
 
     server.shutdown();
+    pic_types::sync::assert_witness_clean();
 }
 
 #[test]
@@ -357,6 +364,7 @@ fn fault_corpus_over_http_yields_positioned_4xx_and_server_survives() {
     assert_eq!(status, 200, "{body}");
     assert_eq!(body, "{\"ok\":true}");
     server.shutdown();
+    pic_types::sync::assert_witness_clean();
 }
 
 #[test]
@@ -386,6 +394,7 @@ fn slow_loris_is_cut_off_by_the_read_deadline() {
     let (status, _) = get(addr, "/healthz");
     assert_eq!(status, 200);
     server.shutdown();
+    pic_types::sync::assert_witness_clean();
 }
 
 #[test]
@@ -414,4 +423,13 @@ fn shutdown_endpoint_stops_the_server_cleanly() {
             String::from_utf8_lossy(&out)
         );
     }
+    // The full flag + condvar + accept-poke handshake just ran under the
+    // tracked primitives; it must have left the witness clean, and (in
+    // debug builds) must actually have exercised it.
+    pic_types::sync::assert_witness_clean();
+    #[cfg(debug_assertions)]
+    assert!(
+        pic_types::sync::witness_report().acquisitions > 0,
+        "tracked primitives recorded no acquisitions in a debug build"
+    );
 }
