@@ -28,6 +28,11 @@
 //!   Exhaustive exploration proves its shutdown paths hang- and leak-free
 //!   for a matrix of configurations, in CI, with a replayable schedule on
 //!   any failure.
+//! * [`reduction`] — the error-budget gate for SimPoint-style trace
+//!   reduction: exact replay of a deterministic holdout of
+//!   non-representative samples, compared against the reduced
+//!   reconstruction on peak load. A reduction that breaches its budget
+//!   (default 2%) is rejected before anything downstream trusts it.
 //! * [`serve_model`] — explicit-state models of the three `picpredict
 //!   serve` concurrency protocols (single-flight batching, LRU registry
 //!   weight accounting, the shutdown handshake), verified over a config
@@ -41,6 +46,7 @@ pub mod expr_check;
 pub mod interval;
 pub mod pipeline_model;
 pub mod prediction;
+pub mod reduction;
 pub mod sched;
 pub mod serve_model;
 pub mod workload;
@@ -53,6 +59,10 @@ pub use interval::Interval;
 pub use pipeline_model::{verify_pipeline, verify_streaming_shutdown, PipelineSpec};
 pub use prediction::{
     assert_prediction_valid, check_prediction, PredictionDefect, PredictionViolation,
+};
+pub use reduction::{
+    assert_reduction_valid, check_reduction, holdout_samples, HoldoutPoint, ReductionBudget,
+    ReductionReport,
 };
 pub use sched::{explore, explore_with, Exploration, ExploreOptions, Model, ScheduleError};
 pub use serve_model::{

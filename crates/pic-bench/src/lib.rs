@@ -115,6 +115,83 @@ pub fn synthetic_expanding_trace(particles: usize, samples: usize, seed: u64) ->
     trace
 }
 
+/// A synthetic multi-phase trace: the particle cloud parks in `phases`
+/// successive regions of the domain, holding each plateau for
+/// `samples / phases` samples with small per-sample jitter. This is the
+/// workload shape SimPoint-style reduction targets — long quasi-steady
+/// phases separated by abrupt transitions — unlike
+/// [`synthetic_expanding_trace`], whose monotonic growth has no plateaus
+/// for a representative to stand in for.
+pub fn synthetic_phased_trace(
+    particles: usize,
+    samples: usize,
+    phases: usize,
+    seed: u64,
+) -> ParticleTrace {
+    let mut rng = SplitMix64::new(seed);
+    let dirs: Vec<Vec3> = (0..particles)
+        .map(|_| {
+            Vec3::new(
+                rng.next_range(-1.0, 1.0),
+                rng.next_range(-1.0, 1.0),
+                rng.next_range(-1.0, 1.0),
+            )
+        })
+        .collect();
+    let phases = phases.max(1);
+    // Phase centers are the cell centers of a 3-per-axis lattice in a
+    // seeded shuffle, so each phase parks the cloud in its own coarse
+    // cell (up to 27 distinct phases). The largest cloud half-width
+    // (0.12 scale + 0.005 jitter) stays inside a 1/3-wide cell, which
+    // keeps per-phase density histograms disjoint at 3+ bins per axis —
+    // a diagonal walk instead lets a dense and a sparse phase share a
+    // coarse cell and become indistinguishable to the clustering.
+    let mut centers: Vec<Vec3> = (0..27)
+        .map(|c| {
+            Vec3::new(
+                (c % 3) as f64 / 3.0 + 1.0 / 6.0,
+                (c / 3 % 3) as f64 / 3.0 + 1.0 / 6.0,
+                (c / 9) as f64 / 3.0 + 1.0 / 6.0,
+            )
+        })
+        .collect();
+    for i in 0..centers.len() {
+        let j = i + rng.next_below((centers.len() - i) as u64) as usize;
+        centers.swap(i, j);
+    }
+    let meta = TraceMeta::new(particles, 100, Aabb::unit(), "synthetic-phased");
+    let mut trace = ParticleTrace::new(meta);
+    for k in 0..samples {
+        let phase = (k * phases) / samples.max(1);
+        // The cloud scale alternates so consecutive phases differ in
+        // density (and so peak load), not just position. Odd phases
+        // contract rather than dilate: every phase keeps a high peak
+        // load, so the mapping's discretization noise (a few particles
+        // per sample) stays small *relative* to the gated metric.
+        let center = centers[phase % centers.len()];
+        let scale = if phase.is_multiple_of(2) { 0.05 } else { 0.03 };
+        let positions: Vec<Vec3> = dirs
+            .iter()
+            .map(|d| {
+                // Jitter keeps within-phase inertia nonzero for the
+                // clustering but must sit well under the 2% peak-error
+                // budget: every boundary-crossing particle it flips is
+                // per-sample noise no representative can predict.
+                let jitter = Vec3::new(
+                    rng.next_range(-0.001, 0.001),
+                    rng.next_range(-0.001, 0.001),
+                    rng.next_range(-0.001, 0.001),
+                );
+                (center + *d * scale + jitter).clamp(Vec3::ZERO, Vec3::ONE)
+            })
+            .collect();
+        trace
+            .push_positions(positions)
+            .expect("phased synthetic samples");
+    }
+    trace
+}
+
 /// Kernel models trained from a noiseless oracle sweep — benches that
 /// measure prediction or DES speed don't want fitting noise in the loop.
 pub fn oracle_models(seed: u64) -> KernelModels {
@@ -262,6 +339,23 @@ mod tests {
         assert_eq!(tr.sample_count(), 6);
         let vols = pic_trace::stats::boundary_volume_series(&tr);
         assert!(vols.last().unwrap() > vols.first().unwrap());
+    }
+
+    #[test]
+    fn phased_trace_has_plateaus() {
+        let phases = 4;
+        let per = 5;
+        let tr = synthetic_phased_trace(300, phases * per, phases, 9);
+        assert_eq!(tr.sample_count(), phases * per);
+        // within a phase the cloud barely moves; across the boundary it
+        // jumps — displacement between adjacent samples shows the step
+        let d_within = pic_types::Vec3::distance(tr.positions_at(1)[0], tr.positions_at(2)[0]);
+        let d_across =
+            pic_types::Vec3::distance(tr.positions_at(per - 1)[0], tr.positions_at(per)[0]);
+        assert!(
+            d_across > 5.0 * d_within,
+            "no transition step: within {d_within:.4}, across {d_across:.4}"
+        );
     }
 
     #[test]

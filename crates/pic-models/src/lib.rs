@@ -16,6 +16,10 @@
 //! (the workload parameters `N_p`, `N_gp`, `N_el`, `N`, filter). Accuracy is
 //! reported as MAPE, the paper's headline metric.
 //!
+//! The crate also hosts [`kmeans`] — deterministic seeded k-means
+//! (k-means++ init, BIC-style K selection) used by the SimPoint-style
+//! trace reducer to cluster per-sample feature vectors into phases.
+//!
 //! The GP inner loop runs on a compiled fitness engine ([`compile`]):
 //! candidate trees are lowered to flat bytecode tapes and batch-evaluated
 //! over columnar feature storage ([`dataset::Columns`]), with population
@@ -30,6 +34,7 @@ pub mod compile;
 pub mod dataset;
 pub mod expr;
 pub mod gp;
+pub mod kmeans;
 pub mod linalg;
 pub mod linear;
 pub mod model;
@@ -38,5 +43,6 @@ pub use compile::{CompiledExpr, EvalScratch};
 pub use dataset::{Columns, Dataset};
 pub use expr::Expr;
 pub use gp::{FitContext, FitScratch, GpConfig, GpRunStats, SymbolicRegressor};
+pub use kmeans::{KMeans, KMeansConfig};
 pub use linear::{LinearModel, PolynomialModel};
 pub use model::{FittedModel, PerfModel};

@@ -13,7 +13,11 @@
 //!
 //! `run` executes the mini PIC application and writes the trace + timing
 //! records; the other commands never touch the application again — they
-//! are the paper's "predict anything from one trace" workflow.
+//! are the paper's "predict anything from one trace" workflow. Every
+//! trace-consuming command sniffs the file magic and accepts either the
+//! raw (`PICTRC01`) or the compact delta-encoded (`PICTRC02`) format;
+//! `compact` converts between them and `simpoint` replays a clustered
+//! reduction of the trace instead of every sample.
 #![forbid(unsafe_code)]
 
 use pic_des::{MachineSpec, SyncMode};
@@ -59,6 +63,11 @@ const USAGE: &str = "usage:
   picpredict study sampling --trace T --ranks N --mapping M --strides 1,2,4 [--filter F] [--mesh AxBxC]
   picpredict sweep --trace T --ranks 16,32 [--mappings M1,M2] [--filters F1,F2] [--strides 1,2]
                    [--ghosts false] [--stream true] [--mesh AxBxC --order K] [--out grid.json]
+  picpredict simpoint --trace T --ranks N --mapping M [--k K] [--k-max 16] [--seed S] [--bins B]
+                      [--features spatial|full]
+                      [--filter F] [--mesh AxBxC --order K] [--budget 0.02] [--holdout 8]
+                      [--plan-out plan.json] [--out workload.json]
+  picpredict compact --trace t.pictrace --out t.pictrcz [--precision f64|f32]
   picpredict serve [--addr 127.0.0.1:7070] [--budget-mb 512] [--read-timeout-ms 2000] [--max-body-mb 256]
 
 global flags:
@@ -114,6 +123,12 @@ fn parse_machine(s: &str) -> Result<MachineSpec> {
                 .map_err(|e| PicError::config(format!("bad machine JSON in {path}: {e}")))
         }
     }
+}
+
+/// Load a whole trace file in either on-disk format, sniffed by magic —
+/// raw `PICTRC01` or compact delta-encoded `PICTRC02`.
+fn load_trace(path: &str) -> Result<pic_trace::ParticleTrace> {
+    pic_trace::compact::load_file_any(path)
 }
 
 fn parse_mesh(flags: &HashMap<String, String>, domain: Aabb) -> Result<Option<ElementMesh>> {
@@ -178,6 +193,8 @@ fn dispatch_cmd(cmd: &str, positional: &[String], flags: &HashMap<String, String
         "extrapolate" => cmd_extrapolate(flags),
         "study" => cmd_study(positional.get(1).map(String::as_str).unwrap_or(""), flags),
         "sweep" => cmd_sweep(flags),
+        "simpoint" => cmd_simpoint(flags),
+        "compact" => cmd_compact(flags),
         "serve" => cmd_serve(flags),
         "" => Err(PicError::config("no command given")),
         other => Err(PicError::config(format!("unknown command '{other}'"))),
@@ -225,7 +242,7 @@ fn cmd_run(flags: &HashMap<String, String>) -> Result<()> {
 }
 
 fn cmd_info(flags: &HashMap<String, String>) -> Result<()> {
-    let trace = codec::load_file(required(flags, "trace")?)?;
+    let trace = load_trace(required(flags, "trace")?)?;
     let meta = trace.meta();
     println!("description:     {}", meta.description);
     println!("particles:       {}", meta.particle_count);
@@ -268,7 +285,7 @@ fn cmd_check(flags: &HashMap<String, String>) -> Result<()> {
             None => match flags.get("trace") {
                 Some(tp) => {
                     let file = std::fs::File::open(tp)?;
-                    let reader = pic_trace::TraceReader::new(std::io::BufReader::new(file))?;
+                    let reader = pic_trace::AnyTraceReader::new(std::io::BufReader::new(file))?;
                     Some(reader.meta().particle_count as u64)
                 }
                 None => None,
@@ -405,13 +422,13 @@ fn cmd_workload(flags: &HashMap<String, String>) -> Result<()> {
     // truncated or corrupt file fails here with a byte-positioned error.
     let (w, ingest, particles) = if streaming {
         let file = std::fs::File::open(trace_path)?;
-        let reader = pic_trace::TraceReader::new(std::io::BufReader::new(file))?;
+        let reader = pic_trace::AnyTraceReader::new(std::io::BufReader::new(file))?;
         let particles = reader.meta().particle_count as u64;
         let mesh = parse_mesh(flags, reader.meta().domain)?;
         let (w, stats) = generator::generate_streaming_with_stats(reader, &cfg, mesh.as_ref())?;
         (w, Some(stats), particles)
     } else {
-        let trace = codec::load_file(trace_path)?;
+        let trace = load_trace(trace_path)?;
         let particles = trace.meta().particle_count as u64;
         let mesh = parse_mesh(flags, trace.meta().domain)?;
         (
@@ -528,7 +545,7 @@ fn cmd_fit(flags: &HashMap<String, String>) -> Result<()> {
 }
 
 fn cmd_predict(flags: &HashMap<String, String>) -> Result<()> {
-    let trace = codec::load_file(required(flags, "trace")?)?;
+    let trace = load_trace(required(flags, "trace")?)?;
     let models = KernelModels::from_json(&std::fs::read_to_string(required(flags, "models")?)?)?;
     let ranks: usize = required(flags, "ranks")?
         .parse()
@@ -596,7 +613,7 @@ fn parse_usize_list(s: &str, what: &str) -> Result<Vec<usize>> {
 /// The paper's three analysis drivers plus the sampling-frequency study,
 /// straight from the command line.
 fn cmd_study(kind: &str, flags: &HashMap<String, String>) -> Result<()> {
-    let trace = codec::load_file(required(flags, "trace")?)?;
+    let trace = load_trace(required(flags, "trace")?)?;
     let filter: f64 = flags
         .get("filter")
         .map(|s| s.parse().unwrap_or(0.03))
@@ -728,13 +745,13 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<()> {
     let t0 = std::time::Instant::now();
     let (workloads, stats, particles) = if streaming {
         let file = std::fs::File::open(trace_path)?;
-        let reader = pic_trace::TraceReader::new(std::io::BufReader::new(file))?;
+        let reader = pic_trace::AnyTraceReader::new(std::io::BufReader::new(file))?;
         let particles = reader.meta().particle_count as u64;
         let mesh = parse_mesh(flags, reader.meta().domain)?;
         let w = pic_workload::sweep_streaming(reader, &points, mesh.as_ref())?;
         (w, None, particles)
     } else {
-        let trace = codec::load_file(trace_path)?;
+        let trace = load_trace(trace_path)?;
         let particles = trace.meta().particle_count as u64;
         let mesh = parse_mesh(flags, trace.meta().domain)?;
         let (w, stats) = pic_workload::sweep_with_stats(&trace, &points, mesh.as_ref())?;
@@ -797,6 +814,147 @@ fn cmd_sweep(flags: &HashMap<String, String>) -> Result<()> {
     Ok(())
 }
 
+/// SimPoint-style reduced replay: cluster the trace's samples into
+/// phases, replay one representative per phase (plus owner-only passes
+/// for representative predecessors), broadcast each outcome across its
+/// cluster, and gate the reconstruction on the holdout error budget
+/// before anything is written. The full invariant catalog does not
+/// apply here — `comm-flow` cannot hold across broadcast boundaries —
+/// so the reduction gate (exact replay of held-out samples, compared on
+/// peak load) is the acceptance check.
+fn cmd_simpoint(flags: &HashMap<String, String>) -> Result<()> {
+    let trace = load_trace(required(flags, "trace")?)?;
+    let ranks: usize = required(flags, "ranks")?
+        .parse()
+        .map_err(|_| PicError::config("--ranks must be an integer"))?;
+    let mapping = parse_mapping(required(flags, "mapping")?)?;
+    let filter: f64 = flags
+        .get("filter")
+        .map(|s| s.parse().unwrap_or(0.03))
+        .unwrap_or(0.03);
+    let cfg = WorkloadConfig::new(ranks, mapping, filter);
+    let mesh = parse_mesh(flags, trace.meta().domain)?;
+
+    let mut opts = pic_predict::SimpointOptions::default();
+    if let Some(k) = flags.get("k") {
+        opts.k = Some(
+            k.parse()
+                .map_err(|_| PicError::config("--k must be an integer"))?,
+        );
+    }
+    if let Some(km) = flags.get("k-max") {
+        opts.k_max = km
+            .parse()
+            .map_err(|_| PicError::config("--k-max must be an integer"))?;
+    }
+    if let Some(seed) = flags.get("seed") {
+        opts.seed = seed
+            .parse()
+            .map_err(|_| PicError::config("--seed must be an integer"))?;
+    }
+    if let Some(bins) = flags.get("bins") {
+        opts.features.bins_per_axis = bins
+            .parse()
+            .map_err(|_| PicError::config("--bins must be an integer"))?;
+    }
+    if let Some(f) = flags.get("features") {
+        opts.spatial_only = match f.as_str() {
+            "spatial" => true,
+            "full" => false,
+            _ => return Err(PicError::config("--features must be spatial or full")),
+        };
+    }
+    let mut budget = pic_analysis::ReductionBudget::default();
+    if let Some(b) = flags.get("budget") {
+        budget.max_peak_rel_error = b
+            .parse()
+            .map_err(|_| PicError::config("--budget must be a number"))?;
+    }
+    if let Some(h) = flags.get("holdout") {
+        budget.holdout = h
+            .parse()
+            .map_err(|_| PicError::config("--holdout must be an integer"))?;
+    }
+
+    let t0 = std::time::Instant::now();
+    let plan = pic_predict::build_simpoint_plan(&trace, &opts)?;
+    let cluster_s = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
+    let (w, stats) = pic_workload::generate_reduced_with_stats(&trace, &cfg, mesh.as_ref(), &plan)?;
+    let replay_s = t1.elapsed().as_secs_f64();
+    let report =
+        pic_analysis::assert_reduction_valid(&trace, &cfg, mesh.as_ref(), &plan, &w, &budget)?;
+
+    println!("samples:            {}", plan.total_samples);
+    println!("phases (K):         {}", plan.k());
+    println!(
+        "replayed samples:   {} full + {} owner-only",
+        stats.representatives, stats.owner_only_samples
+    );
+    println!("reduction factor:   {:.1}x", stats.reduction_factor());
+    println!(
+        "holdout peak error: {:.4} (budget {:.4}, {} holdout sample(s))",
+        report.max_rel_error,
+        budget.max_peak_rel_error,
+        report.points.len()
+    );
+    println!("timing:             cluster {cluster_s:.3} s + reduced replay {replay_s:.3} s");
+    let summary = metrics::summarize(&w);
+    println!("peak workload:      {}", summary.peak_workload);
+    println!(
+        "resource util:      {:.2}%",
+        100.0 * summary.resource_utilization
+    );
+    if let Some(path) = flags.get("plan-out") {
+        let json = serde_json::to_string_pretty(&plan)
+            .map_err(|e| PicError::config(format!("cannot serialize plan: {e}")))?;
+        std::fs::write(path, json)?;
+        eprintln!("reduction plan -> {path}");
+    }
+    if let Some(path) = flags.get("out") {
+        let json = serde_json::to_string_pretty(&w)
+            .map_err(|e| PicError::config(format!("cannot serialize workload: {e}")))?;
+        std::fs::write(path, json)?;
+        eprintln!("reconstructed workload -> {path}");
+    }
+    Ok(())
+}
+
+/// Convert a trace (either format in) to the compact delta-encoded
+/// format, reporting the size ratio. The conversion is gated on a
+/// decode-back comparison: the compact file's dequantized positions must
+/// bin identically under the decode path before the command succeeds.
+fn cmd_compact(flags: &HashMap<String, String>) -> Result<()> {
+    let in_path = required(flags, "trace")?;
+    let out_path = required(flags, "out")?;
+    let trace = load_trace(in_path)?;
+    let precision = match flags.get("precision").map(|s| s.as_str()) {
+        Some("f64") => codec::Precision::F64,
+        _ => codec::Precision::F32,
+    };
+    let in_bytes = std::fs::metadata(in_path)?.len();
+    let out_bytes = pic_trace::compact::save_file(&trace, out_path, precision)?;
+    // round-trip gate: the file we just wrote must decode to the same
+    // shape (sample/particle counts) before we report success
+    let back = load_trace(out_path)?;
+    if back.sample_count() != trace.sample_count()
+        || back.particle_count() != trace.particle_count()
+    {
+        return Err(PicError::config(format!(
+            "compact round-trip mismatch: wrote {}x{}, read back {}x{}",
+            trace.sample_count(),
+            trace.particle_count(),
+            back.sample_count(),
+            back.particle_count()
+        )));
+    }
+    println!(
+        "{in_path} ({in_bytes} B) -> {out_path} ({out_bytes} B, {:.2}x smaller)",
+        in_bytes as f64 / out_bytes.max(1) as f64
+    );
+    Ok(())
+}
+
 /// The resident prediction service: bind, announce, serve until a
 /// `POST /shutdown` arrives, then drain connections and exit cleanly.
 fn cmd_serve(flags: &HashMap<String, String>) -> Result<()> {
@@ -840,7 +998,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> Result<()> {
 }
 
 fn cmd_extrapolate(flags: &HashMap<String, String>) -> Result<()> {
-    let trace = codec::load_file(required(flags, "trace")?)?;
+    let trace = load_trace(required(flags, "trace")?)?;
     let out = required(flags, "out")?;
     let particles: usize = required(flags, "particles")?
         .parse()

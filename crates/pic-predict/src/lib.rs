@@ -34,7 +34,11 @@
 //!   assignment artifacts across concurrent and repeat requests;
 //! * [`gridspec`] — the canonical sweep-grid expansion and serialization
 //!   shared by the `sweep` subcommand and the service, so both emit
-//!   bit-identical grids.
+//!   bit-identical grids;
+//! * [`simpoint`] — SimPoint-style trace reduction: cluster per-sample
+//!   feature vectors into phases and emit a
+//!   [`pic_workload::ReductionPlan`] that replays one representative per
+//!   phase, gated by the `pic-analysis` error budget.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +47,7 @@ pub mod gridspec;
 pub mod kernel_models;
 pub mod pipeline;
 pub mod serve;
+pub mod simpoint;
 pub mod studies;
 pub mod validate;
 
@@ -51,4 +56,5 @@ pub use kernel_models::{FitStrategy, KernelModels};
 pub use pipeline::run_case_study;
 pub use pipeline::{build_schedule, predict_application, predict_kernel_seconds, CaseStudyOutput};
 pub use serve::{registry::TraceRegistry, ServeConfig, Server};
+pub use simpoint::{build_plan as build_simpoint_plan, SimpointOptions};
 pub use validate::{kernel_mape_vs_ground_truth, workload_matches_ground_truth};

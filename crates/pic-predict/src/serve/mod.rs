@@ -8,7 +8,8 @@
 //!
 //! * **Ingest once, replay many.** `POST /traces` streams the body
 //!   through [`pic_trace::BoundedReader`] → [`pic_trace::DigestReader`] →
-//!   [`pic_trace::TraceReader`]: the trace is decoded exactly once, its
+//!   [`pic_trace::AnyTraceReader`]: the trace — raw or compact
+//!   delta-encoded, sniffed by magic — is decoded exactly once, its
 //!   content address is the FNV-1a-128 digest of the bytes the decoder
 //!   consumed, and identical bytes always land on the identical address.
 //! * **Shared replays.** Requests against a resident trace run through
@@ -25,6 +26,13 @@
 //! * **Gated responses.** Sweep grids pass
 //!   [`pic_analysis::assert_sweep_valid`] and predictions pass
 //!   [`pic_analysis::check_prediction`] before a byte leaves the server.
+//! * **Opt-in reduced replay.** A sweep request carrying `"reduced":
+//!   true` replays SimPoint representatives instead of every sample
+//!   (stride 1 only); the reduction plan is cached per trace in its
+//!   [`registry::PlanCache`] under the same LRU weight, and every grid
+//!   point passes the [`pic_analysis::check_reduction`] holdout gate —
+//!   the broadcast reconstruction cannot satisfy the `comm-flow`
+//!   invariant, so the error-budget gate is the acceptance check.
 //! * **Adversarial clients survive.** Framing is bounded and deadlined
 //!   (see [`http`]); the pic-trace fault corpus replayed over a socket
 //!   yields positioned 4xx responses, never a panic or a hung thread.
@@ -37,7 +45,7 @@ use crate::kernel_models::KernelModels;
 use http::{HttpError, Request};
 use pic_grid::{ElementMesh, MeshDims};
 use pic_mapping::MappingAlgorithm;
-use pic_trace::{BoundedReader, DigestReader, ParticleTrace, TraceReader};
+use pic_trace::{AnyTraceReader, BoundedReader, DigestReader, ParticleTrace};
 use pic_types::hash::fnv1a_128;
 use pic_types::sync::{TrackedCondvar, TrackedMutex, TrackedRwLock};
 use pic_types::{PicError, Result};
@@ -70,6 +78,11 @@ pub(crate) mod lock_order {
     pub const SHUTDOWN: u32 = 40;
     /// `ServerState::addr` — the bound-address cell.
     pub const ADDR: u32 = 50;
+    /// `PlanCache::inner` — a resident trace's reduction-plan map. Sits
+    /// above the `pic-workload` assignment cache (level 100) because the
+    /// registry weighs both sequentially under its own lock when
+    /// computing entry bytes.
+    pub const PLAN_CACHE: u32 = 110;
 }
 
 /// Server configuration.
@@ -541,7 +554,7 @@ fn handle_ingest_trace(
     let bounded = BoundedReader::new(reader, len);
     let mut digesting = DigestReader::new(bounded);
     let decoded: Result<ParticleTrace> = (|| {
-        let mut tr = TraceReader::new(&mut digesting)?;
+        let mut tr = AnyTraceReader::new(&mut digesting)?;
         let meta = tr.meta().clone();
         let mut trace = ParticleTrace::new(meta);
         while let Some(sample) = tr.read_sample()? {
@@ -648,6 +661,15 @@ struct SweepRequest {
     mesh: Option<String>,
     #[serde(default = "default_order")]
     order: usize,
+    /// Replay SimPoint representatives instead of every sample.
+    #[serde(default)]
+    reduced: bool,
+    /// Fixed cluster count for the reduction (`null` = automatic).
+    #[serde(default)]
+    reduced_k: Option<usize>,
+    /// Peak-load holdout error budget (default 2%).
+    #[serde(default)]
+    reduced_budget: Option<f64>,
 }
 
 #[derive(Deserialize)]
@@ -762,14 +784,96 @@ fn handle_sweep(state: &ServerState, body: &[u8]) -> std::result::Result<(u16, S
     spec.validate().map_err(semantic)?;
     let mesh = parse_mesh_spec(req.mesh.as_deref(), req.order, trace.meta().domain)?;
     let points = spec.points();
-    let (workloads, _stats) =
-        pic_workload::sweep_with_cache(&trace, &points, mesh.as_ref(), &cache).map_err(semantic)?;
-    // Response gate: the full invariant catalog over every grid point.
-    pic_analysis::assert_sweep_valid(&workloads, Some(trace.particle_count() as u64))
-        .map_err(|e| HttpError::new(500, format!("response failed validity gate: {e}")))?;
+    let workloads = if req.reduced {
+        sweep_reduced_gated(
+            state,
+            &req.trace,
+            req.reduced_k,
+            req.reduced_budget,
+            &trace,
+            mesh.as_ref(),
+            &points,
+        )?
+    } else {
+        let (workloads, _stats) =
+            pic_workload::sweep_with_cache(&trace, &points, mesh.as_ref(), &cache)
+                .map_err(semantic)?;
+        // Response gate: the full invariant catalog over every grid point.
+        pic_analysis::assert_sweep_valid(&workloads, Some(trace.particle_count() as u64))
+            .map_err(|e| HttpError::new(500, format!("response failed validity gate: {e}")))?;
+        workloads
+    };
     let entries = grid_entries(&points, workloads);
     let json = grid_to_json(&entries).map_err(|e| HttpError::new(500, format!("{e}")))?;
     Ok((200, json))
+}
+
+/// The reduced-replay sweep path: fetch (or build and cache) the trace's
+/// reduction plan, replay representatives only, then gate **every** grid
+/// point on the holdout error budget. The broadcast reconstruction
+/// cannot satisfy the catalog's `comm-flow` invariant, so
+/// [`pic_analysis::check_reduction`] — exact replay of held-out samples
+/// compared on peak load — is the acceptance check here.
+#[allow(clippy::too_many_arguments)]
+fn sweep_reduced_gated(
+    state: &ServerState,
+    trace_addr: &str,
+    reduced_k: Option<usize>,
+    reduced_budget: Option<f64>,
+    trace: &ParticleTrace,
+    mesh: Option<&ElementMesh>,
+    points: &[SweepPoint],
+) -> std::result::Result<Vec<pic_workload::DynamicWorkload>, HttpError> {
+    if points.iter().any(|p| p.stride != 1) {
+        return Err(HttpError::new(
+            422,
+            "reduced replay serves stride 1 only (strided reconstruction is unguarded)",
+        ));
+    }
+    let plans = state.registry.plan_cache(trace_addr).ok_or_else(|| {
+        HttpError::new(
+            404,
+            format!("trace {trace_addr} is not resident; POST /traces it first"),
+        )
+    })?;
+    let opts = crate::simpoint::SimpointOptions {
+        k: reduced_k,
+        ..crate::simpoint::SimpointOptions::default()
+    };
+    let key = registry::PlanKey {
+        k: reduced_k.unwrap_or(0),
+        k_max: opts.k_max,
+        seed: opts.seed,
+        bins_per_axis: opts.features.bins_per_axis,
+    };
+    // Built outside the plan-cache lock; a racing builder loses to the
+    // first insert and adopts the resident plan (identical by
+    // determinism, so only the work is duplicated).
+    let plan = match plans.get(&key) {
+        Some(p) => p,
+        None => {
+            let built = crate::simpoint::build_plan(trace, &opts).map_err(semantic)?;
+            plans.insert(key, built)
+        }
+    };
+    let workloads = pic_workload::sweep_reduced(trace, points, mesh, &plan).map_err(semantic)?;
+    let mut budget = pic_analysis::ReductionBudget::default();
+    if let Some(b) = reduced_budget {
+        budget.max_peak_rel_error = b;
+    }
+    for (point, w) in points.iter().zip(&workloads) {
+        pic_analysis::assert_reduction_valid(trace, &point.config, mesh, &plan, w, &budget)
+            .map_err(|e| {
+                HttpError::new(
+                    422,
+                    format!(
+                        "reduced replay failed the error-budget gate at ranks={} mapping={}: {e}",
+                        point.config.ranks, point.config.mapping
+                    ),
+                )
+            })?;
+    }
+    Ok(workloads)
 }
 
 fn handle_predict(
@@ -876,6 +980,101 @@ fn handle_check(state: &ServerState, body: &[u8]) -> std::result::Result<(u16, S
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Three-phase synthetic trace (clouds parked in distinct corners,
+    /// jittered) — the clustering-friendly shape the simpoint unit tests
+    /// use, small enough for a handler-level test.
+    fn phased_trace(np: usize, per_phase: usize) -> ParticleTrace {
+        use pic_types::rng::SplitMix64;
+        use pic_types::Vec3;
+        let centers = [
+            Vec3::new(0.3, 0.3, 0.3),
+            Vec3::new(0.7, 0.3, 0.3),
+            Vec3::new(0.3, 0.7, 0.7),
+        ];
+        let meta = pic_trace::TraceMeta::new(np, 10, pic_types::Aabb::unit(), "serve-reduced");
+        let mut tr = ParticleTrace::new(meta);
+        let mut rng = SplitMix64::new(3);
+        let dirs: Vec<Vec3> = (0..np)
+            .map(|_| {
+                Vec3::new(
+                    rng.next_range(-1.0, 1.0),
+                    rng.next_range(-1.0, 1.0),
+                    rng.next_range(-1.0, 1.0),
+                )
+            })
+            .collect();
+        for c in centers {
+            for _ in 0..per_phase {
+                let positions: Vec<Vec3> = dirs
+                    .iter()
+                    .map(|d| {
+                        let jitter = Vec3::new(
+                            rng.next_range(-0.01, 0.01),
+                            rng.next_range(-0.01, 0.01),
+                            rng.next_range(-0.01, 0.01),
+                        );
+                        (c + *d * 0.05 + jitter).clamp(Vec3::ZERO, Vec3::ONE)
+                    })
+                    .collect();
+                tr.push_positions(positions).unwrap();
+            }
+        }
+        tr
+    }
+
+    /// `"reduced": true` sweeps replay representatives, pass the holdout
+    /// gate, and cache the plan in the trace's registry entry — a repeat
+    /// request reuses the resident plan instead of re-clustering.
+    #[test]
+    fn reduced_sweep_serves_and_caches_plan() {
+        let state = ServerState::new(ServeConfig::default());
+        state.registry.insert_trace("tt", phased_trace(80, 6), 1);
+        let body =
+            br#"{"trace":"tt","ranks":[8],"reduced":true,"reduced_k":3,"reduced_budget":1.0}"#;
+        let (status, resp) = handle_sweep(&state, body).unwrap();
+        assert_eq!(status, 200, "{resp}");
+        let plans = state.registry.plan_cache("tt").unwrap();
+        assert_eq!(plans.len(), 1);
+        // repeat: same knobs land on the cached plan, not a second entry
+        let (status, _) = handle_sweep(&state, body).unwrap();
+        assert_eq!(status, 200);
+        assert_eq!(plans.len(), 1);
+        // the cached plan weighs into the entry's LRU bytes
+        assert!(plans.resident_bytes() > 0);
+        pic_types::sync::assert_witness_clean();
+    }
+
+    /// Strided reduced requests are refused up front: the one-step
+    /// migration proxy is unguarded beyond stride 1, so the serve layer
+    /// does not offer it.
+    #[test]
+    fn reduced_sweep_rejects_strides() {
+        let state = ServerState::new(ServeConfig::default());
+        state.registry.insert_trace("tt", phased_trace(40, 4), 1);
+        let body =
+            br#"{"trace":"tt","ranks":[8],"strides":[1,2],"reduced":true,"reduced_budget":1.0}"#;
+        let err = handle_sweep(&state, body).unwrap_err();
+        assert_eq!(err.status, 422);
+        assert!(err.message.contains("stride 1"), "{}", err.message);
+        pic_types::sync::assert_witness_clean();
+    }
+
+    /// An impossible budget turns into a 422 naming the failing grid
+    /// point — the reduced path never ships an unguarded reconstruction.
+    #[test]
+    fn reduced_sweep_budget_breach_is_422() {
+        let state = ServerState::new(ServeConfig::default());
+        state.registry.insert_trace("tt", phased_trace(80, 6), 1);
+        // K=1 on a three-phase trace cannot reconstruct peaks exactly;
+        // a zero budget requires exactly that.
+        let body =
+            br#"{"trace":"tt","ranks":[8],"reduced":true,"reduced_k":1,"reduced_budget":0.0}"#;
+        let err = handle_sweep(&state, body).unwrap_err();
+        assert_eq!(err.status, 422, "{}", err.message);
+        assert!(err.message.contains("error-budget"), "{}", err.message);
+        pic_types::sync::assert_witness_clean();
+    }
 
     /// A panicking leader must not strand its followers: the drop guard
     /// publishes a 500, wakes every parked follower, and clears the

@@ -20,7 +20,7 @@
 use pic_trace::ParticleTrace;
 use pic_types::sync::TrackedMutex;
 use pic_types::Vec3;
-use pic_workload::AssignmentCache;
+use pic_workload::{AssignmentCache, ReductionPlan};
 use serde::Serialize;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -30,6 +30,70 @@ use crate::kernel_models::KernelModels;
 /// Maximum fitted-model sets kept resident.
 pub const MAX_MODELS: usize = 64;
 
+/// Cache key for a reduction plan: the clustering knobs that determine
+/// the plan bit-for-bit (the trace itself is fixed by the owning entry,
+/// and the clustering is deterministic for a fixed seed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Requested cluster count; `0` means automatic BIC-knee selection.
+    pub k: usize,
+    /// Upper bound of the automatic selection.
+    pub k_max: usize,
+    /// Clustering seed.
+    pub seed: u64,
+    /// Feature-histogram resolution (bins per axis).
+    pub bins_per_axis: usize,
+}
+
+/// Per-trace cache of SimPoint reduction plans, keyed by clustering
+/// knobs. Plans are built *outside* this lock (clustering is seconds on
+/// large traces); two racing builders both build and the first insert
+/// wins — deterministic construction makes both results identical, so
+/// the race only costs duplicate work, never divergent answers.
+pub struct PlanCache {
+    inner: TrackedMutex<HashMap<PlanKey, Arc<ReductionPlan>>>,
+}
+
+impl PlanCache {
+    fn new() -> PlanCache {
+        PlanCache {
+            inner: TrackedMutex::new(
+                "serve.plan_cache",
+                super::lock_order::PLAN_CACHE,
+                HashMap::new(),
+            ),
+        }
+    }
+
+    /// Fetch the cached plan for `key`, if one is resident.
+    pub fn get(&self, key: &PlanKey) -> Option<Arc<ReductionPlan>> {
+        self.inner.lock().get(key).map(Arc::clone)
+    }
+
+    /// Insert a freshly built plan; if another builder won the race the
+    /// resident plan is returned instead and the argument is dropped.
+    pub fn insert(&self, key: PlanKey, plan: ReductionPlan) -> Arc<ReductionPlan> {
+        let mut inner = self.inner.lock();
+        Arc::clone(inner.entry(key).or_insert_with(|| Arc::new(plan)))
+    }
+
+    /// Approximate resident bytes across every cached plan, counted into
+    /// the owning trace entry's LRU weight.
+    pub fn resident_bytes(&self) -> usize {
+        self.inner.lock().values().map(|p| p.approx_bytes()).sum()
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// One resident trace: the decoded positions and the artifact cache every
 /// request against this trace shares.
 pub struct ResidentTrace {
@@ -37,6 +101,8 @@ pub struct ResidentTrace {
     pub trace: Arc<ParticleTrace>,
     /// Shared per-trace assignment artifacts.
     pub cache: Arc<AssignmentCache>,
+    /// Shared per-trace reduction plans (SimPoint clustering results).
+    pub plans: Arc<PlanCache>,
     /// Raw encoded bytes ingested (for reporting; the bytes themselves
     /// are not kept).
     pub encoded_bytes: u64,
@@ -96,7 +162,7 @@ fn trace_bytes(trace: &ParticleTrace) -> usize {
 }
 
 fn entry_bytes(e: &ResidentTrace) -> usize {
-    trace_bytes(&e.trace) + e.cache.stats().resident_bytes
+    trace_bytes(&e.trace) + e.cache.stats().resident_bytes + e.plans.resident_bytes()
 }
 
 impl TraceRegistry {
@@ -148,6 +214,7 @@ impl TraceRegistry {
             // Each trace's artifact cache shares the registry-wide budget;
             // the eviction loop below weighs whatever it actually holds.
             cache: Arc::new(AssignmentCache::new(self.budget_bytes)),
+            plans: Arc::new(PlanCache::new()),
             encoded_bytes,
         };
         let out = Arc::clone(&resident.trace);
@@ -214,6 +281,17 @@ impl TraceRegistry {
                 None
             }
         }
+    }
+
+    /// The reduction-plan cache of a resident trace, without bumping its
+    /// recency (a plan lookup always follows a `get_trace` on the same
+    /// address, which already did).
+    pub fn plan_cache(&self, address: &str) -> Option<Arc<PlanCache>> {
+        let inner = self.inner.lock();
+        inner
+            .traces
+            .get(address)
+            .map(|e| Arc::clone(&e.resident.plans))
     }
 
     /// Register fitted models under their content address.

@@ -73,8 +73,18 @@ impl Precision {
 }
 
 fn encode_header(meta: &TraceMeta, precision: Precision) -> Vec<u8> {
+    encode_header_with_magic(meta, precision, MAGIC)
+}
+
+/// Header encoder shared with the compact codec: identical layout, the
+/// magic alone distinguishes the two formats.
+pub(crate) fn encode_header_with_magic(
+    meta: &TraceMeta,
+    precision: Precision,
+    magic: &[u8; 8],
+) -> Vec<u8> {
     let mut buf = Vec::with_capacity(64 + meta.description.len());
-    buf.put_slice(MAGIC);
+    buf.put_slice(magic);
     buf.put_u8(precision.tag());
     buf.put_slice(&[0u8; 3]);
     buf.put_u32_le(meta.sample_interval);
@@ -93,7 +103,7 @@ fn encode_header(meta: &TraceMeta, precision: Precision) -> Vec<u8> {
 /// `ErrorKind::Interrupted`, tolerates short reads, and returns the number
 /// of bytes actually read (`< buf.len()` only at end-of-stream). Unlike
 /// `read_exact`, a partial fill is distinguishable from a zero-byte EOF.
-fn read_fully<R: Read>(r: &mut R, buf: &mut [u8]) -> std::io::Result<usize> {
+pub(crate) fn read_fully<R: Read>(r: &mut R, buf: &mut [u8]) -> std::io::Result<usize> {
     let mut n = 0;
     while n < buf.len() {
         match r.read(&mut buf[n..]) {
@@ -248,103 +258,128 @@ impl<R: Read> std::fmt::Debug for TraceReader<R> {
 }
 
 /// Fixed-size part of the header, before the description bytes.
-const FIXED_HEADER_LEN: usize = 8 + 4 + 4 + 8 + 48 + 4;
+pub(crate) const FIXED_HEADER_LEN: usize = 8 + 4 + 4 + 8 + 48 + 4;
 
-fn header_err(kind: TraceErrorKind, msg: String, offset: u64) -> PicError {
+pub(crate) fn header_err(kind: TraceErrorKind, msg: String, offset: u64) -> PicError {
     TraceError::new(kind, msg).at_offset(offset).into()
+}
+
+/// A parsed and validated codec header (shared by the raw and compact
+/// readers — the two formats differ only in magic and frame layout).
+pub(crate) struct ParsedHeader {
+    pub(crate) meta: TraceMeta,
+    pub(crate) precision: Precision,
+    /// Bytes consumed from the stream (fixed header + description).
+    pub(crate) offset: u64,
+}
+
+/// Parse and validate a codec header against `expected_magic`, consuming
+/// exactly the header bytes from `source`. `format_name` names the format
+/// in the bad-magic message (the raw codec has always said "pic-trace").
+pub(crate) fn parse_header<R: Read>(
+    source: &mut R,
+    expected_magic: &[u8; 8],
+    format_name: &str,
+) -> Result<ParsedHeader> {
+    let mut head = [0u8; FIXED_HEADER_LEN];
+    let got = read_fully(source, &mut head).map_err(|e| {
+        TraceError::new(TraceErrorKind::Io, "header read failed")
+            .at_offset(0)
+            .with_source(e)
+    })?;
+    if got < FIXED_HEADER_LEN {
+        return Err(header_err(
+            TraceErrorKind::TruncatedHeader,
+            format!("stream ends {got} bytes into the {FIXED_HEADER_LEN}-byte fixed header"),
+            got as u64,
+        ));
+    }
+    let mut buf = &head[..];
+    let mut magic = [0u8; 8];
+    buf.copy_to_slice(&mut magic);
+    if &magic != expected_magic {
+        return Err(header_err(
+            TraceErrorKind::BadMagic,
+            format!("not a {format_name} file"),
+            0,
+        ));
+    }
+    let tag = buf.get_u8();
+    let precision = Precision::from_tag(tag).map_err(|_| {
+        header_err(
+            TraceErrorKind::BadHeader,
+            format!("unknown precision tag {tag}"),
+            8,
+        )
+    })?;
+    buf.advance(3);
+    let sample_interval = buf.get_u32_le();
+    let particle_count_raw = buf.get_u64_le();
+    if particle_count_raw > MAX_PARTICLE_COUNT {
+        return Err(header_err(
+            TraceErrorKind::BadHeader,
+            format!("particle count {particle_count_raw} exceeds the {MAX_PARTICLE_COUNT} cap"),
+            16,
+        ));
+    }
+    let particle_count = particle_count_raw as usize;
+    let mut corners = [0.0f64; 6];
+    for c in &mut corners {
+        *c = buf.get_f64_le();
+    }
+    let domain = validate_domain(&corners)?;
+    let desc_len = buf.get_u32_le() as usize;
+    if desc_len > MAX_DESC_LEN {
+        return Err(header_err(
+            TraceErrorKind::BadHeader,
+            format!("description length {desc_len} exceeds the {MAX_DESC_LEN}-byte cap"),
+            (FIXED_HEADER_LEN - 4) as u64,
+        ));
+    }
+    let mut desc_bytes = vec![0u8; desc_len];
+    let got = read_fully(source, &mut desc_bytes).map_err(|e| {
+        TraceError::new(TraceErrorKind::Io, "description read failed")
+            .at_offset(FIXED_HEADER_LEN as u64)
+            .with_source(e)
+    })?;
+    if got < desc_len {
+        return Err(header_err(
+            TraceErrorKind::TruncatedHeader,
+            format!("stream ends {got} bytes into the {desc_len}-byte description"),
+            (FIXED_HEADER_LEN + got) as u64,
+        ));
+    }
+    let description = String::from_utf8(desc_bytes).map_err(|_| {
+        header_err(
+            TraceErrorKind::BadHeader,
+            "description is not valid UTF-8".to_string(),
+            FIXED_HEADER_LEN as u64,
+        )
+    })?;
+    let offset = (FIXED_HEADER_LEN + desc_len) as u64;
+    let meta = TraceMeta {
+        particle_count,
+        sample_interval,
+        domain,
+        description,
+    };
+    Ok(ParsedHeader {
+        meta,
+        precision,
+        offset,
+    })
 }
 
 impl<R: Read> TraceReader<R> {
     /// Parse and validate the header and return the reader.
     pub fn new(mut source: R) -> Result<TraceReader<R>> {
-        let mut head = [0u8; FIXED_HEADER_LEN];
-        let got = read_fully(&mut source, &mut head).map_err(|e| {
-            TraceError::new(TraceErrorKind::Io, "header read failed")
-                .at_offset(0)
-                .with_source(e)
-        })?;
-        if got < FIXED_HEADER_LEN {
-            return Err(header_err(
-                TraceErrorKind::TruncatedHeader,
-                format!("stream ends {got} bytes into the {FIXED_HEADER_LEN}-byte fixed header"),
-                got as u64,
-            ));
-        }
-        let mut buf = &head[..];
-        let mut magic = [0u8; 8];
-        buf.copy_to_slice(&mut magic);
-        if &magic != MAGIC {
-            return Err(header_err(
-                TraceErrorKind::BadMagic,
-                "not a pic-trace file".to_string(),
-                0,
-            ));
-        }
-        let tag = buf.get_u8();
-        let precision = Precision::from_tag(tag).map_err(|_| {
-            header_err(
-                TraceErrorKind::BadHeader,
-                format!("unknown precision tag {tag}"),
-                8,
-            )
-        })?;
-        buf.advance(3);
-        let sample_interval = buf.get_u32_le();
-        let particle_count_raw = buf.get_u64_le();
-        if particle_count_raw > MAX_PARTICLE_COUNT {
-            return Err(header_err(
-                TraceErrorKind::BadHeader,
-                format!("particle count {particle_count_raw} exceeds the {MAX_PARTICLE_COUNT} cap"),
-                16,
-            ));
-        }
-        let particle_count = particle_count_raw as usize;
-        let mut corners = [0.0f64; 6];
-        for c in &mut corners {
-            *c = buf.get_f64_le();
-        }
-        let domain = validate_domain(&corners)?;
-        let desc_len = buf.get_u32_le() as usize;
-        if desc_len > MAX_DESC_LEN {
-            return Err(header_err(
-                TraceErrorKind::BadHeader,
-                format!("description length {desc_len} exceeds the {MAX_DESC_LEN}-byte cap"),
-                (FIXED_HEADER_LEN - 4) as u64,
-            ));
-        }
-        let mut desc_bytes = vec![0u8; desc_len];
-        let got = read_fully(&mut source, &mut desc_bytes).map_err(|e| {
-            TraceError::new(TraceErrorKind::Io, "description read failed")
-                .at_offset(FIXED_HEADER_LEN as u64)
-                .with_source(e)
-        })?;
-        if got < desc_len {
-            return Err(header_err(
-                TraceErrorKind::TruncatedHeader,
-                format!("stream ends {got} bytes into the {desc_len}-byte description"),
-                (FIXED_HEADER_LEN + got) as u64,
-            ));
-        }
-        let description = String::from_utf8(desc_bytes).map_err(|_| {
-            header_err(
-                TraceErrorKind::BadHeader,
-                "description is not valid UTF-8".to_string(),
-                FIXED_HEADER_LEN as u64,
-            )
-        })?;
-        let offset = (FIXED_HEADER_LEN + desc_len) as u64;
-        let meta = TraceMeta {
-            particle_count,
-            sample_interval,
-            domain,
-            description,
-        };
+        let h = parse_header(&mut source, MAGIC, "pic-trace")?;
         Ok(TraceReader {
             source,
-            meta,
-            precision,
+            meta: h.meta,
+            precision: h.precision,
             frames_read: 0,
-            offset,
+            offset: h.offset,
             chunk: Vec::new(),
         })
     }

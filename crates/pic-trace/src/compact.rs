@@ -1,0 +1,874 @@
+//! Compact trace codec: delta-encoded, quantized positions.
+//!
+//! Layout (all little-endian), sharing the raw codec's header shape —
+//! only the magic distinguishes the two formats, so readers can sniff
+//! the first eight bytes and dispatch:
+//!
+//! ```text
+//! header:  magic "PICTRC02" | precision u8 | pad [u8;3] | sample_interval u32
+//!          | particle_count u64 | domain min/max 6×f64
+//!          | desc_len u32 | desc utf-8 bytes
+//! qbox:    quantization box min/max 6×f64 (tight bounds of every position)
+//! frame:   iteration u64 | width u8 | pad [u8;3] | payload
+//! ```
+//!
+//! Positions are quantized onto a uniform grid over the quantization box
+//! — 32 bits per axis under [`Precision::F64`], 16 under
+//! [`Precision::F32`] — and stored as per-particle deltas against the
+//! previous frame. `width` is the bytes per delta (zigzag-encoded, so
+//! small drifts in either direction stay small); `width 0` marks an
+//! *absolute* frame storing the full quantized coordinates (always the
+//! first frame, and any frame whose deltas overflow the widest delta).
+//! Particles drift a tiny fraction of the domain per sample, so steady
+//! state is width 1–2: 3–6 bytes per particle per frame against the raw
+//! codec's 24 at `f64` — a 4–8× size reduction at a quantization error
+//! bounded by half a grid step (`extent / 2^33` per axis at 32 bits).
+//!
+//! The robustness contract matches the raw codec and is exercised by the
+//! same fault-injection corpus: decoding arbitrary bytes never panics,
+//! allocations are never driven by unvalidated header fields, truncation
+//! and I/O faults surface as positioned [`TraceError`]s, and delta
+//! arithmetic wraps modulo the grid so corrupt payloads still decode to
+//! finite in-box positions (caught downstream by the trace invariants).
+
+use crate::codec::{
+    self, encode_header_with_magic, header_err, parse_header, read_fully, Precision, TraceReader,
+    READ_CHUNK_BYTES,
+};
+use crate::trace::{ParticleTrace, TraceMeta, TraceSample};
+use bytes::BufMut;
+use pic_types::{Aabb, PicError, Result, TraceError, TraceErrorKind, Vec3};
+use std::io::{Cursor, Read, Write};
+use std::path::Path;
+
+/// File magic for the compact (delta + quantized) trace format.
+pub const COMPACT_MAGIC: &[u8; 8] = b"PICTRC02";
+
+/// Byte length of the quantization-box section that follows the header.
+pub const QBOX_LEN: usize = 48;
+
+/// Frame-head bytes: iteration word, width byte, reserved padding.
+const FRAME_HEAD_LEN: usize = 12;
+
+/// Bytes per quantized coordinate for a precision tag: the compact codec
+/// maps `F64` to a 32-bit grid and `F32` to a 16-bit grid.
+pub fn quant_bytes(precision: Precision) -> usize {
+    match precision {
+        Precision::F64 => 4,
+        Precision::F32 => 2,
+    }
+}
+
+#[inline]
+fn zigzag(d: i64) -> u64 {
+    ((d << 1) ^ (d >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+/// Delta widths the format admits for a grid of `qbytes` bytes, narrowest
+/// first. Deltas that fit none of these force an absolute (width 0) frame.
+fn allowed_widths(qbytes: usize) -> &'static [usize] {
+    if qbytes == 4 {
+        &[1, 2, 4]
+    } else {
+        &[1, 2]
+    }
+}
+
+/// Uniform quantization grid over a box: `q = round((x-lo)/ext * maxq)`.
+#[derive(Debug, Clone)]
+struct Quantizer {
+    lo: [f64; 3],
+    hi: [f64; 3],
+    ext: [f64; 3],
+    maxq: f64,
+    mask: u64,
+}
+
+impl Quantizer {
+    fn new(qbox: &Aabb, qbytes: usize) -> Quantizer {
+        let bits = 8 * qbytes as u32;
+        let mask = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
+        Quantizer {
+            lo: [qbox.min.x, qbox.min.y, qbox.min.z],
+            hi: [qbox.max.x, qbox.max.y, qbox.max.z],
+            ext: [
+                qbox.max.x - qbox.min.x,
+                qbox.max.y - qbox.min.y,
+                qbox.max.z - qbox.min.z,
+            ],
+            maxq: mask as f64,
+            mask,
+        }
+    }
+
+    #[inline]
+    fn quant(&self, axis: usize, x: f64) -> u64 {
+        if self.ext[axis] <= 0.0 {
+            return 0;
+        }
+        let t = ((x - self.lo[axis]) / self.ext[axis] * self.maxq).round();
+        if t <= 0.0 {
+            0
+        } else if t >= self.maxq {
+            self.mask
+        } else {
+            t as u64
+        }
+    }
+
+    #[inline]
+    fn dequant(&self, axis: usize, q: u64) -> f64 {
+        if self.ext[axis] <= 0.0 {
+            self.lo[axis]
+        } else {
+            // Two-sided lerp hits both endpoints exactly, so the tight box
+            // of a decoded trace equals the quantization box bit-for-bit
+            // and re-encoding an already-quantized trace is byte-identical.
+            let f = q as f64 / self.maxq;
+            self.lo[axis] * (1.0 - f) + self.hi[axis] * f
+        }
+    }
+}
+
+/// Validate a quantization box read at stream offset `base`: every corner
+/// finite, per-axis `min <= max` (a degenerate axis is legal — it
+/// dequantizes to the single coordinate).
+fn validate_qbox(corners: &[f64; 6], base: u64) -> Result<Aabb> {
+    for (axis, (&lo, &hi)) in corners[..3].iter().zip(&corners[3..]).enumerate() {
+        if !lo.is_finite() || !hi.is_finite() || lo > hi {
+            return Err(header_err(
+                TraceErrorKind::BadHeader,
+                format!(
+                    "quantization box corners on axis {axis} are not finite and ordered: [{lo}, {hi}]"
+                ),
+                base + (8 * axis) as u64,
+            ));
+        }
+    }
+    Ok(Aabb {
+        min: Vec3::new(corners[0], corners[1], corners[2]),
+        max: Vec3::new(corners[3], corners[4], corners[5]),
+    })
+}
+
+/// The tight quantization box of a trace: the AABB of every position in
+/// every sample. Falls back to the unit box for a trace holding no
+/// positions (nothing to quantize, but the box section must be finite).
+pub fn quantization_box(trace: &ParticleTrace) -> Aabb {
+    let b = Aabb::from_points(trace.samples().flat_map(|s| s.positions.iter().copied()));
+    if b.min.x.is_finite() {
+        b
+    } else {
+        Aabb::unit()
+    }
+}
+
+/// Pick the delta width (bytes per element) for one frame, or `None` when
+/// some delta overflows every admissible width and the frame must be
+/// stored absolute. `qvals`/`prev` hold the current and previous frames'
+/// quantized coordinates.
+fn frame_width(qvals: &[u64], prev: &[u64], qbytes: usize) -> Option<usize> {
+    let mut max_z = 0u64;
+    for (&q, &p) in qvals.iter().zip(prev) {
+        let z = zigzag(q as i64 - p as i64);
+        if z > max_z {
+            max_z = z;
+        }
+    }
+    allowed_widths(qbytes)
+        .iter()
+        .copied()
+        .find(|&w| w == 8 || max_z < (1u64 << (8 * w)))
+}
+
+/// Streaming compact writer: emits the header and quantization box on
+/// construction, then one delta/absolute frame per
+/// [`CompactWriter::write_sample`] call.
+pub struct CompactWriter<W: Write> {
+    sink: W,
+    particle_count: usize,
+    qbytes: usize,
+    quant: Quantizer,
+    /// Previous frame's quantized coordinates (empty before frame 0).
+    prev: Vec<u64>,
+    /// Current frame's quantized coordinates (reused scratch).
+    qvals: Vec<u64>,
+    frames_written: usize,
+    bytes_written: u64,
+    scratch: Vec<u8>,
+}
+
+impl<W: Write> CompactWriter<W> {
+    /// Write the header and quantization box and return the writer.
+    /// `qbox` must be finite with `min <= max` per axis and should bound
+    /// every position that will be written (out-of-box positions clamp to
+    /// the box edge).
+    pub fn new(
+        mut sink: W,
+        meta: &TraceMeta,
+        precision: Precision,
+        qbox: Aabb,
+    ) -> Result<CompactWriter<W>> {
+        let corners = [
+            qbox.min.x, qbox.min.y, qbox.min.z, qbox.max.x, qbox.max.y, qbox.max.z,
+        ];
+        validate_qbox(&corners, 0).map_err(|_| {
+            PicError::trace(format!(
+                "quantization box must be finite and ordered, got {qbox:?}"
+            ))
+        })?;
+        let mut header = encode_header_with_magic(meta, precision, COMPACT_MAGIC);
+        for c in corners {
+            header.put_f64_le(c);
+        }
+        sink.write_all(&header)?;
+        let qbytes = quant_bytes(precision);
+        Ok(CompactWriter {
+            sink,
+            particle_count: meta.particle_count,
+            qbytes,
+            quant: Quantizer::new(&qbox, qbytes),
+            prev: Vec::new(),
+            qvals: Vec::new(),
+            frames_written: 0,
+            bytes_written: header.len() as u64,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Append one sample frame (absolute for the first sample, narrowest
+    /// delta width that fits afterwards).
+    pub fn write_sample(&mut self, sample: &TraceSample) -> Result<()> {
+        if sample.positions.len() != self.particle_count {
+            return Err(PicError::trace(format!(
+                "frame has {} positions, header says {}",
+                sample.positions.len(),
+                self.particle_count
+            )));
+        }
+        self.qvals.clear();
+        for p in &sample.positions {
+            self.qvals.push(self.quant.quant(0, p.x));
+            self.qvals.push(self.quant.quant(1, p.y));
+            self.qvals.push(self.quant.quant(2, p.z));
+        }
+        let width = if self.frames_written == 0 {
+            None
+        } else {
+            frame_width(&self.qvals, &self.prev, self.qbytes)
+        };
+        self.scratch.clear();
+        self.scratch.put_u64_le(sample.iteration);
+        self.scratch.put_u8(width.unwrap_or(0) as u8);
+        self.scratch.put_slice(&[0u8; 3]);
+        match width {
+            None => {
+                for &q in &self.qvals {
+                    self.scratch
+                        .extend_from_slice(&q.to_le_bytes()[..self.qbytes]);
+                }
+            }
+            Some(w) => {
+                for (&q, &p) in self.qvals.iter().zip(&self.prev) {
+                    let z = zigzag(q as i64 - p as i64);
+                    self.scratch.extend_from_slice(&z.to_le_bytes()[..w]);
+                }
+            }
+        }
+        self.sink.write_all(&self.scratch)?;
+        std::mem::swap(&mut self.prev, &mut self.qvals);
+        self.frames_written += 1;
+        self.bytes_written += self.scratch.len() as u64;
+        Ok(())
+    }
+
+    /// Number of frames written so far.
+    pub fn frames_written(&self) -> usize {
+        self.frames_written
+    }
+
+    /// Bytes emitted so far, header and quantization box included.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Flush and return the underlying sink.
+    pub fn finish(mut self) -> Result<W> {
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Streaming compact reader. Same robustness contract as
+/// [`TraceReader`]: bounds-checked header fields, chunked payload reads,
+/// positioned errors, transparent retry of interrupted/short reads.
+pub struct CompactReader<R: Read> {
+    source: R,
+    meta: TraceMeta,
+    precision: Precision,
+    qbytes: usize,
+    quant: Quantizer,
+    /// Previous frame's quantized coordinates; grows with decoded data
+    /// during the first (absolute) frame, never preallocated from the
+    /// header's particle count.
+    prev: Vec<u64>,
+    frames_read: usize,
+    offset: u64,
+    chunk: Vec<u8>,
+}
+
+impl<R: Read> std::fmt::Debug for CompactReader<R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompactReader")
+            .field("meta", &self.meta)
+            .field("precision", &self.precision)
+            .field("frames_read", &self.frames_read)
+            .field("offset", &self.offset)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<R: Read> CompactReader<R> {
+    /// Parse and validate the header and quantization box.
+    pub fn new(mut source: R) -> Result<CompactReader<R>> {
+        let h = parse_header(&mut source, COMPACT_MAGIC, "compact pic-trace")?;
+        let mut raw = [0u8; QBOX_LEN];
+        let got = read_fully(&mut source, &mut raw).map_err(|e| {
+            TraceError::new(TraceErrorKind::Io, "quantization box read failed")
+                .at_offset(h.offset)
+                .with_source(e)
+        })?;
+        if got < QBOX_LEN {
+            return Err(header_err(
+                TraceErrorKind::TruncatedHeader,
+                format!("stream ends {got} bytes into the {QBOX_LEN}-byte quantization box"),
+                h.offset + got as u64,
+            ));
+        }
+        let mut corners = [0.0f64; 6];
+        for (i, c) in corners.iter_mut().enumerate() {
+            *c = f64::from_le_bytes(raw[8 * i..8 * i + 8].try_into().expect("8-byte corner"));
+        }
+        let qbox = validate_qbox(&corners, h.offset)?;
+        let qbytes = quant_bytes(h.precision);
+        Ok(CompactReader {
+            source,
+            meta: h.meta,
+            precision: h.precision,
+            qbytes,
+            quant: Quantizer::new(&qbox, qbytes),
+            prev: Vec::new(),
+            frames_read: 0,
+            offset: h.offset + QBOX_LEN as u64,
+            chunk: Vec::new(),
+        })
+    }
+
+    /// Trace metadata from the header.
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// Precision tag of the file (selects the quantization grid width).
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Bytes consumed from the stream so far, header included.
+    pub fn bytes_read(&self) -> u64 {
+        self.offset
+    }
+
+    /// Number of frames read so far.
+    pub fn frames_read(&self) -> usize {
+        self.frames_read
+    }
+
+    /// Read the next frame; `Ok(None)` only at a clean end-of-stream.
+    pub fn read_sample(&mut self) -> Result<Option<TraceSample>> {
+        let frame = self.frames_read as u64;
+        let mut head = [0u8; FRAME_HEAD_LEN];
+        let got = read_fully(&mut self.source, &mut head).map_err(|e| {
+            TraceError::new(TraceErrorKind::Io, "frame head read failed")
+                .at_offset(self.offset)
+                .at_frame(frame)
+                .with_source(e)
+        })?;
+        if got == 0 {
+            return Ok(None); // clean end-of-stream
+        }
+        if got < FRAME_HEAD_LEN {
+            return Err(TraceError::new(
+                TraceErrorKind::TruncatedFrame,
+                format!("stream ends {got} bytes into the {FRAME_HEAD_LEN}-byte frame head"),
+            )
+            .at_offset(self.offset + got as u64)
+            .at_frame(frame)
+            .into());
+        }
+        let iteration = u64::from_le_bytes(head[..8].try_into().expect("8-byte word"));
+        let width = head[8] as usize;
+        if head[9..] != [0u8; 3] {
+            return Err(TraceError::new(
+                TraceErrorKind::BadHeader,
+                "frame head padding is not zero".to_string(),
+            )
+            .at_offset(self.offset + 9)
+            .at_frame(frame)
+            .into());
+        }
+        let elem = if width == 0 {
+            self.qbytes
+        } else if allowed_widths(self.qbytes).contains(&width) {
+            width
+        } else {
+            return Err(TraceError::new(
+                TraceErrorKind::BadHeader,
+                format!(
+                    "invalid delta width {width} for a {}-byte grid",
+                    self.qbytes
+                ),
+            )
+            .at_offset(self.offset + 8)
+            .at_frame(frame)
+            .into());
+        };
+        if self.frames_read == 0 && width != 0 {
+            return Err(TraceError::new(
+                TraceErrorKind::BadHeader,
+                format!("first frame must store absolute coordinates (width 0), got {width}"),
+            )
+            .at_offset(self.offset + 8)
+            .at_frame(frame)
+            .into());
+        }
+        self.offset += FRAME_HEAD_LEN as u64;
+
+        let total = 3 * self.meta.particle_count;
+        let per_chunk = (READ_CHUNK_BYTES / elem).max(1);
+        let mut positions: Vec<Vec3> = Vec::new();
+        let mut pending = [0.0f64; 3];
+        let mut decoded = 0usize;
+        while decoded < total {
+            let take = per_chunk.min(total - decoded);
+            let want = take * elem;
+            self.chunk.resize(want, 0);
+            let got = read_fully(&mut self.source, &mut self.chunk[..want]).map_err(|e| {
+                TraceError::new(
+                    TraceErrorKind::Io,
+                    format!("frame payload read failed at iteration {iteration}"),
+                )
+                .at_offset(self.offset)
+                .at_frame(frame)
+                .with_source(e)
+            })?;
+            if got < want {
+                let missing = (total - decoded) * elem - got;
+                return Err(TraceError::new(
+                    TraceErrorKind::TruncatedFrame,
+                    format!(
+                        "truncated frame at iteration {iteration}: stream ends {missing} byte(s) short"
+                    ),
+                )
+                .at_offset(self.offset + got as u64)
+                .at_frame(frame)
+                .into());
+            }
+            self.offset += got as u64;
+            for k in 0..take {
+                let mut raw = [0u8; 8];
+                raw[..elem].copy_from_slice(&self.chunk[k * elem..(k + 1) * elem]);
+                let v = u64::from_le_bytes(raw);
+                let e = decoded + k;
+                let q = if width == 0 {
+                    v & self.quant.mask
+                } else {
+                    // Wrapping on the grid: a corrupt delta still lands on
+                    // a valid (finite, in-box) coordinate.
+                    self.prev[e].wrapping_add(unzigzag(v) as u64) & self.quant.mask
+                };
+                if e < self.prev.len() {
+                    self.prev[e] = q;
+                } else {
+                    self.prev.push(q);
+                }
+                let axis = e % 3;
+                pending[axis] = self.quant.dequant(axis, q);
+                if axis == 2 {
+                    positions.push(Vec3::new(pending[0], pending[1], pending[2]));
+                }
+            }
+            decoded += take;
+        }
+        self.frames_read += 1;
+        Ok(Some(TraceSample {
+            iteration,
+            positions,
+        }))
+    }
+
+    /// Read every remaining frame into a [`ParticleTrace`]. Trace-model
+    /// invariant violations are positioned at the offending frame.
+    pub fn read_all(mut self) -> Result<ParticleTrace> {
+        let mut trace = ParticleTrace::new(self.meta.clone());
+        while let Some(s) = self.read_sample()? {
+            trace.push_sample(s).map_err(|e| self.positioned(e))?;
+        }
+        Ok(trace)
+    }
+
+    fn positioned(&self, e: PicError) -> PicError {
+        match e {
+            PicError::TraceFormat(mut t) => {
+                if t.offset.is_none() {
+                    t.offset = Some(self.offset);
+                }
+                if t.frame.is_none() {
+                    t.frame = Some((self.frames_read.saturating_sub(1)) as u64);
+                }
+                PicError::TraceFormat(t)
+            }
+            other => other,
+        }
+    }
+}
+
+/// Encode a whole trace into compact bytes, quantizing onto the tight
+/// bounding box of its positions.
+///
+/// The transform is lossy once (to the grid) and stable thereafter:
+/// re-encoding a decoded trace reproduces the bytes bit-for-bit.
+pub fn encode_compact(trace: &ParticleTrace, precision: Precision) -> Result<Vec<u8>> {
+    let qbox = quantization_box(trace);
+    let mut w = CompactWriter::new(Vec::new(), trace.meta(), precision, qbox)?;
+    for s in trace.samples() {
+        w.write_sample(s)?;
+    }
+    w.finish()
+}
+
+/// Decode a compact trace from bytes.
+pub fn decode_compact(bytes: &[u8]) -> Result<ParticleTrace> {
+    CompactReader::new(bytes)?.read_all()
+}
+
+/// Exact encoded size of `trace` under the compact codec, computed
+/// without materializing the bytes (one quantization pass).
+pub fn encoded_size(trace: &ParticleTrace, precision: Precision) -> u64 {
+    let qbox = quantization_box(trace);
+    let qbytes = quant_bytes(precision);
+    let quant = Quantizer::new(&qbox, qbytes);
+    let header = encode_header_with_magic(trace.meta(), precision, COMPACT_MAGIC).len() + QBOX_LEN;
+    let mut prev: Vec<u64> = Vec::new();
+    let mut qvals: Vec<u64> = Vec::new();
+    let mut bytes = header as u64;
+    for (k, s) in trace.samples().enumerate() {
+        qvals.clear();
+        for p in &s.positions {
+            qvals.push(quant.quant(0, p.x));
+            qvals.push(quant.quant(1, p.y));
+            qvals.push(quant.quant(2, p.z));
+        }
+        let elem = if k == 0 {
+            qbytes
+        } else {
+            frame_width(&qvals, &prev, qbytes).unwrap_or(qbytes)
+        };
+        bytes += (FRAME_HEAD_LEN + qvals.len() * elem) as u64;
+        std::mem::swap(&mut prev, &mut qvals);
+    }
+    bytes
+}
+
+/// Write a trace to a compact file.
+pub fn save_file(
+    trace: &ParticleTrace,
+    path: impl AsRef<Path>,
+    precision: Precision,
+) -> Result<u64> {
+    let file = std::fs::File::create(path)?;
+    let qbox = quantization_box(trace);
+    let mut w = CompactWriter::new(std::io::BufWriter::new(file), trace.meta(), precision, qbox)?;
+    for s in trace.samples() {
+        w.write_sample(s)?;
+    }
+    let bytes = w.bytes_written();
+    w.finish()?;
+    Ok(bytes)
+}
+
+/// Source type behind a sniffed reader: the buffered magic bytes chained
+/// back in front of the remaining stream.
+pub type SniffedSource<R> = std::io::Chain<Cursor<Vec<u8>>, R>;
+
+/// A format-sniffing trace reader: peeks the eight magic bytes and
+/// dispatches to the raw [`TraceReader`] or the [`CompactReader`], so
+/// every ingest path accepts either format transparently. A stream whose
+/// magic matches neither format is a positioned
+/// [`TraceErrorKind::BadMagic`] naming both accepted magics.
+#[derive(Debug)]
+pub enum AnyTraceReader<R: Read> {
+    /// Raw `PICTRC01` stream.
+    Raw(TraceReader<SniffedSource<R>>),
+    /// Compact `PICTRC02` stream.
+    Compact(CompactReader<SniffedSource<R>>),
+}
+
+impl<R: Read> AnyTraceReader<R> {
+    /// Sniff the magic and construct the matching reader.
+    pub fn new(mut source: R) -> Result<AnyTraceReader<R>> {
+        let mut magic = [0u8; 8];
+        let got = read_fully(&mut source, &mut magic).map_err(|e| {
+            TraceError::new(TraceErrorKind::Io, "header read failed")
+                .at_offset(0)
+                .with_source(e)
+        })?;
+        let replay = Cursor::new(magic[..got].to_vec()).chain(source);
+        if got < 8 {
+            // Too short even for a magic: let the raw reader produce its
+            // canonical truncated-header error.
+            return Ok(AnyTraceReader::Raw(TraceReader::new(replay)?));
+        }
+        if &magic == codec::MAGIC {
+            Ok(AnyTraceReader::Raw(TraceReader::new(replay)?))
+        } else if &magic == COMPACT_MAGIC {
+            Ok(AnyTraceReader::Compact(CompactReader::new(replay)?))
+        } else {
+            Err(header_err(
+                TraceErrorKind::BadMagic,
+                format!(
+                    "unrecognized trace magic: expected {:?} (raw) or {:?} (compact)",
+                    std::str::from_utf8(codec::MAGIC).expect("ascii magic"),
+                    std::str::from_utf8(COMPACT_MAGIC).expect("ascii magic"),
+                ),
+                0,
+            ))
+        }
+    }
+
+    /// Trace metadata from the header.
+    pub fn meta(&self) -> &TraceMeta {
+        match self {
+            AnyTraceReader::Raw(r) => r.meta(),
+            AnyTraceReader::Compact(r) => r.meta(),
+        }
+    }
+
+    /// Precision tag of the file.
+    pub fn precision(&self) -> Precision {
+        match self {
+            AnyTraceReader::Raw(r) => r.precision(),
+            AnyTraceReader::Compact(r) => r.precision(),
+        }
+    }
+
+    /// True when the underlying stream is the compact format.
+    pub fn is_compact(&self) -> bool {
+        matches!(self, AnyTraceReader::Compact(_))
+    }
+
+    /// Bytes consumed from the stream so far, header included.
+    pub fn bytes_read(&self) -> u64 {
+        match self {
+            AnyTraceReader::Raw(r) => r.bytes_read(),
+            AnyTraceReader::Compact(r) => r.bytes_read(),
+        }
+    }
+
+    /// Read the next frame; `Ok(None)` only at a clean end-of-stream.
+    pub fn read_sample(&mut self) -> Result<Option<TraceSample>> {
+        match self {
+            AnyTraceReader::Raw(r) => r.read_sample(),
+            AnyTraceReader::Compact(r) => r.read_sample(),
+        }
+    }
+
+    /// Read every remaining frame into a [`ParticleTrace`].
+    pub fn read_all(self) -> Result<ParticleTrace> {
+        match self {
+            AnyTraceReader::Raw(r) => r.read_all(),
+            AnyTraceReader::Compact(r) => r.read_all(),
+        }
+    }
+}
+
+/// Decode a trace from bytes in either format (sniffed by magic).
+pub fn decode_any(bytes: &[u8]) -> Result<ParticleTrace> {
+    AnyTraceReader::new(bytes)?.read_all()
+}
+
+/// Load a trace file in either format (sniffed by magic).
+pub fn load_file_any(path: impl AsRef<Path>) -> Result<ParticleTrace> {
+    let file = std::fs::File::open(path)?;
+    AnyTraceReader::new(std::io::BufReader::new(file))?.read_all()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::encode_trace;
+
+    fn drifting_trace(np: usize, t: usize, step: f64) -> ParticleTrace {
+        let meta = TraceMeta::new(np, 10, Aabb::unit(), "compact-test");
+        let mut tr = ParticleTrace::new(meta);
+        for k in 0..t {
+            let positions = (0..np)
+                .map(|i| {
+                    Vec3::new(
+                        (0.1 + i as f64 * 0.007 + k as f64 * step).fract().abs(),
+                        (0.2 + i as f64 * 0.003 + k as f64 * step * 0.5)
+                            .fract()
+                            .abs(),
+                        0.5,
+                    )
+                })
+                .collect();
+            tr.push_positions(positions).unwrap();
+        }
+        tr
+    }
+
+    #[test]
+    fn round_trip_is_stable_and_bounded() {
+        let tr = drifting_trace(40, 8, 1e-4);
+        for precision in [Precision::F64, Precision::F32] {
+            let bytes = encode_compact(&tr, precision).unwrap();
+            let back = decode_compact(&bytes).unwrap();
+            assert_eq!(back.meta(), tr.meta());
+            assert_eq!(back.sample_count(), tr.sample_count());
+            let qbox = quantization_box(&tr);
+            let bits = 8 * quant_bytes(precision) as u32;
+            let maxq = ((1u128 << bits) - 1) as f64;
+            for (a, b) in tr.samples().zip(back.samples()) {
+                assert_eq!(a.iteration, b.iteration);
+                for (pa, pb) in a.positions.iter().zip(&b.positions) {
+                    for (va, vb, lo, hi) in [
+                        (pa.x, pb.x, qbox.min.x, qbox.max.x),
+                        (pa.y, pb.y, qbox.min.y, qbox.max.y),
+                        (pa.z, pb.z, qbox.min.z, qbox.max.z),
+                    ] {
+                        let step = (hi - lo) / maxq;
+                        assert!(
+                            (va - vb).abs() <= step * 0.5 + f64::EPSILON,
+                            "quantization error {} exceeds half-step {}",
+                            (va - vb).abs(),
+                            step * 0.5
+                        );
+                    }
+                }
+            }
+            // Idempotent after the first (lossy) pass.
+            let again = encode_compact(&back, precision).unwrap();
+            assert_eq!(again, bytes);
+        }
+    }
+
+    #[test]
+    fn slow_drift_compresses_well() {
+        // Per-sample drift of ~4300 grid units on a 32-bit grid: deltas fit
+        // two bytes where raw f64 frames spend 24 bytes per particle.
+        let tr = drifting_trace(200, 20, 1e-6);
+        let compact = encode_compact(&tr, Precision::F64).unwrap();
+        let raw = encode_trace(&tr, Precision::F64).unwrap();
+        assert!(
+            (compact.len() as f64) < raw.len() as f64 / 3.0,
+            "compact {} vs raw {}",
+            compact.len(),
+            raw.len()
+        );
+        assert_eq!(encoded_size(&tr, Precision::F64), compact.len() as u64);
+        assert_eq!(
+            encoded_size(&tr, Precision::F32),
+            encode_compact(&tr, Precision::F32).unwrap().len() as u64
+        );
+    }
+
+    #[test]
+    fn large_jumps_fall_back_to_absolute_frames() {
+        // Jumps across the whole box overflow every delta width.
+        let meta = TraceMeta::new(2, 1, Aabb::unit(), "jumpy");
+        let mut tr = ParticleTrace::new(meta);
+        for k in 0..4 {
+            let x = if k % 2 == 0 { 0.0 } else { 1.0 };
+            tr.push_positions(vec![Vec3::new(x, 0.0, 0.0), Vec3::new(1.0 - x, 1.0, 1.0)])
+                .unwrap();
+        }
+        let bytes = encode_compact(&tr, Precision::F64).unwrap();
+        let back = decode_compact(&bytes).unwrap();
+        assert_eq!(back.sample_count(), 4);
+        // every frame absolute: head + 3*2*4 payload each
+        let header =
+            encode_header_with_magic(tr.meta(), Precision::F64, COMPACT_MAGIC).len() + QBOX_LEN;
+        assert_eq!(bytes.len(), header + 4 * (12 + 24));
+        for (a, b) in tr.samples().zip(back.samples()) {
+            for (pa, pb) in a.positions.iter().zip(&b.positions) {
+                assert!((pa.x - pb.x).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn sniffing_reader_accepts_both_formats_and_rejects_unknown() {
+        let tr = drifting_trace(5, 3, 1e-3);
+        let raw = encode_trace(&tr, Precision::F64).unwrap();
+        let compact = encode_compact(&tr, Precision::F64).unwrap();
+        let r = AnyTraceReader::new(&raw[..]).unwrap();
+        assert!(!r.is_compact());
+        assert_eq!(r.read_all().unwrap(), tr);
+        let r = AnyTraceReader::new(&compact[..]).unwrap();
+        assert!(r.is_compact());
+        assert_eq!(r.meta(), tr.meta());
+        assert_eq!(
+            decode_any(&compact).unwrap(),
+            decode_compact(&compact).unwrap()
+        );
+        assert_eq!(decode_any(&raw).unwrap(), tr);
+
+        let err = AnyTraceReader::new(&b"NOTATRC0rest-of-stream"[..]).unwrap_err();
+        let d = err.trace_details().expect("structured");
+        assert_eq!(d.kind, TraceErrorKind::BadMagic);
+        assert_eq!(d.offset, Some(0));
+        assert!(err.to_string().contains("PICTRC01"), "{err}");
+        assert!(err.to_string().contains("PICTRC02"), "{err}");
+    }
+
+    #[test]
+    fn empty_and_degenerate_traces_round_trip() {
+        // zero samples
+        let empty = ParticleTrace::new(TraceMeta::new(3, 1, Aabb::unit(), "empty"));
+        let bytes = encode_compact(&empty, Precision::F64).unwrap();
+        assert_eq!(decode_compact(&bytes).unwrap().sample_count(), 0);
+        // all particles on one plane (degenerate z axis)
+        let meta = TraceMeta::new(2, 1, Aabb::unit(), "flat");
+        let mut tr = ParticleTrace::new(meta);
+        tr.push_positions(vec![Vec3::new(0.1, 0.2, 0.5), Vec3::new(0.9, 0.4, 0.5)])
+            .unwrap();
+        let bytes = encode_compact(&tr, Precision::F32).unwrap();
+        let back = decode_compact(&bytes).unwrap();
+        assert_eq!(back.samples().next().unwrap().positions[0].z, 0.5);
+    }
+
+    #[test]
+    fn first_frame_must_be_absolute() {
+        let tr = drifting_trace(2, 2, 1e-4);
+        let mut bytes = encode_compact(&tr, Precision::F64).unwrap();
+        let header =
+            encode_header_with_magic(tr.meta(), Precision::F64, COMPACT_MAGIC).len() + QBOX_LEN;
+        // Forge the first frame's width byte to a delta width.
+        bytes[header + 8] = 1;
+        let err = decode_compact(&bytes).unwrap_err();
+        let d = err.trace_details().expect("structured");
+        assert_eq!(d.kind, TraceErrorKind::BadHeader);
+        assert_eq!(d.frame, Some(0));
+        assert!(err.to_string().contains("absolute"), "{err}");
+    }
+}

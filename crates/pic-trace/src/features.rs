@@ -1,0 +1,233 @@
+//! Per-sample feature vectors for phase clustering.
+//!
+//! SimPoint-style trace reduction needs a compact signature of "what the
+//! workload drivers are doing" at each sample, cheap enough to compute
+//! for every sample of a long trace (one pass over positions — orders of
+//! magnitude cheaper than replaying the mapping algorithm). Four
+//! ingredients, all derived from the quantities the Dynamic Workload
+//! Generator actually responds to:
+//!
+//! * a **normalized density histogram** over a fixed reference binning
+//!   (the tight bounding box of the whole trace, `bins_per_axis`³ cells)
+//!   — the spatial load distribution every mapping algorithm partitions;
+//! * the **migration rate** — the fraction of particles that changed
+//!   reference bin since the previous sample, a proxy for communication
+//!   volume;
+//! * the **bin-occupancy spread** — total-variation distance of the
+//!   histogram from uniform, a proxy for load imbalance;
+//! * the **boundary-volume delta** — relative growth of the per-sample
+//!   tight bounding box, the driver of bin-count evolution (Fig 6).
+//!
+//! Two samples with close feature vectors impose near-identical per-rank
+//! workloads under any fixed configuration, which is what makes a
+//! cluster representative's replay stand in for its whole cluster.
+
+use crate::stats;
+use crate::trace::ParticleTrace;
+use pic_types::Aabb;
+
+/// Configuration for [`feature_vectors`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureConfig {
+    /// Cells per axis of the reference density binning (the histogram has
+    /// `bins_per_axis`³ entries). Must be at least 1.
+    pub bins_per_axis: usize,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> FeatureConfig {
+        FeatureConfig { bins_per_axis: 4 }
+    }
+}
+
+impl FeatureConfig {
+    /// Dimensionality of the produced vectors: the histogram plus the
+    /// three scalar features.
+    pub fn dim(&self) -> usize {
+        self.bins_per_axis.pow(3) + 3
+    }
+}
+
+/// Reference-bin index of a position within `bounds` (clamped).
+#[inline]
+fn bin_of(p: pic_types::Vec3, bounds: &Aabb, b: usize) -> u32 {
+    let mut idx = 0u32;
+    for (x, lo, hi) in [
+        (p.x, bounds.min.x, bounds.max.x),
+        (p.y, bounds.min.y, bounds.max.y),
+        (p.z, bounds.min.z, bounds.max.z),
+    ] {
+        let ext = hi - lo;
+        let cell = if ext > 0.0 {
+            (((x - lo) / ext * b as f64) as usize).min(b - 1)
+        } else {
+            0
+        };
+        idx = idx * b as u32 + cell as u32;
+    }
+    idx
+}
+
+/// One feature vector per sample, in sample order.
+///
+/// Deterministic and sequential: the extraction is a single pass over the
+/// trace, independent of thread count. Returns an empty vector for an
+/// empty trace.
+pub fn feature_vectors(trace: &ParticleTrace, cfg: &FeatureConfig) -> Vec<Vec<f64>> {
+    assert!(cfg.bins_per_axis >= 1, "bins_per_axis must be at least 1");
+    let t = trace.sample_count();
+    if t == 0 {
+        return Vec::new();
+    }
+    let b = cfg.bins_per_axis;
+    let cells = b.pow(3);
+    let np = trace.particle_count();
+
+    // Fixed reference binning: the tight box of the whole trace, so the
+    // same spatial cell means the same thing at every sample.
+    let bounds = stats::boundary_series(trace)
+        .into_iter()
+        .fold(Aabb::empty(), |acc, s| Aabb {
+            min: pic_types::Vec3::new(
+                acc.min.x.min(s.min.x),
+                acc.min.y.min(s.min.y),
+                acc.min.z.min(s.min.z),
+            ),
+            max: pic_types::Vec3::new(
+                acc.max.x.max(s.max.x),
+                acc.max.y.max(s.max.y),
+                acc.max.z.max(s.max.z),
+            ),
+        });
+    let volumes = stats::boundary_volume_series(trace);
+    let vol_ref = volumes.iter().cloned().fold(0.0f64, f64::max).max(1e-300);
+
+    let mut out = Vec::with_capacity(t);
+    let mut prev_bins: Vec<u32> = Vec::new();
+    let mut counts = vec![0u32; cells];
+    let mut bins = vec![0u32; np];
+    for (k, s) in trace.samples().enumerate() {
+        counts.iter_mut().for_each(|c| *c = 0);
+        for (i, &p) in s.positions.iter().enumerate() {
+            let cell = bin_of(p, &bounds, b);
+            bins[i] = cell;
+            counts[cell as usize] += 1;
+        }
+        let inv_np = if np > 0 { 1.0 / np as f64 } else { 0.0 };
+        let mut v = Vec::with_capacity(cells + 3);
+        for &c in &counts {
+            v.push(c as f64 * inv_np);
+        }
+        // Migration rate: fraction of particles whose reference bin
+        // changed since the previous sample (0 for the first).
+        let migration = if k == 0 {
+            0.0
+        } else {
+            bins.iter().zip(&prev_bins).filter(|(a, b)| a != b).count() as f64 * inv_np
+        };
+        v.push(migration);
+        // Occupancy spread: total-variation distance from the uniform
+        // histogram, in [0, 1).
+        let uniform = 1.0 / cells as f64;
+        let spread = counts
+            .iter()
+            .map(|&c| (c as f64 * inv_np - uniform).abs())
+            .sum::<f64>()
+            * 0.5;
+        v.push(spread);
+        // Boundary-volume delta relative to the largest boundary volume.
+        let dv = if k == 0 {
+            0.0
+        } else {
+            (volumes[k] - volumes[k - 1]) / vol_ref
+        };
+        v.push(dv);
+        out.push(v);
+        std::mem::swap(&mut prev_bins, &mut bins);
+        if bins.len() != np {
+            bins.resize(np, 0);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceMeta;
+    use pic_types::Vec3;
+
+    fn two_phase_trace() -> ParticleTrace {
+        // Phase A: particles packed into one corner. Phase B: spread out.
+        let meta = TraceMeta::new(8, 10, Aabb::unit(), "phases");
+        let mut tr = ParticleTrace::new(meta);
+        for k in 0..6 {
+            let spread = if k < 3 { 0.05 } else { 0.9 };
+            let positions = (0..8)
+                .map(|i| {
+                    let f = i as f64 / 8.0;
+                    Vec3::new(0.05 + spread * f, 0.05 + spread * f, 0.05)
+                })
+                .collect();
+            tr.push_positions(positions).unwrap();
+        }
+        tr
+    }
+
+    #[test]
+    fn dimensions_and_normalization() {
+        let tr = two_phase_trace();
+        let cfg = FeatureConfig { bins_per_axis: 3 };
+        let fv = feature_vectors(&tr, &cfg);
+        assert_eq!(fv.len(), 6);
+        for v in &fv {
+            assert_eq!(v.len(), cfg.dim());
+            let hist_sum: f64 = v[..27].iter().sum();
+            assert!(
+                (hist_sum - 1.0).abs() < 1e-12,
+                "histogram sums to {hist_sum}"
+            );
+            assert!(v.iter().all(|x| x.is_finite()));
+        }
+        // First sample has no predecessor: migration and volume delta 0.
+        assert_eq!(fv[0][27], 0.0);
+        assert_eq!(fv[0][29], 0.0);
+    }
+
+    #[test]
+    fn phases_separate_and_transition_shows_migration() {
+        let tr = two_phase_trace();
+        let cfg = FeatureConfig::default();
+        let fv = feature_vectors(&tr, &cfg);
+        let d = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>()
+        };
+        // Within-phase distance is tiny, across-phase is large. Sample 3 is
+        // the transition (its migration spikes), so compare steady samples.
+        let within = d(&fv[0], &fv[1]).max(d(&fv[4], &fv[5]));
+        let across = d(&fv[1], &fv[4]);
+        assert!(across > 10.0 * within, "across {across} vs within {within}");
+        // The phase switch at sample 3 moves particles between bins.
+        let dim = cfg.dim();
+        let migration_idx = dim - 3;
+        assert!(
+            fv[3][migration_idx] > 0.5,
+            "migration {:?}",
+            fv[3][migration_idx]
+        );
+        assert_eq!(fv[2][migration_idx], 0.0); // static within phase A
+    }
+
+    #[test]
+    fn empty_trace_yields_no_vectors() {
+        let tr = ParticleTrace::new(TraceMeta::new(4, 10, Aabb::unit(), "empty"));
+        assert!(feature_vectors(&tr, &FeatureConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let tr = two_phase_trace();
+        let cfg = FeatureConfig { bins_per_axis: 5 };
+        assert_eq!(feature_vectors(&tr, &cfg), feature_vectors(&tr, &cfg));
+    }
+}

@@ -84,13 +84,13 @@ impl DynamicWorkload {
     }
 }
 
-/// Per-sample intermediate result.
-struct SampleOutcome {
-    real: Vec<u32>,
-    ghost_recv: Vec<u32>,
-    ghost_sent: Vec<u32>,
-    bin_count: Option<usize>,
-    owners: Vec<Rank>,
+/// Per-sample intermediate result (shared with the reduced-replay path).
+pub(crate) struct SampleOutcome {
+    pub(crate) real: Vec<u32>,
+    pub(crate) ghost_recv: Vec<u32>,
+    pub(crate) ghost_sent: Vec<u32>,
+    pub(crate) bin_count: Option<usize>,
+    pub(crate) owners: Vec<Rank>,
 }
 
 /// Run the Dynamic Workload Generator over a trace.
@@ -227,13 +227,16 @@ pub struct IngestStats {
     pub merge_seconds: f64,
 }
 
-/// Streaming workload generation: consume trace frames from a
-/// [`TraceReader`](pic_trace::TraceReader) through a bounded three-stage
+/// Streaming workload generation: consume trace frames from any
+/// [`SampleSource`](pic_trace::SampleSource) — raw
+/// [`TraceReader`](pic_trace::TraceReader), delta-encoded
+/// `CompactReader`, or the magic-sniffing `AnyTraceReader` — through a
+/// bounded three-stage
 /// pipeline, holding only a handful of samples in memory at once.
 ///
 /// This is the path for the paper's §II-D regime — full-scale traces run
 /// to hundreds of gigabytes, far beyond memory. A decoder thread pulls
-/// frames off the reader via [`pic_trace::TraceReader::read_sample`] and feeds
+/// frames off the reader via [`pic_trace::SampleSource::read_sample`] and feeds
 /// a bounded channel; a pool of workers maps samples through the same
 /// per-sample kernel as [`generate`]; the caller's thread merges worker results back into
 /// trace order and computes the sequential communication diff (frame `t`'s
@@ -248,8 +251,8 @@ pub struct IngestStats {
 /// *positioned* error is returned. Every pipeline thread is joined before
 /// this function returns: a corrupt trace fails the run, it cannot hang
 /// it.
-pub fn generate_streaming<R: std::io::Read + Send>(
-    reader: pic_trace::TraceReader<R>,
+pub fn generate_streaming<S: pic_trace::SampleSource + Send>(
+    reader: S,
     cfg: &WorkloadConfig,
     mesh: Option<&ElementMesh>,
 ) -> Result<DynamicWorkload> {
@@ -267,8 +270,8 @@ struct DecoderReport {
 
 /// [`generate_streaming`], additionally returning the [`IngestStats`]
 /// observability block.
-pub fn generate_streaming_with_stats<R: std::io::Read + Send>(
-    mut reader: pic_trace::TraceReader<R>,
+pub fn generate_streaming_with_stats<S: pic_trace::SampleSource + Send>(
+    mut reader: S,
     cfg: &WorkloadConfig,
     mesh: Option<&ElementMesh>,
 ) -> Result<(DynamicWorkload, IngestStats)> {
@@ -408,7 +411,7 @@ pub fn generate_streaming_with_stats<R: std::io::Read + Send>(
 /// small enough that short traces still fan out across cores.
 pub(crate) const GHOST_CHUNK: usize = 2048;
 
-fn process_sample(
+pub(crate) fn process_sample(
     positions: &[pic_types::Vec3],
     mapper: &dyn ParticleMapper,
     cfg: &WorkloadConfig,

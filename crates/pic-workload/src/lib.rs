@@ -19,6 +19,12 @@
 //! trace serves any target `R` — the basis of the paper's scalability
 //! studies. Sample processing is embarrassingly parallel and runs on all
 //! cores via rayon.
+//!
+//! The [`reduce`] module adds SimPoint-style reduced replay: given a
+//! [`reduce::ReductionPlan`] (cluster representatives + per-sample
+//! assignment), [`reduce::generate_reduced`] replays only the
+//! representatives and reconstructs the full workload series by cluster
+//! broadcast — bit-identical to the full replay under the identity plan.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +34,7 @@ pub mod generator;
 pub mod heatmap;
 pub mod matrices;
 pub mod metrics;
+pub mod reduce;
 pub mod soa;
 pub mod sweep;
 
@@ -35,6 +42,10 @@ pub use generator::{
     generate_streaming, generate_streaming_with_stats, DynamicWorkload, IngestStats, WorkloadConfig,
 };
 pub use matrices::{migration_pairs, CommMatrix, CompMatrix};
+pub use reduce::{
+    generate_reduced, generate_reduced_with_stats, peak_load_series, peak_rel_error, sweep_reduced,
+    sweep_reduced_with_stats, ReduceStats, ReductionPlan,
+};
 pub use soa::SoAPositions;
 pub use sweep::{
     mesh_fingerprint, sweep_configs, sweep_streaming, sweep_with_cache, sweep_with_stats,

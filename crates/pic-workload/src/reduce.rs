@@ -1,0 +1,685 @@
+//! SimPoint-style reduced replay: weighted representative reconstruction.
+//!
+//! A long trace's samples cluster into a handful of *phases* (feature
+//! vectors from `pic-trace::features`, clustered by
+//! `pic-models::kmeans`). Replaying one representative per phase through
+//! the Dynamic Workload Generator and broadcasting its outcome to every
+//! member of its cluster reconstructs the full-trace workload series at a
+//! fraction of the replay cost — the paper-scale regime where a trace has
+//! thousands of samples but only a few distinct spatial regimes.
+//!
+//! The contract, enforced by proptests: with `K = T` (every sample its own
+//! representative) the reconstruction is **bit-identical** to
+//! [`generator::generate_reference`] — the reduced path reuses the exact
+//! per-sample kernel (`generator::process_sample`), so the only error a
+//! real reduction introduces is the phase approximation itself, which the
+//! `pic-analysis` error-budget gate measures on holdout samples.
+//!
+//! Communication is reconstructed per representative from its *immediate
+//! predecessor* in the trace: `comm[r] = migration_pairs(owners[s_r − 1],
+//! owners[s_r])` (empty when the representative is sample 0). For strided
+//! sweep members the same one-step migration stands in for the strided
+//! interval — a documented approximation, exact at stride 1 and `K = T`.
+
+use crate::generator::{self, DynamicWorkload, WorkloadConfig};
+use crate::matrices::{migration_pairs, CommMatrix, CompMatrix};
+use crate::sweep::{self, SweepPoint};
+use pic_grid::ElementMesh;
+use pic_mapping::ParticleMapper;
+use pic_trace::ParticleTrace;
+use pic_types::{PicError, Rank, Result};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// A validated reduction: which samples to replay and how to broadcast
+/// their outcomes back over the full trace.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReductionPlan {
+    /// Sample count `T` of the trace the plan was built for.
+    pub total_samples: usize,
+    /// Trace sample index of each representative (distinct; one per
+    /// cluster).
+    pub representatives: Vec<usize>,
+    /// For every trace sample, the representative slot standing in for it
+    /// (`assignment[t] < representatives.len()`).
+    pub assignment: Vec<usize>,
+    /// Cluster population per representative slot (`weights[r]` counts the
+    /// samples assigned to slot `r`; sums to `total_samples`).
+    pub weights: Vec<usize>,
+}
+
+impl ReductionPlan {
+    /// Build a plan from representatives and a per-sample assignment,
+    /// deriving the weights. Fails on any inconsistency (see
+    /// [`ReductionPlan::validate`]).
+    pub fn new(
+        total_samples: usize,
+        representatives: Vec<usize>,
+        assignment: Vec<usize>,
+    ) -> Result<ReductionPlan> {
+        let mut weights = vec![0usize; representatives.len()];
+        for &r in &assignment {
+            if r < weights.len() {
+                weights[r] += 1;
+            }
+        }
+        let plan = ReductionPlan {
+            total_samples,
+            representatives,
+            assignment,
+            weights,
+        };
+        plan.validate()?;
+        Ok(plan)
+    }
+
+    /// The identity plan: every sample its own representative, weight 1.
+    /// Reduced replay under this plan is bit-identical to the full replay.
+    pub fn identity(total_samples: usize) -> ReductionPlan {
+        ReductionPlan {
+            total_samples,
+            representatives: (0..total_samples).collect(),
+            assignment: (0..total_samples).collect(),
+            weights: vec![1; total_samples],
+        }
+    }
+
+    /// Number of representatives `K`.
+    pub fn k(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// Check internal consistency: arities match, representative indices
+    /// are distinct and in range, every assignment points at a live slot,
+    /// each representative is assigned to its own slot, and the weights
+    /// are the assignment's slot populations.
+    pub fn validate(&self) -> Result<()> {
+        let k = self.representatives.len();
+        if self.assignment.len() != self.total_samples {
+            return Err(PicError::config(format!(
+                "reduction assignment covers {} samples, trace has {}",
+                self.assignment.len(),
+                self.total_samples
+            )));
+        }
+        if self.weights.len() != k {
+            return Err(PicError::config(format!(
+                "reduction has {} weights for {k} representatives",
+                self.weights.len()
+            )));
+        }
+        if self.total_samples > 0 && k == 0 {
+            return Err(PicError::config(
+                "reduction of a nonempty trace needs at least one representative",
+            ));
+        }
+        let mut seen = vec![false; self.total_samples];
+        for (slot, &s) in self.representatives.iter().enumerate() {
+            if s >= self.total_samples {
+                return Err(PicError::config(format!(
+                    "representative {slot} is sample {s}, trace has {} samples",
+                    self.total_samples
+                )));
+            }
+            if std::mem::replace(&mut seen[s], true) {
+                return Err(PicError::config(format!(
+                    "sample {s} appears as more than one representative"
+                )));
+            }
+            if self.assignment[s] != slot {
+                return Err(PicError::config(format!(
+                    "representative sample {s} is assigned to slot {} instead of its own slot {slot}",
+                    self.assignment[s]
+                )));
+            }
+        }
+        let mut counts = vec![0usize; k];
+        for (t, &r) in self.assignment.iter().enumerate() {
+            if r >= k {
+                return Err(PicError::config(format!(
+                    "sample {t} assigned to slot {r}, plan has {k} representatives"
+                )));
+            }
+            counts[r] += 1;
+        }
+        if counts != self.weights {
+            return Err(PicError::config(format!(
+                "reduction weights {:?} disagree with assignment populations {:?}",
+                self.weights, counts
+            )));
+        }
+        Ok(())
+    }
+
+    /// Approximate resident bytes, for registry budget accounting.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + (self.representatives.capacity()
+                + self.assignment.capacity()
+                + self.weights.capacity())
+                * std::mem::size_of::<usize>()
+    }
+
+    /// Samples the reduced replay runs the full kernel on (the
+    /// representatives) plus the assignment-only predecessor passes it
+    /// needs for communication — the replay cost in sample units.
+    pub fn replay_cost_samples(&self) -> usize {
+        self.representatives.len() + self.owner_only_predecessors().len()
+    }
+
+    /// Predecessor samples (`s_r − 1`) that are not representatives
+    /// themselves: these need an assignment-only pass for the migration
+    /// diff. Sorted ascending.
+    fn owner_only_predecessors(&self) -> Vec<usize> {
+        let mut is_rep = vec![false; self.total_samples];
+        for &s in &self.representatives {
+            is_rep[s] = true;
+        }
+        let mut preds: Vec<usize> = self
+            .representatives
+            .iter()
+            .filter_map(|&s| s.checked_sub(1))
+            .filter(|&p| !is_rep[p])
+            .collect();
+        preds.sort_unstable();
+        preds.dedup();
+        preds
+    }
+}
+
+/// Replay accounting from one reduced run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReduceStats {
+    /// Trace sample count `T`.
+    pub total_samples: usize,
+    /// Representatives replayed through the full kernel.
+    pub representatives: usize,
+    /// Additional assignment-only passes for predecessor ownership.
+    pub owner_only_samples: usize,
+}
+
+impl ReduceStats {
+    /// Full-kernel samples avoided relative to a complete replay (the
+    /// arithmetic speedup bound, ignoring the cheaper owner-only passes).
+    pub fn reduction_factor(&self) -> f64 {
+        self.total_samples as f64 / self.representatives.max(1) as f64
+    }
+}
+
+/// Ownership snapshot of one sample: the assignment half of the kernel
+/// only (no ghost counting, no histogramming) — what a predecessor
+/// contributes to the migration diff.
+fn owners_only(positions: &[pic_types::Vec3], mapper: &dyn ParticleMapper) -> Vec<Rank> {
+    let soa = crate::soa::SoAPositions::from_positions(positions);
+    let outcome = if mapper.supports_soa() {
+        mapper.assign_soa(soa.xs(), soa.ys(), soa.zs())
+    } else {
+        mapper.assign(positions)
+    };
+    outcome.ranks
+}
+
+/// [`generate_reduced`], additionally returning the replay accounting.
+pub fn generate_reduced_with_stats(
+    trace: &ParticleTrace,
+    cfg: &WorkloadConfig,
+    mesh: Option<&ElementMesh>,
+    plan: &ReductionPlan,
+) -> Result<(DynamicWorkload, ReduceStats)> {
+    plan.validate()?;
+    if plan.total_samples != trace.sample_count() {
+        return Err(PicError::config(format!(
+            "reduction plan covers {} samples, trace has {}",
+            plan.total_samples,
+            trace.sample_count()
+        )));
+    }
+    let mapper = generator::build_mapper(cfg, mesh)?;
+    let mapper_ref: &dyn ParticleMapper = mapper.as_ref();
+
+    // Full kernel on the representatives, in parallel.
+    let outcomes: Vec<generator::SampleOutcome> = pic_types::pool::install(|| {
+        plan.representatives
+            .par_iter()
+            .map(|&s| generator::process_sample(trace.positions_at(s), mapper_ref, cfg))
+            .collect()
+    });
+
+    // Assignment-only passes for predecessors that are not representatives.
+    let preds = plan.owner_only_predecessors();
+    let pred_owners: Vec<Vec<Rank>> = pic_types::pool::install(|| {
+        preds
+            .par_iter()
+            .map(|&s| owners_only(trace.positions_at(s), mapper_ref))
+            .collect()
+    });
+    let pred_map: HashMap<usize, &Vec<Rank>> = preds.iter().copied().zip(&pred_owners).collect();
+    let rep_slot: HashMap<usize, usize> = plan
+        .representatives
+        .iter()
+        .enumerate()
+        .map(|(slot, &s)| (s, slot))
+        .collect();
+
+    // Per-representative migration diff against its immediate predecessor.
+    let comm_rep: Vec<Vec<(u32, u32, u32)>> = plan
+        .representatives
+        .iter()
+        .enumerate()
+        .map(|(slot, &s)| match s.checked_sub(1) {
+            None => Vec::new(),
+            Some(p) => {
+                let prev = match rep_slot.get(&p) {
+                    Some(&ps) => &outcomes[ps].owners,
+                    None => pred_map[&p],
+                };
+                migration_pairs(prev, &outcomes[slot].owners)
+            }
+        })
+        .collect();
+
+    // Broadcast representative outcomes over the full series.
+    let mut real = CompMatrix::new(cfg.ranks);
+    let mut ghost_recv = CompMatrix::new(cfg.ranks);
+    let mut ghost_sent = CompMatrix::new(cfg.ranks);
+    let mut bin_counts = Vec::with_capacity(plan.total_samples);
+    let mut comm_entries = Vec::with_capacity(plan.total_samples);
+    for (t, &r) in plan.assignment.iter().enumerate() {
+        let o = &outcomes[r];
+        real.push_sample(&o.real);
+        ghost_recv.push_sample(&o.ghost_recv);
+        ghost_sent.push_sample(&o.ghost_sent);
+        bin_counts.push(o.bin_count);
+        comm_entries.push(if t == 0 {
+            Vec::new()
+        } else {
+            comm_rep[r].clone()
+        });
+    }
+    let stats = ReduceStats {
+        total_samples: plan.total_samples,
+        representatives: plan.representatives.len(),
+        owner_only_samples: preds.len(),
+    };
+    Ok((
+        DynamicWorkload {
+            ranks: cfg.ranks,
+            iterations: trace.iterations(),
+            real,
+            ghost_recv,
+            ghost_sent,
+            comm: CommMatrix {
+                entries: comm_entries,
+            },
+            bin_counts,
+        },
+        stats,
+    ))
+}
+
+/// Reduced-replay counterpart of [`generator::generate`]: replay only the
+/// plan's representatives (plus assignment-only predecessor passes for
+/// communication) and reconstruct the full `T`-sample workload by cluster
+/// broadcast. Bit-identical to the full replay under
+/// [`ReductionPlan::identity`].
+pub fn generate_reduced(
+    trace: &ParticleTrace,
+    cfg: &WorkloadConfig,
+    mesh: Option<&ElementMesh>,
+    plan: &ReductionPlan,
+) -> Result<DynamicWorkload> {
+    generate_reduced_with_stats(trace, cfg, mesh, plan).map(|(w, _)| w)
+}
+
+/// [`sweep_reduced`], additionally returning the replay accounting
+/// (summed across assignment groups).
+pub fn sweep_reduced_with_stats(
+    trace: &ParticleTrace,
+    points: &[SweepPoint],
+    mesh: Option<&ElementMesh>,
+    plan: &ReductionPlan,
+) -> Result<(Vec<DynamicWorkload>, ReduceStats)> {
+    plan.validate()?;
+    if plan.total_samples != trace.sample_count() {
+        return Err(PicError::config(format!(
+            "reduction plan covers {} samples, trace has {}",
+            plan.total_samples,
+            trace.sample_count()
+        )));
+    }
+    let sweep_plan = sweep::build_plan(points, mesh)?;
+    let k = plan.k();
+    let groups = sweep_plan.groups.len();
+
+    // Full group kernel (assignment + every ghost radius slot) on the
+    // representatives of every group, flattened for parallelism.
+    let outcomes: Vec<sweep::GroupSampleOutcome> = pic_types::pool::install(|| {
+        (0..groups * k)
+            .into_par_iter()
+            .map(|i| {
+                let (g, r) = (i / k.max(1), i % k.max(1));
+                sweep::process_group_sample(
+                    trace.positions_at(plan.representatives[r]),
+                    &sweep_plan.groups[g],
+                )
+            })
+            .collect()
+    });
+
+    let preds = plan.owner_only_predecessors();
+    let pred_owners: Vec<Vec<Rank>> = pic_types::pool::install(|| {
+        (0..groups * preds.len())
+            .into_par_iter()
+            .map(|i| {
+                let (g, p) = (i / preds.len().max(1), i % preds.len().max(1));
+                owners_only(
+                    trace.positions_at(preds[p]),
+                    sweep_plan.groups[g].mapper.as_ref(),
+                )
+            })
+            .collect()
+    });
+    let pred_pos: HashMap<usize, usize> = preds.iter().enumerate().map(|(i, &s)| (s, i)).collect();
+    let rep_slot: HashMap<usize, usize> = plan
+        .representatives
+        .iter()
+        .enumerate()
+        .map(|(slot, &s)| (s, slot))
+        .collect();
+
+    let comm_rep: Vec<Vec<Vec<(u32, u32, u32)>>> = (0..groups)
+        .map(|g| {
+            let span = &outcomes[g * k..(g + 1) * k];
+            plan.representatives
+                .iter()
+                .enumerate()
+                .map(|(slot, &s)| match s.checked_sub(1) {
+                    None => Vec::new(),
+                    Some(p) => {
+                        let prev = match rep_slot.get(&p) {
+                            Some(&ps) => &span[ps].assignment.owners,
+                            None => &pred_owners[g * preds.len() + pred_pos[&p]],
+                        };
+                        migration_pairs(prev, &span[slot].assignment.owners)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    let iterations = trace.iterations();
+    let workloads: Vec<DynamicWorkload> = sweep_plan
+        .members
+        .iter()
+        .map(|m| {
+            let group = &sweep_plan.groups[m.group];
+            let span = &outcomes[m.group * k..(m.group + 1) * k];
+            let zeros = vec![0u32; group.ranks];
+            let retained: Vec<usize> = (0..plan.total_samples).step_by(m.stride).collect();
+            let mut real = CompMatrix::new(group.ranks);
+            let mut ghost_recv = CompMatrix::new(group.ranks);
+            let mut ghost_sent = CompMatrix::new(group.ranks);
+            let mut bin_counts = Vec::with_capacity(retained.len());
+            let mut iters = Vec::with_capacity(retained.len());
+            let mut comm_entries = Vec::with_capacity(retained.len());
+            for (pos, &t) in retained.iter().enumerate() {
+                let r = plan.assignment[t];
+                let o = &span[r];
+                real.push_sample(&o.assignment.real);
+                match m.ghost_slot {
+                    Some(slot) => {
+                        ghost_recv.push_sample(&o.ghosts[slot].0);
+                        ghost_sent.push_sample(&o.ghosts[slot].1);
+                    }
+                    None => {
+                        ghost_recv.push_sample(&zeros);
+                        ghost_sent.push_sample(&zeros);
+                    }
+                }
+                bin_counts.push(o.assignment.bin_count);
+                iters.push(iterations[t]);
+                // One-step migration proxy: exact at stride 1; for larger
+                // strides it stands in for the strided interval.
+                comm_entries.push(if pos == 0 {
+                    Vec::new()
+                } else {
+                    comm_rep[m.group][r].clone()
+                });
+            }
+            DynamicWorkload {
+                ranks: group.ranks,
+                iterations: iters,
+                real,
+                ghost_recv,
+                ghost_sent,
+                comm: CommMatrix {
+                    entries: comm_entries,
+                },
+                bin_counts,
+            }
+        })
+        .collect();
+    let stats = ReduceStats {
+        total_samples: plan.total_samples,
+        representatives: groups * k,
+        owner_only_samples: groups * preds.len(),
+    };
+    Ok((workloads, stats))
+}
+
+/// Reduced-replay counterpart of [`sweep::sweep`]: one representative
+/// replay per assignment group serves every sweep point of that group,
+/// with per-point strided reconstruction. At stride 1 under the identity
+/// plan the output is bit-identical to [`sweep::sweep`].
+pub fn sweep_reduced(
+    trace: &ParticleTrace,
+    points: &[SweepPoint],
+    mesh: Option<&ElementMesh>,
+    plan: &ReductionPlan,
+) -> Result<Vec<DynamicWorkload>> {
+    sweep_reduced_with_stats(trace, points, mesh, plan).map(|(w, _)| w)
+}
+
+/// Per-sample peak load: the maximum over ranks of real + received-ghost
+/// particles — the quantity the paper's critical-path predictions rest
+/// on, and the metric the reduction error gate budgets.
+pub fn peak_load_series(w: &DynamicWorkload) -> Vec<u64> {
+    (0..w.samples())
+        .map(|t| {
+            w.real
+                .sample_row(t)
+                .iter()
+                .zip(w.ghost_recv.sample_row(t))
+                .map(|(&r, &g)| r as u64 + g as u64)
+                .max()
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// Relative error of the *global* peak load between a predicted
+/// (reduced-replay) workload and the exact one — the headline
+/// reduced-replay error metric. Zero when both series are empty.
+pub fn peak_rel_error(predicted: &DynamicWorkload, actual: &DynamicWorkload) -> f64 {
+    let p = peak_load_series(predicted).into_iter().max().unwrap_or(0);
+    let a = peak_load_series(actual).into_iter().max().unwrap_or(0);
+    if a == 0 {
+        return if p == 0 { 0.0 } else { f64::INFINITY };
+    }
+    (p as f64 - a as f64).abs() / a as f64
+}
+
+/// Exact per-rank loads (real + received ghosts) of selected samples,
+/// replayed through the full per-sample kernel. The holdout side of the
+/// `pic-analysis` error-budget gate: compare these against the reduced
+/// prediction without paying for a full-trace replay.
+pub fn exact_sample_loads(
+    trace: &ParticleTrace,
+    cfg: &WorkloadConfig,
+    mesh: Option<&ElementMesh>,
+    samples: &[usize],
+) -> Result<Vec<Vec<u64>>> {
+    for &s in samples {
+        if s >= trace.sample_count() {
+            return Err(PicError::config(format!(
+                "holdout sample {s} out of range, trace has {} samples",
+                trace.sample_count()
+            )));
+        }
+    }
+    let mapper = generator::build_mapper(cfg, mesh)?;
+    let mapper_ref: &dyn ParticleMapper = mapper.as_ref();
+    Ok(pic_types::pool::install(|| {
+        samples
+            .par_iter()
+            .map(|&s| {
+                let o = generator::process_sample(trace.positions_at(s), mapper_ref, cfg);
+                o.real
+                    .iter()
+                    .zip(&o.ghost_recv)
+                    .map(|(&r, &g)| r as u64 + g as u64)
+                    .collect()
+            })
+            .collect()
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pic_mapping::MappingAlgorithm;
+    use pic_trace::TraceMeta;
+    use pic_types::rng::SplitMix64;
+    use pic_types::{Aabb, Vec3};
+
+    fn make_trace(np: usize, t: usize, seed: u64) -> ParticleTrace {
+        let mut rng = SplitMix64::new(seed);
+        let dirs: Vec<Vec3> = (0..np)
+            .map(|_| {
+                Vec3::new(
+                    rng.next_range(-1.0, 1.0),
+                    rng.next_range(-1.0, 1.0),
+                    rng.next_range(-1.0, 1.0),
+                )
+            })
+            .collect();
+        let meta = TraceMeta::new(np, 100, Aabb::unit(), "reduce");
+        let mut tr = ParticleTrace::new(meta);
+        for k in 0..t {
+            let scale = 0.05 + 0.04 * k as f64;
+            let drift = Vec3::new(0.02 * k as f64, 0.0, 0.0);
+            let positions: Vec<Vec3> = dirs
+                .iter()
+                .map(|d| (Vec3::splat(0.5) + *d * scale + drift).clamp(Vec3::ZERO, Vec3::ONE))
+                .collect();
+            tr.push_positions(positions).unwrap();
+        }
+        tr
+    }
+
+    #[test]
+    fn identity_plan_matches_full_replay() {
+        let tr = make_trace(300, 6, 1);
+        let cfg = WorkloadConfig::new(12, MappingAlgorithm::BinBased, 0.05);
+        let plan = ReductionPlan::identity(tr.sample_count());
+        let (reduced, stats) = generate_reduced_with_stats(&tr, &cfg, None, &plan).unwrap();
+        let full = generator::generate_reference(&tr, &cfg, None).unwrap();
+        assert_eq!(reduced, full);
+        assert_eq!(stats.representatives, 6);
+        assert_eq!(stats.owner_only_samples, 0);
+    }
+
+    #[test]
+    fn two_cluster_plan_broadcasts_outcomes() {
+        // Samples 0..3 are near-identical, 3..6 near-identical: a 2-rep
+        // plan reconstructs each half from its representative.
+        let tr = make_trace(200, 6, 2);
+        let cfg = WorkloadConfig::new(8, MappingAlgorithm::BinBased, 0.05);
+        let plan = ReductionPlan::new(6, vec![1, 4], vec![0, 0, 0, 1, 1, 1]).unwrap();
+        assert_eq!(plan.weights, vec![3, 3]);
+        let (reduced, stats) = generate_reduced_with_stats(&tr, &cfg, None, &plan).unwrap();
+        assert_eq!(reduced.samples(), 6);
+        // every sample of a cluster shows its representative's counts
+        let full = generator::generate_reference(&tr, &cfg, None).unwrap();
+        for t in [0usize, 1, 2] {
+            assert_eq!(reduced.real.sample_row(t), full.real.sample_row(1));
+        }
+        for t in [3usize, 4, 5] {
+            assert_eq!(reduced.real.sample_row(t), full.real.sample_row(4));
+        }
+        // comm: rep 1's diff is against sample 0 (owner-only pass)
+        assert_eq!(stats.owner_only_samples, 2);
+        assert!(reduced.comm.entries[0].is_empty());
+        assert_eq!(reduced.comm.entries[1], full.comm.entries[1]);
+    }
+
+    #[test]
+    fn plan_validation_rejects_inconsistencies() {
+        // assignment arity
+        assert!(ReductionPlan::new(3, vec![0], vec![0, 0]).is_err());
+        // representative out of range
+        assert!(ReductionPlan::new(2, vec![5], vec![0, 0]).is_err());
+        // duplicate representative
+        assert!(ReductionPlan::new(2, vec![0, 0], vec![0, 1]).is_err());
+        // representative not self-assigned
+        assert!(ReductionPlan::new(2, vec![0, 1], vec![1, 0]).is_err());
+        // assignment points at a dead slot
+        assert!(ReductionPlan::new(2, vec![0], vec![0, 7]).is_err());
+        // tampered weights
+        let mut plan = ReductionPlan::identity(3);
+        plan.weights[0] = 2;
+        assert!(plan.validate().is_err());
+        // empty trace: the empty plan is fine
+        assert!(ReductionPlan::identity(0).validate().is_ok());
+    }
+
+    #[test]
+    fn plan_size_mismatch_with_trace_fails() {
+        let tr = make_trace(50, 4, 3);
+        let cfg = WorkloadConfig::new(4, MappingAlgorithm::BinBased, 0.05);
+        let plan = ReductionPlan::identity(3);
+        assert!(generate_reduced(&tr, &cfg, None, &plan).is_err());
+    }
+
+    #[test]
+    fn sweep_reduced_identity_matches_sweep() {
+        let tr = make_trace(250, 5, 4);
+        let points = vec![
+            SweepPoint::new(WorkloadConfig::new(8, MappingAlgorithm::BinBased, 0.05)),
+            SweepPoint::new(WorkloadConfig::new(16, MappingAlgorithm::BinBased, 0.05)),
+            SweepPoint::new(WorkloadConfig::new(8, MappingAlgorithm::BinBased, 0.02)),
+        ];
+        let plan = ReductionPlan::identity(tr.sample_count());
+        let reduced = sweep_reduced(&tr, &points, None, &plan).unwrap();
+        let full = sweep::sweep(&tr, &points, None).unwrap();
+        assert_eq!(reduced, full);
+    }
+
+    #[test]
+    fn peak_series_and_error_metrics() {
+        let tr = make_trace(400, 5, 5);
+        let cfg = WorkloadConfig::new(8, MappingAlgorithm::BinBased, 0.05);
+        let full = generator::generate_reference(&tr, &cfg, None).unwrap();
+        let series = peak_load_series(&full);
+        assert_eq!(series.len(), 5);
+        assert!(series.iter().all(|&p| p > 0));
+        assert_eq!(peak_rel_error(&full, &full), 0.0);
+        // exact loads match the full replay at every holdout sample
+        let holdout = [0usize, 2, 4];
+        let loads = exact_sample_loads(&tr, &cfg, None, &holdout).unwrap();
+        for (h, &t) in holdout.iter().enumerate() {
+            let expect: Vec<u64> = full
+                .real
+                .sample_row(t)
+                .iter()
+                .zip(full.ghost_recv.sample_row(t))
+                .map(|(&r, &g)| r as u64 + g as u64)
+                .collect();
+            assert_eq!(loads[h], expect);
+            assert_eq!(*loads[h].iter().max().unwrap(), series[t]);
+        }
+        // out-of-range holdout is a config error
+        assert!(exact_sample_loads(&tr, &cfg, None, &[99]).is_err());
+    }
+}

@@ -106,23 +106,23 @@ pub struct SweepStats {
 /// shared maximum-radius candidate pass. Radii that are not `≥ 0` (NaN or
 /// negative) stay outside the sharing argument and are evaluated through
 /// the unmodified single-radius kernel, preserving its exact semantics.
-struct GhostSlot {
-    radius: f64,
-    shared: bool,
+pub(crate) struct GhostSlot {
+    pub(crate) radius: f64,
+    pub(crate) shared: bool,
 }
 
 /// One assignment group: a mapper built once, plus every ghost radius its
 /// members need.
-struct GroupPlan {
-    mapper: Box<dyn ParticleMapper>,
-    ranks: usize,
+pub(crate) struct GroupPlan {
+    pub(crate) mapper: Box<dyn ParticleMapper>,
+    pub(crate) ranks: usize,
     /// The grouping key the plan built this group under (assignment
     /// identity: mapping, ranks, filter bits iff bin-based). Combined
     /// with a mesh fingerprint it addresses cached assignment artifacts.
-    key: (MappingAlgorithm, usize, Option<u64>),
-    slots: Vec<GhostSlot>,
+    pub(crate) key: (MappingAlgorithm, usize, Option<u64>),
+    pub(crate) slots: Vec<GhostSlot>,
     /// Maximum radius among shared slots (meaningless when none are).
-    shared_max: f64,
+    pub(crate) shared_max: f64,
 }
 
 impl GroupPlan {
@@ -132,16 +132,16 @@ impl GroupPlan {
 }
 
 /// One sweep point resolved against the plan.
-struct MemberPlan {
-    group: usize,
-    stride: usize,
+pub(crate) struct MemberPlan {
+    pub(crate) group: usize,
+    pub(crate) stride: usize,
     /// Index into the group's ghost slots; `None` when ghosts are off.
-    ghost_slot: Option<usize>,
+    pub(crate) ghost_slot: Option<usize>,
 }
 
-struct SweepPlan {
-    groups: Vec<GroupPlan>,
-    members: Vec<MemberPlan>,
+pub(crate) struct SweepPlan {
+    pub(crate) groups: Vec<GroupPlan>,
+    pub(crate) members: Vec<MemberPlan>,
 }
 
 /// Key under which two points share assignment outcomes. Mesh-based
@@ -154,7 +154,7 @@ fn group_key(cfg: &WorkloadConfig) -> (MappingAlgorithm, usize, Option<u64>) {
     (cfg.mapping, cfg.ranks, filter_bits)
 }
 
-fn build_plan(points: &[SweepPoint], mesh: Option<&ElementMesh>) -> Result<SweepPlan> {
+pub(crate) fn build_plan(points: &[SweepPoint], mesh: Option<&ElementMesh>) -> Result<SweepPlan> {
     let mut keys: Vec<(MappingAlgorithm, usize, Option<u64>)> = Vec::new();
     let mut groups: Vec<GroupPlan> = Vec::new();
     let mut members = Vec::with_capacity(points.len());
@@ -215,10 +215,10 @@ fn build_plan(points: &[SweepPoint], mesh: Option<&ElementMesh>) -> Result<Sweep
 /// filters/strides off them without re-running the assignment.
 #[derive(Debug, Clone)]
 pub struct SampleAssignment {
-    real: Vec<u32>,
-    bin_count: Option<usize>,
-    owners: Vec<Rank>,
-    index: RegionIndex,
+    pub(crate) real: Vec<u32>,
+    pub(crate) bin_count: Option<usize>,
+    pub(crate) owners: Vec<Rank>,
+    pub(crate) index: RegionIndex,
 }
 
 impl SampleAssignment {
@@ -233,9 +233,9 @@ impl SampleAssignment {
 
 /// One sample's shared result for one group: the assignment artifact plus
 /// `(recv, sent)` ghost histograms parallel to the group's ghost slots.
-struct GroupSampleOutcome {
-    assignment: SampleAssignment,
-    ghosts: Vec<(Vec<u32>, Vec<u32>)>,
+pub(crate) struct GroupSampleOutcome {
+    pub(crate) assignment: SampleAssignment,
+    pub(crate) ghosts: Vec<(Vec<u32>, Vec<u32>)>,
 }
 
 /// The assignment phase of one (group, sample): mapper pass, per-rank
@@ -278,7 +278,7 @@ fn ghost_group_sample(
     }
 }
 
-fn process_group_sample(positions: &[Vec3], group: &GroupPlan) -> GroupSampleOutcome {
+pub(crate) fn process_group_sample(positions: &[Vec3], group: &GroupPlan) -> GroupSampleOutcome {
     // One transpose serves the mapper's SoA assignment and every shared
     // ghost slot of the group (see `process_sample` for the AoS fallback).
     let soa = crate::soa::SoAPositions::from_positions(positions);
@@ -955,7 +955,8 @@ struct MemberAccum {
 const PIPELINE_DEPTH: usize = 4;
 
 /// Streaming sweep: drive every sweep point sample-by-sample off one
-/// [`pic_trace::TraceReader`] pass, bit-identical to [`sweep`].
+/// [`pic_trace::SampleSource`] pass (raw or compact on-disk format),
+/// bit-identical to [`sweep`].
 ///
 /// The pipeline is the single-config streaming generator's — decoder
 /// thread → bounded channel → worker pool → in-order merge — except each
@@ -965,8 +966,8 @@ const PIPELINE_DEPTH: usize = 4;
 /// configurations, never trace length × configurations. Error behavior
 /// matches [`generator::generate_streaming`]: a corrupt stream fails the
 /// run with the decoder's positioned error after every thread is joined.
-pub fn sweep_streaming<R: std::io::Read + Send>(
-    mut reader: pic_trace::TraceReader<R>,
+pub fn sweep_streaming<S: pic_trace::SampleSource + Send>(
+    mut reader: S,
     points: &[SweepPoint],
     mesh: Option<&ElementMesh>,
 ) -> Result<Vec<DynamicWorkload>> {
