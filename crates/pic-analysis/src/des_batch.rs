@@ -1,0 +1,403 @@
+//! Soundness of the DES barrier fast path and inlined message delivery.
+//!
+//! `pic_des`'s bulk-synchronous fast path replaces the event loop with a
+//! closed form per step: every rank's compute-done time is
+//! `release + scale·compute[r]`, every message arrives at
+//! `done[from] + delay(from,to)`, and the barrier fires at
+//! `max_r max(done[r], last_arrival[r])`. The windowed engine's inlined
+//! delivery makes a weaker but related claim: folding a message into its
+//! receiver at the *sender's* compute-done pop (instead of at the
+//! arrival-time pop the heap oracle performs) cannot change the outcome.
+//!
+//! Both claims reduce to one statement about a single barrier step:
+//! **every causal order of processing the step's compute-completions and
+//! message-deliveries yields the same barrier time** — where "causal"
+//! means only that a message is delivered after its sender's compute is
+//! processed. The heap's time-order is one such order; the inlined
+//! engine's sender-batched order is another; the fast path is a third
+//! (all computes, then all messages). [`BarrierStepModel`] encodes the
+//! per-event bookkeeping the engines actually perform (a `max` fold into
+//! `last_arrival`, an arrival counter, a completion-guarded barrier
+//! countdown) and the model checker in [`crate::sched`] walks **every**
+//! causal interleaving, checking in each terminal state that the
+//! incrementally accumulated barrier time equals the fast path's closed
+//! form. Deadlock-freedom of the exploration doubles as a liveness proof:
+//! no processing order can wedge a barrier step.
+//!
+//! Release time and per-rank idle are functions of the barrier time
+//! (`release = barrier + collective_cost`, `idle[r] = release − done[r]`),
+//! so agreement on the barrier time carries the whole `SimTimeline` row.
+//!
+//! [`des_batch_mutants`] shows the harness has teeth by checking three
+//! deliberately broken disciplines — ignoring message arrival times,
+//! releasing the barrier one rank early, and dropping the completion
+//! guard (the double-count bug class that inlined delivery makes
+//! possible: one sender probing a receiver twice) — all of which the
+//! explorer must refute.
+
+use crate::sched::{explore, Exploration, Model, ScheduleError};
+
+/// A deliberately broken batching discipline, used to demonstrate the
+/// model checker actually distinguishes sound from unsound designs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DesBatchMutant {
+    /// Rank readiness ignores `last_arrival` (messages never delay the
+    /// barrier) — the "vectorized max over compute only" shortcut.
+    IgnoreArrival,
+    /// The barrier releases when one rank is still outstanding.
+    EarlyRelease,
+    /// Completion is not idempotent: a rank re-probed after completing
+    /// decrements the barrier countdown again (the failure mode a sender
+    /// delivering two messages to one receiver exposes under inlined
+    /// delivery).
+    NoCompletionGuard,
+}
+
+/// One bulk-synchronous step as a concurrent system: compute-completions
+/// and message-deliveries are the atomic actions, constrained only by
+/// causality (a delivery needs its sender's compute processed first).
+#[derive(Debug)]
+pub struct BarrierStepModel {
+    /// Config label for reports.
+    pub name: &'static str,
+    /// Integer compute-done ticks per rank (≤ 16 ranks).
+    pub compute: Vec<u32>,
+    /// Messages `(from, to, delay)`: arrival tick = `compute[from] + delay`.
+    pub msgs: Vec<(u8, u8, u32)>,
+    /// Broken discipline to emulate, if any.
+    pub mutant: Option<DesBatchMutant>,
+}
+
+/// Explorer state: which events have been processed plus the exact
+/// accumulators the engines maintain. The accumulators are part of the
+/// state on purpose — if two interleavings could drive them apart, they
+/// would surface as distinct (and separately checked) states.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BarrierStepState {
+    /// Ranks whose compute-done event has been processed.
+    done: u16,
+    /// Messages whose delivery has been processed.
+    delivered: u16,
+    /// Ranks whose completion has been counted toward the barrier.
+    counted: u16,
+    /// `max` fold of processed arrival ticks, per rank.
+    last_arrival: Vec<u32>,
+    /// `max` fold of counted ranks' ready ticks.
+    barrier_time: u32,
+    /// Ranks still outstanding at the barrier.
+    remaining: u8,
+    /// Barrier released.
+    released: bool,
+}
+
+/// One atomic processing step.
+#[derive(Debug, Clone, Copy)]
+pub enum BarrierStepAction {
+    /// Process rank `r`'s compute-done event.
+    Compute(u8),
+    /// Process message `m`'s delivery (requires the sender's compute).
+    Deliver(u8),
+    /// Redundantly re-probe rank `r`'s completion. The engines invoke
+    /// `try_ready` once per event *touching* a rank, and with inlined
+    /// delivery one sender's handler may touch the same receiver several
+    /// times — so the model must allow probes beyond the one each
+    /// event carries. Under the sound (idempotent) discipline this is a
+    /// no-op self-loop; it is exactly what refutes
+    /// [`DesBatchMutant::NoCompletionGuard`].
+    Probe(u8),
+}
+
+impl BarrierStepModel {
+    fn ranks(&self) -> usize {
+        self.compute.len()
+    }
+
+    /// Bitmask of messages inbound to rank `r`.
+    fn inbound_mask(&self, r: u8) -> u16 {
+        let mut mask = 0u16;
+        for (i, &(_, to, _)) in self.msgs.iter().enumerate() {
+            if to == r {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+
+    /// The fast path's closed form: the barrier fires at
+    /// `max_r max(compute[r], max_{m→r} compute[from] + delay)`.
+    pub fn closed_form_barrier(&self) -> u32 {
+        let mut barrier = 0u32;
+        for (r, &c) in self.compute.iter().enumerate() {
+            let mut ready = c;
+            for &(from, to, delay) in &self.msgs {
+                if to as usize == r {
+                    ready = ready.max(self.compute[from as usize] + delay);
+                }
+            }
+            barrier = barrier.max(ready);
+        }
+        barrier
+    }
+
+    /// The completion probe every event touching rank `r` performs —
+    /// the model-level transcription of the engines' `try_ready`.
+    fn probe(&self, s: &mut BarrierStepState, r: u8) {
+        let bit = 1u16 << r;
+        let guard = self.mutant != Some(DesBatchMutant::NoCompletionGuard);
+        if guard && s.counted & bit != 0 {
+            return;
+        }
+        if s.done & bit == 0 {
+            return;
+        }
+        let inbound = self.inbound_mask(r);
+        if s.delivered & inbound != inbound {
+            return;
+        }
+        s.counted |= bit;
+        let ready = if self.mutant == Some(DesBatchMutant::IgnoreArrival) {
+            self.compute[r as usize]
+        } else {
+            self.compute[r as usize].max(s.last_arrival[r as usize])
+        };
+        s.barrier_time = s.barrier_time.max(ready);
+        s.remaining = s.remaining.saturating_sub(1);
+        let threshold = u8::from(self.mutant == Some(DesBatchMutant::EarlyRelease));
+        if s.remaining <= threshold {
+            s.released = true;
+        }
+    }
+}
+
+impl Model for BarrierStepModel {
+    type State = BarrierStepState;
+    type Action = BarrierStepAction;
+
+    fn initial(&self) -> BarrierStepState {
+        BarrierStepState {
+            done: 0,
+            delivered: 0,
+            counted: 0,
+            last_arrival: vec![0; self.ranks()],
+            barrier_time: 0,
+            remaining: self.ranks() as u8,
+            released: false,
+        }
+    }
+
+    fn enabled(&self, s: &BarrierStepState) -> Vec<BarrierStepAction> {
+        if s.released {
+            return Vec::new();
+        }
+        let mut v = Vec::new();
+        for r in 0..self.ranks() as u8 {
+            if s.done & (1 << r) == 0 {
+                v.push(BarrierStepAction::Compute(r));
+            }
+        }
+        for (i, &(from, _, _)) in self.msgs.iter().enumerate() {
+            if s.delivered & (1 << i) == 0 && s.done & (1 << from) != 0 {
+                v.push(BarrierStepAction::Deliver(i as u8));
+            }
+        }
+        for r in 0..self.ranks() as u8 {
+            v.push(BarrierStepAction::Probe(r));
+        }
+        v
+    }
+
+    fn step(&self, s: &BarrierStepState, a: BarrierStepAction) -> BarrierStepState {
+        let mut next = s.clone();
+        match a {
+            BarrierStepAction::Compute(r) => {
+                next.done |= 1 << r;
+                self.probe(&mut next, r);
+            }
+            BarrierStepAction::Deliver(m) => {
+                let (from, to, delay) = self.msgs[m as usize];
+                next.delivered |= 1 << m;
+                let arrive = self.compute[from as usize] + delay;
+                next.last_arrival[to as usize] = next.last_arrival[to as usize].max(arrive);
+                self.probe(&mut next, to);
+            }
+            BarrierStepAction::Probe(r) => {
+                self.probe(&mut next, r);
+            }
+        }
+        next
+    }
+
+    fn is_terminal(&self, s: &BarrierStepState) -> bool {
+        s.released
+    }
+
+    fn check(&self, s: &BarrierStepState) -> Result<(), String> {
+        let closed = self.closed_form_barrier();
+        // Monotone safety: the accumulator can never exceed the closed
+        // form (each counted rank contributes exactly its closed-form
+        // term, because counting requires all inbound deliveries).
+        if s.barrier_time > closed {
+            return Err(format!(
+                "accumulated barrier time {} exceeds closed form {closed}",
+                s.barrier_time
+            ));
+        }
+        if s.released {
+            if s.barrier_time != closed {
+                return Err(format!(
+                    "released at barrier time {}, fast path computes {closed}",
+                    s.barrier_time
+                ));
+            }
+            let all_ranks = (1u16 << self.ranks()) - 1;
+            let all_msgs = if self.msgs.is_empty() {
+                0
+            } else {
+                (1u16 << self.msgs.len()) - 1
+            };
+            if s.done != all_ranks || s.delivered != all_msgs || s.remaining != 0 {
+                return Err(format!(
+                    "released with work outstanding: done={:#b} delivered={:#b} remaining={}",
+                    s.done, s.delivered, s.remaining
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The configurations the soundness run explores: ties, self-messages,
+/// zero delays, fan-in, fan-out, duplicate sender→receiver pairs, and a
+/// message-free step.
+fn soundness_configs() -> Vec<BarrierStepModel> {
+    let cfg = |name, compute: Vec<u32>, msgs: Vec<(u8, u8, u32)>| BarrierStepModel {
+        name,
+        compute,
+        msgs,
+        mutant: None,
+    };
+    vec![
+        cfg("no-messages", vec![3, 1, 2], vec![]),
+        cfg(
+            "tied-computes-ring",
+            vec![2, 2, 2],
+            vec![(0, 1, 1), (1, 2, 1), (2, 0, 1)],
+        ),
+        cfg("self-message", vec![2], vec![(0, 0, 1)]),
+        cfg(
+            "zero-delay-exchange",
+            vec![1, 2],
+            vec![(0, 1, 0), (1, 0, 0)],
+        ),
+        cfg("fan-in", vec![1, 4, 2], vec![(1, 0, 1), (2, 0, 3)]),
+        cfg("fan-out", vec![3, 1, 1], vec![(0, 1, 2), (0, 2, 0)]),
+        // two messages from one sender to one receiver: the shape that
+        // makes a sender probe its receiver twice under inlined delivery.
+        // rank 2 dominates so double-counting rank 1 releases early with
+        // an observably wrong barrier time.
+        cfg("duplicate-pair", vec![1, 1, 9], vec![(0, 1, 1), (0, 1, 3)]),
+        cfg(
+            "mixed-irregular",
+            vec![0, 3, 3],
+            vec![(0, 1, 0), (1, 2, 2), (2, 2, 1), (0, 2, 5)],
+        ),
+    ]
+}
+
+/// Verdict for one explored configuration.
+#[derive(Debug, Clone)]
+pub struct DesBatchVerdict {
+    /// Configuration label.
+    pub config: &'static str,
+    /// Exploration statistics (states, terminals, transitions).
+    pub exploration: Exploration,
+}
+
+/// Exhaustively verify the barrier batching discipline on every soundness
+/// configuration. Errors carry the refuting schedule.
+pub fn verify_des_batching() -> Result<Vec<DesBatchVerdict>, ScheduleError> {
+    let mut verdicts = Vec::new();
+    for model in soundness_configs() {
+        let exploration = explore(&model, 200_000).map_err(|e| ScheduleError {
+            message: format!("config '{}': {}", model.name, e.message),
+            trace: e.trace,
+        })?;
+        verdicts.push(DesBatchVerdict {
+            config: model.name,
+            exploration,
+        });
+    }
+    Ok(verdicts)
+}
+
+/// Run the three broken disciplines; each entry reports whether the
+/// explorer refuted it (all must be `true` for the harness to mean
+/// anything).
+pub fn des_batch_mutants() -> Vec<(String, bool)> {
+    let mutants = [
+        DesBatchMutant::IgnoreArrival,
+        DesBatchMutant::EarlyRelease,
+        DesBatchMutant::NoCompletionGuard,
+    ];
+    let mut out = Vec::new();
+    for mutant in mutants {
+        let caught = soundness_configs().into_iter().any(|mut model| {
+            model.mutant = Some(mutant);
+            explore(&model, 200_000).is_err()
+        });
+        out.push((format!("{mutant:?}"), caught));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_causal_orders_match_closed_form() {
+        let verdicts = verify_des_batching().expect("batching discipline is sound");
+        assert_eq!(verdicts.len(), soundness_configs().len());
+        for v in &verdicts {
+            assert!(v.exploration.states > 0, "{}", v.config);
+            assert!(v.exploration.terminal_states >= 1, "{}", v.config);
+        }
+        // the irregular config genuinely has many interleavings
+        let mixed = verdicts
+            .iter()
+            .find(|v| v.config == "mixed-irregular")
+            .unwrap();
+        assert!(mixed.exploration.transitions > 50, "{mixed:?}");
+    }
+
+    #[test]
+    fn broken_disciplines_are_refuted() {
+        for (name, caught) in des_batch_mutants() {
+            assert!(caught, "mutant {name} escaped the model checker");
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_hand_computation() {
+        let m = &soundness_configs()[4]; // fan-in: compute [1,4,2], (1,0,1),(2,0,3)
+                                         // rank0 ready = max(1, 4+1, 2+3) = 5; rank1 = 4; rank2 = 2
+        assert_eq!(m.closed_form_barrier(), 5);
+    }
+
+    #[test]
+    fn duplicate_pair_exercises_double_probe() {
+        // the NoCompletionGuard mutant must be refuted by the
+        // duplicate-pair config specifically
+        let mut model = soundness_configs()
+            .into_iter()
+            .find(|m| m.name == "duplicate-pair")
+            .unwrap();
+        explore(&model, 10_000).expect("sound discipline passes");
+        model.mutant = Some(DesBatchMutant::NoCompletionGuard);
+        let err = explore(&model, 10_000).unwrap_err();
+        assert!(
+            err.message.contains("released") || err.message.contains("outstanding"),
+            "{err}"
+        );
+    }
+}

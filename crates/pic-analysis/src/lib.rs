@@ -38,10 +38,16 @@
 //!   weight accounting, the shutdown handshake), verified over a config
 //!   matrix by `picpredict check --serve`, plus a seeded-mutant corpus
 //!   proving the checker catches each protocol's bug classes.
+//! * [`des_batch`] — batching-soundness model for the DES barrier fast
+//!   path and inlined message delivery: every causal processing order of
+//!   a bulk-synchronous step must reach the fast path's closed-form
+//!   barrier time. Verified by `picpredict check --des`, with a mutant
+//!   corpus covering the double-count and early-release bug classes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod des_batch;
 pub mod expr_check;
 pub mod interval;
 pub mod pipeline_model;
@@ -51,6 +57,9 @@ pub mod sched;
 pub mod serve_model;
 pub mod workload;
 
+pub use des_batch::{
+    des_batch_mutants, verify_des_batching, BarrierStepModel, DesBatchMutant, DesBatchVerdict,
+};
 pub use expr_check::{
     analyze_expr, check_compiled_equivalence, check_model_expr, Diagnostic, ExprReport,
     FeatureSpace, Severity,

@@ -5,12 +5,33 @@
 //! internals. Components are ranks; the schedule is a list of *steps*
 //! (one per trace-sample interval), each carrying per-rank compute times
 //! and the point-to-point messages implied by the communication matrix.
+//!
+//! This module holds the paper-scale engine (see `DESIGN.md` §16):
+//!
+//! * a pluggable [`crate::queue::EventQueue`] — calendar
+//!   queue by default, `BinaryHeap` as the oracle;
+//! * a **sliding step window**: only the steps some rank is currently on
+//!   are resident, each as a flat CSR slot, so memory is
+//!   O(window·ranks) instead of O(steps·ranks);
+//! * **inlined message delivery**: a message's effect on its receiver is
+//!   folded in when the *sender's* compute-done event fires, removing
+//!   every `MsgArrive` from the queue (all cross-event merges are
+//!   `max`/counter updates, so processing order cannot change the
+//!   output);
+//! * a **barrier fast path** for [`SyncMode::BulkSynchronous`]: with a
+//!   global barrier every step is independent, so each reduces to a
+//!   vectorized compute pass, a message epilogue, and a max — no event
+//!   queue at all.
+//!
+//! All variants return bit-identical [`SimTimeline`]s; the old dense
+//! engine survives as [`crate::reference::simulate_reference`] and
+//! `des_bench --smoke` plus the proptests assert exact equality.
 
 use crate::machine::MachineSpec;
+use crate::queue::{CalendarQueue, Event, EventKind, EventQueue, HeapQueue};
 use pic_types::{PicError, Result};
 use serde::{Deserialize, Serialize};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::VecDeque;
 
 /// One super-step of the PIC schedule: per-rank modelled compute seconds
 /// plus the messages sent at the end of the step.
@@ -47,7 +68,8 @@ pub struct SimTimeline {
     /// Per-step completion time (when the last rank finished the step and
     /// its messages were delivered).
     pub step_finish: Vec<f64>,
-    /// Number of discrete events processed.
+    /// Number of discrete events processed. Inlined deliveries count one
+    /// event per message, so the figure is engine-independent.
     pub events_processed: u64,
 }
 
@@ -62,90 +84,259 @@ impl SimTimeline {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum EventKind {
-    ComputeDone { rank: u32, step: u32 },
-    MsgArrive { rank: u32, step: u32 },
+/// Which [`crate::queue::EventQueue`] implementation the engine
+/// schedules events on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "kebab-case")]
+pub enum QueueKind {
+    /// The classic `BinaryHeap` (O(log n) per op) — the oracle.
+    BinaryHeap,
+    /// The calendar queue (O(1) amortized per op) — the default.
+    Calendar,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Event {
-    time: f64,
-    seq: u64,
-    kind: EventKind,
+/// Engine tuning knobs. The default — calendar queue, barrier fast path
+/// on — is what [`simulate`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Event-queue implementation for event-driven runs.
+    pub queue: QueueKind,
+    /// Use the queue-free batched step evaluation when the sync mode is
+    /// [`SyncMode::BulkSynchronous`]. Sound because a global barrier
+    /// makes every step's compute-done times independent (checked by
+    /// `pic-analysis`'s batching model).
+    pub barrier_fast_path: bool,
 }
 
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap via reversed comparison; ties broken by sequence number
-        // for full determinism.
-        other
-            .time
-            .partial_cmp(&self.time)
-            .expect("event times are finite")
-            .then(other.seq.cmp(&self.seq))
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            queue: QueueKind::Calendar,
+            barrier_fast_path: true,
+        }
     }
 }
 
-/// All mutable simulation state, so helper functions stay tractable.
-struct SimState<'a> {
+/// Execution statistics of one simulation run, for bench reports and the
+/// `picpredict` CLI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct SimStats {
+    /// Event-queue implementation used (`"none"` on the fast path).
+    pub queue: &'static str,
+    /// Whether the barrier fast path evaluated the schedule.
+    pub barrier_fast_path: bool,
+    /// Largest number of simultaneously pending events.
+    pub peak_queue_len: usize,
+    /// Largest number of simultaneously resident step slots.
+    pub peak_window_steps: usize,
+    /// Peak bookkeeping bytes (window slots + pending events) — the
+    /// engine's memory proxy, to compare against the dense oracle's
+    /// [`crate::reference::dense_state_bytes`].
+    pub state_bytes_peak: usize,
+}
+
+/// The all-zero timeline for an empty schedule.
+pub(crate) fn empty_timeline() -> SimTimeline {
+    SimTimeline {
+        total_seconds: 0.0,
+        rank_finish: vec![],
+        rank_idle: vec![],
+        step_finish: vec![],
+        events_processed: 0,
+    }
+}
+
+/// Admission validation: every quantity that could produce a NaN or
+/// infinite event time is rejected here with a positioned error, so the
+/// `(time, seq)` comparison deeper in the engine never sees a non-finite
+/// time (it would otherwise panic mid-simulation in `Event::cmp`).
+///
+/// Returns the rank count.
+pub(crate) fn validate_schedule(steps: &[StepWorkload]) -> Result<usize> {
+    let ranks = steps[0].compute_seconds.len();
+    if ranks == 0 {
+        return Err(PicError::sim("schedule has zero ranks"));
+    }
+    for (s, st) in steps.iter().enumerate() {
+        if st.compute_seconds.len() != ranks {
+            return Err(PicError::sim(format!(
+                "step {s} has {} ranks, expected {ranks}",
+                st.compute_seconds.len()
+            )));
+        }
+        for (r, &c) in st.compute_seconds.iter().enumerate() {
+            if !c.is_finite() || c < 0.0 {
+                return Err(PicError::sim(format!(
+                    "step {s} rank {r}: compute_seconds is {c}, must be finite and non-negative"
+                )));
+            }
+        }
+        for (i, &(from, to, _)) in st.messages.iter().enumerate() {
+            if from as usize >= ranks || to as usize >= ranks {
+                return Err(PicError::sim(format!(
+                    "step {s} message {i} ({from} -> {to}): endpoint out of range for {ranks} ranks"
+                )));
+            }
+        }
+    }
+    Ok(ranks)
+}
+
+/// One resident step of the sliding window: flat per-rank arrays plus the
+/// step's outbox in CSR form (`outbox_off[r]..outbox_off[r+1]` indexes
+/// rank `r`'s outbound messages in `outbox_dst`/`outbox_bytes`).
+#[derive(Debug, Default)]
+struct Slot {
+    expected: Vec<u32>,
+    arrived: Vec<u32>,
+    last_arrival: Vec<f64>,
+    /// Ranks whose completion has already been recorded. The oracle never
+    /// re-checks a completed `(rank, step)` because no further events for
+    /// it exist; with inlined delivery a sender's handler may probe a
+    /// receiver more than once, so completion must be made idempotent
+    /// explicitly (a bulk-synchronous rank stays on `s` until release).
+    completed: Vec<bool>,
+    outbox_off: Vec<u32>,
+    outbox_dst: Vec<u32>,
+    outbox_bytes: Vec<u64>,
+    /// Ranks that have moved past this step; the slot retires at `ranks`.
+    passed: u32,
+    /// Barrier bookkeeping (bulk-synchronous only).
+    barrier_remaining: u32,
+    barrier_time: f64,
+}
+
+/// The windowed event-driven engine, generic over the event queue.
+struct WindowEngine<'a, Q: EventQueue> {
     steps: &'a [StepWorkload],
     machine: &'a MachineSpec,
     mode: SyncMode,
-    queue: BinaryHeap<Event>,
+    ranks: usize,
+    queue: Q,
     seq: u64,
-    /// Current step of each rank.
+    /// Current step of each rank (`u32::MAX` = finished).
     rank_step: Vec<u32>,
     /// Compute-finish time of each rank's current step (NaN = not yet).
     compute_done: Vec<f64>,
-    /// Accumulated idle seconds per rank.
     idle: Vec<f64>,
-    /// Messages arrived so far, per `[step][rank]`.
-    arrived: Vec<Vec<u32>>,
-    /// Latest arrival time per `[step][rank]`.
-    last_arrival: Vec<Vec<f64>>,
-    /// Expected inbound message count per `[step][rank]`.
-    expected: Vec<Vec<u32>>,
-    /// Barrier bookkeeping (bulk-synchronous only).
-    barrier_remaining: Vec<u32>,
-    barrier_time: Vec<f64>,
-    step_finish: Vec<f64>,
     rank_finish: Vec<f64>,
+    step_finish: Vec<f64>,
+    /// Resident steps `win_base .. win_base + window.len()`.
+    window: VecDeque<Slot>,
+    win_base: usize,
+    /// Retired slots, recycled to avoid churning allocations.
+    free: Vec<Slot>,
+    /// CSR fill cursor (scratch, reused across activations).
+    cursor: Vec<u32>,
+    events: u64,
+    peak_queue: usize,
+    peak_window: usize,
+    live_bytes: usize,
+    peak_bytes: usize,
 }
 
-impl SimState<'_> {
-    fn push(&mut self, time: f64, kind: EventKind) {
-        self.queue.push(Event {
-            time,
-            seq: self.seq,
-            kind,
-        });
-        self.seq += 1;
+impl<'a, Q: EventQueue> WindowEngine<'a, Q> {
+    fn new(
+        steps: &'a [StepWorkload],
+        machine: &'a MachineSpec,
+        mode: SyncMode,
+        ranks: usize,
+        queue: Q,
+    ) -> Self {
+        WindowEngine {
+            steps,
+            machine,
+            mode,
+            ranks,
+            queue,
+            seq: 0,
+            rank_step: vec![0; ranks],
+            compute_done: vec![f64::NAN; ranks],
+            idle: vec![0.0; ranks],
+            rank_finish: vec![0.0; ranks],
+            step_finish: vec![0.0; steps.len()],
+            window: VecDeque::new(),
+            win_base: 0,
+            free: Vec::new(),
+            cursor: Vec::new(),
+            events: 0,
+            peak_queue: 0,
+            peak_window: 0,
+            live_bytes: 0,
+            peak_bytes: 0,
+        }
+    }
+
+    fn slot_bytes(ranks: usize, messages: usize) -> usize {
+        ranks * (4 + 4 + 8 + 1) + (ranks + 1) * 4 + messages * (4 + 8)
+    }
+
+    /// Materialize step `s` as the next window slot (steps activate in
+    /// strictly increasing order: the first rank to reach `s` does it).
+    fn activate(&mut self, s: usize) {
+        debug_assert_eq!(s, self.win_base + self.window.len());
+        let ranks = self.ranks;
+        let st = &self.steps[s];
+        let mut slot = self.free.pop().unwrap_or_default();
+        slot.expected.clear();
+        slot.expected.resize(ranks, 0);
+        slot.arrived.clear();
+        slot.arrived.resize(ranks, 0);
+        slot.last_arrival.clear();
+        slot.last_arrival.resize(ranks, 0.0);
+        slot.completed.clear();
+        slot.completed.resize(ranks, false);
+        slot.outbox_off.clear();
+        slot.outbox_off.resize(ranks + 1, 0);
+        slot.outbox_dst.clear();
+        slot.outbox_dst.resize(st.messages.len(), 0);
+        slot.outbox_bytes.clear();
+        slot.outbox_bytes.resize(st.messages.len(), 0);
+        slot.passed = 0;
+        slot.barrier_remaining = ranks as u32;
+        slot.barrier_time = 0.0;
+        // CSR counting sort by sender; stable, so each sender's messages
+        // keep their schedule order (matching the oracle's outboxes).
+        for &(from, _, _) in &st.messages {
+            slot.outbox_off[from as usize + 1] += 1;
+        }
+        for r in 0..ranks {
+            slot.outbox_off[r + 1] += slot.outbox_off[r];
+        }
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&slot.outbox_off[..ranks]);
+        for &(from, to, bytes) in &st.messages {
+            let c = &mut self.cursor[from as usize];
+            slot.outbox_dst[*c as usize] = to;
+            slot.outbox_bytes[*c as usize] = bytes;
+            *c += 1;
+            slot.expected[to as usize] += 1;
+        }
+        self.live_bytes += Self::slot_bytes(ranks, st.messages.len());
+        self.peak_bytes = self.peak_bytes.max(self.live_bytes);
+        self.window.push_back(slot);
+        self.peak_window = self.peak_window.max(self.window.len());
     }
 
     /// Start rank `r`'s compute for step `s` at time `start`.
     fn start_step(&mut self, r: usize, s: usize, start: f64) {
+        if s == self.win_base + self.window.len() {
+            self.activate(s);
+        }
+        debug_assert!(s >= self.win_base && s < self.win_base + self.window.len());
         self.rank_step[r] = s as u32;
         self.compute_done[r] = f64::NAN;
         let t = start + self.machine.compute_scale * self.steps[s].compute_seconds[r];
-        self.push(
-            t,
-            EventKind::ComputeDone {
+        self.queue.push(Event {
+            time: t,
+            seq: self.seq,
+            kind: EventKind::ComputeDone {
                 rank: r as u32,
                 step: s as u32,
             },
-        );
+        });
+        self.seq += 1;
+        self.peak_queue = self.peak_queue.max(self.queue.len());
     }
 
     /// If rank `r` has completed step `s` (compute + inbound messages),
@@ -158,10 +349,15 @@ impl SimState<'_> {
         if cdone.is_nan() {
             return;
         }
-        if self.arrived[s][r] < self.expected[s][r] {
+        let si = s - self.win_base;
+        if self.window[si].completed[r] {
             return;
         }
-        let ready_at = cdone.max(self.last_arrival[s][r]);
+        if self.window[si].arrived[r] < self.window[si].expected[r] {
+            return;
+        }
+        self.window[si].completed[r] = true;
+        let ready_at = cdone.max(self.window[si].last_arrival[r]);
         self.step_finish[s] = self.step_finish[s].max(ready_at);
         match self.mode {
             SyncMode::NeighborSync => {
@@ -169,12 +365,12 @@ impl SimState<'_> {
                 self.advance(r, s, ready_at);
             }
             SyncMode::BulkSynchronous => {
-                self.barrier_time[s] = self.barrier_time[s].max(ready_at);
-                self.barrier_remaining[s] -= 1;
-                if self.barrier_remaining[s] == 0 {
-                    let release =
-                        self.barrier_time[s] + self.machine.barrier_time(self.rank_step.len());
-                    for rr in 0..self.rank_step.len() {
+                let slot = &mut self.window[si];
+                slot.barrier_time = slot.barrier_time.max(ready_at);
+                slot.barrier_remaining -= 1;
+                if slot.barrier_remaining == 0 {
+                    let release = slot.barrier_time + self.machine.barrier_time(self.ranks);
+                    for rr in 0..self.ranks {
                         // idle covers both message wait and barrier wait
                         let cd = self.compute_done[rr];
                         debug_assert!(!cd.is_nan());
@@ -188,6 +384,7 @@ impl SimState<'_> {
 
     /// Move rank `r` past step `s`: start the next step or record finish.
     fn advance(&mut self, r: usize, s: usize, start: f64) {
+        self.window[s - self.win_base].passed += 1;
         let next = s + 1;
         if next >= self.steps.len() {
             self.rank_finish[r] = start;
@@ -196,10 +393,189 @@ impl SimState<'_> {
             return;
         }
         self.start_step(r, next, start);
-        // Messages for the next step may already have arrived while the
-        // rank was still on step `s`; completion is re-checked when its
-        // compute-done event fires.
+        // Messages for the next step may already have been delivered while
+        // the rank was still on step `s`; completion is re-checked when
+        // its compute-done event fires.
     }
+
+    /// Retire fully-passed steps off the front of the window. Called only
+    /// between events so no handler ever holds a stale slot index.
+    fn retire(&mut self) {
+        while let Some(front) = self.window.front() {
+            if (front.passed as usize) < self.ranks {
+                break;
+            }
+            let slot = self.window.pop_front().expect("front exists");
+            self.live_bytes -= Self::slot_bytes(self.ranks, slot.outbox_dst.len());
+            self.win_base += 1;
+            self.free.push(slot);
+        }
+    }
+
+    fn run(mut self) -> (SimTimeline, SimStats) {
+        for r in 0..self.ranks {
+            self.start_step(r, 0, 0.0);
+        }
+        while let Some(ev) = self.queue.pop() {
+            self.events += 1;
+            let EventKind::ComputeDone { rank, step } = ev.kind else {
+                unreachable!("windowed engine schedules only ComputeDone events");
+            };
+            let r = rank as usize;
+            let s = step as usize;
+            debug_assert_eq!(self.rank_step[r], step);
+            self.compute_done[r] = ev.time;
+            let si = s - self.win_base;
+            let (lo, hi) = {
+                let slot = &self.window[si];
+                (slot.outbox_off[r] as usize, slot.outbox_off[r + 1] as usize)
+            };
+            // Inlined delivery: each outbound message's effect is a
+            // counter bump and a `max` fold on the receiver — both
+            // order-independent — so the `MsgArrive` event the oracle
+            // would enqueue is unnecessary. It still counts as one
+            // processed event to keep `events_processed` comparable.
+            let machine = self.machine;
+            for i in lo..hi {
+                let slot = &mut self.window[si];
+                let to = slot.outbox_dst[i];
+                let arrive = ev.time + machine.message_time_between(rank, to, slot.outbox_bytes[i]);
+                let to = to as usize;
+                slot.arrived[to] += 1;
+                slot.last_arrival[to] = slot.last_arrival[to].max(arrive);
+                debug_assert!(slot.arrived[to] <= slot.expected[to]);
+            }
+            self.events += (hi - lo) as u64;
+            for i in lo..hi {
+                let to = self.window[si].outbox_dst[i] as usize;
+                self.try_ready(to, s);
+            }
+            self.try_ready(r, s);
+            self.peak_queue = self.peak_queue.max(self.queue.len());
+            self.retire();
+        }
+        let total = self.rank_finish.iter().copied().fold(0.0f64, f64::max);
+        let stats = SimStats {
+            queue: self.queue.name(),
+            barrier_fast_path: false,
+            peak_queue_len: self.peak_queue,
+            peak_window_steps: self.peak_window,
+            state_bytes_peak: self.peak_bytes + self.peak_queue * std::mem::size_of::<Event>(),
+        };
+        (
+            SimTimeline {
+                total_seconds: total,
+                rank_finish: self.rank_finish,
+                rank_idle: self.idle,
+                step_finish: self.step_finish,
+                events_processed: self.events,
+            },
+            stats,
+        )
+    }
+}
+
+/// The bulk-synchronous fast path: under a global barrier every step is
+/// independent, so the whole step is a vectorized compute pass, a message
+/// epilogue, and one max — no event queue. Bit-identical to the
+/// event-driven engines because every cross-event combination in a
+/// barrier step is a `max` over the same value set (soundness is model-
+/// checked by `pic_analysis::des_batch`).
+fn simulate_barrier_fast(
+    steps: &[StepWorkload],
+    machine: &MachineSpec,
+    ranks: usize,
+) -> (SimTimeline, SimStats) {
+    let mut done = vec![0.0f64; ranks];
+    let mut last_arrival = vec![0.0f64; ranks];
+    let mut idle = vec![0.0f64; ranks];
+    let mut step_finish = vec![0.0f64; steps.len()];
+    let barrier_cost = machine.barrier_time(ranks);
+    let mut release = 0.0f64;
+    let mut events = 0u64;
+    for (s, st) in steps.iter().enumerate() {
+        for (d, &c) in done.iter_mut().zip(&st.compute_seconds) {
+            *d = release + machine.compute_scale * c;
+        }
+        last_arrival.iter_mut().for_each(|la| *la = 0.0);
+        for &(from, to, bytes) in &st.messages {
+            let arrive = done[from as usize] + machine.message_time_between(from, to, bytes);
+            let la = &mut last_arrival[to as usize];
+            *la = la.max(arrive);
+        }
+        let mut barrier = 0.0f64;
+        for (d, la) in done.iter().zip(&last_arrival) {
+            barrier = barrier.max(d.max(*la));
+        }
+        step_finish[s] = barrier;
+        release = barrier + barrier_cost;
+        for (i, d) in idle.iter_mut().zip(&done) {
+            *i += (release - d).max(0.0);
+        }
+        events += ranks as u64 + st.messages.len() as u64;
+    }
+    let stats = SimStats {
+        queue: "none",
+        barrier_fast_path: true,
+        peak_queue_len: 0,
+        peak_window_steps: 1,
+        state_bytes_peak: ranks * (8 + 8 + 8),
+    };
+    (
+        SimTimeline {
+            total_seconds: release,
+            rank_finish: vec![release; ranks],
+            rank_idle: idle,
+            step_finish,
+            events_processed: events,
+        },
+        stats,
+    )
+}
+
+/// Simulate with explicit engine configuration, returning execution
+/// statistics alongside the timeline.
+pub fn simulate_with_stats(
+    steps: &[StepWorkload],
+    machine: &MachineSpec,
+    mode: SyncMode,
+    config: EngineConfig,
+) -> Result<(SimTimeline, SimStats)> {
+    machine.validate()?;
+    if steps.is_empty() {
+        return Ok((
+            empty_timeline(),
+            SimStats {
+                queue: "none",
+                barrier_fast_path: false,
+                peak_queue_len: 0,
+                peak_window_steps: 0,
+                state_bytes_peak: 0,
+            },
+        ));
+    }
+    let ranks = validate_schedule(steps)?;
+    if mode == SyncMode::BulkSynchronous && config.barrier_fast_path {
+        return Ok(simulate_barrier_fast(steps, machine, ranks));
+    }
+    match config.queue {
+        QueueKind::BinaryHeap => {
+            Ok(WindowEngine::new(steps, machine, mode, ranks, HeapQueue::new()).run())
+        }
+        QueueKind::Calendar => {
+            Ok(WindowEngine::new(steps, machine, mode, ranks, CalendarQueue::new()).run())
+        }
+    }
+}
+
+/// Simulate with explicit engine configuration.
+pub fn simulate_with(
+    steps: &[StepWorkload],
+    machine: &MachineSpec,
+    mode: SyncMode,
+    config: EngineConfig,
+) -> Result<SimTimeline> {
+    simulate_with_stats(steps, machine, mode, config).map(|(t, _)| t)
 }
 
 /// Simulate the PIC schedule on a target machine.
@@ -207,115 +583,19 @@ impl SimState<'_> {
 /// `steps[s].compute_seconds` must have one entry per rank (consistent
 /// across steps). Compute times are scaled by the machine's
 /// `compute_scale`; message times come from its latency/bandwidth model.
+/// Uses the default [`EngineConfig`] (calendar queue, barrier fast path).
 pub fn simulate(
     steps: &[StepWorkload],
     machine: &MachineSpec,
     mode: SyncMode,
 ) -> Result<SimTimeline> {
-    if steps.is_empty() {
-        return Ok(SimTimeline {
-            total_seconds: 0.0,
-            rank_finish: vec![],
-            rank_idle: vec![],
-            step_finish: vec![],
-            events_processed: 0,
-        });
-    }
-    let ranks = steps[0].compute_seconds.len();
-    if ranks == 0 {
-        return Err(PicError::sim("schedule has zero ranks"));
-    }
-    for (s, st) in steps.iter().enumerate() {
-        if st.compute_seconds.len() != ranks {
-            return Err(PicError::sim(format!(
-                "step {s} has {} ranks, expected {ranks}",
-                st.compute_seconds.len()
-            )));
-        }
-        for &(from, to, _) in &st.messages {
-            if from as usize >= ranks || to as usize >= ranks {
-                return Err(PicError::sim(format!(
-                    "step {s} message endpoint out of range"
-                )));
-            }
-        }
-    }
-
-    let mut expected: Vec<Vec<u32>> = vec![vec![0; ranks]; steps.len()];
-    // Per-(step, sender) outboxes so ComputeDone handling is O(own
-    // messages) instead of scanning the whole step's message list — the
-    // difference between O(M) and O(R·M) per step at thousands of ranks.
-    let mut outbox: Vec<Vec<Vec<(u32, u64)>>> = vec![vec![Vec::new(); ranks]; steps.len()];
-    for (s, st) in steps.iter().enumerate() {
-        for &(from, to, bytes) in &st.messages {
-            expected[s][to as usize] += 1;
-            outbox[s][from as usize].push((to, bytes));
-        }
-    }
-
-    let mut state = SimState {
-        steps,
-        machine,
-        mode,
-        queue: BinaryHeap::new(),
-        seq: 0,
-        rank_step: vec![0; ranks],
-        compute_done: vec![f64::NAN; ranks],
-        idle: vec![0.0; ranks],
-        arrived: vec![vec![0; ranks]; steps.len()],
-        last_arrival: vec![vec![0.0; ranks]; steps.len()],
-        expected,
-        barrier_remaining: (0..steps.len()).map(|_| ranks as u32).collect(),
-        barrier_time: vec![0.0; steps.len()],
-        step_finish: vec![0.0; steps.len()],
-        rank_finish: vec![0.0; ranks],
-    };
-
-    for r in 0..ranks {
-        state.start_step(r, 0, 0.0);
-    }
-
-    let mut events_processed = 0u64;
-    while let Some(ev) = state.queue.pop() {
-        events_processed += 1;
-        match ev.kind {
-            EventKind::ComputeDone { rank, step } => {
-                let r = rank as usize;
-                let s = step as usize;
-                debug_assert_eq!(state.rank_step[r], step);
-                state.compute_done[r] = ev.time;
-                // Send this step's outbound messages.
-                for &(to, bytes) in &outbox[s][r] {
-                    let arrive = ev.time + machine.message_time_between(rank, to, bytes);
-                    state.push(arrive, EventKind::MsgArrive { rank: to, step });
-                }
-                state.try_ready(r, s);
-            }
-            EventKind::MsgArrive { rank, step } => {
-                let r = rank as usize;
-                let s = step as usize;
-                state.arrived[s][r] += 1;
-                state.last_arrival[s][r] = state.last_arrival[s][r].max(ev.time);
-                debug_assert!(state.arrived[s][r] <= state.expected[s][r]);
-                // Only relevant immediately if the receiver is on this step.
-                state.try_ready(r, s);
-            }
-        }
-    }
-
-    let total = state.rank_finish.iter().copied().fold(0.0f64, f64::max);
-    Ok(SimTimeline {
-        total_seconds: total,
-        rank_finish: state.rank_finish,
-        rank_idle: state.idle,
-        step_finish: state.step_finish,
-        events_processed,
-    })
+    simulate_with(steps, machine, mode, EngineConfig::default())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::simulate_reference;
 
     fn machine() -> MachineSpec {
         MachineSpec {
@@ -339,6 +619,48 @@ mod tests {
             .collect()
     }
 
+    /// Every engine variant on the same input.
+    fn all_variants(
+        steps: &[StepWorkload],
+        m: &MachineSpec,
+        mode: SyncMode,
+    ) -> Vec<(&'static str, SimTimeline)> {
+        let mut out = vec![(
+            "reference",
+            simulate_reference(steps, m, mode).expect("reference"),
+        )];
+        for (name, cfg) in [
+            (
+                "heap",
+                EngineConfig {
+                    queue: QueueKind::BinaryHeap,
+                    barrier_fast_path: false,
+                },
+            ),
+            (
+                "calendar",
+                EngineConfig {
+                    queue: QueueKind::Calendar,
+                    barrier_fast_path: false,
+                },
+            ),
+            ("default", EngineConfig::default()),
+        ] {
+            out.push((name, simulate_with(steps, m, mode, cfg).expect(name)));
+        }
+        out
+    }
+
+    /// Assert all engine variants agree bit-for-bit.
+    fn assert_identical(steps: &[StepWorkload], m: &MachineSpec, mode: SyncMode) -> SimTimeline {
+        let variants = all_variants(steps, m, mode);
+        let (base_name, base) = &variants[0];
+        for (name, t) in &variants[1..] {
+            assert_eq!(t, base, "{name} diverged from {base_name} ({mode:?})");
+        }
+        base.clone()
+    }
+
     #[test]
     fn empty_schedule() {
         let t = simulate(&[], &machine(), SyncMode::BulkSynchronous).unwrap();
@@ -350,7 +672,7 @@ mod tests {
     fn uniform_compute_no_messages() {
         let steps = steps_uniform(4, 3, 2.0);
         for mode in [SyncMode::BulkSynchronous, SyncMode::NeighborSync] {
-            let t = simulate(&steps, &machine(), mode).unwrap();
+            let t = assert_identical(&steps, &machine(), mode);
             assert!((t.total_seconds - 6.0).abs() < 1e-12, "{mode:?}");
             assert!(t.rank_idle.iter().all(|&i| i.abs() < 1e-12));
             assert_eq!(t.step_finish, vec![2.0, 4.0, 6.0]);
@@ -370,13 +692,13 @@ mod tests {
                 messages: vec![],
             },
         ];
-        let t = simulate(&steps, &machine(), SyncMode::BulkSynchronous).unwrap();
+        let t = assert_identical(&steps, &machine(), SyncMode::BulkSynchronous);
         // barrier: step0 ends at 3, step1 ends at 3+3=6
         assert!((t.total_seconds - 6.0).abs() < 1e-12);
         // rank1 idled 2s at the first barrier; rank0 none before its finish
         assert!((t.rank_idle[1] - 2.0).abs() < 1e-12);
         // neighbor sync: rank1 runs 1+3 = 4, rank0 runs 3+1 = 4
-        let t = simulate(&steps, &machine(), SyncMode::NeighborSync).unwrap();
+        let t = assert_identical(&steps, &machine(), SyncMode::NeighborSync);
         assert!((t.total_seconds - 4.0).abs() < 1e-12);
     }
 
@@ -394,7 +716,7 @@ mod tests {
                 messages: vec![],
             },
         ];
-        let t = simulate(&steps, &machine(), SyncMode::NeighborSync).unwrap();
+        let t = assert_identical(&steps, &machine(), SyncMode::NeighborSync);
         // message arrives at 2 + 1.5 = 3.5; rank1 starts step1 at 3.5,
         // finishes at 3.6. rank0 finishes at 2.1.
         assert!((t.rank_finish[1] - 3.6).abs() < 1e-12);
@@ -416,7 +738,7 @@ mod tests {
             };
             4
         ];
-        let t = simulate(&steps, &machine(), SyncMode::NeighborSync).unwrap();
+        let t = assert_identical(&steps, &machine(), SyncMode::NeighborSync);
         // rank0: 4 × 0.1 = 0.4 total, unaffected by rank1
         assert!(
             (t.rank_finish[0] - 0.4).abs() < 1e-12,
@@ -448,8 +770,8 @@ mod tests {
                 messages: vec![],
             },
         ];
-        let b = simulate(&steps, &machine(), SyncMode::BulkSynchronous).unwrap();
-        let n = simulate(&steps, &machine(), SyncMode::NeighborSync).unwrap();
+        let b = assert_identical(&steps, &machine(), SyncMode::BulkSynchronous);
+        let n = assert_identical(&steps, &machine(), SyncMode::NeighborSync);
         assert!(b.total_seconds >= n.total_seconds - 1e-12);
     }
 
@@ -458,7 +780,7 @@ mod tests {
         let steps = steps_uniform(2, 2, 1.0);
         let mut m = machine();
         m.compute_scale = 3.0;
-        let t = simulate(&steps, &m, SyncMode::BulkSynchronous).unwrap();
+        let t = assert_identical(&steps, &m, SyncMode::BulkSynchronous);
         assert!((t.total_seconds - 6.0).abs() < 1e-12);
     }
 
@@ -506,6 +828,52 @@ mod tests {
     }
 
     #[test]
+    fn non_finite_and_negative_compute_rejected_not_panicking() {
+        // regression: these previously reached Event::cmp's
+        // partial_cmp(...).expect("event times are finite") and panicked
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0] {
+            let steps = vec![StepWorkload {
+                compute_seconds: vec![1.0, bad],
+                messages: vec![],
+            }];
+            for mode in [SyncMode::BulkSynchronous, SyncMode::NeighborSync] {
+                let err = simulate(&steps, &machine(), mode).unwrap_err();
+                let msg = err.to_string();
+                assert!(
+                    msg.contains("step 0") && msg.contains("rank 1"),
+                    "unpositioned error: {msg}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_machines_are_rejected() {
+        use crate::topology::Topology;
+        let good = machine();
+        assert!(good.validate().is_ok());
+        type Mutation = Box<dyn Fn(&mut MachineSpec)>;
+        let cases: Vec<Mutation> = vec![
+            Box::new(|m| m.link_latency = -1.0),
+            Box::new(|m| m.link_latency = f64::NAN),
+            Box::new(|m| m.link_bandwidth = 0.0),
+            Box::new(|m| m.link_bandwidth = -5.0),
+            Box::new(|m| m.link_bandwidth = f64::INFINITY),
+            Box::new(|m| m.compute_scale = f64::NAN),
+            Box::new(|m| m.compute_scale = -1.0),
+            Box::new(|m| m.collective_latency = f64::INFINITY),
+            Box::new(|m| m.topology = Topology::Torus3D { x: 0, y: 4, z: 4 }),
+        ];
+        let steps = steps_uniform(2, 1, 1.0);
+        for mutate in cases {
+            let mut m = machine();
+            mutate(&mut m);
+            assert!(m.validate().is_err(), "{m:?}");
+            assert!(simulate(&steps, &m, SyncMode::BulkSynchronous).is_err());
+        }
+    }
+
+    #[test]
     fn idle_fraction_reflects_imbalance() {
         // one hot rank, three idle ranks, barrier mode
         let steps = vec![
@@ -515,7 +883,7 @@ mod tests {
             };
             3
         ];
-        let t = simulate(&steps, &machine(), SyncMode::BulkSynchronous).unwrap();
+        let t = assert_identical(&steps, &machine(), SyncMode::BulkSynchronous);
         assert!((t.total_seconds - 30.0).abs() < 1e-9);
         assert!(t.mean_idle_fraction() > 0.6, "{}", t.mean_idle_fraction());
     }
@@ -526,11 +894,11 @@ mod tests {
         let mut m = machine();
         m.collective_latency = 0.5;
         // 4 ranks → ceil(log2 4) = 2 stages → 1.0 s per barrier, 3 barriers
-        let with = simulate(&steps, &m, SyncMode::BulkSynchronous).unwrap();
-        let without = simulate(&steps, &machine(), SyncMode::BulkSynchronous).unwrap();
+        let with = assert_identical(&steps, &m, SyncMode::BulkSynchronous);
+        let without = assert_identical(&steps, &machine(), SyncMode::BulkSynchronous);
         assert!((with.total_seconds - (without.total_seconds + 3.0)).abs() < 1e-12);
         // neighbor sync pays no barriers
-        let n = simulate(&steps, &m, SyncMode::NeighborSync).unwrap();
+        let n = assert_identical(&steps, &m, SyncMode::NeighborSync);
         assert!((n.total_seconds - without.total_seconds).abs() < 1e-12);
     }
 
@@ -553,8 +921,8 @@ mod tests {
         let mut m = machine();
         m.topology = Topology::Torus3D { x: 2, y: 2, z: 2 };
         // rank 7 = (1,1,1): 3 hops from rank 0; rank 1: 1 hop
-        let near = simulate(&mk(1), &m, SyncMode::BulkSynchronous).unwrap();
-        let far = simulate(&mk(7), &m, SyncMode::BulkSynchronous).unwrap();
+        let near = assert_identical(&mk(1), &m, SyncMode::BulkSynchronous);
+        let far = assert_identical(&mk(7), &m, SyncMode::BulkSynchronous);
         assert!(
             (far.total_seconds - near.total_seconds - 2.0 * m.link_latency).abs() < 1e-12,
             "far {} near {}",
@@ -577,8 +945,73 @@ mod tests {
                 messages: vec![],
             },
         ];
+        for mode in [SyncMode::BulkSynchronous, SyncMode::NeighborSync] {
+            assert_identical(&steps, &machine(), mode);
+        }
         let t = simulate(&steps, &machine(), SyncMode::NeighborSync).unwrap();
         // step0 ready at max(1.0, 1.0 + 1.5) = 2.5; finish = 2.5 + 1.0
         assert!((t.total_seconds - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn engines_agree_on_irregular_schedule() {
+        // a gnarly mix: ties, zero compute, self-messages, fan-in/fan-out,
+        // collective latency, torus topology
+        use crate::topology::Topology;
+        let mut m = machine();
+        m.collective_latency = 0.25;
+        m.topology = Topology::Torus3D { x: 2, y: 2, z: 2 };
+        let steps = vec![
+            StepWorkload {
+                compute_seconds: vec![1.0, 1.0, 0.0, 2.5, 1.0, 1.0, 0.5, 3.0],
+                messages: vec![(0, 1, 10), (0, 7, 5), (3, 3, 1), (7, 0, 100), (2, 4, 0)],
+            },
+            StepWorkload {
+                compute_seconds: vec![0.0; 8],
+                messages: vec![(1, 2, 7), (2, 1, 7), (5, 6, 9), (6, 5, 9)],
+            },
+            StepWorkload {
+                compute_seconds: vec![2.0, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1],
+                messages: vec![(0, 1, 1), (0, 2, 1), (0, 3, 1), (4, 0, 1)],
+            },
+        ];
+        for mode in [SyncMode::BulkSynchronous, SyncMode::NeighborSync] {
+            assert_identical(&steps, &m, mode);
+        }
+    }
+
+    #[test]
+    fn window_stays_small_and_stats_report() {
+        // 2 ranks, 50 steps, tight coupling: window should stay tiny
+        let steps = vec![
+            StepWorkload {
+                compute_seconds: vec![0.5, 0.6],
+                messages: vec![(0, 1, 4), (1, 0, 4)],
+            };
+            50
+        ];
+        let (t, stats) = simulate_with_stats(
+            &steps,
+            &machine(),
+            SyncMode::NeighborSync,
+            EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(stats.queue, "calendar");
+        assert!(!stats.barrier_fast_path);
+        assert!(stats.peak_window_steps <= 3, "{}", stats.peak_window_steps);
+        assert!(stats.peak_queue_len <= 4, "{}", stats.peak_queue_len);
+        assert_eq!(t.events_processed, 2 * 50 + 100);
+        // fast path reports no queue at all
+        let (_, stats) = simulate_with_stats(
+            &steps,
+            &machine(),
+            SyncMode::BulkSynchronous,
+            EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(stats.queue, "none");
+        assert!(stats.barrier_fast_path);
+        assert_eq!(stats.peak_queue_len, 0);
     }
 }

@@ -7,6 +7,7 @@
 //! simulator only ever consumes these few scalars.
 
 use crate::topology::Topology;
+use pic_types::{PicError, Result};
 use serde::{Deserialize, Serialize};
 
 /// Coarse description of a target HPC system.
@@ -41,6 +42,52 @@ impl MachineSpec {
     /// Total cores.
     pub fn total_cores(&self) -> usize {
         self.nodes * self.cores_per_node
+    }
+
+    /// Reject specs whose scalars would produce NaN or infinite event
+    /// times (or panic in topology hop math) mid-simulation. Called at
+    /// simulation admission, so a bad spec surfaces as a positioned
+    /// [`PicError`] instead of a crash deep in the event loop.
+    pub fn validate(&self) -> Result<()> {
+        let named = |field: &str, detail: String| {
+            PicError::sim(format!("machine '{}': {field} {detail}", self.name))
+        };
+        if !self.compute_scale.is_finite() || self.compute_scale < 0.0 {
+            return Err(named(
+                "compute_scale",
+                format!("is {}, must be finite and non-negative", self.compute_scale),
+            ));
+        }
+        if !self.link_latency.is_finite() || self.link_latency < 0.0 {
+            return Err(named(
+                "link_latency",
+                format!("is {}, must be finite and non-negative", self.link_latency),
+            ));
+        }
+        if !self.link_bandwidth.is_finite() || self.link_bandwidth <= 0.0 {
+            return Err(named(
+                "link_bandwidth",
+                format!("is {}, must be finite and positive", self.link_bandwidth),
+            ));
+        }
+        if !self.collective_latency.is_finite() || self.collective_latency < 0.0 {
+            return Err(named(
+                "collective_latency",
+                format!(
+                    "is {}, must be finite and non-negative",
+                    self.collective_latency
+                ),
+            ));
+        }
+        if let Topology::Torus3D { x, y, z } = self.topology {
+            if x == 0 || y == 0 || z == 0 {
+                return Err(named(
+                    "topology",
+                    format!("Torus3D {x}x{y}x{z} has a zero dimension"),
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Modelled transfer time of a message of `bytes` bytes over one hop.

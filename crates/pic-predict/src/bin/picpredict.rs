@@ -24,8 +24,8 @@ use pic_des::{MachineSpec, SyncMode};
 use pic_grid::{ElementMesh, MeshDims};
 use pic_mapping::MappingAlgorithm;
 use pic_predict::{
-    build_schedule, kernel_models::FitStrategy, predict_application, predict_kernel_seconds,
-    KernelModels,
+    build_schedule, kernel_models::FitStrategy, predict_application_with_stats,
+    predict_kernel_seconds, KernelModels,
 };
 use pic_sim::{MiniPic, Recorder, SimConfig};
 use pic_trace::codec;
@@ -52,7 +52,7 @@ const USAGE: &str = "usage:
   picpredict run --config cfg.json --trace out.pictrace [--records rec.json] [--precision f64|f32]
   picpredict default-config                 # print a template configuration
   picpredict info --trace t.pictrace        # trace metadata and statistics
-  picpredict check [--workload w.json] [--particles N | --trace t.pictrace] [--models m.json] [--pipeline true] [--serve true]
+  picpredict check [--workload w.json] [--particles N | --trace t.pictrace] [--models m.json] [--pipeline true] [--serve true] [--des true]
   picpredict workload --trace t.pictrace --ranks N --mapping M [--stream true] [--filter F] [--mesh AxBxC --order K] [--out DIR]
   picpredict benchmark --out rec.json [--wallclock true] [--order K] [--filter F]
   picpredict fit --records rec.json --out models.json [--strategy linear|auto]
@@ -265,8 +265,10 @@ fn cmd_info(flags: &HashMap<String, String>) -> Result<()> {
 /// the serve-layer protocol models (`--serve true`: single-flight, LRU
 /// accounting, shutdown handshake — explored with ample-set reduction and
 /// lasso liveness, plus the seeded-mutant corpus, every one of which must
-/// be caught). Exits nonzero if any check fails; warnings alone do not
-/// fail the run.
+/// be caught), and the DES batching-soundness model (`--des true`: every
+/// causal processing order of a bulk-synchronous step must reach the
+/// barrier fast path's closed-form time, with its own mutant corpus).
+/// Exits nonzero if any check fails; warnings alone do not fail the run.
 fn cmd_check(flags: &HashMap<String, String>) -> Result<()> {
     let mut ran_any = false;
     let mut failures = 0usize;
@@ -391,9 +393,41 @@ fn cmd_check(flags: &HashMap<String, String>) -> Result<()> {
         println!("serve mutants: {caught}/{} caught", outcomes.len());
     }
 
+    if flags.get("des").map(|v| v != "false").unwrap_or(false) {
+        ran_any = true;
+        // Batching soundness for the DES barrier fast path: every causal
+        // processing order of a bulk-synchronous step (compute completions,
+        // inlined deliveries, redundant probes) must reach the closed-form
+        // barrier time the fast path computes directly.
+        let verdicts = pic_analysis::verify_des_batching()
+            .map_err(|e| PicError::model(format!("des batching check failed: {e}")))?;
+        for v in &verdicts {
+            println!(
+                "des {:>17}: OK — {} states / {} terminal / {} transitions, all orders reach the closed form",
+                v.config, v.exploration.states, v.exploration.terminal_states, v.exploration.transitions
+            );
+        }
+        println!(
+            "des batching: OK ({} configuration(s), every causal order matches the fast path)",
+            verdicts.len()
+        );
+        let outcomes = pic_analysis::des_batch_mutants();
+        let mut caught = 0usize;
+        for (name, was_caught) in &outcomes {
+            if *was_caught {
+                caught += 1;
+                println!("des mutant {name:<20} caught");
+            } else {
+                eprintln!("error: des mutant {name} ESCAPED");
+                failures += 1;
+            }
+        }
+        println!("des mutants: {caught}/{} caught", outcomes.len());
+    }
+
     if !ran_any {
         return Err(PicError::config(
-            "nothing to check: pass --workload, --models, --pipeline true, and/or --serve true",
+            "nothing to check: pass --workload, --models, --pipeline true, --serve true, and/or --des true",
         ));
     }
     if failures > 0 {
@@ -588,15 +622,49 @@ fn cmd_predict(flags: &HashMap<String, String>) -> Result<()> {
         trace.meta().sample_interval,
         pic_predict::pipeline::bytes_per_particle(),
     );
-    let timeline = predict_application(&schedule, &machine, sync)?;
-    println!("machine:             {}", machine.name);
-    println!("sync mode:           {sync:?}");
-    println!("predicted time:      {:.6} s", timeline.total_seconds);
+    let (timeline, des) = predict_application_with_stats(&schedule, &machine, sync)?;
+    // machine-readable result on stdout, human summary on stderr
+    #[derive(serde::Serialize)]
+    struct PredictOutput {
+        machine: String,
+        sync: SyncMode,
+        predicted_seconds: f64,
+        mean_idle_fraction: f64,
+        events_processed: u64,
+        des_queue: &'static str,
+        des_barrier_fast_path: bool,
+        des_wall_seconds: f64,
+        samples: usize,
+        ranks: usize,
+    }
+    let out = PredictOutput {
+        machine: machine.name.clone(),
+        sync,
+        predicted_seconds: timeline.total_seconds,
+        mean_idle_fraction: timeline.mean_idle_fraction(),
+        events_processed: des.events_processed,
+        des_queue: des.queue,
+        des_barrier_fast_path: des.barrier_fast_path,
+        des_wall_seconds: des.wall_seconds,
+        samples: schedule.len(),
+        ranks,
+    };
     println!(
+        "{}",
+        serde_json::to_string_pretty(&out)
+            .map_err(|e| PicError::config(format!("cannot serialize prediction: {e}")))?
+    );
+    eprintln!("machine:             {}", machine.name);
+    eprintln!("sync mode:           {sync:?}");
+    eprintln!("predicted time:      {:.6} s", timeline.total_seconds);
+    eprintln!(
         "mean idle fraction:  {:.2}%",
         100.0 * timeline.mean_idle_fraction()
     );
-    println!("events processed:    {}", timeline.events_processed);
+    eprintln!(
+        "events processed:    {} (queue={}, {:.3} s simulator wall time)",
+        des.events_processed, des.queue, des.wall_seconds
+    );
     Ok(())
 }
 

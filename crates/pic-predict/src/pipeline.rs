@@ -105,6 +105,41 @@ pub fn predict_application(
     simulate(schedule, machine, mode)
 }
 
+/// DES execution statistics of one prediction, surfaced through
+/// `picpredict predict` JSON and the serve `/predict` response.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct DesRunStats {
+    /// Event-queue implementation (`"calendar"`, `"binary-heap"`, or
+    /// `"none"` when the barrier fast path ran).
+    pub queue: &'static str,
+    /// Whether the bulk-synchronous batched fast path evaluated the run.
+    pub barrier_fast_path: bool,
+    /// Simulator wall-clock seconds for this prediction.
+    pub wall_seconds: f64,
+    /// Events processed (equals the timeline's `events_processed`).
+    pub events_processed: u64,
+}
+
+/// Run the system-level simulation, also returning DES throughput
+/// statistics (queue implementation, wall seconds, events processed).
+pub fn predict_application_with_stats(
+    schedule: &[StepWorkload],
+    machine: &MachineSpec,
+    mode: SyncMode,
+) -> Result<(SimTimeline, DesRunStats)> {
+    let start = std::time::Instant::now();
+    let (timeline, stats) =
+        pic_des::simulate_with_stats(schedule, machine, mode, pic_des::EngineConfig::default())?;
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let run = DesRunStats {
+        queue: stats.queue,
+        barrier_fast_path: stats.barrier_fast_path,
+        wall_seconds,
+        events_processed: timeline.events_processed,
+    };
+    Ok((timeline, run))
+}
+
 /// Everything the end-to-end case study produces.
 #[derive(Debug)]
 pub struct CaseStudyOutput {
